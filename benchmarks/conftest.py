@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one artifact of the paper (a table or
+figure, or one per-RQ experiment from DESIGN.md §3), prints the rows the
+paper reports, and asserts the qualitative *shape* that must reproduce
+(who wins, by roughly what factor). Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive experiment with a single round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+    return runner

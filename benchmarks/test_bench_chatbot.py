@@ -1,0 +1,93 @@
+"""E-CHAT — KG chatbot vs pure LLM vs pure QAS (Omar et al.'s comparison).
+
+Workload: a mixed dialogue of factual, follow-up and conversational turns
+over the movie KG. Systems: the hybrid KG chatbot, a pure-LLM chatbot (no
+KG backend, zero coverage → must guess), and a pure QAS (KGQA only, no
+conversational ability). Shape to hold: the hybrid wins on factual turns
+against the pure LLM and on conversational turns against the pure QAS —
+the motivation for merging the two that the survey reports.
+"""
+
+from repro.eval import ResultTable
+from repro.kg.datasets import movie_kg, SCHEMA
+from repro.llm import load_model
+from repro.llm.prompts import chat_prompt, parse_qa_response
+from repro.qa import KGChatbot
+from repro.qa.multihop import ReLMKGQA
+
+
+def build_dialogue(ds):
+    movie = ds.kg.find_by_label("The Silent Horizon")[0]
+    director = ds.kg.store.objects(movie, SCHEMA.directedBy)[0]
+    actors = ds.kg.store.objects(movie, SCHEMA.starring)
+    return [
+        ("Hello!", "greeting", None),
+        ("What directed by The Silent Horizon?", "factual",
+         {ds.kg.label(director)}),
+        ("And what starring it?", "followup",
+         {ds.kg.label(a) for a in actors}),
+        ("thanks!", "thanks", None),
+    ]
+
+
+def run_experiment():
+    ds = movie_kg(seed=3)
+    dialogue = build_dialogue(ds)
+    llm = load_model("chatgpt", world=ds.kg, seed=0)
+
+    # Hybrid: KG chatbot with a path-reasoning backend.
+    hybrid = KGChatbot(llm, ds.kg, ReLMKGQA(llm, ds.kg))
+    # Pure LLM: same dialogue manager shape, but the model has no KG and no
+    # parametric coverage (the "ChatGPT without your KG" condition).
+    blank = load_model("chatgpt", world=ds.kg, seed=0,
+                       knowledge_coverage=0.0, hallucination_rate=0.3)
+
+    # Pure QAS: KGQA with no conversational layer — every turn goes to QA.
+    qas = ReLMKGQA(llm, ds.kg)
+
+    def score(system_name):
+        factual_ok = conversational_ok = factual_n = conversational_n = 0
+        hybrid.reset()
+        for text, kind, gold in dialogue:
+            if system_name == "hybrid":
+                reply = hybrid.chat(text).reply
+            elif system_name == "pure-llm":
+                reply = blank.complete(chat_prompt(text)).text
+            else:  # pure QAS
+                answers = qas.answer(text)
+                reply = ", ".join(ds.kg.label(a) for a in sorted(
+                    answers, key=lambda e: e.value)) or "ERROR: no query parsed"
+            if kind in ("factual", "followup"):
+                factual_n += 1
+                if gold and any(g in reply for g in gold):
+                    factual_ok += 1
+            else:
+                conversational_n += 1
+                if "ERROR" not in reply and reply.strip() and \
+                        "unknown" not in reply.lower():
+                    conversational_ok += 1
+        return (factual_ok / factual_n, conversational_ok / conversational_n)
+
+    table = ResultTable("E-CHAT — chatbot comparison (4-turn dialogue)",
+                        ["factual_accuracy", "conversational_success"])
+    for name in ("hybrid", "pure-llm", "pure-qas"):
+        factual, conversational = score(name)
+        table.add(name, factual_accuracy=factual,
+                  conversational_success=conversational)
+    return table
+
+
+def test_bench_chatbot(once):
+    table = once(run_experiment)
+    print("\n" + table.render())
+
+    hybrid = table.get("hybrid")
+    pure_llm = table.get("pure-llm")
+    pure_qas = table.get("pure-qas")
+
+    # The Omar et al. shape: each pure system fails one half.
+    assert hybrid.metric("factual_accuracy") > pure_llm.metric("factual_accuracy")
+    assert hybrid.metric("conversational_success") > \
+        pure_qas.metric("conversational_success")
+    assert hybrid.metric("factual_accuracy") == 1.0
+    assert hybrid.metric("conversational_success") == 1.0

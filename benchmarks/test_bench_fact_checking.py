@@ -1,0 +1,67 @@
+"""RQ4 — fact checking KGs with LLMs.
+
+Workload: 60 statements (half corrupted into type-plausible misinformation)
+from the encyclopedia KG. Systems: closed-book verbalize-and-prompt,
+retrieval-augmented (FactLLaMA-style), tool-augmented (FacTool-style),
+plus a knowledge-coverage sweep for the closed-book checker. Shape to
+hold: tool ≥ retrieval > closed-book end-to-end; closed-book degrades as
+parametric coverage drops (the stale-knowledge failure motivating RQ4).
+"""
+
+from repro.eval import ResultTable
+from repro.kg.datasets import encyclopedia_kg
+from repro.llm import load_model
+from repro.validation import (
+    ClosedBookFactChecker, MisinformationInjector,
+    RetrievalAugmentedFactChecker, ToolAugmentedFactChecker,
+    evaluate_fact_checking,
+)
+
+
+def run_experiment():
+    ds = encyclopedia_kg(seed=2)
+    statements = MisinformationInjector(ds.kg, seed=1).build_statements(n=60)
+    llm = load_model("chatgpt", world=ds.kg, seed=0)
+
+    table = ResultTable("RQ4 — fact checking (60 statements, 50% corrupted)",
+                        ["end_to_end_accuracy", "accuracy_on_decided",
+                         "coverage"])
+    table.add("closed-book LLM",
+              **evaluate_fact_checking(ClosedBookFactChecker(llm), statements))
+    table.add("retrieval-augmented (FactLLaMA-style)",
+              **evaluate_fact_checking(
+                  RetrievalAugmentedFactChecker(llm, ds.kg), statements))
+    table.add("tool-augmented (FacTool-style)",
+              **evaluate_fact_checking(
+                  ToolAugmentedFactChecker(llm, ds.kg), statements))
+
+    sweep = ResultTable("RQ4b — closed-book vs parametric knowledge coverage",
+                        ["end_to_end_accuracy"])
+    for coverage in (0.9, 0.5, 0.2):
+        model = load_model("chatgpt", world=ds.kg, seed=0,
+                           knowledge_coverage=coverage)
+        scores = evaluate_fact_checking(ClosedBookFactChecker(model), statements)
+        sweep.add(f"coverage={coverage}",
+                  end_to_end_accuracy=scores["end_to_end_accuracy"])
+    return table, sweep
+
+
+def test_bench_fact_checking(once):
+    table, sweep = once(run_experiment)
+    print("\n" + table.render())
+    print("\n" + sweep.render())
+
+    closed = table.get("closed-book LLM")
+    retrieval = table.get("retrieval-augmented (FactLLaMA-style)")
+    tool = table.get("tool-augmented (FacTool-style)")
+
+    assert retrieval.metric("end_to_end_accuracy") > \
+        closed.metric("end_to_end_accuracy")
+    assert tool.metric("end_to_end_accuracy") >= \
+        retrieval.metric("end_to_end_accuracy")
+    assert tool.metric("end_to_end_accuracy") > 0.9
+
+    # Closed-book degrades monotonically with coverage.
+    high = sweep.get("coverage=0.9").metric("end_to_end_accuracy")
+    low = sweep.get("coverage=0.2").metric("end_to_end_accuracy")
+    assert high > low

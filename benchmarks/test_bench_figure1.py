@@ -1,0 +1,56 @@
+"""F1 — Figure 1: the categorization of the LLM⟷KG interplay.
+
+Regenerates the taxonomy tree and checks its structure against the paper:
+three top-level interplay types, the six RQ-flagged (pink) topics, and the
+starred topics absent from previous surveys.
+"""
+
+from repro.analysis.surveys import unique_to_this_survey
+from repro.core import FIGURE1_TAXONOMY, InterplayType, RESEARCH_QUESTIONS, iter_nodes
+
+
+def render_taxonomy() -> str:
+    lines = []
+
+    def walk(node, depth=0):
+        markers = ""
+        if node.research_question:
+            markers += f" [RQ{node.research_question}]"
+        if node.novel:
+            markers += " [*]"
+        lines.append("  " * depth + node.name + markers)
+        for child in node.children:
+            walk(child, depth + 1)
+
+    walk(FIGURE1_TAXONOMY)
+    return "\n".join(lines)
+
+
+def test_bench_figure1(once):
+    rendered = once(render_taxonomy)
+    print("\nFigure 1 — categorization of the interplay between LLMs and KGs")
+    print(rendered)
+
+    # Three interplay types, in the paper's order.
+    top = [c.name for c in FIGURE1_TAXONOMY.children]
+    assert top == [t.value for t in InterplayType]
+
+    # Exactly RQ1..RQ6 flagged somewhere in the tree.
+    flagged = {n.research_question for n in iter_nodes() if n.research_question}
+    assert flagged == {rq.number for rq in RESEARCH_QUESTIONS} == set(range(1, 7))
+
+    # Starred topics = the topics Table 1 shows as unique to this survey
+    # (modulo naming: Table 1 says "Complex Question Answering" where the
+    # tree uses the section heading).
+    starred = {n.name for n in iter_nodes() if n.novel}
+    assert "Fact Checking" in starred
+    assert "Inconsistency Detection" in starred
+    assert "KG Chatbots" in starred
+    assert "Querying LLMs with SPARQL" in starred
+    assert len(starred) >= len(unique_to_this_survey())
+
+    # Every implemented node's module exists.
+    import importlib
+    for node in iter_nodes():
+        if node.module:
+            importlib.import_module(node.module)

@@ -1,0 +1,36 @@
+"""F2 — Figure 2: statistics of LLM and KG usage in cited papers.
+
+Regenerates the histogram from the embedded bibliography and asserts the
+paper's §5.1 findings: Freebase is the most commonly utilized KG; BERT and
+GPT-3 emerge as the most frequently employed LLMs.
+"""
+
+from repro.analysis import figure2, usage_by_category
+from repro.analysis.statistics import render_figure2
+
+
+def test_bench_figure2(once):
+    payload = once(figure2)
+    print("\n" + render_figure2())
+
+    # §5.1, verbatim findings.
+    assert payload["most_used_kg"] == "Freebase"
+    assert set(payload["most_used_llms"]) == {"BERT", "GPT-3"}
+
+    # The per-category breakdown (the figure's x-axis groups) is populated
+    # for every surveyed category family.
+    per_category = payload["per_category"]
+    print("\nper-category LLM leaders:")
+    for category, usage in sorted(per_category.items()):
+        llms = usage["llms"]
+        leader = max(llms, key=lambda name: (llms[name], name)) if llms else "-"
+        print(f"  {category:<42} {leader}")
+    assert len(per_category) >= 8
+
+    # Sanity: completion literature is Freebase-dominated (FB15k lineage),
+    # KG-enhanced-LLM literature is BERT-dominated — the two visually
+    # dominant bars of the figure.
+    completion = per_category["KG Completion"]["kgs"]
+    assert max(completion, key=completion.get) == "Freebase"
+    enhanced = per_category["KG-enhanced LLM"]["llms"]
+    assert max(enhanced, key=enhanced.get) == "BERT"

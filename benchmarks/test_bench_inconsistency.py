@@ -1,0 +1,80 @@
+"""RQ3 — inconsistency detection in KGs.
+
+Workload: the encyclopedia KG with injected violations of six kinds, at
+increasing injection rates. Systems: declared-(partial)-schema checking,
+structural-only statistical mining, and ChatRule (statistical mining +
+LLM semantic filtering). Shape to hold: ChatRule beats the structural-only
+miner on precision and F1 (the survey's "semantic + structural beats
+structural-only" claim); the full declared schema is the recall oracle.
+"""
+
+from repro.eval import ResultTable
+from repro.kg.datasets import encyclopedia_kg
+from repro.kg.ontology import Ontology
+from repro.llm import load_model
+from repro.validation import (
+    ChatRuleDetector, ConstraintChecker, DeclaredConstraintDetector,
+    StatisticalConstraintMiner, ViolationInjector, evaluate_detection,
+)
+
+
+def partial_schema(ontology: Ontology) -> Ontology:
+    """Every other property keeps its constraints — the realistic case of
+    an incompletely declared schema."""
+    partial = Ontology("partial")
+    for iri, cls in ontology.classes.items():
+        partial.add_class(iri, label=cls.label, parents=cls.parents)
+    for index, (iri, prop) in enumerate(
+            sorted(ontology.properties.items(), key=lambda kv: kv[0].value)):
+        keep = index % 2 == 0
+        partial.add_property(iri, label=prop.label,
+                             domain=prop.domain if keep else None,
+                             range=prop.range if keep else None,
+                             characteristics=prop.characteristics if keep else [])
+    return partial
+
+
+def run_experiment():
+    ds = encyclopedia_kg(seed=2)
+    llm = load_model("chatgpt", world=ds.kg, seed=0)
+    corrupted, injected = ViolationInjector(ds.kg, ds.ontology,
+                                            seed=3).inject(n_per_kind=3)
+    partial = partial_schema(ds.ontology)
+
+    table = ResultTable(
+        f"RQ3 — inconsistency detection ({len(injected)} injected violations)",
+        ["precision", "recall", "f1", "detected", "injected"])
+    systems = [
+        ("declared-full (oracle)",
+         ConstraintChecker(ds.ontology).check(corrupted)),
+        ("declared-partial",
+         DeclaredConstraintDetector(partial).detect(corrupted)),
+        ("structural-only mining",
+         StatisticalConstraintMiner().detect(corrupted)),
+        ("ChatRule (semantic+structural)",
+         ChatRuleDetector(llm).detect(corrupted)),
+    ]
+    for name, detected in systems:
+        table.add(name, **evaluate_detection(detected, injected))
+    return table
+
+
+def test_bench_inconsistency(once):
+    table = once(run_experiment)
+    print("\n" + table.render())
+
+    oracle = table.get("declared-full (oracle)")
+    partial = table.get("declared-partial")
+    structural = table.get("structural-only mining")
+    chatrule = table.get("ChatRule (semantic+structural)")
+
+    # The full schema is the recall oracle; a partial one loses recall.
+    assert oracle.metric("recall") == 1.0
+    assert partial.metric("recall") < 1.0
+    # Structural-only mining proposes spurious constraints → lower precision.
+    assert structural.metric("precision") < partial.metric("precision")
+    # ChatRule's semantic filter recovers precision without losing the
+    # miner's recall — the RQ3 headline.
+    assert chatrule.metric("precision") > structural.metric("precision")
+    assert chatrule.metric("recall") >= structural.metric("recall") - 1e-9
+    assert chatrule.metric("f1") > structural.metric("f1")

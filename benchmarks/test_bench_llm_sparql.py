@@ -1,0 +1,89 @@
+"""E-SQL-LLM — querying LLMs with SPARQL (the Galois-style hybrid).
+
+Workload: movie KG with the ``directedBy`` relation *removed* from the
+store (the facts exist only in the LLM's parametric memory — the "hidden
+relations in unstructured data" scenario). Systems: KG-only execution,
+LLM-only probing, and DB-first hybrid execution. Shape to hold: KG-only
+recall is zero on the hidden relation; the hybrid recovers most of it with
+precision matching the LLM's knowledge coverage; DB-first grounding keeps
+the hybrid's precision above free-form LLM QA.
+"""
+
+from repro.eval import ResultTable
+from repro.kg.datasets import movie_kg, SCHEMA
+from repro.kg.triples import IRI
+from repro.llm import load_model
+from repro.llm.prompts import parse_qa_response, qa_prompt
+from repro.qa import HybridSparqlEngine
+from repro.sparql import SparqlEngine
+
+N_MOVIES = 15
+
+
+def run_experiment():
+    ds = movie_kg(seed=3)
+    llm = load_model("chatgpt", world=ds.kg, seed=0, hallucination_rate=0.2)
+    stripped = ds.kg.copy()
+    stripped.store.remove_all(stripped.store.match(None, SCHEMA.directedBy, None))
+
+    movies = [IRI(m) for m in ds.metadata["movies"][:N_MOVIES]]
+    gold = {m: set(ds.kg.store.objects(m, SCHEMA.directedBy)) for m in movies}
+
+    kg_engine = SparqlEngine(stripped.store)
+    hybrid = HybridSparqlEngine(stripped, llm)
+
+    def query_for(movie):
+        return (f"SELECT ?d WHERE {{ <{movie.value}> "
+                f"<http://repro.dev/schema/directedBy> ?d }}")
+
+    table = ResultTable("E-SQL-LLM — hidden-relation recovery "
+                        f"({N_MOVIES} movies, directedBy removed from KG)",
+                        ["recall", "precision"])
+
+    def prf(predictions):
+        tp = sum(len(predictions[m] & gold[m]) for m in movies)
+        predicted = sum(len(predictions[m]) for m in movies)
+        total = sum(len(gold[m]) for m in movies)
+        return (tp / total if total else 0.0,
+                tp / predicted if predicted else 1.0)
+
+    kg_only = {m: {row["d"] for row in kg_engine.select(query_for(m))}
+               for m in movies}
+    recall, precision = prf(kg_only)
+    table.add("KG-only SPARQL", recall=recall, precision=precision)
+
+    llm_only = {}
+    for movie in movies:
+        answer = parse_qa_response(llm.complete(
+            qa_prompt(f"Who directed by {ds.kg.label(movie)}?")).text)
+        llm_only[movie] = set(ds.kg.find_by_label(answer)) \
+            if answer.lower() != "unknown" else set()
+    recall, precision = prf(llm_only)
+    table.add("LLM-only prompting", recall=recall, precision=precision)
+
+    hybrid_results = {m: {row["d"] for row in hybrid.select(query_for(m))}
+                      for m in movies}
+    recall, precision = prf(hybrid_results)
+    table.add("hybrid DB-first SPARQL", recall=recall, precision=precision)
+    return table, hybrid.llm_calls
+
+
+def test_bench_llm_sparql(once):
+    table, llm_calls = once(run_experiment)
+    print("\n" + table.render())
+    print(f"\nLLM probes issued by the hybrid engine: {llm_calls}")
+
+    kg_only = table.get("KG-only SPARQL")
+    llm_only = table.get("LLM-only prompting")
+    hybrid = table.get("hybrid DB-first SPARQL")
+
+    # The relation is truly hidden from the store.
+    assert kg_only.metric("recall") == 0.0
+    # The hybrid surfaces it through the virtual-predicate path.
+    assert hybrid.metric("recall") > 0.5
+    assert llm_calls >= N_MOVIES
+    # Structured probing is at least as precise as free-form prompting
+    # (free-form answers include lucky hallucinations, so recall can jitter
+    # either way; precision is the stable part of the DB-first claim).
+    assert hybrid.metric("precision") >= llm_only.metric("precision") - 1e-9
+    assert hybrid.metric("recall") >= llm_only.metric("recall") - 0.25

@@ -1,0 +1,63 @@
+"""E-SCALING — task quality vs model size across the registry's profiles.
+
+The survey's §2.5 observation made measurable: *"the larger an LM, the more
+contextual information the representation contains"* — capability rises
+with parameter count. Workload: zero-shot relation extraction (the most
+size-sensitive task in the suite) over the movie corpus, one row per model
+profile. Shape to hold: F1 is (weakly) monotone in parameter count across
+the BERT → GPT-2 → Flan-T5 → GPT-3 ladder, and closed-book QA accuracy
+tracks the profiles' knowledge coverage.
+"""
+
+from repro.construction.relation_extraction import (
+    ZeroShotRelationExtractor, evaluate_relation_extraction,
+)
+from repro.eval import ResultTable
+from repro.kg.datasets import movie_kg
+from repro.llm import MODEL_PROFILES, load_model
+from repro.llm.prompts import parse_qa_response, qa_prompt
+from repro.qa import generate_multihop_questions
+from repro.text import generate_extraction_corpus
+
+LADDER = ["bert-base", "gpt-2", "flan-t5-xxl", "gpt-3"]
+
+
+def run_experiment():
+    ds = movie_kg(seed=2)
+    corpus = generate_extraction_corpus(ds, n_sentences=60, seed=1,
+                                        variation=0.2)
+    _, test = corpus.split(0.5)
+    questions = generate_multihop_questions(ds, n=10, hops=1, seed=4)
+
+    table = ResultTable("E-SCALING — capability vs parameter count",
+                        ["parameters", "re_f1", "closed_book_qa"])
+    for name in LADDER:
+        llm = load_model(name, world=ds.kg, seed=3)
+        re_scores = evaluate_relation_extraction(
+            ZeroShotRelationExtractor(llm, corpus.relations), test)
+        correct = 0
+        for question in questions:
+            answer = parse_qa_response(llm.complete(qa_prompt(question.text)).text)
+            gold = {ds.kg.label(a).lower() for a in question.answers}
+            if {p.strip().lower() for p in answer.split(",")} & gold:
+                correct += 1
+        table.add(name,
+                  parameters=f"{MODEL_PROFILES[name]['n_parameters']:.0e}",
+                  re_f1=re_scores["f1"],
+                  closed_book_qa=correct / len(questions))
+    return table
+
+
+def test_bench_scaling(once):
+    table = once(run_experiment)
+    print("\n" + table.render())
+
+    f1s = [table.get(name).metric("re_f1") for name in LADDER]
+    # Weak monotonicity along the ladder (small jitter tolerated).
+    for smaller, larger in zip(f1s, f1s[1:]):
+        assert larger >= smaller - 0.05, (smaller, larger)
+    # The endpoints are clearly separated.
+    assert f1s[-1] > f1s[0] + 0.1
+    # Closed-book QA improves with the profile's knowledge coverage.
+    assert table.get("gpt-3").metric("closed_book_qa") >= \
+        table.get("bert-base").metric("closed_book_qa")

@@ -1,0 +1,71 @@
+"""Biomedical KG construction — the survey's COVID-19 case study ([28]).
+
+End-to-end "LLM for KG" pipeline over a biomedical corpus:
+
+1. generate an annotated corpus from the curated COVID-19 KG,
+2. extract entities and relations with the LLM and build a fresh KG,
+3. learn the ontology (LLMs4OL-style) and score it against the gold schema,
+4. validate the constructed KG: fact-check a few statements, run the
+   inconsistency checker.
+
+Run:  python examples/biomedical_kg_construction.py
+"""
+
+from repro.construction import OntologyLearner, build_kg_from_text
+from repro.construction.relation_extraction import (
+    ZeroShotRelationExtractor, evaluate_relation_extraction,
+)
+from repro.kg.datasets import covid_kg
+from repro.llm import load_model
+from repro.text import generate_extraction_corpus
+from repro.validation import (
+    ClosedBookFactChecker, ConstraintChecker, MisinformationInjector,
+    RetrievalAugmentedFactChecker, evaluate_fact_checking,
+)
+
+
+def main() -> None:
+    gold = covid_kg()
+    print(f"gold biomedical KG: {gold.stats()}")
+
+    # --- 1. Corpus ----------------------------------------------------------
+    corpus = generate_extraction_corpus(gold, n_sentences=40, seed=1,
+                                        variation=0.15)
+    print(f"corpus: {len(corpus)} sentences, e.g. {corpus.sentences[0].text!r}")
+
+    # --- 2. Extraction → constructed KG -------------------------------------
+    llm = load_model("chatgpt", world=gold.kg, seed=0)
+    types = [c.label for c in gold.ontology.classes.values()]
+    extraction_scores = evaluate_relation_extraction(
+        ZeroShotRelationExtractor(llm, corpus.relations), corpus.sentences)
+    print(f"relation extraction F1: {extraction_scores['f1']:.3f}")
+    constructed = build_kg_from_text(llm, corpus.sentences, types,
+                                     corpus.relations)
+    print(f"constructed KG: {constructed.stats()}")
+
+    # --- 3. Ontology learning ------------------------------------------------
+    learner = OntologyLearner(llm, candidate_types=types)
+    learned = learner.learn(corpus.sentences)
+    scores = learned.f1_against(gold.ontology, match_on="label")
+    print("learned ontology vs gold: "
+          f"classes F1={scores['class_f1']:.2f}, "
+          f"taxonomy edges F1={scores['edge_f1']:.2f}, "
+          f"properties F1={scores['property_f1']:.2f}")
+    print("learned classes:", sorted(c.label for c in learned.classes.values()))
+
+    # --- 4. Validation ---------------------------------------------------------
+    statements = MisinformationInjector(gold.kg, seed=2).build_statements(n=20)
+    closed = evaluate_fact_checking(ClosedBookFactChecker(llm), statements)
+    grounded = evaluate_fact_checking(
+        RetrievalAugmentedFactChecker(llm, gold.kg), statements)
+    print(f"fact checking accuracy: closed-book="
+          f"{closed['end_to_end_accuracy']:.2f}, "
+          f"KG-grounded={grounded['end_to_end_accuracy']:.2f}")
+
+    violations = ConstraintChecker(gold.ontology).check(gold.kg)
+    print(f"consistency of the gold KG: {len(violations)} violations "
+          f"(expected 0)")
+
+
+if __name__ == "__main__":
+    main()

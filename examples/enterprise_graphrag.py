@@ -1,0 +1,64 @@
+"""Naive RAG vs GraphRAG over an enterprise corpus (survey §3).
+
+Demonstrates the survey's RAG narrative end to end: a model that knows
+nothing answers local questions once Naive RAG supplies the right chunks,
+but only GraphRAG's community summaries cover a *global* question about
+the whole corpus.
+
+Run:  python examples/enterprise_graphrag.py
+"""
+
+from repro.enhanced import GraphRAG, ModularRAG, NaiveRAG
+from repro.kg.datasets import enterprise_kg, SCHEMA
+from repro.kg.triples import IRI
+from repro.llm import load_model
+from repro.llm.prompts import parse_qa_response, qa_prompt
+
+
+def main() -> None:
+    ds = enterprise_kg(seed=0)
+    documents = ds.metadata["documents"]
+    print(f"corpus: {len(documents)} documents over {ds.stats()['triples']} "
+          f"KG triples")
+
+    # The subject model has zero parametric knowledge of this enterprise —
+    # everything must come from retrieval.
+    llm = load_model("chatgpt", world=ds.kg, seed=0,
+                     knowledge_coverage=0.0, hallucination_rate=0.0)
+
+    naive = NaiveRAG(llm)
+    n_chunks = naive.index_documents(documents)
+    print(f"Naive RAG indexed {n_chunks} chunks")
+    modular = ModularRAG(llm, kg=ds.kg)
+    modular.index_documents(documents)
+    graph_rag = GraphRAG(llm, ds.kg)
+    communities = graph_rag.build()
+    print(f"GraphRAG detected {len(communities)} communities")
+
+    # --- local question -----------------------------------------------------
+    dept = IRI(ds.metadata["departments"][0])
+    question = f"Who manages {ds.kg.label(dept)}?"
+    print(f"\nlocal question: {question}")
+    print(f"  closed-book : "
+          f"{parse_qa_response(llm.complete(qa_prompt(question)).text)}")
+    print(f"  Naive RAG   : {naive.answer(question)}")
+    print(f"  Modular RAG : {modular.answer(question)}")
+    print(f"  GraphRAG    : {graph_rag.answer_local(question)}")
+
+    # --- global question ------------------------------------------------------
+    global_question = "Who manages each department?"
+    managers = [ds.kg.label(ds.kg.store.subjects(SCHEMA.manages, IRI(d))[0])
+                for d in ds.metadata["departments"]]
+    print(f"\nglobal question: {global_question}")
+    naive_answer = naive.answer(global_question)
+    graph_answer = graph_rag.answer_global(global_question)
+    print(f"  Naive RAG coverage : "
+          f"{graph_rag.coverage_of(managers, naive_answer):.2f}  "
+          f"({naive_answer[:70]}...)")
+    print(f"  GraphRAG coverage  : "
+          f"{graph_rag.coverage_of(managers, graph_answer):.2f}")
+    print(f"  GraphRAG answer    : {graph_answer}")
+
+
+if __name__ == "__main__":
+    main()

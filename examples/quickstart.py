@@ -1,0 +1,76 @@
+"""Quickstart: a tour of the LLM⟷KG toolkit in ~60 lines of API.
+
+Covers one representative capability from each interplay direction:
+build/query a KG (substrate), verbalize it with an LLM (LLM-for-KG),
+ground the LLM's answers in the KG (KG-enhanced LLM), and translate a
+natural-language question into SPARQL (cooperation).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.kg import KnowledgeGraph, Namespace
+from repro.kg2text import reference_description, triples_for_entity
+from repro.llm import load_model
+from repro.llm import prompts as P
+from repro.sparql import SparqlEngine
+
+EX = Namespace("http://example.org/")
+S = Namespace("http://repro.dev/schema/")
+
+
+def main() -> None:
+    # --- 1. Build a small knowledge graph --------------------------------
+    kg = KnowledgeGraph(name="quickstart")
+    kg.set_label(EX.Ada, "Ada Lovelace")
+    kg.set_label(EX.Charles, "Charles Babbage")
+    kg.set_label(EX.London, "London")
+    kg.set_label(S.bornIn, "born in")
+    kg.set_label(S.collaboratedWith, "collaborated with")
+    kg.add(EX.Ada, S.bornIn, EX.London)
+    kg.add(EX.Ada, S.collaboratedWith, EX.Charles)
+    kg.add(EX.Charles, S.collaboratedWith, EX.Ada)  # symmetric relation
+    kg.add(EX.Ada, S.birthYear, 1815)
+    print(f"KG built: {kg.stats()}")
+
+    # --- 2. Query it with SPARQL ------------------------------------------
+    engine = SparqlEngine(kg.store)
+    rows = engine.select(
+        "PREFIX s: <http://repro.dev/schema/> "
+        "SELECT ?who WHERE { <http://example.org/Ada> s:collaboratedWith ?who }")
+    print(f"SPARQL: Ada collaborated with -> {kg.label(rows[0]['who'])}")
+
+    # --- 3. A simulated LLM pre-trained on the KG -------------------------
+    llm = load_model("chatgpt", world=kg, seed=0)
+    print(f"model: {llm.config.name} "
+          f"({llm.config.n_parameters:.0e} params, skill={llm.config.skill:.2f})")
+
+    # LLM-for-KG: verbalize a subgraph (RQ1).
+    triples = triples_for_entity(kg, EX.Ada)
+    response = llm.complete(P.kg2text_prompt(
+        [(kg.label(t.subject), kg.label(t.predicate), kg.label(t.object))
+         for t in triples]))
+    print(f"KG-to-text: {response.text}")
+    print(f"  (reference: {reference_description(kg, triples)})")
+
+    # KG-enhanced LLM: grounded question answering (RQ5).
+    question = "Who collaborated with Ada Lovelace?"
+    closed_book = llm.complete(P.qa_prompt(question)).text
+    facts = [kg.verbalize_triple(t) for t in kg.outgoing(EX.Ada)]
+    grounded = llm.complete(P.qa_prompt(question, facts=facts)).text
+    print(f"QA closed-book: {closed_book}  |  grounded: {grounded}")
+
+    # Cooperation: text-to-SPARQL (RQ6) — generate, then execute.
+    generated = llm.complete(P.sparql_prompt(
+        question,
+        schema="collaborated with = <http://repro.dev/schema/collaboratedWith>",
+        example_query="SELECT ?x WHERE { ?s ?p ?x }")).text
+    print(f"generated SPARQL: {generated}")
+    answers = engine.select(generated)
+    print(f"executed -> {[kg.label(v) for row in answers for v in row.values()]}")
+
+    # Token accounting, as a real API client would see it.
+    print(f"usage: {llm.usage}")
+
+
+if __name__ == "__main__":
+    main()

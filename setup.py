@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables editable installs without the ``wheel`` package
+(the sandbox has no network, so ``pip install -e . --no-build-isolation
+--no-use-pep517`` takes the setup.py develop path)."""
+
+from setuptools import setup
+
+setup()

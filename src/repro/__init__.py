@@ -1,0 +1,8 @@
+"""``repro`` — an offline, deterministic LLM+KG interplay toolkit.
+
+Reproduction of "Research Trends for the Interplay between Large Language
+Models and Knowledge Graphs" (VLDB 2024 Workshop LLM+KG). See DESIGN.md for
+the system inventory and EXPERIMENTS.md for the reproduced evaluation.
+"""
+
+__version__ = "1.0.0"

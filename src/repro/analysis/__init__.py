@@ -1,0 +1,18 @@
+"""Statistics analysis (survey §5): the machine-readable bibliography of the
+survey's cited approaches, the Figure-2 usage statistics, and the Table-1
+survey-coverage matrix."""
+
+from repro.analysis.bibliography import (
+    CitedApproach, BIBLIOGRAPHY, llms_in_bibliography, kgs_in_bibliography,
+)
+from repro.analysis.statistics import (
+    usage_counts, usage_by_category, figure2, most_common,
+)
+from repro.analysis.surveys import TABLE1, Table1Row, render_table1, SURVEY_COLUMNS
+
+__all__ = [
+    "CitedApproach", "BIBLIOGRAPHY",
+    "llms_in_bibliography", "kgs_in_bibliography",
+    "usage_counts", "usage_by_category", "figure2", "most_common",
+    "TABLE1", "Table1Row", "render_table1", "SURVEY_COLUMNS",
+]

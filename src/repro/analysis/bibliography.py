@@ -1,0 +1,169 @@
+"""Machine-readable bibliography of the survey's cited approach papers.
+
+Each :class:`CitedApproach` records which LLMs and KGs a cited approach
+uses and which taxonomy category the survey discusses it under — the raw
+data behind Figure 2 ("Statistics of the usage of LLMs and KGs in cited
+papers per category"). Model and KG names are normalized the way the figure
+normalizes them (benchmark subsets map to their source KG: FB15k-237 →
+Freebase, WN18RR → WordNet, WebNLG → DBpedia, GPT-3.5-API papers → GPT-3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+#: Category labels, matching the Figure-1 taxonomy node names.
+NER = "Entity Extraction and Alignment"
+RE = "Relation Extraction"
+ONTOLOGY = "Ontology Creation"
+KG2TEXT = "KG-to-Text Generation"
+REASONING = "KG Reasoning"
+COMPLETION = "KG Completion"
+EMBEDDING = "KG Embedding"
+VALIDATION = "KG Validation"
+ENHANCED = "KG-enhanced LLM"
+KGQA = "KG Question Answering"
+
+
+@dataclass(frozen=True)
+class CitedApproach:
+    """One cited approach paper with its LLM/KG usage."""
+
+    key: str
+    reference: int            # number in the survey's reference list
+    category: str
+    llms: Tuple[str, ...] = ()
+    kgs: Tuple[str, ...] = ()
+    year: int = 2023
+
+
+BIBLIOGRAPHY: List[CitedApproach] = [
+    # --- KG Construction: entity extraction -------------------------------
+    CitedApproach("promptner", 3, NER, llms=("GPT-4",), year=2023),
+    CitedApproach("fewshot-ner", 42, NER, llms=("BERT",), year=2020),
+    CitedApproach("spires", 11, NER, llms=("GPT-3",), kgs=("Wikidata",), year=2023),
+    CitedApproach("chatie", 85, NER, llms=("ChatGPT",), year=2023),
+    CitedApproach("universalner", 96, NER, llms=("LLaMA", "ChatGPT"), year=2023),
+    CitedApproach("artgraph-alignment", 59, EMBEDDING, llms=("ChatGPT",),
+                  kgs=("Wikidata",), year=2023),
+    # --- KG Construction: relation extraction -----------------------------
+    CitedApproach("gpt-re", 79, RE, llms=("GPT-3",), year=2023),
+    CitedApproach("rebel", 43, RE, llms=("BART",), kgs=("Wikidata",), year=2021),
+    CitedApproach("deepstruct", 81, RE, llms=("GLM",), kgs=("Wikidata",), year=2023),
+    CitedApproach("unleash-fewshot-re", 89, RE, llms=("GPT-3",), year=2023),
+    CitedApproach("revisiting-re", 78, RE, llms=("GPT-3", "Flan-T5"), year=2023),
+    CitedApproach("zeroshot-re", 54, RE, llms=("ChatGPT",), year=2023),
+    CitedApproach("temporal-re", 94, RE, llms=("ChatGPT",), year=2023),
+    CitedApproach("docre-enhance", 55, RE, llms=("ChatGPT",), year=2023),
+    # --- KG Construction: ontology creation -------------------------------
+    CitedApproach("llms4ol", 4, ONTOLOGY, llms=("GPT-3", "BERT"),
+                  kgs=("WordNet",), year=2023),
+    CitedApproach("ontology-construction-lm", 29, ONTOLOGY, llms=("GPT-3",),
+                  year=2023),
+    CitedApproach("olaf", 73, ONTOLOGY, llms=("BERT",), year=2023),
+    CitedApproach("text2onto-map", 50, ONTOLOGY, llms=("BERT",), year=2023),
+    CitedApproach("event-ontology-extend", 76, ONTOLOGY, llms=("T5",), year=2023),
+    CitedApproach("enterprise-finetune", 6, ONTOLOGY, llms=("GPT-3",),
+                  kgs=("Enterprise KG",), year=2023),
+    CitedApproach("covid-kg-llm", 28, ONTOLOGY, llms=("ChatGPT",),
+                  kgs=("Wikidata",), year=2024),
+    CitedApproach("subsumption-bert", 16, ONTOLOGY, llms=("BERT",),
+                  kgs=("WordNet",), year=2023),
+    # --- KG-to-Text --------------------------------------------------------
+    CitedApproach("gap", 22, KG2TEXT, llms=("BERT",), kgs=("DBpedia",), year=2022),
+    CitedApproach("kgpt", 17, KG2TEXT, llms=("GPT-2",), kgs=("Wikidata",), year=2020),
+    CitedApproach("jointgt", 45, KG2TEXT, llms=("BART", "T5"), kgs=("DBpedia",),
+                  year=2021),
+    CitedApproach("plm-graph2text", 70, KG2TEXT, llms=("BART", "T5"),
+                  kgs=("DBpedia",), year=2020),
+    CitedApproach("fewshot-kg2text", 56, KG2TEXT, llms=("GPT-2",),
+                  kgs=("Wikidata",), year=2021),
+    # --- KG Reasoning -------------------------------------------------------
+    CitedApproach("lark", 21, REASONING, llms=("LLaMA",), kgs=("Freebase",),
+                  year=2023),
+    CitedApproach("rog", 62, REASONING, llms=("LLaMA",), kgs=("Freebase",),
+                  year=2023),
+    CitedApproach("kg-gpt", 48, REASONING, llms=("ChatGPT",), kgs=("Wikidata",),
+                  year=2023),
+    # --- KG Completion ------------------------------------------------------
+    CitedApproach("transe", 9, COMPLETION, kgs=("Freebase", "WordNet"), year=2013),
+    CitedApproach("transr", 58, COMPLETION, kgs=("Freebase", "WordNet"), year=2015),
+    CitedApproach("complex", 77, COMPLETION, kgs=("Freebase", "WordNet"), year=2016),
+    CitedApproach("kg-bert", 92, COMPLETION, llms=("BERT",),
+                  kgs=("Freebase", "WordNet"), year=2019),
+    CitedApproach("mtl-kgc", 47, COMPLETION, llms=("BERT",), kgs=("Freebase",),
+                  year=2020),
+    CitedApproach("star", 80, COMPLETION, llms=("BERT",),
+                  kgs=("Freebase", "WordNet"), year=2021),
+    CitedApproach("simkgc", 82, COMPLETION, llms=("BERT",),
+                  kgs=("Freebase", "Wikidata"), year=2022),
+    CitedApproach("kg-s2s", 15, COMPLETION, llms=("T5",), kgs=("Freebase",),
+                  year=2022),
+    CitedApproach("genkgc", 87, COMPLETION, llms=("BART",), kgs=("Freebase",),
+                  year=2022),
+    CitedApproach("kicgpt", 86, COMPLETION, llms=("ChatGPT",), kgs=("Freebase",),
+                  year=2023),
+    CitedApproach("contextual-lm-kgc", 8, COMPLETION, llms=("GPT-2",),
+                  kgs=("Freebase",), year=2021),
+    CitedApproach("semantic-embeddings-kgc", 2, COMPLETION, llms=("BERT",),
+                  kgs=("Freebase",), year=2023),
+    # --- KG Validation ------------------------------------------------------
+    CitedApproach("chatgpt-eval", 7, VALIDATION, llms=("ChatGPT",), year=2023),
+    CitedApproach("llm-misinfo-detect", 13, VALIDATION, llms=("GPT-3",), year=2023),
+    CitedApproach("combat-misinfo", 14, VALIDATION, llms=("GPT-3",), year=2023),
+    CitedApproach("factool", 19, VALIDATION, llms=("ChatGPT",), year=2023),
+    CitedApproach("factllama", 20, VALIDATION, llms=("LLaMA",), year=2023),
+    CitedApproach("chatrule", 61, VALIDATION, llms=("ChatGPT",),
+                  kgs=("Freebase", "YAGO"), year=2023),
+    # --- KG-enhanced LLM ----------------------------------------------------
+    CitedApproach("k-bert", 60, ENHANCED, llms=("BERT",), kgs=("DBpedia",),
+                  year=2020),
+    CitedApproach("sem-k-bert", 88, ENHANCED, llms=("BERT",), kgs=("DBpedia",),
+                  year=2021),
+    CitedApproach("kcf-net", 31, ENHANCED, llms=("BERT",), kgs=("ConceptNet",),
+                  year=2020),
+    CitedApproach("concept-pretrain", 44, ENHANCED, llms=("BERT",),
+                  kgs=("ConceptNet",), year=2020),
+    CitedApproach("dict-bert", 93, ENHANCED, llms=("BERT",), year=2022),
+    CitedApproach("rag-survey", 30, ENHANCED, llms=("GPT-3",), year=2023),
+    CitedApproach("knowledgegpt", 84, ENHANCED, llms=("GPT-3",),
+                  kgs=("Wikidata",), year=2023),
+    CitedApproach("graphrag", 26, ENHANCED, llms=("GPT-4",), year=2024),
+    CitedApproach("rome", 63, ENHANCED, llms=("GPT-2",), year=2022),
+    # --- KG Question Answering ----------------------------------------------
+    CitedApproach("kgel", 57, KGQA, llms=("GPT-2",), kgs=("Wikidata",), year=2023),
+    CitedApproach("aigo-qg", 1, KGQA, llms=("T5",), kgs=("Wikidata",), year=2021),
+    CitedApproach("relmkg", 10, KGQA, llms=("GPT-2", "BERT"), kgs=("Freebase",),
+                  year=2023),
+    CitedApproach("kgqa-augmented-lm", 74, KGQA, llms=("T5",), kgs=("Freebase",),
+                  year=2023),
+    CitedApproach("kaping", 5, KGQA, llms=("GPT-3",),
+                  kgs=("Freebase", "Wikidata"), year=2023),
+    CitedApproach("sgpt", 71, KGQA, llms=("GPT-2",), kgs=("DBpedia",), year=2022),
+    CitedApproach("sparqlgen", 51, KGQA, llms=("GPT-3",),
+                  kgs=("DBpedia", "Wikidata"), year=2023),
+    CitedApproach("pliukhin-subgraph", 69, KGQA, llms=("GPT-3",),
+                  kgs=("Wikidata",), year=2023),
+    CitedApproach("galois", 72, KGQA, llms=("GPT-3",), year=2023),
+    CitedApproach("chatgpt-vs-qas", 65, KGQA, llms=("ChatGPT",),
+                  kgs=("DBpedia", "Freebase"), year=2023),
+]
+
+
+def llms_in_bibliography() -> List[str]:
+    """Distinct LLM names, most cited first (ties alphabetical)."""
+    counts: Dict[str, int] = {}
+    for entry in BIBLIOGRAPHY:
+        for llm in entry.llms:
+            counts[llm] = counts.get(llm, 0) + 1
+    return sorted(counts, key=lambda name: (-counts[name], name))
+
+
+def kgs_in_bibliography() -> List[str]:
+    """Distinct KG names, most cited first (ties alphabetical)."""
+    counts: Dict[str, int] = {}
+    for entry in BIBLIOGRAPHY:
+        for kg in entry.kgs:
+            counts[kg] = counts.get(kg, 0) + 1
+    return sorted(counts, key=lambda name: (-counts[name], name))

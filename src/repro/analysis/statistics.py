@@ -1,0 +1,78 @@
+"""Figure 2: statistics of LLM and KG usage in the cited approaches.
+
+The figure plots, per category, how often each LLM and each KG appears in
+the reviewed literature; the text reports the headline findings — Freebase
+is the most common KG, BERT and GPT-3 the most frequent LLMs — which the
+``figure2`` output reproduces from the embedded bibliography.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.bibliography import BIBLIOGRAPHY, CitedApproach
+
+
+def usage_counts(entries: Optional[Sequence[CitedApproach]] = None
+                 ) -> Tuple[Counter, Counter]:
+    """(LLM usage counter, KG usage counter) over the bibliography."""
+    entries = BIBLIOGRAPHY if entries is None else entries
+    llms: Counter = Counter()
+    kgs: Counter = Counter()
+    for entry in entries:
+        llms.update(entry.llms)
+        kgs.update(entry.kgs)
+    return llms, kgs
+
+
+def usage_by_category(entries: Optional[Sequence[CitedApproach]] = None
+                      ) -> Dict[str, Tuple[Counter, Counter]]:
+    """Per-category (LLM counter, KG counter) — the x-axis groups of Fig. 2."""
+    entries = BIBLIOGRAPHY if entries is None else entries
+    out: Dict[str, Tuple[Counter, Counter]] = {}
+    for entry in entries:
+        llms, kgs = out.setdefault(entry.category, (Counter(), Counter()))
+        llms.update(entry.llms)
+        kgs.update(entry.kgs)
+    return out
+
+
+def most_common(counter: Counter, n: int = 3) -> List[Tuple[str, int]]:
+    """Top-n with deterministic alphabetical tie-breaking."""
+    return sorted(counter.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+
+
+def figure2(entries: Optional[Sequence[CitedApproach]] = None) -> Dict[str, object]:
+    """The full Figure-2 payload: overall and per-category histograms plus
+    the headline findings stated in §5.1."""
+    llms, kgs = usage_counts(entries)
+    per_category = usage_by_category(entries)
+    top_llms = most_common(llms, n=2)
+    top_kgs = most_common(kgs, n=1)
+    return {
+        "llm_usage": dict(sorted(llms.items(), key=lambda kv: (-kv[1], kv[0]))),
+        "kg_usage": dict(sorted(kgs.items(), key=lambda kv: (-kv[1], kv[0]))),
+        "per_category": {
+            category: {
+                "llms": dict(sorted(c_llms.items(), key=lambda kv: (-kv[1], kv[0]))),
+                "kgs": dict(sorted(c_kgs.items(), key=lambda kv: (-kv[1], kv[0]))),
+            }
+            for category, (c_llms, c_kgs) in sorted(per_category.items())
+        },
+        "most_used_kg": top_kgs[0][0] if top_kgs else None,
+        "most_used_llms": [name for name, _ in top_llms],
+    }
+
+
+def render_figure2(entries: Optional[Sequence[CitedApproach]] = None) -> str:
+    """An ASCII bar-chart rendering of Figure 2 for benchmark output."""
+    llms, kgs = usage_counts(entries)
+    lines = ["Figure 2 — usage of LLMs and KGs in cited papers"]
+    lines.append("LLMs:")
+    for name, count in sorted(llms.items(), key=lambda kv: (-kv[1], kv[0])):
+        lines.append(f"  {name:<10} {'#' * count} ({count})")
+    lines.append("KGs:")
+    for name, count in sorted(kgs.items(), key=lambda kv: (-kv[1], kv[0])):
+        lines.append(f"  {name:<14} {'#' * count} ({count})")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Table 1: categorizations addressed by previous survey papers vs. this one.
+
+The matrix is transcribed from the paper. Columns are the four earlier
+surveys — Pan et al. [68], Pan et al. [67], Hu et al. [41], Yang et al.
+[90] — plus this survey. The rows unique to this survey (validation and the
+KGQA subtopics) are exactly the starred topics of Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Survey column labels, in the paper's order.
+SURVEY_COLUMNS = ["[68]", "[67]", "[41]", "[90]", "ours"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One (main category, subcategory) row of the coverage matrix."""
+
+    main_category: str
+    subcategory: str
+    coverage: Tuple[bool, bool, bool, bool, bool]  # aligned with SURVEY_COLUMNS
+
+    def covered_by(self, column: str) -> bool:
+        """Whether the given survey column covers this topic."""
+        return self.coverage[SURVEY_COLUMNS.index(column)]
+
+
+TABLE1: List[Table1Row] = [
+    Table1Row("KG Construction", "Relation and Attribute Extraction",
+              (True, True, False, False, True)),
+    Table1Row("KG Construction", "Entity Extraction and Alignment",
+              (True, True, False, False, True)),
+    Table1Row("KG Construction", "Event Detection or Extraction",
+              (False, False, False, False, False)),
+    Table1Row("KG Construction", "Ontology Creation",
+              (False, True, False, False, True)),
+    Table1Row("KG-to-Text Generation", "KG-to-Text Generation",
+              (True, False, False, False, True)),
+    Table1Row("KG Reasoning", "KG Reasoning",
+              (True, True, False, False, True)),
+    Table1Row("KG Completion", "Entity, Relation and Triple Classification",
+              (True, True, False, False, True)),
+    Table1Row("KG Completion", "Entity Prediction",
+              (True, True, False, False, True)),
+    Table1Row("KG Completion", "Relation Prediction",
+              (False, True, False, False, True)),
+    Table1Row("KG Embedding", "KG Embedding",
+              (True, False, False, False, True)),
+    Table1Row("KG-enhanced LLM", "KG-enhanced LLM",
+              (True, True, True, True, True)),
+    Table1Row("KG Validation", "Fact Checking",
+              (False, False, False, False, True)),
+    Table1Row("KG Validation", "Inconsistency Detection",
+              (False, False, False, False, True)),
+    Table1Row("KG Question Answering", "Complex Question Answering",
+              (False, False, False, False, True)),
+    Table1Row("KG Question Answering", "Multi-Hop Question Generation",
+              (False, False, False, False, True)),
+    Table1Row("KG Question Answering", "Knowledge Graph Chatbots",
+              (False, False, False, False, True)),
+    Table1Row("KG Question Answering", "Query Generation from natural text",
+              (False, False, False, False, True)),
+    Table1Row("KG Question Answering",
+              "Querying Large Language Models with SPARQL",
+              (False, False, False, False, True)),
+]
+
+
+def render_table1() -> str:
+    """The coverage matrix as aligned text (✓/✗ like the paper)."""
+    main_width = max(len(row.main_category) for row in TABLE1)
+    sub_width = max(len(row.subcategory) for row in TABLE1)
+    header = (f"{'Main Category':<{main_width}} | {'Subcategory':<{sub_width}} | "
+              + " | ".join(f"{c:<5}" for c in SURVEY_COLUMNS))
+    lines = ["Table 1 — categorizations addressed by previous survey papers",
+             header, "-" * len(header)]
+    for row in TABLE1:
+        marks = " | ".join(f"{'✓' if covered else '✗':<5}"
+                           for covered in row.coverage)
+        lines.append(f"{row.main_category:<{main_width}} | "
+                     f"{row.subcategory:<{sub_width}} | {marks}")
+    return "\n".join(lines)
+
+
+def unique_to_this_survey() -> List[Table1Row]:
+    """Rows covered only by this survey — the claimed novel coverage."""
+    return [row for row in TABLE1
+            if row.coverage[4] and not any(row.coverage[:4])]
+
+
+def coverage_totals() -> Dict[str, int]:
+    """Topics covered per survey column — 'ours' must be the maximum."""
+    return {
+        column: sum(1 for row in TABLE1 if row.covered_by(column))
+        for column in SURVEY_COLUMNS
+    }

@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``stats <dataset>``              dataset statistics
+``query <dataset> <sparql>``     run a SPARQL query
+``cypher <dataset> <query>``     run a Cypher query
+``ask <dataset> <question>``     KGQA via the path-reasoning system
+``check <dataset> <statement>``  fact-check a statement against the KG
+``validate <dataset>``           consistency-check the KG
+``chat <dataset>``               interactive chatbot (reads stdin)
+``table1`` / ``figure2``         print the paper's artifacts
+``datasets``                     list available datasets
+
+Datasets are the seeded generators of :mod:`repro.kg.datasets`
+(``encyclopedia``, ``family``, ``movie``, ``covid``, ``enterprise``);
+``--seed`` selects the generation seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.kg.datasets import DATASET_BUILDERS, Dataset
+
+
+def _build_dataset(name: str, seed: int) -> Dataset:
+    try:
+        builder = DATASET_BUILDERS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown dataset {name!r}; available: "
+            f"{', '.join(sorted(DATASET_BUILDERS))}")
+    return builder(seed=seed)
+
+
+def _render_rows(rows, dataset: Dataset) -> str:
+    if isinstance(rows, bool):
+        return "yes" if rows else "no"
+    if not rows:
+        return "(no results)"
+    lines = []
+    for row in rows:
+        cells = []
+        for name, value in sorted(row.items()):
+            label = dataset.kg.label(value)
+            cells.append(f"?{name}={label}")
+        lines.append("  " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def cmd_datasets(args) -> int:
+    for name in sorted(DATASET_BUILDERS):
+        print(name)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    ds = _build_dataset(args.dataset, args.seed)
+    stats = ds.stats()
+    print(f"dataset: {ds.name} (seed={ds.seed})")
+    for key, value in stats.items():
+        print(f"  {key}: {value}")
+    print(f"  classes: {len(ds.ontology.classes)}")
+    print(f"  properties: {len(ds.ontology.properties)}")
+    return 0
+
+
+def cmd_query(args) -> int:
+    from repro.sparql import SparqlEngine, SparqlParseError
+    ds = _build_dataset(args.dataset, args.seed)
+    engine = SparqlEngine(ds.kg.store)
+    try:
+        rows = engine.execute(args.query)
+    except SparqlParseError as exc:
+        print(f"parse error: {exc}", file=sys.stderr)
+        return 2
+    print(_render_rows(rows, ds))
+    return 0
+
+
+def cmd_cypher(args) -> int:
+    from repro.sparql import CypherEngine
+    from repro.sparql.cypher import CypherParseError
+    ds = _build_dataset(args.dataset, args.seed)
+    try:
+        rows = CypherEngine(ds.kg.store).execute(args.query)
+    except CypherParseError as exc:
+        print(f"parse error: {exc}", file=sys.stderr)
+        return 2
+    print(_render_rows(rows, ds))
+    return 0
+
+
+def cmd_ask(args) -> int:
+    from repro.llm import load_model
+    from repro.qa.multihop import ReLMKGQA
+    ds = _build_dataset(args.dataset, args.seed)
+    llm = load_model(args.model, world=ds.kg, seed=args.seed)
+    answers = ReLMKGQA(llm, ds.kg).answer(args.question)
+    if answers:
+        print(", ".join(sorted(ds.kg.label(a) for a in answers)))
+    else:
+        print("(no answer found)")
+    return 0
+
+
+def cmd_check(args) -> int:
+    from repro.llm import load_model
+    from repro.validation import ToolAugmentedFactChecker
+    ds = _build_dataset(args.dataset, args.seed)
+    llm = load_model(args.model, world=ds.kg, seed=args.seed)
+    verdict = ToolAugmentedFactChecker(llm, ds.kg).check(args.statement)
+    print({True: "true", False: "false", None: "unknown"}[verdict])
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.validation import ConstraintChecker
+    ds = _build_dataset(args.dataset, args.seed)
+    violations = ConstraintChecker(ds.ontology).check(ds.kg)
+    if not violations:
+        print("consistent: no violations found")
+        return 0
+    for violation in violations:
+        print(f"[{violation.kind}] {violation.detail}")
+        for triple in violation.triples:
+            print(f"    {triple.n3()}")
+    return 1
+
+
+def cmd_chat(args) -> int:
+    from repro.llm import load_model
+    from repro.qa import KGChatbot
+    from repro.qa.multihop import ReLMKGQA
+    ds = _build_dataset(args.dataset, args.seed)
+    llm = load_model(args.model, world=ds.kg, seed=args.seed)
+    bot = KGChatbot(llm, ds.kg, ReLMKGQA(llm, ds.kg))
+    print(f"chatting over {ds.name} — empty line or EOF to quit")
+    for line in sys.stdin:
+        message = line.strip()
+        if not message:
+            break
+        turn = bot.chat(message)
+        print(f"[{turn.intent}] {turn.reply}")
+    return 0
+
+
+def cmd_export(args) -> int:
+    ds = _build_dataset(args.dataset, args.seed)
+    format = "ttl" if args.path.endswith(".ttl") else "nt"
+    prefixes = {"ex": "http://repro.dev/kg/", "s": "http://repro.dev/schema/"}
+    ds.kg.save(args.path, format=format, prefixes=prefixes)
+    print(f"wrote {len(ds.kg)} triples to {args.path} ({format})")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.analysis import render_table1
+    print(render_table1())
+    return 0
+
+
+def cmd_figure2(args) -> int:
+    from repro.analysis.statistics import render_figure2
+    print(render_figure2())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LLM ⟷ KG interplay toolkit")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="dataset/model seed (default 0)")
+    parser.add_argument("--model", default="chatgpt",
+                        help="simulated model profile (default chatgpt)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list dataset generators")
+    p = sub.add_parser("stats", help="dataset statistics")
+    p.add_argument("dataset")
+    p = sub.add_parser("query", help="run a SPARQL query")
+    p.add_argument("dataset")
+    p.add_argument("query")
+    p = sub.add_parser("cypher", help="run a Cypher query")
+    p.add_argument("dataset")
+    p.add_argument("query")
+    p = sub.add_parser("ask", help="answer a question over the KG")
+    p.add_argument("dataset")
+    p.add_argument("question")
+    p = sub.add_parser("check", help="fact-check a statement")
+    p.add_argument("dataset")
+    p.add_argument("statement")
+    p = sub.add_parser("validate", help="consistency-check the KG")
+    p.add_argument("dataset")
+    p = sub.add_parser("export", help="write the KG to an .nt or .ttl file")
+    p.add_argument("dataset")
+    p.add_argument("path")
+    p = sub.add_parser("chat", help="interactive chatbot (stdin)")
+    p.add_argument("dataset")
+    sub.add_parser("table1", help="print the paper's Table 1")
+    sub.add_parser("figure2", help="print the paper's Figure 2")
+    return parser
+
+
+_HANDLERS = {
+    "datasets": cmd_datasets,
+    "stats": cmd_stats,
+    "query": cmd_query,
+    "cypher": cmd_cypher,
+    "ask": cmd_ask,
+    "check": cmd_check,
+    "validate": cmd_validate,
+    "export": cmd_export,
+    "chat": cmd_chat,
+    "table1": cmd_table1,
+    "figure2": cmd_figure2,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""KG Completion and KG Embedding (survey §2.4–2.5).
+
+Structural embedding models (:mod:`embeddings`: TransE, DistMult, ComplEx,
+RotatE — numpy SGD with negative sampling), text-based completion methods
+(:mod:`text_based`: KG-BERT cross-encoder, SimKGC bi-encoder, StAR ensemble,
+GenKGC seq2seq, training-free KICGPT reranking), and the evaluation
+harnesses (:mod:`tasks`: link prediction with filtered ranking, triple
+classification, entity typing).
+"""
+
+from repro.completion.embeddings import (
+    TransE, DistMult, ComplEx, RotatE, KGEmbeddingModel, EMBEDDING_MODELS,
+)
+from repro.completion.text_based import (
+    KGBertScorer, SimKGCScorer, StARScorer, GenKGCCompleter, KICGPTReranker,
+)
+from repro.completion.transfer import LLMInitializedTransE, low_data_comparison
+from repro.completion.biencoder import TrainedBiEncoder
+from repro.completion.tasks import (
+    CompletionSplit, LinkPredictionTask, TripleClassificationTask,
+    RelationPredictionTask, EntityTypingTask, make_split,
+)
+
+__all__ = [
+    "TransE", "DistMult", "ComplEx", "RotatE", "KGEmbeddingModel",
+    "EMBEDDING_MODELS",
+    "KGBertScorer", "SimKGCScorer", "StARScorer", "GenKGCCompleter",
+    "KICGPTReranker",
+    "LLMInitializedTransE", "low_data_comparison", "TrainedBiEncoder",
+    "CompletionSplit", "LinkPredictionTask", "TripleClassificationTask",
+    "RelationPredictionTask", "EntityTypingTask", "make_split",
+]

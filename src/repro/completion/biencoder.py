@@ -1,0 +1,178 @@
+"""A trained contrastive bi-encoder with SimKGC's three negative types.
+
+:class:`SimKGCScorer` (in :mod:`text_based`) uses a closed-form relation
+offset; this module implements the *training* story of the SimKGC paper:
+a learned linear projection over the text space optimized with an InfoNCE
+loss whose negatives come from the paper's three sources —
+
+* **in-batch** negatives: other tails in the same minibatch,
+* **pre-batch** negatives: tails cached from the previous minibatches,
+* **self** negatives: the head entity itself (stops the encoder from
+  degenerating into "answer = the query's own tokens").
+
+The E-NEGATIVES ablation benchmark sweeps which sources are enabled and
+shows the paper's finding: more (and more diverse) negatives → better
+ranking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triples import IRI, Triple
+from repro.llm.embedding import TextEncoder
+
+
+class TrainedBiEncoder:
+    """InfoNCE-trained bi-encoder for tail ranking.
+
+    The query side encodes ``head text ⊕ relation phrase`` through a learned
+    square projection ``W``; the candidate side encodes entity text
+    unprojected. Scores are cosine similarities; training pulls the gold
+    tail above the enabled negative sets.
+    """
+
+    def __init__(self, kg: KnowledgeGraph, encoder: Optional[TextEncoder] = None,
+                 in_batch: bool = True, pre_batch: bool = False,
+                 self_negatives: bool = False, batch_size: int = 16,
+                 pre_batch_size: int = 32, learning_rate: float = 0.2,
+                 temperature: float = 0.1, seed: int = 0,
+                 context_neighbours: int = 5):
+        self.kg = kg
+        self.encoder = encoder or TextEncoder(dim=96)
+        self.in_batch = in_batch
+        self.pre_batch = pre_batch
+        self.self_negatives = self_negatives
+        self.batch_size = batch_size
+        self.pre_batch_size = pre_batch_size
+        self.learning_rate = learning_rate
+        self.temperature = temperature
+        self.seed = seed
+        self.context_neighbours = context_neighbours
+        dim = self.encoder.dim
+        self.projection = np.eye(dim)
+        self._entity_cache: Dict[IRI, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Text sides
+    # ------------------------------------------------------------------
+    def _entity_vector(self, entity: IRI) -> np.ndarray:
+        vector = self._entity_cache.get(entity)
+        if vector is None:
+            parts = [self.kg.label(entity)]
+            for cls in self.kg.types(entity):
+                parts.append(self.kg.label(cls))
+            count = 0
+            for _, neighbour, _ in self.kg.neighbours(entity):
+                if isinstance(neighbour, IRI):
+                    parts.append(self.kg.label(neighbour))
+                    count += 1
+                    if count >= self.context_neighbours:
+                        break
+            vector = self.encoder.encode(" ".join(parts))
+            self._entity_cache[entity] = vector
+        return vector
+
+    def _query_vector(self, head: IRI, relation: IRI) -> np.ndarray:
+        text = f"{self.kg.label(head)} {self.kg.label(relation)}"
+        return self.encoder.encode(text)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, triples: Sequence[Triple], epochs: int = 20) -> "TrainedBiEncoder":
+        """Optimize the projection with InfoNCE over the enabled negatives."""
+        data = [(t.subject, t.predicate, t.object) for t in triples
+                if isinstance(t.object, IRI)]
+        if not data:
+            raise ValueError("no trainable (IRI-object) triples")
+        rng = np.random.default_rng(self.seed)
+        dim = self.encoder.dim
+        pre_batch_tails: List[np.ndarray] = []
+        for _ in range(epochs):
+            order = rng.permutation(len(data))
+            for start in range(0, len(data), self.batch_size):
+                batch = [data[i] for i in order[start:start + self.batch_size]]
+                if len(batch) < 2:
+                    continue
+                queries = np.stack([self._query_vector(h, r)
+                                    for h, r, _ in batch])
+                tails = np.stack([self._entity_vector(t) for _, _, t in batch])
+                negatives = []
+                if self.pre_batch and pre_batch_tails:
+                    negatives.append(np.stack(pre_batch_tails))
+                if self.self_negatives:
+                    negatives.append(np.stack([self._entity_vector(h)
+                                               for h, _, _ in batch]))
+                self._step(queries, tails, negatives)
+                if self.pre_batch:
+                    for row in tails:
+                        pre_batch_tails.append(row)
+                    pre_batch_tails = pre_batch_tails[-self.pre_batch_size:]
+        return self
+
+    def _step(self, queries: np.ndarray, tails: np.ndarray,
+              extra_negatives: List[np.ndarray]) -> None:
+        projected = queries @ self.projection                  # (B, d)
+        candidates = tails                                     # (B, d)
+        if not self.in_batch:
+            # Without in-batch negatives each row only sees its gold tail
+            # plus the extra sets; emulate by masking cross terms later.
+            pass
+        all_candidates = [candidates] + extra_negatives
+        candidate_matrix = np.concatenate(all_candidates, axis=0)  # (C, d)
+        # Cosine similarity logits.
+        q_norm = np.linalg.norm(projected, axis=1, keepdims=True)
+        q_norm[q_norm == 0] = 1.0
+        c_norm = np.linalg.norm(candidate_matrix, axis=1, keepdims=True)
+        c_norm[c_norm == 0] = 1.0
+        q_hat = projected / q_norm
+        c_hat = candidate_matrix / c_norm
+        logits = (q_hat @ c_hat.T) / self.temperature          # (B, C)
+        batch = queries.shape[0]
+        if not self.in_batch:
+            # Mask other in-batch tails (keep the diagonal gold + extras).
+            mask = np.full(logits.shape, -1e9)
+            mask[np.arange(batch), np.arange(batch)] = 0.0
+            if logits.shape[1] > batch:
+                mask[:, batch:] = 0.0
+            logits = logits + mask
+        logits -= logits.max(axis=1, keepdims=True)
+        exp = np.exp(logits)
+        probabilities = exp / exp.sum(axis=1, keepdims=True)   # (B, C)
+        gold = np.zeros_like(probabilities)
+        gold[np.arange(batch), np.arange(batch)] = 1.0
+        # Gradient of InfoNCE w.r.t. q_hat, chained through the projection
+        # (treating the normalization as locally constant — the standard
+        # simplification for a shallow model).
+        grad_q_hat = (probabilities - gold) @ c_hat / self.temperature  # (B, d)
+        grad_projection = queries.T @ (grad_q_hat / q_norm)
+        self.projection -= self.learning_rate * grad_projection / batch
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def score(self, triple: Triple) -> float:
+        """Cosine of the projected query against the tail encoding."""
+        if not isinstance(triple.object, IRI):
+            return float("-inf")
+        query = self._query_vector(triple.subject, triple.predicate) @ self.projection
+        candidate = self._entity_vector(triple.object)
+        qn = np.linalg.norm(query) or 1.0
+        cn = np.linalg.norm(candidate) or 1.0
+        return float(query @ candidate / (qn * cn))
+
+    def score_tails(self, head: IRI, relation: IRI,
+                    candidates: Sequence[IRI]) -> List[float]:
+        """Vectorized candidate scoring."""
+        query = self._query_vector(head, relation) @ self.projection
+        qn = np.linalg.norm(query) or 1.0
+        out = []
+        for candidate in candidates:
+            vector = self._entity_vector(candidate)
+            cn = np.linalg.norm(vector) or 1.0
+            out.append(float(query @ vector / (qn * cn)))
+        return out

@@ -1,0 +1,347 @@
+"""Structural KG embedding models: TransE, DistMult, ComplEx, RotatE.
+
+Faithful (small-scale) implementations: margin/softplus losses, uniform
+negative sampling, seeded numpy SGD. These are the triple-based methods the
+survey contrasts with text-based completion — they only see the training
+triples, so entities that are sparsely connected in training rank poorly,
+which is exactly the weakness the text-aware methods exploit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.kg.triples import IRI, Triple
+
+
+class KGEmbeddingModel:
+    """Base class: vocabulary handling, SGD loop, negative sampling.
+
+    Subclasses implement :meth:`_score_ids` (higher = more plausible) and
+    :meth:`_gradient_step`.
+    """
+
+    def __init__(self, dim: int = 32, learning_rate: float = 0.05,
+                 margin: float = 1.0, seed: int = 0):
+        self.dim = dim
+        self.learning_rate = learning_rate
+        self.margin = margin
+        self.seed = seed
+        self.entity_index: Dict[IRI, int] = {}
+        self.relation_index: Dict[IRI, int] = {}
+        self.entity_vectors: Optional[np.ndarray] = None
+        self.relation_vectors: Optional[np.ndarray] = None
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Vocabulary
+    # ------------------------------------------------------------------
+    def _build_vocab(self, triples: Sequence[Triple],
+                     extra_entities: Iterable[IRI] = ()) -> None:
+        for triple in triples:
+            self.entity_index.setdefault(triple.subject, len(self.entity_index))
+            if isinstance(triple.object, IRI):
+                self.entity_index.setdefault(triple.object, len(self.entity_index))
+            self.relation_index.setdefault(triple.predicate, len(self.relation_index))
+        for entity in extra_entities:
+            self.entity_index.setdefault(entity, len(self.entity_index))
+
+    def _init_vectors(self) -> None:
+        bound = 6.0 / math.sqrt(self.dim)
+        self.entity_vectors = self._rng.uniform(
+            -bound, bound, (len(self.entity_index), self._entity_width()))
+        self.relation_vectors = self._rng.uniform(
+            -bound, bound, (len(self.relation_index), self._relation_width()))
+
+    def _entity_width(self) -> int:
+        return self.dim
+
+    def _relation_width(self) -> int:
+        return self.dim
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, triples: Sequence[Triple], epochs: int = 100,
+            extra_entities: Iterable[IRI] = (),
+            negatives_per_positive: int = 4) -> "KGEmbeddingModel":
+        """Train on entity-object triples with uniform negative sampling.
+
+        ``negatives_per_positive`` corruptions are drawn per positive per
+        epoch (half tail-corrupted, half head-corrupted on average).
+        """
+        triples = [t for t in triples if isinstance(t.object, IRI)]
+        if not triples:
+            raise ValueError("no trainable (IRI-object) triples")
+        self._build_vocab(triples, extra_entities)
+        self._init_vectors()
+        ids = np.array([
+            (self.entity_index[t.subject], self.relation_index[t.predicate],
+             self.entity_index[t.object])
+            for t in triples
+        ], dtype=np.int64)
+        n_entities = len(self.entity_index)
+        k = max(1, negatives_per_positive)
+        for _ in range(epochs):
+            order = self._rng.permutation(len(ids))
+            corrupt_tail = self._rng.random((len(ids), k)) < 0.5
+            corrupt_ids = self._rng.integers(0, n_entities, (len(ids), k))
+            for position in order:
+                h, r, t = ids[position]
+                for j in range(k):
+                    if corrupt_tail[position, j]:
+                        h_neg, t_neg = h, int(corrupt_ids[position, j])
+                    else:
+                        h_neg, t_neg = int(corrupt_ids[position, j]), t
+                    if (h_neg, r, t_neg) == (h, r, t):
+                        continue
+                    self._gradient_step(h, r, t, h_neg, t_neg)
+            self._post_epoch()
+        return self
+
+    def _post_epoch(self) -> None:
+        """Hook: e.g. entity-vector normalization (TransE)."""
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def score(self, triple: Triple) -> float:
+        """Plausibility of a triple (higher = better). Unknown vocabulary
+        scores -inf so it ranks last."""
+        if self.entity_vectors is None:
+            raise RuntimeError("model is not trained; call fit() first")
+        h = self.entity_index.get(triple.subject)
+        r = self.relation_index.get(triple.predicate)
+        t = self.entity_index.get(triple.object) if isinstance(triple.object, IRI) else None
+        if h is None or r is None or t is None:
+            return float("-inf")
+        return self._score_ids(h, r, t)
+
+    def score_tails(self, head: IRI, relation: IRI,
+                    candidates: Sequence[IRI]) -> List[float]:
+        """Scores of (head, relation, c) for every candidate tail."""
+        return [self.score(Triple(head, relation, c)) for c in candidates]
+
+    def _score_ids(self, h: int, r: int, t: int) -> float:
+        raise NotImplementedError
+
+    def _gradient_step(self, h: int, r: int, t: int,
+                       h_neg: int, t_neg: int) -> None:
+        raise NotImplementedError
+
+
+class TransE(KGEmbeddingModel):
+    """Bordes et al. 2013: ``h + r ≈ t`` under the L2 norm."""
+
+    def _score_ids(self, h: int, r: int, t: int) -> float:
+        diff = self.entity_vectors[h] + self.relation_vectors[r] - self.entity_vectors[t]
+        return -float(np.linalg.norm(diff))
+
+    def _gradient_step(self, h, r, t, h_neg, t_neg):
+        pos = -self._score_ids(h, r, t)
+        neg = -self._score_ids(h_neg, r, t_neg)
+        if pos + self.margin <= neg:
+            return  # margin satisfied
+        lr = self.learning_rate
+
+        def l2_grad(hh, tt):
+            diff = self.entity_vectors[hh] + self.relation_vectors[r] - self.entity_vectors[tt]
+            norm = np.linalg.norm(diff)
+            return diff / norm if norm > 1e-9 else diff
+
+        grad_pos = l2_grad(h, t)
+        grad_neg = l2_grad(h_neg, t_neg)
+        self.entity_vectors[h] -= lr * grad_pos
+        self.entity_vectors[t] += lr * grad_pos
+        self.relation_vectors[r] -= lr * (grad_pos - grad_neg)
+        self.entity_vectors[h_neg] += lr * grad_neg
+        self.entity_vectors[t_neg] -= lr * grad_neg
+
+    def _post_epoch(self) -> None:
+        norms = np.linalg.norm(self.entity_vectors, axis=1, keepdims=True)
+        norms[norms < 1.0] = 1.0
+        self.entity_vectors /= norms
+
+
+class DistMult(KGEmbeddingModel):
+    """Bilinear diagonal model: score = <h, r, t>.
+
+    Entity vectors are norm-capped after each epoch (the standard DistMult
+    constraint) and the default learning rate is higher than TransE's —
+    the logistic loss needs it at this scale.
+    """
+
+    def __init__(self, dim: int = 32, learning_rate: float = 0.1,
+                 margin: float = 1.0, seed: int = 0):
+        super().__init__(dim=dim, learning_rate=learning_rate,
+                         margin=margin, seed=seed)
+
+    def _post_epoch(self) -> None:
+        norms = np.linalg.norm(self.entity_vectors, axis=1, keepdims=True)
+        norms[norms < 1.0] = 1.0
+        self.entity_vectors /= norms
+
+    def _score_ids(self, h, r, t):
+        return float(np.sum(self.entity_vectors[h] * self.relation_vectors[r]
+                            * self.entity_vectors[t]))
+
+    def _gradient_step(self, h, r, t, h_neg, t_neg):
+        lr = self.learning_rate
+
+        def step(hh, rr, tt, label):
+            score = self._score_ids(hh, rr, tt)
+            # logistic loss gradient: σ(score) - label
+            sigmoid = 1.0 / (1.0 + math.exp(-max(-30.0, min(30.0, score))))
+            coeff = (sigmoid - label) * lr
+            e_h = self.entity_vectors[hh].copy()
+            e_t = self.entity_vectors[tt].copy()
+            rel = self.relation_vectors[rr].copy()
+            self.entity_vectors[hh] -= coeff * rel * e_t
+            self.relation_vectors[rr] -= coeff * e_h * e_t
+            self.entity_vectors[tt] -= coeff * e_h * rel
+
+        step(h, r, t, 1.0)
+        step(h_neg, r, t_neg, 0.0)
+
+
+class ComplEx(KGEmbeddingModel):
+    """Trouillon et al. 2016: complex-valued bilinear model.
+
+    Vectors are stored as [real | imaginary] halves of width ``2 * dim``.
+    Entity vectors are norm-capped per epoch, like DistMult.
+    """
+
+    def __init__(self, dim: int = 32, learning_rate: float = 0.1,
+                 margin: float = 1.0, seed: int = 0):
+        super().__init__(dim=dim, learning_rate=learning_rate,
+                         margin=margin, seed=seed)
+
+    def _post_epoch(self) -> None:
+        norms = np.linalg.norm(self.entity_vectors, axis=1, keepdims=True)
+        norms[norms < 1.0] = 1.0
+        self.entity_vectors /= norms
+
+    def _entity_width(self) -> int:
+        return 2 * self.dim
+
+    def _relation_width(self) -> int:
+        return 2 * self.dim
+
+    def _split(self, vector: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        return vector[: self.dim], vector[self.dim:]
+
+    def _score_ids(self, h, r, t):
+        h_re, h_im = self._split(self.entity_vectors[h])
+        r_re, r_im = self._split(self.relation_vectors[r])
+        t_re, t_im = self._split(self.entity_vectors[t])
+        return float(
+            np.sum(r_re * h_re * t_re) + np.sum(r_re * h_im * t_im)
+            + np.sum(r_im * h_re * t_im) - np.sum(r_im * h_im * t_re)
+        )
+
+    def _gradient_step(self, h, r, t, h_neg, t_neg):
+        lr = self.learning_rate
+
+        def step(hh, rr, tt, label):
+            score = self._score_ids(hh, rr, tt)
+            sigmoid = 1.0 / (1.0 + math.exp(-max(-30.0, min(30.0, score))))
+            coeff = (sigmoid - label) * lr
+            h_re, h_im = self._split(self.entity_vectors[hh].copy())
+            r_re, r_im = self._split(self.relation_vectors[rr].copy())
+            t_re, t_im = self._split(self.entity_vectors[tt].copy())
+            grad_h_re = r_re * t_re + r_im * t_im
+            grad_h_im = r_re * t_im - r_im * t_re
+            grad_r_re = h_re * t_re + h_im * t_im
+            grad_r_im = h_re * t_im - h_im * t_re
+            grad_t_re = r_re * h_re - r_im * h_im
+            grad_t_im = r_re * h_im + r_im * h_re
+            self.entity_vectors[hh] -= coeff * np.concatenate([grad_h_re, grad_h_im])
+            self.relation_vectors[rr] -= coeff * np.concatenate([grad_r_re, grad_r_im])
+            self.entity_vectors[tt] -= coeff * np.concatenate([grad_t_re, grad_t_im])
+
+        step(h, r, t, 1.0)
+        step(h_neg, r, t_neg, 0.0)
+
+
+class RotatE(KGEmbeddingModel):
+    """Relations as rotations in the complex plane: ``t ≈ h ∘ e^{iθ_r}``.
+
+    Entities are complex ([real | imaginary]); relations store phase angles.
+    Trained with a margin loss on the rotation distance; entity vectors are
+    norm-capped per epoch and the default learning rate matches DistMult's.
+    """
+
+    def __init__(self, dim: int = 32, learning_rate: float = 0.1,
+                 margin: float = 1.0, seed: int = 0):
+        super().__init__(dim=dim, learning_rate=learning_rate,
+                         margin=margin, seed=seed)
+
+    def _entity_width(self) -> int:
+        return 2 * self.dim
+
+    def _relation_width(self) -> int:
+        return self.dim  # phases
+
+    def _distance(self, h: int, r: int, t: int) -> float:
+        h_re = self.entity_vectors[h][: self.dim]
+        h_im = self.entity_vectors[h][self.dim:]
+        t_re = self.entity_vectors[t][: self.dim]
+        t_im = self.entity_vectors[t][self.dim:]
+        phase = self.relation_vectors[r]
+        rot_re = h_re * np.cos(phase) - h_im * np.sin(phase)
+        rot_im = h_re * np.sin(phase) + h_im * np.cos(phase)
+        return float(np.linalg.norm(rot_re - t_re) + np.linalg.norm(rot_im - t_im))
+
+    def _score_ids(self, h, r, t):
+        return -self._distance(h, r, t)
+
+    def _gradient_step(self, h, r, t, h_neg, t_neg):
+        if self._distance(h, r, t) + self.margin <= self._distance(h_neg, r, t_neg):
+            return
+        lr = self.learning_rate
+        h_re = self.entity_vectors[h][: self.dim]
+        h_im = self.entity_vectors[h][self.dim:]
+        t_re = self.entity_vectors[t][: self.dim]
+        t_im = self.entity_vectors[t][self.dim:]
+        phase = self.relation_vectors[r]
+        cos, sin = np.cos(phase), np.sin(phase)
+        rot_re = h_re * cos - h_im * sin
+        rot_im = h_re * sin + h_im * cos
+        back_re = rot_re - t_re
+        back_im = rot_im - t_im
+        # Pull the rotated head and the tail together...
+        self.entity_vectors[t][: self.dim] += lr * back_re
+        self.entity_vectors[t][self.dim:] += lr * back_im
+        self.entity_vectors[h][: self.dim] -= lr * (back_re * cos + back_im * sin)
+        self.entity_vectors[h][self.dim:] -= lr * (-back_re * sin + back_im * cos)
+        # ...and rotate the relation phase toward alignment:
+        # ∂(½‖rot−t‖²)/∂θ = (rot_re−t_re)·(−rot_im) + (rot_im−t_im)·rot_re.
+        self.relation_vectors[r] -= lr * (-back_re * rot_im + back_im * rot_re)
+        # Push the negative pair apart (half strength).
+        n_re = self.entity_vectors[h_neg][: self.dim]
+        n_im = self.entity_vectors[h_neg][self.dim:]
+        rot_n_re = n_re * cos - n_im * sin
+        rot_n_im = n_re * sin + n_im * cos
+        neg_re = rot_n_re - self.entity_vectors[t_neg][: self.dim]
+        neg_im = rot_n_im - self.entity_vectors[t_neg][self.dim:]
+        self.entity_vectors[t_neg][: self.dim] -= lr * 0.5 * neg_re
+        self.entity_vectors[t_neg][self.dim:] -= lr * 0.5 * neg_im
+        self.relation_vectors[r] += lr * 0.5 * (
+            -neg_re * rot_n_im + neg_im * rot_n_re)
+
+    def _post_epoch(self) -> None:
+        norms = np.linalg.norm(self.entity_vectors, axis=1, keepdims=True)
+        norms[norms < 1.0] = 1.0
+        self.entity_vectors /= norms
+
+
+#: Registry used by the completion benchmarks.
+EMBEDDING_MODELS: Dict[str, Type[KGEmbeddingModel]] = {
+    "TransE": TransE,
+    "DistMult": DistMult,
+    "ComplEx": ComplEx,
+    "RotatE": RotatE,
+}

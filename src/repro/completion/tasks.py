@@ -1,0 +1,238 @@
+"""Completion task harnesses: link prediction (filtered ranking protocol),
+triple classification, and entity typing."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.eval.metrics import hits_at_k, mean_reciprocal_rank
+from repro.kg.datasets import Dataset
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.store import TripleStore
+from repro.kg.triples import IRI, OWL, RDF, RDFS, Triple
+
+
+@dataclass
+class CompletionSplit:
+    """A train/valid/test split of a KG's instance triples."""
+
+    kg: KnowledgeGraph
+    train: List[Triple]
+    valid: List[Triple]
+    test: List[Triple]
+    entities: List[IRI]
+
+    @property
+    def all_true(self) -> TripleStore:
+        """Every true triple — used by the filtered ranking protocol."""
+        return TripleStore(self.train + self.valid + self.test)
+
+
+def make_split(dataset: Dataset, seed: int = 0,
+               fractions: Tuple[float, float] = (0.8, 0.1)) -> CompletionSplit:
+    """Deterministic split of the dataset's entity-object instance triples."""
+    rng = random.Random(seed)
+    triples = []
+    for triple in dataset.kg.store:
+        if not isinstance(triple.object, IRI):
+            continue
+        if triple.predicate in (RDFS.label, RDFS.comment, RDF.type):
+            continue
+        if triple.predicate.value.startswith(RDFS.prefix) or \
+                triple.predicate.value.startswith(OWL.prefix):
+            continue
+        if dataset.kg.store.match(triple.subject, RDF.type, OWL.Class):
+            continue
+        triples.append(triple)
+    triples.sort(key=lambda t: t.n3())
+    rng.shuffle(triples)
+    n_train = int(len(triples) * fractions[0])
+    n_valid = int(len(triples) * fractions[1])
+    train = triples[:n_train]
+    valid = triples[n_train:n_train + n_valid]
+    test = triples[n_train + n_valid:]
+    entities = sorted({t.subject for t in triples} |
+                      {t.object for t in triples if isinstance(t.object, IRI)},
+                      key=lambda e: e.value)
+    return CompletionSplit(kg=dataset.kg, train=train, valid=valid, test=test,
+                           entities=entities)
+
+
+class LinkPredictionTask:
+    """Filtered tail-prediction: rank every entity as candidate tail."""
+
+    def __init__(self, split: CompletionSplit):
+        self.split = split
+        self._all_true = split.all_true
+
+    def evaluate(self, model, max_queries: Optional[int] = None) -> Dict[str, float]:
+        """MRR and Hits@{1,3,10} of ``model`` on the test triples.
+
+        ``model`` provides either ``rank_tails(h, r, candidates)`` or
+        ``score_tails(h, r, candidates)``. Other true tails are filtered
+        out of the candidate list (the standard filtered protocol).
+        """
+        ranks: List[int] = []
+        test = self.split.test[:max_queries] if max_queries else self.split.test
+        for triple in test:
+            assert isinstance(triple.object, IRI)
+            candidates = [
+                e for e in self.split.entities
+                if e == triple.object or
+                Triple(triple.subject, triple.predicate, e) not in self._all_true
+            ]
+            ranked = self._rank(model, triple.subject, triple.predicate, candidates)
+            try:
+                ranks.append(ranked.index(triple.object) + 1)
+            except ValueError:
+                ranks.append(0)  # miss
+        return {
+            "mrr": mean_reciprocal_rank(ranks),
+            "hits@1": hits_at_k(ranks, 1),
+            "hits@3": hits_at_k(ranks, 3),
+            "hits@10": hits_at_k(ranks, 10),
+            "queries": float(len(ranks)),
+        }
+
+    @staticmethod
+    def _rank(model, head: IRI, relation: IRI,
+              candidates: Sequence[IRI]) -> List[IRI]:
+        if hasattr(model, "rank_tails"):
+            return model.rank_tails(head, relation, candidates)
+        scores = model.score_tails(head, relation, candidates)
+        order = sorted(range(len(candidates)),
+                       key=lambda i: (-scores[i], candidates[i].value))
+        return [candidates[i] for i in order]
+
+
+class TripleClassificationTask:
+    """Binary plausibility classification over corrupted triples."""
+
+    def __init__(self, split: CompletionSplit, seed: int = 0):
+        self.split = split
+        self.rng = random.Random(seed)
+        self._all_true = split.all_true
+
+    def build_examples(self, n: Optional[int] = None) -> List[Tuple[Triple, bool]]:
+        """Balanced positives (test triples) and tail-corrupted negatives."""
+        positives = self.split.test[:n] if n else self.split.test
+        examples: List[Tuple[Triple, bool]] = []
+        for triple in positives:
+            examples.append((triple, True))
+            for _ in range(20):
+                corrupt = self.split.entities[
+                    self.rng.randrange(len(self.split.entities))]
+                negative = Triple(triple.subject, triple.predicate, corrupt)
+                if negative not in self._all_true:
+                    examples.append((negative, False))
+                    break
+        return examples
+
+    def evaluate(self, scorer, threshold: Optional[float] = None,
+                 n: Optional[int] = None) -> Dict[str, float]:
+        """Accuracy with a threshold tuned on the examples when not given."""
+        examples = self.build_examples(n)
+        scored = [(scorer.score(triple), label) for triple, label in examples]
+        if threshold is None:
+            candidates = sorted({s for s, _ in scored})
+            best_acc, best_threshold = 0.0, 0.0
+            for candidate in candidates:
+                acc = sum(1 for s, label in scored
+                          if (s >= candidate) == label) / len(scored)
+                if acc > best_acc:
+                    best_acc, best_threshold = acc, candidate
+            threshold = best_threshold
+        accuracy = sum(1 for s, label in scored
+                       if (s >= threshold) == label) / len(scored)
+        return {"accuracy": accuracy, "threshold": threshold,
+                "examples": float(len(scored))}
+
+
+class RelationPredictionTask:
+    """Rank the relation of (h, ?, t) — Table 1's "Relation Prediction" row.
+
+    A model scoring triples ranks every relation in the split's vocabulary
+    as the candidate predicate; filtered protocol as for tails.
+    """
+
+    def __init__(self, split: CompletionSplit):
+        self.split = split
+        self._all_true = split.all_true
+        self.relations = sorted({t.predicate for t in split.train},
+                                key=lambda r: r.value)
+
+    def evaluate(self, scorer, max_queries: Optional[int] = None
+                 ) -> Dict[str, float]:
+        """MRR and Hits@1 of the relation ranking on the test triples."""
+        ranks: List[int] = []
+        test = self.split.test[:max_queries] if max_queries else self.split.test
+        for triple in test:
+            candidates = [
+                r for r in self.relations
+                if r == triple.predicate or
+                Triple(triple.subject, r, triple.object) not in self._all_true
+            ]
+            scores = [scorer.score(Triple(triple.subject, r, triple.object))
+                      for r in candidates]
+            order = sorted(range(len(candidates)),
+                           key=lambda i: (-scores[i], candidates[i].value))
+            ranked = [candidates[i] for i in order]
+            try:
+                ranks.append(ranked.index(triple.predicate) + 1)
+            except ValueError:
+                ranks.append(0)
+        return {
+            "mrr": mean_reciprocal_rank(ranks),
+            "hits@1": hits_at_k(ranks, 1),
+            "queries": float(len(ranks)),
+        }
+
+
+class EntityTypingTask:
+    """Predict an entity's class from its neighbourhood (entity
+    classification, the third completion task in §2.4)."""
+
+    def __init__(self, dataset: Dataset, seed: int = 0):
+        self.dataset = dataset
+        self.seed = seed
+
+    def build_examples(self, n: int = 50) -> List[Tuple[IRI, IRI]]:
+        """(entity, gold most-specific class) pairs. Deterministic per call
+        (a fresh RNG is derived from the task seed each time)."""
+        rng = random.Random(self.seed)
+        examples = []
+        for triple in self.dataset.kg.store.match(None, RDF.type, None):
+            if not isinstance(triple.object, IRI):
+                continue
+            if triple.object.value.startswith(OWL.prefix):
+                continue
+            if self.dataset.kg.store.match(triple.subject, RDF.type, OWL.Class):
+                continue
+            examples.append((triple.subject, triple.object))
+        examples.sort(key=lambda pair: (pair[0].value, pair[1].value))
+        rng.shuffle(examples)
+        # One example per entity (most specific = deepest class).
+        seen: Dict[IRI, IRI] = {}
+        onto = self.dataset.ontology
+        for entity, cls in examples:
+            if entity not in seen or onto.depth(cls) > onto.depth(seen[entity]):
+                seen[entity] = cls
+        return list(seen.items())[:n]
+
+    def evaluate(self, classifier, n: int = 50) -> Dict[str, float]:
+        """Accuracy of ``classifier(entity) -> IRI | None``; superclass
+        predictions count half (hierarchical credit)."""
+        examples = self.build_examples(n)
+        if not examples:
+            return {"accuracy": 0.0, "examples": 0.0}
+        onto = self.dataset.ontology
+        score = 0.0
+        for entity, gold in examples:
+            predicted = classifier(entity)
+            if predicted == gold:
+                score += 1.0
+            elif predicted is not None and onto.is_subclass_of(gold, predicted):
+                score += 0.5
+        return {"accuracy": score / len(examples), "examples": float(len(examples))}

@@ -1,0 +1,48 @@
+"""KG Construction (survey §2.1): NER, relation extraction, ontology
+creation/learning and entity alignment — the "LLM for KG" construction arm.
+
+Each module implements both the LLM-powered methods the survey reviews and a
+classical baseline so the benchmarks can report the comparison the surveyed
+papers make.
+"""
+
+from repro.construction.ner import (
+    GazetteerNER, PromptNER, InstructionTunedNER, NERResult,
+)
+from repro.construction.relation_extraction import (
+    PatternRelationExtractor,
+    ZeroShotRelationExtractor,
+    FewShotICLRelationExtractor,
+    RetrievedDemonstrationExtractor,
+    SupervisedFineTunedExtractor,
+    NLIFilteredExtractor,
+)
+from repro.construction.ontology import (
+    OntologyLearner, ConceptExtractor, PropertyPreAnnotator,
+    TextToOntologyMapper, OntologyEnricher, build_kg_from_text,
+)
+from repro.construction.alignment import EntityAligner, OntologyAligner
+from repro.construction.events import (
+    Event, EventSchema, LLMEventExtractor, TriggerLexiconExtractor,
+    generate_event_corpus, evaluate_events,
+)
+from repro.construction.temporal import (
+    TemporalRelation, CueWordTemporalExtractor, ZeroShotTemporalExtractor,
+    KnowledgeGroundedTemporalExtractor, generate_temporal_corpus,
+    evaluate_temporal,
+)
+
+__all__ = [
+    "Event", "EventSchema", "LLMEventExtractor", "TriggerLexiconExtractor",
+    "generate_event_corpus", "evaluate_events",
+    "TemporalRelation", "CueWordTemporalExtractor", "ZeroShotTemporalExtractor",
+    "KnowledgeGroundedTemporalExtractor", "generate_temporal_corpus",
+    "evaluate_temporal",
+    "GazetteerNER", "PromptNER", "InstructionTunedNER", "NERResult",
+    "PatternRelationExtractor", "ZeroShotRelationExtractor",
+    "FewShotICLRelationExtractor", "RetrievedDemonstrationExtractor",
+    "SupervisedFineTunedExtractor", "NLIFilteredExtractor",
+    "OntologyLearner", "ConceptExtractor", "PropertyPreAnnotator",
+    "TextToOntologyMapper", "OntologyEnricher", "build_kg_from_text",
+    "EntityAligner", "OntologyAligner",
+]

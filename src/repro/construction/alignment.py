@@ -1,0 +1,192 @@
+"""Entity and ontology alignment (survey §2.1.1/§2.1.2, after Lippolis et
+al. and Baldazzi et al.).
+
+:class:`EntityAligner` matches instances across two KGs by LLM-embedding
+similarity over labels + neighbourhood evidence, optionally verified by an
+LLM fact-check pass. :class:`OntologyAligner` is the neurosymbolic recipe:
+semantic (embedding) candidate generation, then a symbolic coherence filter
+that requires aligned classes to have alignable parents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.ontology import Ontology
+from repro.kg.triples import IRI
+from repro.llm.embedding import TextEncoder, cosine_similarity
+from repro.llm.model import SimulatedLLM
+from repro.vector import VectorIndex
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """One proposed correspondence with its confidence."""
+
+    left: IRI
+    right: IRI
+    score: float
+
+
+class EntityAligner:
+    """Instance matching across two KGs.
+
+    Candidates come from embedding similarity of labels; each candidate's
+    score is boosted by shared neighbourhood labels (a structural signal),
+    and matches below ``threshold`` are discarded.
+    """
+
+    def __init__(self, encoder: Optional[TextEncoder] = None,
+                 threshold: float = 0.55):
+        self.encoder = encoder or TextEncoder(dim=96)
+        self.threshold = threshold
+
+    def align(self, left: KnowledgeGraph, right: KnowledgeGraph,
+              candidates_per_entity: int = 3) -> List[Alignment]:
+        """Greedy one-to-one alignment, highest scores first."""
+        right_entities = [e for e in right.store.entities()
+                          if right.label(e) and not _is_schema(e)]
+        index = VectorIndex(dim=self.encoder.dim)
+        for entity in right_entities:
+            index.add(entity, self.encoder.encode(right.label(entity)))
+        proposals: List[Alignment] = []
+        for entity in left.store.entities():
+            if _is_schema(entity):
+                continue
+            label = left.label(entity)
+            if not label:
+                continue
+            for hit in index.search(self.encoder.encode(label),
+                                    k=candidates_per_entity):
+                score = hit.score
+                score += 0.15 * self._neighbourhood_overlap(
+                    left, entity, right, hit.key)
+                if score >= self.threshold:
+                    proposals.append(Alignment(entity, hit.key, min(score, 1.0)))
+        proposals.sort(key=lambda a: (-a.score, a.left.value, a.right.value))
+        used_left: set = set()
+        used_right: set = set()
+        final: List[Alignment] = []
+        for proposal in proposals:
+            if proposal.left in used_left or proposal.right in used_right:
+                continue
+            used_left.add(proposal.left)
+            used_right.add(proposal.right)
+            final.append(proposal)
+        return final
+
+    def _neighbourhood_overlap(self, left: KnowledgeGraph, a: IRI,
+                               right: KnowledgeGraph, b: IRI) -> float:
+        left_labels = {left.label(n).lower() for _, n, _ in left.neighbours(a)
+                       if isinstance(n, IRI)}
+        right_labels = {right.label(n).lower() for _, n, _ in right.neighbours(b)
+                        if isinstance(n, IRI)}
+        if not left_labels or not right_labels:
+            return 0.0
+        return len(left_labels & right_labels) / len(left_labels | right_labels)
+
+    def verify_with_llm(self, alignments: Sequence[Alignment],
+                        left: KnowledgeGraph, right: KnowledgeGraph,
+                        llm: SimulatedLLM) -> List[Alignment]:
+        """LLM verification pass: keep pairs whose labels the model deems
+        the same entity (simulated as high lexical agreement + type match)."""
+        from repro.llm import prompts as P
+        kept = []
+        for alignment in alignments:
+            left_label = left.label(alignment.left)
+            right_label = right.label(alignment.right)
+            statement = f"{left_label} same as {right_label}."
+            context = f"{left_label} same as {right_label}." \
+                if left_label.lower() == right_label.lower() else \
+                f"{left_label} and {right_label} are different entities."
+            verdict = P.parse_fact_check_response(
+                llm.complete(P.fact_check_prompt(statement, context=context)).text)
+            if verdict is True:
+                kept.append(alignment)
+        return kept
+
+
+class OntologyAligner:
+    """Neurosymbolic schema alignment (after Baldazzi et al.).
+
+    Semantic stage: embed class/property labels (optionally with their
+    descriptions) and propose nearest neighbours. Symbolic stage: a class
+    correspondence survives only if the parents of the two classes are
+    themselves alignable (or both are roots) — the ontological-reasoning
+    filter that keeps the flexible LLM matcher domain-coherent.
+    """
+
+    def __init__(self, encoder: Optional[TextEncoder] = None,
+                 threshold: float = 0.6):
+        self.encoder = encoder or TextEncoder(dim=96)
+        self.threshold = threshold
+
+    def align(self, left: Ontology, right: Ontology) -> List[Alignment]:
+        """Class + property correspondences passing both stages."""
+        candidate_classes = self._semantic_candidates(
+            {iri: self._class_text(left, iri) for iri in left.classes},
+            {iri: self._class_text(right, iri) for iri in right.classes},
+        )
+        accepted: Dict[IRI, IRI] = {}
+        # Iterate to fixpoint: parent alignment may depend on other pairs.
+        changed = True
+        while changed:
+            changed = False
+            for alignment in candidate_classes:
+                if alignment.left in accepted:
+                    continue
+                if self._parents_coherent(left, right, alignment, accepted,
+                                          candidate_classes):
+                    accepted[alignment.left] = alignment.right
+                    changed = True
+        class_alignments = [a for a in candidate_classes
+                            if accepted.get(a.left) == a.right]
+        property_alignments = self._semantic_candidates(
+            {iri: p.label for iri, p in left.properties.items()},
+            {iri: p.label for iri, p in right.properties.items()},
+        )
+        return class_alignments + property_alignments
+
+    def _class_text(self, onto: Ontology, iri: IRI) -> str:
+        cls = onto.classes[iri]
+        return f"{cls.label} {cls.description or ''}".strip()
+
+    def _semantic_candidates(self, left: Dict[IRI, str],
+                             right: Dict[IRI, str]) -> List[Alignment]:
+        out: List[Alignment] = []
+        right_vectors = {iri: self.encoder.encode(text)
+                         for iri, text in right.items()}
+        for left_iri, text in sorted(left.items(), key=lambda kv: kv[0].value):
+            query = self.encoder.encode(text)
+            best: Optional[Tuple[float, IRI]] = None
+            for right_iri, vector in right_vectors.items():
+                score = cosine_similarity(query, vector)
+                if best is None or score > best[0]:
+                    best = (score, right_iri)
+            if best is not None and best[0] >= self.threshold:
+                out.append(Alignment(left_iri, best[1], best[0]))
+        return out
+
+    def _parents_coherent(self, left: Ontology, right: Ontology,
+                          alignment: Alignment, accepted: Dict[IRI, IRI],
+                          candidates: Sequence[Alignment]) -> bool:
+        left_parents = left.classes[alignment.left].parents
+        right_parents = right.classes[alignment.right].parents
+        if not left_parents and not right_parents:
+            return True
+        if not left_parents or not right_parents:
+            # Depth mismatch is tolerated when either side is a root.
+            return True
+        candidate_map = {(c.left, c.right) for c in candidates}
+        for left_parent in left_parents:
+            for right_parent in right_parents:
+                if accepted.get(left_parent) == right_parent or \
+                        (left_parent, right_parent) in candidate_map:
+                    return True
+        return False
+
+
+def _is_schema(entity: IRI) -> bool:
+    return "w3.org" in entity.value or "/schema/" in entity.value

@@ -1,0 +1,151 @@
+"""Entity extraction (survey §2.1.2).
+
+Three regimes from the survey:
+
+* :class:`GazetteerNER` — the classical baseline: exact dictionary matching
+  against a fixed gazetteer (no generalization, no type knowledge beyond the
+  dictionary).
+* :class:`PromptNER` — Ashok & Lipton's recipe: a backbone LLM + a prompt
+  with the entity-type inventory, optional type *definitions*, and a small
+  set of in-domain examples.
+* :class:`InstructionTunedNER` — UniversalNER-style targeted distillation:
+  the backbone is first fine-tuned on instruction data for the task, then
+  prompted zero-shot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.llm import prompts as P
+from repro.llm.model import SimulatedLLM
+from repro.text.corpus import AnnotatedSentence
+
+
+@dataclass
+class NERResult:
+    """Entities extracted from one sentence."""
+
+    sentence: str
+    entities: List[Tuple[str, str]]  # (mention, type)
+
+
+class GazetteerNER:
+    """Dictionary-lookup NER: exact longest-match against a gazetteer.
+
+    The gazetteer maps lowercase mention → type. This is the no-LLM baseline
+    whose recall collapses on mentions absent from the dictionary.
+    """
+
+    def __init__(self, gazetteer: Dict[str, str]):
+        self.gazetteer = {k.lower(): v for k, v in gazetteer.items()}
+        self._max_words = max((len(k.split()) for k in self.gazetteer), default=1)
+
+    @classmethod
+    def from_training_data(cls, sentences: Sequence[AnnotatedSentence],
+                           coverage: float = 1.0) -> "GazetteerNER":
+        """Build the dictionary from annotated sentences (the supervised
+        resource a rule-based system would have). ``coverage`` < 1 keeps a
+        deterministic prefix of entries, simulating an incomplete lexicon."""
+        gazetteer: Dict[str, str] = {}
+        for sentence in sentences:
+            for mention, etype in sentence.entities:
+                gazetteer.setdefault(mention.lower(), etype)
+        keep = int(len(gazetteer) * coverage)
+        items = sorted(gazetteer.items())[:keep]
+        return cls(dict(items))
+
+    def extract(self, sentence: str, entity_types: Sequence[str] = ()) -> NERResult:
+        """Longest-match scan; optional filter to the requested types."""
+        words = sentence.split()
+        found: List[Tuple[str, str]] = []
+        i = 0
+        while i < len(words):
+            matched = False
+            for length in range(min(self._max_words, len(words) - i), 0, -1):
+                candidate = " ".join(words[i:i + length]).strip(".,!?;:")
+                etype = self.gazetteer.get(candidate.lower())
+                if etype is not None:
+                    if not entity_types or etype in entity_types:
+                        found.append((candidate, etype))
+                    i += length
+                    matched = True
+                    break
+            if not matched:
+                i += 1
+        return NERResult(sentence=sentence, entities=found)
+
+
+class PromptNER:
+    """Prompt-based NER over a backbone LLM (PromptNER).
+
+    Components, as in the paper: the backbone, the entity-type inventory,
+    optional natural-language type definitions, and k in-context examples.
+    """
+
+    def __init__(self, llm: SimulatedLLM, entity_types: Sequence[str],
+                 definitions: Optional[Dict[str, str]] = None,
+                 examples: Sequence[AnnotatedSentence] = ()):
+        self.llm = llm
+        self.entity_types = list(entity_types)
+        self.definitions = definitions
+        self.examples = [(s.text, s.entities) for s in examples]
+
+    def extract(self, sentence: str) -> NERResult:
+        """One LLM call; the response is parsed into typed mentions."""
+        prompt = P.ner_prompt(sentence, self.entity_types,
+                              examples=self.examples,
+                              definitions=self.definitions)
+        response = self.llm.complete(prompt)
+        return NERResult(sentence=sentence,
+                         entities=P.parse_ner_response(response.text))
+
+
+class InstructionTunedNER:
+    """Distilled/instruction-tuned NER (UniversalNER-style).
+
+    ``distill`` fine-tunes the backbone on the training split (persistently
+    lowering its task error rate), after which extraction is zero-shot.
+    """
+
+    def __init__(self, llm: SimulatedLLM, entity_types: Sequence[str]):
+        self.llm = llm
+        self.entity_types = list(entity_types)
+        self._distilled = False
+
+    def distill(self, training_sentences: Sequence[AnnotatedSentence]) -> None:
+        """Targeted distillation: instruction-tune the backbone for NER."""
+        self.llm.fine_tune("ner", len(training_sentences))
+        self._distilled = True
+
+    def extract(self, sentence: str) -> NERResult:
+        """Zero-shot prompt against the (ideally distilled) backbone."""
+        prompt = P.ner_prompt(sentence, self.entity_types)
+        response = self.llm.complete(prompt)
+        return NERResult(sentence=sentence,
+                         entities=P.parse_ner_response(response.text))
+
+
+def evaluate_ner(extractor, sentences: Sequence[AnnotatedSentence],
+                 typed: bool = True) -> Dict[str, float]:
+    """Micro P/R/F1 of an extractor over annotated sentences.
+
+    ``typed=False`` scores mention spans only (type-agnostic).
+    """
+    tp = fp = fn = 0
+    for sentence in sentences:
+        predicted = extractor.extract(sentence.text)
+        if typed:
+            pred_set = {(m.lower(), t) for m, t in predicted.entities}
+            gold_set = {(m.lower(), t) for m, t in sentence.entities}
+        else:
+            pred_set = {m.lower() for m, _ in predicted.entities}
+            gold_set = {m.lower() for m, _ in sentence.entities}
+        tp += len(pred_set & gold_set)
+        fp += len(pred_set - gold_set)
+        fn += len(gold_set - pred_set)
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return {"precision": precision, "recall": recall, "f1": f1}

@@ -1,0 +1,340 @@
+"""Ontology creation with LLMs (survey §2.1.1, RQ2).
+
+Implements the survey's six ontology activities:
+
+* concept extraction (:class:`ConceptExtractor`),
+* ontology learning end-to-end (:class:`OntologyLearner`, LLMs4OL-style:
+  concepts → taxonomy → non-taxonomic relations),
+* property identification via LLM pre-annotation
+  (:class:`PropertyPreAnnotator`, after Straková et al. — the metric is the
+  fraction of annotation decisions the human no longer has to make),
+* ontology enrichment (:class:`OntologyEnricher`),
+* text-to-ontology mapping (:class:`TextToOntologyMapper`, after Korel
+  et al. — route a text to the most relevant ontology by embedding match),
+* and the end-to-end text→KG pipeline of the COVID-19 case study
+  (:func:`build_kg_from_text`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.ontology import Ontology
+from repro.kg.triples import IRI, Namespace, RDFS, Literal
+from repro.llm import prompts as P
+from repro.llm.embedding import TextEncoder, cosine_similarity
+from repro.llm.model import SimulatedLLM
+from repro.text.corpus import AnnotatedSentence
+
+GEN = Namespace("http://repro.dev/generated/")
+
+
+class ConceptExtractor:
+    """Extract domain concepts (candidate classes) from a corpus.
+
+    The LLM path types every entity mention and returns the set of types;
+    the no-LLM path falls back to capitalization statistics, which cannot
+    produce type *names* at all — the gap RQ2 measures.
+    """
+
+    def __init__(self, llm: Optional[SimulatedLLM] = None,
+                 candidate_types: Sequence[str] = ()):
+        self.llm = llm
+        self.candidate_types = list(candidate_types)
+
+    def extract(self, sentences: Sequence[str]) -> List[str]:
+        """Concept labels ranked by support (most frequent first)."""
+        counts: Counter = Counter()
+        if self.llm is not None:
+            for sentence in sentences:
+                prompt = P.ner_prompt(sentence, self.candidate_types)
+                for _, etype in P.parse_ner_response(self.llm.complete(prompt).text):
+                    counts[etype] += 1
+        else:
+            for sentence in sentences:
+                for token in sentence.split():
+                    bare = token.strip(".,!?;:")
+                    if bare.istitle() and len(bare) > 2:
+                        counts[bare] += 1
+        return [concept for concept, _ in counts.most_common()]
+
+
+class OntologyLearner:
+    """End-to-end ontology learning from an annotated corpus (LLMs4OL).
+
+    Three stages mirroring the paper's term typing / taxonomy discovery /
+    relation extraction decomposition:
+
+    1. **Concepts** — type every mention with the backbone LLM.
+    2. **Taxonomy** — query the backbone's parametric taxonomy knowledge
+       ("is every X a Y?") for each concept pair; the simulator answers from
+       the schema triples in its memory, the way a real LLM answers from
+       pre-training.
+    3. **Relations** — extract triples, then assign each relation a
+       domain/range from the majority types of its observed arguments.
+    """
+
+    def __init__(self, llm: SimulatedLLM, candidate_types: Sequence[str]):
+        self.llm = llm
+        self.candidate_types = list(candidate_types)
+
+    def learn(self, sentences: Sequence[AnnotatedSentence]) -> Ontology:
+        """Produce an ontology from the corpus."""
+        onto = Ontology("learned")
+        mention_type: Dict[str, str] = {}
+        for sentence in sentences:
+            prompt = P.ner_prompt(sentence.text, self.candidate_types)
+            for mention, etype in P.parse_ner_response(self.llm.complete(prompt).text):
+                mention_type.setdefault(mention.lower(), etype)
+        concepts = sorted(set(mention_type.values()))
+        # Taxonomy discovery: ask the backbone for each concept's named
+        # superclasses (parametric taxonomy knowledge) and fold them in.
+        discovered: Dict[str, Set[str]] = {c: self._named_parents(c) for c in concepts}
+        all_concepts = sorted(set(concepts) |
+                              {p for parents in discovered.values() for p in parents})
+        for concept in all_concepts:
+            onto.add_class(GEN[concept.replace(" ", "_")], label=concept)
+        for concept in all_concepts:
+            for parent in self._named_parents(concept):
+                if parent != concept:
+                    onto.add_class(GEN[concept.replace(" ", "_")],
+                                   parents=[GEN[parent.replace(" ", "_")]])
+        # Non-taxonomic relations with domain/range from argument types.
+        relation_args: Dict[str, Tuple[Counter, Counter]] = {}
+        relations = sorted({r for s in sentences for _, r, _ in s.triples})
+        for sentence in sentences:
+            prompt = P.relation_extraction_prompt(sentence.text, relations)
+            for subject, relation, obj in P.parse_relation_response(
+                    self.llm.complete(prompt).text):
+                domains, ranges = relation_args.setdefault(
+                    relation, (Counter(), Counter()))
+                subject_type = mention_type.get(subject.lower())
+                object_type = mention_type.get(obj.lower())
+                if subject_type:
+                    domains[subject_type] += 1
+                if object_type:
+                    ranges[object_type] += 1
+        for relation, (domains, ranges) in sorted(relation_args.items()):
+            domain = GEN[domains.most_common(1)[0][0].replace(" ", "_")] \
+                if domains else None
+            range_ = GEN[ranges.most_common(1)[0][0].replace(" ", "_")] \
+                if ranges else None
+            onto.add_property(GEN[relation.replace(" ", "_")], label=relation,
+                              domain=domain, range=range_)
+        return onto
+
+    def _named_parents(self, concept_label: str) -> Set[str]:
+        """The direct superclass labels the backbone can name for a concept.
+
+        Walks one ``rdfs:subClassOf`` step in the model's parametric memory —
+        the simulator's analogue of asking "what kind of thing is a Virus?".
+        """
+        cls = self._class_by_label(concept_label)
+        if cls is None:
+            return set()
+        parents: Set[str] = set()
+        for triple in self.llm.memory.match(cls, RDFS.subClassOf, None):
+            if isinstance(triple.object, IRI):
+                parents.add(self.llm.labels.get(triple.object,
+                                                triple.object.local_name))
+        return parents
+
+    def _subsumes(self, parent_label: str, child_label: str) -> bool:
+        """Ask the backbone whether ``child ⊑ parent`` (parametric taxonomy)."""
+        child = self._class_by_label(child_label)
+        parent = self._class_by_label(parent_label)
+        if child is None or parent is None:
+            return False
+        visited: Set[IRI] = set()
+        frontier = [child]
+        while frontier:
+            current = frontier.pop()
+            if current == parent:
+                return current != child
+            if current in visited:
+                continue
+            visited.add(current)
+            for triple in self.llm.memory.match(current, RDFS.subClassOf, None):
+                if isinstance(triple.object, IRI):
+                    frontier.append(triple.object)
+        return False
+
+    def _class_by_label(self, label: str) -> Optional[IRI]:
+        wanted = label.strip().lower()
+        for iri, known in self.llm.labels.items():
+            if known.lower() == wanted and \
+                    self.llm.memory.match(iri, RDFS.subClassOf, None) is not None:
+                # Must actually be a class-ish node (has or is a parent).
+                if self.llm.memory.match(iri, RDFS.subClassOf, None) or \
+                        self.llm.memory.match(None, RDFS.subClassOf, iri):
+                    return iri
+        return None
+
+
+@dataclass
+class PreAnnotation:
+    """One suggested property annotation for a human to confirm or fix."""
+
+    sentence: str
+    suggested: Optional[str]
+    gold: str
+
+    @property
+    def correct(self) -> bool:
+        """Whether the suggestion can be accepted without edits."""
+        return self.suggested is not None and \
+            self.suggested.lower() == self.gold.lower()
+
+
+class PropertyPreAnnotator:
+    """LLM pre-annotation for property identification (Straková et al.).
+
+    For each sentence the backbone suggests the property expressed; the
+    human annotator only corrects wrong suggestions. ``annotation_savings``
+    is the fraction of decisions the suggestion got right — the "reduced
+    annotation time" the survey cites.
+    """
+
+    def __init__(self, llm: SimulatedLLM, properties: Sequence[str]):
+        self.llm = llm
+        self.properties = list(properties)
+
+    def pre_annotate(self, sentences: Sequence[AnnotatedSentence]) -> List[PreAnnotation]:
+        """Suggest one property per sentence (its first gold triple's)."""
+        out: List[PreAnnotation] = []
+        for sentence in sentences:
+            if not sentence.triples:
+                continue
+            gold = sentence.triples[0][1]
+            prompt = P.relation_extraction_prompt(sentence.text, self.properties)
+            parsed = P.parse_relation_response(self.llm.complete(prompt).text)
+            suggestion = parsed[0][1] if parsed else None
+            out.append(PreAnnotation(sentence=sentence.text,
+                                     suggested=suggestion, gold=gold))
+        return out
+
+    @staticmethod
+    def annotation_savings(annotations: Sequence[PreAnnotation]) -> float:
+        """Fraction of annotation decisions the pre-annotation resolved."""
+        if not annotations:
+            return 0.0
+        return sum(1 for a in annotations if a.correct) / len(annotations)
+
+
+class TextToOntologyMapper:
+    """Route a text to the most relevant ontology (Korel et al.).
+
+    Each candidate ontology is represented by the bag of its class and
+    property labels; the classifier picks the ontology whose label profile
+    is most similar to the text under the shared encoder.
+    """
+
+    def __init__(self, ontologies: Dict[str, Ontology],
+                 encoder: Optional[TextEncoder] = None):
+        self.encoder = encoder or TextEncoder(dim=96)
+        self.ontologies = dict(ontologies)
+        self._profiles = {
+            name: self.encoder.encode(self._profile_text(onto))
+            for name, onto in self.ontologies.items()
+        }
+
+    @staticmethod
+    def _profile_text(onto: Ontology) -> str:
+        labels = [c.label for c in onto.classes.values()]
+        labels += [p.label for p in onto.properties.values()]
+        return " ".join(labels)
+
+    def map(self, text: str) -> str:
+        """The best-matching ontology name for ``text``."""
+        if not self.ontologies:
+            raise ValueError("no candidate ontologies registered")
+        query = self.encoder.encode(text)
+        scored = sorted(
+            ((cosine_similarity(query, profile), name)
+             for name, profile in self._profiles.items()),
+            reverse=True,
+        )
+        return scored[0][1]
+
+    def rank(self, text: str) -> List[Tuple[str, float]]:
+        """All candidates with scores, best first."""
+        query = self.encoder.encode(text)
+        return sorted(
+            ((name, cosine_similarity(query, profile))
+             for name, profile in self._profiles.items()),
+            key=lambda pair: -pair[1],
+        )
+
+
+class OntologyEnricher:
+    """Extend an existing ontology with concepts/properties found in text.
+
+    The dynamic-domain scenario the survey describes: run the learner on new
+    corpus material and merge anything missing into the base ontology.
+    """
+
+    def __init__(self, learner: OntologyLearner):
+        self.learner = learner
+
+    def enrich(self, base: Ontology,
+               sentences: Sequence[AnnotatedSentence]) -> Tuple[Ontology, Dict[str, int]]:
+        """Returns the enriched ontology plus counts of what was added."""
+        learned = self.learner.learn(sentences)
+        enriched = Ontology(base.name + "+enriched")
+        for iri, cls in base.classes.items():
+            enriched.add_class(iri, label=cls.label, parents=cls.parents,
+                               description=cls.description)
+            for other in cls.disjoint_with:
+                enriched.set_disjoint(iri, other)
+        for iri, prop in base.properties.items():
+            enriched.add_property(iri, label=prop.label, domain=prop.domain,
+                                  range=prop.range,
+                                  characteristics=prop.characteristics,
+                                  inverse_of=prop.inverse_of)
+        added_classes = added_properties = 0
+        base_class_labels = {c.label.lower() for c in base.classes.values()}
+        base_property_labels = {p.label.lower() for p in base.properties.values()}
+        for iri, cls in learned.classes.items():
+            if cls.label.lower() not in base_class_labels:
+                enriched.add_class(iri, label=cls.label, parents=cls.parents)
+                added_classes += 1
+        for iri, prop in learned.properties.items():
+            if prop.label.lower() not in base_property_labels:
+                enriched.add_property(iri, label=prop.label, domain=prop.domain,
+                                      range=prop.range)
+                added_properties += 1
+        return enriched, {"classes": added_classes, "properties": added_properties}
+
+
+def build_kg_from_text(llm: SimulatedLLM,
+                       sentences: Sequence[AnnotatedSentence],
+                       candidate_types: Sequence[str],
+                       relations: Sequence[str]) -> KnowledgeGraph:
+    """End-to-end text→KG construction (the COVID-19 case-study pipeline).
+
+    NER types the mentions, relation extraction produces triples, and both
+    land in a fresh KG with entities minted under the generated namespace.
+    """
+    kg = KnowledgeGraph(name="constructed")
+
+    def mint(label: str) -> IRI:
+        return GEN[label.replace(" ", "_")]
+
+    for sentence in sentences:
+        ner_prompt = P.ner_prompt(sentence.text, candidate_types)
+        for mention, etype in P.parse_ner_response(llm.complete(ner_prompt).text):
+            entity = mint(mention)
+            kg.set_label(entity, mention)
+            kg.set_type(entity, GEN[etype.replace(" ", "_")])
+        re_prompt = P.relation_extraction_prompt(sentence.text, relations)
+        for subject, relation, obj in P.parse_relation_response(
+                llm.complete(re_prompt).text):
+            predicate = GEN[relation.replace(" ", "_")]
+            kg.set_label(predicate, relation)
+            kg.add(mint(subject), predicate, mint(obj))
+            kg.set_label(mint(subject), subject)
+            kg.set_label(mint(obj), obj)
+    return kg

@@ -1,0 +1,30 @@
+"""The paper's primary conceptual contribution, made executable.
+
+:mod:`taxonomy` encodes the Figure-1 categorization tree (the three
+interplay types with their subcategories, research-question markers and
+novelty stars) and the RQ1–RQ6 registry, each mapped to the package that
+implements it. :mod:`pipeline` is the composable component abstraction the
+cooperation-style systems (RAG, RoG, KG-GPT, chatbot) are built from.
+"""
+
+from repro.core.taxonomy import (
+    InterplayType,
+    TaxonomyNode,
+    FIGURE1_TAXONOMY,
+    RESEARCH_QUESTIONS,
+    ResearchQuestion,
+    iter_nodes,
+)
+from repro.core.pipeline import Pipeline, Component, PipelineContext
+
+__all__ = [
+    "InterplayType",
+    "TaxonomyNode",
+    "FIGURE1_TAXONOMY",
+    "RESEARCH_QUESTIONS",
+    "ResearchQuestion",
+    "iter_nodes",
+    "Pipeline",
+    "Component",
+    "PipelineContext",
+]

@@ -1,0 +1,66 @@
+"""Composable pipelines chaining KG and LLM components.
+
+The cooperation-style systems the survey reviews — RAG's
+indexing→retrieval→generation, RoG's planning→retrieval→reasoning,
+KG-GPT's segmentation→retrieval→inference — are all linear pipelines over a
+shared mutable context. This module gives them one explicit, inspectable
+abstraction with per-stage tracing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class PipelineContext:
+    """The blackboard passed through a pipeline run."""
+
+    data: Dict[str, Any] = field(default_factory=dict)
+    trace: List[Tuple[str, float]] = field(default_factory=list)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self.data[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """dict-style access with a default."""
+        return self.data.get(key, default)
+
+
+@dataclass
+class Component:
+    """A named pipeline stage wrapping a ``context -> None`` callable."""
+
+    name: str
+    run: Callable[[PipelineContext], None]
+
+
+class Pipeline:
+    """A linear sequence of components with timing traces."""
+
+    def __init__(self, name: str, components: Optional[Sequence[Component]] = None):
+        self.name = name
+        self.components: List[Component] = list(components or [])
+
+    def add(self, name: str, run: Callable[[PipelineContext], None]) -> "Pipeline":
+        """Append a stage; returns self for chaining."""
+        self.components.append(Component(name, run))
+        return self
+
+    def execute(self, **initial: Any) -> PipelineContext:
+        """Run all stages over a fresh context seeded with ``initial``."""
+        context = PipelineContext(data=dict(initial))
+        for component in self.components:
+            started = time.perf_counter()
+            component.run(context)
+            context.trace.append((component.name, time.perf_counter() - started))
+        return context
+
+    def stage_names(self) -> List[str]:
+        """The ordered stage names (used in docs and tests)."""
+        return [c.name for c in self.components]

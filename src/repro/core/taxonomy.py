@@ -1,0 +1,152 @@
+"""The Figure-1 taxonomy and the RQ1–RQ6 registry.
+
+The survey's central artifact is a categorization of the LLM⟷KG interplay
+into three types — *LLM for KG*, *KG-enhanced LLM*, *LLM-KG Cooperation* —
+each with subcategories. Nodes carry the paper's two markers: whether the
+topic is addressed by one of the six research questions (pink in Figure 1)
+and whether it was absent from all previous surveys (starred).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+
+class InterplayType(enum.Enum):
+    """The three top-level interaction categories (Figure 1)."""
+
+    LLM_FOR_KG = "LLM for KG"
+    KG_ENHANCED_LLM = "KG-enhanced LLM"
+    LLM_KG_COOPERATION = "LLM-KG Cooperation"
+
+
+@dataclass
+class TaxonomyNode:
+    """One node of the Figure-1 tree."""
+
+    name: str
+    children: List["TaxonomyNode"] = field(default_factory=list)
+    research_question: Optional[int] = None   # 1..6 when RQ-flagged (pink)
+    novel: bool = False                       # starred: absent from prior surveys
+    module: Optional[str] = None              # implementing package in this repo
+
+    def find(self, name: str) -> Optional["TaxonomyNode"]:
+        """Depth-first lookup by node name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+
+def _node(name: str, children: Tuple[TaxonomyNode, ...] = (),
+          rq: Optional[int] = None, novel: bool = False,
+          module: Optional[str] = None) -> TaxonomyNode:
+    return TaxonomyNode(name=name, children=list(children),
+                        research_question=rq, novel=novel, module=module)
+
+
+#: The Figure-1 tree. Node names follow the paper's section headings; the
+#: ``module`` field maps each topic to its implementation in this repo.
+FIGURE1_TAXONOMY = _node("LLM-KG Interplay", (
+    _node(InterplayType.LLM_FOR_KG.value, (
+        _node("KG Construction", (
+            _node("Ontology Creation", rq=2, module="repro.construction.ontology"),
+            _node("Entity Extraction and Alignment", module="repro.construction.ner"),
+            _node("Relation Extraction", module="repro.construction.relation_extraction"),
+        )),
+        _node("KG-to-Text Generation", rq=1, module="repro.kg2text"),
+        _node("KG Reasoning", module="repro.reasoning"),
+        _node("KG Completion", module="repro.completion"),
+        _node("KG Embedding", module="repro.completion.embeddings"),
+        _node("KG Validation", (
+            _node("Fact Checking", rq=4, novel=True,
+                  module="repro.validation.fact_checking"),
+            _node("Inconsistency Detection", rq=3, novel=True,
+                  module="repro.validation.inconsistency"),
+        ), novel=True),
+    )),
+    _node(InterplayType.KG_ENHANCED_LLM.value, (
+        _node("Knowledge Injection", module="repro.enhanced.kbert"),
+        _node("Retrieval Augmented Generation", module="repro.enhanced.rag"),
+        _node("Graph RAG", module="repro.enhanced.graph_rag"),
+    )),
+    _node(InterplayType.LLM_KG_COOPERATION.value, (
+        _node("KG Question Answering", (
+            _node("Multi-Hop Question Generation", novel=True,
+                  module="repro.qa.question_generation"),
+            _node("Complex or Multi-hop Question Answering", rq=5, novel=True,
+                  module="repro.qa.multihop"),
+            _node("Query Generation from text", rq=6, novel=True,
+                  module="repro.qa.text2sparql"),
+            _node("Querying LLMs with SPARQL", novel=True,
+                  module="repro.qa.llm_sparql"),
+            _node("KG Chatbots", novel=True, module="repro.qa.chatbot"),
+        ), rq=5),
+    )),
+))
+
+
+def iter_nodes(root: TaxonomyNode = FIGURE1_TAXONOMY) -> Iterator[TaxonomyNode]:
+    """Pre-order traversal of the taxonomy."""
+    yield root
+    for child in root.children:
+        yield from iter_nodes(child)
+
+
+@dataclass(frozen=True)
+class ResearchQuestion:
+    """One of the paper's six research questions."""
+
+    number: int
+    text: str
+    section: str
+    module: str
+    experiment: str  # benchmark file reproducing it
+
+
+RESEARCH_QUESTIONS: List[ResearchQuestion] = [
+    ResearchQuestion(
+        1,
+        "How can LLMs generate descriptive textual information for entities in a KG?",
+        "2.2 KG-to-Text Generation", "repro.kg2text",
+        "benchmarks/test_bench_kg2text.py",
+    ),
+    ResearchQuestion(
+        2,
+        "How can we employ LLMs in ontology generation?",
+        "2.1.1 Ontology Creation", "repro.construction.ontology",
+        "benchmarks/test_bench_ontology.py",
+    ),
+    ResearchQuestion(
+        3,
+        "How can LLMs help in detecting inconsistencies within KGs?",
+        "2.6.2 Inconsistency Detection", "repro.validation.inconsistency",
+        "benchmarks/test_bench_inconsistency.py",
+    ),
+    ResearchQuestion(
+        4,
+        "How can LLMs improve the accuracy, consistency, and completeness of KGs "
+        "through fact-checking?",
+        "2.6.1 Fact Checking", "repro.validation.fact_checking",
+        "benchmarks/test_bench_fact_checking.py",
+    ),
+    ResearchQuestion(
+        5,
+        "How can LLMs contribute to providing accurate answers for KG Question "
+        "Answering?",
+        "4.1 KG Question Answering", "repro.qa.multihop",
+        "benchmarks/test_bench_multihop_qa.py",
+    ),
+    ResearchQuestion(
+        6,
+        "How can LLMs effectively generate queries from natural language texts? "
+        "(Text to Sparql or Cypher)",
+        "4.1.3 Query Generation from text", "repro.qa.text2sparql",
+        "benchmarks/test_bench_text2sparql.py",
+    ),
+]

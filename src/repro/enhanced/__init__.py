@@ -1,0 +1,31 @@
+"""KG-enhanced LLMs (survey §3).
+
+* :mod:`kbert` — K-BERT/Sem-K-BERT knowledge injection and Dict-BERT rare
+  word definitions: enrich the *input* before the model sees it.
+* :mod:`rag` — Naive, Advanced and Modular RAG over a chunked corpus.
+* :mod:`graph_rag` — GraphRAG: community detection over the KG + hierarchical
+  summaries, for the *global* questions Naive RAG cannot answer.
+* :mod:`knowledgegpt` — KnowledgeGPT: generate and execute search code
+  against a knowledge base, then answer from the results.
+"""
+
+from repro.enhanced.kbert import (
+    KnowledgeInjectionLayer, SemanticFilteredInjection, DictionaryInjection,
+)
+from repro.enhanced.rag import Chunk, DocumentChunker, NaiveRAG, AdvancedRAG, ModularRAG
+from repro.enhanced.graph_rag import GraphRAG, Community
+from repro.enhanced.knowledgegpt import KnowledgeGPT, SearchProgram
+from repro.enhanced.separation import (
+    KnowledgeSeparatedAssistant, SeparationReport, compare_against_closed_book,
+)
+from repro.enhanced.personal import PersonalAssistant, PersonalReply, build_personal_kg
+
+__all__ = [
+    "KnowledgeInjectionLayer", "SemanticFilteredInjection", "DictionaryInjection",
+    "Chunk", "DocumentChunker", "NaiveRAG", "AdvancedRAG", "ModularRAG",
+    "GraphRAG", "Community",
+    "KnowledgeGPT", "SearchProgram",
+    "KnowledgeSeparatedAssistant", "SeparationReport",
+    "compare_against_closed_book",
+    "PersonalAssistant", "PersonalReply", "build_personal_kg",
+]

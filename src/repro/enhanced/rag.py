@@ -1,0 +1,204 @@
+"""Retrieval-Augmented Generation: Naive, Advanced, Modular (survey §3).
+
+Naive RAG is the survey's three-step pipeline verbatim — **indexing**
+(chunk + embed), **retrieval** (query embedding, top-k by similarity),
+**generation** (query + chunks → LLM). Advanced RAG adds pre-retrieval query
+expansion and post-retrieval reranking/dedup. Modular RAG adds pluggable
+retrieval modules, including a KG retriever — the "retrieve pertinent
+information from knowledge graphs" capability the survey attributes to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import Pipeline, PipelineContext
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triples import RDF, RDFS
+from repro.llm import prompts as P
+from repro.llm.embedding import TextEncoder
+from repro.llm.model import SimulatedLLM
+from repro.llm.tokenizer import word_tokens
+from repro.text import split_sentences
+from repro.vector import VectorIndex
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One indexed text segment."""
+
+    chunk_id: str
+    text: str
+    document_id: str
+
+
+class DocumentChunker:
+    """Sentence-window chunking with overlap."""
+
+    def __init__(self, sentences_per_chunk: int = 3, overlap: int = 1):
+        if overlap >= sentences_per_chunk:
+            raise ValueError("overlap must be smaller than the chunk size")
+        self.sentences_per_chunk = sentences_per_chunk
+        self.overlap = overlap
+
+    def chunk(self, document_id: str, text: str) -> List[Chunk]:
+        """Split a document into overlapping sentence windows."""
+        sentences = split_sentences(text)
+        if not sentences:
+            return []
+        step = self.sentences_per_chunk - self.overlap
+        chunks = []
+        for start in range(0, len(sentences), step):
+            window = sentences[start:start + self.sentences_per_chunk]
+            chunks.append(Chunk(
+                chunk_id=f"{document_id}#{start}",
+                text=" ".join(window),
+                document_id=document_id,
+            ))
+            if start + self.sentences_per_chunk >= len(sentences):
+                break
+        return chunks
+
+
+class NaiveRAG:
+    """Indexing → retrieval → generation."""
+
+    def __init__(self, llm: SimulatedLLM, encoder: Optional[TextEncoder] = None,
+                 chunker: Optional[DocumentChunker] = None, top_k: int = 4):
+        self.llm = llm
+        self.encoder = encoder or TextEncoder(dim=96)
+        self.chunker = chunker or DocumentChunker()
+        self.top_k = top_k
+        self.index = VectorIndex(dim=self.encoder.dim)
+        self.chunks: Dict[str, Chunk] = {}
+        self.pipeline = (
+            Pipeline("naive-rag")
+            .add("retrieval", self._retrieve)
+            .add("generation", self._generate)
+        )
+
+    # -- indexing -----------------------------------------------------------
+    def index_documents(self, documents: Sequence[Tuple[str, str]]) -> int:
+        """Chunk and embed (doc_id, text) pairs; returns chunk count."""
+        added = 0
+        for document_id, text in documents:
+            for chunk in self.chunker.chunk(document_id, text):
+                self.chunks[chunk.chunk_id] = chunk
+                self.index.add(chunk.chunk_id, self.encoder.encode(chunk.text),
+                               payload=chunk)
+                added += 1
+        return added
+
+    # -- query --------------------------------------------------------------
+    def answer(self, question: str) -> str:
+        """Retrieve context and generate an answer."""
+        context = self.pipeline.execute(question=question)
+        return context["answer"]
+
+    def retrieve(self, question: str) -> List[Chunk]:
+        """The chunks the generator would see for this question."""
+        hits = self.index.search(self._query_vector(question), k=self.top_k)
+        return [hit.payload for hit in hits]
+
+    def _query_vector(self, question: str):
+        return self.encoder.encode(question)
+
+    def _retrieve(self, context: PipelineContext) -> None:
+        context["chunks"] = self.retrieve(context["question"])
+
+    def _generate(self, context: PipelineContext) -> None:
+        chunks: List[Chunk] = context["chunks"]
+        prompt = P.qa_prompt(context["question"],
+                             context=" ".join(c.text for c in chunks) or None)
+        context["answer"] = P.parse_qa_response(self.llm.complete(prompt).text)
+
+
+class AdvancedRAG(NaiveRAG):
+    """Naive RAG + query expansion, wider retrieval, reranking, dedup."""
+
+    def __init__(self, llm: SimulatedLLM, encoder: Optional[TextEncoder] = None,
+                 chunker: Optional[DocumentChunker] = None, top_k: int = 4,
+                 retrieve_factor: int = 3):
+        super().__init__(llm, encoder=encoder, chunker=chunker, top_k=top_k)
+        self.retrieve_factor = retrieve_factor
+        self.pipeline.name = "advanced-rag"
+
+    def _expand_query(self, question: str) -> str:
+        """Pre-retrieval: expand the query with recognized entity labels
+        (a cheap HyDE/rewrite analogue grounded in the mention lexicon)."""
+        expansions = [m.label for m in self.llm.find_mentions(question)]
+        return question + " " + " ".join(expansions) if expansions else question
+
+    def retrieve(self, question: str) -> List[Chunk]:
+        expanded = self._expand_query(question)
+        hits = self.index.search(self.encoder.encode(expanded),
+                                 k=self.top_k * self.retrieve_factor)
+        # Post-retrieval rerank: lexical overlap with the question, which a
+        # cross-encoder would compute; then near-duplicate removal.
+        question_tokens = set(word_tokens(question))
+        scored = []
+        for hit in hits:
+            chunk: Chunk = hit.payload
+            overlap = len(question_tokens & set(word_tokens(chunk.text)))
+            scored.append((overlap + hit.score, chunk))
+        scored.sort(key=lambda pair: (-pair[0], pair[1].chunk_id))
+        selected: List[Chunk] = []
+        seen_texts: List[set] = []
+        for _, chunk in scored:
+            tokens = set(word_tokens(chunk.text))
+            if any(len(tokens & prior) / (len(tokens | prior) or 1) > 0.8
+                   for prior in seen_texts):
+                continue  # near-duplicate of an already selected chunk
+            selected.append(chunk)
+            seen_texts.append(tokens)
+            if len(selected) >= self.top_k:
+                break
+        return selected
+
+
+class ModularRAG(AdvancedRAG):
+    """Advanced RAG + pluggable retrieval modules (notably a KG retriever)."""
+
+    def __init__(self, llm: SimulatedLLM, encoder: Optional[TextEncoder] = None,
+                 chunker: Optional[DocumentChunker] = None, top_k: int = 4,
+                 kg: Optional[KnowledgeGraph] = None, kg_facts: int = 6):
+        super().__init__(llm, encoder=encoder, chunker=chunker, top_k=top_k)
+        self.kg = kg
+        self.kg_facts = kg_facts
+        self.pipeline.name = "modular-rag"
+        self.extra_retrievers: List[Callable[[str], List[str]]] = []
+        if kg is not None:
+            self.extra_retrievers.append(self._kg_retriever)
+
+    def add_retriever(self, retriever: Callable[[str], List[str]]) -> None:
+        """Register an extra retrieval module (question → fact strings)."""
+        self.extra_retrievers.append(retriever)
+
+    def _kg_retriever(self, question: str) -> List[str]:
+        assert self.kg is not None
+        mentions = self.llm.find_mentions(question)
+        seeds = [m.iri for m in mentions if m.iri is not None]
+        facts: List[str] = []
+        if seeds:
+            subgraph = self.kg.subgraph(seeds, hops=1, max_triples=self.kg_facts * 2)
+            for triple in subgraph:
+                if triple.predicate in (RDFS.label, RDFS.comment, RDF.type):
+                    continue
+                facts.append(self.kg.verbalize_triple(triple))
+                if len(facts) >= self.kg_facts:
+                    break
+        return facts
+
+    def _generate(self, context: PipelineContext) -> None:
+        chunks: List[Chunk] = context["chunks"]
+        question = context["question"]
+        facts: List[str] = []
+        for retriever in self.extra_retrievers:
+            facts.extend(retriever(question))
+        prompt = P.qa_prompt(
+            question,
+            context=" ".join(c.text for c in chunks) or None,
+            facts=facts or None,
+        )
+        context["answer"] = P.parse_qa_response(self.llm.complete(prompt).text)

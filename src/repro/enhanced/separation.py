@@ -1,0 +1,132 @@
+"""Knowledge/language separation (survey §5.2, Open Challenges).
+
+The survey's proposed direction: *"go for smaller-sized LLMs without losing
+the capabilities of LLMs … incorporate the knowledge from KGs reliably into
+the inference process of LLMs and exclude the knowledge from the training
+data"* — the facts then "are not needed anymore to be stored in the neural
+network", cutting parameters and carbon footprint.
+
+:class:`KnowledgeSeparatedAssistant` is that architecture: a small backbone
+whose parametric memory is *deliberately emptied of facts* (language
+knowledge — lexicons, labels — is kept) paired with a reliable KG retriever
+at inference time. The E-SEPARATION benchmark compares it against a large
+closed-book model on factual QA and reports the parameter budget saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triples import IRI, RDF, RDFS
+from repro.llm import prompts as P
+from repro.llm.model import SimulatedLLM
+from repro.llm.registry import load_model
+
+
+@dataclass
+class SeparationReport:
+    """Accuracy and parameter accounting for one configuration."""
+
+    system: str
+    n_parameters: float
+    accuracy: float
+
+
+class KnowledgeSeparatedAssistant:
+    """A small, fact-free backbone + reliable KG retrieval at inference."""
+
+    def __init__(self, backbone: SimulatedLLM, kg: KnowledgeGraph,
+                 facts_budget: int = 30):
+        """``backbone`` should be loaded with ``knowledge_coverage=0.0`` —
+        the whole point is that no facts live in its parameters."""
+        self.backbone = backbone
+        self.kg = kg
+        self.facts_budget = facts_budget
+
+    @classmethod
+    def build(cls, kg: KnowledgeGraph, model_name: str = "bert-base",
+              seed: int = 0) -> "KnowledgeSeparatedAssistant":
+        """A separated assistant over ``kg`` with a fact-free small backbone."""
+        backbone = load_model(model_name, world=kg, seed=seed,
+                              knowledge_coverage=0.0, hallucination_rate=0.0)
+        return cls(backbone, kg)
+
+    def retrieve(self, question: str) -> List[str]:
+        """Reliable retrieval: the 2-hop facts of the question's entities,
+        restricted to its relations when any are recognized."""
+        mentions = self.backbone.find_mentions(question)
+        relations = {hit[1] for hit in self.backbone.find_relations(question)}
+        seeds = [m.iri for m in mentions if m.iri is not None]
+        facts: List[str] = []
+        frontier: List[IRI] = list(seeds)
+        for _ in range(2):
+            next_frontier: List[IRI] = []
+            for node in frontier:
+                for triple in self.kg.store.match(node, None, None):
+                    if triple.predicate in (RDFS.label, RDFS.comment, RDF.type):
+                        continue
+                    if relations and triple.predicate not in relations:
+                        continue
+                    facts.append(self.kg.verbalize_triple(triple))
+                    if isinstance(triple.object, IRI):
+                        next_frontier.append(triple.object)
+                    if len(facts) >= self.facts_budget:
+                        return facts
+            frontier = next_frontier
+        return facts
+
+    def answer(self, question: str) -> str:
+        """Grounded answer: the backbone only does language, the KG does facts."""
+        facts = self.retrieve(question)
+        response = self.backbone.complete(P.qa_prompt(question,
+                                                      facts=facts or None))
+        return P.parse_qa_response(response.text)
+
+
+def compare_against_closed_book(kg: KnowledgeGraph,
+                                questions: Sequence,
+                                large_model: str = "gpt-3",
+                                small_model: str = "bert-base",
+                                seed: int = 0) -> List[SeparationReport]:
+    """The §5.2 comparison: large closed-book vs small + KG.
+
+    ``questions`` are :class:`~repro.qa.multihop.MultiHopQuestion` items.
+    Returns a report per configuration, ordered as evaluated.
+    """
+    from repro.llm.registry import MODEL_PROFILES
+
+    def accuracy_of(answer_fn) -> float:
+        correct = 0
+        for question in questions:
+            answer = answer_fn(question.text)
+            gold_labels = {kg.label(a).lower() for a in question.answers}
+            predicted = {part.strip().lower() for part in answer.split(",")}
+            if predicted & gold_labels:
+                correct += 1
+        return correct / len(questions) if questions else 0.0
+
+    large = load_model(large_model, world=kg, seed=seed)
+
+    def large_closed_book(text: str) -> str:
+        return P.parse_qa_response(large.complete(P.qa_prompt(text)).text)
+
+    small_closed = load_model(small_model, world=kg, seed=seed)
+
+    def small_closed_book(text: str) -> str:
+        return P.parse_qa_response(small_closed.complete(P.qa_prompt(text)).text)
+
+    separated = KnowledgeSeparatedAssistant.build(kg, model_name=small_model,
+                                                  seed=seed)
+    return [
+        SeparationReport(f"{large_model} closed-book",
+                         float(MODEL_PROFILES[large_model]["n_parameters"]),
+                         accuracy_of(large_closed_book)),
+        SeparationReport(f"{small_model} closed-book",
+                         float(MODEL_PROFILES[small_model]["n_parameters"]),
+                         accuracy_of(small_closed_book)),
+        SeparationReport(f"{small_model} + KG (separated)",
+                         float(MODEL_PROFILES[small_model]["n_parameters"]),
+                         accuracy_of(separated.answer)),
+    ]

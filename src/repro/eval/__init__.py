@@ -1,0 +1,27 @@
+"""Evaluation substrate: metrics and a small experiment harness shared by
+tests, benchmarks and EXPERIMENTS.md generation."""
+
+from repro.eval.metrics import (
+    precision_recall_f1,
+    exact_match,
+    token_f1,
+    bleu,
+    rouge_l,
+    mean_reciprocal_rank,
+    hits_at_k,
+    accuracy,
+)
+from repro.eval.harness import ExperimentResult, ResultTable
+
+__all__ = [
+    "precision_recall_f1",
+    "exact_match",
+    "token_f1",
+    "bleu",
+    "rouge_l",
+    "mean_reciprocal_rank",
+    "hits_at_k",
+    "accuracy",
+    "ExperimentResult",
+    "ResultTable",
+]

@@ -1,0 +1,76 @@
+"""Experiment harness: named results collected into printable tables.
+
+Benchmarks build a :class:`ResultTable` per paper artifact (table/figure)
+and print it; EXPERIMENTS.md records the same rows. Keeping the rendering
+here means benches and docs cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, bool]
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment run: an id, a config description, and named metrics."""
+
+    experiment: str
+    system: str
+    metrics: Dict[str, Cell] = field(default_factory=dict)
+
+    def metric(self, name: str) -> Cell:
+        """Fetch one metric (KeyError when missing — tests want loud failures)."""
+        return self.metrics[name]
+
+
+class ResultTable:
+    """An ordered collection of results rendered as an aligned text table."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[ExperimentResult] = []
+
+    def add(self, system: str, **metrics: Cell) -> ExperimentResult:
+        """Append one row; unknown metric names are rejected to avoid typos."""
+        unknown = set(metrics) - set(self.columns)
+        if unknown:
+            raise KeyError(f"metrics {sorted(unknown)} not in columns {self.columns}")
+        result = ExperimentResult(experiment=self.title, system=system, metrics=metrics)
+        self.rows.append(result)
+        return result
+
+    def get(self, system: str) -> ExperimentResult:
+        """Row lookup by system name."""
+        for row in self.rows:
+            if row.system == system:
+                return row
+        raise KeyError(f"no row for system {system!r} in {self.title}")
+
+    def render(self) -> str:
+        """Fixed-width text rendering (printed by every benchmark)."""
+        headers = ["system"] + self.columns
+        body: List[List[str]] = []
+        for row in self.rows:
+            cells = [row.system]
+            for column in self.columns:
+                value = row.metrics.get(column, "")
+                if isinstance(value, float):
+                    cells.append(f"{value:.3f}")
+                else:
+                    cells.append(str(value))
+            body.append(cells)
+        widths = [max(len(headers[i]), *(len(r[i]) for r in body)) if body else len(headers[i])
+                  for i in range(len(headers))]
+        lines = [self.title]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("-+-".join("-" * w for w in widths))
+        for cells in body:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(cells, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

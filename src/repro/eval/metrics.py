@@ -1,0 +1,146 @@
+"""Evaluation metrics.
+
+Set-based precision/recall/F1 for extraction tasks; BLEU and ROUGE-L for
+generation (RQ1); MRR and Hits@k for link prediction; exact-match and token
+F1 for QA. All from scratch, no external dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.llm.tokenizer import word_tokens
+
+
+def precision_recall_f1(predicted: Iterable, gold: Iterable) -> Dict[str, float]:
+    """Set-based P/R/F1 (duplicates collapse). Empty/empty scores 1.0."""
+    predicted_set = set(predicted)
+    gold_set = set(gold)
+    if not predicted_set and not gold_set:
+        return {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+    tp = len(predicted_set & gold_set)
+    precision = tp / len(predicted_set) if predicted_set else 0.0
+    recall = tp / len(gold_set) if gold_set else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def accuracy(predictions: Sequence, gold: Sequence) -> float:
+    """Fraction of positions where prediction equals gold."""
+    if len(predictions) != len(gold):
+        raise ValueError("predictions and gold must have equal length")
+    if not gold:
+        return 1.0
+    return sum(1 for p, g in zip(predictions, gold) if p == g) / len(gold)
+
+
+def exact_match(prediction: str, gold: str) -> bool:
+    """Case/whitespace-insensitive string equality."""
+    return _normalize(prediction) == _normalize(gold)
+
+
+def token_f1(prediction: str, gold: str) -> float:
+    """SQuAD-style token overlap F1."""
+    p_tokens = word_tokens(prediction)
+    g_tokens = word_tokens(gold)
+    if not p_tokens and not g_tokens:
+        return 1.0
+    if not p_tokens or not g_tokens:
+        return 0.0
+    common = Counter(p_tokens) & Counter(g_tokens)
+    overlap = sum(common.values())
+    if overlap == 0:
+        return 0.0
+    precision = overlap / len(p_tokens)
+    recall = overlap / len(g_tokens)
+    return 2 * precision * recall / (precision + recall)
+
+
+def bleu(prediction: str, references: Sequence[str], max_n: int = 4) -> float:
+    """Corpus-style BLEU for a single sentence with brevity penalty.
+
+    Uses add-0 clipped precision with the standard smoothing of replacing
+    zero counts by 1/(2 * length) so short outputs do not zero out.
+    """
+    p_tokens = word_tokens(prediction)
+    if not p_tokens or not references:
+        return 0.0
+    reference_token_lists = [word_tokens(r) for r in references]
+    log_precision_sum = 0.0
+    for n in range(1, max_n + 1):
+        p_ngrams = _ngrams(p_tokens, n)
+        if not p_ngrams:
+            log_precision_sum += math.log(1.0 / (2 * len(p_tokens)))
+            continue
+        max_ref_counts: Counter = Counter()
+        for ref_tokens in reference_token_lists:
+            ref_counts = Counter(_ngrams(ref_tokens, n))
+            for gram, count in ref_counts.items():
+                max_ref_counts[gram] = max(max_ref_counts[gram], count)
+        p_counts = Counter(p_ngrams)
+        clipped = sum(min(count, max_ref_counts.get(gram, 0))
+                      for gram, count in p_counts.items())
+        if clipped == 0:
+            precision = 1.0 / (2 * len(p_ngrams))
+        else:
+            precision = clipped / len(p_ngrams)
+        log_precision_sum += math.log(precision)
+    geometric_mean = math.exp(log_precision_sum / max_n)
+    closest_ref_len = min((abs(len(r) - len(p_tokens)), len(r))
+                          for r in reference_token_lists)[1]
+    if len(p_tokens) >= closest_ref_len:
+        brevity_penalty = 1.0
+    else:
+        brevity_penalty = math.exp(1 - closest_ref_len / len(p_tokens))
+    return brevity_penalty * geometric_mean
+
+
+def rouge_l(prediction: str, reference: str) -> float:
+    """ROUGE-L F-measure via longest common subsequence."""
+    p_tokens = word_tokens(prediction)
+    r_tokens = word_tokens(reference)
+    if not p_tokens or not r_tokens:
+        return 1.0 if not p_tokens and not r_tokens else 0.0
+    lcs = _lcs_length(p_tokens, r_tokens)
+    if lcs == 0:
+        return 0.0
+    precision = lcs / len(p_tokens)
+    recall = lcs / len(r_tokens)
+    return 2 * precision * recall / (precision + recall)
+
+
+def mean_reciprocal_rank(ranks: Sequence[int]) -> float:
+    """Mean of 1/rank over gold ranks (1-indexed; 0 or negative = miss)."""
+    if not ranks:
+        return 0.0
+    return sum(1.0 / r for r in ranks if r > 0) / len(ranks)
+
+
+def hits_at_k(ranks: Sequence[int], k: int) -> float:
+    """Fraction of gold ranks within the top ``k``."""
+    if not ranks:
+        return 0.0
+    return sum(1 for r in ranks if 0 < r <= k) / len(ranks)
+
+
+def _ngrams(tokens: Sequence[str], n: int) -> List[Tuple[str, ...]]:
+    return [tuple(tokens[i:i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def _lcs_length(a: Sequence[str], b: Sequence[str]) -> int:
+    previous = [0] * (len(b) + 1)
+    for i in range(1, len(a) + 1):
+        current = [0] * (len(b) + 1)
+        for j in range(1, len(b) + 1):
+            if a[i - 1] == b[j - 1]:
+                current[j] = previous[j - 1] + 1
+            else:
+                current[j] = max(previous[j], current[j - 1])
+        previous = current
+    return previous[len(b)]
+
+
+def _normalize(text: str) -> str:
+    return " ".join(word_tokens(text))

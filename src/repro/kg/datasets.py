@@ -1,0 +1,698 @@
+"""Seeded synthetic knowledge graphs.
+
+The surveyed systems evaluate on Freebase, Wikidata, DBpedia and domain KGs
+we cannot ship. These generators produce structurally comparable graphs —
+typed entities, labelled relations, a schema ontology, multi-hop structure,
+functional properties, descriptions — with *gold labels for free*, which is
+what lets every benchmark in this repo compute exact metrics.
+
+All generators take a ``seed`` and are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.ontology import Ontology, PropertyCharacteristic
+from repro.kg.triples import IRI, Literal, Namespace, XSD
+
+EX = Namespace("http://repro.dev/kg/")
+SCHEMA = Namespace("http://repro.dev/schema/")
+
+_GIVEN = [
+    "Alice", "Boris", "Chandra", "Dalia", "Emre", "Farah", "Goran", "Hana",
+    "Imani", "Jonas", "Keiko", "Liam", "Mira", "Nadia", "Omar", "Priya",
+    "Quentin", "Rosa", "Sven", "Tariq", "Uma", "Viktor", "Wei", "Ximena",
+    "Yara", "Zoltan", "Anouk", "Bram", "Carmen", "Dmitri", "Elif", "Felix",
+]
+_FAMILY = [
+    "Abbas", "Berger", "Chen", "Dubois", "Eriksen", "Fontana", "Garcia",
+    "Haddad", "Ivanov", "Jensen", "Kato", "Lindqvist", "Moreau", "Novak",
+    "Okafor", "Petrov", "Quispe", "Rahman", "Silva", "Tanaka", "Unger",
+    "Vargas", "Weber", "Xu", "Yilmaz", "Zhang",
+]
+_CITY_PARTS = (
+    ["North", "South", "East", "West", "New", "Old", "Port", "Lake", "Fort", "Mount"],
+    ["haven", "ford", "brook", "field", "ville", "burg", "stad", "minster", "gate", "holm"],
+)
+_COUNTRY_NAMES = [
+    "Avaloria", "Borduria", "Costaguana", "Drovania", "Elbonia", "Florin",
+    "Genovia", "Havenland", "Illyria", "Jotunheim", "Krakozhia", "Latveria",
+    "Molvania", "Novistrana", "Orsinia", "Pottsylvania",
+]
+_COMPANY_PARTS = (
+    ["Acme", "Globex", "Initech", "Umbra", "Vertex", "Nimbus", "Quanta",
+     "Helix", "Strata", "Apex", "Zenith", "Orbit"],
+    ["Corp", "Systems", "Labs", "Industries", "Dynamics", "Analytics",
+     "Networks", "Holdings"],
+)
+_UNIVERSITY_CITIES_HINT = ["Institute of Technology", "University", "Polytechnic", "College"]
+_MOVIE_ADJ = ["Silent", "Crimson", "Lost", "Golden", "Midnight", "Broken",
+              "Electric", "Distant", "Hidden", "Final", "Burning", "Frozen"]
+_MOVIE_NOUN = ["Horizon", "Empire", "Garden", "Voyage", "Symphony", "Mirror",
+               "Harvest", "Protocol", "Labyrinth", "Covenant", "Paradox", "Shore"]
+_GENRES = ["Drama", "Comedy", "Thriller", "Science_Fiction", "Documentary",
+           "Romance", "Horror", "Animation"]
+
+
+def _unique_names(rng: random.Random, pool_a: Sequence[str], pool_b: Sequence[str],
+                  n: int, joiner: str = " ") -> List[str]:
+    """Deterministically draw ``n`` unique two-part names, suffixing on overflow."""
+    combos = [(a, b) for a in pool_a for b in pool_b]
+    rng.shuffle(combos)
+    out = []
+    index = 0
+    while len(out) < n:
+        if index < len(combos):
+            a, b = combos[index]
+            name = f"{a}{joiner}{b}"
+        else:
+            a, b = combos[index % len(combos)]
+            name = f"{a}{joiner}{b} {_roman(index // len(combos) + 1)}"
+        out.append(name)
+        index += 1
+    return out
+
+
+def _roman(n: int) -> str:
+    numerals = [(10, "X"), (9, "IX"), (5, "V"), (4, "IV"), (1, "I")]
+    out = []
+    for value, symbol in numerals:
+        while n >= value:
+            out.append(symbol)
+            n -= value
+    return "".join(out)
+
+
+def _mint(label: str) -> IRI:
+    return EX[label.replace(" ", "_").replace("'", "")]
+
+
+@dataclass
+class Dataset:
+    """A generated KG together with its schema and generation metadata."""
+
+    kg: KnowledgeGraph
+    ontology: Ontology
+    seed: int
+    name: str
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def stats(self) -> Dict[str, int]:
+        """Convenience passthrough to the graph's statistics."""
+        return self.kg.stats()
+
+
+# ---------------------------------------------------------------------------
+# Encyclopedia (Freebase/Wikidata analogue)
+# ---------------------------------------------------------------------------
+
+def encyclopedia_ontology() -> Ontology:
+    """Schema for the general-knowledge graph (people, places, organizations)."""
+    onto = Ontology("encyclopedia")
+    onto.add_class(SCHEMA.Agent, "Agent")
+    onto.add_class(SCHEMA.Person, "Person", parents=[SCHEMA.Agent])
+    onto.add_class(SCHEMA.Organization, "Organization", parents=[SCHEMA.Agent])
+    onto.add_class(SCHEMA.Company, "Company", parents=[SCHEMA.Organization])
+    onto.add_class(SCHEMA.University, "University", parents=[SCHEMA.Organization])
+    onto.add_class(SCHEMA.Place, "Place")
+    onto.add_class(SCHEMA.City, "City", parents=[SCHEMA.Place])
+    onto.add_class(SCHEMA.Country, "Country", parents=[SCHEMA.Place])
+    onto.set_disjoint(SCHEMA.Person, SCHEMA.Place)
+    onto.set_disjoint(SCHEMA.Person, SCHEMA.Organization)
+    onto.set_disjoint(SCHEMA.City, SCHEMA.Country)
+    onto.add_property(SCHEMA.bornIn, "born in", domain=SCHEMA.Person, range=SCHEMA.City,
+                      characteristics=[PropertyCharacteristic.FUNCTIONAL])
+    onto.add_property(SCHEMA.citizenOf, "citizen of", domain=SCHEMA.Person, range=SCHEMA.Country)
+    onto.add_property(SCHEMA.locatedIn, "located in", domain=SCHEMA.Place, range=SCHEMA.Country,
+                      characteristics=[PropertyCharacteristic.FUNCTIONAL])
+    onto.add_property(SCHEMA.headquarteredIn, "headquartered in",
+                      domain=SCHEMA.Organization, range=SCHEMA.City,
+                      characteristics=[PropertyCharacteristic.FUNCTIONAL])
+    onto.add_property(SCHEMA.capitalOf, "capital of", domain=SCHEMA.City, range=SCHEMA.Country,
+                      characteristics=[PropertyCharacteristic.FUNCTIONAL,
+                                       PropertyCharacteristic.INVERSE_FUNCTIONAL])
+    onto.add_property(SCHEMA.foundedBy, "founded by", domain=SCHEMA.Organization,
+                      range=SCHEMA.Person)
+    onto.add_property(SCHEMA.worksFor, "works for", domain=SCHEMA.Person,
+                      range=SCHEMA.Organization)
+    onto.add_property(SCHEMA.educatedAt, "educated at", domain=SCHEMA.Person,
+                      range=SCHEMA.University)
+    onto.add_property(SCHEMA.spouse, "spouse", domain=SCHEMA.Person, range=SCHEMA.Person,
+                      characteristics=[PropertyCharacteristic.SYMMETRIC,
+                                       PropertyCharacteristic.IRREFLEXIVE])
+    onto.add_property(SCHEMA.birthYear, "birth year", domain=SCHEMA.Person,
+                      characteristics=[PropertyCharacteristic.FUNCTIONAL])
+    return onto
+
+
+def encyclopedia_kg(seed: int = 0, n_people: int = 120, n_cities: int = 24,
+                    n_countries: int = 8, n_companies: int = 16,
+                    n_universities: int = 8) -> Dataset:
+    """A Freebase-like general-knowledge graph with gold schema conformance.
+
+    Every generated triple respects the schema in
+    :func:`encyclopedia_ontology`; the validation benchmarks inject
+    violations *afterwards*, so detected violations are exactly the
+    injected ones.
+    """
+    rng = random.Random(seed)
+    kg = KnowledgeGraph(name=f"encyclopedia-{seed}")
+    onto = encyclopedia_ontology()
+    kg.add_triples(onto.to_triples())
+
+    countries = []
+    for name in rng.sample(_COUNTRY_NAMES, n_countries):
+        iri = _mint(name)
+        kg.set_type(iri, SCHEMA.Country)
+        kg.set_label(iri, name)
+        countries.append(iri)
+
+    cities = []
+    capitals: Dict[IRI, IRI] = {}
+    for name in _unique_names(rng, *_CITY_PARTS, n=n_cities, joiner=""):
+        iri = _mint(name)
+        kg.set_type(iri, SCHEMA.City)
+        kg.set_label(iri, name)
+        country = countries[len(cities) % len(countries)]
+        kg.add(iri, SCHEMA.locatedIn, country)
+        if country not in capitals:
+            capitals[country] = iri
+            kg.add(iri, SCHEMA.capitalOf, country)
+        cities.append(iri)
+
+    universities = []
+    for i in range(n_universities):
+        city = cities[rng.randrange(len(cities))]
+        name = f"{kg.label(city)} {_UNIVERSITY_CITIES_HINT[i % len(_UNIVERSITY_CITIES_HINT)]}"
+        iri = _mint(name)
+        kg.set_type(iri, SCHEMA.University)
+        kg.set_label(iri, name)
+        kg.add(iri, SCHEMA.headquarteredIn, city)
+        universities.append(iri)
+
+    companies = []
+    for name in _unique_names(rng, *_COMPANY_PARTS, n=n_companies):
+        iri = _mint(name)
+        kg.set_type(iri, SCHEMA.Company)
+        kg.set_label(iri, name)
+        kg.add(iri, SCHEMA.headquarteredIn, cities[rng.randrange(len(cities))])
+        companies.append(iri)
+
+    people = []
+    for name in _unique_names(rng, _GIVEN, _FAMILY, n=n_people):
+        iri = _mint(name)
+        kg.set_type(iri, SCHEMA.Person)
+        kg.set_label(iri, name)
+        birth_city = cities[rng.randrange(len(cities))]
+        kg.add(iri, SCHEMA.bornIn, birth_city)
+        country = kg.store.value(birth_city, SCHEMA.locatedIn)
+        if country is not None:
+            kg.add(iri, SCHEMA.citizenOf, country)
+        kg.add(iri, SCHEMA.birthYear,
+               Literal(str(rng.randrange(1940, 2005)), datatype=XSD.gYear))
+        if rng.random() < 0.8:
+            kg.add(iri, SCHEMA.worksFor, companies[rng.randrange(len(companies))])
+        if rng.random() < 0.6:
+            kg.add(iri, SCHEMA.educatedAt, universities[rng.randrange(len(universities))])
+        people.append(iri)
+
+    # Spouses: pair up a deterministic subset, symmetric closure applied.
+    shuffled = people[:]
+    rng.shuffle(shuffled)
+    for a, b in zip(shuffled[0::2], shuffled[1::2]):
+        if rng.random() < 0.5:
+            kg.add(a, SCHEMA.spouse, b)
+            kg.add(b, SCHEMA.spouse, a)
+
+    for company in companies:
+        founder = people[rng.randrange(len(people))]
+        kg.add(company, SCHEMA.foundedBy, founder)
+
+    # Descriptions for a subset (the KG-to-text gold side).
+    for person in people[: n_people // 3]:
+        born = kg.store.value(person, SCHEMA.bornIn)
+        year = kg.store.value(person, SCHEMA.birthYear)
+        if born is not None and year is not None:
+            kg.set_description(
+                person,
+                f"{kg.label(person)} is a person born in {kg.label(born)} in {year.lexical}.",
+            )
+
+    return Dataset(kg=kg, ontology=onto, seed=seed, name="encyclopedia",
+                   metadata={"people": [p.value for p in people],
+                             "cities": [c.value for c in cities],
+                             "countries": [c.value for c in countries],
+                             "companies": [c.value for c in companies],
+                             "universities": [u.value for u in universities]})
+
+
+# ---------------------------------------------------------------------------
+# Family (multi-hop / FOL reasoning substrate)
+# ---------------------------------------------------------------------------
+
+def family_ontology() -> Ontology:
+    """Schema for the kinship graph used by reasoning and multi-hop QA."""
+    onto = Ontology("family")
+    onto.add_class(SCHEMA.Person, "Person")
+    onto.add_class(SCHEMA.Man, "Man", parents=[SCHEMA.Person])
+    onto.add_class(SCHEMA.Woman, "Woman", parents=[SCHEMA.Person])
+    onto.set_disjoint(SCHEMA.Man, SCHEMA.Woman)
+    onto.add_property(SCHEMA.parentOf, "parent of", domain=SCHEMA.Person,
+                      range=SCHEMA.Person,
+                      characteristics=[PropertyCharacteristic.ASYMMETRIC,
+                                       PropertyCharacteristic.IRREFLEXIVE],
+                      inverse_of=SCHEMA.childOf)
+    onto.add_property(SCHEMA.childOf, "child of", domain=SCHEMA.Person,
+                      range=SCHEMA.Person, inverse_of=SCHEMA.parentOf)
+    onto.add_property(SCHEMA.marriedTo, "married to", domain=SCHEMA.Person,
+                      range=SCHEMA.Person,
+                      characteristics=[PropertyCharacteristic.SYMMETRIC,
+                                       PropertyCharacteristic.IRREFLEXIVE])
+    onto.add_property(SCHEMA.siblingOf, "sibling of", domain=SCHEMA.Person,
+                      range=SCHEMA.Person,
+                      characteristics=[PropertyCharacteristic.SYMMETRIC,
+                                       PropertyCharacteristic.IRREFLEXIVE])
+    onto.add_property(SCHEMA.ancestorOf, "ancestor of", domain=SCHEMA.Person,
+                      range=SCHEMA.Person,
+                      characteristics=[PropertyCharacteristic.TRANSITIVE,
+                                       PropertyCharacteristic.IRREFLEXIVE])
+    onto.add_property(SCHEMA.livesIn, "lives in", domain=SCHEMA.Person,
+                      characteristics=[PropertyCharacteristic.FUNCTIONAL])
+    return onto
+
+
+def family_kg(seed: int = 0, n_generations: int = 3, families: int = 6) -> Dataset:
+    """A kinship graph: ``families`` founding couples, ``n_generations`` deep.
+
+    parentOf/childOf inverses, marriedTo/siblingOf symmetry and the
+    transitive ancestorOf closure are all materialized, making this the
+    substrate for FOL query answering (E-REASON) and multi-hop QA (RQ5).
+    """
+    rng = random.Random(seed)
+    kg = KnowledgeGraph(name=f"family-{seed}")
+    onto = family_ontology()
+    kg.add_triples(onto.to_triples())
+
+    towns = [_mint(n) for n in _unique_names(rng, *_CITY_PARTS, n=families, joiner="")]
+    for town in towns:
+        kg.set_label(town, town.local_name)
+
+    names = iter(_unique_names(rng, _GIVEN, _FAMILY, n=families * (2 ** (n_generations + 2))))
+
+    def new_person(gender: str, town: IRI) -> IRI:
+        name = next(names)
+        iri = _mint(name)
+        kg.set_type(iri, SCHEMA.Man if gender == "m" else SCHEMA.Woman)
+        kg.set_type(iri, SCHEMA.Person)
+        kg.set_label(iri, name)
+        kg.add(iri, SCHEMA.livesIn, town)
+        return iri
+
+    all_people: List[IRI] = []
+    parent_edges: List[Tuple[IRI, IRI]] = []
+    for f in range(families):
+        town = towns[f]
+        father = new_person("m", town)
+        mother = new_person("f", town)
+        kg.add(father, SCHEMA.marriedTo, mother)
+        kg.add(mother, SCHEMA.marriedTo, father)
+        all_people.extend([father, mother])
+        generation = [(father, mother)]
+        for _ in range(n_generations):
+            next_generation = []
+            for dad, mom in generation:
+                n_children = rng.randrange(1, 4)
+                children = []
+                for _ in range(n_children):
+                    child = new_person(rng.choice("mf"), town)
+                    for parent in (dad, mom):
+                        kg.add(parent, SCHEMA.parentOf, child)
+                        kg.add(child, SCHEMA.childOf, parent)
+                        parent_edges.append((parent, child))
+                    children.append(child)
+                    all_people.append(child)
+                for i, a in enumerate(children):
+                    for b in children[i + 1:]:
+                        kg.add(a, SCHEMA.siblingOf, b)
+                        kg.add(b, SCHEMA.siblingOf, a)
+                # Marry some children to fresh spouses to continue the line.
+                for child in children:
+                    if rng.random() < 0.7:
+                        spouse = new_person(rng.choice("mf"), town)
+                        kg.add(child, SCHEMA.marriedTo, spouse)
+                        kg.add(spouse, SCHEMA.marriedTo, child)
+                        all_people.append(spouse)
+                        next_generation.append((child, spouse))
+            generation = next_generation
+            if not generation:
+                break
+
+    # Materialize the transitive ancestorOf closure.
+    children_of: Dict[IRI, List[IRI]] = {}
+    for parent, child in parent_edges:
+        children_of.setdefault(parent, []).append(child)
+
+    def descendants(node: IRI) -> List[IRI]:
+        out = []
+        stack = list(children_of.get(node, []))
+        while stack:
+            current = stack.pop()
+            out.append(current)
+            stack.extend(children_of.get(current, []))
+        return out
+
+    for person in list(children_of):
+        for descendant in descendants(person):
+            kg.add(person, SCHEMA.ancestorOf, descendant)
+
+    return Dataset(kg=kg, ontology=onto, seed=seed, name="family",
+                   metadata={"people": [p.value for p in all_people],
+                             "towns": [t.value for t in towns]})
+
+
+# ---------------------------------------------------------------------------
+# Movie (KG-to-text / QA / chatbot substrate)
+# ---------------------------------------------------------------------------
+
+def movie_ontology() -> Ontology:
+    """Schema for the film-domain graph."""
+    onto = Ontology("movie")
+    onto.add_class(SCHEMA.Person, "Person")
+    onto.add_class(SCHEMA.Actor, "Actor", parents=[SCHEMA.Person])
+    onto.add_class(SCHEMA.Director, "Director", parents=[SCHEMA.Person])
+    onto.add_class(SCHEMA.Movie, "Movie")
+    onto.add_class(SCHEMA.Genre, "Genre")
+    onto.set_disjoint(SCHEMA.Person, SCHEMA.Movie)
+    onto.set_disjoint(SCHEMA.Movie, SCHEMA.Genre)
+    onto.add_property(SCHEMA.directedBy, "directed by", domain=SCHEMA.Movie,
+                      range=SCHEMA.Director)
+    onto.add_property(SCHEMA.starring, "starring", domain=SCHEMA.Movie, range=SCHEMA.Actor)
+    onto.add_property(SCHEMA.hasGenre, "has genre", domain=SCHEMA.Movie, range=SCHEMA.Genre)
+    onto.add_property(SCHEMA.releaseYear, "release year", domain=SCHEMA.Movie,
+                      characteristics=[PropertyCharacteristic.FUNCTIONAL])
+    onto.add_property(SCHEMA.sequelOf, "sequel of", domain=SCHEMA.Movie, range=SCHEMA.Movie,
+                      characteristics=[PropertyCharacteristic.ASYMMETRIC,
+                                       PropertyCharacteristic.FUNCTIONAL,
+                                       PropertyCharacteristic.IRREFLEXIVE])
+    onto.add_property(SCHEMA.wonAward, "won award", domain=SCHEMA.Movie)
+    return onto
+
+
+def movie_kg(seed: int = 0, n_movies: int = 60, n_actors: int = 40,
+             n_directors: int = 12) -> Dataset:
+    """A film-domain graph with actors, directors, genres and sequels."""
+    rng = random.Random(seed)
+    kg = KnowledgeGraph(name=f"movie-{seed}")
+    onto = movie_ontology()
+    kg.add_triples(onto.to_triples())
+
+    genres = []
+    for g in _GENRES:
+        iri = _mint(g)
+        kg.set_type(iri, SCHEMA.Genre)
+        kg.set_label(iri, g.replace("_", " "))
+        genres.append(iri)
+
+    directors = []
+    for name in _unique_names(rng, _GIVEN, _FAMILY, n=n_directors):
+        iri = _mint("Dir " + name)
+        kg.set_type(iri, SCHEMA.Director)
+        kg.set_type(iri, SCHEMA.Person)
+        kg.set_label(iri, name)
+        directors.append(iri)
+
+    actors = []
+    for name in _unique_names(rng, list(reversed(_GIVEN)), _FAMILY, n=n_actors):
+        iri = _mint("Act " + name)
+        kg.set_type(iri, SCHEMA.Actor)
+        kg.set_type(iri, SCHEMA.Person)
+        kg.set_label(iri, name)
+        actors.append(iri)
+
+    movies = []
+    titles = _unique_names(rng, _MOVIE_ADJ, _MOVIE_NOUN, n=n_movies)
+    for title in titles:
+        iri = _mint(title)
+        kg.set_type(iri, SCHEMA.Movie)
+        kg.set_label(iri, f"The {title}")
+        kg.add(iri, SCHEMA.directedBy, directors[rng.randrange(len(directors))])
+        for actor in rng.sample(actors, k=min(len(actors), rng.randrange(2, 5))):
+            kg.add(iri, SCHEMA.starring, actor)
+        kg.add(iri, SCHEMA.hasGenre, genres[rng.randrange(len(genres))])
+        kg.add(iri, SCHEMA.releaseYear,
+               Literal(str(rng.randrange(1975, 2024)), datatype=XSD.gYear))
+        if movies and rng.random() < 0.15:
+            kg.add(iri, SCHEMA.sequelOf, movies[rng.randrange(len(movies))])
+        if rng.random() < 0.2:
+            kg.add(iri, SCHEMA.wonAward, Literal("Golden Reel"))
+        movies.append(iri)
+
+    return Dataset(kg=kg, ontology=onto, seed=seed, name="movie",
+                   metadata={"movies": [m.value for m in movies],
+                             "actors": [a.value for a in actors],
+                             "directors": [d.value for d in directors],
+                             "genres": [g.value for g in genres]})
+
+
+# ---------------------------------------------------------------------------
+# COVID-19 biomedical (RQ2 ontology-generation substrate, after [28])
+# ---------------------------------------------------------------------------
+
+def covid_ontology() -> Ontology:
+    """The gold biomedical schema the ontology-generation experiment targets."""
+    onto = Ontology("covid")
+    onto.add_class(SCHEMA.BiomedicalEntity, "Biomedical Entity")
+    onto.add_class(SCHEMA.Disease, "Disease", parents=[SCHEMA.BiomedicalEntity])
+    onto.add_class(SCHEMA.Pathogen, "Pathogen", parents=[SCHEMA.BiomedicalEntity])
+    onto.add_class(SCHEMA.Virus, "Virus", parents=[SCHEMA.Pathogen])
+    onto.add_class(SCHEMA.Symptom, "Symptom", parents=[SCHEMA.BiomedicalEntity])
+    onto.add_class(SCHEMA.Intervention, "Intervention", parents=[SCHEMA.BiomedicalEntity])
+    onto.add_class(SCHEMA.Treatment, "Treatment", parents=[SCHEMA.Intervention])
+    onto.add_class(SCHEMA.Vaccine, "Vaccine", parents=[SCHEMA.Intervention])
+    onto.set_disjoint(SCHEMA.Disease, SCHEMA.Symptom)
+    onto.set_disjoint(SCHEMA.Pathogen, SCHEMA.Intervention)
+    onto.add_property(SCHEMA.causedBy, "caused by", domain=SCHEMA.Disease,
+                      range=SCHEMA.Pathogen)
+    onto.add_property(SCHEMA.hasSymptom, "has symptom", domain=SCHEMA.Disease,
+                      range=SCHEMA.Symptom)
+    onto.add_property(SCHEMA.treatedBy, "treated by", domain=SCHEMA.Disease,
+                      range=SCHEMA.Treatment)
+    onto.add_property(SCHEMA.preventedBy, "prevented by", domain=SCHEMA.Disease,
+                      range=SCHEMA.Vaccine)
+    onto.add_property(SCHEMA.transmittedVia, "transmitted via", domain=SCHEMA.Disease)
+    onto.add_property(SCHEMA.variantOf, "variant of", domain=SCHEMA.Virus,
+                      range=SCHEMA.Virus,
+                      characteristics=[PropertyCharacteristic.ASYMMETRIC,
+                                       PropertyCharacteristic.IRREFLEXIVE])
+    return onto
+
+
+_COVID_FACTS: List[Tuple[str, str, str]] = [
+    ("COVID-19", "causedBy", "SARS-CoV-2"),
+    ("COVID-19", "hasSymptom", "Fever"),
+    ("COVID-19", "hasSymptom", "Dry_Cough"),
+    ("COVID-19", "hasSymptom", "Fatigue"),
+    ("COVID-19", "hasSymptom", "Loss_of_Smell"),
+    ("COVID-19", "treatedBy", "Antiviral_Therapy"),
+    ("COVID-19", "treatedBy", "Oxygen_Therapy"),
+    ("COVID-19", "preventedBy", "mRNA_Vaccine"),
+    ("COVID-19", "preventedBy", "Vector_Vaccine"),
+    ("COVID-19", "transmittedVia", "Respiratory_Droplets"),
+    ("Influenza", "causedBy", "Influenza_Virus"),
+    ("Influenza", "hasSymptom", "Fever"),
+    ("Influenza", "hasSymptom", "Muscle_Ache"),
+    ("Influenza", "treatedBy", "Antiviral_Therapy"),
+    ("Influenza", "preventedBy", "Flu_Vaccine"),
+    ("Common_Cold", "causedBy", "Rhinovirus"),
+    ("Common_Cold", "hasSymptom", "Runny_Nose"),
+    ("Common_Cold", "hasSymptom", "Sore_Throat"),
+    ("Omicron_Variant", "variantOf", "SARS-CoV-2"),
+    ("Delta_Variant", "variantOf", "SARS-CoV-2"),
+]
+
+_COVID_TYPES: Dict[str, str] = {
+    "COVID-19": "Disease", "Influenza": "Disease", "Common_Cold": "Disease",
+    "SARS-CoV-2": "Virus", "Influenza_Virus": "Virus", "Rhinovirus": "Virus",
+    "Omicron_Variant": "Virus", "Delta_Variant": "Virus",
+    "Fever": "Symptom", "Dry_Cough": "Symptom", "Fatigue": "Symptom",
+    "Loss_of_Smell": "Symptom", "Muscle_Ache": "Symptom",
+    "Runny_Nose": "Symptom", "Sore_Throat": "Symptom",
+    "Antiviral_Therapy": "Treatment", "Oxygen_Therapy": "Treatment",
+    "mRNA_Vaccine": "Vaccine", "Vector_Vaccine": "Vaccine", "Flu_Vaccine": "Vaccine",
+}
+
+
+def covid_kg(seed: int = 0) -> Dataset:
+    """The small biomedical KG mirroring the survey's COVID-19 case study."""
+    kg = KnowledgeGraph(name=f"covid-{seed}")
+    onto = covid_ontology()
+    kg.add_triples(onto.to_triples())
+    for name, cls in _COVID_TYPES.items():
+        iri = _mint(name)
+        kg.set_type(iri, SCHEMA[cls])
+        kg.set_label(iri, name.replace("_", " "))
+    for s, p, o in _COVID_FACTS:
+        obj_iri = _mint(o)
+        if o not in _COVID_TYPES:
+            kg.set_label(obj_iri, o.replace("_", " "))
+        kg.add(_mint(s), SCHEMA[p], obj_iri)
+    return Dataset(kg=kg, ontology=onto, seed=seed, name="covid",
+                   metadata={"facts": list(_COVID_FACTS), "types": dict(_COVID_TYPES)})
+
+
+# ---------------------------------------------------------------------------
+# Enterprise (RAG / GraphRAG substrate with documents)
+# ---------------------------------------------------------------------------
+
+def enterprise_ontology() -> Ontology:
+    """Schema for the enterprise graph used by the RAG experiments."""
+    onto = Ontology("enterprise")
+    onto.add_class(SCHEMA.Employee, "Employee")
+    onto.add_class(SCHEMA.Department, "Department")
+    onto.add_class(SCHEMA.Project, "Project")
+    onto.add_class(SCHEMA.Product, "Product")
+    onto.add_class(SCHEMA.Customer, "Customer")
+    onto.set_disjoint(SCHEMA.Employee, SCHEMA.Department)
+    onto.add_property(SCHEMA.worksIn, "works in", domain=SCHEMA.Employee,
+                      range=SCHEMA.Department,
+                      characteristics=[PropertyCharacteristic.FUNCTIONAL])
+    onto.add_property(SCHEMA.manages, "manages", domain=SCHEMA.Employee,
+                      range=SCHEMA.Department,
+                      characteristics=[PropertyCharacteristic.INVERSE_FUNCTIONAL])
+    onto.add_property(SCHEMA.assignedTo, "assigned to", domain=SCHEMA.Employee,
+                      range=SCHEMA.Project)
+    onto.add_property(SCHEMA.delivers, "delivers", domain=SCHEMA.Project,
+                      range=SCHEMA.Product)
+    onto.add_property(SCHEMA.purchasedBy, "purchased by", domain=SCHEMA.Product,
+                      range=SCHEMA.Customer)
+    onto.add_property(SCHEMA.dependsOn, "depends on", domain=SCHEMA.Project,
+                      range=SCHEMA.Project,
+                      characteristics=[PropertyCharacteristic.ASYMMETRIC,
+                                       PropertyCharacteristic.IRREFLEXIVE])
+    return onto
+
+
+_DEPARTMENTS = ["Engineering", "Research", "Sales", "Support", "Operations", "Design"]
+_PROJECT_CODE = ["Atlas", "Borealis", "Cascade", "Dynamo", "Ember", "Falcon",
+                 "Granite", "Harbor", "Ion", "Jade", "Krypton", "Lumen"]
+_PRODUCTS = ["DataHub", "FlowEngine", "InsightBoard", "QueryForge",
+             "StreamCache", "GraphVault"]
+
+
+def enterprise_kg(seed: int = 0, n_employees: int = 48, n_projects: int = 12,
+                  n_customers: int = 10) -> Dataset:
+    """An org-chart graph plus per-department prose documents for RAG.
+
+    ``metadata["documents"]`` holds (doc_id, text) pairs whose contents are
+    consistent with the graph — the corpus Naive RAG chunks and GraphRAG
+    summarizes in E-RAG.
+    """
+    rng = random.Random(seed)
+    kg = KnowledgeGraph(name=f"enterprise-{seed}")
+    onto = enterprise_ontology()
+    kg.add_triples(onto.to_triples())
+
+    departments = []
+    for name in _DEPARTMENTS:
+        iri = _mint("Dept " + name)
+        kg.set_type(iri, SCHEMA.Department)
+        kg.set_label(iri, name)
+        departments.append(iri)
+
+    products = []
+    for name in _PRODUCTS:
+        iri = _mint(name)
+        kg.set_type(iri, SCHEMA.Product)
+        kg.set_label(iri, name)
+        products.append(iri)
+
+    projects = []
+    for code in rng.sample(_PROJECT_CODE, n_projects):
+        iri = _mint("Project " + code)
+        kg.set_type(iri, SCHEMA.Project)
+        kg.set_label(iri, f"Project {code}")
+        kg.add(iri, SCHEMA.delivers, products[rng.randrange(len(products))])
+        projects.append(iri)
+    for project in projects[1:]:
+        if rng.random() < 0.4:
+            other = projects[rng.randrange(len(projects))]
+            if other != project:
+                kg.add(project, SCHEMA.dependsOn, other)
+
+    customers = []
+    for name in _unique_names(rng, *_COMPANY_PARTS, n=n_customers):
+        iri = _mint("Cust " + name)
+        kg.set_type(iri, SCHEMA.Customer)
+        kg.set_label(iri, name)
+        customers.append(iri)
+    for product in products:
+        for customer in rng.sample(customers, k=rng.randrange(1, 4)):
+            kg.add(product, SCHEMA.purchasedBy, customer)
+
+    employees = []
+    managers: Dict[IRI, IRI] = {}
+    for name in _unique_names(rng, _GIVEN, _FAMILY, n=n_employees):
+        iri = _mint("Emp " + name)
+        kg.set_type(iri, SCHEMA.Employee)
+        kg.set_label(iri, name)
+        department = departments[len(employees) % len(departments)]
+        kg.add(iri, SCHEMA.worksIn, department)
+        if department not in managers:
+            managers[department] = iri
+            kg.add(iri, SCHEMA.manages, department)
+        for project in rng.sample(projects, k=rng.randrange(1, 3)):
+            kg.add(iri, SCHEMA.assignedTo, project)
+        employees.append(iri)
+
+    # Documents: one narrative per department, consistent with the graph.
+    documents: List[Tuple[str, str]] = []
+    for department in departments:
+        dept_name = kg.label(department)
+        manager = managers[department]
+        members = [e for e in employees
+                   if kg.store.value(e, SCHEMA.worksIn) == department]
+        sentences = [
+            f"{kg.label(manager)} manages the {dept_name} department.",
+            f"The {dept_name} department has {len(members)} employees.",
+        ]
+        for employee in members:
+            assigned = kg.store.objects(employee, SCHEMA.assignedTo)
+            for project in assigned:
+                sentences.append(
+                    f"{kg.label(employee)} of {dept_name} is assigned to {kg.label(project)}."
+                )
+        documents.append((f"doc-{dept_name.lower()}", " ".join(sentences)))
+    project_sentences = []
+    for project in projects:
+        product = kg.store.objects(project, SCHEMA.delivers)
+        if product:
+            project_sentences.append(
+                f"{kg.label(project)} delivers the {kg.label(product[0])} product."
+            )
+        for dep in kg.store.objects(project, SCHEMA.dependsOn):
+            project_sentences.append(
+                f"{kg.label(project)} depends on {kg.label(dep)}."
+            )
+    documents.append(("doc-projects", " ".join(project_sentences)))
+
+    return Dataset(kg=kg, ontology=onto, seed=seed, name="enterprise",
+                   metadata={"documents": documents,
+                             "employees": [e.value for e in employees],
+                             "departments": [d.value for d in departments],
+                             "projects": [p.value for p in projects],
+                             "products": [p.value for p in products],
+                             "customers": [c.value for c in customers]})
+
+
+#: Registry used by examples and benchmarks to iterate over all datasets.
+DATASET_BUILDERS = {
+    "encyclopedia": encyclopedia_kg,
+    "family": family_kg,
+    "movie": movie_kg,
+    "covid": covid_kg,
+    "enterprise": enterprise_kg,
+}

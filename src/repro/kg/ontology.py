@@ -1,0 +1,355 @@
+"""Ontology model: classes, property definitions, and RDFS-style closure.
+
+The survey's RQ2 (ontology generation) and RQ3 (inconsistency detection)
+both need a first-class ontology object — a schema layer over the instance
+triples. We support the OWL-lite-ish fragment the surveyed systems use:
+subclass hierarchies, domain/range, disjointness, and the property
+characteristics (functional, symmetric, transitive, ...) that the
+inconsistency detectors check.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.kg.store import TripleStore
+from repro.kg.triples import IRI, Literal, OWL, RDF, RDFS, Triple
+
+
+class PropertyCharacteristic(enum.Enum):
+    """OWL property characteristics relevant to consistency checking."""
+
+    FUNCTIONAL = "functional"
+    INVERSE_FUNCTIONAL = "inverse_functional"
+    SYMMETRIC = "symmetric"
+    ASYMMETRIC = "asymmetric"
+    TRANSITIVE = "transitive"
+    IRREFLEXIVE = "irreflexive"
+
+
+@dataclass
+class ClassDef:
+    """A class (concept) in the ontology."""
+
+    iri: IRI
+    label: str
+    parents: Set[IRI] = field(default_factory=set)
+    disjoint_with: Set[IRI] = field(default_factory=set)
+    description: Optional[str] = None
+
+
+@dataclass
+class PropertyDef:
+    """A property (relation) with schema constraints."""
+
+    iri: IRI
+    label: str
+    domain: Optional[IRI] = None
+    range: Optional[IRI] = None
+    characteristics: Set[PropertyCharacteristic] = field(default_factory=set)
+    inverse_of: Optional[IRI] = None
+    description: Optional[str] = None
+
+    def is_functional(self) -> bool:
+        """True when each subject may have at most one object."""
+        return PropertyCharacteristic.FUNCTIONAL in self.characteristics
+
+
+class Ontology:
+    """A schema: classes with a subclass DAG plus property definitions."""
+
+    def __init__(self, name: str = "ontology"):
+        self.name = name
+        self.classes: Dict[IRI, ClassDef] = {}
+        self.properties: Dict[IRI, PropertyDef] = {}
+
+    # ------------------------------------------------------------------
+    # Authoring
+    # ------------------------------------------------------------------
+    def add_class(self, iri: IRI, label: Optional[str] = None,
+                  parents: Iterable[IRI] = (), description: Optional[str] = None) -> ClassDef:
+        """Declare (or extend) a class. Re-declaring merges parents."""
+        cls = self.classes.get(iri)
+        if cls is None:
+            cls = ClassDef(iri=iri, label=label or iri.local_name.replace("_", " "),
+                           description=description)
+            self.classes[iri] = cls
+        cls.parents.update(parents)
+        if description and not cls.description:
+            cls.description = description
+        for parent in parents:
+            if parent not in self.classes:
+                self.add_class(parent)
+        return cls
+
+    def add_property(self, iri: IRI, label: Optional[str] = None,
+                     domain: Optional[IRI] = None, range: Optional[IRI] = None,
+                     characteristics: Iterable[PropertyCharacteristic] = (),
+                     inverse_of: Optional[IRI] = None,
+                     description: Optional[str] = None) -> PropertyDef:
+        """Declare (or extend) a property definition."""
+        prop = self.properties.get(iri)
+        if prop is None:
+            prop = PropertyDef(iri=iri, label=label or iri.local_name.replace("_", " "),
+                               domain=domain, range=range, inverse_of=inverse_of,
+                               description=description)
+            self.properties[iri] = prop
+        prop.characteristics.update(characteristics)
+        if domain is not None:
+            prop.domain = domain
+        if range is not None:
+            prop.range = range
+        if inverse_of is not None:
+            prop.inverse_of = inverse_of
+        return prop
+
+    def set_disjoint(self, a: IRI, b: IRI) -> None:
+        """Declare two classes disjoint (symmetrically)."""
+        self.add_class(a)
+        self.add_class(b)
+        self.classes[a].disjoint_with.add(b)
+        self.classes[b].disjoint_with.add(a)
+
+    # ------------------------------------------------------------------
+    # Hierarchy queries
+    # ------------------------------------------------------------------
+    def superclasses(self, cls: IRI, include_self: bool = False) -> Set[IRI]:
+        """The transitive superclasses of ``cls``."""
+        out: Set[IRI] = {cls} if include_self else set()
+        stack = list(self.classes.get(cls, ClassDef(cls, "")).parents)
+        while stack:
+            parent = stack.pop()
+            if parent in out:
+                continue
+            out.add(parent)
+            stack.extend(self.classes.get(parent, ClassDef(parent, "")).parents)
+        return out
+
+    def subclasses(self, cls: IRI, include_self: bool = False) -> Set[IRI]:
+        """The transitive subclasses of ``cls``."""
+        out: Set[IRI] = {cls} if include_self else set()
+        changed = True
+        while changed:
+            changed = False
+            for candidate, cdef in self.classes.items():
+                if candidate in out:
+                    continue
+                if cdef.parents & (out | {cls}):
+                    out.add(candidate)
+                    changed = True
+        out.discard(cls)
+        if include_self:
+            out.add(cls)
+        return out
+
+    def is_subclass_of(self, sub: IRI, sup: IRI) -> bool:
+        """True when ``sub`` ⊑ ``sup`` (reflexively)."""
+        return sub == sup or sup in self.superclasses(sub)
+
+    def are_disjoint(self, a: IRI, b: IRI) -> bool:
+        """True when the two classes (or any of their ancestors) are declared disjoint."""
+        a_up = self.superclasses(a, include_self=True)
+        b_up = self.superclasses(b, include_self=True)
+        for cls in a_up:
+            declared = self.classes.get(cls)
+            if declared and declared.disjoint_with & b_up:
+                return True
+        return False
+
+    def roots(self) -> List[IRI]:
+        """Classes with no declared parents."""
+        return sorted((iri for iri, c in self.classes.items() if not c.parents),
+                      key=lambda i: i.value)
+
+    def depth(self, cls: IRI) -> int:
+        """Length of the longest path from ``cls`` up to a root."""
+        cdef = self.classes.get(cls)
+        if cdef is None or not cdef.parents:
+            return 0
+        return 1 + max(self.depth(p) for p in cdef.parents)
+
+    # ------------------------------------------------------------------
+    # Instance-level reasoning helpers
+    # ------------------------------------------------------------------
+    def instance_types(self, store: TripleStore, entity: IRI) -> Set[IRI]:
+        """Declared + inferred (via subclass closure) types of an entity."""
+        declared = {t.object for t in store.match(entity, RDF.type, None)
+                    if isinstance(t.object, IRI)}
+        out: Set[IRI] = set()
+        for cls in declared:
+            out |= self.superclasses(cls, include_self=True)
+        return out
+
+    def rdfs_closure(self, store: TripleStore) -> TripleStore:
+        """Materialize the RDFS-style closure of ``store`` under this schema.
+
+        Adds: type triples implied by subclass axioms; types implied by
+        domain/range; symmetric and transitive property consequences;
+        inverse property consequences. Returns a new store (input unchanged).
+        """
+        out = store.copy()
+        changed = True
+        while changed:
+            changed = False
+            additions: List[Triple] = []
+            for t in out:
+                # Subclass propagation over rdf:type
+                if t.predicate == RDF.type and isinstance(t.object, IRI):
+                    for sup in self.superclasses(t.object):
+                        additions.append(Triple(t.subject, RDF.type, sup))
+                prop = self.properties.get(t.predicate)
+                if prop is None:
+                    continue
+                if prop.domain is not None:
+                    additions.append(Triple(t.subject, RDF.type, prop.domain))
+                if prop.range is not None and isinstance(t.object, IRI):
+                    additions.append(Triple(t.object, RDF.type, prop.range))
+                if PropertyCharacteristic.SYMMETRIC in prop.characteristics and isinstance(t.object, IRI):
+                    additions.append(Triple(t.object, t.predicate, t.subject))
+                if prop.inverse_of is not None and isinstance(t.object, IRI):
+                    additions.append(Triple(t.object, prop.inverse_of, t.subject))
+                if PropertyCharacteristic.TRANSITIVE in prop.characteristics and isinstance(t.object, IRI):
+                    for t2 in out.match(t.object, t.predicate, None):
+                        if isinstance(t2.object, IRI):
+                            additions.append(Triple(t.subject, t.predicate, t2.object))
+            for triple in additions:
+                if out.add(triple):
+                    changed = True
+        return out
+
+    # ------------------------------------------------------------------
+    # Serialization to triples (so ontologies live in the same store)
+    # ------------------------------------------------------------------
+    def to_triples(self) -> List[Triple]:
+        """Serialize the schema into RDFS/OWL triples."""
+        out: List[Triple] = []
+        for iri, cls in sorted(self.classes.items(), key=lambda kv: kv[0].value):
+            out.append(Triple(iri, RDF.type, OWL.Class))
+            out.append(Triple(iri, RDFS.label, Literal(cls.label)))
+            if cls.description:
+                out.append(Triple(iri, RDFS.comment, Literal(cls.description)))
+            for parent in sorted(cls.parents, key=lambda i: i.value):
+                out.append(Triple(iri, RDFS.subClassOf, parent))
+            for other in sorted(cls.disjoint_with, key=lambda i: i.value):
+                out.append(Triple(iri, OWL.disjointWith, other))
+        char_iri = {
+            PropertyCharacteristic.FUNCTIONAL: OWL.FunctionalProperty,
+            PropertyCharacteristic.INVERSE_FUNCTIONAL: OWL.InverseFunctionalProperty,
+            PropertyCharacteristic.SYMMETRIC: OWL.SymmetricProperty,
+            PropertyCharacteristic.ASYMMETRIC: OWL.AsymmetricProperty,
+            PropertyCharacteristic.TRANSITIVE: OWL.TransitiveProperty,
+            PropertyCharacteristic.IRREFLEXIVE: OWL.IrreflexiveProperty,
+        }
+        for iri, prop in sorted(self.properties.items(), key=lambda kv: kv[0].value):
+            out.append(Triple(iri, RDF.type, OWL.ObjectProperty))
+            out.append(Triple(iri, RDFS.label, Literal(prop.label)))
+            if prop.description:
+                out.append(Triple(iri, RDFS.comment, Literal(prop.description)))
+            if prop.domain is not None:
+                out.append(Triple(iri, RDFS.domain, prop.domain))
+            if prop.range is not None:
+                out.append(Triple(iri, RDFS.range, prop.range))
+            if prop.inverse_of is not None:
+                out.append(Triple(iri, OWL.inverseOf, prop.inverse_of))
+            for char in prop.characteristics:
+                out.append(Triple(iri, RDF.type, char_iri[char]))
+        return out
+
+    @classmethod
+    def from_triples(cls, triples: Iterable[Triple], name: str = "ontology") -> "Ontology":
+        """Rebuild an ontology from its :meth:`to_triples` serialization."""
+        onto = cls(name=name)
+        iri_char = {
+            OWL.FunctionalProperty: PropertyCharacteristic.FUNCTIONAL,
+            OWL.InverseFunctionalProperty: PropertyCharacteristic.INVERSE_FUNCTIONAL,
+            OWL.SymmetricProperty: PropertyCharacteristic.SYMMETRIC,
+            OWL.AsymmetricProperty: PropertyCharacteristic.ASYMMETRIC,
+            OWL.TransitiveProperty: PropertyCharacteristic.TRANSITIVE,
+            OWL.IrreflexiveProperty: PropertyCharacteristic.IRREFLEXIVE,
+        }
+        triple_list = list(triples)
+        for t in triple_list:
+            if t.predicate == RDF.type and t.object == OWL.Class:
+                onto.add_class(t.subject)
+            elif t.predicate == RDF.type and t.object == OWL.ObjectProperty:
+                onto.add_property(t.subject)
+        for t in triple_list:
+            if t.predicate == RDFS.subClassOf and isinstance(t.object, IRI):
+                onto.add_class(t.subject, parents=[t.object])
+            elif t.predicate == OWL.disjointWith and isinstance(t.object, IRI):
+                onto.set_disjoint(t.subject, t.object)
+            elif t.predicate == RDFS.label and isinstance(t.object, Literal):
+                if t.subject in onto.classes:
+                    onto.classes[t.subject].label = t.object.lexical
+                if t.subject in onto.properties:
+                    onto.properties[t.subject].label = t.object.lexical
+            elif t.predicate == RDFS.comment and isinstance(t.object, Literal):
+                if t.subject in onto.classes:
+                    onto.classes[t.subject].description = t.object.lexical
+                if t.subject in onto.properties:
+                    onto.properties[t.subject].description = t.object.lexical
+            elif t.predicate == RDFS.domain and isinstance(t.object, IRI):
+                onto.add_property(t.subject, domain=t.object)
+            elif t.predicate == RDFS.range and isinstance(t.object, IRI):
+                onto.add_property(t.subject, range=t.object)
+            elif t.predicate == OWL.inverseOf and isinstance(t.object, IRI):
+                onto.add_property(t.subject, inverse_of=t.object)
+            elif t.predicate == RDF.type and t.object in iri_char:
+                onto.add_property(t.subject, characteristics=[iri_char[t.object]])
+        return onto
+
+    # ------------------------------------------------------------------
+    # Comparison (used by RQ2 ontology-generation scoring)
+    # ------------------------------------------------------------------
+    def f1_against(self, gold: "Ontology", match_on: str = "iri") -> Dict[str, float]:
+        """Precision/recall/F1 of this ontology's classes, subclass edges and
+        properties against a gold ontology. Used to score generated ontologies.
+
+        ``match_on="label"`` compares case-normalized labels instead of IRIs,
+        for learners that mint their own namespace.
+        """
+        def prf(pred: Set, gold_set: Set) -> Tuple[float, float, float]:
+            if not pred and not gold_set:
+                return 1.0, 1.0, 1.0
+            tp = len(pred & gold_set)
+            p = tp / len(pred) if pred else 0.0
+            r = tp / len(gold_set) if gold_set else 0.0
+            f = 2 * p * r / (p + r) if p + r else 0.0
+            return p, r, f
+
+        if match_on == "label":
+            def class_key(onto: "Ontology", iri: IRI) -> str:
+                return onto.classes[iri].label.strip().lower()
+
+            def prop_key(onto: "Ontology", iri: IRI) -> str:
+                return onto.properties[iri].label.strip().lower()
+
+            pred_classes = {class_key(self, c) for c in self.classes}
+            gold_classes = {class_key(gold, c) for c in gold.classes}
+            pred_edges = {(class_key(self, c), class_key(self, p))
+                          for c, d in self.classes.items() for p in d.parents
+                          if p in self.classes}
+            gold_edges = {(class_key(gold, c), class_key(gold, p))
+                          for c, d in gold.classes.items() for p in d.parents
+                          if p in gold.classes}
+            pred_props = {prop_key(self, p) for p in self.properties}
+            gold_props = {prop_key(gold, p) for p in gold.properties}
+        elif match_on == "iri":
+            pred_classes = set(self.classes)
+            gold_classes = set(gold.classes)
+            pred_edges = {(c, p) for c, d in self.classes.items() for p in d.parents}
+            gold_edges = {(c, p) for c, d in gold.classes.items() for p in d.parents}
+            pred_props = set(self.properties)
+            gold_props = set(gold.properties)
+        else:
+            raise ValueError("match_on must be 'iri' or 'label'")
+        cp, cr, cf = prf(pred_classes, gold_classes)
+        ep, er, ef = prf(pred_edges, gold_edges)
+        pp, pr, pf = prf(pred_props, gold_props)
+        return {
+            "class_precision": cp, "class_recall": cr, "class_f1": cf,
+            "edge_precision": ep, "edge_recall": er, "edge_f1": ef,
+            "property_precision": pp, "property_recall": pr, "property_f1": pf,
+        }

@@ -1,0 +1,261 @@
+"""An in-memory triple store with hash indexes over all access paths.
+
+The store is the substrate every SPARQL query, completion model, and RAG
+retriever in this toolkit runs against. It maintains three nested hash
+indexes (SPO, POS, OSP) so that any triple pattern with at least one bound
+position is answered without a full scan — the property the E-SPARQL
+micro-benchmark measures.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.kg.triples import IRI, Literal, Term, Triple
+
+
+class TripleStore:
+    """A set of triples with SPO/POS/OSP indexes and pattern matching.
+
+    The store behaves like a mathematical set of triples: duplicate inserts
+    are idempotent, iteration order is insertion order (useful for
+    reproducible tests), and all pattern queries return freshly constructed
+    lists so callers may mutate the store while holding results.
+    """
+
+    def __init__(self, triples: Optional[Iterable[Triple]] = None):
+        self._triples: Dict[Triple, None] = {}
+        self._spo: Dict[IRI, Dict[IRI, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._pos: Dict[IRI, Dict[Term, Set[IRI]]] = defaultdict(lambda: defaultdict(set))
+        self._osp: Dict[Term, Dict[IRI, Set[IRI]]] = defaultdict(lambda: defaultdict(set))
+        if triples is not None:
+            self.add_all(triples)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, triple: Triple) -> bool:
+        """Insert ``triple``; returns True if it was not already present."""
+        if triple in self._triples:
+            return False
+        self._triples[triple] = None
+        s, p, o = triple.as_tuple()
+        self._spo[s][p].add(o)
+        self._pos[p][o].add(s)
+        self._osp[o][s].add(p)
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert every triple; returns the number actually added."""
+        return sum(1 for t in triples if self.add(t))
+
+    def remove(self, triple: Triple) -> bool:
+        """Remove ``triple``; returns True if it was present."""
+        if triple not in self._triples:
+            return False
+        del self._triples[triple]
+        s, p, o = triple.as_tuple()
+        self._discard_index(self._spo, s, p, o)
+        self._discard_index(self._pos, p, o, s)
+        self._discard_index(self._osp, o, s, p)
+        return True
+
+    def remove_all(self, triples: Iterable[Triple]) -> int:
+        """Remove every triple; returns the number actually removed."""
+        return sum(1 for t in list(triples) if self.remove(t))
+
+    @staticmethod
+    def _discard_index(index, k1, k2, value) -> None:
+        bucket = index[k1][k2]
+        bucket.discard(value)
+        if not bucket:
+            del index[k1][k2]
+            if not index[k1]:
+                del index[k1]
+
+    def clear(self) -> None:
+        """Remove every triple."""
+        self._triples.clear()
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def match(
+        self,
+        subject: Optional[IRI] = None,
+        predicate: Optional[IRI] = None,
+        object: Optional[Term] = None,
+    ) -> List[Triple]:
+        """All triples matching the pattern; ``None`` positions are wildcards.
+
+        The most selective available index is chosen based on which positions
+        are bound, so only fully unbound patterns scan the whole store.
+        """
+        s, p, o = subject, predicate, object
+        if s is not None and p is not None and o is not None:
+            t = Triple(s, p, o)
+            return [t] if t in self._triples else []
+        if s is not None and p is not None:
+            return [Triple(s, p, obj) for obj in sorted(self._spo.get(s, {}).get(p, ()), key=_term_key)]
+        if p is not None and o is not None:
+            return [Triple(subj, p, o) for subj in sorted(self._pos.get(p, {}).get(o, ()), key=_term_key)]
+        if s is not None and o is not None:
+            return [Triple(s, pred, o) for pred in sorted(self._osp.get(o, {}).get(s, ()), key=_term_key)]
+        if s is not None:
+            out: List[Triple] = []
+            for pred, objs in sorted(self._spo.get(s, {}).items(), key=lambda kv: _term_key(kv[0])):
+                out.extend(Triple(s, pred, obj) for obj in sorted(objs, key=_term_key))
+            return out
+        if p is not None:
+            out = []
+            for obj, subjs in sorted(self._pos.get(p, {}).items(), key=lambda kv: _term_key(kv[0])):
+                out.extend(Triple(subj, p, obj) for subj in sorted(subjs, key=_term_key))
+            return out
+        if o is not None:
+            out = []
+            for subj, preds in sorted(self._osp.get(o, {}).items(), key=lambda kv: _term_key(kv[0])):
+                out.extend(Triple(subj, pred, o) for pred in sorted(preds, key=_term_key))
+            return out
+        return list(self._triples)
+
+    def match_count(
+        self,
+        subject: Optional[IRI] = None,
+        predicate: Optional[IRI] = None,
+        object: Optional[Term] = None,
+    ) -> int:
+        """Number of triples matching the pattern, without materializing them."""
+        s, p, o = subject, predicate, object
+        if s is not None and p is not None and o is not None:
+            return 1 if Triple(s, p, o) in self._triples else 0
+        if s is not None and p is not None:
+            return len(self._spo.get(s, {}).get(p, ()))
+        if p is not None and o is not None:
+            return len(self._pos.get(p, {}).get(o, ()))
+        if s is not None and o is not None:
+            return len(self._osp.get(o, {}).get(s, ()))
+        if s is not None:
+            return sum(len(objs) for objs in self._spo.get(s, {}).values())
+        if p is not None:
+            return sum(len(subjs) for subjs in self._pos.get(p, {}).values())
+        if o is not None:
+            return sum(len(preds) for preds in self._osp.get(o, {}).values())
+        return len(self._triples)
+
+    def scan_match(
+        self,
+        subject: Optional[IRI] = None,
+        predicate: Optional[IRI] = None,
+        object: Optional[Term] = None,
+    ) -> List[Triple]:
+        """Pattern matching by full scan — the baseline for E-SPARQL.
+
+        Semantically identical to :meth:`match` but deliberately ignores the
+        indexes; benchmarks use it to quantify what the indexes buy.
+        """
+        out = []
+        for t in self._triples:
+            if subject is not None and t.subject != subject:
+                continue
+            if predicate is not None and t.predicate != predicate:
+                continue
+            if object is not None and t.object != object:
+                continue
+            out.append(t)
+        return out
+
+    # ------------------------------------------------------------------
+    # Vocabulary accessors
+    # ------------------------------------------------------------------
+    def subjects(self, predicate: Optional[IRI] = None, object: Optional[Term] = None) -> List[IRI]:
+        """Distinct subjects of triples matching the (p, o) pattern."""
+        return _distinct(t.subject for t in self.match(None, predicate, object))
+
+    def predicates(self, subject: Optional[IRI] = None, object: Optional[Term] = None) -> List[IRI]:
+        """Distinct predicates of triples matching the (s, o) pattern."""
+        return _distinct(t.predicate for t in self.match(subject, None, object))
+
+    def objects(self, subject: Optional[IRI] = None, predicate: Optional[IRI] = None) -> List[Term]:
+        """Distinct objects of triples matching the (s, p) pattern."""
+        return _distinct(t.object for t in self.match(subject, predicate, None))
+
+    def value(self, subject: IRI, predicate: IRI) -> Optional[Term]:
+        """The unique object for (subject, predicate), or None.
+
+        Raises ValueError when more than one object exists — callers that
+        expect functional properties should hear about violations.
+        """
+        objs = self._spo.get(subject, {}).get(predicate, set())
+        if not objs:
+            return None
+        if len(objs) > 1:
+            raise ValueError(
+                f"value() on non-functional data: {subject.n3()} {predicate.n3()} has {len(objs)} objects"
+            )
+        return next(iter(objs))
+
+    def entities(self) -> List[IRI]:
+        """Every IRI appearing in subject or object position."""
+        seen: Dict[IRI, None] = {}
+        for t in self._triples:
+            seen.setdefault(t.subject, None)
+            if isinstance(t.object, IRI):
+                seen.setdefault(t.object, None)
+        return list(seen)
+
+    def relations(self) -> List[IRI]:
+        """Every predicate in the store."""
+        return list(self._pos.keys())
+
+    # ------------------------------------------------------------------
+    # Whole-store operations
+    # ------------------------------------------------------------------
+    def copy(self) -> "TripleStore":
+        """A shallow copy (terms are immutable so this is a safe fork)."""
+        return TripleStore(self._triples)
+
+    def union(self, other: "TripleStore") -> "TripleStore":
+        """A new store containing every triple of both stores."""
+        out = self.copy()
+        out.add_all(other)
+        return out
+
+    def difference(self, other: "TripleStore") -> "TripleStore":
+        """A new store with the triples of ``self`` not in ``other``."""
+        return TripleStore(t for t in self._triples if t not in other)
+
+    def stats(self) -> Dict[str, int]:
+        """Coarse statistics used by dataset reports and benchmarks."""
+        return {
+            "triples": len(self._triples),
+            "entities": len(self.entities()),
+            "relations": len(self._pos),
+            "literals": sum(1 for t in self._triples if isinstance(t.object, Literal)),
+        }
+
+
+def _term_key(term: Term) -> Tuple[int, str, str, str]:
+    """A total order over mixed IRI/Literal collections for stable output."""
+    if isinstance(term, IRI):
+        return (0, term.value, "", "")
+    return (1, term.lexical, term.datatype or "", term.language or "")
+
+
+def _distinct(items: Iterable) -> List:
+    seen: Dict = {}
+    for item in items:
+        seen.setdefault(item, None)
+    return list(seen)

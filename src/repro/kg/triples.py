@@ -1,0 +1,196 @@
+"""RDF-style terms and triples.
+
+The survey's KG side is grounded in RDF-ish graphs (Freebase, Wikidata,
+DBpedia). We model the three RDF term kinds we need — IRIs and literals
+(blank nodes are represented as IRIs under the ``_:`` scheme) — as small
+immutable value objects so they can be dictionary keys in the store indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+
+@dataclass(frozen=True, order=True)
+class IRI:
+    """An IRI reference identifying an entity, class, or property.
+
+    ``value`` is the full IRI string, e.g. ``"http://repro.dev/kg/Alice"``.
+    """
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.value:
+            raise ValueError("IRI value must be a non-empty string")
+
+    @property
+    def local_name(self) -> str:
+        """The fragment after the last ``#`` or ``/`` — a human-ish label."""
+        for sep in ("#", "/", ":"):
+            if sep in self.value:
+                tail = self.value.rsplit(sep, 1)[1]
+                if tail:
+                    return tail
+        return self.value
+
+    def n3(self) -> str:
+        """N-Triples serialization of this term."""
+        return f"<{self.value}>"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Literal:
+    """An RDF literal: a lexical form plus optional datatype or language tag."""
+
+    lexical: str
+    datatype: Optional[str] = None
+    language: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.datatype is not None and self.language is not None:
+            raise ValueError("a literal cannot carry both a datatype and a language tag")
+
+    @property
+    def value(self) -> Union[str, int, float, bool]:
+        """The Python value of the literal, decoded from its datatype."""
+        if self.datatype == XSD.integer:
+            return int(self.lexical)
+        if self.datatype in (XSD.decimal, XSD.double, XSD.float):
+            return float(self.lexical)
+        if self.datatype == XSD.boolean:
+            return self.lexical in ("true", "1")
+        return self.lexical
+
+    def n3(self) -> str:
+        """N-Triples serialization of this term."""
+        escaped = (
+            self.lexical.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        )
+        if self.language:
+            return f'"{escaped}"@{self.language}'
+        if self.datatype:
+            return f'"{escaped}"^^<{self.datatype}>'
+        return f'"{escaped}"'
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.lexical
+
+
+Term = Union[IRI, Literal]
+
+
+def term_from_python(value: Union[str, int, float, bool, IRI, Literal]) -> Term:
+    """Coerce a plain Python value into an RDF term.
+
+    Strings become plain literals; use :class:`IRI` explicitly for IRIs.
+    """
+    if isinstance(value, (IRI, Literal)):
+        return value
+    if isinstance(value, bool):
+        return Literal("true" if value else "false", datatype=XSD.boolean)
+    if isinstance(value, int):
+        return Literal(str(value), datatype=XSD.integer)
+    if isinstance(value, float):
+        return Literal(repr(value), datatype=XSD.double)
+    if isinstance(value, str):
+        return Literal(value)
+    raise TypeError(f"cannot convert {type(value).__name__} to an RDF term")
+
+
+@dataclass(frozen=True, order=True)
+class Triple:
+    """A single (subject, predicate, object) statement.
+
+    Subjects and predicates are IRIs; objects may be IRIs or literals.
+    """
+
+    subject: IRI
+    predicate: IRI
+    object: Term
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.subject, IRI):
+            raise TypeError("triple subject must be an IRI")
+        if not isinstance(self.predicate, IRI):
+            raise TypeError("triple predicate must be an IRI")
+        if not isinstance(self.object, (IRI, Literal)):
+            raise TypeError("triple object must be an IRI or a Literal")
+
+    def as_tuple(self) -> Tuple[IRI, IRI, Term]:
+        """The triple as a plain 3-tuple (subject, predicate, object)."""
+        return (self.subject, self.predicate, self.object)
+
+    def n3(self) -> str:
+        """One N-Triples line (without the trailing newline)."""
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def replace(self, subject: Optional[IRI] = None, predicate: Optional[IRI] = None,
+                object: Optional[Term] = None) -> "Triple":
+        """A copy of this triple with the given positions substituted."""
+        return Triple(
+            subject if subject is not None else self.subject,
+            predicate if predicate is not None else self.predicate,
+            object if object is not None else self.object,
+        )
+
+
+class Namespace:
+    """A convenience factory minting IRIs under a common prefix.
+
+    >>> EX = Namespace("http://example.org/")
+    >>> EX.Alice
+    IRI(value='http://example.org/Alice')
+    >>> EX["knows"]
+    IRI(value='http://example.org/knows')
+    """
+
+    def __init__(self, prefix: str):
+        if not prefix:
+            raise ValueError("namespace prefix must be non-empty")
+        self.prefix = prefix
+
+    def __getattr__(self, name: str) -> IRI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return IRI(self.prefix + name)
+
+    def __getitem__(self, name: str) -> IRI:
+        return IRI(self.prefix + name)
+
+    def term(self, name: str) -> IRI:
+        """Mint an IRI for ``name`` under this namespace."""
+        return IRI(self.prefix + name)
+
+    def __contains__(self, term: Term) -> bool:
+        return isinstance(term, IRI) and term.value.startswith(self.prefix)
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"Namespace({self.prefix!r})"
+
+
+class _XSD:
+    """The XML Schema datatypes used by :class:`Literal`."""
+
+    integer = "http://www.w3.org/2001/XMLSchema#integer"
+    decimal = "http://www.w3.org/2001/XMLSchema#decimal"
+    double = "http://www.w3.org/2001/XMLSchema#double"
+    float = "http://www.w3.org/2001/XMLSchema#float"
+    boolean = "http://www.w3.org/2001/XMLSchema#boolean"
+    string = "http://www.w3.org/2001/XMLSchema#string"
+    date = "http://www.w3.org/2001/XMLSchema#date"
+    gYear = "http://www.w3.org/2001/XMLSchema#gYear"
+
+
+XSD = _XSD()
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+
+#: The default namespace for entities minted by this toolkit.
+REPRO = Namespace("http://repro.dev/kg/")

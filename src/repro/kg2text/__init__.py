@@ -1,0 +1,24 @@
+"""KG-to-Text generation (survey §2.2, RQ1).
+
+Pipelines from the survey: linearize the (sub)graph, optionally order it
+structure-awarely (relation-biased BFS, after Li et al.), then realize text
+with a template baseline or an LLM under zero-shot / few-shot / fine-tuned
+regimes. Metrics: BLEU, ROUGE-L, triple coverage and faithfulness.
+"""
+
+from repro.kg2text.linearize import linearize_triples, rbfs_order, triples_for_entity
+from repro.kg2text.generate import (
+    TemplateRealizer,
+    ZeroShotVerbalizer,
+    FewShotVerbalizer,
+    FineTunedVerbalizer,
+    reference_description,
+)
+from repro.kg2text.metrics import evaluate_generation, coverage, faithfulness
+
+__all__ = [
+    "linearize_triples", "rbfs_order", "triples_for_entity",
+    "TemplateRealizer", "ZeroShotVerbalizer", "FewShotVerbalizer",
+    "FineTunedVerbalizer", "reference_description",
+    "evaluate_generation", "coverage", "faithfulness",
+]

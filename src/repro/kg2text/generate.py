@@ -1,0 +1,103 @@
+"""Text realization for KG-to-Text under the survey's regimes."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.kg.graph import KnowledgeGraph, _humanize_relation
+from repro.kg.triples import Triple
+from repro.kg2text.linearize import LabelTriple, linearize_triples, rbfs_order
+from repro.llm import prompts as P
+from repro.llm.model import SimulatedLLM
+
+
+def reference_description(kg: KnowledgeGraph, triples: Sequence[Triple]) -> str:
+    """The gold description of a triple set: same-subject facts merged into
+    one fluent sentence, subjects in RBFS order. This is what a human
+    annotator (or the KGTEXT corpus) would write."""
+    ordered = rbfs_order(kg, triples)
+    sentences: List[str] = []
+    current_subject: Optional[str] = None
+    clauses: List[str] = []
+
+    def flush() -> None:
+        if current_subject is not None and clauses:
+            sentences.append(f"{current_subject} " + ", and ".join(clauses) + ".")
+
+    for triple in ordered:
+        subject = kg.label(triple.subject)
+        clause = f"{_humanize_relation(kg.label(triple.predicate))} {kg.label(triple.object)}"
+        if subject != current_subject:
+            flush()
+            current_subject = subject
+            clauses = [clause]
+        else:
+            clauses.append(clause)
+    flush()
+    return " ".join(sentences)
+
+
+class TemplateRealizer:
+    """No-LLM baseline: one flat sentence per triple, input order."""
+
+    def __init__(self, kg: KnowledgeGraph):
+        self.kg = kg
+
+    def generate(self, triples: Sequence[Triple]) -> str:
+        """One flat template sentence per triple, in input order."""
+        return " ".join(self.kg.verbalize_triple(t) for t in triples)
+
+
+class ZeroShotVerbalizer:
+    """Prompt the LLM with the linearized graph, no demonstrations."""
+
+    def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph,
+                 structure_aware: bool = False):
+        self.llm = llm
+        self.kg = kg
+        self.structure_aware = structure_aware
+
+    def _linearize(self, triples: Sequence[Triple]) -> List[LabelTriple]:
+        if self.structure_aware:
+            triples = rbfs_order(self.kg, triples)
+        return linearize_triples(self.kg, triples)
+
+    def generate(self, triples: Sequence[Triple]) -> str:
+        """Prompt the backbone with the linearized graph; returns the text."""
+        prompt = P.kg2text_prompt(self._linearize(triples))
+        return self.llm.complete(prompt).text
+
+
+class FewShotVerbalizer(ZeroShotVerbalizer):
+    """Li et al.'s few-shot setting: a handful of (graph, text) exemplars in
+    the prompt, combined with RBFS ordering of the input graph."""
+
+    def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph,
+                 examples: Sequence[Tuple[Sequence[Triple], str]],
+                 structure_aware: bool = True):
+        super().__init__(llm, kg, structure_aware=structure_aware)
+        self.examples = [
+            (" ; ".join(f"{s} | {p} | {o}"
+                        for s, p, o in linearize_triples(kg, example_triples)),
+             reference)
+            for example_triples, reference in examples
+        ]
+
+    def generate(self, triples: Sequence[Triple]) -> str:
+        """Prompt with exemplars + RBFS-ordered input; returns the text."""
+        prompt = P.kg2text_prompt(self._linearize(triples), examples=self.examples)
+        return self.llm.complete(prompt).text
+
+
+class FineTunedVerbalizer(ZeroShotVerbalizer):
+    """KG-to-text fine-tuning (KGPT/JointGT regime): train on a corpus of
+    (graph, reference) pairs, then prompt with RBFS-ordered input."""
+
+    def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph):
+        super().__init__(llm, kg, structure_aware=True)
+        self.trained_on = 0
+
+    def fit(self, corpus: Sequence[Tuple[Sequence[Triple], str]]) -> None:
+        """Fine-tune the backbone on the KG-to-text corpus."""
+        self.llm.fine_tune("graph verbalization", len(corpus))
+        self.trained_on = len(corpus)

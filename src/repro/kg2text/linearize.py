@@ -1,0 +1,90 @@
+"""Graph linearization for KG-to-Text.
+
+Two orderings: the naive input order (what GAP-style linearization starts
+from) and relation-biased breadth-first search (RBFS, after Li et al.),
+which arranges the KG into a well-structured entity sequence — same-subject
+triples contiguous, hops expanding outward from the root entity — before the
+PLM sees it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triples import IRI, Literal, RDF, RDFS, Triple
+
+LabelTriple = Tuple[str, str, str]
+
+
+def triples_for_entity(kg: KnowledgeGraph, entity: IRI,
+                       max_triples: int = 6) -> List[Triple]:
+    """The descriptive triples of an entity (labels/types excluded)."""
+    out = []
+    for triple in kg.outgoing(entity):
+        if triple.predicate in (RDFS.label, RDFS.comment, RDF.type):
+            continue
+        out.append(triple)
+        if len(out) >= max_triples:
+            break
+    return out
+
+
+def linearize_triples(kg: KnowledgeGraph,
+                      triples: Sequence[Triple]) -> List[LabelTriple]:
+    """Triples → (subject label, relation label, object label) tuples."""
+    out = []
+    for triple in triples:
+        out.append((
+            kg.label(triple.subject),
+            kg.label(triple.predicate),
+            kg.label(triple.object),
+        ))
+    return out
+
+
+def rbfs_order(kg: KnowledgeGraph, triples: Sequence[Triple],
+               root: Optional[IRI] = None,
+               relation_priority: Optional[Dict[IRI, int]] = None
+               ) -> List[Triple]:
+    """Relation-biased BFS ordering of a triple set.
+
+    Starting from ``root`` (default: the highest-degree subject in the set),
+    triples are emitted level by level; within a level they are ordered by
+    ``relation_priority`` (lower is earlier; unlisted relations go by label).
+    The output is a permutation of the input.
+    """
+    triples = list(triples)
+    if not triples:
+        return []
+    by_subject: Dict[IRI, List[Triple]] = {}
+    for triple in triples:
+        by_subject.setdefault(triple.subject, []).append(triple)
+    if root is None:
+        root = max(by_subject, key=lambda s: (len(by_subject[s]), s.value))
+    priority = relation_priority or {}
+
+    def relation_key(triple: Triple) -> Tuple[int, str, str]:
+        return (priority.get(triple.predicate, 10_000),
+                kg.label(triple.predicate), triple.object.n3())
+
+    ordered: List[Triple] = []
+    emitted = set()
+    queue: deque = deque([root])
+    visited = {root}
+    while queue:
+        node = queue.popleft()
+        for triple in sorted(by_subject.get(node, []), key=relation_key):
+            if triple in emitted:
+                continue
+            emitted.add(triple)
+            ordered.append(triple)
+            if isinstance(triple.object, IRI) and triple.object not in visited:
+                visited.add(triple.object)
+                queue.append(triple.object)
+    # Disconnected leftovers keep a deterministic tail order.
+    for triple in sorted((t for t in triples if t not in emitted),
+                         key=lambda t: t.n3()):
+        ordered.append(triple)
+    return ordered

@@ -1,0 +1,92 @@
+"""KG-to-Text metrics: surface quality plus semantic alignment.
+
+``coverage`` — fraction of input triples whose object is mentioned in the
+output (the "generate accurate descriptions covering the KG" criterion).
+``faithfulness`` — 1 minus the hallucination rate: fraction of entity-like
+mentions in the output that are licensed by the input triples.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence, Tuple
+
+from repro.eval.metrics import bleu, rouge_l
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triples import IRI, Triple
+
+
+def coverage(kg: KnowledgeGraph, triples: Sequence[Triple], text: str) -> float:
+    """Fraction of triples whose object label appears in the text."""
+    if not triples:
+        return 1.0
+    lowered = text.lower()
+    hit = 0
+    for triple in triples:
+        if kg.label(triple.object).lower() in lowered:
+            hit += 1
+    return hit / len(triples)
+
+
+def faithfulness(kg: KnowledgeGraph, triples: Sequence[Triple], text: str) -> float:
+    """1 − hallucination rate over entity mentions.
+
+    Mentions are maximal capitalized runs in the text; a mention is licensed
+    when it is the label (or part of the label) of a subject/object of the
+    input triples.
+    """
+    licensed: List[str] = []
+    for triple in triples:
+        licensed.append(kg.label(triple.subject).lower())
+        licensed.append(kg.label(triple.object).lower())
+    mentions = _capitalized_mentions(text)
+    if not mentions:
+        return 1.0
+    supported = 0
+    for mention in mentions:
+        lowered = mention.lower()
+        if any(lowered in label or label in lowered for label in licensed):
+            supported += 1
+    return supported / len(mentions)
+
+
+def _capitalized_mentions(text: str) -> List[str]:
+    runs: List[str] = []
+    current: List[str] = []
+    last_end = 0
+    for match in re.finditer(r"[A-Za-z0-9'-]+", text):
+        token = match.group()
+        gap = text[last_end:match.start()]
+        boundary = any(ch in gap for ch in ".!?,;:")
+        if (token[0].isupper() or token.isdigit()) and not (boundary and current):
+            current.append(token)
+        else:
+            if current:
+                runs.append(" ".join(current))
+                current = []
+            if token[0].isupper() or token.isdigit():
+                current.append(token)
+        last_end = match.end()
+    if current:
+        runs.append(" ".join(current))
+    return [r for r in runs if len(r) > 2]
+
+
+def evaluate_generation(generator, kg: KnowledgeGraph,
+                        instances: Sequence[Tuple[Sequence[Triple], str]]
+                        ) -> Dict[str, float]:
+    """Mean BLEU / ROUGE-L / coverage / faithfulness over a test set.
+
+    ``instances`` are (input triples, reference text) pairs; ``generator``
+    exposes ``generate(triples) -> str``.
+    """
+    if not instances:
+        raise ValueError("no evaluation instances")
+    totals = {"bleu": 0.0, "rouge_l": 0.0, "coverage": 0.0, "faithfulness": 0.0}
+    for triples, reference in instances:
+        output = generator.generate(triples)
+        totals["bleu"] += bleu(output, [reference])
+        totals["rouge_l"] += rouge_l(output, reference)
+        totals["coverage"] += coverage(kg, triples, output)
+        totals["faithfulness"] += faithfulness(kg, triples, output)
+    return {name: value / len(instances) for name, value in totals.items()}

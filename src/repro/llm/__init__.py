@@ -1,0 +1,35 @@
+"""The simulated-LLM substrate.
+
+The paper's LLM side is GPT-3/ChatGPT/BERT/T5 behind paid APIs or GPUs.
+This package substitutes a **deterministic, offline language-model
+simulator** that actually *performs* the tasks the surveyed architectures
+delegate to an LLM — entity/relation extraction, triple verbalization and
+verification, question answering, SPARQL drafting, summarization — against a
+bounded internal "parametric memory", with controllable error knobs
+(hallucination rate, knowledge coverage, parameter-count scaling). The
+architectures around the model (prompting strategies, retrieval, fine-tuning
+loops, rerankers) are then exercised exactly as they would be with a real
+model, and the *relative* results the survey reports are preserved.
+
+See DESIGN.md §1 for the substitution argument.
+"""
+
+from repro.llm.tokenizer import WordTokenizer
+from repro.llm.embedding import HashEmbedder, TextEncoder, cosine_similarity
+from repro.llm.ngram import NGramLanguageModel
+from repro.llm.model import SimulatedLLM, LLMConfig, LLMResponse, ChatMessage
+from repro.llm.registry import MODEL_PROFILES, load_model
+
+__all__ = [
+    "WordTokenizer",
+    "HashEmbedder",
+    "TextEncoder",
+    "cosine_similarity",
+    "NGramLanguageModel",
+    "SimulatedLLM",
+    "LLMConfig",
+    "LLMResponse",
+    "ChatMessage",
+    "MODEL_PROFILES",
+    "load_model",
+]

@@ -1,0 +1,138 @@
+"""Deterministic hash embeddings and a contextual text encoder.
+
+Stands in for the PLM embedding space the surveyed text-based KG-completion
+and retrieval methods use. Each token gets a fixed pseudo-random unit vector
+derived from a keyed hash, so embeddings are identical across processes and
+runs without storing any weights; text vectors are decayed averages of token
+vectors, which gives the distributional property the methods rely on: texts
+sharing tokens are close, disjoint texts are near-orthogonal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.llm.tokenizer import word_tokens
+
+
+def _hash_vector(token: str, dim: int, salt: str) -> np.ndarray:
+    """A deterministic unit vector for ``token`` (keyed by ``salt``)."""
+    out = np.empty(dim, dtype=np.float64)
+    counter = 0
+    produced = 0
+    while produced < dim:
+        digest = hashlib.blake2b(
+            f"{salt}\x00{token}\x00{counter}".encode("utf-8"), digest_size=32
+        ).digest()
+        block = np.frombuffer(digest, dtype=np.uint8).astype(np.float64)
+        block = (block - 127.5) / 73.9  # roughly zero-mean, unit-ish variance
+        take = min(dim - produced, block.shape[0])
+        out[produced:produced + take] = block[:take]
+        produced += take
+        counter += 1
+    norm = np.linalg.norm(out)
+    return out / norm if norm > 0 else out
+
+
+class HashEmbedder:
+    """Token → fixed deterministic vector, with a small LRU-ish cache."""
+
+    def __init__(self, dim: int = 64, salt: str = "repro", cache_size: int = 50000):
+        if dim <= 0:
+            raise ValueError("embedding dimension must be positive")
+        self.dim = dim
+        self.salt = salt
+        self._cache: Dict[str, np.ndarray] = {}
+        self._cache_size = cache_size
+
+    def embed_token(self, token: str) -> np.ndarray:
+        """The embedding of a single token."""
+        vector = self._cache.get(token)
+        if vector is None:
+            vector = _hash_vector(token, self.dim, self.salt)
+            if len(self._cache) >= self._cache_size:
+                self._cache.clear()
+            self._cache[token] = vector
+        return vector
+
+    def embed_tokens(self, tokens: Iterable[str]) -> np.ndarray:
+        """A (n_tokens, dim) matrix of token embeddings."""
+        tokens = list(tokens)
+        if not tokens:
+            return np.zeros((0, self.dim))
+        return np.stack([self.embed_token(t) for t in tokens])
+
+
+class TextEncoder:
+    """Sentence/paragraph encoder over hash embeddings.
+
+    Combines token vectors with a position-decay weighting (earlier tokens
+    matter slightly more, mimicking lead-biased attention) plus an optional
+    inverse-frequency reweighting learned from a corpus (the SIF trick), and
+    L2-normalizes. This is the "PLM text encoder" used by SimKGC-style
+    bi-encoders, RAG retrieval, and GPT-RE demonstration retrieval.
+    """
+
+    def __init__(self, dim: int = 64, salt: str = "repro", decay: float = 0.995):
+        self.embedder = HashEmbedder(dim=dim, salt=salt)
+        self.dim = dim
+        self.decay = decay
+        self._token_weight: Dict[str, float] = {}
+
+    def fit_idf(self, corpus: Iterable[str], a: float = 1e-3) -> "TextEncoder":
+        """Learn SIF-style token weights ``a / (a + p(token))`` from a corpus."""
+        counts: Dict[str, int] = {}
+        total = 0
+        for document in corpus:
+            for token in word_tokens(document):
+                counts[token] = counts.get(token, 0) + 1
+                total += 1
+        if total:
+            self._token_weight = {
+                token: a / (a + count / total) for token, count in counts.items()
+            }
+        return self
+
+    def encode(self, text: str) -> np.ndarray:
+        """Text → L2-normalized vector (zero vector for empty text)."""
+        tokens = word_tokens(text)
+        if not tokens:
+            return np.zeros(self.dim)
+        accumulator = np.zeros(self.dim)
+        weight = 1.0
+        for token in tokens:
+            token_weight = self._token_weight.get(token, 1.0)
+            accumulator += weight * token_weight * self.embedder.embed_token(token)
+            weight *= self.decay
+        norm = np.linalg.norm(accumulator)
+        return accumulator / norm if norm > 0 else accumulator
+
+    def encode_batch(self, texts: Iterable[str]) -> np.ndarray:
+        """A (n_texts, dim) matrix of encodings."""
+        texts = list(texts)
+        if not texts:
+            return np.zeros((0, self.dim))
+        return np.stack([self.encode(t) for t in texts])
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two vectors (0.0 when either is zero)."""
+    na = np.linalg.norm(a)
+    nb = np.linalg.norm(b)
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / (na * nb))
+
+
+def top_k_similar(query: np.ndarray, matrix: np.ndarray, k: int) -> List[int]:
+    """Indices of the ``k`` rows of ``matrix`` most cosine-similar to ``query``."""
+    if matrix.shape[0] == 0:
+        return []
+    norms = np.linalg.norm(matrix, axis=1) * (np.linalg.norm(query) or 1.0)
+    norms[norms == 0.0] = 1.0
+    scores = matrix @ query / norms
+    order = np.argsort(-scores, kind="stable")
+    return [int(i) for i in order[:k]]

@@ -1,0 +1,128 @@
+"""A trainable n-gram language model with stupid backoff.
+
+This is the generative core behind the simulator's free-form text: KG-to-text
+surface realization variation, chatbot small talk, and the perplexity-based
+fluency metric. It is deliberately classical — a seeded, inspectable stand-in
+for the autoregressive decoder of a real LLM.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.llm.tokenizer import BOS, EOS, word_tokens
+
+
+class NGramLanguageModel:
+    """An order-``n`` language model with stupid-backoff scoring."""
+
+    def __init__(self, order: int = 3, backoff: float = 0.4):
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        self.order = order
+        self.backoff = backoff
+        # counts[k] maps a context tuple of length k to a Counter of next tokens.
+        self._counts: List[Dict[Tuple[str, ...], Counter]] = [
+            defaultdict(Counter) for _ in range(order)
+        ]
+        self._vocab: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, corpus: Iterable[str]) -> "NGramLanguageModel":
+        """Count n-grams over an iterable of documents (sentences ok too)."""
+        for document in corpus:
+            tokens = [BOS] * (self.order - 1) + word_tokens(document) + [EOS]
+            self._vocab.update(tokens)
+            for i in range(self.order - 1, len(tokens)):
+                token = tokens[i]
+                for k in range(self.order):
+                    context = tuple(tokens[i - k:i])
+                    self._counts[k][context][token] += 1
+        return self
+
+    @property
+    def vocab_size(self) -> int:
+        """Number of token types seen in training."""
+        return len(self._vocab)
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def probability(self, context: Sequence[str], token: str) -> float:
+        """Stupid-backoff score of ``token`` after ``context``.
+
+        Not a true probability across orders, but positive, bounded by 1,
+        and adequate for ranking and perplexity-style comparison.
+        """
+        context = tuple(context[-(self.order - 1):]) if self.order > 1 else ()
+        penalty = 1.0
+        for k in range(len(context), -1, -1):
+            sub_context = context[len(context) - k:]
+            bucket = self._counts[k].get(tuple(sub_context))
+            if bucket:
+                total = sum(bucket.values())
+                count = bucket.get(token, 0)
+                if count:
+                    return penalty * count / total
+            penalty *= self.backoff
+        # Unseen everywhere: uniform over an open vocabulary.
+        return penalty / (self.vocab_size + 1 or 1)
+
+    def log_likelihood(self, text: str) -> float:
+        """Sum of log scores over the tokens of ``text``."""
+        tokens = [BOS] * (self.order - 1) + word_tokens(text) + [EOS]
+        total = 0.0
+        for i in range(self.order - 1, len(tokens)):
+            p = self.probability(tokens[max(0, i - self.order + 1):i], tokens[i])
+            total += math.log(max(p, 1e-12))
+        return total
+
+    def perplexity(self, text: str) -> float:
+        """exp(-mean log score) — lower is more fluent under the model."""
+        tokens = word_tokens(text)
+        if not tokens:
+            return float("inf")
+        return math.exp(-self.log_likelihood(text) / (len(tokens) + 1))
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate(self, rng: random.Random, max_tokens: int = 30,
+                 prompt: str = "", temperature: float = 1.0) -> str:
+        """Sample a continuation; deterministic given the RNG state.
+
+        ``temperature`` < 1 sharpens toward the most frequent continuations.
+        """
+        context = [BOS] * (self.order - 1) + word_tokens(prompt)
+        output: List[str] = []
+        for _ in range(max_tokens):
+            token = self._sample_next(context, rng, temperature)
+            if token == EOS or token is None:
+                break
+            output.append(token)
+            context.append(token)
+        return " ".join(output)
+
+    def _sample_next(self, context: Sequence[str], rng: random.Random,
+                     temperature: float) -> Optional[str]:
+        for k in range(self.order - 1, -1, -1):
+            sub_context = tuple(context[len(context) - k:]) if k else ()
+            bucket = self._counts[k].get(sub_context)
+            if bucket:
+                tokens = sorted(bucket)
+                weights = [bucket[t] for t in tokens]
+                if temperature != 1.0 and temperature > 0:
+                    weights = [w ** (1.0 / temperature) for w in weights]
+                total = sum(weights)
+                threshold = rng.random() * total
+                cumulative = 0.0
+                for token, weight in zip(tokens, weights):
+                    cumulative += weight
+                    if cumulative >= threshold:
+                        return token
+        return None

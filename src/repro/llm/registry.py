@@ -1,0 +1,56 @@
+"""Model registry: named capability profiles for the models Figure 2 counts.
+
+Each profile mirrors the public parameter count of the corresponding real
+model; the simulator's skill scaling (``LLMConfig.skill``) turns those into
+distinct error behaviours, so benchmarks can compare "BERT" against "GPT-3"
+the way the surveyed papers do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.kg.graph import KnowledgeGraph
+from repro.llm.model import LLMConfig, SimulatedLLM
+
+#: name → (n_parameters, instruction_tuned, knowledge_coverage)
+MODEL_PROFILES: Dict[str, Dict[str, object]] = {
+    "bert-base": {"n_parameters": 110e6, "instruction_tuned": False,
+                  "knowledge_coverage": 0.45},
+    "bert-large": {"n_parameters": 340e6, "instruction_tuned": False,
+                   "knowledge_coverage": 0.5},
+    "bart-large": {"n_parameters": 406e6, "instruction_tuned": False,
+                   "knowledge_coverage": 0.5},
+    "gpt-2": {"n_parameters": 1.5e9, "instruction_tuned": False,
+              "knowledge_coverage": 0.55},
+    "t5-large": {"n_parameters": 770e6, "instruction_tuned": False,
+                 "knowledge_coverage": 0.5},
+    "flan-t5-xxl": {"n_parameters": 11e9, "instruction_tuned": True,
+                    "knowledge_coverage": 0.6},
+    "llama-2-70b": {"n_parameters": 70e9, "instruction_tuned": True,
+                    "knowledge_coverage": 0.7},
+    "gpt-3": {"n_parameters": 175e9, "instruction_tuned": False,
+              "knowledge_coverage": 0.75},
+    "chatgpt": {"n_parameters": 175e9, "instruction_tuned": True,
+                "knowledge_coverage": 0.75},
+}
+
+
+def load_model(name: str = "chatgpt", world: Optional[KnowledgeGraph] = None,
+               seed: int = 0, **overrides) -> SimulatedLLM:
+    """Instantiate a named profile, optionally pre-trained on a world KG.
+
+    ``overrides`` lets experiments tweak individual knobs (e.g.
+    ``hallucination_rate=0.0`` for an oracle ablation).
+    """
+    if name not in MODEL_PROFILES:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(sorted(MODEL_PROFILES))}"
+        )
+    profile = dict(MODEL_PROFILES[name])
+    profile.update(overrides)
+    config = LLMConfig(name=name, seed=seed, **profile)  # type: ignore[arg-type]
+    model = SimulatedLLM(config)
+    if world is not None:
+        model.absorb_knowledge(world)
+    return model

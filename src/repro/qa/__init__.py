@@ -1,0 +1,38 @@
+"""KG Question Answering (survey §4.1) — the LLM-KG cooperation arm.
+
+* :mod:`multihop` — complex/multi-hop KGQA (RQ5): ReLMKG-style path
+  reasoning, KAPING fact-retrieval prompting, retrieve-and-read, LLM-only.
+* :mod:`question_generation` — multi-hop question generation (KGEL-style)
+  plus a single-hop baseline, with answerability evaluation.
+* :mod:`text2sparql` — query generation from text (RQ6): SGPT-style trained
+  generation, SPARQLGEN one-shot prompting, zero-shot baseline; execution
+  accuracy scoring; text-to-Cypher.
+* :mod:`llm_sparql` — querying LLMs with SPARQL (Galois-style hybrid
+  execution over a virtual LLM predicate).
+* :mod:`chatbot` — KG chatbots (Omar et al.): a dialog manager fusing a
+  KGQA backend with LLM conversation.
+"""
+
+from repro.qa.multihop import (
+    MultiHopQuestion, generate_multihop_questions,
+    LLMOnlyQA, KapingQA, RetrieveAndReadQA, ReLMKGQA, evaluate_qa,
+)
+from repro.qa.question_generation import (
+    KGELQuestionGenerator, SingleHopQuestionGenerator, answerability,
+)
+from repro.qa.text2sparql import (
+    Text2SparqlTask, ZeroShotText2Sparql, SparqlGenText2Sparql,
+    SGPTText2Sparql, Text2Cypher, evaluate_text2sparql,
+)
+from repro.qa.llm_sparql import HybridSparqlEngine
+from repro.qa.chatbot import KGChatbot, ChatTurn
+
+__all__ = [
+    "MultiHopQuestion", "generate_multihop_questions",
+    "LLMOnlyQA", "KapingQA", "RetrieveAndReadQA", "ReLMKGQA", "evaluate_qa",
+    "KGELQuestionGenerator", "SingleHopQuestionGenerator", "answerability",
+    "Text2SparqlTask", "ZeroShotText2Sparql", "SparqlGenText2Sparql",
+    "SGPTText2Sparql", "Text2Cypher", "evaluate_text2sparql",
+    "HybridSparqlEngine",
+    "KGChatbot", "ChatTurn",
+]

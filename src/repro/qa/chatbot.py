@@ -1,0 +1,130 @@
+"""KG chatbots (survey §4.1.5, after Omar et al.).
+
+Omar et al. compare conversational LLMs (fluent, stateful, hallucination-
+prone) with traditional KGQA systems (precise, stateless, brittle on chit-
+chat) and propose merging them. :class:`KGChatbot` is that merge: an intent
+router sends factual turns to a KGQA backend, conversational turns to the
+LLM, and a dialogue state resolves follow-up references ("who starred in
+*it*?") against the entities of previous turns.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triples import IRI
+from repro.llm import prompts as P
+from repro.llm.model import SimulatedLLM
+
+
+@dataclass
+class ChatTurn:
+    """One exchanged turn with routing metadata."""
+
+    user: str
+    reply: str
+    intent: str                       # greeting | thanks | factual | followup | chitchat
+    entities: List[IRI] = field(default_factory=list)
+
+
+_GREETING = re.compile(r"\b(hello|hi|hey|good (morning|afternoon|evening))\b", re.I)
+_THANKS = re.compile(r"\b(thanks|thank you|cheers)\b", re.I)
+_PRONOUN = re.compile(r"\b(it|its|he|she|him|her|they|them|that one)\b", re.I)
+
+
+class KGChatbot:
+    """Dialogue manager fusing LLM conversation with a KGQA backend."""
+
+    def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph, qa_backend):
+        """``qa_backend`` answers factual questions: ``answer(text) -> Set[IRI]``."""
+        self.llm = llm
+        self.kg = kg
+        self.qa_backend = qa_backend
+        self.history: List[ChatTurn] = []
+
+    # ------------------------------------------------------------------
+    # Dialogue state
+    # ------------------------------------------------------------------
+    @property
+    def focus_entity(self) -> Optional[IRI]:
+        """The most recently discussed entity (for coreference).
+
+        The *topic* of a factual turn is the entity the user mentioned, not
+        the answer — "who directed X?" followed by "who starred in it?"
+        refers to X.
+        """
+        for turn in reversed(self.history):
+            if turn.entities:
+                return turn.entities[0]
+        return None
+
+    def reset(self) -> None:
+        """Forget the conversation."""
+        self.history.clear()
+
+    # ------------------------------------------------------------------
+    # Turn processing
+    # ------------------------------------------------------------------
+    def chat(self, message: str) -> ChatTurn:
+        """Process one user turn and append it to the history."""
+        intent = self._detect_intent(message)
+        if intent == "greeting":
+            turn = ChatTurn(message, "Hello! Ask me anything about the "
+                                     "knowledge graph.", intent)
+        elif intent == "thanks":
+            turn = ChatTurn(message, "You're welcome!", intent)
+        elif intent in ("factual", "followup"):
+            question = message
+            if intent == "followup":
+                question = self._resolve_followup(message)
+            answers = self.qa_backend.answer(question)
+            entities = sorted(answers, key=lambda e: e.value)
+            if entities:
+                reply = ", ".join(self.kg.label(e) for e in entities) + "."
+            else:
+                reply = "I could not find that in the knowledge graph."
+            mentioned = [m.iri for m in self.llm.find_mentions(question)
+                         if m.iri is not None]
+            turn = ChatTurn(message, reply, intent,
+                            entities=mentioned + entities)
+        else:
+            response = self.llm.complete(P.chat_prompt(
+                message, history=[(("user" if i % 2 == 0 else "assistant"), text)
+                                  for i, text in enumerate(self._flat_history())]))
+            turn = ChatTurn(message, response.text, intent)
+        self.history.append(turn)
+        return turn
+
+    def _flat_history(self) -> List[str]:
+        out: List[str] = []
+        for turn in self.history[-3:]:
+            out.append(turn.user)
+            out.append(turn.reply)
+        return out
+
+    # ------------------------------------------------------------------
+    # Intent routing
+    # ------------------------------------------------------------------
+    def _detect_intent(self, message: str) -> str:
+        if _GREETING.search(message):
+            return "greeting"
+        if _THANKS.search(message):
+            return "thanks"
+        has_relation = bool(self.llm.find_relations(message))
+        has_entity = any(m.iri is not None
+                         for m in self.llm.find_mentions(message))
+        if has_relation and has_entity:
+            return "factual"
+        if has_relation and _PRONOUN.search(message) and \
+                self.focus_entity is not None:
+            return "followup"
+        return "chitchat"
+
+    def _resolve_followup(self, message: str) -> str:
+        """Substitute the focus entity's label for the pronoun."""
+        focus = self.focus_entity
+        assert focus is not None
+        return _PRONOUN.sub(self.kg.label(focus), message, count=1)

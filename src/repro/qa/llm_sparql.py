@@ -1,0 +1,133 @@
+"""Querying LLMs with SPARQL (survey §4.1.4, after Saeed et al.'s Galois).
+
+The DB-first hybrid execution model: the query planner evaluates ordinary
+triple patterns against the KG, and patterns over *virtual predicates* (or
+patterns the KG cannot satisfy) are answered by prompting the LLM per
+binding — the structured query language becomes an interface to the model's
+parametric knowledge, surfacing "hidden relations in unstructured data".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.kg.graph import KnowledgeGraph, _humanize_relation
+from repro.kg.triples import IRI, Term
+from repro.llm import prompts as P
+from repro.llm.model import SimulatedLLM
+from repro.sparql import SparqlEngine, parse_query
+from repro.sparql import algebra as alg
+from repro.sparql.evaluator import Solution
+
+
+class HybridSparqlEngine:
+    """SPARQL over KG ∪ LLM: DB-first, LLM for the virtual predicates."""
+
+    def __init__(self, kg: KnowledgeGraph, llm: SimulatedLLM,
+                 virtual_predicates: Optional[Sequence[IRI]] = None):
+        self.kg = kg
+        self.llm = llm
+        self.engine = SparqlEngine(kg.store)
+        self.virtual_predicates: Set[IRI] = set(virtual_predicates or ())
+        self.llm_calls = 0
+
+    def select(self, query_text: str) -> List[Solution]:
+        """Evaluate a SELECT query with LLM fallback for virtual patterns.
+
+        Supported shape: a single group of triple patterns (the common
+        text-to-SPARQL output); KG patterns evaluate first (DB-first), then
+        each virtual pattern extends the bindings via one LLM call per
+        solution.
+        """
+        parsed = parse_query(query_text)
+        if not isinstance(parsed, alg.SelectQuery):
+            raise ValueError("hybrid execution supports SELECT queries only")
+        bgp_patterns: List[alg.TriplePattern] = []
+        for element in parsed.where.elements:
+            if isinstance(element, alg.BGP):
+                bgp_patterns.extend(element.patterns)
+            else:
+                raise ValueError(
+                    "hybrid execution supports plain basic graph patterns only")
+        kg_patterns = [p for p in bgp_patterns if not self._is_virtual(p)]
+        llm_patterns = [p for p in bgp_patterns if self._is_virtual(p)]
+
+        solutions: List[Solution] = [{}]
+        if kg_patterns:
+            kg_query = alg.SelectQuery(variables=[],
+                                       where=alg.GroupPattern([alg.BGP(kg_patterns)]))
+            solutions = self.engine.select(kg_query)
+        for pattern in llm_patterns:
+            solutions = self._extend_with_llm(solutions, pattern)
+        # Apply the original projection/modifiers.
+        if parsed.variables:
+            names = [v.name for v in parsed.variables]
+            solutions = [{n: s[n] for n in names if n in s} for s in solutions]
+        if parsed.distinct:
+            unique: List[Solution] = []
+            seen = set()
+            for solution in solutions:
+                key = tuple(sorted((k, v.n3()) for k, v in solution.items()))
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(solution)
+            solutions = unique
+        if parsed.limit is not None:
+            solutions = solutions[parsed.offset:parsed.offset + parsed.limit]
+        elif parsed.offset:
+            solutions = solutions[parsed.offset:]
+        return solutions
+
+    def _is_virtual(self, pattern: alg.TriplePattern) -> bool:
+        predicate = pattern.predicate
+        if isinstance(predicate, alg.Var):
+            return False
+        if predicate in self.virtual_predicates:
+            return True
+        # DB-first: a concrete predicate absent from the KG falls through
+        # to the LLM.
+        return isinstance(predicate, IRI) and \
+            self.kg.store.match_count(None, predicate, None) == 0
+
+    def _extend_with_llm(self, solutions: List[Solution],
+                         pattern: alg.TriplePattern) -> List[Solution]:
+        out: List[Solution] = []
+        for solution in solutions:
+            subject = self._resolve(pattern.subject, solution)
+            obj = self._resolve(pattern.object, solution)
+            predicate = pattern.predicate
+            assert isinstance(predicate, IRI)
+            if isinstance(subject, IRI) and isinstance(pattern.object, alg.Var):
+                for answer in self._ask_llm(subject, predicate):
+                    extended = dict(solution)
+                    extended[pattern.object.name] = answer
+                    out.append(extended)
+            elif isinstance(subject, IRI) and isinstance(obj, (IRI,)):
+                answers = self._ask_llm(subject, predicate)
+                if obj in answers:
+                    out.append(solution)
+            # Patterns with unbound subjects are unanswerable by prompting —
+            # an honest limitation of LLM-as-database (no reverse index).
+        return out
+
+    @staticmethod
+    def _resolve(term, solution: Solution):
+        if isinstance(term, alg.Var):
+            return solution.get(term.name, term)
+        return term
+
+    def _ask_llm(self, subject: IRI, predicate: IRI) -> List[Term]:
+        """One LLM probe: 'List what <relation> <subject>?'"""
+        self.llm_calls += 1
+        phrase = _humanize_relation(self.kg.label(predicate))
+        question = f"List what {phrase} {self.kg.label(subject)}?"
+        response = self.llm.complete(P.qa_prompt(question))
+        answer = P.parse_qa_response(response.text)
+        if not answer or answer.lower() == "unknown":
+            return []
+        out: List[Term] = []
+        for part in answer.split(","):
+            matches = self.kg.find_by_label(part.strip())
+            if matches:
+                out.append(matches[0])
+        return out

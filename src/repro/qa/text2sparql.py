@@ -1,0 +1,235 @@
+"""Query generation from text (survey §4.1.3, RQ6): text → SPARQL/Cypher.
+
+Systems, in the survey's order of increasing grounding:
+
+* :class:`ZeroShotText2Sparql` — bare prompting; the model must guess
+  predicate IRIs and entity groundings, and may emit malformed queries.
+* :class:`SparqlGenText2Sparql` — SPARQLGEN one-shot prompting: the prompt
+  carries the RDF subgraph relevant to the question, the schema, and one
+  correct example query for a *different* question. Pliukhin et al.'s
+  improvement (wider subgraph extraction) is the ``subgraph_hops`` knob.
+* :class:`SGPTText2Sparql` — SGPT: a generator *trained* on (question,
+  query) pairs, prompted with the schema it learned.
+* :class:`Text2Cypher` — the Cypher half of RQ6, executed through the
+  Cypher→SPARQL translator.
+
+Execution accuracy is the paper-standard metric: parse the generated query,
+run it on the KG, compare answer sets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.kg.datasets import Dataset
+from repro.kg.graph import KnowledgeGraph, _humanize_relation
+from repro.kg.rdf import dumps_ntriples
+from repro.kg.triples import IRI, OWL, RDF, RDFS
+from repro.llm import prompts as P
+from repro.llm.model import SimulatedLLM
+from repro.sparql import SparqlEngine, SparqlParseError, parse_query
+from repro.sparql.cypher import CypherEngine, CypherParseError
+from repro.qa.multihop import MultiHopQuestion, generate_multihop_questions
+
+
+@dataclass
+class Text2SparqlInstance:
+    """One (question, gold SPARQL, gold answers) item."""
+
+    question: str
+    gold_query: str
+    answers: Set[IRI]
+
+
+class Text2SparqlTask:
+    """Build evaluation instances from a dataset's generated questions."""
+
+    def __init__(self, dataset: Dataset, n: int = 20, hops: int = 1,
+                 seed: int = 0):
+        self.dataset = dataset
+        self.kg = dataset.kg
+        self.engine = SparqlEngine(self.kg.store)
+        self.instances = [
+            self._to_instance(q)
+            for q in generate_multihop_questions(dataset, n=n, hops=hops,
+                                                 seed=seed)
+        ]
+
+    def _to_instance(self, question: MultiHopQuestion) -> Text2SparqlInstance:
+        patterns = []
+        subject = question.anchor.n3()
+        for index, relation in enumerate(question.relations):
+            var = "?x" if index == len(question.relations) - 1 else f"?m{index}"
+            patterns.append(f"{subject} {relation.n3()} {var} .")
+            subject = var
+        gold_query = "SELECT ?x WHERE { " + " ".join(patterns) + " }"
+        return Text2SparqlInstance(question=question.text,
+                                   gold_query=gold_query,
+                                   answers=question.answers)
+
+    def schema_text(self) -> str:
+        """``label = <iri>`` lines for every relation (the Schema section)."""
+        lines = []
+        for relation, prop in sorted(self.dataset.ontology.properties.items(),
+                                     key=lambda kv: kv[0].value):
+            lines.append(f"{_humanize_relation(prop.label)} = <{relation.value}>")
+        return "\n".join(lines)
+
+    def subgraph_text(self, question: str, llm: SimulatedLLM,
+                      hops: int = 1) -> Optional[str]:
+        """The N-Triples subgraph around the question's entities."""
+        mentions = llm.find_mentions(question)
+        seeds = [m.iri for m in mentions if m.iri is not None]
+        if not seeds:
+            return None
+        subgraph = self.kg.subgraph(seeds, hops=hops, max_triples=60)
+        return dumps_ntriples(subgraph)
+
+
+_EXAMPLE_QUERY = ('SELECT ?x WHERE { <http://repro.dev/kg/Example> '
+                  '<http://repro.dev/schema/exampleOf> ?x . }')
+
+
+class ZeroShotText2Sparql:
+    """Bare prompting, no grounding material."""
+
+    def __init__(self, llm: SimulatedLLM):
+        self.llm = llm
+
+    def generate(self, question: str) -> str:
+        """Bare prompt → query text (may be malformed; callers must parse)."""
+        return self.llm.complete(P.sparql_prompt(question)).text
+
+
+class SparqlGenText2Sparql:
+    """SPARQLGEN: one-shot prompt with subgraph + schema + example query."""
+
+    def __init__(self, llm: SimulatedLLM, task: Text2SparqlTask,
+                 subgraph_hops: int = 1):
+        self.llm = llm
+        self.task = task
+        self.subgraph_hops = subgraph_hops
+
+    def generate(self, question: str) -> str:
+        """One-shot prompt with subgraph + schema + example query."""
+        prompt = P.sparql_prompt(
+            question,
+            schema=self.task.schema_text(),
+            subgraph=self.task.subgraph_text(question, self.llm,
+                                             hops=self.subgraph_hops),
+            example_query=_EXAMPLE_QUERY,
+        )
+        return self.llm.complete(prompt).text
+
+
+class SGPTText2Sparql:
+    """SGPT: fine-tuned generation with the learned schema."""
+
+    def __init__(self, llm: SimulatedLLM, task: Text2SparqlTask):
+        self.llm = llm
+        self.task = task
+        self.trained_on = 0
+
+    def fit(self, training_questions: Sequence[str]) -> None:
+        """Train on (question, query) pairs."""
+        self.llm.fine_tune("sparql generation", len(training_questions))
+        self.trained_on = len(training_questions)
+
+    def generate(self, question: str) -> str:
+        """Trained generation with the learned schema in the prompt."""
+        prompt = P.sparql_prompt(
+            question,
+            schema=self.task.schema_text(),
+            example_query=_EXAMPLE_QUERY,
+        )
+        return self.llm.complete(prompt).text
+
+
+def evaluate_text2sparql(system, task: Text2SparqlTask,
+                         instances: Optional[Sequence[Text2SparqlInstance]] = None
+                         ) -> Dict[str, float]:
+    """Parse rate, execution accuracy (exact answer-set match) and mean F1."""
+    instances = list(instances if instances is not None else task.instances)
+    if not instances:
+        raise ValueError("no instances to evaluate")
+    parsed = exact = 0
+    total_f1 = 0.0
+    for instance in instances:
+        query_text = system.generate(instance.question)
+        try:
+            parse_query(query_text)
+        except SparqlParseError:
+            continue
+        parsed += 1
+        try:
+            rows = task.engine.select(query_text)
+        except Exception:
+            continue
+        predicted: Set[IRI] = set()
+        for row in rows:
+            for value in row.values():
+                if isinstance(value, IRI):
+                    predicted.add(value)
+        gold = instance.answers
+        if predicted == gold:
+            exact += 1
+        if predicted and gold:
+            tp = len(predicted & gold)
+            precision = tp / len(predicted)
+            recall = tp / len(gold)
+            if precision + recall:
+                total_f1 += 2 * precision * recall / (precision + recall)
+        elif not predicted and not gold:
+            total_f1 += 1.0
+    n = len(instances)
+    return {"parse_rate": parsed / n, "execution_accuracy": exact / n,
+            "f1": total_f1 / n, "instances": float(n)}
+
+
+class Text2Cypher:
+    """Text → Cypher, executed through the Cypher front-end.
+
+    The generator grounds the question with the backbone's lexicons and
+    emits a ``MATCH`` pattern; faithfulness of the grounding carries the
+    same failure modes as the SPARQL path.
+    """
+
+    def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph):
+        self.llm = llm
+        self.kg = kg
+        self.engine = CypherEngine(kg.store)
+
+    def generate(self, question: str) -> Optional[str]:
+        """A Cypher query, or None when the question cannot be grounded."""
+        mentions = [m for m in self.llm.find_mentions(question)
+                    if m.iri is not None]
+        relations = [hit[1] for hit in self.llm.find_relations(question)]
+        if not mentions or not relations:
+            return None
+        anchor = mentions[-1]
+        label = self.kg.label(anchor.iri).replace('"', '\\"')  # type: ignore[arg-type]
+        chain = list(reversed(relations))
+        pattern = f'(a {{name: "{label}"}})'
+        for index, relation in enumerate(chain):
+            var = "x" if index == len(chain) - 1 else f"m{index}"
+            pattern += f"-[:{relation.local_name}]->({var})"
+        return f"MATCH {pattern} RETURN x"
+
+    def answer(self, question: str) -> Set[IRI]:
+        """Generate, execute, and collect the bound entities."""
+        cypher = self.generate(question)
+        if cypher is None:
+            return set()
+        try:
+            rows = self.engine.execute(cypher)
+        except (CypherParseError, SparqlParseError):
+            return set()
+        out: Set[IRI] = set()
+        if isinstance(rows, list):
+            for row in rows:
+                for value in row.values():
+                    if isinstance(value, IRI):
+                        out.add(value)
+        return out

@@ -1,0 +1,31 @@
+"""KG Reasoning (survey §2.3): rule-based inference and the three surveyed
+LLM-reasoning frameworks.
+
+* :mod:`rules` — Horn rules over KG relations, forward chaining, and
+  support/confidence scoring (shared with ChatRule in the validation
+  package).
+* :mod:`fol` — first-order-logic query classes (1p/2p/3p chains,
+  intersections, unions) plus a gold KG executor.
+* :mod:`lark` — LARK: decompose a logical query into chained subqueries,
+  each answered by the LLM over a retrieved subgraph context.
+* :mod:`rog` — Reasoning-on-Graphs: planning (relation paths) → retrieval
+  (grounded paths) → reasoning (answer + faithful path explanation).
+* :mod:`kggpt` — KG-GPT: sentence segmentation → graph retrieval →
+  inference, used for claim verification over KGs.
+"""
+
+from repro.reasoning.rules import Rule, RuleStats, forward_chain, score_rule
+from repro.reasoning.fol import (
+    ChainQuery, IntersectionQuery, UnionQuery, execute_fol, FOLQuery,
+)
+from repro.reasoning.lark import LARKReasoner, SingleShotReasoner
+from repro.reasoning.rog import RoGReasoner, ReasoningResult
+from repro.reasoning.kggpt import KGGPTVerifier
+
+__all__ = [
+    "Rule", "RuleStats", "forward_chain", "score_rule",
+    "ChainQuery", "IntersectionQuery", "UnionQuery", "execute_fol", "FOLQuery",
+    "LARKReasoner", "SingleShotReasoner",
+    "RoGReasoner", "ReasoningResult",
+    "KGGPTVerifier",
+]

@@ -1,0 +1,116 @@
+"""First-order-logic queries over a KG (the LARK workload).
+
+Query classes follow the multi-hop KGQA literature's naming: ``1p/2p/3p``
+are relation-projection chains from an anchor entity, ``2i/3i`` intersect
+chains, ``2u`` unions them. :func:`execute_fol` is the gold executor used to
+score the LLM-based reasoners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple, Union
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triples import IRI
+
+
+@dataclass(frozen=True)
+class ChainQuery:
+    """A projection chain: ``?x : rn(...r2(r1(anchor))...)``."""
+
+    anchor: IRI
+    relations: Tuple[IRI, ...]
+
+    def __post_init__(self) -> None:
+        if not self.relations:
+            raise ValueError("a chain query needs at least one relation")
+
+    @property
+    def hops(self) -> int:
+        """Chain length (1 for 1p, 2 for 2p, ...)."""
+        return len(self.relations)
+
+
+@dataclass(frozen=True)
+class IntersectionQuery:
+    """Conjunction of chains: answers must satisfy every part."""
+
+    parts: Tuple[ChainQuery, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("an intersection needs at least two parts")
+
+
+@dataclass(frozen=True)
+class UnionQuery:
+    """Disjunction of chains: answers satisfying any part."""
+
+    parts: Tuple[ChainQuery, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("a union needs at least two parts")
+
+
+FOLQuery = Union[ChainQuery, IntersectionQuery, UnionQuery]
+
+
+def execute_fol(kg: KnowledgeGraph, query: FOLQuery) -> Set[IRI]:
+    """Gold answers of a FOL query by direct graph traversal."""
+    if isinstance(query, ChainQuery):
+        frontier: Set[IRI] = {query.anchor}
+        for relation in query.relations:
+            next_frontier: Set[IRI] = set()
+            for node in frontier:
+                for triple in kg.store.match(node, relation, None):
+                    if isinstance(triple.object, IRI):
+                        next_frontier.add(triple.object)
+            frontier = next_frontier
+            if not frontier:
+                break
+        return frontier
+    if isinstance(query, IntersectionQuery):
+        answer_sets = [execute_fol(kg, part) for part in query.parts]
+        out = answer_sets[0]
+        for answers in answer_sets[1:]:
+            out &= answers
+        return out
+    if isinstance(query, UnionQuery):
+        out = set()
+        for part in query.parts:
+            out |= execute_fol(kg, part)
+        return out
+    raise TypeError(f"unknown FOL query type {type(query).__name__}")
+
+
+def query_class(query: FOLQuery) -> str:
+    """The literature's class name for a query (1p, 2p, 3p, 2i, 3i, 2u)."""
+    if isinstance(query, ChainQuery):
+        return f"{query.hops}p"
+    if isinstance(query, IntersectionQuery):
+        return f"{len(query.parts)}i"
+    if isinstance(query, UnionQuery):
+        return f"{len(query.parts)}u"
+    raise TypeError(f"unknown FOL query type {type(query).__name__}")
+
+
+def verbalize_query(kg: KnowledgeGraph, query: FOLQuery) -> str:
+    """A natural-language rendering of the query (single-shot LLM input)."""
+    if isinstance(query, ChainQuery):
+        from repro.kg.graph import _humanize_relation
+        phrase = f"List what {_humanize_relation(kg.label(query.relations[0]))} {kg.label(query.anchor)}?"
+        for relation in query.relations[1:]:
+            phrase = phrase.rstrip("?")
+            phrase = (f"List what {_humanize_relation(kg.label(relation))} "
+                      f"the answer of ({phrase})?")
+        return phrase
+    if isinstance(query, IntersectionQuery):
+        parts = " and also ".join(verbalize_query(kg, p).rstrip("?")
+                                  for p in query.parts)
+        return f"{parts}? (both conditions must hold)"
+    if isinstance(query, UnionQuery):
+        parts = " or ".join(verbalize_query(kg, p).rstrip("?") for p in query.parts)
+        return f"{parts}? (either condition may hold)"
+    raise TypeError(f"unknown FOL query type {type(query).__name__}")

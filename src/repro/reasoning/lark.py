@@ -1,0 +1,125 @@
+"""LARK-style logical reasoning over KGs with an LLM (Choudhary & Reddy).
+
+LARK's two moves, reproduced here:
+
+1. **Relevant subgraph context** — for every stage of the query, retrieve
+   the neighbourhood of the current frontier entities and verbalize it into
+   the prompt.
+2. **Chain decomposition** — a k-hop logical query becomes k single-hop LLM
+   calls whose intermediate answers feed the next hop; intersections and
+   unions combine the chain answer sets with set logic (done in code, as
+   LARK's query operators do).
+
+:class:`SingleShotReasoner` is the comparison point: the whole composed
+question in one LLM call, no retrieval — the setting where LLMs degrade as
+query complexity grows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.kg.graph import KnowledgeGraph, _humanize_relation
+from repro.kg.triples import IRI, RDF, RDFS
+from repro.llm import prompts as P
+from repro.llm.model import SimulatedLLM
+from repro.reasoning.fol import (
+    ChainQuery, FOLQuery, IntersectionQuery, UnionQuery, verbalize_query,
+)
+
+
+class LARKReasoner:
+    """Chain-decomposed, subgraph-grounded FOL answering."""
+
+    def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph,
+                 facts_per_hop: int = 60):
+        self.llm = llm
+        self.kg = kg
+        self.facts_per_hop = facts_per_hop
+
+    def answer(self, query: FOLQuery) -> Set[IRI]:
+        """Answer entities of the query (possibly empty)."""
+        if isinstance(query, ChainQuery):
+            return self._answer_chain(query)
+        if isinstance(query, IntersectionQuery):
+            out: Optional[Set[IRI]] = None
+            for part in query.parts:
+                answers = self._answer_chain(part)
+                out = answers if out is None else (out & answers)
+            return out or set()
+        if isinstance(query, UnionQuery):
+            out = set()
+            for part in query.parts:
+                out |= self._answer_chain(part)
+            return out
+        raise TypeError(f"unknown FOL query type {type(query).__name__}")
+
+    def _answer_chain(self, query: ChainQuery) -> Set[IRI]:
+        frontier: Set[IRI] = {query.anchor}
+        for relation in query.relations:
+            next_frontier: Set[IRI] = set()
+            for entity in sorted(frontier, key=lambda e: e.value):
+                for label in self._hop(entity, relation):
+                    for resolved in self.kg.find_by_label(label):
+                        next_frontier.add(resolved)
+            frontier = next_frontier
+            if not frontier:
+                break
+        return frontier
+
+    def _hop(self, entity: IRI, relation: IRI) -> List[str]:
+        """One single-hop LLM call grounded in the entity's neighbourhood."""
+        facts = self._context_facts(entity, relation)
+        question = (f"List what {_humanize_relation(self.kg.label(relation))} "
+                    f"{self.kg.label(entity)}?")
+        response = self.llm.complete(P.qa_prompt(question, facts=facts))
+        answer = P.parse_qa_response(response.text)
+        if answer.lower() == "unknown":
+            return []
+        return [part.strip() for part in answer.split(",") if part.strip()]
+
+    def _context_facts(self, entity: IRI, relation: IRI) -> List[str]:
+        facts = []
+        for triple in self.kg.outgoing(entity):
+            if triple.predicate in (RDFS.label, RDFS.comment, RDF.type):
+                continue
+            facts.append(self.kg.verbalize_triple(triple))
+            if len(facts) >= self.facts_per_hop:
+                break
+        return facts
+
+
+class SingleShotReasoner:
+    """Ask the entire composed question in one call (no decomposition,
+    no retrieval) — the baseline LARK improves on."""
+
+    def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph):
+        self.llm = llm
+        self.kg = kg
+
+    def answer(self, query: FOLQuery) -> Set[IRI]:
+        """Verbalize the whole query and ask the backbone once."""
+        question = verbalize_query(self.kg, query)
+        response = self.llm.complete(P.qa_prompt(question))
+        answer = P.parse_qa_response(response.text)
+        if answer.lower() == "unknown":
+            return set()
+        out: Set[IRI] = set()
+        for part in answer.split(","):
+            for resolved in self.kg.find_by_label(part.strip()):
+                out.add(resolved)
+        return out
+
+
+def answer_f1(predicted: Set[IRI], gold: Set[IRI]) -> float:
+    """Set F1 between predicted and gold answer entities."""
+    if not predicted and not gold:
+        return 1.0
+    if not predicted or not gold:
+        return 0.0
+    tp = len(predicted & gold)
+    precision = tp / len(predicted)
+    recall = tp / len(gold)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)

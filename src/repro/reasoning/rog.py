@@ -1,0 +1,146 @@
+"""Reasoning on Graphs (RoG, Luo et al.): planning → retrieval → reasoning.
+
+The planning module proposes relation paths for the question and *grounds*
+them against the KG schema (only paths that can exist survive — RoG's
+"faithful plans"); the retrieval module instantiates the plans from the
+anchor entity; the reasoning module answers over the retrieved paths and
+returns them as the interpretable explanation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.core.pipeline import Pipeline, PipelineContext
+from repro.kg.graph import KnowledgeGraph, _humanize_relation
+from repro.kg.triples import IRI
+from repro.llm import prompts as P
+from repro.llm.model import SimulatedLLM
+
+
+@dataclass
+class ReasoningResult:
+    """Answer plus the reasoning paths that justify it."""
+
+    answers: Set[IRI]
+    plans: List[Tuple[IRI, ...]]                    # relation paths planned
+    paths: List[List[Tuple[IRI, IRI, IRI]]]         # grounded (s, r, o) chains
+    explanation: str = ""
+
+
+class RoGReasoner:
+    """The three-stage planning–retrieval–reasoning pipeline."""
+
+    def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph, max_hops: int = 2):
+        self.llm = llm
+        self.kg = kg
+        self.max_hops = max_hops
+        self.pipeline = (
+            Pipeline("rog")
+            .add("planning", self._plan)
+            .add("retrieval", self._retrieve)
+            .add("reasoning", self._reason)
+        )
+
+    def answer(self, question: str) -> ReasoningResult:
+        """Run the full pipeline for a natural-language question."""
+        context = self.pipeline.execute(question=question)
+        return context["result"]
+
+    # -- planning ---------------------------------------------------------
+    def _plan(self, context: PipelineContext) -> None:
+        question = context["question"]
+        mentions = self.llm.find_mentions(question)
+        anchor: Optional[IRI] = None
+        for mention in reversed(mentions):
+            if mention.iri is not None:
+                anchor = mention.iri
+                break
+        relation_hits = self.llm.find_relations(question)
+        relations = [hit[1] for hit in relation_hits][: self.max_hops]
+        plans: List[Tuple[IRI, ...]] = []
+        if relations:
+            # Question surface order is outermost-first; traversal from the
+            # anchor runs innermost-first, so reverse.
+            candidate = tuple(reversed(relations))
+            if anchor is not None and self._plan_is_groundable(anchor, candidate):
+                plans.append(candidate)
+            elif anchor is not None and len(candidate) > 1:
+                # Back off to shorter faithful plans.
+                for length in range(len(candidate) - 1, 0, -1):
+                    shorter = candidate[:length]
+                    if self._plan_is_groundable(anchor, shorter):
+                        plans.append(shorter)
+                        break
+        context["anchor"] = anchor
+        context["plans"] = plans
+
+    def _plan_is_groundable(self, anchor: IRI, relations: Tuple[IRI, ...]) -> bool:
+        frontier: Set[IRI] = {anchor}
+        for relation in relations:
+            next_frontier: Set[IRI] = set()
+            for node in frontier:
+                for triple in self.kg.store.match(node, relation, None):
+                    if isinstance(triple.object, IRI):
+                        next_frontier.add(triple.object)
+                for triple in self.kg.store.match(None, relation, node):
+                    next_frontier.add(triple.subject)
+            frontier = next_frontier
+            if not frontier:
+                return False
+        return True
+
+    # -- retrieval --------------------------------------------------------
+    def _retrieve(self, context: PipelineContext) -> None:
+        anchor: Optional[IRI] = context.get("anchor")
+        paths: List[List[Tuple[IRI, IRI, IRI]]] = []
+        for plan in context.get("plans", []):
+            if anchor is None:
+                break
+            partials: List[Tuple[IRI, List[Tuple[IRI, IRI, IRI]]]] = [(anchor, [])]
+            for relation in plan:
+                extended: List[Tuple[IRI, List[Tuple[IRI, IRI, IRI]]]] = []
+                for node, sofar in partials:
+                    for triple in self.kg.store.match(node, relation, None):
+                        if isinstance(triple.object, IRI):
+                            extended.append(
+                                (triple.object,
+                                 sofar + [(node, relation, triple.object)]))
+                    for triple in self.kg.store.match(None, relation, node):
+                        extended.append(
+                            (triple.subject,
+                             sofar + [(triple.subject, relation, node)]))
+                partials = extended[:50]
+            paths.extend(path for _, path in partials)
+        context["paths"] = paths
+
+    # -- reasoning --------------------------------------------------------
+    def _reason(self, context: PipelineContext) -> None:
+        question = context["question"]
+        paths: List[List[Tuple[IRI, IRI, IRI]]] = context.get("paths", [])
+        facts: List[str] = []
+        for path in paths[:40]:
+            for s, r, o in path:
+                phrase = _humanize_relation(self.kg.label(r))
+                facts.append(f"{self.kg.label(s)} {phrase} {self.kg.label(o)}.")
+        answers: Set[IRI] = set()
+        if facts:
+            response = self.llm.complete(P.qa_prompt(question, facts=facts))
+            answer_text = P.parse_qa_response(response.text)
+            if answer_text.lower() != "unknown":
+                for part in answer_text.split(","):
+                    for resolved in self.kg.find_by_label(part.strip()):
+                        answers.add(resolved)
+        explanation_lines = []
+        for path in paths[:3]:
+            chain = " -> ".join(
+                f"{self.kg.label(s)} ({self.kg.label(r)}) {self.kg.label(o)}"
+                for s, r, o in path)
+            explanation_lines.append(chain)
+        context["result"] = ReasoningResult(
+            answers=answers,
+            plans=list(context.get("plans", [])),
+            paths=paths,
+            explanation="\n".join(explanation_lines),
+        )

@@ -1,0 +1,28 @@
+"""A from-scratch SPARQL-subset engine over :class:`repro.kg.TripleStore`.
+
+Pipeline: :mod:`lexer` → :mod:`parser` (recursive descent producing the
+algebra in :mod:`algebra`) → :mod:`evaluator`. The subset covers what the
+surveyed text-to-SPARQL systems emit: SELECT/ASK, basic graph patterns,
+FILTER expressions, OPTIONAL, UNION, DISTINCT, ORDER BY, LIMIT/OFFSET and
+COUNT. A Cypher-subset front-end lives in :mod:`cypher`.
+"""
+
+from repro.sparql.parser import parse_query, SparqlParseError
+from repro.sparql.evaluator import SparqlEngine, SparqlEvaluationError
+from repro.sparql.cypher import CypherEngine, cypher_to_sparql
+from repro.sparql.optimizer import (
+    simplify, check_satisfiability, sparql_to_cypher, SatisfiabilityReport,
+)
+
+__all__ = [
+    "simplify",
+    "check_satisfiability",
+    "sparql_to_cypher",
+    "SatisfiabilityReport",
+    "parse_query",
+    "SparqlParseError",
+    "SparqlEngine",
+    "SparqlEvaluationError",
+    "CypherEngine",
+    "cypher_to_sparql",
+]

@@ -1,0 +1,221 @@
+"""Query algebra: the AST the parser produces and the evaluator walks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.kg.triples import Term
+
+
+@dataclass(frozen=True)
+class Var:
+    """A query variable (without the leading ``?``)."""
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"?{self.name}"
+
+
+#: A position in a triple pattern: a variable or a concrete term.
+PatternTerm = Union[Var, Term]
+
+
+# ---------------------------------------------------------------------------
+# Property paths (SPARQL 1.1 subset: ^, /, +, *)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class InversePath:
+    """``^p`` — traverse ``p`` object-to-subject."""
+
+    path: "PropertyPath"
+
+
+@dataclass(frozen=True)
+class SequencePath:
+    """``p1/p2/...`` — compose paths left to right."""
+
+    parts: Tuple["PropertyPath", ...]
+
+
+@dataclass(frozen=True)
+class OneOrMorePath:
+    """``p+`` — one or more repetitions."""
+
+    path: "PropertyPath"
+
+
+@dataclass(frozen=True)
+class ZeroOrMorePath:
+    """``p*`` — zero or more repetitions (reflexive-transitive closure)."""
+
+    path: "PropertyPath"
+
+
+from repro.kg.triples import IRI as _IRI  # noqa: E402 - after Term import
+
+PropertyPath = Union["_IRI", InversePath, SequencePath, OneOrMorePath,
+                     ZeroOrMorePath]
+
+
+def is_path(value: object) -> bool:
+    """True when the value is a composite property path (not a plain IRI)."""
+    return isinstance(value, (InversePath, SequencePath, OneOrMorePath,
+                              ZeroOrMorePath))
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """One (s, p, o) pattern; subject/object may be a :class:`Var`, and the
+    predicate may additionally be a composite property path."""
+
+    subject: PatternTerm
+    predicate: Union[PatternTerm, InversePath, SequencePath, OneOrMorePath,
+                     ZeroOrMorePath]
+    object: PatternTerm
+
+    def variables(self) -> List[Var]:
+        """The variables appearing in this pattern."""
+        return [t for t in (self.subject, self.predicate, self.object) if isinstance(t, Var)]
+
+
+# ---------------------------------------------------------------------------
+# Expressions (FILTER language)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TermExpr:
+    """A constant term in an expression."""
+
+    term: Term
+
+
+@dataclass(frozen=True)
+class VarExpr:
+    """A variable reference in an expression."""
+
+    var: Var
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A binary comparison: ``=, !=, <, <=, >, >=``."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    """``&&`` / ``||`` over two sub-expressions."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class NotOp:
+    """Logical negation."""
+
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """A builtin call: BOUND, STR, LANG, REGEX, CONTAINS, STRSTARTS, ..."""
+
+    name: str
+    args: Tuple["Expression", ...]
+
+
+Expression = Union[TermExpr, VarExpr, Comparison, BoolOp, NotOp, FunctionCall]
+
+
+# ---------------------------------------------------------------------------
+# Graph patterns
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BGP:
+    """A basic graph pattern: a conjunction of triple patterns."""
+
+    patterns: List[TriplePattern] = field(default_factory=list)
+
+
+@dataclass
+class Filter:
+    """A FILTER constraint applying to the group it appears in."""
+
+    expression: Expression
+
+
+@dataclass
+class OptionalPattern:
+    """OPTIONAL { ... } — a left join."""
+
+    pattern: "GroupPattern"
+
+
+@dataclass
+class UnionPattern:
+    """{ A } UNION { B } UNION ... — a bag union of alternatives."""
+
+    alternatives: List["GroupPattern"]
+
+
+@dataclass
+class GroupPattern:
+    """A ``{ ... }`` group: elements evaluated left-to-right with joins."""
+
+    elements: List[Union[BGP, Filter, OptionalPattern, UnionPattern, "GroupPattern"]] = field(
+        default_factory=list
+    )
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OrderCondition:
+    """One ORDER BY key."""
+
+    var: Var
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class CountAggregate:
+    """``(COUNT(*) AS ?v)`` or ``(COUNT(?x) AS ?v)`` projection."""
+
+    var: Optional[Var]  # None means COUNT(*)
+    alias: Var
+    distinct: bool = False
+
+
+@dataclass
+class SelectQuery:
+    """A SELECT query in the supported subset."""
+
+    variables: List[Var]                      # empty means SELECT *
+    where: GroupPattern
+    distinct: bool = False
+    order_by: List[OrderCondition] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: int = 0
+    count: Optional[CountAggregate] = None
+    group_by: List[Var] = field(default_factory=list)
+
+
+@dataclass
+class AskQuery:
+    """An ASK query: does the pattern have at least one solution?"""
+
+    where: GroupPattern
+
+
+Query = Union[SelectQuery, AskQuery]

@@ -1,0 +1,253 @@
+"""A Cypher-subset front-end that translates to SPARQL.
+
+RQ6 covers "Text to Sparql or Cypher"; to exercise the Cypher half without a
+property-graph engine we map the openCypher pattern language onto RDF:
+
+* node labels → ``rdf:type`` triples against a class namespace,
+* relationship types → predicate IRIs in a relation namespace,
+* the ``name`` property → ``rdfs:label``; other properties → predicates.
+
+The translator emits SPARQL text, so everything downstream (evaluation,
+benchmarks) reuses the engine in :mod:`repro.sparql.evaluator`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.kg.store import TripleStore
+from repro.kg.triples import RDFS
+from repro.sparql.evaluator import Solution, SparqlEngine
+
+DEFAULT_SCHEMA_PREFIX = "http://repro.dev/schema/"
+
+
+class CypherParseError(ValueError):
+    """Raised when the Cypher text is outside the supported subset."""
+
+
+@dataclass
+class _Node:
+    var: str
+    label: Optional[str] = None
+    properties: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class _Rel:
+    rel_type: str
+    reversed: bool
+
+
+@dataclass
+class _ReturnItem:
+    var: str
+    prop: Optional[str] = None
+    is_count: bool = False
+
+
+_NODE_RE = re.compile(
+    r"\(\s*(?P<var>[A-Za-z_][A-Za-z0-9_]*)?\s*(?::(?P<label>[A-Za-z_][A-Za-z0-9_]*))?"
+    r"\s*(?P<props>\{[^}]*\})?\s*\)"
+)
+_REL_RE = re.compile(
+    r"(?P<left><)?-\s*\[\s*(?:[A-Za-z_][A-Za-z0-9_]*)?\s*:\s*(?P<type>[A-Za-z_][A-Za-z0-9_]*)\s*\]\s*-(?P<right>>)?"
+)
+_PROP_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*:\s*\"((?:[^\"\\]|\\.)*)\"")
+_WHERE_COND_RE = re.compile(
+    r"([A-Za-z_][A-Za-z0-9_]*)\.([A-Za-z_][A-Za-z0-9_]*)\s*(=|<>|<=|>=|<|>)\s*"
+    r"(?:\"((?:[^\"\\]|\\.)*)\"|(\d+(?:\.\d+)?))"
+)
+_RETURN_ITEM_RE = re.compile(
+    r"(?:(?P<count>count)\s*\(\s*(?P<cvar>[A-Za-z_][A-Za-z0-9_]*|\*)\s*\)"
+    r"|(?P<var>[A-Za-z_][A-Za-z0-9_]*)(?:\.(?P<prop>[A-Za-z_][A-Za-z0-9_]*))?)",
+    re.IGNORECASE,
+)
+
+
+def cypher_to_sparql(cypher: str, schema_prefix: str = DEFAULT_SCHEMA_PREFIX) -> str:
+    """Translate a Cypher-subset query into an equivalent SPARQL query.
+
+    Supported: ``MATCH`` with one pattern chain (multiple comma-separated
+    chains allowed), inline property maps, ``WHERE`` conjunctions over
+    ``var.prop`` comparisons, ``RETURN [DISTINCT]`` of variables /
+    properties / ``count()``, ``ORDER BY``, ``LIMIT``.
+    """
+    text = cypher.strip().rstrip(";")
+    m = re.match(
+        r"MATCH\s+(?P<match>.+?)(?:\s+WHERE\s+(?P<where>.+?))?"
+        r"\s+RETURN\s+(?P<distinct>DISTINCT\s+)?(?P<ret>.+?)"
+        r"(?:\s+ORDER\s+BY\s+(?P<order>[A-Za-z_][\w.]*)(?P<desc>\s+DESC)?)?"
+        r"(?:\s+LIMIT\s+(?P<limit>\d+))?$",
+        text, re.IGNORECASE | re.DOTALL,
+    )
+    if m is None:
+        raise CypherParseError(f"unsupported Cypher shape: {cypher!r}")
+
+    triples: List[str] = []
+    prop_vars: Dict[Tuple[str, str], str] = {}
+    anon_counter = [0]
+
+    def schema_iri(name: str) -> str:
+        return f"<{schema_prefix}{name}>"
+
+    def prop_predicate(prop: str) -> str:
+        if prop == "name":
+            return f"<{RDFS.label.value}>"
+        return schema_iri(prop)
+
+    def ensure_prop_var(var: str, prop: str) -> str:
+        key = (var, prop)
+        if key not in prop_vars:
+            value_var = f"{var}_{prop}"
+            prop_vars[key] = value_var
+            triples.append(f"?{var} {prop_predicate(prop)} ?{value_var}")
+        return prop_vars[key]
+
+    def parse_node(node_text: str, match: re.Match) -> _Node:
+        var = match.group("var")
+        if var is None:
+            var = f"_anon{anon_counter[0]}"
+            anon_counter[0] += 1
+        node = _Node(var=var, label=match.group("label"))
+        props = match.group("props")
+        if props:
+            for prop, value in _PROP_RE.findall(props):
+                node.properties[prop] = value
+        return node
+
+    def emit_node(node: _Node) -> None:
+        if node.label:
+            triples.append(f"?{node.var} a {schema_iri(node.label)}")
+        for prop, value in node.properties.items():
+            escaped = value.replace('"', '\\"')
+            triples.append(f'?{node.var} {prop_predicate(prop)} "{escaped}"')
+
+    for chain in _split_top_level_commas(m.group("match")):
+        position = 0
+        chain = chain.strip()
+        node_match = _NODE_RE.match(chain, position)
+        if node_match is None:
+            raise CypherParseError(f"expected a node pattern in {chain!r}")
+        current = parse_node(chain, node_match)
+        emit_node(current)
+        position = node_match.end()
+        while position < len(chain):
+            rel_match = _REL_RE.match(chain, position)
+            if rel_match is None:
+                raise CypherParseError(f"expected a relationship at {chain[position:]!r}")
+            position = rel_match.end()
+            node_match = _NODE_RE.match(chain, position)
+            if node_match is None:
+                raise CypherParseError(f"expected a node pattern at {chain[position:]!r}")
+            nxt = parse_node(chain, node_match)
+            emit_node(nxt)
+            position = node_match.end()
+            predicate = schema_iri(rel_match.group("type"))
+            if rel_match.group("left"):  # <-[:T]-
+                triples.append(f"?{nxt.var} {predicate} ?{current.var}")
+            else:  # -[:T]->
+                triples.append(f"?{current.var} {predicate} ?{nxt.var}")
+            current = nxt
+
+    filters: List[str] = []
+    where = m.group("where")
+    if where:
+        for part in re.split(r"\s+AND\s+", where, flags=re.IGNORECASE):
+            cond = _WHERE_COND_RE.fullmatch(part.strip())
+            if cond is None:
+                raise CypherParseError(f"unsupported WHERE condition {part!r}")
+            var, prop, op, string_value, number_value = cond.groups()
+            value_var = ensure_prop_var(var, prop)
+            sparql_op = "!=" if op == "<>" else op
+            if string_value is not None:
+                escaped = string_value.replace('"', '\\"')
+                rhs = f'"{escaped}"'
+            else:
+                rhs = number_value
+            filters.append(f"FILTER (?{value_var} {sparql_op} {rhs})")
+
+    return_items: List[_ReturnItem] = []
+    for part in _split_top_level_commas(m.group("ret")):
+        item_match = _RETURN_ITEM_RE.fullmatch(part.strip())
+        if item_match is None:
+            raise CypherParseError(f"unsupported RETURN item {part!r}")
+        if item_match.group("count"):
+            cvar = item_match.group("cvar")
+            return_items.append(_ReturnItem(var=cvar, is_count=True))
+        else:
+            return_items.append(
+                _ReturnItem(var=item_match.group("var"), prop=item_match.group("prop"))
+            )
+
+    projection: List[str] = []
+    count_clause: Optional[str] = None
+    for item in return_items:
+        if item.is_count:
+            inner = "*" if item.var == "*" else f"?{item.var}"
+            count_clause = f"(COUNT({inner}) AS ?count)"
+        elif item.prop:
+            projection.append("?" + ensure_prop_var(item.var, item.prop))
+        else:
+            projection.append(f"?{item.var}")
+    if count_clause is not None and projection:
+        raise CypherParseError("mixing count() with plain items is not supported")
+
+    order_clause = ""
+    order = m.group("order")
+    if order:
+        if "." in order:
+            order_var, order_prop = order.split(".", 1)
+            order_target = "?" + ensure_prop_var(order_var, order_prop)
+        else:
+            order_target = f"?{order}"
+        direction = " DESC" if m.group("desc") else ""
+        if direction:
+            order_clause = f" ORDER BY DESC({order_target})"
+        else:
+            order_clause = f" ORDER BY {order_target}"
+
+    body = " . ".join(triples + filters)
+    head = count_clause if count_clause else " ".join(projection) or "*"
+    distinct = "DISTINCT " if m.group("distinct") else ""
+    limit_clause = f" LIMIT {m.group('limit')}" if m.group("limit") else ""
+    return f"SELECT {distinct}{head} WHERE {{ {body} }}{order_clause}{limit_clause}"
+
+
+def _split_top_level_commas(text: str) -> List[str]:
+    """Split on commas not inside parentheses/brackets/braces/quotes."""
+    parts: List[str] = []
+    depth = 0
+    in_string = False
+    current: List[str] = []
+    for ch in text:
+        if ch == '"' and (not current or current[-1] != "\\"):
+            in_string = not in_string
+        if not in_string:
+            if ch in "([{":
+                depth += 1
+            elif ch in ")]}":
+                depth -= 1
+            elif ch == "," and depth == 0:
+                parts.append("".join(current))
+                current = []
+                continue
+        current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return [p for p in (part.strip() for part in parts) if p]
+
+
+class CypherEngine:
+    """Run Cypher-subset queries against a triple store via translation."""
+
+    def __init__(self, store: TripleStore, schema_prefix: str = DEFAULT_SCHEMA_PREFIX):
+        self.engine = SparqlEngine(store)
+        self.schema_prefix = schema_prefix
+
+    def execute(self, cypher: str) -> Union[List[Solution], bool]:
+        """Translate and evaluate; returns SPARQL-style solution dicts."""
+        sparql = cypher_to_sparql(cypher, self.schema_prefix)
+        return self.engine.execute(sparql)

@@ -1,0 +1,520 @@
+"""Evaluator: solve the algebra against a :class:`TripleStore`.
+
+Solutions are immutable-ish dicts mapping variable names to terms. BGPs are
+solved by greedy selectivity ordering plus index-backed pattern matching;
+OPTIONAL is a left join; UNION concatenates alternative solution bags.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.kg.store import TripleStore
+from repro.kg.triples import IRI, Literal, Term, XSD
+from repro.sparql import algebra as alg
+from repro.sparql.parser import parse_query
+
+Solution = Dict[str, Term]
+
+
+class SparqlEvaluationError(ValueError):
+    """Raised on type errors during evaluation (bad comparisons etc.)."""
+
+
+_NUMERIC_TYPES = {XSD.integer, XSD.decimal, XSD.double, XSD.float, XSD.gYear}
+
+
+class SparqlEngine:
+    """Execute parsed (or textual) queries against a triple store."""
+
+    def __init__(self, store: TripleStore):
+        self.store = store
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def select(self, query: Union[str, alg.SelectQuery]) -> List[Solution]:
+        """Run a SELECT query, returning the list of solution bindings.
+
+        Each solution maps variable *names* (no ``?``) to terms. Projection,
+        DISTINCT, ORDER BY, LIMIT/OFFSET and COUNT are applied here.
+        """
+        parsed = parse_query(query) if isinstance(query, str) else query
+        if not isinstance(parsed, alg.SelectQuery):
+            raise SparqlEvaluationError("select() requires a SELECT query")
+        solutions = self._eval_group(parsed.where, [{}])
+        return self._apply_modifiers(parsed, solutions)
+
+    def ask(self, query: Union[str, alg.AskQuery]) -> bool:
+        """Run an ASK query."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        if isinstance(parsed, alg.SelectQuery):
+            # Tolerate SELECT where ASK was expected: truthiness of results.
+            return bool(self.select(parsed))
+        return bool(self._eval_group(parsed.where, [{}]))
+
+    def execute(self, query: str) -> Union[List[Solution], bool]:
+        """Parse and run a query of either form."""
+        parsed = parse_query(query)
+        if isinstance(parsed, alg.SelectQuery):
+            return self.select(parsed)
+        return self.ask(parsed)
+
+    # ------------------------------------------------------------------
+    # Pattern evaluation
+    # ------------------------------------------------------------------
+    def _eval_group(self, group: alg.GroupPattern, solutions: List[Solution]) -> List[Solution]:
+        filters: List[alg.Filter] = []
+        for element in group.elements:
+            if isinstance(element, alg.Filter):
+                filters.append(element)
+        for element in group.elements:
+            if isinstance(element, alg.BGP):
+                solutions = self._eval_bgp(element, solutions)
+            elif isinstance(element, alg.OptionalPattern):
+                solutions = self._eval_optional(element, solutions)
+            elif isinstance(element, alg.UnionPattern):
+                merged: List[Solution] = []
+                for alternative in element.alternatives:
+                    merged.extend(self._eval_group(alternative, [dict(s) for s in solutions]))
+                solutions = merged
+            elif isinstance(element, alg.GroupPattern):
+                solutions = self._eval_group(element, solutions)
+            elif isinstance(element, alg.Filter):
+                pass  # applied after the group's joins, below
+            else:  # pragma: no cover - parser prevents this
+                raise SparqlEvaluationError(f"unknown pattern element {element!r}")
+        for filt in filters:
+            solutions = [s for s in solutions if self._truthy(filt.expression, s)]
+        return solutions
+
+    def _eval_optional(self, optional: alg.OptionalPattern,
+                       solutions: List[Solution]) -> List[Solution]:
+        out: List[Solution] = []
+        for solution in solutions:
+            extended = self._eval_group(optional.pattern, [dict(solution)])
+            if extended:
+                out.extend(extended)
+            else:
+                out.append(solution)
+        return out
+
+    def _eval_bgp(self, bgp: alg.BGP, solutions: List[Solution]) -> List[Solution]:
+        for solution_batch_pattern in self._order_patterns(bgp.patterns, solutions):
+            solutions = self._extend(solutions, solution_batch_pattern)
+            if not solutions:
+                return []
+        return solutions
+
+    def _order_patterns(self, patterns: Sequence[alg.TriplePattern],
+                        initial: List[Solution]) -> List[alg.TriplePattern]:
+        """Greedy join order: repeatedly pick the most selective pattern
+        given the variables bound so far."""
+        bound = set()
+        for solution in initial:
+            bound.update(solution.keys())
+        remaining = list(patterns)
+        ordered: List[alg.TriplePattern] = []
+        while remaining:
+            def selectivity(p: alg.TriplePattern) -> int:
+                score = 0
+                for position in (p.subject, p.predicate, p.object):
+                    if not isinstance(position, alg.Var) or position.name in bound:
+                        score += 1
+                return -score  # more bound positions first
+            remaining.sort(key=lambda p: (selectivity(p), _pattern_key(p)))
+            chosen = remaining.pop(0)
+            ordered.append(chosen)
+            for var in chosen.variables():
+                bound.add(var.name)
+        return ordered
+
+    def _extend(self, solutions: List[Solution], pattern: alg.TriplePattern) -> List[Solution]:
+        if alg.is_path(pattern.predicate):
+            return self._extend_path(solutions, pattern)
+        out: List[Solution] = []
+        for solution in solutions:
+            s = self._resolve(pattern.subject, solution)
+            p = self._resolve(pattern.predicate, solution)
+            o = self._resolve(pattern.object, solution)
+            s_bound = None if isinstance(s, alg.Var) else s
+            p_bound = None if isinstance(p, alg.Var) else p
+            o_bound = None if isinstance(o, alg.Var) else o
+            if s_bound is not None and not isinstance(s_bound, IRI):
+                continue  # literals cannot be subjects
+            if p_bound is not None and not isinstance(p_bound, IRI):
+                continue
+            for triple in self.store.match(s_bound, p_bound, o_bound):
+                new_solution = dict(solution)
+                consistent = True
+                for slot, value in ((s, triple.subject), (p, triple.predicate), (o, triple.object)):
+                    if isinstance(slot, alg.Var):
+                        existing = new_solution.get(slot.name)
+                        if existing is None:
+                            new_solution[slot.name] = value
+                        elif existing != value:
+                            consistent = False
+                            break
+                if consistent:
+                    out.append(new_solution)
+        return out
+
+    @staticmethod
+    def _resolve(term: alg.PatternTerm, solution: Solution) -> alg.PatternTerm:
+        if isinstance(term, alg.Var) and term.name in solution:
+            return solution[term.name]
+        return term
+
+    # ------------------------------------------------------------------
+    # Property paths
+    # ------------------------------------------------------------------
+    def _extend_path(self, solutions: List[Solution],
+                     pattern: alg.TriplePattern) -> List[Solution]:
+        out: List[Solution] = []
+        for solution in solutions:
+            s = self._resolve(pattern.subject, solution)
+            o = self._resolve(pattern.object, solution)
+            s_bound = s if isinstance(s, IRI) else None
+            if isinstance(s, Literal):
+                continue
+            o_bound = None if isinstance(o, alg.Var) else o
+            for subject_term, object_term in self._path_pairs(
+                    pattern.predicate, s_bound, o_bound):
+                new_solution = dict(solution)
+                consistent = True
+                for slot, value in ((pattern.subject, subject_term),
+                                    (pattern.object, object_term)):
+                    if isinstance(slot, alg.Var):
+                        existing = new_solution.get(slot.name)
+                        if existing is None:
+                            new_solution[slot.name] = value
+                        elif existing != value:
+                            consistent = False
+                            break
+                if consistent:
+                    out.append(new_solution)
+        return out
+
+    def _path_pairs(self, path, subject: Optional[IRI],
+                    obj: Optional[Term]) -> List[Tuple[IRI, Term]]:
+        """(subject, object) pairs satisfying ``path``, restricted by the
+        bound ends (``None`` = unbound). Deterministic order."""
+        if isinstance(path, IRI):
+            return [(t.subject, t.object)
+                    for t in self.store.match(subject, path, obj)]
+        if isinstance(path, alg.InversePath):
+            inner_subject = obj if isinstance(obj, IRI) else None
+            pairs = self._path_pairs(path.path, inner_subject,
+                                     subject)
+            swapped = [(o, s) for s, o in pairs if isinstance(o, IRI)]
+            if obj is not None and not isinstance(obj, IRI):
+                return []
+            return swapped
+        if isinstance(path, alg.SequencePath):
+            pairs = self._path_pairs(path.parts[0], subject, None)
+            for part in path.parts[1:-1]:
+                next_pairs: List[Tuple[IRI, Term]] = []
+                seen = set()
+                for start, middle in pairs:
+                    if not isinstance(middle, IRI):
+                        continue
+                    for _, end in self._path_pairs(part, middle, None):
+                        key = (start, end)
+                        if key not in seen:
+                            seen.add(key)
+                            next_pairs.append(key)
+                pairs = next_pairs
+            if len(path.parts) > 1:
+                last = path.parts[-1]
+                final: List[Tuple[IRI, Term]] = []
+                seen = set()
+                for start, middle in pairs:
+                    if not isinstance(middle, IRI):
+                        continue
+                    for _, end in self._path_pairs(last, middle, obj):
+                        key = (start, end)
+                        if key not in seen:
+                            seen.add(key)
+                            final.append(key)
+                pairs = final
+            if obj is not None:
+                pairs = [(s, o) for s, o in pairs if o == obj]
+            return pairs
+        if isinstance(path, alg.OneOrMorePath):
+            return self._closure_pairs(path.path, subject, obj,
+                                       include_identity=False)
+        if isinstance(path, alg.ZeroOrMorePath):
+            return self._closure_pairs(path.path, subject, obj,
+                                       include_identity=True)
+        raise SparqlEvaluationError(f"unsupported property path {path!r}")
+
+    def _closure_pairs(self, base, subject: Optional[IRI],
+                       obj: Optional[Term],
+                       include_identity: bool) -> List[Tuple[IRI, Term]]:
+        if subject is not None:
+            starts: List[IRI] = [subject]
+        elif isinstance(obj, IRI):
+            # Evaluate backwards from the object, then swap.
+            inverse = alg.InversePath(base)
+            backwards = self._closure_pairs(inverse, obj, None,
+                                            include_identity)
+            return [(o, s) for s, o in backwards
+                    if isinstance(o, IRI) and (subject is None or o == subject)]
+        else:
+            starts = sorted({s for s, _ in self._path_pairs(base, None, None)},
+                            key=lambda e: e.value)
+        out: List[Tuple[IRI, Term]] = []
+        for start in starts:
+            reached: List[Term] = []
+            visited = set()
+            frontier: List[IRI] = [start]
+            while frontier:
+                node = frontier.pop(0)
+                for _, nxt in self._path_pairs(base, node, None):
+                    if nxt in visited:
+                        continue
+                    visited.add(nxt)
+                    reached.append(nxt)
+                    if isinstance(nxt, IRI):
+                        frontier.append(nxt)
+            if include_identity:
+                reached = [start] + [r for r in reached if r != start]
+            for term in reached:
+                if obj is None or term == obj:
+                    out.append((start, term))
+        return out
+
+    # ------------------------------------------------------------------
+    # Modifiers
+    # ------------------------------------------------------------------
+    def _apply_modifiers(self, query: alg.SelectQuery,
+                         solutions: List[Solution]) -> List[Solution]:
+        if query.count is not None:
+            return self._apply_count(query, solutions)
+        if query.variables:
+            names = [v.name for v in query.variables]
+            solutions = [{n: s[n] for n in names if n in s} for s in solutions]
+        if query.distinct:
+            seen = set()
+            unique = []
+            for s in solutions:
+                key = tuple(sorted(s.items()))
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(s)
+            solutions = unique
+        for condition in reversed(query.order_by):
+            solutions.sort(
+                key=lambda s, c=condition: _sort_key(s.get(c.var.name)),
+                reverse=condition.descending,
+            )
+        if query.offset:
+            solutions = solutions[query.offset:]
+        if query.limit is not None:
+            solutions = solutions[: query.limit]
+        return solutions
+
+    def _apply_count(self, query: alg.SelectQuery,
+                     solutions: List[Solution]) -> List[Solution]:
+        aggregate = query.count
+        assert aggregate is not None
+
+        def count_bucket(bucket: List[Solution]) -> Literal:
+            if aggregate.var is None:
+                values: Iterable = bucket
+                n = len(bucket)
+            else:
+                extracted = [s[aggregate.var.name] for s in bucket if aggregate.var.name in s]
+                if aggregate.distinct:
+                    n = len(set(extracted))
+                else:
+                    n = len(extracted)
+            return Literal(str(n), datatype=XSD.integer)
+
+        group_by = query.group_by or query.variables
+        if not group_by:
+            return [{aggregate.alias.name: count_bucket(solutions)}]
+        buckets: Dict[tuple, List[Solution]] = {}
+        for s in solutions:
+            key = tuple(s.get(v.name) for v in group_by)
+            buckets.setdefault(key, []).append(s)
+        out = []
+        for key in sorted(buckets, key=lambda k: tuple(_sort_key(t) for t in k)):
+            row: Solution = {}
+            for var, value in zip(group_by, key):
+                if value is not None:
+                    row[var.name] = value
+            row[aggregate.alias.name] = count_bucket(buckets[key])
+            out.append(row)
+        return out
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _truthy(self, expression: alg.Expression, solution: Solution) -> bool:
+        try:
+            value = self._eval_expression(expression, solution)
+        except SparqlEvaluationError:
+            return False  # SPARQL semantics: errors make the filter fail
+        return _effective_boolean(value)
+
+    def _eval_expression(self, expression: alg.Expression, solution: Solution):
+        if isinstance(expression, alg.TermExpr):
+            return expression.term
+        if isinstance(expression, alg.VarExpr):
+            if expression.var.name not in solution:
+                raise SparqlEvaluationError(f"unbound variable ?{expression.var.name}")
+            return solution[expression.var.name]
+        if isinstance(expression, alg.NotOp):
+            return not self._truthy(expression.operand, solution)
+        if isinstance(expression, alg.BoolOp):
+            left = self._truthy(expression.left, solution)
+            if expression.op == "&&":
+                return left and self._truthy(expression.right, solution)
+            return left or self._truthy(expression.right, solution)
+        if isinstance(expression, alg.Comparison):
+            return self._compare(expression, solution)
+        if isinstance(expression, alg.FunctionCall):
+            return self._call(expression, solution)
+        raise SparqlEvaluationError(f"unknown expression {expression!r}")
+
+    def _compare(self, comparison: alg.Comparison, solution: Solution) -> bool:
+        left = self._eval_expression(comparison.left, solution)
+        right = self._eval_expression(comparison.right, solution)
+        op = comparison.op
+        left_value = _comparable(left)
+        right_value = _comparable(right)
+        if type(left_value) is not type(right_value) and not (
+            isinstance(left_value, (int, float)) and isinstance(right_value, (int, float))
+        ):
+            if op == "=":
+                return False
+            if op == "!=":
+                return True
+            raise SparqlEvaluationError(
+                f"cannot order {left!r} against {right!r}"
+            )
+        if op == "=":
+            return left_value == right_value
+        if op == "!=":
+            return left_value != right_value
+        if op == "<":
+            return left_value < right_value
+        if op == "<=":
+            return left_value <= right_value
+        if op == ">":
+            return left_value > right_value
+        if op == ">=":
+            return left_value >= right_value
+        raise SparqlEvaluationError(f"unknown comparison operator {op}")
+
+    def _call(self, call: alg.FunctionCall, solution: Solution):
+        name = call.name
+
+        def arg(i: int):
+            return self._eval_expression(call.args[i], solution)
+
+        if name == "BOUND":
+            expr = call.args[0]
+            if not isinstance(expr, alg.VarExpr):
+                raise SparqlEvaluationError("BOUND expects a variable")
+            return expr.var.name in solution
+        if name == "STR":
+            value = arg(0)
+            if isinstance(value, IRI):
+                return Literal(value.value)
+            if isinstance(value, Literal):
+                return Literal(value.lexical)
+            return Literal(str(value))
+        if name == "LANG":
+            value = arg(0)
+            if isinstance(value, Literal):
+                return Literal(value.language or "")
+            raise SparqlEvaluationError("LANG expects a literal")
+        if name == "REGEX":
+            text = _string_value(arg(0))
+            pattern = _string_value(arg(1))
+            flags = re.IGNORECASE if (len(call.args) > 2 and "i" in _string_value(arg(2))) else 0
+            return re.search(pattern, text, flags) is not None
+        if name == "CONTAINS":
+            return _string_value(arg(1)) in _string_value(arg(0))
+        if name == "STRSTARTS":
+            return _string_value(arg(0)).startswith(_string_value(arg(1)))
+        if name == "STRENDS":
+            return _string_value(arg(0)).endswith(_string_value(arg(1)))
+        if name == "LCASE":
+            return Literal(_string_value(arg(0)).lower())
+        if name == "UCASE":
+            return Literal(_string_value(arg(0)).upper())
+        if name == "ISIRI":
+            return isinstance(arg(0), IRI)
+        if name == "ISLITERAL":
+            return isinstance(arg(0), Literal)
+        raise SparqlEvaluationError(f"unsupported function {name}")
+
+
+def _comparable(value):
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, Literal):
+        if value.datatype in _NUMERIC_TYPES:
+            try:
+                number = float(value.lexical)
+            except ValueError as exc:
+                raise SparqlEvaluationError(f"bad numeric literal {value!r}") from exc
+            return number
+        return value.lexical
+    if isinstance(value, IRI):
+        return value
+    raise SparqlEvaluationError(f"cannot compare {value!r}")
+
+
+def _string_value(value) -> str:
+    if isinstance(value, Literal):
+        return value.lexical
+    if isinstance(value, IRI):
+        return value.value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    raise SparqlEvaluationError(f"expected a string-ish value, got {value!r}")
+
+
+def _effective_boolean(value) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, Literal):
+        if value.datatype == XSD.boolean:
+            return value.lexical in ("true", "1")
+        if value.datatype in _NUMERIC_TYPES:
+            try:
+                return float(value.lexical) != 0.0
+            except ValueError:
+                return False
+        return bool(value.lexical)
+    if isinstance(value, IRI):
+        return True
+    return bool(value)
+
+
+def _sort_key(term: Optional[Term]):
+    if term is None:
+        return (0, 0.0, "")
+    if isinstance(term, Literal):
+        if term.datatype in _NUMERIC_TYPES:
+            try:
+                return (1, float(term.lexical), "")
+            except ValueError:
+                return (2, 0.0, term.lexical)
+        return (2, 0.0, term.lexical)
+    return (3, 0.0, term.value)
+
+
+def _pattern_key(pattern: alg.TriplePattern) -> str:
+    def key(term) -> str:
+        if isinstance(term, alg.Var):
+            return "?" + term.name
+        if alg.is_path(term):
+            return repr(term)
+        return term.n3()
+    return " ".join(key(t) for t in (pattern.subject, pattern.predicate, pattern.object))

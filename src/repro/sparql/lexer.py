@@ -1,0 +1,84 @@
+"""Tokenizer for the SPARQL subset."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class SparqlLexError(ValueError):
+    """Raised on characters the lexer cannot tokenize."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    kind: str
+    text: str
+    position: int
+
+
+_KEYWORDS = {
+    "SELECT", "ASK", "WHERE", "FILTER", "OPTIONAL", "UNION", "DISTINCT",
+    "ORDER", "BY", "ASC", "DESC", "LIMIT", "OFFSET", "PREFIX", "AS",
+    "COUNT", "GROUP", "NOT", "IN", "A",
+}
+
+_TOKEN_SPEC = [
+    ("WS", r"[ \t\r\n]+"),
+    ("COMMENT", r"#[^\n]*"),
+    ("IRIREF", r"<[^<>\"{}|^`\\\x00-\x20]*>"),
+    ("VAR", r"[?$][A-Za-z_][A-Za-z0-9_]*"),
+    ("STRING", r'"(?:[^"\\]|\\.)*"'),
+    ("LANGTAG", r"@[A-Za-z]+(?:-[A-Za-z0-9]+)*"),
+    ("DTYPE", r"\^\^"),
+    ("NUMBER", r"[+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?"),
+    ("PNAME", r"[A-Za-z_][A-Za-z0-9_-]*:[A-Za-z_][A-Za-z0-9_.-]*"),
+    ("PNAME_NS", r"[A-Za-z_][A-Za-z0-9_-]*:"),
+    ("NAME", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("NEQ", r"!="),
+    ("LE", r"<="),
+    ("GE", r">="),
+    ("ANDAND", r"&&"),
+    ("OROR", r"\|\|"),
+    ("EQ", r"="),
+    ("LT", r"<"),
+    ("GT", r">"),
+    ("BANG", r"!"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("DOT", r"\."),
+    ("SEMICOLON", r";"),
+    ("COMMA", r","),
+    ("STAR", r"\*"),
+    ("PLUS", r"\+"),
+    ("CARET", r"\^"),
+    ("SLASH", r"/"),
+]
+
+_MASTER = re.compile("|".join(f"(?P<{kind}>{pattern})" for kind, pattern in _TOKEN_SPEC))
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize a query string; raises :class:`SparqlLexError` on junk."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(text):
+        m = _MASTER.match(text, position)
+        if m is None:
+            raise SparqlLexError(f"unexpected character {text[position]!r} at offset {position}")
+        kind = m.lastgroup or ""
+        value = m.group()
+        position = m.end()
+        if kind in ("WS", "COMMENT"):
+            continue
+        if kind == "NAME" and value.upper() in _KEYWORDS:
+            tokens.append(Token(value.upper(), value, m.start()))
+        else:
+            tokens.append(Token(kind, value, m.start()))
+    tokens.append(Token("EOF", "", len(text)))
+    return tokens

@@ -1,0 +1,341 @@
+"""Query simplification and satisfiability checking (survey §5.2).
+
+The survey's open-challenges section draws on the authors' query-processing
+lineage: coreSPARQL normalization [35], satisfiability testing so that only
+queries "which can return a result" are kept [32–34, 40], and transforming
+queries between languages [23–25, 38, 39]. This module brings those ideas
+to the SPARQL subset:
+
+* :func:`simplify` — normalize a query: drop duplicate triple patterns,
+  fold tautological filters, remove filters made redundant by constants.
+* :func:`check_satisfiability` — decide, *without evaluating*, whether a
+  query can possibly return a result: contradictory filters
+  (``?x = "a" && ?x = "b"``), empty-vocabulary patterns (a predicate the
+  store has never seen), and schema-level type conflicts (a variable
+  required to be instances of two disjoint classes).
+* :func:`sparql_to_cypher` — the reverse transformation of
+  :mod:`repro.sparql.cypher` for plain BGP SELECT queries, closing the
+  round trip the survey's transformation papers describe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.kg.ontology import Ontology
+from repro.kg.store import TripleStore
+from repro.kg.triples import IRI, Literal, RDF, RDFS
+from repro.sparql import algebra as alg
+from repro.sparql.parser import parse_query
+
+
+@dataclass
+class SatisfiabilityReport:
+    """Outcome of the static satisfiability test."""
+
+    satisfiable: bool
+    reasons: List[str] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Simplification
+# ---------------------------------------------------------------------------
+
+def simplify(query: Union[str, alg.SelectQuery]) -> alg.SelectQuery:
+    """A normalized copy of the query (input is not modified)."""
+    parsed = parse_query(query) if isinstance(query, str) else query
+    if not isinstance(parsed, alg.SelectQuery):
+        raise ValueError("simplify() supports SELECT queries")
+    new_where = _simplify_group(parsed.where)
+    return alg.SelectQuery(
+        variables=list(parsed.variables), where=new_where,
+        distinct=parsed.distinct, order_by=list(parsed.order_by),
+        limit=parsed.limit, offset=parsed.offset, count=parsed.count,
+        group_by=list(parsed.group_by),
+    )
+
+
+def _simplify_group(group: alg.GroupPattern) -> alg.GroupPattern:
+    out = alg.GroupPattern()
+    seen_patterns: Set[Tuple] = set()
+    for element in group.elements:
+        if isinstance(element, alg.BGP):
+            bgp = alg.BGP()
+            for pattern in element.patterns:
+                key = (pattern.subject, pattern.predicate, pattern.object)
+                if key in seen_patterns:
+                    continue  # duplicate conjunct: A ∧ A ≡ A
+                seen_patterns.add(key)
+                bgp.patterns.append(pattern)
+            if bgp.patterns:
+                out.elements.append(bgp)
+        elif isinstance(element, alg.Filter):
+            folded = _fold_expression(element.expression)
+            if folded is True:
+                continue  # tautology: FILTER(true) drops
+            out.elements.append(alg.Filter(
+                folded if not isinstance(folded, bool) else element.expression))
+        elif isinstance(element, alg.OptionalPattern):
+            out.elements.append(alg.OptionalPattern(
+                _simplify_group(element.pattern)))
+        elif isinstance(element, alg.UnionPattern):
+            simplified = [_simplify_group(a) for a in element.alternatives]
+            # A UNION A ≡ A (structural comparison on the rendered form).
+            unique: List[alg.GroupPattern] = []
+            fingerprints: Set[str] = set()
+            for alternative in simplified:
+                fingerprint = _fingerprint(alternative)
+                if fingerprint not in fingerprints:
+                    fingerprints.add(fingerprint)
+                    unique.append(alternative)
+            if len(unique) == 1:
+                out.elements.extend(unique[0].elements)
+            else:
+                out.elements.append(alg.UnionPattern(unique))
+        else:
+            out.elements.append(element)
+    return out
+
+
+def _fingerprint(group: alg.GroupPattern) -> str:
+    parts = []
+    for element in group.elements:
+        if isinstance(element, alg.BGP):
+            for p in sorted((repr(q) for q in element.patterns)):
+                parts.append(p)
+        else:
+            parts.append(repr(element))
+    return "|".join(sorted(parts))
+
+
+def _fold_expression(expression: alg.Expression):
+    """Constant-fold an expression; returns True when it is a tautology."""
+    if isinstance(expression, alg.Comparison):
+        left, right = expression.left, expression.right
+        if isinstance(left, alg.TermExpr) and isinstance(right, alg.TermExpr):
+            equal = left.term == right.term
+            if expression.op == "=":
+                return True if equal else expression
+            if expression.op == "!=":
+                return True if not equal else expression
+        if isinstance(left, alg.VarExpr) and isinstance(right, alg.VarExpr) \
+                and left.var == right.var and expression.op in ("=", "<=", ">="):
+            return True  # ?x = ?x
+    if isinstance(expression, alg.BoolOp):
+        folded_left = _fold_expression(expression.left)
+        folded_right = _fold_expression(expression.right)
+        if expression.op == "&&":
+            if folded_left is True and folded_right is True:
+                return True
+            if folded_left is True:
+                return folded_right
+            if folded_right is True:
+                return folded_left
+        if expression.op == "||" and (folded_left is True or folded_right is True):
+            return True
+    return expression
+
+
+# ---------------------------------------------------------------------------
+# Satisfiability
+# ---------------------------------------------------------------------------
+
+def check_satisfiability(query: Union[str, alg.SelectQuery],
+                         store: Optional[TripleStore] = None,
+                         ontology: Optional[Ontology] = None
+                         ) -> SatisfiabilityReport:
+    """Static satisfiability of a SELECT query.
+
+    Three independent tests (each optional evidence source may be None):
+
+    1. **Filter contradictions** — equality constraints pinning a variable
+       to two different constants, or ``?x != ?x``-style impossibilities.
+    2. **Vocabulary** (needs ``store``) — a concrete predicate/class the
+       store has never seen cannot match.
+    3. **Schema conflicts** (needs ``ontology``) — one variable typed with
+       two disjoint classes, or used in subject position of a property
+       whose domain is disjoint with its asserted class.
+    """
+    parsed = parse_query(query) if isinstance(query, str) else query
+    if not isinstance(parsed, alg.SelectQuery):
+        raise ValueError("check_satisfiability() supports SELECT queries")
+    reasons: List[str] = []
+    patterns = _collect_patterns(parsed.where)
+    filters = _collect_filters(parsed.where)
+
+    # 1. Filter contradictions.
+    pinned: Dict[str, Literal] = {}
+    for expression in filters:
+        for var_name, literal in _equality_pins(expression):
+            prior = pinned.get(var_name)
+            if prior is not None and prior != literal:
+                reasons.append(
+                    f"?{var_name} is required to equal both {prior.n3()} "
+                    f"and {literal.n3()}")
+            pinned[var_name] = literal
+        if _self_contradiction(expression):
+            reasons.append("a filter requires ?x != ?x")
+
+    # 2. Vocabulary evidence.
+    if store is not None:
+        known_predicates = set(store.relations())
+        for pattern in patterns:
+            predicate = pattern.predicate
+            if isinstance(predicate, IRI) and predicate not in known_predicates:
+                reasons.append(
+                    f"predicate {predicate.n3()} never occurs in the store")
+            if isinstance(predicate, IRI) and predicate == RDF.type and \
+                    isinstance(pattern.object, IRI):
+                if store.match_count(None, RDF.type, pattern.object) == 0:
+                    reasons.append(
+                        f"class {pattern.object.n3()} has no instances")
+
+    # 3. Schema conflicts.
+    if ontology is not None:
+        required: Dict[str, Set[IRI]] = {}
+        for pattern in patterns:
+            if pattern.predicate == RDF.type and \
+                    isinstance(pattern.subject, alg.Var) and \
+                    isinstance(pattern.object, IRI):
+                required.setdefault(pattern.subject.name, set()).add(pattern.object)
+            prop = ontology.properties.get(pattern.predicate) \
+                if isinstance(pattern.predicate, IRI) else None
+            if prop is not None and prop.domain is not None and \
+                    isinstance(pattern.subject, alg.Var):
+                required.setdefault(pattern.subject.name, set()).add(prop.domain)
+            if prop is not None and prop.range is not None and \
+                    isinstance(pattern.object, alg.Var):
+                required.setdefault(pattern.object.name, set()).add(prop.range)
+        for var_name, classes in sorted(required.items()):
+            classes = sorted(classes, key=lambda c: c.value)
+            for i, a in enumerate(classes):
+                for b in classes[i + 1:]:
+                    if ontology.are_disjoint(a, b):
+                        reasons.append(
+                            f"?{var_name} must be an instance of the disjoint "
+                            f"classes {a.local_name} and {b.local_name}")
+    return SatisfiabilityReport(satisfiable=not reasons, reasons=reasons)
+
+
+def _collect_patterns(group: alg.GroupPattern) -> List[alg.TriplePattern]:
+    out: List[alg.TriplePattern] = []
+    for element in group.elements:
+        if isinstance(element, alg.BGP):
+            out.extend(element.patterns)
+        elif isinstance(element, alg.OptionalPattern):
+            pass  # optional parts cannot make the query unsatisfiable
+        elif isinstance(element, alg.UnionPattern):
+            pass  # any satisfiable branch suffices; skip conservatively
+        elif isinstance(element, alg.GroupPattern):
+            out.extend(_collect_patterns(element))
+    return out
+
+
+def _collect_filters(group: alg.GroupPattern) -> List[alg.Expression]:
+    out = []
+    for element in group.elements:
+        if isinstance(element, alg.Filter):
+            out.append(element.expression)
+        elif isinstance(element, alg.GroupPattern):
+            out.extend(_collect_filters(element))
+    return out
+
+
+def _equality_pins(expression: alg.Expression) -> List[Tuple[str, Literal]]:
+    out: List[Tuple[str, Literal]] = []
+    if isinstance(expression, alg.Comparison) and expression.op == "=":
+        left, right = expression.left, expression.right
+        if isinstance(left, alg.VarExpr) and isinstance(right, alg.TermExpr) \
+                and isinstance(right.term, Literal):
+            out.append((left.var.name, right.term))
+        elif isinstance(right, alg.VarExpr) and isinstance(left, alg.TermExpr) \
+                and isinstance(left.term, Literal):
+            out.append((right.var.name, left.term))
+    elif isinstance(expression, alg.BoolOp) and expression.op == "&&":
+        out.extend(_equality_pins(expression.left))
+        out.extend(_equality_pins(expression.right))
+    return out
+
+
+def _self_contradiction(expression: alg.Expression) -> bool:
+    if isinstance(expression, alg.Comparison) and expression.op == "!=":
+        if isinstance(expression.left, alg.VarExpr) and \
+                isinstance(expression.right, alg.VarExpr) and \
+                expression.left.var == expression.right.var:
+            return True
+    if isinstance(expression, alg.BoolOp) and expression.op == "&&":
+        return _self_contradiction(expression.left) or \
+            _self_contradiction(expression.right)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# SPARQL → Cypher (the reverse transformation)
+# ---------------------------------------------------------------------------
+
+def sparql_to_cypher(query: Union[str, alg.SelectQuery],
+                     schema_prefix: str = "http://repro.dev/schema/") -> str:
+    """Translate a plain-BGP SELECT query into the Cypher subset.
+
+    Supported: variable subjects/objects, concrete predicates under the
+    schema prefix, ``a``/``rdf:type`` patterns (→ node labels), and
+    ``rdfs:label``-equality patterns (→ ``{name: "..."}`` maps). Raises
+    ``ValueError`` outside that fragment.
+    """
+    parsed = parse_query(query) if isinstance(query, str) else query
+    if not isinstance(parsed, alg.SelectQuery):
+        raise ValueError("sparql_to_cypher() supports SELECT queries")
+    patterns: List[alg.TriplePattern] = []
+    for element in parsed.where.elements:
+        if isinstance(element, alg.BGP):
+            patterns.extend(element.patterns)
+        else:
+            raise ValueError("only plain basic graph patterns translate")
+
+    labels: Dict[str, str] = {}
+    names: Dict[str, str] = {}
+    edges: List[Tuple[str, str, str]] = []
+    for pattern in patterns:
+        if not isinstance(pattern.subject, alg.Var):
+            raise ValueError("subjects must be variables in the Cypher fragment")
+        subject = pattern.subject.name
+        predicate = pattern.predicate
+        if not isinstance(predicate, IRI):
+            raise ValueError("predicates must be concrete IRIs")
+        if predicate == RDF.type and isinstance(pattern.object, IRI):
+            labels[subject] = pattern.object.local_name
+        elif predicate == RDFS.label and isinstance(pattern.object, Literal):
+            names[subject] = pattern.object.lexical
+        elif predicate.value.startswith(schema_prefix):
+            if not isinstance(pattern.object, alg.Var):
+                raise ValueError("object positions must be variables")
+            edges.append((subject, predicate.local_name, pattern.object.name))
+        else:
+            raise ValueError(f"predicate {predicate.n3()} is outside the fragment")
+
+    def node(var: str) -> str:
+        text = var
+        if var in labels:
+            text += f":{labels[var]}"
+        if var in names:
+            escaped = names[var].replace('"', '\\"')
+            text += f' {{name: "{escaped}"}}'
+        return f"({text})"
+
+    if edges:
+        chains = [f"{node(s)}-[:{rel}]->{node(o)}" for s, rel, o in edges]
+        match_clause = ", ".join(chains)
+    else:
+        mentioned = sorted(set(labels) | set(names))
+        if not mentioned:
+            raise ValueError("nothing to translate")
+        match_clause = ", ".join(node(v) for v in mentioned)
+    projection = ", ".join(v.name for v in parsed.variables) or "*"
+    cypher = f"MATCH {match_clause} RETURN "
+    if parsed.distinct:
+        cypher += "DISTINCT "
+    cypher += projection
+    if parsed.limit is not None:
+        cypher += f" LIMIT {parsed.limit}"
+    return cypher

@@ -1,0 +1,23 @@
+"""Text substrate: KG-aligned corpus generation and sentence utilities.
+
+Extraction experiments need text with *gold* entity and relation
+annotations. Instead of shipping Wikipedia, we generate sentences from KG
+triples through surface templates (with controllable paraphrase variation),
+so every sentence carries its gold entities and triples by construction.
+"""
+
+from repro.text.corpus import (
+    AnnotatedSentence,
+    ExtractionCorpus,
+    generate_extraction_corpus,
+    generate_document,
+)
+from repro.text.sentences import split_sentences
+
+__all__ = [
+    "AnnotatedSentence",
+    "ExtractionCorpus",
+    "generate_extraction_corpus",
+    "generate_document",
+    "split_sentences",
+]

@@ -1,0 +1,183 @@
+"""KG-aligned corpus generation.
+
+Every sentence is produced from one or more KG triples through a surface
+template, so the corpus carries its own gold annotations: entity mentions
+with types, and the triples a perfect relation extractor should recover.
+A ``variation`` knob swaps in paraphrase templates whose relation phrasing
+differs from the canonical verbalization — these are the "hard" instances
+that separate the extraction methods in E-RE/E-NER.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.kg.datasets import Dataset
+from repro.kg.graph import KnowledgeGraph, _humanize_relation
+from repro.kg.triples import IRI, Literal, OWL, RDF, RDFS, Triple
+
+
+@dataclass
+class AnnotatedSentence:
+    """One generated sentence with its gold annotations."""
+
+    text: str
+    entities: List[Tuple[str, str]]            # (mention, type label)
+    triples: List[Tuple[str, str, str]]        # (subject, relation, object) labels
+    source_triples: List[Triple] = field(default_factory=list)
+    is_paraphrase: bool = False
+
+
+@dataclass
+class ExtractionCorpus:
+    """A list of annotated sentences with a deterministic split helper."""
+
+    sentences: List[AnnotatedSentence]
+    entity_types: List[str]
+    relations: List[str]
+
+    def split(self, train_fraction: float = 0.5
+              ) -> Tuple[List[AnnotatedSentence], List[AnnotatedSentence]]:
+        """Deterministic (train, test) split preserving order."""
+        cut = int(len(self.sentences) * train_fraction)
+        return self.sentences[:cut], self.sentences[cut:]
+
+    def __len__(self) -> int:
+        return len(self.sentences)
+
+
+#: Paraphrase templates per relation *phrase*; ``{s}``/``{o}`` are slots.
+_PARAPHRASES: Dict[str, List[str]] = {
+    "born in": ["{o} is the birthplace of {s}.", "{s}, a native of {o}, grew up there."],
+    "directed by": ["{o} directed {s}.", "{s} is a film by {o}."],
+    "starring": ["{o} appears in {s}.", "{o} has a leading role in {s}."],
+    "works for": ["{s} is employed by {o}.", "{s} is on the payroll of {o}."],
+    "located in": ["{s} lies within {o}.", "{s} can be found in {o}."],
+    "citizen of": ["{s} holds citizenship of {o}."],
+    "educated at": ["{s} studied at {o}.", "{s} is an alumnus of {o}."],
+    "founded by": ["{o} established {s}.", "{s} was started by {o}."],
+    "has genre": ["{s} belongs to the {o} genre."],
+    "caused by": ["{o} is the cause of {s}."],
+    "has symptom": ["{o} is a common symptom of {s}.", "Patients with {s} often report {o}."],
+    "treated by": ["{o} is used to treat {s}."],
+    "prevented by": ["{o} protects against {s}."],
+    "spouse": ["{s} is married to {o}."],
+    "parent of": ["{o} is a child of {s}."],
+    "headquartered in": ["{s} has its headquarters in {o}."],
+    "works in": ["{s} belongs to the {o} team."],
+    "assigned to": ["{s} contributes to {o}."],
+}
+
+_SCHEMA_PREDICATES = {RDFS.label, RDFS.comment, RDF.type}
+
+
+def _instance_triples(kg: KnowledgeGraph) -> List[Triple]:
+    """Triples describing instances: no schema, labels, or type statements."""
+    out = []
+    for triple in kg.store:
+        if triple.predicate in _SCHEMA_PREDICATES:
+            continue
+        if triple.predicate.value.startswith(RDFS.prefix) or \
+                triple.predicate.value.startswith(OWL.prefix):
+            continue
+        if kg.store.match(triple.subject, RDF.type, OWL.Class):
+            continue
+        if kg.store.match(triple.subject, RDF.type, OWL.ObjectProperty):
+            continue
+        out.append(triple)
+    return out
+
+
+def _type_label(kg: KnowledgeGraph, entity: IRI) -> str:
+    labels = [kg.label(t) for t in kg.types(entity)
+              if t.value.split("/")[-1] not in ("Class", "ObjectProperty")]
+    if not labels:
+        return "Entity"
+    return max(labels, key=len)  # the most specific-looking type
+
+
+def generate_extraction_corpus(dataset: Dataset, n_sentences: int = 200,
+                               seed: int = 0, variation: float = 0.25,
+                               max_triples_per_sentence: int = 1) -> ExtractionCorpus:
+    """Generate an annotated corpus from a dataset's instance triples.
+
+    With probability ``variation`` a paraphrase template is used (when one
+    exists for the relation); otherwise the canonical verbalization. Gold
+    triples are attached either way — paraphrases are the instances where
+    surface form and canonical phrasing diverge.
+    """
+    rng = random.Random(seed)
+    kg = dataset.kg
+    pool = [t for t in _instance_triples(kg) if isinstance(t.object, IRI)]
+    pool.sort(key=lambda t: t.n3())
+    rng.shuffle(pool)
+    sentences: List[AnnotatedSentence] = []
+    entity_types: Dict[str, None] = {}
+    relations: Dict[str, None] = {}
+    index = 0
+    while len(sentences) < n_sentences and index < len(pool):
+        batch = pool[index:index + max_triples_per_sentence]
+        index += max_triples_per_sentence
+        parts: List[str] = []
+        entities: List[Tuple[str, str]] = []
+        gold: List[Tuple[str, str, str]] = []
+        used_paraphrase = False
+        for triple in batch:
+            subject_label = kg.label(triple.subject)
+            object_label = kg.label(triple.object)
+            relation_label = kg.label(triple.predicate)
+            relation_phrase = _humanize_relation(relation_label)
+            candidates = _PARAPHRASES.get(relation_phrase)
+            if candidates and rng.random() < variation:
+                template = candidates[rng.randrange(len(candidates))]
+                parts.append(template.format(s=subject_label, o=object_label))
+                used_paraphrase = True
+            else:
+                parts.append(f"{subject_label} {relation_phrase} {object_label}.")
+            subject_type = _type_label(kg, triple.subject)
+            object_type = _type_label(kg, triple.object)  # type: ignore[arg-type]
+            entities.append((subject_label, subject_type))
+            entities.append((object_label, object_type))
+            gold.append((subject_label, relation_label, object_label))
+            entity_types.setdefault(subject_type, None)
+            entity_types.setdefault(object_type, None)
+            relations.setdefault(relation_label, None)
+        sentences.append(AnnotatedSentence(
+            text=" ".join(parts),
+            entities=_dedupe(entities),
+            triples=gold,
+            source_triples=list(batch),
+            is_paraphrase=used_paraphrase,
+        ))
+    return ExtractionCorpus(
+        sentences=sentences,
+        entity_types=sorted(entity_types),
+        relations=sorted(relations),
+    )
+
+
+def generate_document(dataset: Dataset, subject: IRI, seed: int = 0) -> str:
+    """A short prose 'article' about one entity — input for RAG indexing."""
+    rng = random.Random(seed ^ hash(subject.value) & 0xFFFF)
+    kg = dataset.kg
+    sentences: List[str] = []
+    description = kg.description(subject)
+    if description:
+        sentences.append(description)
+    for triple in kg.outgoing(subject):
+        if triple.predicate in _SCHEMA_PREDICATES:
+            continue
+        sentences.append(kg.verbalize_triple(triple))
+    for triple in kg.incoming(subject)[:5]:
+        sentences.append(kg.verbalize_triple(triple))
+    rng.shuffle(sentences)
+    return " ".join(sentences)
+
+
+def _dedupe(pairs: Sequence[Tuple[str, str]]) -> List[Tuple[str, str]]:
+    seen: Dict[Tuple[str, str], None] = {}
+    for pair in pairs:
+        seen.setdefault(pair, None)
+    return list(seen)

@@ -1,0 +1,30 @@
+"""Sentence segmentation (the first stage of KG-GPT and of RAG chunking)."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_BOUNDARY = re.compile(r"(?<=[.!?])\s+")
+
+#: Abbreviations that should not end a sentence.
+_ABBREVIATIONS = {"dr.", "mr.", "mrs.", "ms.", "prof.", "e.g.", "i.e.", "etc.", "vs."}
+
+
+def split_sentences(text: str) -> List[str]:
+    """Split text into sentences, keeping common abbreviations intact."""
+    raw_parts = _BOUNDARY.split(text.strip())
+    sentences: List[str] = []
+    buffer = ""
+    for part in raw_parts:
+        candidate = f"{buffer} {part}".strip() if buffer else part
+        last_word = candidate.rsplit(" ", 1)[-1].lower()
+        if last_word in _ABBREVIATIONS:
+            buffer = candidate
+        else:
+            if candidate:
+                sentences.append(candidate)
+            buffer = ""
+    if buffer:
+        sentences.append(buffer)
+    return [s for s in sentences if s]

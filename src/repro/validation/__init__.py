@@ -1,0 +1,37 @@
+"""KG Validation (survey §2.6): fact checking (RQ4) and inconsistency
+detection (RQ3) — the validation topics the survey flags as absent from all
+previous surveys.
+"""
+
+from repro.validation.fact_checking import (
+    MisinformationInjector,
+    ClosedBookFactChecker,
+    RetrievalAugmentedFactChecker,
+    ToolAugmentedFactChecker,
+    evaluate_fact_checking,
+)
+from repro.validation.inconsistency import (
+    Violation,
+    ViolationInjector,
+    ConstraintChecker,
+    DeclaredConstraintDetector,
+    StatisticalConstraintMiner,
+    evaluate_detection,
+)
+from repro.validation.chatrule import ChatRuleMiner, ChatRuleDetector
+
+__all__ = [
+    "MisinformationInjector",
+    "ClosedBookFactChecker",
+    "RetrievalAugmentedFactChecker",
+    "ToolAugmentedFactChecker",
+    "evaluate_fact_checking",
+    "Violation",
+    "ViolationInjector",
+    "ConstraintChecker",
+    "DeclaredConstraintDetector",
+    "StatisticalConstraintMiner",
+    "evaluate_detection",
+    "ChatRuleMiner",
+    "ChatRuleDetector",
+]

@@ -1,0 +1,482 @@
+"""Inconsistency detection in KGs (survey §2.6.2, RQ3).
+
+A KG is inconsistent when its triples contradict schema constraints:
+functional and inverse-functional properties, domain/range, class
+disjointness, asymmetry and irreflexivity. This module provides
+
+* :class:`ViolationInjector` — plants labelled violations of every kind in
+  a clean KG,
+* :class:`ConstraintChecker` — finds every violation of a given constraint
+  set,
+* :class:`DeclaredConstraintDetector` — baseline: checks only the (often
+  incomplete) declared ontology,
+* :class:`StatisticalConstraintMiner` — structural rule mining: infer
+  constraints from data regularities alone (high recall, spurious
+  constraints included — the "structural information only" approach the
+  survey says ChatRule improves on).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.ontology import Ontology, PropertyCharacteristic
+from repro.kg.triples import IRI, OWL, RDF, RDFS, Triple
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected (or injected) inconsistency."""
+
+    kind: str                   # e.g. "functional", "disjoint", ...
+    triples: Tuple[Triple, ...]
+    subject: IRI
+    detail: str = ""
+
+    def key(self) -> Tuple[str, Tuple[str, ...]]:
+        """Identity for matching detected against injected violations."""
+        return (self.kind, tuple(sorted(t.n3() for t in self.triples)))
+
+
+#: Constraint kinds the injector and checkers understand.
+VIOLATION_KINDS = (
+    "functional", "inverse_functional", "domain", "range",
+    "disjoint", "asymmetric", "irreflexive",
+)
+
+
+class ViolationInjector:
+    """Inject labelled violations into a copy of a clean, schema-conformant KG."""
+
+    def __init__(self, kg: KnowledgeGraph, ontology: Ontology, seed: int = 0):
+        self.kg = kg
+        self.ontology = ontology
+        self.rng = random.Random(seed)
+
+    def inject(self, n_per_kind: int = 3,
+               kinds: Sequence[str] = VIOLATION_KINDS
+               ) -> Tuple[KnowledgeGraph, List[Violation]]:
+        """Returns (corrupted copy, planted violations)."""
+        corrupted = self.kg.copy(name=self.kg.name + "+violations")
+        injected: List[Violation] = []
+        for kind in kinds:
+            injector = getattr(self, f"_inject_{kind}")
+            for _ in range(n_per_kind):
+                violation = injector(corrupted)
+                if violation is not None:
+                    injected.append(violation)
+        return corrupted, injected
+
+    # -- individual kinds --------------------------------------------------
+    def _properties_with(self, characteristic: PropertyCharacteristic) -> List[IRI]:
+        return sorted((iri for iri, p in self.ontology.properties.items()
+                       if characteristic in p.characteristics),
+                      key=lambda i: i.value)
+
+    def _instances(self, kg: KnowledgeGraph, relation: IRI) -> List[Triple]:
+        return [t for t in kg.store.match(None, relation, None)]
+
+    def _random_entity(self, kg: KnowledgeGraph, cls: Optional[IRI] = None) -> Optional[IRI]:
+        if cls is not None:
+            pool = kg.instances(cls)
+        else:
+            pool = [e for e in kg.store.entities()
+                    if not kg.store.match(e, RDF.type, OWL.Class)]
+        pool = sorted(set(pool), key=lambda e: e.value)
+        return pool[self.rng.randrange(len(pool))] if pool else None
+
+    def _inject_functional(self, kg: KnowledgeGraph) -> Optional[Violation]:
+        for relation in self._properties_with(PropertyCharacteristic.FUNCTIONAL):
+            instances = self._instances(kg, relation)
+            if not instances:
+                continue
+            base = instances[self.rng.randrange(len(instances))]
+            if not isinstance(base.object, IRI):
+                continue
+            prop = self.ontology.properties[relation]
+            other = self._random_entity(kg, prop.range)
+            if other is None or other == base.object:
+                continue
+            extra = base.replace(object=other)
+            if kg.store.add(extra):
+                return Violation(kind="functional", triples=(base, extra),
+                                 subject=base.subject,
+                                 detail=f"two values for functional {relation.local_name}")
+        return None
+
+    def _inject_inverse_functional(self, kg: KnowledgeGraph) -> Optional[Violation]:
+        for relation in self._properties_with(PropertyCharacteristic.INVERSE_FUNCTIONAL):
+            instances = self._instances(kg, relation)
+            if not instances:
+                continue
+            base = instances[self.rng.randrange(len(instances))]
+            prop = self.ontology.properties[relation]
+            other_subject = self._random_entity(kg, prop.domain)
+            if other_subject is None or other_subject == base.subject:
+                continue
+            extra = base.replace(subject=other_subject)
+            if kg.store.add(extra):
+                return Violation(kind="inverse_functional", triples=(base, extra),
+                                 subject=other_subject,
+                                 detail=f"shared object for inverse-functional "
+                                        f"{relation.local_name}")
+        return None
+
+    def _typed_wrong(self, kg: KnowledgeGraph, wanted: Optional[IRI]) -> Optional[IRI]:
+        """An entity whose types do NOT include (subclasses of) ``wanted``."""
+        if wanted is None:
+            return None
+        candidates = []
+        for entity in kg.store.entities():
+            types = kg.types(entity)
+            if not types:
+                continue
+            if any(self.ontology.is_subclass_of(t, wanted) for t in types):
+                continue
+            if kg.store.match(entity, RDF.type, OWL.Class):
+                continue
+            candidates.append(entity)
+        candidates.sort(key=lambda e: e.value)
+        return candidates[self.rng.randrange(len(candidates))] if candidates else None
+
+    def _inject_domain(self, kg: KnowledgeGraph) -> Optional[Violation]:
+        properties = sorted((i for i, p in self.ontology.properties.items()
+                             if p.domain is not None), key=lambda i: i.value)
+        self.rng.shuffle(properties)
+        for relation in properties:
+            prop = self.ontology.properties[relation]
+            bad_subject = self._typed_wrong(kg, prop.domain)
+            instances = self._instances(kg, relation)
+            if bad_subject is None or not instances:
+                continue
+            base = instances[self.rng.randrange(len(instances))]
+            extra = base.replace(subject=bad_subject)
+            if kg.store.add(extra):
+                return Violation(kind="domain", triples=(extra,),
+                                 subject=bad_subject,
+                                 detail=f"subject outside domain of {relation.local_name}")
+        return None
+
+    def _inject_range(self, kg: KnowledgeGraph) -> Optional[Violation]:
+        properties = sorted((i for i, p in self.ontology.properties.items()
+                             if p.range is not None), key=lambda i: i.value)
+        self.rng.shuffle(properties)
+        for relation in properties:
+            prop = self.ontology.properties[relation]
+            bad_object = self._typed_wrong(kg, prop.range)
+            instances = self._instances(kg, relation)
+            if bad_object is None or not instances:
+                continue
+            base = instances[self.rng.randrange(len(instances))]
+            extra = base.replace(object=bad_object)
+            if kg.store.add(extra):
+                return Violation(kind="range", triples=(extra,),
+                                 subject=base.subject,
+                                 detail=f"object outside range of {relation.local_name}")
+        return None
+
+    def _inject_disjoint(self, kg: KnowledgeGraph) -> Optional[Violation]:
+        pairs = sorted({tuple(sorted((a.value, b.value)))
+                        for a, c in self.ontology.classes.items()
+                        for b in c.disjoint_with})
+        self.rng.shuffle(pairs)
+        for a_value, b_value in pairs:
+            a, b = IRI(a_value), IRI(b_value)
+            instances = sorted(kg.instances(a), key=lambda e: e.value)
+            if not instances:
+                continue
+            victim = instances[self.rng.randrange(len(instances))]
+            extra = Triple(victim, RDF.type, b)
+            if kg.store.add(extra):
+                existing = kg.store.match(victim, RDF.type, a)[0]
+                return Violation(kind="disjoint", triples=(existing, extra),
+                                 subject=victim,
+                                 detail=f"typed with disjoint classes "
+                                        f"{a.local_name} and {b.local_name}")
+        return None
+
+    def _inject_asymmetric(self, kg: KnowledgeGraph) -> Optional[Violation]:
+        for relation in self._properties_with(PropertyCharacteristic.ASYMMETRIC):
+            instances = [t for t in self._instances(kg, relation)
+                         if isinstance(t.object, IRI)]
+            if not instances:
+                continue
+            base = instances[self.rng.randrange(len(instances))]
+            reverse = Triple(base.object, relation, base.subject)
+            if kg.store.add(reverse):
+                return Violation(kind="asymmetric", triples=(base, reverse),
+                                 subject=base.object,
+                                 detail=f"mutual {relation.local_name} edges")
+        return None
+
+    def _inject_irreflexive(self, kg: KnowledgeGraph) -> Optional[Violation]:
+        for relation in self._properties_with(PropertyCharacteristic.IRREFLEXIVE):
+            instances = self._instances(kg, relation)
+            if not instances:
+                continue
+            base = instances[self.rng.randrange(len(instances))]
+            loop = Triple(base.subject, relation, base.subject)
+            if kg.store.add(loop):
+                return Violation(kind="irreflexive", triples=(loop,),
+                                 subject=base.subject,
+                                 detail=f"self-loop on irreflexive {relation.local_name}")
+        return None
+
+
+class ConstraintChecker:
+    """Find all violations of a constraint set (an :class:`Ontology`)."""
+
+    def __init__(self, constraints: Ontology):
+        self.constraints = constraints
+
+    def check(self, kg: KnowledgeGraph) -> List[Violation]:
+        """Every violation of the constraint set present in the KG."""
+        out: List[Violation] = []
+        out.extend(self._check_characteristics(kg))
+        out.extend(self._check_domain_range(kg))
+        out.extend(self._check_disjointness(kg))
+        return out
+
+    def _check_characteristics(self, kg: KnowledgeGraph) -> List[Violation]:
+        out: List[Violation] = []
+        for relation, prop in sorted(self.constraints.properties.items(),
+                                     key=lambda kv: kv[0].value):
+            instances = kg.store.match(None, relation, None)
+            if PropertyCharacteristic.FUNCTIONAL in prop.characteristics:
+                by_subject: Dict[IRI, List[Triple]] = {}
+                for t in instances:
+                    by_subject.setdefault(t.subject, []).append(t)
+                for subject, triples in sorted(by_subject.items(),
+                                               key=lambda kv: kv[0].value):
+                    if len(triples) > 1:
+                        out.append(Violation(
+                            kind="functional", triples=tuple(sorted(triples)),
+                            subject=subject,
+                            detail=f"{len(triples)} values for functional "
+                                   f"{relation.local_name}"))
+            if PropertyCharacteristic.INVERSE_FUNCTIONAL in prop.characteristics:
+                by_object: Dict[Triple, List[Triple]] = {}
+                for t in instances:
+                    by_object.setdefault(t.object, []).append(t)  # type: ignore[arg-type]
+                for obj, triples in by_object.items():
+                    if len(triples) > 1:
+                        triples = sorted(triples)
+                        out.append(Violation(
+                            kind="inverse_functional", triples=tuple(triples),
+                            subject=triples[0].subject,
+                            detail=f"shared object for inverse-functional "
+                                   f"{relation.local_name}"))
+            if PropertyCharacteristic.ASYMMETRIC in prop.characteristics:
+                seen: Set[Tuple[IRI, IRI]] = set()
+                for t in instances:
+                    if not isinstance(t.object, IRI):
+                        continue
+                    if (t.object, t.subject) in seen:
+                        reverse = Triple(t.object, relation, t.subject)
+                        out.append(Violation(
+                            kind="asymmetric",
+                            triples=tuple(sorted((t, reverse))),
+                            subject=t.subject,
+                            detail=f"mutual {relation.local_name} edges"))
+                    seen.add((t.subject, t.object))
+            if PropertyCharacteristic.IRREFLEXIVE in prop.characteristics:
+                for t in instances:
+                    if t.subject == t.object:
+                        out.append(Violation(
+                            kind="irreflexive", triples=(t,), subject=t.subject,
+                            detail=f"self-loop on irreflexive {relation.local_name}"))
+        return out
+
+    def _check_domain_range(self, kg: KnowledgeGraph) -> List[Violation]:
+        out: List[Violation] = []
+        for relation, prop in sorted(self.constraints.properties.items(),
+                                     key=lambda kv: kv[0].value):
+            if prop.domain is None and prop.range is None:
+                continue
+            for t in kg.store.match(None, relation, None):
+                if prop.domain is not None:
+                    types = kg.types(t.subject)
+                    if types and not any(
+                            self.constraints.is_subclass_of(c, prop.domain)
+                            for c in types):
+                        out.append(Violation(
+                            kind="domain", triples=(t,), subject=t.subject,
+                            detail=f"subject outside domain of {relation.local_name}"))
+                if prop.range is not None and isinstance(t.object, IRI):
+                    types = kg.types(t.object)
+                    if types and not any(
+                            self.constraints.is_subclass_of(c, prop.range)
+                            for c in types):
+                        out.append(Violation(
+                            kind="range", triples=(t,), subject=t.subject,
+                            detail=f"object outside range of {relation.local_name}"))
+        return out
+
+    def _check_disjointness(self, kg: KnowledgeGraph) -> List[Violation]:
+        out: List[Violation] = []
+        by_entity: Dict[IRI, List[Triple]] = {}
+        for t in kg.store.match(None, RDF.type, None):
+            if isinstance(t.object, IRI) and t.object in self.constraints.classes:
+                by_entity.setdefault(t.subject, []).append(t)
+        for entity, type_triples in sorted(by_entity.items(),
+                                           key=lambda kv: kv[0].value):
+            for i, t1 in enumerate(type_triples):
+                for t2 in type_triples[i + 1:]:
+                    if self.constraints.are_disjoint(t1.object, t2.object):  # type: ignore[arg-type]
+                        out.append(Violation(
+                            kind="disjoint",
+                            triples=tuple(sorted((t1, t2))), subject=entity,
+                            detail=f"disjoint classes "
+                                   f"{t1.object.local_name}/{t2.object.local_name}"))  # type: ignore[union-attr]
+        return out
+
+
+class DeclaredConstraintDetector:
+    """Baseline: check only the constraints an (incomplete) schema declares."""
+
+    def __init__(self, declared: Ontology):
+        self.checker = ConstraintChecker(declared)
+
+    def detect(self, kg: KnowledgeGraph) -> List[Violation]:
+        """Check the KG against the declared constraints only."""
+        return self.checker.check(kg)
+
+
+class StatisticalConstraintMiner:
+    """Mine constraints from data regularities alone, then check them.
+
+    A relation is assumed functional when ≥ ``threshold`` of its subjects
+    have exactly one value, asymmetric when (almost) no edge is mutual, etc.
+    No semantics: relations that are *incidentally* regular in the data
+    yield spurious constraints — the precision cost ChatRule's semantic
+    filter removes.
+    """
+
+    def __init__(self, threshold: float = 0.85, min_instances: int = 5):
+        self.threshold = threshold
+        self.min_instances = min_instances
+
+    def mine(self, kg: KnowledgeGraph) -> Ontology:
+        """An ontology holding the mined property characteristics,
+        majority domains/ranges, and zero-overlap class disjointness."""
+        mined = Ontology("mined")
+        self._mine_domains_ranges(kg, mined)
+        self._mine_disjointness(kg, mined)
+        for relation in sorted(kg.store.relations(), key=lambda r: r.value):
+            if relation.value.startswith(RDFS.prefix) or \
+                    relation.value.startswith(OWL.prefix) or \
+                    relation == RDF.type:
+                continue
+            instances = kg.store.match(None, relation, None)
+            if len(instances) < self.min_instances:
+                continue
+            characteristics = []
+            by_subject: Dict[IRI, int] = {}
+            for t in instances:
+                by_subject[t.subject] = by_subject.get(t.subject, 0) + 1
+            single = sum(1 for c in by_subject.values() if c == 1)
+            if single / len(by_subject) >= self.threshold:
+                characteristics.append(PropertyCharacteristic.FUNCTIONAL)
+            by_object: Dict = {}
+            for t in instances:
+                by_object[t.object] = by_object.get(t.object, 0) + 1
+            single_obj = sum(1 for c in by_object.values() if c == 1)
+            if single_obj / len(by_object) >= self.threshold:
+                characteristics.append(PropertyCharacteristic.INVERSE_FUNCTIONAL)
+            pairs = {(t.subject, t.object) for t in instances
+                     if isinstance(t.object, IRI)}
+            mutual = sum(1 for s, o in pairs if (o, s) in pairs)
+            if pairs and mutual == 0:
+                characteristics.append(PropertyCharacteristic.ASYMMETRIC)
+            loops = sum(1 for t in instances if t.subject == t.object)
+            if loops == 0:
+                characteristics.append(PropertyCharacteristic.IRREFLEXIVE)
+            if characteristics:
+                mined.add_property(relation, characteristics=characteristics)
+        return mined
+
+    def _mine_domains_ranges(self, kg: KnowledgeGraph, mined: Ontology) -> None:
+        for relation in sorted(kg.store.relations(), key=lambda r: r.value):
+            if relation.value.startswith(RDFS.prefix) or \
+                    relation.value.startswith(OWL.prefix) or relation == RDF.type:
+                continue
+            instances = kg.store.match(None, relation, None)
+            if len(instances) < self.min_instances:
+                continue
+            domain = self._majority_type(kg, [t.subject for t in instances])
+            range_ = self._majority_type(
+                kg, [t.object for t in instances if isinstance(t.object, IRI)])
+            if domain is not None or range_ is not None:
+                mined.add_property(relation, domain=domain, range=range_)
+
+    def _majority_type(self, kg: KnowledgeGraph,
+                       entities: Sequence[IRI]) -> Optional[IRI]:
+        counts: Dict[IRI, int] = {}
+        typed = 0
+        for entity in entities:
+            types = kg.types(entity)
+            if not types:
+                continue
+            typed += 1
+            for cls in types:
+                counts[cls] = counts.get(cls, 0) + 1
+        if typed < self.min_instances:
+            return None
+        best = max(sorted(counts, key=lambda c: c.value),
+                   key=lambda c: counts[c], default=None)
+        if best is not None and counts[best] / typed >= self.threshold:
+            return best
+        return None
+
+    def _mine_disjointness(self, kg: KnowledgeGraph, mined: Ontology) -> None:
+        instances: Dict[IRI, Set[IRI]] = {}
+        for t in kg.store.match(None, RDF.type, None):
+            if isinstance(t.object, IRI) and \
+                    not t.object.value.startswith(OWL.prefix):
+                instances.setdefault(t.object, set()).add(t.subject)
+        classes = sorted((c for c, members in instances.items()
+                          if len(members) >= self.min_instances),
+                         key=lambda c: c.value)
+        tolerance = 1.0 - self.threshold
+        for i, a in enumerate(classes):
+            for b in classes[i + 1:]:
+                overlap = instances[a] & instances[b]
+                smaller = min(len(instances[a]), len(instances[b]))
+                if len(overlap) / smaller <= tolerance:
+                    mined.set_disjoint(a, b)
+
+    def detect(self, kg: KnowledgeGraph) -> List[Violation]:
+        """Mine on the (corrupted) KG, then check it against the mined
+        constraints. Mining tolerance means injected violations don't hide
+        the regularity they break."""
+        return ConstraintChecker(self.mine(kg)).check(kg)
+
+
+def evaluate_detection(detected: Sequence[Violation],
+                       injected: Sequence[Violation]) -> Dict[str, float]:
+    """Precision/recall/F1 of detected violations against the planted ones.
+
+    A detection matches an injected violation when they share the kind and
+    at least one triple.
+    """
+    injected_keys = [(v.kind, set(t.n3() for t in v.triples)) for v in injected]
+    matched = set()
+    true_positives = 0
+    for violation in detected:
+        triples = set(t.n3() for t in violation.triples)
+        for index, (kind, injected_triples) in enumerate(injected_keys):
+            if index in matched:
+                continue
+            if violation.kind == kind and triples & injected_triples:
+                matched.add(index)
+                true_positives += 1
+                break
+    precision = true_positives / len(detected) if detected else \
+        (1.0 if not injected else 0.0)
+    recall = true_positives / len(injected) if injected else 1.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return {"precision": precision, "recall": recall, "f1": f1,
+            "detected": float(len(detected)), "injected": float(len(injected))}

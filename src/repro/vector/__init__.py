@@ -1,0 +1,7 @@
+"""Vector store substrate: exact and clustered approximate nearest-neighbour
+indexes used by RAG retrieval, SimKGC candidate ranking and GPT-RE
+demonstration retrieval."""
+
+from repro.vector.index import VectorIndex, ClusteredVectorIndex, SearchHit
+
+__all__ = ["VectorIndex", "ClusteredVectorIndex", "SearchHit"]

@@ -1,0 +1,157 @@
+"""Vector indexes: exact brute-force and IVF-flat-style clustered search.
+
+The Naive-RAG indexing step ("each segment encoded into vector form") needs
+a top-k similarity search; the clustered variant demonstrates the standard
+accuracy/latency trade-off and backs the engine micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One nearest-neighbour result."""
+
+    key: Hashable
+    score: float
+    payload: object = None
+
+
+class VectorIndex:
+    """Exact cosine top-k over an append-only collection of vectors."""
+
+    def __init__(self, dim: int):
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self._keys: List[Hashable] = []
+        self._payloads: List[object] = []
+        self._rows: List[np.ndarray] = []
+        self._matrix: Optional[np.ndarray] = None
+        self._norms: Optional[np.ndarray] = None
+
+    def add(self, key: Hashable, vector: np.ndarray, payload: object = None) -> None:
+        """Insert a vector under ``key`` (keys need not be unique)."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"expected shape ({self.dim},), got {vector.shape}")
+        self._keys.append(key)
+        self._payloads.append(payload)
+        self._rows.append(vector)
+        self._matrix = None  # invalidate the packed matrix
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def _pack(self) -> None:
+        if self._matrix is None:
+            self._matrix = np.stack(self._rows) if self._rows else np.zeros((0, self.dim))
+            norms = np.linalg.norm(self._matrix, axis=1)
+            norms[norms == 0.0] = 1.0
+            self._norms = norms
+
+    def search(self, query: np.ndarray, k: int = 5) -> List[SearchHit]:
+        """The ``k`` entries most cosine-similar to ``query``."""
+        if not self._rows or k <= 0:
+            return []
+        self._pack()
+        assert self._matrix is not None and self._norms is not None
+        query = np.asarray(query, dtype=np.float64)
+        qn = np.linalg.norm(query) or 1.0
+        scores = (self._matrix @ query) / (self._norms * qn)
+        k = min(k, len(self._keys))
+        order = np.argsort(-scores, kind="stable")[:k]
+        return [SearchHit(self._keys[i], float(scores[i]), self._payloads[i])
+                for i in order]
+
+
+class ClusteredVectorIndex:
+    """IVF-flat-style index: k-means cells, probe the nearest ``nprobe``.
+
+    Approximate — recall depends on ``nprobe`` — but sub-linear in the number
+    of vectors once built. ``build`` must be called after all inserts.
+    """
+
+    def __init__(self, dim: int, n_cells: int = 16, nprobe: int = 2, seed: int = 0):
+        if n_cells <= 0 or nprobe <= 0:
+            raise ValueError("n_cells and nprobe must be positive")
+        self.dim = dim
+        self.n_cells = n_cells
+        self.nprobe = nprobe
+        self.seed = seed
+        self._keys: List[Hashable] = []
+        self._payloads: List[object] = []
+        self._rows: List[np.ndarray] = []
+        self._centroids: Optional[np.ndarray] = None
+        self._cells: List[List[int]] = []
+
+    def add(self, key: Hashable, vector: np.ndarray, payload: object = None) -> None:
+        """Insert a vector (index must be (re)built before searching)."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"expected shape ({self.dim},), got {vector.shape}")
+        self._keys.append(key)
+        self._payloads.append(payload)
+        self._rows.append(vector)
+        self._centroids = None
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def build(self, iterations: int = 8) -> None:
+        """Run seeded k-means and assign vectors to cells."""
+        if not self._rows:
+            self._centroids = np.zeros((0, self.dim))
+            self._cells = []
+            return
+        matrix = np.stack(self._rows)
+        n_cells = min(self.n_cells, matrix.shape[0])
+        rng = np.random.default_rng(self.seed)
+        initial = rng.choice(matrix.shape[0], size=n_cells, replace=False)
+        centroids = matrix[initial].copy()
+        assignment = np.zeros(matrix.shape[0], dtype=np.int64)
+        for _ in range(iterations):
+            distances = ((matrix[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+            new_assignment = distances.argmin(axis=1)
+            if np.array_equal(new_assignment, assignment):
+                assignment = new_assignment
+                break
+            assignment = new_assignment
+            for cell in range(n_cells):
+                members = matrix[assignment == cell]
+                if members.shape[0]:
+                    centroids[cell] = members.mean(axis=0)
+        self._centroids = centroids
+        self._cells = [[] for _ in range(n_cells)]
+        for index, cell in enumerate(assignment):
+            self._cells[int(cell)].append(index)
+
+    def search(self, query: np.ndarray, k: int = 5) -> List[SearchHit]:
+        """Approximate top-k: scan the ``nprobe`` cells nearest the query."""
+        if self._centroids is None:
+            self.build()
+        assert self._centroids is not None
+        if self._centroids.shape[0] == 0 or k <= 0:
+            return []
+        query = np.asarray(query, dtype=np.float64)
+        cell_distance = ((self._centroids - query[None, :]) ** 2).sum(axis=1)
+        probe = np.argsort(cell_distance, kind="stable")[: self.nprobe]
+        candidate_ids: List[int] = []
+        for cell in probe:
+            candidate_ids.extend(self._cells[int(cell)])
+        if not candidate_ids:
+            return []
+        matrix = np.stack([self._rows[i] for i in candidate_ids])
+        norms = np.linalg.norm(matrix, axis=1)
+        norms[norms == 0.0] = 1.0
+        qn = np.linalg.norm(query) or 1.0
+        scores = (matrix @ query) / (norms * qn)
+        k = min(k, len(candidate_ids))
+        order = np.argsort(-scores, kind="stable")[:k]
+        return [SearchHit(self._keys[candidate_ids[i]], float(scores[i]),
+                          self._payloads[candidate_ids[i]]) for i in order]

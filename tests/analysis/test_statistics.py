@@ -1,0 +1,111 @@
+"""Tests for the bibliography, Figure-2 statistics and Table-1 matrix."""
+
+import pytest
+
+from repro.analysis import (
+    BIBLIOGRAPHY, SURVEY_COLUMNS, TABLE1, figure2, kgs_in_bibliography,
+    llms_in_bibliography, most_common, render_table1, usage_by_category,
+    usage_counts,
+)
+from repro.analysis.surveys import coverage_totals, unique_to_this_survey
+from repro.analysis.statistics import render_figure2
+from repro.core import FIGURE1_TAXONOMY
+
+
+class TestBibliography:
+    def test_unique_keys(self):
+        keys = [entry.key for entry in BIBLIOGRAPHY]
+        assert len(keys) == len(set(keys))
+
+    def test_reference_numbers_in_range(self):
+        for entry in BIBLIOGRAPHY:
+            assert 1 <= entry.reference <= 96
+
+    def test_reasonable_size(self):
+        assert len(BIBLIOGRAPHY) >= 50
+
+    def test_categories_exist_in_taxonomy_or_are_groups(self):
+        taxonomy_names = set()
+
+        def collect(node):
+            taxonomy_names.add(node.name)
+            for child in node.children:
+                collect(child)
+
+        collect(FIGURE1_TAXONOMY)
+        extra_groups = {"KG Validation", "Relation Extraction",
+                        "KG Question Answering", "KG Embedding",
+                        "KG Completion"}
+        for entry in BIBLIOGRAPHY:
+            assert entry.category in taxonomy_names | extra_groups, entry.key
+
+    def test_rankings_sorted(self):
+        llms, kgs = usage_counts()
+        ranked_llms = llms_in_bibliography()
+        assert llms[ranked_llms[0]] == max(llms.values())
+        ranked_kgs = kgs_in_bibliography()
+        assert kgs[ranked_kgs[0]] == max(kgs.values())
+
+
+class TestFigure2:
+    """The paper's §5.1 findings must reproduce from the data."""
+
+    def test_freebase_is_most_used_kg(self):
+        assert figure2()["most_used_kg"] == "Freebase"
+
+    def test_bert_and_gpt3_are_most_used_llms(self):
+        assert set(figure2()["most_used_llms"]) == {"BERT", "GPT-3"}
+
+    def test_per_category_counters_sum_to_overall(self):
+        llms, kgs = usage_counts()
+        per_category = usage_by_category()
+        summed_llms = sum((c for c, _ in per_category.values()),
+                          start=type(llms)())
+        summed_kgs = sum((c for _, c in per_category.values()),
+                         start=type(kgs)())
+        assert summed_llms == llms
+        assert summed_kgs == kgs
+
+    def test_most_common_tie_breaking_deterministic(self):
+        from collections import Counter
+        top = most_common(Counter({"b": 2, "a": 2, "c": 1}), n=2)
+        assert top == [("a", 2), ("b", 2)]
+
+    def test_render_contains_bars(self):
+        text = render_figure2()
+        assert "Freebase" in text and "#" in text
+
+
+class TestTable1:
+    def test_eighteen_rows(self):
+        assert len(TABLE1) == 18
+
+    def test_ours_covers_everything_except_event_detection(self):
+        for row in TABLE1:
+            if row.subcategory == "Event Detection or Extraction":
+                assert not row.covered_by("ours")
+            else:
+                assert row.covered_by("ours")
+
+    def test_kg_enhanced_llm_covered_by_all(self):
+        row = next(r for r in TABLE1 if r.subcategory == "KG-enhanced LLM")
+        assert all(row.coverage)
+
+    def test_unique_rows_are_validation_and_kgqa(self):
+        unique = unique_to_this_survey()
+        assert len(unique) == 7
+        mains = {row.main_category for row in unique}
+        assert mains == {"KG Validation", "KG Question Answering"}
+
+    def test_ours_has_max_coverage(self):
+        totals = coverage_totals()
+        assert totals["ours"] == max(totals.values())
+        assert totals["ours"] == 17
+
+    def test_render_shape(self):
+        text = render_table1()
+        assert text.count("✓") == sum(sum(row.coverage) for row in TABLE1)
+        assert "Fact Checking" in text
+
+    def test_columns_constant(self):
+        assert SURVEY_COLUMNS == ["[68]", "[67]", "[41]", "[90]", "ours"]

@@ -1,0 +1,97 @@
+"""Tests for the trained contrastive bi-encoder."""
+
+import numpy as np
+import pytest
+
+from repro.completion import LinkPredictionTask, make_split
+from repro.completion.biencoder import TrainedBiEncoder
+from repro.kg.datasets import encyclopedia_kg
+from repro.kg.triples import Literal, Triple
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = encyclopedia_kg(seed=1, n_people=60, n_cities=12, n_countries=4,
+                         n_companies=8, n_universities=4)
+    split = make_split(ds, seed=0)
+    return ds, split, LinkPredictionTask(split)
+
+
+class TestTraining:
+    def test_training_improves_over_identity(self, setup):
+        ds, split, task = setup
+        untrained = TrainedBiEncoder(ds.kg, seed=0)
+        trained = TrainedBiEncoder(ds.kg, seed=0, learning_rate=0.1)
+        trained.fit(split.train, epochs=30)
+        assert task.evaluate(trained, max_queries=15)["mrr"] > \
+            task.evaluate(untrained, max_queries=15)["mrr"]
+
+    def test_deterministic(self, setup):
+        ds, split, _ = setup
+        a = TrainedBiEncoder(ds.kg, seed=0).fit(split.train, epochs=5)
+        b = TrainedBiEncoder(ds.kg, seed=0).fit(split.train, epochs=5)
+        assert np.allclose(a.projection, b.projection)
+
+    def test_seed_changes_training(self, setup):
+        ds, split, _ = setup
+        a = TrainedBiEncoder(ds.kg, seed=0).fit(split.train, epochs=5)
+        b = TrainedBiEncoder(ds.kg, seed=1).fit(split.train, epochs=5)
+        assert not np.allclose(a.projection, b.projection)
+
+    def test_projection_changes_during_training(self, setup):
+        ds, split, _ = setup
+        model = TrainedBiEncoder(ds.kg, seed=0)
+        before = model.projection.copy()
+        model.fit(split.train, epochs=2)
+        assert not np.allclose(before, model.projection)
+
+    def test_no_trainable_triples_raises(self, setup):
+        ds, _, _ = setup
+        model = TrainedBiEncoder(ds.kg)
+        from repro.kg.triples import IRI
+        with pytest.raises(ValueError):
+            model.fit([Triple(IRI("http://x/a"), IRI("http://x/p"),
+                              Literal("x"))])
+
+
+class TestScoring:
+    def test_literal_object_scores_minus_inf(self, setup):
+        ds, split, _ = setup
+        model = TrainedBiEncoder(ds.kg)
+        triple = split.train[0]
+        assert model.score(triple.replace(object=Literal("x"))) == float("-inf")
+
+    def test_scores_bounded_by_cosine(self, setup):
+        ds, split, _ = setup
+        model = TrainedBiEncoder(ds.kg, seed=0).fit(split.train, epochs=3)
+        for triple in split.test[:10]:
+            value = model.score(triple)
+            assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+    def test_score_tails_matches_score(self, setup):
+        ds, split, _ = setup
+        model = TrainedBiEncoder(ds.kg, seed=0).fit(split.train, epochs=3)
+        triple = split.test[0]
+        candidates = split.entities[:10]
+        scores = model.score_tails(triple.subject, triple.predicate, candidates)
+        for candidate, value in zip(candidates, scores):
+            assert value == pytest.approx(
+                model.score(Triple(triple.subject, triple.predicate, candidate)))
+
+
+class TestNegativeSources:
+    def test_pre_batch_cache_is_bounded(self, setup):
+        ds, split, _ = setup
+        model = TrainedBiEncoder(ds.kg, seed=0, pre_batch=True,
+                                 pre_batch_size=8)
+        model.fit(split.train, epochs=2)  # must not blow up memory
+
+    def test_all_variants_trainable(self, setup):
+        ds, split, task = setup
+        for kwargs in (dict(in_batch=True),
+                       dict(in_batch=True, pre_batch=True),
+                       dict(in_batch=True, pre_batch=True,
+                            self_negatives=True)):
+            model = TrainedBiEncoder(ds.kg, seed=0, learning_rate=0.1, **kwargs)
+            model.fit(split.train, epochs=10)
+            assert task.evaluate(model, max_queries=10)["mrr"] > 0.1

@@ -1,0 +1,100 @@
+"""Tests for the structural embedding models."""
+
+import numpy as np
+import pytest
+
+from repro.completion import EMBEDDING_MODELS, ComplEx, DistMult, RotatE, TransE
+from repro.kg.store import TripleStore
+from repro.kg.triples import IRI, Literal, Namespace, Triple
+
+X = Namespace("http://x/")
+
+
+def chain_triples():
+    """A small deterministic graph: two clusters sharing relation patterns."""
+    triples = []
+    for i in range(8):
+        triples.append(Triple(X[f"p{i}"], X.livesIn, X[f"c{i % 2}"]))
+        triples.append(Triple(X[f"p{i}"], X.likes, X[f"p{(i + 1) % 8}"]))
+    return triples
+
+
+@pytest.mark.parametrize("name,cls", sorted(EMBEDDING_MODELS.items()))
+class TestAllModels:
+    def test_training_is_deterministic(self, name, cls):
+        a = cls(dim=8, seed=3).fit(chain_triples(), epochs=10)
+        b = cls(dim=8, seed=3).fit(chain_triples(), epochs=10)
+        assert np.allclose(a.entity_vectors, b.entity_vectors)
+
+    def test_seed_changes_init(self, name, cls):
+        a = cls(dim=8, seed=1).fit(chain_triples(), epochs=2)
+        b = cls(dim=8, seed=2).fit(chain_triples(), epochs=2)
+        assert not np.allclose(a.entity_vectors, b.entity_vectors)
+
+    def test_true_triples_outscore_random_corruptions(self, name, cls):
+        triples = chain_triples()
+        model = cls(dim=16, seed=0).fit(triples, epochs=120)
+        wins = 0
+        total = 0
+        for triple in triples:
+            true_score = model.score(triple)
+            for corrupt in (X.c0, X.c1, X.p3, X.p5):
+                if corrupt == triple.object:
+                    continue
+                negative = triple.replace(object=corrupt)
+                if negative in TripleStore(triples):
+                    continue
+                total += 1
+                if true_score > model.score(negative):
+                    wins += 1
+        assert wins / total > 0.6, f"{name}: only {wins}/{total} wins"
+
+    def test_unknown_entity_scores_minus_inf(self, name, cls):
+        model = cls(dim=8, seed=0).fit(chain_triples(), epochs=2)
+        assert model.score(Triple(X.ghost, X.livesIn, X.c0)) == float("-inf")
+
+    def test_score_before_fit_raises(self, name, cls):
+        with pytest.raises(RuntimeError):
+            cls(dim=8).score(Triple(X.a, X.b, X.c))
+
+    def test_literal_triples_skipped_in_training(self, name, cls):
+        triples = chain_triples() + [Triple(X.p0, X.age, Literal("41"))]
+        model = cls(dim=8, seed=0).fit(triples, epochs=2)
+        assert X.age not in model.relation_index
+
+    def test_extra_entities_in_vocab(self, name, cls):
+        model = cls(dim=8, seed=0).fit(chain_triples(), epochs=2,
+                                       extra_entities=[X.lonely])
+        assert X.lonely in model.entity_index
+
+    def test_no_trainable_triples_raises(self, name, cls):
+        with pytest.raises(ValueError):
+            cls(dim=8).fit([Triple(X.a, X.p, Literal("x"))], epochs=1)
+
+    def test_score_tails_matches_score(self, name, cls):
+        model = cls(dim=8, seed=0).fit(chain_triples(), epochs=5)
+        candidates = [X.c0, X.c1]
+        scores = model.score_tails(X.p0, X.livesIn, candidates)
+        assert scores == [model.score(Triple(X.p0, X.livesIn, c))
+                          for c in candidates]
+
+
+class TestTransESpecific:
+    def test_entity_norm_capped_at_one(self):
+        model = TransE(dim=8, seed=0).fit(chain_triples(), epochs=5)
+        norms = np.linalg.norm(model.entity_vectors, axis=1)
+        assert np.all(norms <= 1.0 + 1e-9)
+
+
+class TestComplExSpecific:
+    def test_double_width_vectors(self):
+        model = ComplEx(dim=8, seed=0).fit(chain_triples(), epochs=2)
+        assert model.entity_vectors.shape[1] == 16
+        assert model.relation_vectors.shape[1] == 16
+
+
+class TestRotatESpecific:
+    def test_relation_stores_phases_only(self):
+        model = RotatE(dim=8, seed=0).fit(chain_triples(), epochs=2)
+        assert model.relation_vectors.shape[1] == 8
+        assert model.entity_vectors.shape[1] == 16

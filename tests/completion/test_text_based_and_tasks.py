@@ -1,0 +1,202 @@
+"""Tests for text-based completion methods and the task harnesses."""
+
+import pytest
+
+from repro.completion import (
+    GenKGCCompleter, KGBertScorer, KICGPTReranker, LinkPredictionTask,
+    SimKGCScorer, StARScorer, TransE, TripleClassificationTask,
+    EntityTypingTask, make_split,
+)
+from repro.kg.datasets import encyclopedia_kg
+from repro.kg.triples import IRI, RDF, Triple
+from repro.llm import load_model
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = encyclopedia_kg(seed=1, n_people=60, n_cities=12, n_countries=4,
+                         n_companies=8, n_universities=4)
+    split = make_split(ds, seed=0)
+    llm = load_model("chatgpt", world=ds.kg, seed=0)
+    return ds, split, llm
+
+
+@pytest.fixture(scope="module")
+def transe(setup):
+    _, split, _ = setup
+    return TransE(dim=32, seed=0).fit(split.train, epochs=60,
+                                      extra_entities=split.entities)
+
+
+class TestSplit:
+    def test_partition_is_disjoint_and_complete(self, setup):
+        _, split, _ = setup
+        train = set(split.train)
+        valid = set(split.valid)
+        test = set(split.test)
+        assert not train & valid and not train & test and not valid & test
+        assert len(train) > len(valid) and len(train) > len(test)
+
+    def test_deterministic(self, setup):
+        ds, split, _ = setup
+        other = make_split(ds, seed=0)
+        assert split.train == other.train and split.test == other.test
+
+    def test_no_schema_triples(self, setup):
+        _, split, _ = setup
+        for triple in split.train + split.test:
+            assert "w3.org" not in triple.predicate.value
+
+
+class TestKGBert:
+    def test_train_triples_score_highest(self, setup):
+        ds, split, llm = setup
+        scorer = KGBertScorer(llm, ds.kg)
+        scorer.fit(split.train)
+        assert scorer.score(split.train[0]) == 1.0
+
+    def test_known_world_fact_scores_high(self, setup):
+        ds, split, llm = setup
+        scorer = KGBertScorer(llm, ds.kg)
+        scorer.fit(split.train)
+        known = next(t for t in split.test if llm.knows(t))
+        unknown = Triple(known.subject, known.predicate,
+                         IRI("http://repro.dev/kg/NotAThing"))
+        assert scorer.score(known) > scorer.score(unknown)
+
+    def test_multi_task_adds_type_signal(self, setup):
+        ds, split, llm = setup
+        plain = KGBertScorer(llm, ds.kg, multi_task=False)
+        multi = KGBertScorer(llm, ds.kg, multi_task=True)
+        plain.fit(split.train)
+        multi.fit(split.train)
+        task = LinkPredictionTask(split)
+        assert multi.score(split.test[0]) >= plain.score(split.test[0]) - 1e-9
+        plain_scores = task.evaluate(plain, max_queries=15)
+        multi_scores = task.evaluate(multi, max_queries=15)
+        assert multi_scores["mrr"] >= plain_scores["mrr"] - 0.05
+
+
+class TestSimKGC:
+    def test_generalizes_beyond_train_vocabulary(self, setup):
+        ds, split, _ = setup
+        scorer = SimKGCScorer(ds.kg)
+        scorer.fit(split.train)
+        task = LinkPredictionTask(split)
+        scores = task.evaluate(scorer, max_queries=20)
+        assert scores["hits@10"] > 0.5
+
+    def test_unknown_relation_scores_minus_inf(self, setup):
+        ds, split, _ = setup
+        scorer = SimKGCScorer(ds.kg)
+        scorer.fit(split.train)
+        ghost_relation = IRI("http://repro.dev/schema/ghostRelation")
+        triple = Triple(split.test[0].subject, ghost_relation, split.test[0].object)
+        assert scorer.score(triple) == float("-inf")
+
+
+class TestStAR:
+    def test_ensemble_at_least_matches_parts(self, setup, transe):
+        ds, split, _ = setup
+        simkgc = SimKGCScorer(ds.kg)
+        simkgc.fit(split.train)
+        star = StARScorer(simkgc, transe)
+        star.calibrate(split.valid[:10], split.entities)
+        task = LinkPredictionTask(split)
+        star_mrr = task.evaluate(star, max_queries=20)["mrr"]
+        text_mrr = task.evaluate(simkgc, max_queries=20)["mrr"]
+        structure_mrr = task.evaluate(transe, max_queries=20)["mrr"]
+        assert star_mrr >= min(text_mrr, structure_mrr)
+
+    def test_alpha_is_chosen_from_grid(self, setup, transe):
+        ds, split, _ = setup
+        simkgc = SimKGCScorer(ds.kg)
+        simkgc.fit(split.train)
+        star = StARScorer(simkgc, transe)
+        star.calibrate(split.valid[:5], split.entities)
+        assert star.alpha in (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+class TestGenKGC:
+    def test_completes_known_tail(self, setup):
+        ds, split, _ = setup
+        llm = load_model("chatgpt", world=ds.kg, seed=0,
+                         knowledge_coverage=1.0, hallucination_rate=0.0)
+        completer = GenKGCCompleter(llm, ds.kg)
+        completer.fit(split.train)
+        triple = split.test[0]
+        predicted = completer.complete_tail(triple.subject, triple.predicate)
+        gold_tails = {t.object for t in
+                      ds.kg.store.match(triple.subject, triple.predicate, None)}
+        assert predicted in gold_tails
+
+    def test_unknown_returns_none(self, setup):
+        ds, split, _ = setup
+        llm = load_model("chatgpt", world=ds.kg, seed=0,
+                         knowledge_coverage=0.0, hallucination_rate=0.0)
+        completer = GenKGCCompleter(llm, ds.kg)
+        predicted = completer.complete_tail(split.test[0].subject,
+                                            split.test[0].predicate)
+        assert predicted is None
+
+
+class TestKICGPT:
+    def test_reranking_improves_base(self, setup, transe):
+        ds, split, llm = setup
+        task = LinkPredictionTask(split)
+        reranker = KICGPTReranker(llm, ds.kg, transe, top_k=10)
+        base_scores = task.evaluate(transe, max_queries=20)
+        reranked_scores = task.evaluate(reranker, max_queries=20)
+        assert reranked_scores["mrr"] >= base_scores["mrr"]
+
+    def test_output_is_permutation(self, setup, transe):
+        ds, split, llm = setup
+        reranker = KICGPTReranker(llm, ds.kg, transe, top_k=5)
+        candidates = split.entities[:30]
+        ranked = reranker.rank_tails(split.test[0].subject,
+                                     split.test[0].predicate, candidates)
+        assert sorted(ranked, key=lambda e: e.value) == \
+            sorted(candidates, key=lambda e: e.value)
+
+
+class TestTripleClassification:
+    def test_balanced_examples(self, setup):
+        _, split, _ = setup
+        task = TripleClassificationTask(split, seed=0)
+        examples = task.build_examples(n=20)
+        positives = sum(1 for _, label in examples if label)
+        negatives = len(examples) - positives
+        assert positives == 20 and negatives == 20
+
+    def test_kgbert_accuracy_beats_chance(self, setup):
+        ds, split, llm = setup
+        scorer = KGBertScorer(llm, ds.kg)
+        scorer.fit(split.train)
+        result = TripleClassificationTask(split, seed=0).evaluate(scorer, n=25)
+        assert result["accuracy"] > 0.7
+
+
+class TestEntityTyping:
+    def test_oracle_classifier_scores_one(self, setup):
+        ds, _, _ = setup
+        task = EntityTypingTask(ds, seed=0)
+        examples = dict(task.build_examples(n=30))
+
+        def oracle(entity):
+            return examples.get(entity)
+
+        assert task.evaluate(oracle, n=30)["accuracy"] == 1.0
+
+    def test_superclass_gets_half_credit(self, setup):
+        ds, _, _ = setup
+        task = EntityTypingTask(ds, seed=0)
+        examples = task.build_examples(n=10)
+        onto = ds.ontology
+
+        def parent_classifier(entity):
+            gold = dict(examples)[entity]
+            parents = onto.classes[gold].parents if gold in onto.classes else set()
+            return next(iter(sorted(parents, key=lambda c: c.value)), gold)
+
+        accuracy = task.evaluate(parent_classifier, n=10)["accuracy"]
+        assert 0.4 <= accuracy <= 1.0

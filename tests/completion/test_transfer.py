@@ -1,0 +1,69 @@
+"""Tests for LLM-embedding transfer into small structural models (§2.5)."""
+
+import numpy as np
+import pytest
+
+from repro.completion import (
+    LLMInitializedTransE, LinkPredictionTask, TransE, low_data_comparison,
+    make_split,
+)
+from repro.kg.datasets import encyclopedia_kg
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = encyclopedia_kg(seed=1, n_people=60, n_cities=12, n_countries=4,
+                         n_companies=8, n_universities=4)
+    split = make_split(ds, seed=0)
+    task = LinkPredictionTask(split)
+    return ds, split, task
+
+
+class TestWarmStart:
+    def test_initialization_differs_from_cold(self, setup):
+        ds, split, _ = setup
+        cold = TransE(dim=16, seed=0)
+        warm = LLMInitializedTransE(ds.kg, dim=16, seed=0)
+        cold.learning_rate = 0.0
+        warm.learning_rate = 0.0
+        cold.fit(split.train, epochs=1, extra_entities=split.entities)
+        warm.fit(split.train, epochs=1, extra_entities=split.entities)
+        assert not np.allclose(cold.entity_vectors, warm.entity_vectors)
+
+    def test_warm_start_is_deterministic(self, setup):
+        ds, split, _ = setup
+        a = LLMInitializedTransE(ds.kg, dim=16, seed=0)
+        b = LLMInitializedTransE(ds.kg, dim=16, seed=0)
+        a.fit(split.train, epochs=2, extra_entities=split.entities)
+        b.fit(split.train, epochs=2, extra_entities=split.entities)
+        assert np.allclose(a.entity_vectors, b.entity_vectors)
+
+    def test_warm_entity_vectors_unit_norm_at_init(self, setup):
+        ds, split, _ = setup
+        warm = LLMInitializedTransE(ds.kg, dim=16, seed=0)
+        warm.learning_rate = 0.0
+        warm.fit(split.train, epochs=1, extra_entities=split.entities)
+        norms = np.linalg.norm(warm.entity_vectors, axis=1)
+        assert np.all(norms <= 1.0 + 1e-6)
+
+    def test_low_data_advantage_on_average(self, setup):
+        """The §2.5 prediction: warm start wins under small epoch budgets
+        (averaged over seeds to dampen SGD noise)."""
+        ds, split, task = setup
+        totals = {"cold": 0.0, "warm": 0.0}
+        for seed in range(3):
+            result = low_data_comparison(ds.kg, split.train, split.entities,
+                                         task, epochs_grid=(5,), seed=seed,
+                                         max_queries=15)
+            totals["cold"] += result[5]["cold"]
+            totals["warm"] += result[5]["warm"]
+        assert totals["warm"] > totals["cold"]
+
+    def test_comparison_output_shape(self, setup):
+        ds, split, task = setup
+        result = low_data_comparison(ds.kg, split.train, split.entities, task,
+                                     epochs_grid=(0, 2), max_queries=5)
+        assert set(result) == {0, 2}
+        for row in result.values():
+            assert set(row) == {"cold", "warm"}
+            assert all(0.0 <= v <= 1.0 for v in row.values())

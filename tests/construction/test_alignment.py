@@ -1,0 +1,93 @@
+"""Tests for entity and ontology alignment."""
+
+import pytest
+
+from repro.construction.alignment import Alignment, EntityAligner, OntologyAligner
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.ontology import Ontology
+from repro.kg.triples import Namespace
+from repro.llm import load_model
+
+A = Namespace("http://left.org/")
+B = Namespace("http://right.org/")
+
+
+@pytest.fixture
+def two_graphs():
+    left = KnowledgeGraph(name="left")
+    right = KnowledgeGraph(name="right")
+    for graph, ns in ((left, A), (right, B)):
+        graph.set_label(ns.alice, "Alice Chen")
+        graph.set_label(ns.paris, "Paris")
+        graph.add(ns.alice, ns.bornIn, ns.paris)
+    left.set_label(A.bob, "Bob Silva")
+    right.set_label(B.robert, "Robert Jones")
+    return left, right
+
+
+class TestEntityAligner:
+    def test_matching_labels_align(self, two_graphs):
+        left, right = two_graphs
+        alignments = EntityAligner().align(left, right)
+        pairs = {(a.left, a.right) for a in alignments}
+        assert (A.alice, B.alice) in pairs
+        assert (A.paris, B.paris) in pairs
+
+    def test_unrelated_entities_not_aligned(self, two_graphs):
+        left, right = two_graphs
+        alignments = EntityAligner(threshold=0.8).align(left, right)
+        pairs = {(a.left, a.right) for a in alignments}
+        assert (A.bob, B.robert) not in pairs
+
+    def test_one_to_one(self, two_graphs):
+        left, right = two_graphs
+        alignments = EntityAligner().align(left, right)
+        assert len({a.left for a in alignments}) == len(alignments)
+        assert len({a.right for a in alignments}) == len(alignments)
+
+    def test_scores_bounded(self, two_graphs):
+        left, right = two_graphs
+        for alignment in EntityAligner().align(left, right):
+            assert 0.0 <= alignment.score <= 1.0
+
+    def test_llm_verification_keeps_exact_matches(self, two_graphs):
+        left, right = two_graphs
+        llm = load_model("chatgpt", world=left, seed=0)
+        aligner = EntityAligner()
+        alignments = aligner.align(left, right)
+        verified = aligner.verify_with_llm(alignments, left, right, llm)
+        pairs = {(a.left, a.right) for a in verified}
+        assert (A.alice, B.alice) in pairs
+
+
+class TestOntologyAligner:
+    @pytest.fixture
+    def two_ontologies(self):
+        left = Ontology("left")
+        left.add_class(A.Person, "Person")
+        left.add_class(A.Employee, "Employee", parents=[A.Person])
+        left.add_property(A.worksFor, "works for")
+        right = Ontology("right")
+        right.add_class(B.Person, "Person")
+        right.add_class(B.Worker, "Employee", parents=[B.Person])
+        right.add_class(B.Rocket, "Rocket Engine")
+        right.add_property(B.employedBy, "works for")
+        return left, right
+
+    def test_classes_align_by_label(self, two_ontologies):
+        left, right = two_ontologies
+        alignments = OntologyAligner().align(left, right)
+        pairs = {(a.left, a.right) for a in alignments}
+        assert (A.Person, B.Person) in pairs
+        assert (A.Employee, B.Worker) in pairs
+
+    def test_properties_align(self, two_ontologies):
+        left, right = two_ontologies
+        alignments = OntologyAligner().align(left, right)
+        pairs = {(a.left, a.right) for a in alignments}
+        assert (A.worksFor, B.employedBy) in pairs
+
+    def test_dissimilar_classes_not_aligned(self, two_ontologies):
+        left, right = two_ontologies
+        alignments = OntologyAligner().align(left, right)
+        assert all(a.right != B.Rocket for a in alignments)

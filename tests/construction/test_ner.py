@@ -1,0 +1,96 @@
+"""Tests for the NER regimes."""
+
+import pytest
+
+from repro.construction.ner import (
+    GazetteerNER, InstructionTunedNER, PromptNER, evaluate_ner,
+)
+from repro.kg.datasets import movie_kg
+from repro.llm import load_model
+from repro.text import generate_extraction_corpus
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = movie_kg(seed=2)
+    corpus = generate_extraction_corpus(ds, n_sentences=60, seed=1, variation=0.3)
+    train, test = corpus.split(0.5)
+    return ds, corpus, train, test
+
+
+class TestGazetteer:
+    def test_finds_dictionary_entities(self):
+        ner = GazetteerNER({"Alice Chen": "Person", "Paris": "City"})
+        result = ner.extract("Alice Chen visited Paris yesterday.")
+        assert ("Alice Chen", "Person") in result.entities
+        assert ("Paris", "City") in result.entities
+
+    def test_misses_unknown_entities(self):
+        ner = GazetteerNER({"Alice Chen": "Person"})
+        result = ner.extract("Bob Silva visited Paris.")
+        assert result.entities == []
+
+    def test_longest_match_wins(self):
+        ner = GazetteerNER({"New York": "City", "New York City": "City"})
+        result = ner.extract("I love New York City")
+        assert ("New York City", "City") in result.entities
+
+    def test_type_filter(self):
+        ner = GazetteerNER({"Paris": "City"})
+        assert ner.extract("Paris", entity_types=["Person"]).entities == []
+
+    def test_from_training_data_coverage(self, setup):
+        _, _, train, _ = setup
+        full = GazetteerNER.from_training_data(train, coverage=1.0)
+        half = GazetteerNER.from_training_data(train, coverage=0.5)
+        assert len(half.gazetteer) < len(full.gazetteer)
+
+
+class TestPromptNER:
+    def test_extracts_with_strong_model(self, setup):
+        ds, corpus, train, test = setup
+        llm = load_model("chatgpt", world=ds.kg, seed=0)
+        ner = PromptNER(llm, corpus.entity_types, examples=train[:4])
+        scores = evaluate_ner(ner, test[:20])
+        assert scores["f1"] > 0.6
+
+    def test_beats_gazetteer_on_recall(self, setup):
+        ds, corpus, train, test = setup
+        llm = load_model("chatgpt", world=ds.kg, seed=0)
+        prompt_ner = PromptNER(llm, corpus.entity_types, examples=train[:4])
+        gazetteer = GazetteerNER.from_training_data(train, coverage=0.6)
+        prompt_scores = evaluate_ner(prompt_ner, test[:25])
+        gazetteer_scores = evaluate_ner(gazetteer, test[:25])
+        assert prompt_scores["recall"] > gazetteer_scores["recall"]
+
+    def test_definitions_do_not_hurt(self, setup):
+        ds, corpus, train, test = setup
+        llm = load_model("bert-base", world=ds.kg, seed=0)
+        plain = PromptNER(llm, corpus.entity_types)
+        with_defs = PromptNER(llm, corpus.entity_types,
+                              definitions={t: f"a {t}" for t in corpus.entity_types})
+        plain_scores = evaluate_ner(plain, test[:20])
+        defs_scores = evaluate_ner(with_defs, test[:20])
+        assert defs_scores["f1"] >= plain_scores["f1"] - 0.1
+
+
+class TestInstructionTuned:
+    def test_distillation_helps_weak_model(self, setup):
+        ds, corpus, train, test = setup
+        base = load_model("bert-base", world=ds.kg, seed=3)
+        tuned = load_model("bert-base", world=ds.kg, seed=3)
+        base_ner = InstructionTunedNER(base, corpus.entity_types)
+        tuned_ner = InstructionTunedNER(tuned, corpus.entity_types)
+        tuned_ner.distill(train * 10)  # plenty of instruction data
+        base_scores = evaluate_ner(base_ner, test[:25])
+        tuned_scores = evaluate_ner(tuned_ner, test[:25])
+        assert tuned_scores["f1"] >= base_scores["f1"]
+
+
+class TestEvaluate:
+    def test_untyped_scoring_ignores_types(self, setup):
+        ds, corpus, train, test = setup
+        gazetteer = GazetteerNER.from_training_data(train)
+        typed = evaluate_ner(gazetteer, test[:15], typed=True)
+        untyped = evaluate_ner(gazetteer, test[:15], typed=False)
+        assert untyped["f1"] >= typed["f1"]

@@ -1,0 +1,130 @@
+"""Tests for the relation-extraction regimes and their expected ordering."""
+
+import pytest
+
+from repro.construction.relation_extraction import (
+    FewShotICLRelationExtractor,
+    NLIFilteredExtractor,
+    PatternRelationExtractor,
+    RetrievedDemonstrationExtractor,
+    SupervisedFineTunedExtractor,
+    ZeroShotRelationExtractor,
+    evaluate_relation_extraction,
+)
+from repro.kg.datasets import movie_kg
+from repro.llm import load_model
+from repro.text import generate_extraction_corpus
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = movie_kg(seed=2)
+    corpus = generate_extraction_corpus(ds, n_sentences=100, seed=1, variation=0.4)
+    train, test = corpus.split(0.5)
+    return ds, corpus, train, test
+
+
+def fresh_llm(ds, name="chatgpt", seed=0):
+    return load_model(name, world=ds.kg, seed=seed)
+
+
+class TestPatternBaseline:
+    def test_extracts_canonical_phrasing(self, setup):
+        ds, corpus, train, test = setup
+        extractor = PatternRelationExtractor.from_training_data(train)
+        canonical = [s for s in test if not s.is_paraphrase][:10]
+        scores = evaluate_relation_extraction(extractor, canonical)
+        assert scores["recall"] > 0.5
+
+    def test_fails_on_paraphrases(self, setup):
+        ds, corpus, train, test = setup
+        extractor = PatternRelationExtractor.from_training_data(train)
+        paraphrases = [s for s in test if s.is_paraphrase]
+        if paraphrases:
+            scores = evaluate_relation_extraction(extractor, paraphrases)
+            assert scores["recall"] < 0.5
+
+
+class TestLLMRegimes:
+    def test_zero_shot_works(self, setup):
+        ds, corpus, train, test = setup
+        extractor = ZeroShotRelationExtractor(fresh_llm(ds), corpus.relations)
+        scores = evaluate_relation_extraction(extractor, test[:30])
+        assert scores["f1"] > 0.4
+
+    def test_supervised_beats_zero_shot(self, setup):
+        ds, corpus, train, test = setup
+        zero_shot = ZeroShotRelationExtractor(fresh_llm(ds), corpus.relations)
+        supervised = SupervisedFineTunedExtractor(fresh_llm(ds), corpus.relations)
+        supervised.fit(train)
+        zs_scores = evaluate_relation_extraction(zero_shot, test)
+        sup_scores = evaluate_relation_extraction(supervised, test)
+        assert sup_scores["recall"] > zs_scores["recall"]
+
+    def test_retrieved_demos_beat_zero_shot(self, setup):
+        ds, corpus, train, test = setup
+        zero_shot = ZeroShotRelationExtractor(fresh_llm(ds), corpus.relations)
+        retrieved = RetrievedDemonstrationExtractor(
+            fresh_llm(ds), corpus.relations, train, k=5)
+        zs_scores = evaluate_relation_extraction(zero_shot, test)
+        rd_scores = evaluate_relation_extraction(retrieved, test)
+        assert rd_scores["f1"] >= zs_scores["f1"]
+
+    def test_few_shot_demonstrations_parsed(self, setup):
+        ds, corpus, train, test = setup
+        extractor = FewShotICLRelationExtractor(
+            fresh_llm(ds), corpus.relations, train[:5])
+        result = extractor.extract(test[0].text)
+        assert isinstance(result.triples, list)
+
+    def test_retrieval_returns_similar_sentences(self, setup):
+        ds, corpus, train, test = setup
+        extractor = RetrievedDemonstrationExtractor(
+            fresh_llm(ds), corpus.relations, train, k=3)
+        target = test[0]
+        retrieved = extractor.retrieve(target.text)
+        assert len(retrieved) == 3
+        # At least one retrieved demo should share the target's relation.
+        target_relations = {r for _, r, _ in target.triples}
+        demo_relations = {r for s in retrieved for _, r, _ in s.triples}
+        assert target_relations & demo_relations or not target_relations
+
+
+class TestNLIFilter:
+    def test_filter_never_reduces_precision(self, setup):
+        ds, corpus, train, test = setup
+        base = ZeroShotRelationExtractor(
+            fresh_llm(ds, "bert-base", seed=5), corpus.relations)
+        filtered = NLIFilteredExtractor(base, fresh_llm(ds))
+        base_scores = evaluate_relation_extraction(base, test[:25])
+        filtered_scores = evaluate_relation_extraction(filtered, test[:25])
+        assert filtered_scores["precision"] >= base_scores["precision"] - 0.02
+
+    def test_filter_drops_unsupported_triples(self, setup):
+        ds, corpus, train, test = setup
+
+        class FabricatingExtractor:
+            def extract(self, sentence):
+                from repro.construction.relation_extraction import REResult
+                return REResult(sentence, [("Nonexistent Movie", "directed by",
+                                            "Nobody Special")])
+
+        filtered = NLIFilteredExtractor(FabricatingExtractor(), fresh_llm(ds))
+        result = filtered.extract(test[0].text)
+        assert result.triples == []
+
+
+class TestEvaluation:
+    def test_perfect_extractor_scores_one(self, setup):
+        ds, corpus, train, test = setup
+
+        class Oracle:
+            def __init__(self):
+                self._gold = {s.text: s.triples for s in test}
+
+            def extract(self, sentence):
+                from repro.construction.relation_extraction import REResult
+                return REResult(sentence, list(self._gold.get(sentence, [])))
+
+        scores = evaluate_relation_extraction(Oracle(), test[:10])
+        assert scores["f1"] == 1.0

@@ -1,0 +1,83 @@
+"""Tests for temporal relation extraction (survey §2.1.3, Yuan et al.)."""
+
+import pytest
+
+from repro.construction.temporal import (
+    CueWordTemporalExtractor, KnowledgeGroundedTemporalExtractor,
+    TemporalRelation, ZeroShotTemporalExtractor, evaluate_temporal,
+    generate_temporal_corpus,
+)
+from repro.kg.datasets import movie_kg
+from repro.llm import load_model
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = movie_kg(seed=3)
+    corpus = generate_temporal_corpus(ds, n_sentences=40, seed=1)
+    llm = load_model("chatgpt", world=ds.kg, seed=0)
+    return ds, corpus, llm
+
+
+class TestCorpus:
+    def test_gold_order_matches_release_years(self, setup):
+        ds, corpus, _ = setup
+        from repro.kg.datasets import SCHEMA
+        for sentence in corpus:
+            earlier = ds.kg.find_by_label(sentence.gold.earlier)[0]
+            later = ds.kg.find_by_label(sentence.gold.later)[0]
+            year_earlier = int(ds.kg.store.value(earlier, SCHEMA.releaseYear).lexical)
+            year_later = int(ds.kg.store.value(later, SCHEMA.releaseYear).lexical)
+            assert year_earlier < year_later
+
+    def test_long_and_short_both_present(self, setup):
+        _, corpus, _ = setup
+        lengths = [s.dependency_tokens for s in corpus]
+        assert min(lengths) <= 4 and max(lengths) > 8
+
+    def test_deterministic(self, setup):
+        ds, corpus, _ = setup
+        again = generate_temporal_corpus(ds, n_sentences=40, seed=1)
+        assert [s.text for s in again] == [s.text for s in corpus]
+
+    def test_inverted_sentences_exist(self, setup):
+        _, corpus, _ = setup
+        assert any(s.inverted for s in corpus)
+        assert any(not s.inverted for s in corpus)
+
+
+class TestExtractors:
+    def test_baseline_fails_on_inversion(self, setup):
+        _, corpus, _ = setup
+        baseline = CueWordTemporalExtractor()
+        inverted = [s for s in corpus if s.inverted]
+        wrong = sum(1 for s in inverted
+                    if baseline.extract(s.text) != s.gold)
+        assert wrong == len(inverted)  # systematically wrong
+
+    def test_llm_beats_baseline_overall(self, setup):
+        _, corpus, llm = setup
+        baseline_scores = evaluate_temporal(CueWordTemporalExtractor(), corpus)
+        llm_scores = evaluate_temporal(ZeroShotTemporalExtractor(llm), corpus)
+        assert llm_scores["all"] > baseline_scores["all"]
+
+    def test_long_dependency_degradation(self, setup):
+        """The Yuan et al. finding the survey quotes."""
+        _, corpus, llm = setup
+        scores = evaluate_temporal(ZeroShotTemporalExtractor(llm), corpus)
+        assert scores["short"] > scores["long"] + 0.2
+
+    def test_kg_grounding_repairs_long_dependencies(self, setup):
+        ds, corpus, llm = setup
+        grounded = KnowledgeGroundedTemporalExtractor(llm, ds.kg)
+        scores = evaluate_temporal(grounded, corpus)
+        assert scores["long"] == 1.0
+        assert scores["all"] == 1.0
+
+    def test_no_mentions_returns_none(self, setup):
+        _, _, llm = setup
+        assert ZeroShotTemporalExtractor(llm).extract("nothing here") is None
+
+    def test_relation_equality(self):
+        assert TemporalRelation("A", "B") == TemporalRelation("A", "B")
+        assert TemporalRelation("A", "B") != TemporalRelation("B", "A")

@@ -1,0 +1,55 @@
+"""Tests for the pipeline abstraction."""
+
+import pytest
+
+from repro.core import Pipeline, PipelineContext
+
+
+class TestPipeline:
+    def test_stages_run_in_order(self):
+        order = []
+        pipeline = (Pipeline("p")
+                    .add("first", lambda ctx: order.append(1))
+                    .add("second", lambda ctx: order.append(2)))
+        pipeline.execute()
+        assert order == [1, 2]
+
+    def test_context_threads_data(self):
+        def double(ctx):
+            ctx["x"] = ctx["x"] * 2
+
+        pipeline = Pipeline("p").add("double", double)
+        context = pipeline.execute(x=21)
+        assert context["x"] == 42
+
+    def test_initial_kwargs_seed_context(self):
+        context = Pipeline("p").execute(a=1, b="two")
+        assert context["a"] == 1 and context["b"] == "two"
+
+    def test_trace_records_every_stage(self):
+        pipeline = Pipeline("p").add("s1", lambda c: None).add("s2", lambda c: None)
+        context = pipeline.execute()
+        assert [name for name, _ in context.trace] == ["s1", "s2"]
+        assert all(duration >= 0 for _, duration in context.trace)
+
+    def test_stage_names(self):
+        pipeline = Pipeline("p").add("a", lambda c: None).add("b", lambda c: None)
+        assert pipeline.stage_names() == ["a", "b"]
+
+    def test_exception_propagates(self):
+        def boom(ctx):
+            raise RuntimeError("stage failure")
+
+        pipeline = Pipeline("p").add("boom", boom)
+        with pytest.raises(RuntimeError, match="stage failure"):
+            pipeline.execute()
+
+
+class TestContext:
+    def test_get_with_default(self):
+        context = PipelineContext()
+        assert context.get("missing", "fallback") == "fallback"
+
+    def test_getitem_raises_on_missing(self):
+        with pytest.raises(KeyError):
+            PipelineContext()["missing"]

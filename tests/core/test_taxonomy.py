@@ -1,0 +1,62 @@
+"""Tests for the Figure-1 taxonomy and the RQ registry."""
+
+import importlib
+
+import pytest
+
+from repro.core import (
+    FIGURE1_TAXONOMY, RESEARCH_QUESTIONS, InterplayType, iter_nodes,
+)
+
+
+class TestTaxonomyShape:
+    def test_three_top_level_categories(self):
+        names = [c.name for c in FIGURE1_TAXONOMY.children]
+        assert names == [t.value for t in InterplayType]
+
+    def test_find_by_name(self):
+        node = FIGURE1_TAXONOMY.find("Fact Checking")
+        assert node is not None and node.research_question == 4
+
+    def test_find_missing_is_none(self):
+        assert FIGURE1_TAXONOMY.find("Quantum Widgets") is None
+
+    def test_novel_topics_match_paper(self):
+        # The paper stars: validation topics and all five KGQA subtopics.
+        novel = {n.name for n in iter_nodes() if n.novel}
+        assert "Fact Checking" in novel
+        assert "Inconsistency Detection" in novel
+        assert "KG Chatbots" in novel
+        assert "Querying LLMs with SPARQL" in novel
+
+    def test_every_rq_number_appears_in_tree(self):
+        flagged = {n.research_question for n in iter_nodes()
+                   if n.research_question is not None}
+        assert flagged == {1, 2, 3, 4, 5, 6}
+
+    def test_iter_nodes_preorder(self):
+        names = [n.name for n in iter_nodes()]
+        assert names[0] == "LLM-KG Interplay"
+        assert names[1] == InterplayType.LLM_FOR_KG.value
+
+
+class TestResearchQuestions:
+    def test_six_questions(self):
+        assert [rq.number for rq in RESEARCH_QUESTIONS] == [1, 2, 3, 4, 5, 6]
+
+    def test_modules_exist(self):
+        for rq in RESEARCH_QUESTIONS:
+            importlib.import_module(rq.module.rsplit(".", 0)[0].split(".")[0])
+            # Full module import is checked once the task packages exist:
+            importlib.import_module(rq.module)
+
+    def test_experiment_paths_are_benchmarks(self):
+        for rq in RESEARCH_QUESTIONS:
+            assert rq.experiment.startswith("benchmarks/")
+
+
+class TestModuleMapping:
+    def test_all_leaf_modules_importable(self):
+        for node in iter_nodes():
+            if node.module:
+                importlib.import_module(node.module)

@@ -1,0 +1,73 @@
+"""Tests for hierarchical GraphRAG communities."""
+
+import pytest
+
+from repro.enhanced import GraphRAG
+from repro.kg.datasets import enterprise_kg, SCHEMA
+from repro.kg.triples import IRI
+from repro.llm import load_model
+
+
+@pytest.fixture(scope="module")
+def graph_rag():
+    ds = enterprise_kg(seed=0)
+    llm = load_model("chatgpt", world=ds.kg, seed=0,
+                     knowledge_coverage=0.0, hallucination_rate=0.0)
+    rag = GraphRAG(llm, ds.kg)
+    rag.build(levels=2)
+    return ds, rag
+
+
+class TestHierarchy:
+    def test_two_levels_produce_children(self, graph_rag):
+        _, rag = graph_rag
+        assert any(c.children for c in rag.communities)
+
+    def test_leaves_finer_than_top(self, graph_rag):
+        _, rag = graph_rag
+        assert len(rag.leaves()) > len(rag.communities)
+
+    def test_children_partition_parent_entities(self, graph_rag):
+        _, rag = graph_rag
+        for community in rag.communities:
+            if not community.children:
+                continue
+            child_entities = [e for child in community.children
+                              for e in child.entities]
+            assert sorted(child_entities, key=lambda e: e.value) == \
+                sorted(community.entities, key=lambda e: e.value)
+
+    def test_levels_recorded(self, graph_rag):
+        _, rag = graph_rag
+        assert all(c.level == 0 for c in rag.communities)
+        for community in rag.communities:
+            assert all(child.level == 1 for child in community.children)
+
+    def test_unique_community_ids(self, graph_rag):
+        _, rag = graph_rag
+        ids = [c.community_id for c in rag.communities]
+        ids += [child.community_id for c in rag.communities
+                for child in c.children]
+        assert len(ids) == len(set(ids))
+
+    def test_single_level_build_has_no_children(self):
+        ds = enterprise_kg(seed=0)
+        llm = load_model("chatgpt", world=ds.kg, seed=0)
+        rag = GraphRAG(llm, ds.kg)
+        rag.build(levels=1)
+        assert all(not c.children for c in rag.communities)
+
+    def test_every_leaf_has_a_summary(self, graph_rag):
+        _, rag = graph_rag
+        assert all(leaf.summary for leaf in rag.leaves())
+
+
+class TestHierarchicalAnswering:
+    def test_both_granularities_answer_global_questions(self, graph_rag):
+        ds, rag = graph_rag
+        managers = [ds.kg.label(ds.kg.store.subjects(SCHEMA.manages, IRI(d))[0])
+                    for d in ds.metadata["departments"]]
+        for granularity in ("top", "leaf"):
+            answer = rag.answer_global("Who manages each department?",
+                                       granularity=granularity)
+            assert rag.coverage_of(managers, answer) >= 0.5, granularity

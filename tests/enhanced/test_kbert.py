@@ -1,0 +1,94 @@
+"""Tests for K-BERT / Sem-K-BERT / Dict-BERT input enrichment."""
+
+import pytest
+
+from repro.enhanced import (
+    DictionaryInjection, KnowledgeInjectionLayer, SemanticFilteredInjection,
+)
+from repro.kg.datasets import movie_kg
+from repro.llm import load_model
+from repro.llm.prompts import parse_qa_response, qa_prompt
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = movie_kg(seed=3)
+    llm = load_model("chatgpt", world=ds.kg, seed=0)
+    return ds, llm
+
+
+class TestKnowledgeInjection:
+    def test_injects_facts_after_mentions(self, setup):
+        ds, llm = setup
+        layer = KnowledgeInjectionLayer(ds.kg, llm)
+        enriched = layer.inject("I watched The Silent Horizon yesterday.")
+        assert "[" in enriched and "]" in enriched
+        assert enriched.startswith("I watched The Silent Horizon [")
+
+    def test_no_mentions_means_no_change(self, setup):
+        ds, llm = setup
+        layer = KnowledgeInjectionLayer(ds.kg, llm)
+        text = "nothing recognizable here at all"
+        assert layer.inject(text) == text
+
+    def test_respects_fact_budget(self, setup):
+        ds, llm = setup
+        layer = KnowledgeInjectionLayer(ds.kg, llm, facts_per_entity=1)
+        enriched = layer.inject("The Silent Horizon.")
+        bracket = enriched[enriched.index("[") + 1:enriched.index("]")]
+        assert bracket.count(".") <= 1
+
+    def test_enables_downstream_qa(self, setup):
+        ds, _ = setup
+        # A model with no world facts cannot answer; with K-BERT enrichment
+        # of the *question*, the knowledge arrives through the input.
+        blank = load_model("chatgpt", world=ds.kg, seed=0,
+                           knowledge_coverage=0.0, hallucination_rate=0.0)
+        question = "Who directed by The Silent Horizon?"
+        bare = parse_qa_response(blank.complete(qa_prompt(question)).text)
+        layer = KnowledgeInjectionLayer(ds.kg, blank, facts_per_entity=5)
+        enriched_context = layer.inject("The Silent Horizon.")
+        grounded = parse_qa_response(
+            blank.complete(qa_prompt(question, context=enriched_context)).text)
+        assert bare == "unknown"
+        assert grounded != "unknown"
+
+
+class TestSemanticFilter:
+    def test_keeps_relevant_facts(self, setup):
+        ds, llm = setup
+        layer = SemanticFilteredInjection(ds.kg, llm, threshold=0.05)
+        enriched = layer.inject("Who directed The Silent Horizon?")
+        assert "directed" in enriched.lower()
+
+    def test_filters_more_than_plain_injection(self, setup):
+        ds, llm = setup
+        plain = KnowledgeInjectionLayer(ds.kg, llm, facts_per_entity=5)
+        filtered = SemanticFilteredInjection(ds.kg, llm, facts_per_entity=5,
+                                             threshold=0.5)
+        sentence = "The Silent Horizon."
+        assert len(filtered.inject(sentence)) <= len(plain.inject(sentence))
+
+
+class TestDictionary:
+    DICT = {"ontology": "a formal specification of concepts",
+            "cat": "a small domestic feline"}
+
+    def test_rare_word_defined(self):
+        injector = DictionaryInjection(self.DICT, corpus=["the cat sat"] * 5)
+        out = injector.inject("the ontology grew")
+        assert "Definitions:" in out and "formal specification" in out
+
+    def test_common_word_not_defined(self):
+        injector = DictionaryInjection(self.DICT, corpus=["the cat sat"] * 5)
+        out = injector.inject("the cat sat")
+        assert "Definitions:" not in out
+
+    def test_unknown_word_ignored(self):
+        injector = DictionaryInjection(self.DICT)
+        assert injector.inject("zyzzyva runs") == "zyzzyva runs"
+
+    def test_duplicate_words_defined_once(self):
+        injector = DictionaryInjection(self.DICT)
+        out = injector.inject("ontology ontology")
+        assert out.count("formal specification") == 1

@@ -1,0 +1,164 @@
+"""Tests for Naive/Advanced/Modular RAG and GraphRAG (E-RAG shape)."""
+
+import pytest
+
+from repro.enhanced import (
+    AdvancedRAG, DocumentChunker, GraphRAG, KnowledgeGPT, ModularRAG, NaiveRAG,
+)
+from repro.kg.datasets import enterprise_kg, SCHEMA
+from repro.kg.triples import IRI
+from repro.llm import load_model
+from repro.llm.prompts import parse_qa_response, qa_prompt
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = enterprise_kg(seed=0)
+    # The RAG subject must not already know the answers: zero coverage.
+    llm = load_model("chatgpt", world=ds.kg, seed=0,
+                     knowledge_coverage=0.0, hallucination_rate=0.0)
+    return ds, llm, ds.metadata["documents"]
+
+
+def manager_questions(ds):
+    out = []
+    for dept_value in ds.metadata["departments"]:
+        dept = IRI(dept_value)
+        manager = ds.kg.store.subjects(SCHEMA.manages, dept)[0]
+        out.append((f"Who manages {ds.kg.label(dept)}?", ds.kg.label(manager)))
+    return out
+
+
+class TestChunker:
+    def test_overlapping_windows(self):
+        chunker = DocumentChunker(sentences_per_chunk=3, overlap=1)
+        text = "One. Two. Three. Four. Five."
+        chunks = DocumentChunker(3, 1).chunk("d", text)
+        assert len(chunks) >= 2
+        assert "Three." in chunks[0].text and "Three." in chunks[1].text
+
+    def test_empty_document(self):
+        assert DocumentChunker().chunk("d", "") == []
+
+    def test_invalid_overlap(self):
+        with pytest.raises(ValueError):
+            DocumentChunker(sentences_per_chunk=2, overlap=2)
+
+
+class TestNaiveRAG:
+    def test_beats_closed_book_on_local_questions(self, setup):
+        ds, llm, docs = setup
+        rag = NaiveRAG(llm)
+        rag.index_documents(docs)
+        questions = manager_questions(ds)
+        closed = sum(
+            parse_qa_response(llm.complete(qa_prompt(q)).text) == gold
+            for q, gold in questions)
+        raged = sum(rag.answer(q) == gold for q, gold in questions)
+        assert closed == 0
+        assert raged >= len(questions) - 1
+
+    def test_retrieval_returns_relevant_chunk(self, setup):
+        ds, llm, docs = setup
+        rag = NaiveRAG(llm)
+        rag.index_documents(docs)
+        question, gold = manager_questions(ds)[0]
+        retrieved = rag.retrieve(question)
+        assert any(gold in chunk.text for chunk in retrieved)
+
+    def test_pipeline_stage_names(self, setup):
+        ds, llm, docs = setup
+        rag = NaiveRAG(llm)
+        assert rag.pipeline.stage_names() == ["retrieval", "generation"]
+
+
+class TestAdvancedRAG:
+    def test_at_least_matches_naive(self, setup):
+        ds, llm, docs = setup
+        naive = NaiveRAG(llm)
+        naive.index_documents(docs)
+        advanced = AdvancedRAG(llm)
+        advanced.index_documents(docs)
+        questions = manager_questions(ds)
+        naive_score = sum(naive.answer(q) == gold for q, gold in questions)
+        advanced_score = sum(advanced.answer(q) == gold for q, gold in questions)
+        assert advanced_score >= naive_score
+
+    def test_dedup_removes_near_duplicates(self, setup):
+        ds, llm, docs = setup
+        advanced = AdvancedRAG(llm, top_k=4)
+        duplicated = docs + [(doc_id + "-copy", text) for doc_id, text in docs]
+        advanced.index_documents(duplicated)
+        question, _ = manager_questions(ds)[0]
+        retrieved = advanced.retrieve(question)
+        texts = [c.text for c in retrieved]
+        assert len(set(texts)) == len(texts)
+
+
+class TestModularRAG:
+    def test_kg_module_answers_without_documents(self, setup):
+        ds, llm, docs = setup
+        modular = ModularRAG(llm, kg=ds.kg)  # note: *no* documents indexed
+        question, gold = manager_questions(ds)[0]
+        assert modular.answer(question) == gold
+
+    def test_custom_retriever_plugs_in(self, setup):
+        ds, llm, docs = setup
+        modular = ModularRAG(llm)
+        modular.add_retriever(lambda q: ["Wei Tanaka manages Engineering."])
+        assert modular.answer("Who manages Engineering?") == "Wei Tanaka"
+
+
+class TestGraphRAG:
+    def test_communities_partition_entities(self, setup):
+        ds, llm, _ = setup
+        graph_rag = GraphRAG(llm, ds.kg)
+        communities = graph_rag.build()
+        assert len(communities) >= 2
+        all_entities = [e for c in communities for e in c.entities]
+        assert len(all_entities) == len(set(all_entities))
+
+    def test_global_question_beats_naive_rag(self, setup):
+        ds, llm, docs = setup
+        graph_rag = GraphRAG(llm, ds.kg)
+        graph_rag.build()
+        naive = NaiveRAG(llm)
+        naive.index_documents(docs)
+        question = "Who manages each department?"
+        managers = [ds.kg.label(ds.kg.store.subjects(SCHEMA.manages, IRI(d))[0])
+                    for d in ds.metadata["departments"]]
+        graph_answer = graph_rag.answer_global(question)
+        naive_answer = naive.answer(question)
+        graph_coverage = graph_rag.coverage_of(managers, graph_answer)
+        naive_coverage = graph_rag.coverage_of(managers, naive_answer)
+        assert graph_coverage > naive_coverage
+        assert graph_coverage >= 0.5
+
+    def test_local_question_routes_to_community(self, setup):
+        ds, llm, _ = setup
+        graph_rag = GraphRAG(llm, ds.kg)
+        graph_rag.build()
+        question, gold = manager_questions(ds)[0]
+        assert graph_rag.answer_local(question) == gold
+
+
+class TestKnowledgeGPT:
+    def test_program_generated_for_groundable_question(self, setup):
+        ds, llm, _ = setup
+        kgpt = KnowledgeGPT(llm, ds.kg)
+        program = kgpt.generate_program("Who manages Engineering?")
+        assert program is not None
+        assert program.search == "Engineering"
+        assert "SEARCH" in program.render() and "FOLLOW" in program.render()
+
+    def test_end_to_end_answer(self, setup):
+        ds, llm, _ = setup
+        kgpt = KnowledgeGPT(llm, ds.kg)
+        question, gold = manager_questions(ds)[0]
+        assert kgpt.answer(question) == gold
+
+    def test_ungroundable_question_returns_unknown(self, setup):
+        ds, llm, _ = setup
+        kgpt = KnowledgeGPT(llm, ds.kg)
+        assert kgpt.generate_program("why is the sky blue") is None
+        assert kgpt.answer("why is the sky blue") == "unknown"

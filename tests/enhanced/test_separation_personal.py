@@ -1,0 +1,103 @@
+"""Tests for the §5.2 extensions: knowledge separation and personal KGs."""
+
+import pytest
+
+from repro.enhanced import (
+    KnowledgeSeparatedAssistant, PersonalAssistant, build_personal_kg,
+    compare_against_closed_book,
+)
+from repro.kg.datasets import movie_kg
+from repro.llm import load_model
+from repro.qa import generate_multihop_questions
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = movie_kg(seed=3)
+    questions = generate_multihop_questions(ds, n=12, hops=1, seed=2)
+    return ds, questions
+
+
+class TestKnowledgeSeparation:
+    def test_backbone_is_fact_free(self, setup):
+        ds, _ = setup
+        assistant = KnowledgeSeparatedAssistant.build(ds.kg)
+        # No instance facts should live in the parametric memory.
+        from repro.kg.datasets import SCHEMA
+        assert not assistant.backbone.memory.match(None, SCHEMA.directedBy, None)
+
+    def test_retrieval_grounds_answers(self, setup):
+        ds, questions = setup
+        assistant = KnowledgeSeparatedAssistant.build(ds.kg)
+        question = questions[0]
+        answer = assistant.answer(question.text)
+        gold = {ds.kg.label(a).lower() for a in question.answers}
+        assert {p.strip().lower() for p in answer.split(",")} & gold
+
+    def test_small_plus_kg_beats_large_closed_book(self, setup):
+        ds, questions = setup
+        reports = compare_against_closed_book(ds.kg, questions)
+        by_name = {r.system: r for r in reports}
+        large = by_name["gpt-3 closed-book"]
+        separated = by_name["bert-base + KG (separated)"]
+        assert separated.accuracy >= large.accuracy
+        # ...at a >1000x parameter discount — the §5.2 pitch.
+        assert separated.n_parameters * 1000 < large.n_parameters
+
+    def test_separated_beats_small_closed_book(self, setup):
+        ds, questions = setup
+        reports = compare_against_closed_book(ds.kg, questions)
+        by_name = {r.system: r for r in reports}
+        assert by_name["bert-base + KG (separated)"].accuracy > \
+            by_name["bert-base closed-book"].accuracy
+
+
+class TestPersonalAssistant:
+    FACTS = [
+        ("Alice", "works for", "Globex Corp"),
+        ("Alice", "dentist appointment on", "Tuesday"),
+        ("Mom", "birthday on", "March 3"),
+    ]
+    HISTORY = [
+        "hey! sounds good, see you then :)",
+        "hey! running late, be there soon :)",
+        "sounds good, thanks a ton :)",
+    ]
+
+    @pytest.fixture
+    def assistant(self):
+        kg = build_personal_kg("alice", self.FACTS)
+        backbone = load_model("bert-base", world=kg, seed=0,
+                              knowledge_coverage=0.0, hallucination_rate=0.0)
+        return PersonalAssistant(backbone, kg, message_history=self.HISTORY)
+
+    def test_private_fact_answered_from_personal_kg(self, assistant):
+        reply = assistant.answer("What works for Alice?")
+        assert reply.text == "Globex Corp"
+        assert reply.grounded
+
+    def test_unknown_fact_abstains(self, assistant):
+        reply = assistant.answer("What works for Zorp?")
+        assert reply.text == "unknown"
+        assert not reply.grounded
+
+    def test_style_model_prefers_owner_voice(self, assistant):
+        own = assistant.style_perplexity("hey! sounds good :)")
+        formal = assistant.style_perplexity(
+            "Dear Sir or Madam, I hereby confirm receipt.")
+        assert own < formal
+
+    def test_styled_reply_is_grounded_and_styled(self, assistant):
+        reply = assistant.reply_to("What birthday on Mom?")
+        assert reply.grounded and reply.styled
+        assert "March 3" in reply.text
+
+    def test_deterministic_drafting(self, assistant):
+        a = assistant.draft_in_style("see you")
+        b = assistant.draft_in_style("see you")
+        assert a == b
+
+    def test_build_personal_kg_labels_everything(self):
+        kg = build_personal_kg("x", self.FACTS)
+        for entity in kg.store.entities():
+            assert kg.label(entity)

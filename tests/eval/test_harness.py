@@ -1,0 +1,41 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.eval import ResultTable
+
+
+class TestResultTable:
+    def test_add_and_get(self):
+        table = ResultTable("T", ["f1"])
+        table.add("sys-a", f1=0.5)
+        assert table.get("sys-a").metric("f1") == 0.5
+
+    def test_unknown_metric_rejected(self):
+        table = ResultTable("T", ["f1"])
+        with pytest.raises(KeyError):
+            table.add("sys", nope=1)
+
+    def test_get_missing_system_raises(self):
+        with pytest.raises(KeyError):
+            ResultTable("T", ["x"]).get("ghost")
+
+    def test_render_contains_all_rows(self):
+        table = ResultTable("My Table", ["acc", "n"])
+        table.add("baseline", acc=0.125, n=10)
+        table.add("ours", acc=0.999, n=10)
+        text = table.render()
+        assert "My Table" in text
+        assert "baseline" in text and "ours" in text
+        assert "0.125" in text and "0.999" in text
+
+    def test_render_handles_missing_cells(self):
+        table = ResultTable("T", ["a", "b"])
+        table.add("partial", a=1)
+        assert "partial" in table.render()
+
+    def test_metric_missing_raises(self):
+        table = ResultTable("T", ["a"])
+        row = table.add("s", a=1)
+        with pytest.raises(KeyError):
+            row.metric("b")

@@ -1,0 +1,150 @@
+"""Unit + property tests for evaluation metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    accuracy, bleu, exact_match, hits_at_k, mean_reciprocal_rank,
+    precision_recall_f1, rouge_l, token_f1,
+)
+
+
+class TestPRF:
+    def test_perfect(self):
+        scores = precision_recall_f1({"a", "b"}, {"a", "b"})
+        assert scores == {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+
+    def test_disjoint(self):
+        scores = precision_recall_f1({"a"}, {"b"})
+        assert scores["f1"] == 0.0
+
+    def test_partial(self):
+        scores = precision_recall_f1({"a", "b"}, {"a", "c", "d"})
+        assert scores["precision"] == 0.5
+        assert scores["recall"] == pytest.approx(1 / 3)
+
+    def test_both_empty_is_perfect(self):
+        assert precision_recall_f1([], [])["f1"] == 1.0
+
+    def test_empty_prediction(self):
+        assert precision_recall_f1([], {"a"})["recall"] == 0.0
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy([1, 2, 3], [1, 0, 3]) == pytest.approx(2 / 3)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1], [1, 2])
+
+    def test_empty(self):
+        assert accuracy([], []) == 1.0
+
+
+class TestQaMetrics:
+    def test_exact_match_normalizes(self):
+        assert exact_match("  Paris ", "paris")
+
+    def test_token_f1_partial(self):
+        assert 0.0 < token_f1("the city of Paris", "Paris") < 1.0
+
+    def test_token_f1_no_overlap(self):
+        assert token_f1("London", "Paris") == 0.0
+
+    def test_token_f1_identical(self):
+        assert token_f1("New York City", "new york city") == 1.0
+
+
+class TestBleu:
+    def test_identical_is_one(self):
+        assert bleu("the cat sat on the mat", ["the cat sat on the mat"]) == \
+            pytest.approx(1.0)
+
+    def test_overlapping_beats_disjoint(self):
+        reference = ["the movie was directed by John Smith"]
+        good = bleu("the movie was directed by John Smith", reference)
+        partial = bleu("the movie directed John", reference)
+        bad = bleu("purple elephants dancing", reference)
+        assert good > partial > bad
+
+    def test_empty_prediction_is_zero(self):
+        assert bleu("", ["reference"]) == 0.0
+
+    def test_multiple_references_take_best(self):
+        one_ref = bleu("the cat", ["a dog"])
+        two_refs = bleu("the cat", ["a dog", "the cat"])
+        assert two_refs > one_ref
+
+    def test_bounded(self):
+        assert 0.0 <= bleu("some words here", ["other words there"]) <= 1.0
+
+
+class TestRougeL:
+    def test_identical(self):
+        assert rouge_l("a b c", "a b c") == 1.0
+
+    def test_subsequence(self):
+        assert rouge_l("a x b y c", "a b c") > 0.5
+
+    def test_disjoint(self):
+        assert rouge_l("a b", "c d") == 0.0
+
+    def test_both_empty(self):
+        assert rouge_l("", "") == 1.0
+
+
+class TestRankMetrics:
+    def test_mrr(self):
+        assert mean_reciprocal_rank([1, 2, 4]) == pytest.approx((1 + 0.5 + 0.25) / 3)
+
+    def test_mrr_miss_is_zero_contribution(self):
+        assert mean_reciprocal_rank([1, 0]) == pytest.approx(0.5)
+
+    def test_mrr_empty(self):
+        assert mean_reciprocal_rank([]) == 0.0
+
+    def test_hits_at_k(self):
+        assert hits_at_k([1, 3, 11], 10) == pytest.approx(2 / 3)
+
+    def test_hits_monotone_in_k(self):
+        ranks = [1, 5, 9, 20]
+        assert hits_at_k(ranks, 1) <= hits_at_k(ranks, 10) <= hits_at_k(ranks, 100)
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+_items = st.sets(st.integers(0, 20), max_size=10)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pred=_items, gold=_items)
+def test_prf_bounds_and_symmetry(pred, gold):
+    scores = precision_recall_f1(pred, gold)
+    for value in scores.values():
+        assert 0.0 <= value <= 1.0
+    flipped = precision_recall_f1(gold, pred)
+    assert scores["precision"] == pytest.approx(flipped["recall"])
+    assert scores["f1"] == pytest.approx(flipped["f1"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(words=st.lists(st.sampled_from("a b c d e".split()), min_size=1, max_size=10))
+def test_identity_maximizes_generation_metrics(words):
+    text = " ".join(words)
+    assert rouge_l(text, text) == 1.0
+    assert token_f1(text, text) == 1.0
+    if len(words) >= 4:  # shorter texts lack higher-order n-grams → smoothed
+        assert bleu(text, [text]) == pytest.approx(1.0)
+    else:
+        assert bleu(text, [text]) >= bleu(text, ["z z z z"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(ranks=st.lists(st.integers(0, 50), max_size=20), k=st.integers(1, 50))
+def test_rank_metric_bounds(ranks, k):
+    assert 0.0 <= mean_reciprocal_rank(ranks) <= 1.0
+    assert 0.0 <= hits_at_k(ranks, k) <= 1.0

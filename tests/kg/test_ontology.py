@@ -1,0 +1,171 @@
+"""Unit + property tests for the ontology model and RDFS closure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg.ontology import Ontology, PropertyCharacteristic
+from repro.kg.store import TripleStore
+from repro.kg.triples import IRI, Namespace, RDF, Triple
+
+S = Namespace("http://repro.dev/schema/")
+E = Namespace("http://repro.dev/kg/")
+
+
+@pytest.fixture
+def onto():
+    o = Ontology("test")
+    o.add_class(S.Agent)
+    o.add_class(S.Person, parents=[S.Agent])
+    o.add_class(S.Employee, parents=[S.Person])
+    o.add_class(S.Place)
+    o.set_disjoint(S.Person, S.Place)
+    o.add_property(S.bornIn, domain=S.Person, range=S.Place,
+                   characteristics=[PropertyCharacteristic.FUNCTIONAL])
+    o.add_property(S.knows, domain=S.Person, range=S.Person,
+                   characteristics=[PropertyCharacteristic.SYMMETRIC])
+    o.add_property(S.ancestorOf,
+                   characteristics=[PropertyCharacteristic.TRANSITIVE])
+    o.add_property(S.parentOf, inverse_of=S.childOf)
+    return o
+
+
+class TestHierarchy:
+    def test_superclasses_transitive(self, onto):
+        assert onto.superclasses(S.Employee) == {S.Person, S.Agent}
+
+    def test_superclasses_include_self(self, onto):
+        assert S.Employee in onto.superclasses(S.Employee, include_self=True)
+
+    def test_subclasses(self, onto):
+        assert onto.subclasses(S.Agent) == {S.Person, S.Employee}
+
+    def test_is_subclass_reflexive(self, onto):
+        assert onto.is_subclass_of(S.Person, S.Person)
+
+    def test_is_subclass_transitive(self, onto):
+        assert onto.is_subclass_of(S.Employee, S.Agent)
+        assert not onto.is_subclass_of(S.Agent, S.Employee)
+
+    def test_roots(self, onto):
+        assert S.Agent in onto.roots()
+        assert S.Person not in onto.roots()
+
+    def test_depth(self, onto):
+        assert onto.depth(S.Agent) == 0
+        assert onto.depth(S.Employee) == 2
+
+    def test_disjointness_is_symmetric(self, onto):
+        assert onto.are_disjoint(S.Person, S.Place)
+        assert onto.are_disjoint(S.Place, S.Person)
+
+    def test_disjointness_inherited_by_subclasses(self, onto):
+        assert onto.are_disjoint(S.Employee, S.Place)
+
+    def test_not_disjoint(self, onto):
+        assert not onto.are_disjoint(S.Person, S.Agent)
+
+
+class TestClosure:
+    def test_type_propagates_up_hierarchy(self, onto):
+        store = TripleStore([Triple(E.alice, RDF.type, S.Employee)])
+        closed = onto.rdfs_closure(store)
+        assert Triple(E.alice, RDF.type, S.Person) in closed
+        assert Triple(E.alice, RDF.type, S.Agent) in closed
+
+    def test_domain_range_inference(self, onto):
+        store = TripleStore([Triple(E.alice, S.bornIn, E.paris)])
+        closed = onto.rdfs_closure(store)
+        assert Triple(E.alice, RDF.type, S.Person) in closed
+        assert Triple(E.paris, RDF.type, S.Place) in closed
+
+    def test_symmetric_property(self, onto):
+        store = TripleStore([Triple(E.alice, S.knows, E.bob)])
+        closed = onto.rdfs_closure(store)
+        assert Triple(E.bob, S.knows, E.alice) in closed
+
+    def test_transitive_property(self, onto):
+        store = TripleStore([
+            Triple(E.a, S.ancestorOf, E.b),
+            Triple(E.b, S.ancestorOf, E.c),
+        ])
+        closed = onto.rdfs_closure(store)
+        assert Triple(E.a, S.ancestorOf, E.c) in closed
+
+    def test_inverse_property(self, onto):
+        store = TripleStore([Triple(E.a, S.parentOf, E.b)])
+        closed = onto.rdfs_closure(store)
+        assert Triple(E.b, S.childOf, E.a) in closed
+
+    def test_closure_does_not_mutate_input(self, onto):
+        store = TripleStore([Triple(E.alice, S.knows, E.bob)])
+        onto.rdfs_closure(store)
+        assert len(store) == 1
+
+    def test_closure_monotone(self, onto):
+        store = TripleStore([Triple(E.alice, S.knows, E.bob)])
+        closed = onto.rdfs_closure(store)
+        assert all(t in closed for t in store)
+
+    def test_closure_idempotent(self, onto):
+        store = TripleStore([
+            Triple(E.alice, RDF.type, S.Employee),
+            Triple(E.a, S.ancestorOf, E.b),
+            Triple(E.b, S.ancestorOf, E.c),
+        ])
+        once = onto.rdfs_closure(store)
+        twice = onto.rdfs_closure(once)
+        assert set(once) == set(twice)
+
+    def test_instance_types_include_inferred(self, onto):
+        store = TripleStore([Triple(E.alice, RDF.type, S.Employee)])
+        assert onto.instance_types(store, E.alice) == {S.Employee, S.Person, S.Agent}
+
+
+class TestSerialization:
+    def test_roundtrip_through_triples(self, onto):
+        rebuilt = Ontology.from_triples(onto.to_triples())
+        assert set(rebuilt.classes) == set(onto.classes)
+        assert set(rebuilt.properties) == set(onto.properties)
+        assert rebuilt.superclasses(S.Employee) == onto.superclasses(S.Employee)
+        assert rebuilt.are_disjoint(S.Person, S.Place)
+        assert rebuilt.properties[S.bornIn].is_functional()
+        assert PropertyCharacteristic.SYMMETRIC in rebuilt.properties[S.knows].characteristics
+        assert rebuilt.properties[S.parentOf].inverse_of == S.childOf
+
+    def test_f1_against_self_is_perfect(self, onto):
+        scores = onto.f1_against(onto)
+        assert scores["class_f1"] == 1.0
+        assert scores["edge_f1"] == 1.0
+        assert scores["property_f1"] == 1.0
+
+    def test_f1_against_partial(self, onto):
+        partial = Ontology("partial")
+        partial.add_class(S.Agent)
+        partial.add_class(S.Person, parents=[S.Agent])
+        scores = partial.f1_against(onto)
+        assert scores["class_precision"] == 1.0
+        assert scores["class_recall"] < 1.0
+
+
+# ---------------------------------------------------------------------------
+# Property: closure is monotone and idempotent for random hierarchies
+# ---------------------------------------------------------------------------
+
+_class_names = ["A", "B", "C", "D", "E"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(edges=st.lists(
+    st.tuples(st.sampled_from(_class_names), st.sampled_from(_class_names)),
+    max_size=8,
+))
+def test_random_hierarchy_closure_properties(edges):
+    onto = Ontology()
+    for child, parent in edges:
+        if child != parent:  # avoid trivial cycles; DAG-ness not required
+            onto.add_class(S[child], parents=[S[parent]])
+    store = TripleStore([Triple(E.x, RDF.type, S.A)])
+    closed = onto.rdfs_closure(store)
+    assert all(t in closed for t in store)
+    assert set(onto.rdfs_closure(closed)) == set(closed)

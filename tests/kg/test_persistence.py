@@ -1,0 +1,58 @@
+"""Tests for KnowledgeGraph save/load and the CLI export command."""
+
+import pytest
+
+from repro.cli import main
+from repro.kg import KnowledgeGraph
+from repro.kg.datasets import covid_kg, movie_kg
+
+
+class TestSaveLoad:
+    @pytest.mark.parametrize("format,suffix", [("nt", ".nt"), ("ttl", ".ttl")])
+    def test_roundtrip(self, tmp_path, format, suffix):
+        ds = covid_kg()
+        path = str(tmp_path / f"graph{suffix}")
+        ds.kg.save(path, format=format,
+                   prefixes={"ex": "http://repro.dev/kg/",
+                             "s": "http://repro.dev/schema/"})
+        loaded = KnowledgeGraph.load(path)
+        assert set(loaded.store) == set(ds.kg.store)
+
+    def test_loaded_graph_keeps_labels(self, tmp_path):
+        ds = covid_kg()
+        path = str(tmp_path / "graph.nt")
+        ds.kg.save(path)
+        loaded = KnowledgeGraph.load(path)
+        covid = loaded.find_by_label("COVID-19")
+        assert covid and loaded.label(covid[0]) == "COVID-19"
+
+    def test_unknown_format_rejected(self, tmp_path):
+        ds = covid_kg()
+        with pytest.raises(ValueError):
+            ds.kg.save(str(tmp_path / "x.xml"), format="xml")
+
+    def test_load_infers_name_from_path(self, tmp_path):
+        ds = covid_kg()
+        path = str(tmp_path / "mygraph.nt")
+        ds.kg.save(path)
+        assert KnowledgeGraph.load(path).name == "mygraph.nt"
+
+    def test_bigger_graph_roundtrip(self, tmp_path):
+        ds = movie_kg(seed=2)
+        path = str(tmp_path / "movie.nt")
+        ds.kg.save(path)
+        assert len(KnowledgeGraph.load(path)) == len(ds.kg)
+
+
+class TestCliExport:
+    def test_export_nt(self, tmp_path, capsys):
+        path = str(tmp_path / "out.nt")
+        assert main(["export", "covid", path]) == 0
+        assert "113 triples" in capsys.readouterr().out
+        assert len(KnowledgeGraph.load(path)) == 113
+
+    def test_export_ttl(self, tmp_path, capsys):
+        path = str(tmp_path / "out.ttl")
+        assert main(["export", "covid", path]) == 0
+        text = open(path).read()
+        assert "@prefix" in text

@@ -1,0 +1,188 @@
+"""Unit + property tests for the triple store and its indexes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg.store import TripleStore
+from repro.kg.triples import IRI, Literal, Triple
+
+S = IRI("http://x/s")
+P = IRI("http://x/p")
+P2 = IRI("http://x/p2")
+O = IRI("http://x/o")
+
+
+def t(s="s", p="p", o="o"):
+    return Triple(IRI(f"http://x/{s}"), IRI(f"http://x/{p}"), IRI(f"http://x/{o}"))
+
+
+class TestMutation:
+    def test_add_returns_true_then_false(self):
+        store = TripleStore()
+        assert store.add(t()) is True
+        assert store.add(t()) is False
+        assert len(store) == 1
+
+    def test_remove(self):
+        store = TripleStore([t()])
+        assert store.remove(t()) is True
+        assert store.remove(t()) is False
+        assert len(store) == 0
+
+    def test_remove_cleans_indexes(self):
+        store = TripleStore([t(), t(o="o2")])
+        store.remove(t(o="o2"))
+        assert store.match(subject=t().subject) == [t()]
+        assert store.match_count(object=t(o="o2").object) == 0
+
+    def test_clear(self):
+        store = TripleStore([t(), t(o="o2")])
+        store.clear()
+        assert len(store) == 0
+        assert store.match() == []
+
+    def test_add_all_counts_new_only(self):
+        store = TripleStore([t()])
+        assert store.add_all([t(), t(o="o2"), t(o="o3")]) == 2
+
+
+class TestMatch:
+    @pytest.fixture
+    def store(self):
+        return TripleStore([
+            t("a", "p", "b"), t("a", "p", "c"), t("a", "q", "b"),
+            t("b", "p", "c"), t("c", "q", "a"),
+        ])
+
+    def test_fully_bound(self, store):
+        assert store.match(t("a", "p", "b").subject, t("a", "p", "b").predicate,
+                           t("a", "p", "b").object) == [t("a", "p", "b")]
+
+    def test_sp_bound(self, store):
+        result = store.match(IRI("http://x/a"), IRI("http://x/p"), None)
+        assert set(result) == {t("a", "p", "b"), t("a", "p", "c")}
+
+    def test_po_bound(self, store):
+        result = store.match(None, IRI("http://x/p"), IRI("http://x/c"))
+        assert set(result) == {t("a", "p", "c"), t("b", "p", "c")}
+
+    def test_so_bound(self, store):
+        result = store.match(IRI("http://x/a"), None, IRI("http://x/b"))
+        assert set(result) == {t("a", "p", "b"), t("a", "q", "b")}
+
+    def test_s_only(self, store):
+        assert len(store.match(IRI("http://x/a"))) == 3
+
+    def test_p_only(self, store):
+        assert len(store.match(predicate=IRI("http://x/q"))) == 2
+
+    def test_o_only(self, store):
+        assert len(store.match(object=IRI("http://x/c"))) == 2
+
+    def test_unbound_returns_all(self, store):
+        assert len(store.match()) == 5
+
+    def test_no_match_returns_empty(self, store):
+        assert store.match(IRI("http://x/zz")) == []
+
+    def test_scan_match_equals_indexed_match(self, store):
+        for s, p, o in [(None, None, None), (IRI("http://x/a"), None, None),
+                        (None, IRI("http://x/p"), None),
+                        (None, None, IRI("http://x/c")),
+                        (IRI("http://x/a"), IRI("http://x/p"), None)]:
+            assert set(store.scan_match(s, p, o)) == set(store.match(s, p, o))
+
+    def test_match_count_agrees_with_match(self, store):
+        patterns = [(None, None, None), (IRI("http://x/a"), None, None),
+                    (None, IRI("http://x/p"), None), (None, None, IRI("http://x/b")),
+                    (IRI("http://x/a"), IRI("http://x/p"), None),
+                    (IRI("http://x/a"), None, IRI("http://x/b")),
+                    (None, IRI("http://x/p"), IRI("http://x/c"))]
+        for s, p, o in patterns:
+            assert store.match_count(s, p, o) == len(store.match(s, p, o))
+
+
+class TestAccessors:
+    def test_value_unique(self):
+        store = TripleStore([t("a", "p", "b")])
+        assert store.value(IRI("http://x/a"), IRI("http://x/p")) == IRI("http://x/b")
+
+    def test_value_missing_is_none(self):
+        store = TripleStore()
+        assert store.value(S, P) is None
+
+    def test_value_ambiguous_raises(self):
+        store = TripleStore([t("a", "p", "b"), t("a", "p", "c")])
+        with pytest.raises(ValueError):
+            store.value(IRI("http://x/a"), IRI("http://x/p"))
+
+    def test_entities_includes_objects(self):
+        store = TripleStore([Triple(S, P, O), Triple(S, P2, Literal("x"))])
+        assert set(store.entities()) == {S, O}
+
+    def test_relations(self):
+        store = TripleStore([Triple(S, P, O), Triple(S, P2, O)])
+        assert set(store.relations()) == {P, P2}
+
+    def test_stats(self):
+        store = TripleStore([Triple(S, P, O), Triple(S, P2, Literal("x"))])
+        stats = store.stats()
+        assert stats == {"triples": 2, "entities": 2, "relations": 2, "literals": 1}
+
+
+class TestSetOperations:
+    def test_copy_is_independent(self):
+        store = TripleStore([t()])
+        fork = store.copy()
+        fork.add(t(o="o2"))
+        assert len(store) == 1
+        assert len(fork) == 2
+
+    def test_union(self):
+        a = TripleStore([t("a")])
+        b = TripleStore([t("b")])
+        assert len(a.union(b)) == 2
+
+    def test_difference(self):
+        a = TripleStore([t("a"), t("b")])
+        b = TripleStore([t("b")])
+        assert set(a.difference(b)) == {t("a")}
+
+
+# ---------------------------------------------------------------------------
+# Property tests: index coherence under arbitrary add/remove sequences
+# ---------------------------------------------------------------------------
+
+_iri = st.sampled_from([IRI(f"http://x/{c}") for c in "abcdef"])
+_term = st.one_of(_iri, st.sampled_from([Literal("1"), Literal("2")]))
+_triple = st.builds(Triple, _iri, _iri, _term)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(st.tuples(st.booleans(), _triple), max_size=40))
+def test_indexes_consistent_with_scan(ops):
+    """After any add/remove sequence, every indexed pattern equals a scan."""
+    store = TripleStore()
+    for is_add, triple in ops:
+        if is_add:
+            store.add(triple)
+        else:
+            store.remove(triple)
+    probe = Triple(IRI("http://x/a"), IRI("http://x/b"), IRI("http://x/c"))
+    for s in (None, probe.subject):
+        for p in (None, probe.predicate):
+            for o in (None, probe.object):
+                assert set(store.match(s, p, o)) == set(store.scan_match(s, p, o))
+                assert store.match_count(s, p, o) == len(store.scan_match(s, p, o))
+
+
+@settings(max_examples=60, deadline=None)
+@given(triples=st.lists(_triple, max_size=30))
+def test_add_remove_roundtrip_leaves_store_empty(triples):
+    store = TripleStore()
+    store.add_all(triples)
+    store.remove_all(list(store))
+    assert len(store) == 0
+    assert store.match() == []
+    assert store.entities() == []

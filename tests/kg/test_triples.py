@@ -1,0 +1,122 @@
+"""Unit tests for RDF terms and triples."""
+
+import pytest
+
+from repro.kg.triples import (
+    IRI, Literal, Namespace, Triple, XSD, term_from_python,
+)
+
+
+class TestIRI:
+    def test_local_name_hash_separator(self):
+        assert IRI("http://example.org/ns#Alice").local_name == "Alice"
+
+    def test_local_name_slash_separator(self):
+        assert IRI("http://example.org/Alice").local_name == "Alice"
+
+    def test_empty_iri_rejected(self):
+        with pytest.raises(ValueError):
+            IRI("")
+
+    def test_n3(self):
+        assert IRI("http://x/a").n3() == "<http://x/a>"
+
+    def test_equality_and_hash(self):
+        assert IRI("http://x/a") == IRI("http://x/a")
+        assert hash(IRI("http://x/a")) == hash(IRI("http://x/a"))
+        assert IRI("http://x/a") != IRI("http://x/b")
+
+
+class TestLiteral:
+    def test_plain_literal_value(self):
+        assert Literal("hello").value == "hello"
+
+    def test_integer_value(self):
+        assert Literal("42", datatype=XSD.integer).value == 42
+
+    def test_double_value(self):
+        assert Literal("3.5", datatype=XSD.double).value == 3.5
+
+    def test_boolean_value(self):
+        assert Literal("true", datatype=XSD.boolean).value is True
+        assert Literal("false", datatype=XSD.boolean).value is False
+
+    def test_datatype_and_language_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            Literal("x", datatype=XSD.string, language="en")
+
+    def test_n3_plain(self):
+        assert Literal("hi").n3() == '"hi"'
+
+    def test_n3_language(self):
+        assert Literal("hi", language="en").n3() == '"hi"@en'
+
+    def test_n3_datatype(self):
+        assert Literal("1", datatype=XSD.integer).n3() == \
+            f'"1"^^<{XSD.integer}>'
+
+    def test_n3_escaping(self):
+        assert Literal('say "hi"\n').n3() == '"say \\"hi\\"\\n"'
+
+
+class TestTermFromPython:
+    def test_string_becomes_plain_literal(self):
+        assert term_from_python("x") == Literal("x")
+
+    def test_int(self):
+        assert term_from_python(7) == Literal("7", datatype=XSD.integer)
+
+    def test_bool_before_int(self):
+        # bool is a subclass of int; must map to xsd:boolean, not integer.
+        assert term_from_python(True) == Literal("true", datatype=XSD.boolean)
+
+    def test_float(self):
+        assert term_from_python(2.5).datatype == XSD.double
+
+    def test_iri_passthrough(self):
+        iri = IRI("http://x/a")
+        assert term_from_python(iri) is iri
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            term_from_python(object())
+
+
+class TestTriple:
+    def test_requires_iri_subject(self):
+        with pytest.raises(TypeError):
+            Triple(Literal("x"), IRI("http://x/p"), Literal("y"))
+
+    def test_requires_iri_predicate(self):
+        with pytest.raises(TypeError):
+            Triple(IRI("http://x/s"), Literal("p"), Literal("y"))
+
+    def test_n3_line(self):
+        t = Triple(IRI("http://x/s"), IRI("http://x/p"), Literal("o"))
+        assert t.n3() == '<http://x/s> <http://x/p> "o" .'
+
+    def test_replace(self):
+        t = Triple(IRI("http://x/s"), IRI("http://x/p"), Literal("o"))
+        replaced = t.replace(object=Literal("new"))
+        assert replaced.subject == t.subject
+        assert replaced.object == Literal("new")
+        assert t.object == Literal("o")  # original untouched
+
+
+class TestNamespace:
+    def test_attribute_minting(self):
+        ns = Namespace("http://example.org/")
+        assert ns.Alice == IRI("http://example.org/Alice")
+
+    def test_item_minting(self):
+        ns = Namespace("http://example.org/")
+        assert ns["born in"] == IRI("http://example.org/born in")
+
+    def test_contains(self):
+        ns = Namespace("http://example.org/")
+        assert ns.Alice in ns
+        assert IRI("http://other/Alice") not in ns
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            Namespace("")

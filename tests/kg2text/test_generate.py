@@ -1,0 +1,105 @@
+"""Tests for KG-to-Text generation regimes and metrics (RQ1)."""
+
+import random
+
+import pytest
+
+from repro.kg.datasets import movie_kg
+from repro.kg.triples import IRI
+from repro.kg2text import (
+    FewShotVerbalizer, FineTunedVerbalizer, TemplateRealizer,
+    ZeroShotVerbalizer, coverage, evaluate_generation, faithfulness,
+    reference_description, triples_for_entity,
+)
+from repro.llm import load_model
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = movie_kg(seed=4)
+    rng = random.Random(0)
+    instances = []
+    for movie_value in ds.metadata["movies"][:30]:
+        triples = triples_for_entity(ds.kg, IRI(movie_value), max_triples=4)
+        rng.shuffle(triples)
+        instances.append((triples, reference_description(ds.kg, triples)))
+    return ds, instances[:15], instances[15:]
+
+
+class TestReference:
+    def test_reference_merges_same_subject(self, setup):
+        ds, train, test = setup
+        triples, reference = test[0]
+        subject_label = ds.kg.label(triples[0].subject)
+        assert reference.count(subject_label) == 1  # merged, not repeated
+
+    def test_reference_covers_all_objects(self, setup):
+        ds, train, test = setup
+        for triples, reference in test[:5]:
+            assert coverage(ds.kg, triples, reference) == 1.0
+
+
+class TestTemplateBaseline:
+    def test_full_coverage_and_faithfulness(self, setup):
+        ds, train, test = setup
+        scores = evaluate_generation(TemplateRealizer(ds.kg), ds.kg, test)
+        assert scores["coverage"] == 1.0
+        assert scores["faithfulness"] == 1.0
+
+    def test_lower_bleu_than_llm(self, setup):
+        ds, train, test = setup
+        template_scores = evaluate_generation(TemplateRealizer(ds.kg), ds.kg, test)
+        llm = load_model("chatgpt", world=ds.kg, seed=1)
+        llm_scores = evaluate_generation(
+            FewShotVerbalizer(llm, ds.kg, train[:3]), ds.kg, test)
+        assert llm_scores["bleu"] > template_scores["bleu"]
+
+
+class TestRegimeOrdering:
+    def test_few_shot_beats_zero_shot_weak_model(self, setup):
+        ds, train, test = setup
+        zero = ZeroShotVerbalizer(load_model("gpt-2", world=ds.kg, seed=1), ds.kg)
+        few = FewShotVerbalizer(load_model("gpt-2", world=ds.kg, seed=1),
+                                ds.kg, train[:3])
+        zero_scores = evaluate_generation(zero, ds.kg, test)
+        few_scores = evaluate_generation(few, ds.kg, test)
+        assert few_scores["coverage"] >= zero_scores["coverage"]
+
+    def test_fine_tuning_beats_zero_shot(self, setup):
+        ds, train, test = setup
+        zero = ZeroShotVerbalizer(load_model("gpt-2", world=ds.kg, seed=1), ds.kg)
+        tuned = FineTunedVerbalizer(load_model("gpt-2", world=ds.kg, seed=1), ds.kg)
+        tuned.fit(train * 20)  # a real-sized fine-tuning corpus
+        zero_scores = evaluate_generation(zero, ds.kg, test)
+        tuned_scores = evaluate_generation(tuned, ds.kg, test)
+        assert tuned_scores["bleu"] >= zero_scores["bleu"]
+        assert tuned_scores["coverage"] >= zero_scores["coverage"]
+
+    def test_structure_awareness_helps_bleu(self, setup):
+        ds, train, test = setup
+        naive = ZeroShotVerbalizer(load_model("chatgpt", world=ds.kg, seed=1),
+                                   ds.kg, structure_aware=False)
+        aware = ZeroShotVerbalizer(load_model("chatgpt", world=ds.kg, seed=1),
+                                   ds.kg, structure_aware=True)
+        naive_scores = evaluate_generation(naive, ds.kg, test)
+        aware_scores = evaluate_generation(aware, ds.kg, test)
+        assert aware_scores["bleu"] >= naive_scores["bleu"] - 1e-9
+
+
+class TestMetrics:
+    def test_coverage_empty_triples(self, setup):
+        ds, _, _ = setup
+        assert coverage(ds.kg, [], "anything") == 1.0
+
+    def test_faithfulness_detects_hallucination(self, setup):
+        ds, train, test = setup
+        triples, _ = test[0]
+        honest = reference_description(ds.kg, triples)
+        hallucinated = honest + " Zanzibar Phantom also stars here."
+        assert faithfulness(ds.kg, triples, hallucinated) < \
+            faithfulness(ds.kg, triples, honest)
+
+    def test_evaluate_requires_instances(self, setup):
+        ds, _, _ = setup
+        with pytest.raises(ValueError):
+            evaluate_generation(TemplateRealizer(ds.kg), ds.kg, [])

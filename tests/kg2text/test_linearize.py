@@ -1,0 +1,82 @@
+"""Tests for graph linearization and RBFS ordering."""
+
+import pytest
+
+from repro.kg.datasets import movie_kg, SCHEMA
+from repro.kg.triples import IRI
+from repro.kg2text import linearize_triples, rbfs_order, triples_for_entity
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return movie_kg(seed=4)
+
+
+@pytest.fixture(scope="module")
+def movie(ds):
+    return IRI(ds.metadata["movies"][0])
+
+
+class TestTriplesForEntity:
+    def test_excludes_labels_and_types(self, ds, movie):
+        triples = triples_for_entity(ds.kg, movie)
+        assert all("rdf-schema" not in t.predicate.value for t in triples)
+        assert all("22-rdf-syntax" not in t.predicate.value for t in triples)
+
+    def test_respects_cap(self, ds, movie):
+        assert len(triples_for_entity(ds.kg, movie, max_triples=2)) <= 2
+
+
+class TestLinearize:
+    def test_uses_labels(self, ds, movie):
+        triples = triples_for_entity(ds.kg, movie, max_triples=3)
+        linear = linearize_triples(ds.kg, triples)
+        assert linear[0][0] == ds.kg.label(movie)
+        assert all(len(item) == 3 for item in linear)
+
+
+class TestRbfs:
+    def test_is_permutation(self, ds, movie):
+        triples = triples_for_entity(ds.kg, movie)
+        ordered = rbfs_order(ds.kg, triples)
+        assert sorted(t.n3() for t in ordered) == sorted(t.n3() for t in triples)
+
+    def test_same_subject_contiguous(self, ds):
+        movies = [IRI(m) for m in ds.metadata["movies"][:2]]
+        triples = []
+        for movie in movies:
+            triples.extend(triples_for_entity(ds.kg, movie, max_triples=3))
+        # Interleave to break contiguity, then reorder.
+        interleaved = triples[::2] + triples[1::2]
+        ordered = rbfs_order(ds.kg, interleaved)
+        seen_subjects = []
+        for triple in ordered:
+            if triple.subject not in seen_subjects:
+                seen_subjects.append(triple.subject)
+            else:
+                # once we moved past a subject we must not return to it
+                assert triple.subject == seen_subjects[-1] or \
+                    triple.subject in seen_subjects[-1:]
+
+    def test_deterministic(self, ds, movie):
+        triples = triples_for_entity(ds.kg, movie)
+        assert rbfs_order(ds.kg, triples) == rbfs_order(ds.kg, triples)
+
+    def test_explicit_root_comes_first(self, ds):
+        movies = [IRI(m) for m in ds.metadata["movies"][:2]]
+        triples = []
+        for movie in movies:
+            triples.extend(triples_for_entity(ds.kg, movie, max_triples=2))
+        ordered = rbfs_order(ds.kg, triples, root=movies[1])
+        assert ordered[0].subject == movies[1]
+
+    def test_relation_priority_controls_within_level(self, ds, movie):
+        triples = triples_for_entity(ds.kg, movie)
+        priority = {SCHEMA.releaseYear: 0}
+        ordered = rbfs_order(ds.kg, triples, relation_priority=priority)
+        year_triples = [t for t in triples if t.predicate == SCHEMA.releaseYear]
+        if year_triples:
+            assert ordered[0].predicate == SCHEMA.releaseYear
+
+    def test_empty_input(self, ds):
+        assert rbfs_order(ds.kg, []) == []

@@ -1,0 +1,109 @@
+"""Unit + property tests for hash embeddings and the text encoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.embedding import (
+    HashEmbedder, TextEncoder, cosine_similarity, top_k_similar,
+)
+
+
+class TestHashEmbedder:
+    def test_deterministic_across_instances(self):
+        a = HashEmbedder(dim=32).embed_token("knowledge")
+        b = HashEmbedder(dim=32).embed_token("knowledge")
+        assert np.allclose(a, b)
+
+    def test_unit_norm(self):
+        v = HashEmbedder(dim=48).embed_token("graph")
+        assert np.isclose(np.linalg.norm(v), 1.0)
+
+    def test_different_tokens_differ(self):
+        e = HashEmbedder(dim=64)
+        assert not np.allclose(e.embed_token("cat"), e.embed_token("dog"))
+
+    def test_salt_changes_space(self):
+        a = HashEmbedder(dim=32, salt="s1").embed_token("x")
+        b = HashEmbedder(dim=32, salt="s2").embed_token("x")
+        assert not np.allclose(a, b)
+
+    def test_unrelated_tokens_near_orthogonal(self):
+        e = HashEmbedder(dim=256)
+        sims = [abs(cosine_similarity(e.embed_token(f"tok{i}"),
+                                      e.embed_token(f"tok{i+100}")))
+                for i in range(20)]
+        assert max(sims) < 0.35
+
+    def test_batch_shape(self):
+        e = HashEmbedder(dim=16)
+        assert e.embed_tokens(["a", "b", "c"]).shape == (3, 16)
+        assert e.embed_tokens([]).shape == (0, 16)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            HashEmbedder(dim=0)
+
+
+class TestTextEncoder:
+    def test_similar_texts_closer_than_dissimilar(self):
+        enc = TextEncoder(dim=128)
+        base = enc.encode("the movie was directed by a famous director")
+        near = enc.encode("a famous director directed the movie")
+        far = enc.encode("protein folding dynamics in yeast cells")
+        assert cosine_similarity(base, near) > cosine_similarity(base, far)
+
+    def test_empty_text_is_zero_vector(self):
+        enc = TextEncoder(dim=32)
+        assert np.allclose(enc.encode(""), 0.0)
+
+    def test_output_normalized(self):
+        enc = TextEncoder(dim=64)
+        assert np.isclose(np.linalg.norm(enc.encode("hello world")), 1.0)
+
+    def test_idf_downweights_stopwords(self):
+        corpus = ["the a of and %d" % i for i in range(50)]
+        enc = TextEncoder(dim=128).fit_idf(corpus)
+        with_stop = enc.encode("the zebra")
+        without_stop = enc.encode("zebra")
+        assert cosine_similarity(with_stop, without_stop) > 0.8
+
+    def test_batch(self):
+        enc = TextEncoder(dim=16)
+        assert enc.encode_batch(["a", "b"]).shape == (2, 16)
+
+
+class TestSimilarityHelpers:
+    def test_cosine_of_zero_vector(self):
+        assert cosine_similarity(np.zeros(4), np.ones(4)) == 0.0
+
+    def test_cosine_self_is_one(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert np.isclose(cosine_similarity(v, v), 1.0)
+
+    def test_top_k(self):
+        matrix = np.eye(4)
+        query = np.array([1.0, 0.1, 0.0, 0.0])
+        assert top_k_similar(query, matrix, 2) == [0, 1]
+
+    def test_top_k_empty(self):
+        assert top_k_similar(np.ones(3), np.zeros((0, 3)), 5) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(token=st.text(min_size=1, max_size=12))
+def test_embedding_deterministic_property(token):
+    e1 = HashEmbedder(dim=24)
+    e2 = HashEmbedder(dim=24)
+    assert np.allclose(e1.embed_token(token), e2.embed_token(token))
+    assert np.isclose(np.linalg.norm(e1.embed_token(token)), 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(words=st.lists(st.sampled_from("red green blue cat dog".split()),
+                      min_size=1, max_size=10))
+def test_encoder_norm_bounded_property(words):
+    enc = TextEncoder(dim=32)
+    v = enc.encode(" ".join(words))
+    assert np.linalg.norm(v) <= 1.0 + 1e-9

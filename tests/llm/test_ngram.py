@@ -1,0 +1,102 @@
+"""Unit + property tests for the n-gram language model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.ngram import NGramLanguageModel
+
+CORPUS = [
+    "the cat sat on the mat",
+    "the dog sat on the rug",
+    "the cat chased the dog",
+    "a dog chased a cat",
+]
+
+
+@pytest.fixture
+def lm():
+    return NGramLanguageModel(order=3).fit(CORPUS)
+
+
+class TestTraining:
+    def test_vocab_size(self, lm):
+        assert lm.vocab_size >= 9  # corpus words + specials
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            NGramLanguageModel(order=0)
+
+
+class TestScoring:
+    def test_seen_bigram_more_likely_than_unseen(self, lm):
+        seen = lm.probability(["the"], "cat")
+        unseen = lm.probability(["the"], "zebra")
+        assert seen > unseen
+
+    def test_probability_bounded(self, lm):
+        for token in ("cat", "dog", "zebra", "mat"):
+            p = lm.probability(["the"], token)
+            assert 0.0 < p <= 1.0
+
+    def test_backoff_still_positive_for_unknown_context(self, lm):
+        assert lm.probability(["zebra", "quark"], "cat") > 0.0
+
+    def test_fluent_text_lower_perplexity(self, lm):
+        fluent = lm.perplexity("the cat sat on the mat")
+        disfluent = lm.perplexity("mat the on sat cat zebra")
+        assert fluent < disfluent
+
+    def test_empty_text_infinite_perplexity(self, lm):
+        assert lm.perplexity("") == float("inf")
+
+    def test_log_likelihood_nonpositive(self, lm):
+        # Every per-token score is ≤ 1, so the log-likelihood is ≤ 0.
+        for text in ("the cat", "the cat sat on the mat", "zebra quark"):
+            assert lm.log_likelihood(text) <= 0.0
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self, lm):
+        a = lm.generate(random.Random(3), max_tokens=10)
+        b = lm.generate(random.Random(3), max_tokens=10)
+        assert a == b
+
+    def test_generates_corpus_vocabulary(self, lm):
+        text = lm.generate(random.Random(1), max_tokens=15)
+        corpus_vocab = set(" ".join(CORPUS).split())
+        assert text  # nonempty
+        assert all(token in corpus_vocab for token in text.split())
+
+    def test_respects_max_tokens(self, lm):
+        text = lm.generate(random.Random(1), max_tokens=4)
+        assert len(text.split()) <= 4
+
+    def test_prompt_conditioning(self, lm):
+        text = lm.generate(random.Random(2), max_tokens=3, prompt="the cat")
+        assert text.split()[0] in {"sat", "chased"}
+
+    def test_untrained_model_generates_nothing(self):
+        lm = NGramLanguageModel(order=2)
+        assert lm.generate(random.Random(0), max_tokens=5) == ""
+
+
+# ---------------------------------------------------------------------------
+# Property: next-token scores over observed continuations form a sub-simplex
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(sentences=st.lists(
+    st.lists(st.sampled_from("a b c d".split()), min_size=1, max_size=6)
+    .map(" ".join),
+    min_size=1, max_size=8,
+))
+def test_observed_continuations_sum_to_one(sentences):
+    lm = NGramLanguageModel(order=2).fit(sentences)
+    # For any context with observed continuations, their top-order scores
+    # are count/total and must sum to 1 over the observed support.
+    for context_tuple, bucket in lm._counts[1].items():
+        total = sum(lm.probability(list(context_tuple), token) for token in bucket)
+        assert abs(total - 1.0) < 1e-9

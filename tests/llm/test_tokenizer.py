@@ -1,0 +1,77 @@
+"""Unit + property tests for the tokenizer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.tokenizer import (
+    BOS, EOS, PAD, UNK, WordTokenizer, count_tokens, word_tokens,
+)
+
+
+class TestWordTokens:
+    def test_words_and_punctuation(self):
+        assert word_tokens("Hello, world!") == ["hello", ",", "world", "!"]
+
+    def test_case_preserved_when_requested(self):
+        assert word_tokens("Hello", lowercase=False) == ["Hello"]
+
+    def test_hyphens_and_apostrophes_stay_in_word(self):
+        assert word_tokens("it's state-of-the-art") == ["it's", "state-of-the-art"]
+
+    def test_empty(self):
+        assert word_tokens("") == []
+
+    def test_count_tokens(self):
+        assert count_tokens("one two three.") == 4
+
+
+class TestVocabulary:
+    def test_specials_reserved(self):
+        tok = WordTokenizer()
+        for special in (PAD, UNK, BOS, EOS):
+            assert special in tok.token_to_id
+
+    def test_fit_builds_vocab(self):
+        tok = WordTokenizer().fit(["the cat sat", "the dog sat"])
+        assert "cat" in tok.token_to_id
+        assert tok.vocab_size >= 8
+
+    def test_max_vocab_keeps_most_frequent(self):
+        tok = WordTokenizer(max_vocab=5).fit(["a a a b b c"])
+        assert tok.vocab_size == 5
+        assert "a" in tok.token_to_id
+        assert "c" not in tok.token_to_id
+
+    def test_encode_decode_roundtrip(self):
+        tok = WordTokenizer().fit(["the cat sat on the mat"])
+        text = "the cat sat"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_unknown_tokens_map_to_unk(self):
+        tok = WordTokenizer().fit(["known words"])
+        ids = tok.encode("unknown stuff")
+        assert all(i == tok.token_to_id[UNK] for i in ids)
+
+    def test_bos_eos_added_and_stripped(self):
+        tok = WordTokenizer().fit(["x"])
+        ids = tok.encode("x", add_bos_eos=True)
+        assert ids[0] == tok.token_to_id[BOS]
+        assert ids[-1] == tok.token_to_id[EOS]
+        assert tok.decode(ids) == "x"
+
+
+@settings(max_examples=60, deadline=None)
+@given(text=st.text(max_size=100))
+def test_tokenization_never_crashes_and_counts_match(text):
+    tokens = word_tokens(text)
+    assert all(t == t.lower() for t in tokens)
+    assert count_tokens(text) == len(word_tokens(text, lowercase=False))
+
+
+@settings(max_examples=40, deadline=None)
+@given(words=st.lists(st.sampled_from(["alpha", "beta", "gamma", "delta"]),
+                      min_size=1, max_size=20))
+def test_encode_decode_roundtrip_property(words):
+    text = " ".join(words)
+    tok = WordTokenizer().fit([text])
+    assert tok.decode(tok.encode(text)) == text

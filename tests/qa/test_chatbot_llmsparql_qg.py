@@ -1,0 +1,160 @@
+"""Tests for the KG chatbot, the hybrid LLM-SPARQL engine, and question
+generation."""
+
+import pytest
+
+from repro.kg.datasets import movie_kg, SCHEMA
+from repro.kg.triples import IRI
+from repro.llm import load_model
+from repro.qa import (
+    HybridSparqlEngine, KGChatbot, KGELQuestionGenerator,
+    SingleHopQuestionGenerator, answerability,
+)
+from repro.qa.multihop import ReLMKGQA
+from repro.qa.question_generation import sample_paths
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = movie_kg(seed=3)
+    llm = load_model("chatgpt", world=ds.kg, seed=0)
+    return ds, llm
+
+
+@pytest.fixture
+def bot(setup):
+    ds, llm = setup
+    return KGChatbot(llm, ds.kg, ReLMKGQA(llm, ds.kg))
+
+
+class TestChatbot:
+    def test_greeting_intent(self, bot):
+        turn = bot.chat("Hello there!")
+        assert turn.intent == "greeting"
+        assert "Hello" in turn.reply
+
+    def test_factual_turn_answers_from_kg(self, setup, bot):
+        ds, _ = setup
+        movie = ds.kg.find_by_label("The Silent Horizon")[0]
+        director = ds.kg.store.objects(movie, SCHEMA.directedBy)[0]
+        turn = bot.chat("What directed by The Silent Horizon?")
+        assert turn.intent == "factual"
+        assert ds.kg.label(director) in turn.reply
+
+    def test_followup_resolves_pronoun_to_topic(self, setup, bot):
+        ds, _ = setup
+        bot.chat("What directed by The Silent Horizon?")
+        turn = bot.chat("And what starring it?")
+        assert turn.intent == "followup"
+        movie = ds.kg.find_by_label("The Silent Horizon")[0]
+        actors = {ds.kg.label(t.object)
+                  for t in ds.kg.store.match(movie, SCHEMA.starring, None)}
+        assert any(actor in turn.reply for actor in actors)
+
+    def test_thanks_intent(self, bot):
+        assert bot.chat("thanks a lot!").intent == "thanks"
+
+    def test_chitchat_falls_back_to_llm(self, bot):
+        turn = bot.chat("tell me something nice")
+        assert turn.intent == "chitchat"
+        assert turn.reply
+
+    def test_reset_clears_focus(self, setup, bot):
+        ds, _ = setup
+        bot.chat("What directed by The Silent Horizon?")
+        assert bot.focus_entity is not None
+        bot.reset()
+        assert bot.focus_entity is None
+        assert bot.history == []
+
+    def test_unanswerable_factual_is_graceful(self, setup, bot):
+        turn = bot.chat("What directed by The Nonexistent Movie?")
+        assert turn.reply  # never crashes, always replies
+
+
+class TestHybridSparql:
+    def test_kg_patterns_need_no_llm(self, setup):
+        ds, llm = setup
+        engine = HybridSparqlEngine(ds.kg, llm)
+        movie = IRI(ds.metadata["movies"][0])
+        rows = engine.select(
+            f"SELECT ?d WHERE {{ <{movie.value}> "
+            f"<http://repro.dev/schema/directedBy> ?d }}")
+        assert rows and engine.llm_calls == 0
+
+    def test_missing_predicate_falls_through_to_llm(self, setup):
+        ds, llm = setup
+        stripped = ds.kg.copy()
+        stripped.store.remove_all(stripped.store.match(None, SCHEMA.directedBy, None))
+        engine = HybridSparqlEngine(stripped, llm)
+        movie = IRI(ds.metadata["movies"][0])
+        gold = ds.kg.store.objects(movie, SCHEMA.directedBy)
+        rows = engine.select(
+            f"SELECT ?d WHERE {{ <{movie.value}> "
+            f"<http://repro.dev/schema/directedBy> ?d }}")
+        assert engine.llm_calls > 0
+        assert [row["d"] for row in rows] == gold
+
+    def test_explicit_virtual_predicate(self, setup):
+        ds, llm = setup
+        engine = HybridSparqlEngine(ds.kg, llm,
+                                    virtual_predicates=[SCHEMA.directedBy])
+        movie = IRI(ds.metadata["movies"][0])
+        engine.select(
+            f"SELECT ?d WHERE {{ <{movie.value}> "
+            f"<http://repro.dev/schema/directedBy> ?d }}")
+        assert engine.llm_calls > 0
+
+    def test_mixed_kg_and_llm_patterns(self, setup):
+        ds, llm = setup
+        stripped = ds.kg.copy()
+        stripped.store.remove_all(stripped.store.match(None, SCHEMA.directedBy, None))
+        engine = HybridSparqlEngine(stripped, llm)
+        rows = engine.select(
+            "SELECT ?m ?d WHERE { ?m <http://repro.dev/schema/sequelOf> ?s . "
+            "?m <http://repro.dev/schema/directedBy> ?d }")
+        assert isinstance(rows, list)
+
+    def test_ask_rejected(self, setup):
+        ds, llm = setup
+        engine = HybridSparqlEngine(ds.kg, llm)
+        with pytest.raises(ValueError):
+            engine.select("ASK { ?x ?p ?o }")
+
+
+class TestQuestionGeneration:
+    def test_sample_paths_exact_length(self, setup):
+        ds, _ = setup
+        paths = sample_paths(ds, n=6, hops=2, seed=1)
+        assert len(paths) == 6
+        assert all(len(p) == 2 for p in paths)
+
+    def test_paths_are_connected(self, setup):
+        ds, _ = setup
+        for path in sample_paths(ds, n=6, hops=2, seed=1):
+            assert path[0][2] == path[1][0]
+
+    def test_multihop_generation_beats_single_hop_on_answerability(self, setup):
+        ds, llm = setup
+        paths = sample_paths(ds, n=8, hops=2, seed=1)
+        executor = ReLMKGQA(llm, ds.kg)
+        multi = [KGELQuestionGenerator(llm, ds.kg).generate(p) for p in paths]
+        single = [SingleHopQuestionGenerator(llm, ds.kg).generate(p) for p in paths]
+        assert answerability(multi, executor) > answerability(single, executor)
+
+    def test_generate_answerable_filters(self, setup):
+        ds, llm = setup
+        paths = sample_paths(ds, n=5, hops=2, seed=1)
+        generator = KGELQuestionGenerator(llm, ds.kg)
+        executor = ReLMKGQA(llm, ds.kg)
+        kept = [generator.generate_answerable(p, executor) for p in paths]
+        for question in kept:
+            if question is not None:
+                assert question.answer in executor.answer(question.text)
+
+    def test_questions_end_with_question_mark(self, setup):
+        ds, llm = setup
+        paths = sample_paths(ds, n=4, hops=2, seed=1)
+        for path in paths:
+            question = KGELQuestionGenerator(llm, ds.kg).generate(path)
+            assert question.text.endswith("?")

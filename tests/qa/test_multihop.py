@@ -1,0 +1,86 @@
+"""Tests for multi-hop KGQA (RQ5)."""
+
+import pytest
+
+from repro.kg.datasets import family_kg, movie_kg
+from repro.llm import load_model
+from repro.qa import (
+    KapingQA, LLMOnlyQA, ReLMKGQA, RetrieveAndReadQA,
+    generate_multihop_questions,
+)
+from repro.qa.multihop import evaluate_qa
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = family_kg(seed=1)
+    llm = load_model("chatgpt", world=ds.kg, seed=0)
+    return ds, llm
+
+
+class TestQuestionGeneration:
+    def test_requested_count_and_hops(self, setup):
+        ds, _ = setup
+        questions = generate_multihop_questions(ds, n=8, hops=2, seed=3)
+        assert len(questions) == 8
+        assert all(q.hops == 2 for q in questions)
+
+    def test_answers_nonempty(self, setup):
+        ds, _ = setup
+        for question in generate_multihop_questions(ds, n=8, hops=2, seed=3):
+            assert question.answers
+
+    def test_deterministic(self, setup):
+        ds, _ = setup
+        a = generate_multihop_questions(ds, n=6, hops=2, seed=3)
+        b = generate_multihop_questions(ds, n=6, hops=2, seed=3)
+        assert [q.text for q in a] == [q.text for q in b]
+
+    def test_question_mentions_anchor(self, setup):
+        ds, _ = setup
+        for question in generate_multihop_questions(ds, n=6, hops=1, seed=3):
+            assert ds.kg.label(question.anchor) in question.text
+
+    def test_works_on_movie_kg_too(self):
+        ds = movie_kg(seed=3)
+        questions = generate_multihop_questions(ds, n=5, hops=2, seed=1)
+        assert len(questions) == 5
+
+
+class TestSystems:
+    def test_all_systems_strong_on_single_hop(self, setup):
+        ds, llm = setup
+        questions = generate_multihop_questions(ds, n=8, hops=1, seed=3)
+        for system in (KapingQA(llm, ds.kg), RetrieveAndReadQA(llm, ds.kg),
+                       ReLMKGQA(llm, ds.kg)):
+            scores = evaluate_qa(system, questions)
+            assert scores["f1"] > 0.7, type(system).__name__
+
+    def test_relmkg_beats_llm_only_on_two_hop(self, setup):
+        ds, llm = setup
+        questions = generate_multihop_questions(ds, n=8, hops=2, seed=3)
+        relmkg = evaluate_qa(ReLMKGQA(llm, ds.kg), questions)
+        llm_only = evaluate_qa(LLMOnlyQA(llm, ds.kg), questions)
+        assert relmkg["f1"] > llm_only["f1"] + 0.2
+
+    def test_gap_grows_with_hops(self, setup):
+        ds, llm = setup
+        gaps = []
+        for hops in (1, 2):
+            questions = generate_multihop_questions(ds, n=8, hops=hops, seed=3)
+            relmkg = evaluate_qa(ReLMKGQA(llm, ds.kg), questions)["f1"]
+            llm_only = evaluate_qa(LLMOnlyQA(llm, ds.kg), questions)["f1"]
+            gaps.append(relmkg - llm_only)
+        assert gaps[1] > gaps[0]
+
+    def test_kaping_beats_llm_only_on_single_hop(self, setup):
+        ds, llm = setup
+        questions = generate_multihop_questions(ds, n=10, hops=1, seed=5)
+        kaping = evaluate_qa(KapingQA(llm, ds.kg), questions)
+        llm_only = evaluate_qa(LLMOnlyQA(llm, ds.kg), questions)
+        assert kaping["f1"] >= llm_only["f1"]
+
+    def test_evaluate_requires_questions(self, setup):
+        ds, llm = setup
+        with pytest.raises(ValueError):
+            evaluate_qa(LLMOnlyQA(llm, ds.kg), [])

@@ -1,0 +1,101 @@
+"""Tests for text-to-SPARQL / text-to-Cypher (RQ6)."""
+
+import pytest
+
+from repro.kg.datasets import movie_kg
+from repro.llm import load_model
+from repro.qa import (
+    SGPTText2Sparql, SparqlGenText2Sparql, Text2Cypher, Text2SparqlTask,
+    ZeroShotText2Sparql, evaluate_text2sparql,
+)
+from repro.sparql import parse_query
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = movie_kg(seed=3)
+    task = Text2SparqlTask(ds, n=15, hops=1, seed=2)
+    return ds, task
+
+
+class TestTask:
+    def test_gold_queries_execute_to_gold_answers(self, setup):
+        ds, task = setup
+        for instance in task.instances:
+            rows = task.engine.select(instance.gold_query)
+            predicted = {row["x"] for row in rows}
+            assert predicted == instance.answers
+
+    def test_schema_text_lists_relations(self, setup):
+        ds, task = setup
+        text = task.schema_text()
+        assert "directed by = <http://repro.dev/schema/directedBy>" in text
+
+    def test_subgraph_text_is_ntriples(self, setup):
+        ds, task = setup
+        llm = load_model("chatgpt", world=ds.kg, seed=0)
+        subgraph = task.subgraph_text(task.instances[0].question, llm)
+        assert subgraph is not None
+        from repro.kg.rdf import loads_ntriples
+        assert loads_ntriples(subgraph)
+
+
+class TestSystemOrdering:
+    def test_grounded_prompting_beats_zero_shot(self, setup):
+        ds, task = setup
+        weak = lambda: load_model("gpt-2", world=ds.kg, seed=4)
+        zero = evaluate_text2sparql(ZeroShotText2Sparql(weak()), task)
+        one_shot = evaluate_text2sparql(SparqlGenText2Sparql(weak(), task), task)
+        assert one_shot["execution_accuracy"] > zero["execution_accuracy"]
+        assert one_shot["parse_rate"] >= zero["parse_rate"]
+
+    def test_trained_sgpt_at_least_matches_zero_shot(self, setup):
+        ds, task = setup
+        weak = lambda: load_model("gpt-2", world=ds.kg, seed=4)
+        zero = evaluate_text2sparql(ZeroShotText2Sparql(weak()), task)
+        sgpt = SGPTText2Sparql(weak(), task)
+        sgpt.fit(["q"] * 300)
+        trained = evaluate_text2sparql(sgpt, task)
+        assert trained["execution_accuracy"] >= zero["execution_accuracy"]
+
+    def test_generated_queries_are_strings(self, setup):
+        ds, task = setup
+        llm = load_model("chatgpt", world=ds.kg, seed=0)
+        system = SparqlGenText2Sparql(llm, task)
+        query = system.generate(task.instances[0].question)
+        parse_query(query)  # grounded prompting must yield valid syntax
+
+    def test_malformed_output_counts_as_failure_not_crash(self, setup):
+        ds, task = setup
+
+        class Broken:
+            def generate(self, question):
+                return "SELECT ?x WHERE { unterminated"
+
+        scores = evaluate_text2sparql(Broken(), task)
+        assert scores["parse_rate"] == 0.0
+        assert scores["execution_accuracy"] == 0.0
+
+
+class TestText2Cypher:
+    def test_generates_match_pattern(self, setup):
+        ds, task = setup
+        llm = load_model("chatgpt", world=ds.kg, seed=0)
+        t2c = Text2Cypher(llm, ds.kg)
+        cypher = t2c.generate(task.instances[0].question)
+        assert cypher is not None and cypher.startswith("MATCH")
+
+    def test_execution_matches_gold(self, setup):
+        ds, task = setup
+        llm = load_model("chatgpt", world=ds.kg, seed=0)
+        t2c = Text2Cypher(llm, ds.kg)
+        correct = 0
+        for instance in task.instances:
+            if t2c.answer(instance.question) == instance.answers:
+                correct += 1
+        assert correct / len(task.instances) > 0.7
+
+    def test_ungroundable_returns_none(self, setup):
+        ds, _ = setup
+        llm = load_model("chatgpt", world=ds.kg, seed=0)
+        assert Text2Cypher(llm, ds.kg).generate("what is love?") is None

@@ -1,0 +1,142 @@
+"""Tests for FOL queries, the gold executor, LARK and the single-shot
+baseline (E-REASON shape: decomposition wins as hops grow)."""
+
+import pytest
+
+from repro.kg.datasets import family_kg, SCHEMA
+from repro.kg.triples import IRI
+from repro.llm import load_model
+from repro.reasoning import (
+    ChainQuery, IntersectionQuery, LARKReasoner, SingleShotReasoner,
+    UnionQuery, execute_fol,
+)
+from repro.reasoning.fol import query_class, verbalize_query
+from repro.reasoning.lark import answer_f1
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = family_kg(seed=1)
+    llm = load_model("chatgpt", world=ds.kg, seed=0)
+    grandparent = None
+    for t in ds.kg.store.match(None, SCHEMA.parentOf, None):
+        if ds.kg.store.match(t.object, SCHEMA.parentOf, None):
+            grandparent = t.subject
+            break
+    assert grandparent is not None
+    return ds, llm, grandparent
+
+
+class TestExecutor:
+    def test_1p_matches_store(self, setup):
+        ds, _, anchor = setup
+        gold = execute_fol(ds.kg, ChainQuery(anchor, (SCHEMA.parentOf,)))
+        direct = {t.object for t in ds.kg.store.match(anchor, SCHEMA.parentOf, None)}
+        assert gold == direct
+
+    def test_2p_is_grandchildren(self, setup):
+        ds, _, anchor = setup
+        gold = execute_fol(ds.kg, ChainQuery(anchor, (SCHEMA.parentOf, SCHEMA.parentOf)))
+        expected = set()
+        for t in ds.kg.store.match(anchor, SCHEMA.parentOf, None):
+            for t2 in ds.kg.store.match(t.object, SCHEMA.parentOf, None):
+                expected.add(t2.object)
+        assert gold == expected and gold
+
+    def test_intersection(self, setup):
+        ds, _, anchor = setup
+        q = IntersectionQuery((
+            ChainQuery(anchor, (SCHEMA.parentOf,)),
+            ChainQuery(anchor, (SCHEMA.ancestorOf,)),
+        ))
+        gold = execute_fol(ds.kg, q)
+        children = execute_fol(ds.kg, q.parts[0])
+        assert gold == children  # children are also descendants
+
+    def test_union(self, setup):
+        ds, _, anchor = setup
+        q = UnionQuery((
+            ChainQuery(anchor, (SCHEMA.parentOf,)),
+            ChainQuery(anchor, (SCHEMA.marriedTo,)),
+        ))
+        gold = execute_fol(ds.kg, q)
+        assert execute_fol(ds.kg, q.parts[0]) <= gold
+        assert execute_fol(ds.kg, q.parts[1]) <= gold
+
+    def test_empty_chain_rejected(self, setup):
+        ds, _, anchor = setup
+        with pytest.raises(ValueError):
+            ChainQuery(anchor, ())
+
+    def test_query_class_names(self, setup):
+        _, _, anchor = setup
+        assert query_class(ChainQuery(anchor, (SCHEMA.parentOf,))) == "1p"
+        assert query_class(ChainQuery(anchor, (SCHEMA.parentOf,) * 3)) == "3p"
+        assert query_class(UnionQuery((
+            ChainQuery(anchor, (SCHEMA.parentOf,)),
+            ChainQuery(anchor, (SCHEMA.marriedTo,))))) == "2u"
+
+
+class TestLark:
+    def test_1p_answers_correctly(self, setup):
+        ds, llm, anchor = setup
+        q = ChainQuery(anchor, (SCHEMA.parentOf,))
+        gold = execute_fol(ds.kg, q)
+        predicted = LARKReasoner(llm, ds.kg).answer(q)
+        assert answer_f1(predicted, gold) > 0.8
+
+    def test_decomposition_beats_single_shot_on_multihop(self, setup):
+        ds, llm, _ = setup
+        # Average over several 2p queries for stability.
+        anchors = []
+        for t in ds.kg.store.match(None, SCHEMA.parentOf, None):
+            if ds.kg.store.match(t.object, SCHEMA.parentOf, None) and \
+                    t.subject not in anchors:
+                anchors.append(t.subject)
+            if len(anchors) >= 6:
+                break
+        lark = LARKReasoner(llm, ds.kg)
+        single = SingleShotReasoner(llm, ds.kg)
+        lark_total = single_total = 0.0
+        for anchor in anchors:
+            q = ChainQuery(anchor, (SCHEMA.parentOf, SCHEMA.parentOf))
+            gold = execute_fol(ds.kg, q)
+            lark_total += answer_f1(lark.answer(q), gold)
+            single_total += answer_f1(single.answer(q), gold)
+        assert lark_total > single_total
+
+    def test_intersection_answering(self, setup):
+        ds, llm, anchor = setup
+        q = IntersectionQuery((
+            ChainQuery(anchor, (SCHEMA.parentOf,)),
+            ChainQuery(anchor, (SCHEMA.ancestorOf,)),
+        ))
+        gold = execute_fol(ds.kg, q)
+        predicted = LARKReasoner(llm, ds.kg).answer(q)
+        assert answer_f1(predicted, gold) > 0.5
+
+    def test_union_answering(self, setup):
+        ds, llm, anchor = setup
+        q = UnionQuery((
+            ChainQuery(anchor, (SCHEMA.parentOf,)),
+            ChainQuery(anchor, (SCHEMA.marriedTo,)),
+        ))
+        gold = execute_fol(ds.kg, q)
+        predicted = LARKReasoner(llm, ds.kg).answer(q)
+        assert answer_f1(predicted, gold) > 0.5
+
+
+class TestVerbalization:
+    def test_1p_mentions_anchor_and_relation(self, setup):
+        ds, _, anchor = setup
+        text = verbalize_query(ds.kg, ChainQuery(anchor, (SCHEMA.parentOf,)))
+        assert ds.kg.label(anchor) in text
+        assert "parent of" in text
+
+
+class TestAnswerF1:
+    def test_both_empty_perfect(self):
+        assert answer_f1(set(), set()) == 1.0
+
+    def test_one_empty_zero(self):
+        assert answer_f1({IRI("http://x/a")}, set()) == 0.0

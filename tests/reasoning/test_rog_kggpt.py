@@ -1,0 +1,98 @@
+"""Tests for RoG and KG-GPT."""
+
+import pytest
+
+from repro.kg.datasets import family_kg, SCHEMA
+from repro.llm import load_model
+from repro.reasoning import KGGPTVerifier, RoGReasoner
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = family_kg(seed=1)
+    llm = load_model("chatgpt", world=ds.kg, seed=0)
+    return ds, llm
+
+
+class TestRoG:
+    def test_single_hop_question(self, setup):
+        ds, llm = setup
+        triple = ds.kg.store.match(None, SCHEMA.marriedTo, None)[0]
+        question = f"Who married to {ds.kg.label(triple.subject)}?"
+        result = RoGReasoner(llm, ds.kg).answer(question)
+        assert triple.object in result.answers
+
+    def test_plans_are_groundable(self, setup):
+        ds, llm = setup
+        triple = ds.kg.store.match(None, SCHEMA.marriedTo, None)[0]
+        question = f"Who married to {ds.kg.label(triple.subject)}?"
+        result = RoGReasoner(llm, ds.kg).answer(question)
+        assert result.plans  # a faithful plan was produced
+        assert all(SCHEMA.marriedTo in plan for plan in result.plans)
+
+    def test_explanation_shows_paths(self, setup):
+        ds, llm = setup
+        triple = ds.kg.store.match(None, SCHEMA.marriedTo, None)[0]
+        question = f"Who married to {ds.kg.label(triple.subject)}?"
+        result = RoGReasoner(llm, ds.kg).answer(question)
+        assert ds.kg.label(triple.subject) in result.explanation
+
+    def test_nonsense_question_yields_no_plan(self, setup):
+        ds, llm = setup
+        result = RoGReasoner(llm, ds.kg).answer("What is the meaning of life?")
+        assert result.plans == []
+        assert result.answers == set()
+
+    def test_pipeline_stage_names(self, setup):
+        ds, llm = setup
+        reasoner = RoGReasoner(llm, ds.kg)
+        assert reasoner.pipeline.stage_names() == [
+            "planning", "retrieval", "reasoning"]
+
+
+class TestKGGPT:
+    def test_true_single_fact_claim(self, setup):
+        ds, llm = setup
+        triple = ds.kg.store.match(None, SCHEMA.marriedTo, None)[0]
+        claim = ds.kg.verbalize_triple(triple)
+        verdict = KGGPTVerifier(llm, ds.kg).verify(claim)
+        assert verdict.supported is True
+
+    def test_false_claim_detected(self, setup):
+        ds, llm = setup
+        married = ds.kg.store.match(None, SCHEMA.marriedTo, None)
+        subject = married[0].subject
+        # Claim subject is married to someone they are not married to.
+        other = next(t.object for t in married
+                     if t.subject != subject and t.object != subject and
+                     not ds.kg.store.match(subject, SCHEMA.marriedTo, t.object))
+        claim = f"{ds.kg.label(subject)} married to {ds.kg.label(other)}."
+        verdict = KGGPTVerifier(llm, ds.kg).verify(claim)
+        assert verdict.supported is False
+
+    def test_conjunctive_claim_split_into_segments(self, setup):
+        ds, llm = setup
+        t1, t2 = ds.kg.store.match(None, SCHEMA.marriedTo, None)[:2]
+        claim = (ds.kg.verbalize_triple(t1).rstrip(".") + " and " +
+                 ds.kg.verbalize_triple(t2))
+        verdict = KGGPTVerifier(llm, ds.kg).verify(claim)
+        assert len(verdict.segments) == 2
+        assert verdict.supported is True
+
+    def test_mixed_claim_is_false(self, setup):
+        ds, llm = setup
+        married = ds.kg.store.match(None, SCHEMA.marriedTo, None)
+        true_part = ds.kg.verbalize_triple(married[0]).rstrip(".")
+        subject = married[0].subject
+        other = next(t.object for t in married
+                     if t.subject != subject and t.object != subject and
+                     not ds.kg.store.match(subject, SCHEMA.marriedTo, t.object))
+        claim = f"{true_part} and {ds.kg.label(subject)} married to {ds.kg.label(other)}."
+        verdict = KGGPTVerifier(llm, ds.kg).verify(claim)
+        assert verdict.supported is False
+
+    def test_evidence_recorded(self, setup):
+        ds, llm = setup
+        triple = ds.kg.store.match(None, SCHEMA.marriedTo, None)[0]
+        verdict = KGGPTVerifier(llm, ds.kg).verify(ds.kg.verbalize_triple(triple))
+        assert verdict.segments[0].evidence

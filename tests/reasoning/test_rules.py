@@ -1,0 +1,121 @@
+"""Tests for Horn rules, scoring and forward chaining."""
+
+import pytest
+
+from repro.kg.datasets import family_kg, SCHEMA
+from repro.kg.store import TripleStore
+from repro.kg.triples import IRI, Namespace, Triple
+from repro.reasoning.rules import (
+    Rule, candidate_chain_rules, derive_facts, forward_chain, score_rule,
+)
+
+X = Namespace("http://x/")
+
+
+class TestRule:
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            Rule(head=X.r, body=())
+
+    def test_inverse_requires_single_atom(self):
+        with pytest.raises(ValueError):
+            Rule(head=X.r, body=(X.a, X.b), inverse_body=True)
+
+    def test_describe_chain(self):
+        rule = Rule(head=X.grandparent, body=(X.parent, X.parent))
+        assert rule.describe() == "grandparent(X,Z) :- parent(X,Y1), parent(Y1,Z)"
+
+    def test_describe_inverse(self):
+        rule = Rule(head=X.knows, body=(X.knows,), inverse_body=True)
+        assert rule.describe() == "knows(X,Y) :- knows(Y,X)"
+
+
+class TestScoring:
+    @pytest.fixture
+    def store(self):
+        return TripleStore([
+            Triple(X.a, X.parent, X.b), Triple(X.b, X.parent, X.c),
+            Triple(X.a, X.grand, X.c),
+            Triple(X.d, X.parent, X.e), Triple(X.e, X.parent, X.f),
+            # (d, grand, f) missing: confidence 0.5
+        ])
+
+    def test_support_counts_body_instances(self, store):
+        rule = Rule(head=X.grand, body=(X.parent, X.parent))
+        stats = score_rule(store, rule)
+        assert stats.support == 2
+
+    def test_confidence(self, store):
+        rule = Rule(head=X.grand, body=(X.parent, X.parent))
+        assert score_rule(store, rule).confidence == 0.5
+
+    def test_perfect_rule_on_family_kg(self):
+        ds = family_kg(seed=0)
+        rule = Rule(head=SCHEMA.ancestorOf, body=(SCHEMA.parentOf, SCHEMA.parentOf))
+        stats = score_rule(ds.kg.store, rule)
+        assert stats.confidence == 1.0
+        assert stats.support > 10
+
+    def test_symmetry_rule_on_family_kg(self):
+        ds = family_kg(seed=0)
+        rule = Rule(head=SCHEMA.marriedTo, body=(SCHEMA.marriedTo,),
+                    inverse_body=True)
+        assert score_rule(ds.kg.store, rule).confidence == 1.0
+
+    def test_bad_rule_low_confidence(self):
+        ds = family_kg(seed=0)
+        rule = Rule(head=SCHEMA.marriedTo, body=(SCHEMA.parentOf,))
+        assert score_rule(ds.kg.store, rule).confidence < 0.2
+
+
+class TestForwardChain:
+    def test_derives_composition(self):
+        store = TripleStore([
+            Triple(X.a, X.parent, X.b), Triple(X.b, X.parent, X.c),
+        ])
+        rule = Rule(head=X.grand, body=(X.parent, X.parent))
+        closed = forward_chain(store, [rule])
+        assert Triple(X.a, X.grand, X.c) in closed
+
+    def test_rules_feed_each_other(self):
+        store = TripleStore([
+            Triple(X.a, X.parent, X.b), Triple(X.b, X.parent, X.c),
+            Triple(X.c, X.parent, X.d),
+        ])
+        rules = [
+            Rule(head=X.anc, body=(X.parent,)),
+            Rule(head=X.anc, body=(X.anc, X.anc)),
+        ]
+        closed = forward_chain(store, rules)
+        assert Triple(X.a, X.anc, X.d) in closed
+
+    def test_input_unchanged(self):
+        store = TripleStore([Triple(X.a, X.parent, X.b), Triple(X.b, X.parent, X.c)])
+        forward_chain(store, [Rule(head=X.grand, body=(X.parent, X.parent))])
+        assert len(store) == 2
+
+    def test_derive_facts_returns_only_new(self):
+        store = TripleStore([
+            Triple(X.a, X.parent, X.b), Triple(X.b, X.parent, X.c),
+            Triple(X.a, X.grand, X.c),
+        ])
+        rule = Rule(head=X.grand, body=(X.parent, X.parent))
+        assert derive_facts(store, [rule]) == []
+
+    def test_no_reflexive_derivations(self):
+        store = TripleStore([Triple(X.a, X.knows, X.a)])
+        rule = Rule(head=X.friend, body=(X.knows,))
+        closed = forward_chain(store, [rule])
+        assert Triple(X.a, X.friend, X.a) not in closed
+
+
+class TestCandidateMining:
+    def test_finds_true_rules_on_family(self):
+        ds = family_kg(seed=0, families=3)
+        candidates = candidate_chain_rules(ds.kg.store, max_body=2, min_support=3)
+        descriptions = {c.describe() for c in candidates}
+        assert "ancestorOf(X,Z) :- parentOf(X,Y1), parentOf(Y1,Z)" in descriptions
+
+    def test_min_support_filters(self):
+        store = TripleStore([Triple(X.a, X.p, X.b)])
+        assert candidate_chain_rules(store, min_support=5) == []

@@ -1,0 +1,97 @@
+"""Unit tests for the Cypher-subset translator and engine."""
+
+import pytest
+
+from repro.kg.datasets import movie_kg
+from repro.sparql.cypher import CypherEngine, CypherParseError, cypher_to_sparql
+from repro.sparql.parser import parse_query
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return movie_kg(seed=3)
+
+
+@pytest.fixture(scope="module")
+def engine(ds):
+    return CypherEngine(ds.kg.store)
+
+
+class TestTranslation:
+    def test_label_becomes_rdf_type(self):
+        sparql = cypher_to_sparql("MATCH (m:Movie) RETURN m")
+        assert "?m a <http://repro.dev/schema/Movie>" in sparql
+        parse_query(sparql)  # must be valid in our subset
+
+    def test_relationship_direction_forward(self):
+        sparql = cypher_to_sparql("MATCH (m:Movie)-[:directedBy]->(d) RETURN d")
+        assert "?m <http://repro.dev/schema/directedBy> ?d" in sparql
+
+    def test_relationship_direction_backward(self):
+        sparql = cypher_to_sparql("MATCH (m)<-[:directedBy]-(d) RETURN d")
+        assert "?d <http://repro.dev/schema/directedBy> ?m" in sparql
+
+    def test_name_property_maps_to_rdfs_label(self):
+        sparql = cypher_to_sparql('MATCH (m:Movie {name: "X"}) RETURN m')
+        assert "rdf-schema#label" in sparql and '"X"' in sparql
+
+    def test_where_comparison(self):
+        sparql = cypher_to_sparql(
+            "MATCH (m:Movie) WHERE m.releaseYear > 2000 RETURN m")
+        assert "FILTER (?m_releaseYear > 2000)" in sparql
+
+    def test_where_inequality(self):
+        sparql = cypher_to_sparql(
+            'MATCH (m:Movie) WHERE m.name <> "X" RETURN m')
+        assert "!=" in sparql
+
+    def test_count(self):
+        sparql = cypher_to_sparql("MATCH (m:Movie) RETURN count(m)")
+        assert "COUNT(?m)" in sparql
+
+    def test_limit_and_distinct(self):
+        sparql = cypher_to_sparql("MATCH (m:Movie) RETURN DISTINCT m LIMIT 4")
+        assert "DISTINCT" in sparql and "LIMIT 4" in sparql
+
+    def test_order_by_property(self):
+        sparql = cypher_to_sparql(
+            "MATCH (m:Movie) RETURN m.name ORDER BY m.releaseYear DESC")
+        assert "ORDER BY DESC(?m_releaseYear)" in sparql
+
+    def test_multi_hop_chain(self):
+        sparql = cypher_to_sparql(
+            "MATCH (a:Actor)<-[:starring]-(m:Movie)-[:directedBy]->(d) RETURN d")
+        assert "starring" in sparql and "directedBy" in sparql
+
+    @pytest.mark.parametrize("bad", [
+        "MATCH RETURN x",
+        "CREATE (n) RETURN n",
+        "MATCH (m) WHERE m.x ~ 3 RETURN m",
+        "MATCH (m)-[x]-(n) RETURN m",
+    ])
+    def test_unsupported_shapes_raise(self, bad):
+        with pytest.raises(CypherParseError):
+            cypher_to_sparql(bad)
+
+
+class TestExecution:
+    def test_count_matches_dataset(self, ds, engine):
+        rows = engine.execute("MATCH (m:Movie) RETURN count(m)")
+        assert int(rows[0]["count"].lexical) == len(ds.metadata["movies"])
+
+    def test_lookup_by_name(self, ds, engine):
+        title = ds.kg.label(next(iter(ds.kg.find_by_label("The Silent Horizon"))))
+        rows = engine.execute(
+            f'MATCH (m:Movie {{name: "{title}"}})-[:directedBy]->(d) RETURN d.name')
+        assert len(rows) == 1
+
+    def test_filter_on_year(self, engine):
+        rows = engine.execute(
+            "MATCH (m:Movie) WHERE m.releaseYear > 2020 RETURN m.name")
+        assert isinstance(rows, list)
+
+    def test_distinct_genres(self, ds, engine):
+        rows = engine.execute(
+            "MATCH (m:Movie)-[:hasGenre]->(g:Genre) RETURN DISTINCT g")
+        assert len(rows) <= len(ds.metadata["genres"])
+        assert len(rows) == len({r["g"] for r in rows})

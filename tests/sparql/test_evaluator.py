@@ -1,0 +1,217 @@
+"""Unit + property tests for SPARQL evaluation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg.datasets import movie_kg, SCHEMA
+from repro.kg.store import TripleStore
+from repro.kg.triples import IRI, Literal, Namespace, Triple, XSD
+from repro.sparql import SparqlEngine
+from repro.sparql.evaluator import SparqlEvaluationError
+
+X = Namespace("http://x/")
+
+
+@pytest.fixture
+def engine():
+    store = TripleStore([
+        Triple(X.alice, X.knows, X.bob),
+        Triple(X.bob, X.knows, X.carol),
+        Triple(X.alice, X.age, Literal("41", datatype=XSD.integer)),
+        Triple(X.bob, X.age, Literal("35", datatype=XSD.integer)),
+        Triple(X.carol, X.age, Literal("62", datatype=XSD.integer)),
+        Triple(X.alice, X.name, Literal("Alice")),
+        Triple(X.bob, X.name, Literal("Bob")),
+        Triple(X.alice, X.city, Literal("Paris", language="fr")),
+    ])
+    return SparqlEngine(store)
+
+
+class TestBasicSelect:
+    def test_single_pattern(self, engine):
+        rows = engine.select("SELECT ?x WHERE { <http://x/alice> <http://x/knows> ?x }")
+        assert rows == [{"x": X.bob}]
+
+    def test_join_two_patterns(self, engine):
+        rows = engine.select(
+            "SELECT ?z WHERE { <http://x/alice> <http://x/knows> ?y . "
+            "?y <http://x/knows> ?z }")
+        assert rows == [{"z": X.carol}]
+
+    def test_projection_drops_other_vars(self, engine):
+        rows = engine.select("SELECT ?y WHERE { ?x <http://x/knows> ?y }")
+        assert all(set(r) == {"y"} for r in rows)
+
+    def test_select_star_keeps_all(self, engine):
+        rows = engine.select("SELECT * WHERE { ?x <http://x/knows> ?y }")
+        assert all(set(r) == {"x", "y"} for r in rows)
+
+    def test_shared_variable_must_agree(self, engine):
+        rows = engine.select("SELECT ?x WHERE { ?x <http://x/knows> ?x }")
+        assert rows == []
+
+    def test_no_solutions(self, engine):
+        assert engine.select("SELECT ?x WHERE { ?x <http://x/missing> ?y }") == []
+
+
+class TestFilters:
+    def test_numeric_comparison(self, engine):
+        rows = engine.select(
+            "SELECT ?p WHERE { ?p <http://x/age> ?a FILTER (?a > 40) }")
+        assert {r["p"] for r in rows} == {X.alice, X.carol}
+
+    def test_equality_on_string(self, engine):
+        rows = engine.select(
+            'SELECT ?p WHERE { ?p <http://x/name> ?n FILTER (?n = "Alice") }')
+        assert rows == [{"p": X.alice}]
+
+    def test_boolean_and(self, engine):
+        rows = engine.select(
+            "SELECT ?p WHERE { ?p <http://x/age> ?a FILTER (?a > 30 && ?a < 50) }")
+        assert {r["p"] for r in rows} == {X.alice, X.bob}
+
+    def test_regex(self, engine):
+        rows = engine.select(
+            'SELECT ?p WHERE { ?p <http://x/name> ?n FILTER REGEX(?n, "^Al") }')
+        assert rows == [{"p": X.alice}]
+
+    def test_regex_case_insensitive_flag(self, engine):
+        rows = engine.select(
+            'SELECT ?p WHERE { ?p <http://x/name> ?n FILTER REGEX(?n, "^al", "i") }')
+        assert rows == [{"p": X.alice}]
+
+    def test_contains(self, engine):
+        rows = engine.select(
+            'SELECT ?p WHERE { ?p <http://x/name> ?n FILTER CONTAINS(?n, "ob") }')
+        assert rows == [{"p": X.bob}]
+
+    def test_lang(self, engine):
+        rows = engine.select(
+            'SELECT ?v WHERE { ?p <http://x/city> ?v FILTER (LANG(?v) = "fr") }')
+        assert len(rows) == 1
+
+    def test_filter_error_means_false(self, engine):
+        # Comparing an IRI with < is a type error → row dropped, not raised.
+        rows = engine.select(
+            "SELECT ?x WHERE { ?x <http://x/knows> ?y FILTER (?y < 3) }")
+        assert rows == []
+
+    def test_bang_bound_with_optional(self, engine):
+        rows = engine.select(
+            "SELECT ?x WHERE { ?x <http://x/age> ?a . "
+            "OPTIONAL { ?x <http://x/name> ?n } FILTER (!BOUND(?n)) }")
+        assert {r["x"] for r in rows} == {X.carol}
+
+
+class TestOptionalUnion:
+    def test_optional_keeps_unmatched(self, engine):
+        rows = engine.select(
+            "SELECT ?x ?n WHERE { ?x <http://x/age> ?a . "
+            "OPTIONAL { ?x <http://x/name> ?n } }")
+        assert len(rows) == 3
+        without_name = [r for r in rows if "n" not in r]
+        assert len(without_name) == 1
+
+    def test_union_combines(self, engine):
+        rows = engine.select(
+            "SELECT ?x WHERE { { ?x <http://x/knows> <http://x/bob> } UNION "
+            "{ ?x <http://x/knows> <http://x/carol> } }")
+        assert {r["x"] for r in rows} == {X.alice, X.bob}
+
+
+class TestModifiers:
+    def test_order_by_numeric(self, engine):
+        rows = engine.select(
+            "SELECT ?a WHERE { ?p <http://x/age> ?a } ORDER BY ?a")
+        values = [int(r["a"].lexical) for r in rows]
+        assert values == sorted(values)
+
+    def test_order_by_desc(self, engine):
+        rows = engine.select(
+            "SELECT ?a WHERE { ?p <http://x/age> ?a } ORDER BY DESC(?a)")
+        values = [int(r["a"].lexical) for r in rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_limit_offset(self, engine):
+        all_rows = engine.select(
+            "SELECT ?a WHERE { ?p <http://x/age> ?a } ORDER BY ?a")
+        page = engine.select(
+            "SELECT ?a WHERE { ?p <http://x/age> ?a } ORDER BY ?a LIMIT 1 OFFSET 1")
+        assert page == all_rows[1:2]
+
+    def test_distinct(self, engine):
+        engine.store.add(Triple(X.dave, X.knows, X.bob))
+        rows = engine.select("SELECT DISTINCT ?y WHERE { ?x <http://x/knows> ?y }")
+        assert len(rows) == len({r["y"] for r in rows})
+
+    def test_count_star(self, engine):
+        rows = engine.select("SELECT (COUNT(*) AS ?n) WHERE { ?x <http://x/knows> ?y }")
+        assert rows[0]["n"].lexical == "2"
+
+    def test_count_distinct(self, engine):
+        engine.store.add(Triple(X.dave, X.knows, X.bob))
+        rows = engine.select(
+            "SELECT (COUNT(DISTINCT ?y) AS ?n) WHERE { ?x <http://x/knows> ?y }")
+        assert rows[0]["n"].lexical == "2"
+
+    def test_group_by_count(self, engine):
+        engine.store.add(Triple(X.dave, X.knows, X.bob))
+        rows = engine.select(
+            "SELECT ?y (COUNT(?x) AS ?n) WHERE { ?x <http://x/knows> ?y } GROUP BY ?y")
+        counts = {r["y"]: int(r["n"].lexical) for r in rows}
+        assert counts[X.bob] == 2
+        assert counts[X.carol] == 1
+
+
+class TestAsk:
+    def test_ask_true(self, engine):
+        assert engine.ask("ASK { <http://x/alice> <http://x/knows> ?x }")
+
+    def test_ask_false(self, engine):
+        assert not engine.ask("ASK { <http://x/carol> <http://x/knows> ?x }")
+
+    def test_execute_dispatches(self, engine):
+        assert engine.execute("ASK { ?x ?p ?o }") is True
+        assert isinstance(engine.execute("SELECT ?x { ?x ?p ?o } LIMIT 1"), list)
+
+
+class TestOnGeneratedDataset:
+    def test_movie_query_matches_store_api(self):
+        ds = movie_kg(seed=5)
+        engine = SparqlEngine(ds.kg.store)
+        rows = engine.select(
+            "PREFIX s: <http://repro.dev/schema/> "
+            "SELECT ?m ?d WHERE { ?m a s:Movie ; s:directedBy ?d }")
+        via_api = {(t.subject, t.object)
+                   for t in ds.kg.store.match(None, SCHEMA.directedBy, None)}
+        assert {(r["m"], r["d"]) for r in rows} == via_api
+
+    def test_two_hop_query(self):
+        ds = movie_kg(seed=5)
+        engine = SparqlEngine(ds.kg.store)
+        rows = engine.select(
+            "PREFIX s: <http://repro.dev/schema/> "
+            "SELECT DISTINCT ?g WHERE { ?m s:directedBy ?d . ?m s:hasGenre ?g }")
+        assert rows  # every movie has a director and a genre
+
+
+# ---------------------------------------------------------------------------
+# Property: join order never changes results
+# ---------------------------------------------------------------------------
+
+_entity = st.sampled_from([X.a, X.b, X.c, X.d])
+_pred = st.sampled_from([X.p, X.q])
+_triple = st.builds(Triple, _entity, _pred, _entity)
+
+
+@settings(max_examples=40, deadline=None)
+@given(triples=st.lists(_triple, min_size=1, max_size=25))
+def test_bgp_result_independent_of_syntactic_order(triples):
+    engine = SparqlEngine(TripleStore(triples))
+    q1 = ("SELECT ?x ?y ?z WHERE { ?x <http://x/p> ?y . ?y <http://x/q> ?z }")
+    q2 = ("SELECT ?x ?y ?z WHERE { ?y <http://x/q> ?z . ?x <http://x/p> ?y }")
+    rows1 = engine.select(q1)
+    rows2 = engine.select(q2)
+    key = lambda r: tuple(sorted((k, v.n3()) for k, v in r.items()))
+    assert sorted(map(key, rows1)) == sorted(map(key, rows2))

@@ -1,0 +1,65 @@
+"""Unit tests for the SPARQL lexer."""
+
+import pytest
+
+from repro.sparql.lexer import SparqlLexError, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select WHERE")[:2] == ["SELECT", "WHERE"]
+
+    def test_variable(self):
+        tokens = tokenize("?name $other")
+        assert tokens[0].kind == "VAR" and tokens[0].text == "?name"
+        assert tokens[1].kind == "VAR"
+
+    def test_iriref(self):
+        assert kinds("<http://x/a>")[0] == "IRIREF"
+
+    def test_prefixed_name(self):
+        assert kinds("foaf:name")[0] == "PNAME"
+
+    def test_prefix_namespace(self):
+        assert kinds("foaf:")[0] == "PNAME_NS"
+
+    def test_string_with_escape(self):
+        tokens = tokenize('"he said \\"hi\\""')
+        assert tokens[0].kind == "STRING"
+
+    def test_langtag(self):
+        assert kinds('"x"@en')[:2] == ["STRING", "LANGTAG"]
+
+    def test_datatype_marker(self):
+        assert kinds('"1"^^<http://x/int>') == ["STRING", "DTYPE", "IRIREF", "EOF"]
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 -7")
+        assert all(t.kind == "NUMBER" for t in tokens[:-1])
+
+    def test_operators(self):
+        assert kinds("= != < <= > >= && || !")[:-1] == [
+            "EQ", "NEQ", "LT", "LE", "GT", "GE", "ANDAND", "OROR", "BANG"]
+
+    def test_punctuation(self):
+        assert kinds("{ } ( ) . ; , *")[:-1] == [
+            "LBRACE", "RBRACE", "LPAREN", "RPAREN", "DOT", "SEMICOLON",
+            "COMMA", "STAR"]
+
+    def test_comment_skipped(self):
+        assert kinds("SELECT # comment here\n?x") == ["SELECT", "VAR", "EOF"]
+
+    def test_a_keyword(self):
+        assert kinds("a")[0] == "A"
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT ?x")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].kind == "EOF"

@@ -1,0 +1,150 @@
+"""Tests for query simplification, satisfiability and SPARQL→Cypher."""
+
+import pytest
+
+from repro.kg.datasets import movie_kg
+from repro.sparql import (
+    CypherEngine, SparqlEngine, check_satisfiability, parse_query, simplify,
+    sparql_to_cypher,
+)
+from repro.sparql import algebra as alg
+
+S = "PREFIX s: <http://repro.dev/schema/> "
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return movie_kg(seed=3)
+
+
+class TestSimplify:
+    def test_duplicate_patterns_dropped(self):
+        q = simplify(S + "SELECT ?m WHERE { ?m a s:Movie . ?m a s:Movie }")
+        assert len(q.where.elements[0].patterns) == 1
+
+    def test_tautological_filter_dropped(self):
+        q = simplify(S + "SELECT ?m WHERE { ?m a s:Movie FILTER (?m = ?m) }")
+        assert not any(isinstance(e, alg.Filter) for e in q.where.elements)
+
+    def test_constant_true_filter_dropped(self):
+        q = simplify('SELECT ?m WHERE { ?m ?p ?o FILTER ("a" = "a") }')
+        assert not any(isinstance(e, alg.Filter) for e in q.where.elements)
+
+    def test_meaningful_filter_kept(self):
+        q = simplify(S + "SELECT ?m WHERE { ?m s:releaseYear ?y FILTER (?y > 2000) }")
+        assert any(isinstance(e, alg.Filter) for e in q.where.elements)
+
+    def test_duplicate_union_branches_merge(self):
+        q = simplify(S + "SELECT ?x WHERE { { ?x a s:Movie } UNION { ?x a s:Movie } }")
+        assert not any(isinstance(e, alg.UnionPattern) for e in q.where.elements)
+
+    def test_distinct_union_branches_kept(self):
+        q = simplify(S + "SELECT ?x WHERE { { ?x a s:Movie } UNION { ?x a s:Genre } }")
+        unions = [e for e in q.where.elements if isinstance(e, alg.UnionPattern)]
+        assert unions and len(unions[0].alternatives) == 2
+
+    def test_semantics_preserved(self, ds):
+        engine = SparqlEngine(ds.kg.store)
+        text = S + ("SELECT ?m WHERE { ?m a s:Movie . ?m a s:Movie . "
+                    "?m s:releaseYear ?y FILTER (?y > 2000 && ?m = ?m) }")
+        original = engine.select(text)
+        simplified = engine.select(simplify(text))
+        key = lambda r: tuple(sorted((k, v.n3()) for k, v in r.items()))
+        assert sorted(map(key, original)) == sorted(map(key, simplified))
+
+    def test_input_not_modified(self):
+        parsed = parse_query(S + "SELECT ?m WHERE { ?m a s:Movie . ?m a s:Movie }")
+        simplify(parsed)
+        assert len(parsed.where.elements[0].patterns) == 2
+
+
+class TestSatisfiability:
+    def test_contradictory_equalities(self):
+        report = check_satisfiability(
+            'SELECT ?x WHERE { ?x ?p ?n FILTER (?n = "a" && ?n = "b") }')
+        assert not report.satisfiable
+        assert "both" in report.reasons[0]
+
+    def test_self_inequality(self):
+        report = check_satisfiability(
+            "SELECT ?x WHERE { ?x ?p ?o FILTER (?x != ?x) }")
+        assert not report.satisfiable
+
+    def test_unknown_predicate_with_store(self, ds):
+        report = check_satisfiability(
+            S + "SELECT ?x WHERE { ?x s:nonexistent ?y }", store=ds.kg.store)
+        assert not report.satisfiable
+
+    def test_empty_class_with_store(self, ds):
+        report = check_satisfiability(
+            S + "SELECT ?x WHERE { ?x a s:Spaceship }", store=ds.kg.store)
+        # s:Spaceship never typed anything; rdf:type itself is known.
+        assert not report.satisfiable
+
+    def test_disjoint_classes_with_ontology(self, ds):
+        report = check_satisfiability(
+            S + "SELECT ?x WHERE { ?x a s:Movie . ?x a s:Genre }",
+            ontology=ds.ontology)
+        assert not report.satisfiable
+        assert "disjoint" in report.reasons[0]
+
+    def test_domain_conflict_with_ontology(self, ds):
+        # subject of directedBy must be a Movie; also typed Person → disjoint.
+        report = check_satisfiability(
+            S + "SELECT ?x WHERE { ?x s:directedBy ?d . ?x a s:Person }",
+            ontology=ds.ontology)
+        assert not report.satisfiable
+
+    def test_satisfiable_query_passes_all_checks(self, ds):
+        report = check_satisfiability(
+            S + "SELECT ?x WHERE { ?x s:directedBy ?d . ?x a s:Movie }",
+            store=ds.kg.store, ontology=ds.ontology)
+        assert report.satisfiable and report.reasons == []
+
+    def test_unsatisfiable_queries_indeed_return_nothing(self, ds):
+        """Soundness: everything flagged unsatisfiable evaluates to []."""
+        engine = SparqlEngine(ds.kg.store)
+        queries = [
+            'SELECT ?x WHERE { ?x <http://repro.dev/schema/starring> ?n FILTER (?n = "a" && ?n = "b") }',
+            S + "SELECT ?x WHERE { ?x s:nonexistent ?y }",
+            S + "SELECT ?x WHERE { ?x a s:Movie . ?x a s:Genre }",
+        ]
+        for text in queries:
+            report = check_satisfiability(text, store=ds.kg.store,
+                                          ontology=ds.ontology)
+            assert not report.satisfiable
+            assert engine.select(text) == []
+
+
+class TestSparqlToCypher:
+    def test_roundtrip_execution_matches(self, ds):
+        text = (S + 'PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> '
+                'SELECT ?d WHERE { ?m a s:Movie ; '
+                'rdfs:label "The Silent Horizon" ; s:directedBy ?d }')
+        cypher = sparql_to_cypher(text)
+        sparql_rows = SparqlEngine(ds.kg.store).select(text)
+        cypher_rows = CypherEngine(ds.kg.store).execute(cypher)
+        assert {r["d"] for r in sparql_rows} == {r["d"] for r in cypher_rows}
+
+    def test_label_becomes_name_map(self):
+        text = ('PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> '
+                'SELECT ?m WHERE { ?m rdfs:label "X" }')
+        assert '{name: "X"}' in sparql_to_cypher(text)
+
+    def test_type_becomes_node_label(self):
+        cypher = sparql_to_cypher(S + "SELECT ?m WHERE { ?m a s:Movie }")
+        assert "(m:Movie)" in cypher
+
+    def test_limit_and_distinct_carry_over(self):
+        cypher = sparql_to_cypher(
+            S + "SELECT DISTINCT ?m WHERE { ?m a s:Movie } LIMIT 3")
+        assert "DISTINCT" in cypher and "LIMIT 3" in cypher
+
+    @pytest.mark.parametrize("bad", [
+        "SELECT ?x WHERE { <http://x/s> ?p ?o }",          # variable predicate
+        "SELECT ?x WHERE { ?x <http://other/rel> ?y }",    # foreign namespace
+        "SELECT ?x WHERE { { ?x ?p ?o } UNION { ?x ?q ?o } }",  # not a BGP
+    ])
+    def test_outside_fragment_raises(self, bad):
+        with pytest.raises(ValueError):
+            sparql_to_cypher(bad)

@@ -1,0 +1,163 @@
+"""Unit tests for the SPARQL parser (algebra construction and errors)."""
+
+import pytest
+
+from repro.kg.triples import IRI, Literal, RDF, XSD
+from repro.sparql import algebra as alg
+from repro.sparql.parser import SparqlParseError, parse_query
+
+
+class TestSelectStructure:
+    def test_simple_select(self):
+        q = parse_query("SELECT ?x WHERE { ?x <http://x/p> ?y }")
+        assert isinstance(q, alg.SelectQuery)
+        assert q.variables == [alg.Var("x")]
+        bgp = q.where.elements[0]
+        assert isinstance(bgp, alg.BGP)
+        assert bgp.patterns[0].predicate == IRI("http://x/p")
+
+    def test_select_star(self):
+        q = parse_query("SELECT * WHERE { ?x ?p ?o }")
+        assert q.variables == []
+
+    def test_where_keyword_optional(self):
+        q = parse_query("SELECT ?x { ?x ?p ?o }")
+        assert isinstance(q, alg.SelectQuery)
+
+    def test_distinct(self):
+        assert parse_query("SELECT DISTINCT ?x { ?x ?p ?o }").distinct
+
+    def test_prefix_expansion(self):
+        q = parse_query("PREFIX ex: <http://x/> SELECT ?s { ?s ex:p ?o }")
+        assert q.where.elements[0].patterns[0].predicate == IRI("http://x/p")
+
+    def test_undeclared_prefix_raises(self):
+        with pytest.raises(SparqlParseError, match="undeclared prefix"):
+            parse_query("SELECT ?s { ?s ex:p ?o }")
+
+    def test_a_expands_to_rdf_type(self):
+        q = parse_query("SELECT ?s { ?s a <http://x/C> }")
+        assert q.where.elements[0].patterns[0].predicate == RDF.type
+
+    def test_predicate_object_list(self):
+        q = parse_query("SELECT ?s { ?s <http://x/p> ?a ; <http://x/q> ?b , ?c }")
+        patterns = q.where.elements[0].patterns
+        assert len(patterns) == 3
+        assert all(p.subject == alg.Var("s") for p in patterns)
+
+    def test_multiple_statements_with_dots(self):
+        q = parse_query("SELECT ?s { ?s <http://x/p> ?a . ?a <http://x/q> ?b . }")
+        assert len(q.where.elements[0].patterns) == 2
+
+    def test_string_literal_object(self):
+        q = parse_query('SELECT ?s { ?s <http://x/p> "hello" }')
+        assert q.where.elements[0].patterns[0].object == Literal("hello")
+
+    def test_typed_literal_object(self):
+        q = parse_query('SELECT ?s { ?s <http://x/p> "5"^^<%s> }' % XSD.integer)
+        assert q.where.elements[0].patterns[0].object == \
+            Literal("5", datatype=XSD.integer)
+
+    def test_number_literal_object(self):
+        q = parse_query("SELECT ?s { ?s <http://x/p> 5 }")
+        assert q.where.elements[0].patterns[0].object == \
+            Literal("5", datatype=XSD.integer)
+
+
+class TestModifiers:
+    def test_order_limit_offset(self):
+        q = parse_query("SELECT ?x { ?x ?p ?o } ORDER BY ?x LIMIT 10 OFFSET 5")
+        assert q.order_by == [alg.OrderCondition(alg.Var("x"))]
+        assert q.limit == 10
+        assert q.offset == 5
+
+    def test_order_desc(self):
+        q = parse_query("SELECT ?x { ?x ?p ?o } ORDER BY DESC(?x)")
+        assert q.order_by[0].descending
+
+    def test_limit_before_offset_or_after(self):
+        q1 = parse_query("SELECT ?x { ?x ?p ?o } LIMIT 3 OFFSET 1")
+        q2 = parse_query("SELECT ?x { ?x ?p ?o } OFFSET 1 LIMIT 3")
+        assert (q1.limit, q1.offset) == (q2.limit, q2.offset) == (3, 1)
+
+    def test_count_star(self):
+        q = parse_query("SELECT (COUNT(*) AS ?n) { ?x ?p ?o }")
+        assert q.count == alg.CountAggregate(var=None, alias=alg.Var("n"))
+
+    def test_count_distinct_var(self):
+        q = parse_query("SELECT (COUNT(DISTINCT ?x) AS ?n) { ?x ?p ?o }")
+        assert q.count.distinct and q.count.var == alg.Var("x")
+
+    def test_count_with_group_by(self):
+        q = parse_query("SELECT ?g (COUNT(?m) AS ?n) { ?m <http://x/p> ?g } GROUP BY ?g")
+        assert q.group_by == [alg.Var("g")]
+        assert q.variables == [alg.Var("g")]
+
+
+class TestGraphPatterns:
+    def test_filter(self):
+        q = parse_query("SELECT ?x { ?x <http://x/p> ?y FILTER (?y > 3) }")
+        filters = [e for e in q.where.elements if isinstance(e, alg.Filter)]
+        assert len(filters) == 1
+        assert isinstance(filters[0].expression, alg.Comparison)
+
+    def test_filter_function(self):
+        q = parse_query('SELECT ?x { ?x ?p ?y FILTER REGEX(?y, "abc") }')
+        filters = [e for e in q.where.elements if isinstance(e, alg.Filter)]
+        assert filters[0].expression.name == "REGEX"
+
+    def test_optional(self):
+        q = parse_query("SELECT ?x { ?x <http://x/p> ?y OPTIONAL { ?x <http://x/q> ?z } }")
+        optionals = [e for e in q.where.elements if isinstance(e, alg.OptionalPattern)]
+        assert len(optionals) == 1
+
+    def test_union(self):
+        q = parse_query("SELECT ?x { { ?x a <http://x/A> } UNION { ?x a <http://x/B> } }")
+        unions = [e for e in q.where.elements if isinstance(e, alg.UnionPattern)]
+        assert len(unions) == 1
+        assert len(unions[0].alternatives) == 2
+
+    def test_three_way_union(self):
+        q = parse_query(
+            "SELECT ?x { { ?x a <http://x/A> } UNION { ?x a <http://x/B> } "
+            "UNION { ?x a <http://x/C> } }")
+        unions = [e for e in q.where.elements if isinstance(e, alg.UnionPattern)]
+        assert len(unions[0].alternatives) == 3
+
+    def test_boolean_expression(self):
+        q = parse_query("SELECT ?x { ?x <http://x/p> ?y FILTER (?y > 1 && ?y < 9) }")
+        expr = [e for e in q.where.elements if isinstance(e, alg.Filter)][0].expression
+        assert isinstance(expr, alg.BoolOp) and expr.op == "&&"
+
+    def test_negation(self):
+        q = parse_query("SELECT ?x { ?x ?p ?y FILTER (!BOUND(?y)) }")
+        expr = [e for e in q.where.elements if isinstance(e, alg.Filter)][0].expression
+        assert isinstance(expr, alg.NotOp)
+
+
+class TestAsk:
+    def test_ask_query(self):
+        q = parse_query("ASK { ?x <http://x/p> ?y }")
+        assert isinstance(q, alg.AskQuery)
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "",
+        "SELECT",
+        "SELECT ?x WHERE ?x ?p ?o }",
+        "SELECT ?x WHERE { ?x ?p }",
+        "SELECT ?x WHERE { ?x ?p ?o",
+        "FOO ?x { ?x ?p ?o }",
+        "SELECT ?x { ?x ?p ?o } LIMIT abc",
+        "SELECT ?x { ?x ?p ?o } ORDER BY",
+        "SELECT ?x { ?x ?p ?o } GROUP BY",
+        "SELECT ?x { \x01 }",
+    ])
+    def test_malformed_queries_raise_parse_error(self, bad):
+        with pytest.raises(SparqlParseError):
+            parse_query(bad)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SparqlParseError):
+            parse_query("SELECT ?x { ?x ?p ?o } garbage")

@@ -1,0 +1,148 @@
+"""Tests for SPARQL property paths (^, /, +, *)."""
+
+import pytest
+
+from repro.kg.datasets import family_kg, SCHEMA
+from repro.kg.store import TripleStore
+from repro.kg.triples import IRI, Namespace, Triple
+from repro.sparql import SparqlEngine, SparqlParseError, parse_query
+from repro.sparql import algebra as alg
+
+X = Namespace("http://x/")
+S = "PREFIX s: <http://repro.dev/schema/> "
+
+
+@pytest.fixture(scope="module")
+def family():
+    ds = family_kg(seed=1)
+    grandparent = next(
+        t.subject for t in ds.kg.store.match(None, SCHEMA.parentOf, None)
+        if ds.kg.store.match(t.object, SCHEMA.parentOf, None))
+    return ds, SparqlEngine(ds.kg.store), grandparent
+
+
+@pytest.fixture
+def chain_engine():
+    store = TripleStore([
+        Triple(X.a, X.next, X.b), Triple(X.b, X.next, X.c),
+        Triple(X.c, X.next, X.d),
+        Triple(X.a, X.kind, X.k1),
+    ])
+    return SparqlEngine(store)
+
+
+class TestParsing:
+    def test_one_or_more(self):
+        q = parse_query("SELECT ?x WHERE { <http://x/a> <http://x/p>+ ?x }")
+        predicate = q.where.elements[0].patterns[0].predicate
+        assert isinstance(predicate, alg.OneOrMorePath)
+
+    def test_zero_or_more(self):
+        q = parse_query("SELECT ?x WHERE { <http://x/a> <http://x/p>* ?x }")
+        assert isinstance(q.where.elements[0].patterns[0].predicate,
+                          alg.ZeroOrMorePath)
+
+    def test_sequence(self):
+        q = parse_query(
+            "SELECT ?x WHERE { <http://x/a> <http://x/p>/<http://x/q> ?x }")
+        predicate = q.where.elements[0].patterns[0].predicate
+        assert isinstance(predicate, alg.SequencePath)
+        assert len(predicate.parts) == 2
+
+    def test_inverse(self):
+        q = parse_query("SELECT ?x WHERE { ?x ^<http://x/p> <http://x/a> }")
+        assert isinstance(q.where.elements[0].patterns[0].predicate,
+                          alg.InversePath)
+
+    def test_grouped_path_with_modifier(self):
+        q = parse_query(
+            "SELECT ?x WHERE { <http://x/a> (<http://x/p>)+ ?x }")
+        assert isinstance(q.where.elements[0].patterns[0].predicate,
+                          alg.OneOrMorePath)
+
+    def test_plain_iri_still_plain(self):
+        q = parse_query("SELECT ?x WHERE { <http://x/a> <http://x/p> ?x }")
+        assert isinstance(q.where.elements[0].patterns[0].predicate, IRI)
+
+    def test_path_over_literal_rejected(self):
+        with pytest.raises(SparqlParseError):
+            parse_query('SELECT ?x WHERE { ?x "lit"+ ?y }')
+
+
+class TestEvaluation:
+    def test_one_or_more_transitive(self, chain_engine):
+        rows = chain_engine.select(
+            "SELECT ?x WHERE { <http://x/a> <http://x/next>+ ?x }")
+        assert {r["x"] for r in rows} == {X.b, X.c, X.d}
+
+    def test_zero_or_more_includes_self(self, chain_engine):
+        rows = chain_engine.select(
+            "SELECT ?x WHERE { <http://x/a> <http://x/next>* ?x }")
+        assert {r["x"] for r in rows} == {X.a, X.b, X.c, X.d}
+
+    def test_sequence_two_hops(self, chain_engine):
+        rows = chain_engine.select(
+            "SELECT ?x WHERE { <http://x/a> <http://x/next>/<http://x/next> ?x }")
+        assert {r["x"] for r in rows} == {X.c}
+
+    def test_three_part_sequence(self, chain_engine):
+        rows = chain_engine.select(
+            "SELECT ?x WHERE { <http://x/a> "
+            "<http://x/next>/<http://x/next>/<http://x/next> ?x }")
+        assert {r["x"] for r in rows} == {X.d}
+
+    def test_inverse_direction(self, chain_engine):
+        # ``?x ^p o`` ≡ ``o p ?x`` (SPARQL 1.1): c --next--> d, so x = d.
+        rows = chain_engine.select(
+            "SELECT ?x WHERE { ?x ^<http://x/next> <http://x/c> }")
+        assert {r["x"] for r in rows} == {X.d}
+
+    def test_closure_backwards_from_object(self, chain_engine):
+        rows = chain_engine.select(
+            "SELECT ?x WHERE { ?x <http://x/next>+ <http://x/d> }")
+        assert {r["x"] for r in rows} == {X.a, X.b, X.c}
+
+    def test_both_ends_bound(self, chain_engine):
+        assert chain_engine.select(
+            "SELECT * WHERE { <http://x/a> <http://x/next>+ <http://x/d> }")
+        assert not chain_engine.select(
+            "SELECT * WHERE { <http://x/d> <http://x/next>+ <http://x/a> }")
+
+    def test_unbound_both_ends(self, chain_engine):
+        rows = chain_engine.select(
+            "SELECT ?a ?b WHERE { ?a <http://x/next>+ ?b }")
+        assert (X.a, X.d) in {(r["a"], r["b"]) for r in rows}
+
+    def test_cycle_terminates(self):
+        store = TripleStore([Triple(X.a, X.next, X.b), Triple(X.b, X.next, X.a)])
+        engine = SparqlEngine(store)
+        rows = engine.select(
+            "SELECT ?x WHERE { <http://x/a> <http://x/next>+ ?x }")
+        assert {r["x"] for r in rows} == {X.a, X.b}
+
+    def test_path_joins_with_plain_patterns(self, chain_engine):
+        rows = chain_engine.select(
+            "SELECT ?x WHERE { ?s <http://x/kind> <http://x/k1> . "
+            "?s <http://x/next>+ ?x }")
+        assert {r["x"] for r in rows} == {X.b, X.c, X.d}
+
+
+class TestOnFamilyKG:
+    def test_parent_plus_equals_ancestor(self, family):
+        ds, engine, grandparent = family
+        rows = engine.select(
+            S + f"SELECT ?x WHERE {{ <{grandparent.value}> s:parentOf+ ?x }}")
+        closure = {t.object for t in
+                   ds.kg.store.match(grandparent, SCHEMA.ancestorOf, None)}
+        assert {r["x"] for r in rows} == closure
+
+    def test_sequence_grandchildren(self, family):
+        ds, engine, grandparent = family
+        rows = engine.select(
+            S + f"SELECT ?x WHERE {{ <{grandparent.value}> "
+            "s:parentOf/s:parentOf ?x }")
+        expected = set()
+        for t in ds.kg.store.match(grandparent, SCHEMA.parentOf, None):
+            for t2 in ds.kg.store.match(t.object, SCHEMA.parentOf, None):
+                expected.add(t2.object)
+        assert {r["x"] for r in rows} == expected

@@ -1,0 +1,95 @@
+"""Meta-tests on the public API: docstring coverage and prompt round-trips.
+
+A library release is judged by its surface: every public module, class and
+function must carry a docstring, and the prompt render/parse contract the
+whole simulation rests on must hold for arbitrary content.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.llm import prompts as P
+
+PACKAGES = [
+    "repro.core", "repro.kg", "repro.sparql", "repro.llm", "repro.text",
+    "repro.vector", "repro.construction", "repro.kg2text", "repro.reasoning",
+    "repro.completion", "repro.validation", "repro.enhanced", "repro.qa",
+    "repro.analysis", "repro.eval",
+]
+
+
+def _iter_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        for info in pkgutil.iter_modules(package.__path__,
+                                         prefix=package_name + "."):
+            yield importlib.import_module(info.name)
+
+
+class TestDocstrings:
+    def test_every_module_has_a_docstring(self):
+        missing = [m.__name__ for m in _iter_modules() if not m.__doc__]
+        assert not missing, missing
+
+    def test_every_public_class_and_function_documented(self):
+        missing = []
+        for module in _iter_modules():
+            for name, obj in vars(module).items():
+                if name.startswith("_"):
+                    continue
+                if getattr(obj, "__module__", None) != module.__name__:
+                    continue  # re-exports are documented at their source
+                if inspect.isclass(obj) or inspect.isfunction(obj):
+                    if not inspect.getdoc(obj):
+                        missing.append(f"{module.__name__}.{name}")
+        assert not missing, missing
+
+    def test_public_methods_documented(self):
+        missing = []
+        for module in _iter_modules():
+            for name, obj in vars(module).items():
+                if name.startswith("_") or not inspect.isclass(obj):
+                    continue
+                if obj.__module__ != module.__name__:
+                    continue
+                for method_name, method in vars(obj).items():
+                    if method_name.startswith("_"):
+                        continue
+                    if inspect.isfunction(method) and not inspect.getdoc(method):
+                        missing.append(
+                            f"{module.__name__}.{name}.{method_name}")
+        assert not missing, missing
+
+
+_section = st.sampled_from(P.SECTIONS)
+# Section contents must not themselves start a line that looks like a
+# different section header; plain words exercise the contract fairly.
+_content = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"),
+                           whitelist_characters=" .,!?-"),
+    min_size=1, max_size=60,
+).filter(lambda s: s.strip() and ":" not in s)
+
+
+class TestPromptRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(fields=st.lists(st.tuples(_section, _content), min_size=1,
+                           max_size=6))
+    def test_render_parse_preserves_fields(self, fields):
+        prompt = P.Prompt()
+        for section, content in fields:
+            prompt.add(section, content.strip())
+        parsed = P.parse_prompt(prompt.render())
+        # Same multiset of (section, first-line content).
+        assert [(s, c) for s, c in parsed.fields] == \
+            [(s, c.strip()) for s, c in prompt.fields]
+
+    def test_version_exposed(self):
+        assert repro.__version__

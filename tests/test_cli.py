@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_datasets_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("covid", "encyclopedia", "enterprise", "family", "movie"):
+            assert name in out
+
+    def test_stats(self, capsys):
+        assert main(["stats", "covid"]) == 0
+        out = capsys.readouterr().out
+        assert "triples: 113" in out
+
+    def test_unknown_dataset_exits(self):
+        with pytest.raises(SystemExit):
+            main(["stats", "nonexistent"])
+
+    def test_query(self, capsys):
+        code = main(["query", "movie",
+                     "PREFIX s: <http://repro.dev/schema/> "
+                     "SELECT ?m WHERE { ?m a s:Movie } LIMIT 2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("?m=") == 2
+
+    def test_query_parse_error_returns_2(self, capsys):
+        assert main(["query", "movie", "SELECT nonsense"]) == 2
+        assert "parse error" in capsys.readouterr().err
+
+    def test_cypher(self, capsys):
+        assert main(["cypher", "movie", "MATCH (m:Movie) RETURN count(m)"]) == 0
+        assert "?count=" in capsys.readouterr().out
+
+    def test_ask(self, capsys):
+        code = main(["--seed", "3", "ask", "movie",
+                     "What directed by The Silent Horizon?"])
+        assert code == 0
+        assert "Liam Berger" in capsys.readouterr().out
+
+    def test_check_true_statement(self, capsys):
+        code = main(["--seed", "3", "check", "movie",
+                     "The Silent Horizon directed by Liam Berger."])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "true"
+
+    def test_validate_clean_dataset(self, capsys):
+        assert main(["validate", "covid"]) == 0
+        assert "consistent" in capsys.readouterr().out
+
+    def test_table1_and_figure2(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Fact Checking" in capsys.readouterr().out
+        assert main(["figure2"]) == 0
+        assert "Freebase" in capsys.readouterr().out
+
+    def test_chat_reads_stdin(self, capsys, monkeypatch):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO("Hello!\n\n"))
+        assert main(["--seed", "3", "chat", "movie"]) == 0
+        assert "[greeting]" in capsys.readouterr().out
+
+    def test_ask_no_answer(self, capsys):
+        code = main(["ask", "covid", "xyzzy gibberish?"])
+        assert code == 0
+        assert "no answer" in capsys.readouterr().out

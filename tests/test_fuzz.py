@@ -1,0 +1,113 @@
+"""Fuzz tests: adversarial inputs must raise typed errors, never crash.
+
+The library's contract everywhere is "typed exception or valid result" —
+malformed SPARQL raises :class:`SparqlParseError`, arbitrary prompts get a
+text completion, arbitrary store mutations keep the indexes coherent.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg.datasets import movie_kg
+from repro.llm import LLMConfig, SimulatedLLM, load_model
+from repro.sparql import SparqlEngine, SparqlParseError, parse_query
+from repro.sparql.cypher import CypherParseError, cypher_to_sparql
+
+_SPARQL_TOKENS = [
+    "SELECT", "ASK", "WHERE", "FILTER", "OPTIONAL", "UNION", "DISTINCT",
+    "ORDER", "BY", "LIMIT", "{", "}", "(", ")", ".", ";", ",", "*", "+",
+    "?x", "?y", "<http://x/p>", '"lit"', "42", "=", "!=", "&&", "a",
+]
+
+
+@settings(max_examples=120, deadline=None)
+@given(tokens=st.lists(st.sampled_from(_SPARQL_TOKENS), max_size=15))
+def test_parser_token_soup_never_crashes(tokens):
+    text = " ".join(tokens)
+    try:
+        parse_query(text)
+    except SparqlParseError:
+        pass  # the only acceptable failure mode
+
+
+@settings(max_examples=80, deadline=None)
+@given(text=st.text(max_size=60))
+def test_parser_arbitrary_text_never_crashes(text):
+    try:
+        parse_query(text)
+    except SparqlParseError:
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(text=st.text(max_size=60))
+def test_cypher_translator_never_crashes(text):
+    try:
+        cypher_to_sparql(text)
+    except CypherParseError:
+        pass
+
+
+class TestEngineFuzz:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return SparqlEngine(movie_kg(seed=1).kg.store)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tokens=st.lists(st.sampled_from(_SPARQL_TOKENS), max_size=12))
+    def test_execute_valid_or_typed_error(self, engine, tokens):
+        text = " ".join(tokens)
+        try:
+            result = engine.execute(text)
+        except SparqlParseError:
+            return
+        assert isinstance(result, (list, bool))
+
+
+class TestLLMFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(prompt=st.text(max_size=200))
+    def test_complete_always_returns_response(self, prompt):
+        llm = SimulatedLLM(LLMConfig(seed=1))
+        response = llm.complete(prompt)
+        assert isinstance(response.text, str)
+        assert response.prompt_tokens >= 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(task=st.sampled_from([
+        "entity extraction", "relation extraction", "fact verification",
+        "question answering", "graph verbalization", "sparql generation",
+        "question generation", "summarization", "rule mining", "chat",
+    ]), body=st.text(max_size=100))
+    def test_structured_prompts_with_garbage_bodies(self, task, body):
+        llm = load_model("bert-base", world=movie_kg(seed=1).kg, seed=2)
+        response = llm.complete(f"Task: {task}\nQuestion: {body}")
+        assert isinstance(response.text, str)
+
+    def test_empty_prompt(self):
+        llm = SimulatedLLM(LLMConfig(seed=0))
+        assert isinstance(llm.complete("").text, str)
+
+
+class TestStoreFuzzIntegration:
+    def test_random_mutations_keep_dataset_queryable(self):
+        ds = movie_kg(seed=5)
+        engine = SparqlEngine(ds.kg.store)
+        rng = random.Random(9)
+        triples = list(ds.kg.store)
+        for _ in range(200):
+            triple = triples[rng.randrange(len(triples))]
+            if rng.random() < 0.5:
+                ds.kg.store.remove(triple)
+            else:
+                ds.kg.store.add(triple)
+        rows = engine.select(
+            "PREFIX s: <http://repro.dev/schema/> "
+            "SELECT (COUNT(*) AS ?n) WHERE { ?m a s:Movie }")
+        assert int(rows[0]["n"].lexical) >= 0
+        # Index coherence after the mutation storm.
+        for t in list(ds.kg.store)[:20]:
+            assert ds.kg.store.match(t.subject, t.predicate, t.object)

@@ -1,0 +1,73 @@
+"""Tests for the KG-aligned corpus generator."""
+
+import pytest
+
+from repro.kg.datasets import covid_kg, encyclopedia_kg, movie_kg
+from repro.text import generate_extraction_corpus, generate_document
+from repro.kg.triples import IRI
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_extraction_corpus(movie_kg(seed=2), n_sentences=60, seed=4)
+
+
+class TestGeneration:
+    def test_requested_size(self, corpus):
+        assert len(corpus) == 60
+
+    def test_deterministic(self):
+        ds = movie_kg(seed=2)
+        a = generate_extraction_corpus(ds, n_sentences=30, seed=4)
+        b = generate_extraction_corpus(ds, n_sentences=30, seed=4)
+        assert [s.text for s in a.sentences] == [s.text for s in b.sentences]
+
+    def test_gold_entities_appear_in_text(self, corpus):
+        for sentence in corpus.sentences:
+            if sentence.is_paraphrase:
+                continue
+            for mention, _ in sentence.entities:
+                assert mention in sentence.text, (mention, sentence.text)
+
+    def test_gold_triples_align_with_source(self, corpus):
+        for sentence in corpus.sentences:
+            assert len(sentence.triples) == len(sentence.source_triples)
+
+    def test_entity_types_collected(self, corpus):
+        assert "Movie" in corpus.entity_types
+
+    def test_relations_collected(self, corpus):
+        assert corpus.relations
+        assert all(isinstance(r, str) for r in corpus.relations)
+
+    def test_variation_produces_paraphrases(self):
+        ds = encyclopedia_kg(seed=1)
+        varied = generate_extraction_corpus(ds, n_sentences=120, seed=0, variation=0.9)
+        plain = generate_extraction_corpus(ds, n_sentences=120, seed=0, variation=0.0)
+        assert sum(s.is_paraphrase for s in varied.sentences) > 0
+        assert sum(s.is_paraphrase for s in plain.sentences) == 0
+
+    def test_multi_triple_sentences(self):
+        ds = movie_kg(seed=2)
+        corpus = generate_extraction_corpus(ds, n_sentences=20, seed=0,
+                                            max_triples_per_sentence=2)
+        assert any(len(s.triples) == 2 for s in corpus.sentences)
+
+    def test_split(self, corpus):
+        train, test = corpus.split(0.5)
+        assert len(train) + len(test) == len(corpus)
+        assert train[0].text == corpus.sentences[0].text
+
+
+class TestDocuments:
+    def test_document_mentions_entity_facts(self):
+        ds = covid_kg()
+        covid = ds.kg.find_by_label("COVID-19")[0]
+        doc = generate_document(ds, covid, seed=1)
+        assert "SARS-CoV-2" in doc
+        assert "Fever" in doc
+
+    def test_document_deterministic(self):
+        ds = covid_kg()
+        covid = ds.kg.find_by_label("COVID-19")[0]
+        assert generate_document(ds, covid, seed=1) == generate_document(ds, covid, seed=1)

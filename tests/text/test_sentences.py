@@ -1,0 +1,25 @@
+"""Tests for sentence segmentation."""
+
+from repro.text import split_sentences
+
+
+class TestSplitSentences:
+    def test_basic_split(self):
+        assert split_sentences("One. Two! Three?") == ["One.", "Two!", "Three?"]
+
+    def test_abbreviations_kept_together(self):
+        result = split_sentences("Dr. Smith arrived. He left.")
+        assert result == ["Dr. Smith arrived.", "He left."]
+
+    def test_eg_kept_together(self):
+        result = split_sentences("Use tools, e.g. hammers. They help.")
+        assert len(result) == 2
+
+    def test_empty(self):
+        assert split_sentences("") == []
+
+    def test_no_terminal_punctuation(self):
+        assert split_sentences("no punctuation here") == ["no punctuation here"]
+
+    def test_whitespace_only(self):
+        assert split_sentences("   \n ") == []

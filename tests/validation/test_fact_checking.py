@@ -1,0 +1,103 @@
+"""Tests for fact checking (RQ4)."""
+
+import pytest
+
+from repro.kg.datasets import encyclopedia_kg
+from repro.llm import load_model
+from repro.validation import (
+    ClosedBookFactChecker, MisinformationInjector,
+    RetrievalAugmentedFactChecker, ToolAugmentedFactChecker,
+    evaluate_fact_checking,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = encyclopedia_kg(seed=2)
+    llm = load_model("chatgpt", world=ds.kg, seed=0)
+    statements = MisinformationInjector(ds.kg, seed=1).build_statements(n=50)
+    return ds, llm, statements
+
+
+class TestInjector:
+    def test_balanced_labels(self, setup):
+        _, _, statements = setup
+        n_false = sum(1 for s in statements if not s.is_true)
+        assert abs(n_false - len(statements) / 2) <= 2
+
+    def test_false_statements_not_in_kg(self, setup):
+        ds, _, statements = setup
+        for labelled in statements:
+            if not labelled.is_true:
+                assert labelled.triple not in ds.kg.store
+
+    def test_true_statements_in_kg(self, setup):
+        ds, _, statements = setup
+        for labelled in statements:
+            if labelled.is_true:
+                assert labelled.triple in ds.kg.store
+
+    def test_corruptions_are_type_plausible(self, setup):
+        ds, _, statements = setup
+        for labelled in statements:
+            if labelled.is_true:
+                continue
+            # Corrupted object appears elsewhere under the same predicate.
+            others = ds.kg.store.match(None, labelled.triple.predicate, None)
+            assert any(t.object == labelled.triple.object for t in others)
+
+    def test_deterministic(self, setup):
+        ds, _, statements = setup
+        again = MisinformationInjector(ds.kg, seed=1).build_statements(n=50)
+        assert [s.statement for s in again] == [s.statement for s in statements]
+
+
+class TestCheckers:
+    def test_grounding_beats_closed_book(self, setup):
+        ds, llm, statements = setup
+        closed = evaluate_fact_checking(ClosedBookFactChecker(llm), statements)
+        retrieval = evaluate_fact_checking(
+            RetrievalAugmentedFactChecker(llm, ds.kg), statements)
+        assert retrieval["end_to_end_accuracy"] > closed["end_to_end_accuracy"]
+
+    def test_tool_is_most_accurate(self, setup):
+        ds, llm, statements = setup
+        retrieval = evaluate_fact_checking(
+            RetrievalAugmentedFactChecker(llm, ds.kg), statements)
+        tool = evaluate_fact_checking(
+            ToolAugmentedFactChecker(llm, ds.kg), statements)
+        assert tool["end_to_end_accuracy"] >= retrieval["end_to_end_accuracy"]
+
+    def test_tool_actually_calls_the_tool(self, setup):
+        ds, llm, statements = setup
+        checker = ToolAugmentedFactChecker(llm, ds.kg)
+        evaluate_fact_checking(checker, statements[:10])
+        assert checker.tool_calls > 0
+
+    def test_lower_knowledge_coverage_hurts_closed_book(self, setup):
+        ds, _, statements = setup
+        strong = load_model("chatgpt", world=ds.kg, seed=0,
+                            knowledge_coverage=0.95, hallucination_rate=0.1)
+        weak = load_model("chatgpt", world=ds.kg, seed=0,
+                          knowledge_coverage=0.2, hallucination_rate=0.1)
+        strong_scores = evaluate_fact_checking(ClosedBookFactChecker(strong),
+                                               statements)
+        weak_scores = evaluate_fact_checking(ClosedBookFactChecker(weak),
+                                             statements)
+        assert strong_scores["end_to_end_accuracy"] > \
+            weak_scores["end_to_end_accuracy"]
+
+    def test_hallucination_hurts_accuracy_on_decided(self, setup):
+        ds, _, statements = setup
+        honest = load_model("chatgpt", world=ds.kg, seed=0,
+                            knowledge_coverage=0.3, hallucination_rate=0.0)
+        hallucinating = load_model("chatgpt", world=ds.kg, seed=0,
+                                   knowledge_coverage=0.3, hallucination_rate=0.9)
+        honest_scores = evaluate_fact_checking(ClosedBookFactChecker(honest),
+                                               statements)
+        hallucinating_scores = evaluate_fact_checking(
+            ClosedBookFactChecker(hallucinating), statements)
+        assert honest_scores["accuracy_on_decided"] >= \
+            hallucinating_scores["accuracy_on_decided"]
+        # ...but the hallucinating model decides more often.
+        assert hallucinating_scores["coverage"] >= honest_scores["coverage"]

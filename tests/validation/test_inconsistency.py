@@ -1,0 +1,135 @@
+"""Tests for inconsistency detection (RQ3)."""
+
+import pytest
+
+from repro.kg.datasets import encyclopedia_kg, family_kg, SCHEMA
+from repro.kg.ontology import Ontology, PropertyCharacteristic
+from repro.llm import load_model
+from repro.validation import (
+    ChatRuleDetector, ChatRuleMiner, ConstraintChecker,
+    DeclaredConstraintDetector, StatisticalConstraintMiner, ViolationInjector,
+    evaluate_detection,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = encyclopedia_kg(seed=2)
+    llm = load_model("chatgpt", world=ds.kg, seed=0)
+    injector = ViolationInjector(ds.kg, ds.ontology, seed=3)
+    corrupted, injected = injector.inject(n_per_kind=3)
+    return ds, llm, corrupted, injected
+
+
+class TestInjector:
+    def test_clean_kg_has_no_violations(self, setup):
+        ds, _, _, _ = setup
+        violations = ConstraintChecker(ds.ontology).check(ds.kg)
+        assert violations == []
+
+    def test_injection_adds_triples(self, setup):
+        ds, _, corrupted, injected = setup
+        assert len(corrupted) > len(ds.kg)
+        assert injected
+
+    def test_injected_kinds_are_diverse(self, setup):
+        _, _, _, injected = setup
+        assert len({v.kind for v in injected}) >= 5
+
+    def test_deterministic(self, setup):
+        ds, _, corrupted, injected = setup
+        corrupted2, injected2 = ViolationInjector(ds.kg, ds.ontology,
+                                                  seed=3).inject(n_per_kind=3)
+        assert set(corrupted.store) == set(corrupted2.store)
+        assert [v.key() for v in injected] == [v.key() for v in injected2]
+
+
+class TestFullOracleChecker:
+    def test_full_ontology_catches_all_injected(self, setup):
+        ds, _, corrupted, injected = setup
+        detected = ConstraintChecker(ds.ontology).check(corrupted)
+        scores = evaluate_detection(detected, injected)
+        assert scores["recall"] == 1.0
+
+    def test_full_ontology_perfect_precision_on_this_data(self, setup):
+        ds, _, corrupted, injected = setup
+        detected = ConstraintChecker(ds.ontology).check(corrupted)
+        scores = evaluate_detection(detected, injected)
+        assert scores["precision"] >= 0.9
+
+
+class TestDetectors:
+    @pytest.fixture(scope="class")
+    def partial(self, setup):
+        ds, _, _, _ = setup
+        partial = Ontology("partial")
+        for iri, cls in ds.ontology.classes.items():
+            partial.add_class(iri, label=cls.label, parents=cls.parents)
+        for index, (iri, prop) in enumerate(
+                sorted(ds.ontology.properties.items(), key=lambda kv: kv[0].value)):
+            keep = index % 2 == 0
+            partial.add_property(
+                iri, label=prop.label,
+                domain=prop.domain if keep else None,
+                range=prop.range if keep else None,
+                characteristics=prop.characteristics if keep else [])
+        return partial
+
+    def test_partial_declared_schema_misses_violations(self, setup, partial):
+        _, _, corrupted, injected = setup
+        detected = DeclaredConstraintDetector(partial).detect(corrupted)
+        scores = evaluate_detection(detected, injected)
+        assert scores["recall"] < 1.0
+
+    def test_statistical_miner_has_lower_precision(self, setup, partial):
+        _, _, corrupted, injected = setup
+        statistical = evaluate_detection(
+            StatisticalConstraintMiner().detect(corrupted), injected)
+        declared = evaluate_detection(
+            DeclaredConstraintDetector(partial).detect(corrupted), injected)
+        assert statistical["precision"] < declared["precision"]
+
+    def test_chatrule_beats_statistical_on_precision(self, setup):
+        _, llm, corrupted, injected = setup
+        statistical = evaluate_detection(
+            StatisticalConstraintMiner().detect(corrupted), injected)
+        chatrule = evaluate_detection(
+            ChatRuleDetector(llm).detect(corrupted), injected)
+        assert chatrule["precision"] > statistical["precision"]
+
+    def test_chatrule_f1_beats_structural_only(self, setup):
+        _, llm, corrupted, injected = setup
+        statistical = evaluate_detection(
+            StatisticalConstraintMiner().detect(corrupted), injected)
+        chatrule = evaluate_detection(
+            ChatRuleDetector(llm).detect(corrupted), injected)
+        assert chatrule["f1"] > statistical["f1"]
+
+
+class TestChatRuleMining:
+    def test_mines_symmetry_and_composition_on_family(self):
+        ds = family_kg(seed=1)
+        llm = load_model("chatgpt", world=ds.kg, seed=0)
+        rules = ChatRuleMiner(llm, ds.kg).mine_rules()
+        descriptions = {r.rule.describe(lambda i: i.local_name) for r in rules}
+        assert "marriedTo(X,Y) :- marriedTo(Y,X)" in descriptions
+        assert all(r.confidence >= 0.7 for r in rules)
+        assert all(r.support >= 3 for r in rules)
+
+    def test_rules_sorted_by_quality(self):
+        ds = family_kg(seed=1)
+        llm = load_model("chatgpt", world=ds.kg, seed=0)
+        rules = ChatRuleMiner(llm, ds.kg).mine_rules()
+        confidences = [r.confidence for r in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+
+class TestEvaluateDetection:
+    def test_empty_both_is_perfect(self):
+        scores = evaluate_detection([], [])
+        assert scores["precision"] == 1.0 and scores["recall"] == 1.0
+
+    def test_no_detection_zero_recall(self, setup):
+        _, _, _, injected = setup
+        scores = evaluate_detection([], injected)
+        assert scores["recall"] == 0.0

@@ -1,0 +1,125 @@
+"""Unit + property tests for vector indexes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vector import ClusteredVectorIndex, VectorIndex
+
+
+def unit(values):
+    v = np.asarray(values, dtype=np.float64)
+    return v / np.linalg.norm(v)
+
+
+class TestVectorIndex:
+    def test_exact_top1(self):
+        index = VectorIndex(dim=3)
+        index.add("x", unit([1, 0, 0]))
+        index.add("y", unit([0, 1, 0]))
+        hits = index.search(unit([0.9, 0.1, 0]), k=1)
+        assert hits[0].key == "x"
+
+    def test_scores_descending(self):
+        index = VectorIndex(dim=4)
+        rng = np.random.default_rng(0)
+        for i in range(20):
+            index.add(i, rng.normal(size=4))
+        hits = index.search(rng.normal(size=4), k=10)
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_larger_than_size(self):
+        index = VectorIndex(dim=2)
+        index.add("a", unit([1, 0]))
+        assert len(index.search(unit([1, 0]), k=10)) == 1
+
+    def test_payload_carried(self):
+        index = VectorIndex(dim=2)
+        index.add("a", unit([1, 0]), payload={"doc": 1})
+        assert index.search(unit([1, 0]), k=1)[0].payload == {"doc": 1}
+
+    def test_empty_index(self):
+        assert VectorIndex(dim=2).search(unit([1, 0]), k=3) == []
+
+    def test_wrong_dim_rejected(self):
+        index = VectorIndex(dim=3)
+        with pytest.raises(ValueError):
+            index.add("a", np.ones(4))
+
+    def test_add_after_search_works(self):
+        index = VectorIndex(dim=2)
+        index.add("a", unit([1, 0]))
+        index.search(unit([1, 0]), k=1)
+        index.add("b", unit([0, 1]))
+        assert index.search(unit([0, 1]), k=1)[0].key == "b"
+
+
+class TestClusteredIndex:
+    @pytest.fixture
+    def built(self):
+        rng = np.random.default_rng(1)
+        index = ClusteredVectorIndex(dim=8, n_cells=4, nprobe=4, seed=0)
+        exact = VectorIndex(dim=8)
+        for i in range(100):
+            v = rng.normal(size=8)
+            index.add(i, v)
+            exact.add(i, v)
+        index.build()
+        return index, exact, rng
+
+    def test_full_probe_matches_exact(self, built):
+        index, exact, rng = built
+        query = rng.normal(size=8)
+        approx = {h.key for h in index.search(query, k=5)}
+        truth = {h.key for h in exact.search(query, k=5)}
+        assert approx == truth  # nprobe == n_cells → exact
+
+    def test_partial_probe_has_reasonable_recall(self):
+        rng = np.random.default_rng(2)
+        index = ClusteredVectorIndex(dim=8, n_cells=8, nprobe=3, seed=0)
+        exact = VectorIndex(dim=8)
+        for i in range(200):
+            v = rng.normal(size=8)
+            index.add(i, v)
+            exact.add(i, v)
+        index.build()
+        recalls = []
+        for _ in range(20):
+            query = rng.normal(size=8)
+            approx = {h.key for h in index.search(query, k=10)}
+            truth = {h.key for h in exact.search(query, k=10)}
+            recalls.append(len(approx & truth) / 10)
+        assert sum(recalls) / len(recalls) > 0.5
+
+    def test_search_auto_builds(self):
+        index = ClusteredVectorIndex(dim=2, n_cells=2, nprobe=2, seed=0)
+        index.add("a", unit([1, 0]))
+        assert index.search(unit([1, 0]), k=1)[0].key == "a"
+
+    def test_empty(self):
+        index = ClusteredVectorIndex(dim=2)
+        index.build()
+        assert index.search(unit([1, 0]), k=1) == []
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ClusteredVectorIndex(dim=2, n_cells=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 1000), n=st.integers(1, 40))
+def test_exact_index_top1_is_argmax(seed, n):
+    rng = np.random.default_rng(seed)
+    index = VectorIndex(dim=5)
+    vectors = []
+    for i in range(n):
+        v = rng.normal(size=5)
+        vectors.append(v)
+        index.add(i, v)
+    query = rng.normal(size=5)
+    top = index.search(query, k=1)[0]
+    matrix = np.stack(vectors)
+    sims = matrix @ query / (np.linalg.norm(matrix, axis=1) * np.linalg.norm(query))
+    assert np.isclose(top.score, sims.max())
