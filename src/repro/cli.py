@@ -82,12 +82,14 @@ def cmd_query(args) -> int:
 
 
 def cmd_cypher(args) -> int:
-    from repro.sparql import CypherEngine
+    from repro.sparql import CypherEngine, SparqlParseError
     from repro.sparql.cypher import CypherParseError
     ds = _build_dataset(args.dataset, args.seed)
     try:
         rows = CypherEngine(ds.kg.store).execute(args.query)
-    except CypherParseError as exc:
+    except (CypherParseError, SparqlParseError) as exc:
+        # SparqlParseError covers queries that pass the Cypher front-end but
+        # translate to unparseable SPARQL (e.g. escaped quotes in labels).
         print(f"parse error: {exc}", file=sys.stderr)
         return 2
     print(_render_rows(rows, ds))

@@ -15,7 +15,26 @@ from repro.core.taxonomy import (
     ResearchQuestion,
     iter_nodes,
 )
-from repro.core.pipeline import Pipeline, Component, PipelineContext
+from repro.core.pipeline import (
+    Pipeline,
+    Component,
+    PipelineContext,
+    PipelineReport,
+    StagePolicy,
+    StageReport,
+)
+from repro.core.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    FallbackChain,
+    FallbackExhaustedError,
+    FallbackResult,
+    ResilienceError,
+    RetryOutcome,
+    RetryPolicy,
+)
 
 __all__ = [
     "InterplayType",
@@ -27,4 +46,17 @@ __all__ = [
     "Pipeline",
     "Component",
     "PipelineContext",
+    "PipelineReport",
+    "StagePolicy",
+    "StageReport",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadlineExceeded",
+    "FallbackChain",
+    "FallbackExhaustedError",
+    "FallbackResult",
+    "ResilienceError",
+    "RetryOutcome",
+    "RetryPolicy",
 ]

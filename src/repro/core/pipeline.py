@@ -4,14 +4,94 @@ The cooperation-style systems the survey reviews — RAG's
 indexing→retrieval→generation, RoG's planning→retrieval→reasoning,
 KG-GPT's segmentation→retrieval→inference — are all linear pipelines over a
 shared mutable context. This module gives them one explicit, inspectable
-abstraction with per-stage tracing.
+abstraction with per-stage tracing, and (since the resilience layer) a
+per-stage **error policy**: any stage can be retried with a deterministic
+backoff schedule, guarded by a circuit breaker, replaced by a fallback, or
+skipped, and every run yields a :class:`PipelineReport` recording attempts,
+breaker trips and whether the answer is degraded.
+
+Failure contract: a stage's trace entry is recorded *even when the stage
+raises* (with the error kept on the report), and on abort the partially
+executed context is attached to the exception as ``pipeline_context`` so
+callers can inspect how far the run got.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.core.resilience import CircuitBreaker, CircuitOpenError, RetryPolicy
+
+#: Stage dispositions after an error (and exhausted retries).
+ERROR_ACTIONS = ("abort", "retry", "fallback", "skip")
+
+
+@dataclass
+class StagePolicy:
+    """How one stage behaves when it raises.
+
+    ``on_error`` is the terminal disposition once retries (if any) are
+    exhausted: ``abort`` re-raises, ``fallback`` runs the fallback callable,
+    ``skip`` marks the stage skipped and continues, and ``retry`` means
+    "retry then abort" (a retry policy is implied). Only exceptions matching
+    ``catch`` are governed by the policy — anything else always aborts.
+    """
+
+    on_error: str = "abort"
+    retry: Optional[RetryPolicy] = None
+    fallback: Optional[Callable[["PipelineContext"], None]] = None
+    breaker: Optional[CircuitBreaker] = None
+    catch: Tuple[Type[BaseException], ...] = (Exception,)
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ERROR_ACTIONS:
+            raise ValueError(
+                f"on_error must be one of {ERROR_ACTIONS}, got {self.on_error!r}")
+        if self.on_error == "retry" and self.retry is None:
+            self.retry = RetryPolicy()
+        if self.on_error == "fallback" and self.fallback is None:
+            raise ValueError("on_error='fallback' requires a fallback callable")
+
+
+@dataclass
+class StageReport:
+    """One stage's outcome within a pipeline run."""
+
+    name: str
+    status: str                 # ok | retried | fell_back | skipped | failed
+    attempts: int
+    elapsed: float
+    error: Optional[str] = None
+
+
+@dataclass
+class PipelineReport:
+    """Run-level accounting: per-stage outcomes, attempts, trips, degradation."""
+
+    pipeline: str
+    stages: List[StageReport] = field(default_factory=list)
+    degraded: bool = False
+    trips: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def attempts(self) -> int:
+        """Total stage attempts across the run (retries included)."""
+        return sum(stage.attempts for stage in self.stages)
+
+    @property
+    def errors(self) -> List[Tuple[str, str]]:
+        """``(stage name, error)`` for every stage that raised."""
+        return [(s.name, s.error) for s in self.stages if s.error is not None]
+
+    def stage(self, name: str) -> Optional[StageReport]:
+        """The report for a named stage, if it ran."""
+        for report in self.stages:
+            if report.name == name:
+                return report
+        return None
 
 
 @dataclass
@@ -20,6 +100,7 @@ class PipelineContext:
 
     data: Dict[str, Any] = field(default_factory=dict)
     trace: List[Tuple[str, float]] = field(default_factory=list)
+    report: Optional[PipelineReport] = None
 
     def __getitem__(self, key: str) -> Any:
         return self.data[key]
@@ -31,6 +112,14 @@ class PipelineContext:
         """dict-style access with a default."""
         return self.data.get(key, default)
 
+    def mark_degraded(self, note: str = "") -> None:
+        """Flag this run as degraded (a stage substituted a weaker path)."""
+        self.data["degraded"] = True
+        if self.report is not None:
+            self.report.degraded = True
+            if note:
+                self.report.notes.append(note)
+
 
 @dataclass
 class Component:
@@ -38,28 +127,120 @@ class Component:
 
     name: str
     run: Callable[[PipelineContext], None]
+    policy: StagePolicy = field(default_factory=StagePolicy)
 
 
 class Pipeline:
-    """A linear sequence of components with timing traces."""
+    """A linear sequence of components with timing traces and error policies."""
 
     def __init__(self, name: str, components: Optional[Sequence[Component]] = None):
         self.name = name
         self.components: List[Component] = list(components or [])
 
-    def add(self, name: str, run: Callable[[PipelineContext], None]) -> "Pipeline":
-        """Append a stage; returns self for chaining."""
-        self.components.append(Component(name, run))
+    def add(self, name: str, run: Callable[[PipelineContext], None],
+            on_error: str = "abort", retry: Optional[RetryPolicy] = None,
+            fallback: Optional[Callable[[PipelineContext], None]] = None,
+            breaker: Optional[CircuitBreaker] = None,
+            catch: Tuple[Type[BaseException], ...] = (Exception,)) -> "Pipeline":
+        """Append a stage with its error policy; returns self for chaining."""
+        policy = StagePolicy(on_error=on_error, retry=retry, fallback=fallback,
+                             breaker=breaker, catch=catch)
+        self.components.append(Component(name, run, policy))
         return self
 
     def execute(self, **initial: Any) -> PipelineContext:
-        """Run all stages over a fresh context seeded with ``initial``."""
+        """Run all stages over a fresh context seeded with ``initial``.
+
+        The returned context carries a :class:`PipelineReport` under
+        ``context.report``. When a stage aborts the run, its trace entry
+        and report are still recorded and the partial context is attached
+        to the raised exception as ``pipeline_context``.
+        """
         context = PipelineContext(data=dict(initial))
+        report = PipelineReport(pipeline=self.name)
+        context.report = report
+        trips_before = sum(c.policy.breaker.trips for c in self.components
+                           if c.policy.breaker is not None)
         for component in self.components:
+            policy = component.policy
             started = time.perf_counter()
-            component.run(context)
-            context.trace.append((component.name, time.perf_counter() - started))
+            status = "ok"
+            attempts = 0
+            error: Optional[BaseException] = None
+            try:
+                if policy.breaker is not None and not policy.breaker.allow():
+                    raise CircuitOpenError(
+                        f"stage {component.name!r}: circuit open")
+                if policy.retry is not None:
+                    outcome = policy.retry.run(
+                        lambda: component.run(context), key=component.name)
+                    attempts = outcome.attempts
+                    if outcome.error is not None:
+                        raise outcome.error
+                    if attempts > 1:
+                        status = "retried"
+                else:
+                    attempts = 1
+                    component.run(context)
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                error = exc
+            finally:
+                elapsed = time.perf_counter() - started
+                # The failure contract: the in-flight stage's entry lands in
+                # the trace whether or not it raised.
+                context.trace.append((component.name, elapsed))
+            if policy.breaker is not None and \
+                    not isinstance(error, CircuitOpenError):
+                if error is None:
+                    policy.breaker.record_success()
+                else:
+                    policy.breaker.record_failure()
+            if error is None:
+                report.stages.append(
+                    StageReport(component.name, status, attempts, elapsed))
+                continue
+            governed = isinstance(error, policy.catch) or \
+                isinstance(error, CircuitOpenError)
+            action = policy.on_error if governed else "abort"
+            if action == "retry":       # retries already exhausted above
+                action = "abort"
+            if action == "fallback":
+                try:
+                    policy.fallback(context)  # type: ignore[misc]
+                except policy.catch as fallback_error:
+                    report.notes.append(
+                        f"{component.name}: fallback failed "
+                        f"({fallback_error!r})")
+                    action = "abort"
+                    error = fallback_error
+                else:
+                    report.stages.append(StageReport(
+                        component.name, "fell_back", max(attempts, 1),
+                        elapsed, error=repr(error)))
+                    context.mark_degraded(
+                        f"{component.name}: used fallback after {error!r}")
+                    continue
+            if action == "skip":
+                report.stages.append(StageReport(
+                    component.name, "skipped", max(attempts, 1), elapsed,
+                    error=repr(error)))
+                context.mark_degraded(
+                    f"{component.name}: skipped after {error!r}")
+                continue
+            # abort: record, expose the partial context, re-raise.
+            report.stages.append(StageReport(
+                component.name, "failed", max(attempts, 1), elapsed,
+                error=repr(error)))
+            report.trips = self._trips_since(trips_before)
+            error.pipeline_context = context  # type: ignore[attr-defined]
+            raise error
+        report.trips = self._trips_since(trips_before)
         return context
+
+    def _trips_since(self, trips_before: int) -> int:
+        trips_now = sum(c.policy.breaker.trips for c in self.components
+                        if c.policy.breaker is not None)
+        return trips_now - trips_before
 
     def stage_names(self) -> List[str]:
         """The ordered stage names (used in docs and tests)."""

@@ -1,0 +1,301 @@
+"""Offline resilience primitives: retry, deadlines, breakers, fallbacks.
+
+The cooperation architectures the survey reviews all sit in front of a
+flaky component (a paid LLM API); what makes them production-viable is the
+policy layer between pipeline and model. This module provides that layer
+in the repo's deterministic, no-wall-clock style:
+
+* :class:`RetryPolicy` — capped exponential backoff with seeded jitter.
+  Delays are *simulated*: nothing sleeps; instead delays are charged
+  against an optional :class:`Deadline`, so tests run instantly and two
+  runs with the same seed compute identical backoff schedules.
+* :class:`Deadline` — a simulated time budget; policies charge latencies
+  and backoff delays to it and stop retrying once it is exhausted.
+* :class:`CircuitBreaker` — count-based (no clock): opens after N
+  consecutive failures, rejects calls for a fixed cooldown count, then
+  half-opens a single probe.
+* :class:`FallbackChain` — ordered alternatives; the first that succeeds
+  wins, and using any step past the first marks the result degraded.
+
+The module is intentionally independent of :mod:`repro.llm` — policies
+classify exceptions by the types the caller passes (``retry_on``/
+``catch``) and read ``retry_after``/``simulated_latency`` attributes
+duck-typed, so the same primitives guard KG stores, retrievers, or any
+other stage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Type
+
+
+def _stable_unit(*parts: str) -> float:
+    """Deterministic float in [0, 1) keyed by the parts."""
+    digest = hashlib.blake2b("\x00".join(parts).encode("utf-8"),
+                             digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2 ** 64
+
+
+class ResilienceError(RuntimeError):
+    """Base class for failures raised by the resilience layer itself."""
+
+
+class DeadlineExceeded(ResilienceError):
+    """The simulated time budget ran out."""
+
+
+class CircuitOpenError(ResilienceError):
+    """The breaker is open; the call was rejected without being attempted."""
+
+
+class FallbackExhaustedError(ResilienceError):
+    """Every step of a fallback chain failed.
+
+    ``errors`` holds ``(step name, exception)`` for each failed step.
+    """
+
+    def __init__(self, message: str,
+                 errors: Sequence[Tuple[str, BaseException]] = ()):
+        super().__init__(message)
+        self.errors = list(errors)
+
+
+@dataclass
+class Deadline:
+    """A simulated time budget (seconds of pretend wall clock).
+
+    Policies ``charge`` simulated latencies and backoff delays against it;
+    nothing ever sleeps.
+    """
+
+    budget: float
+    spent: float = 0.0
+
+    @property
+    def remaining(self) -> float:
+        """Unspent budget (never negative)."""
+        return max(0.0, self.budget - self.spent)
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget is exhausted."""
+        return self.spent >= self.budget
+
+    def charge(self, seconds: float) -> None:
+        """Consume ``seconds`` of simulated time."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self.spent += seconds
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self.expired:
+            raise DeadlineExceeded(
+                f"simulated deadline exceeded ({self.spent:.2f}s "
+                f"of {self.budget:.2f}s budget)")
+
+
+@dataclass
+class RetryOutcome:
+    """What a retried call produced: a value or a final error, plus the
+    attempt count and total simulated delay consumed."""
+
+    value: Any
+    error: Optional[BaseException]
+    attempts: int
+    simulated_delay: float
+
+    @property
+    def ok(self) -> bool:
+        """Whether the call eventually succeeded."""
+        return self.error is None
+
+
+class RetryPolicy:
+    """Deterministic exponential backoff with seeded jitter.
+
+    ``delay_for(attempt, key)`` is a pure function of the policy seed, the
+    caller-supplied key and the attempt number, so a rerun reproduces the
+    identical backoff schedule. A rate-limited error's ``retry_after``
+    hint (duck-typed) floors the computed delay; an error's
+    ``simulated_latency`` is charged in addition to the backoff.
+    """
+
+    def __init__(self, max_attempts: int = 3, base_delay: float = 0.5,
+                 multiplier: float = 2.0, max_delay: float = 30.0,
+                 jitter: float = 0.25, seed: int = 0,
+                 retry_on: Tuple[Type[BaseException], ...] = (Exception,)):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.seed = seed
+        self.retry_on = retry_on
+
+    def delay_for(self, attempt: int, key: str = "") -> float:
+        """The simulated backoff before retry number ``attempt`` (0-based)."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+        spread = 1.0 + self.jitter * (
+            2.0 * _stable_unit(str(self.seed), key, str(attempt)) - 1.0)
+        return raw * spread
+
+    def run(self, fn: Callable[[], Any], key: str = "",
+            deadline: Optional[Deadline] = None) -> RetryOutcome:
+        """Call ``fn`` with retries; never raises for ``retry_on`` errors.
+
+        Returns a :class:`RetryOutcome`; non-retryable exceptions propagate
+        unchanged. Retrying stops early when the deadline expires.
+        """
+        total_delay = 0.0
+        last: Optional[BaseException] = None
+        attempts = 0
+        for attempt in range(self.max_attempts):
+            attempts = attempt + 1
+            try:
+                value = fn()
+            except self.retry_on as exc:
+                last = exc
+                latency = float(getattr(exc, "simulated_latency", 0.0) or 0.0)
+                if latency and deadline is not None:
+                    deadline.charge(latency)
+                if attempt + 1 >= self.max_attempts:
+                    break
+                delay = self.delay_for(attempt, key)
+                retry_after = getattr(exc, "retry_after", None)
+                if retry_after:
+                    delay = max(delay, float(retry_after))
+                total_delay += delay + latency
+                if deadline is not None:
+                    deadline.charge(delay)
+                    if deadline.expired:
+                        break
+            else:
+                return RetryOutcome(value, None, attempts, total_delay)
+        return RetryOutcome(None, last, attempts, total_delay)
+
+    def call(self, fn: Callable[[], Any], key: str = "",
+             deadline: Optional[Deadline] = None) -> Any:
+        """Like :meth:`run`, but returns the value and re-raises the final
+        error when every attempt failed."""
+        outcome = self.run(fn, key=key, deadline=deadline)
+        if outcome.error is not None:
+            raise outcome.error
+        return outcome.value
+
+
+class CircuitBreaker:
+    """A count-based circuit breaker (no clock, fully deterministic).
+
+    Closed → open after ``failure_threshold`` consecutive failures; while
+    open the next ``cooldown`` calls are rejected with
+    :class:`CircuitOpenError`; the call after that is the half-open probe —
+    its success closes the circuit, its failure re-opens it.
+    """
+
+    def __init__(self, failure_threshold: int = 5, cooldown: int = 3,
+                 name: str = ""):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.name = name
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.trips = 0
+        self.rejected = 0
+        self._cooldown_left = 0
+
+    def allow(self) -> bool:
+        """Whether the next call may proceed (advances the cooldown)."""
+        if self.state == "open":
+            if self._cooldown_left > 0:
+                self._cooldown_left -= 1
+                self.rejected += 1
+                return False
+            self.state = "half-open"
+        return True
+
+    def record_success(self) -> None:
+        """Note a successful call: closes the circuit."""
+        self.state = "closed"
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """Note a failed call; trips the breaker at the threshold (or
+        immediately when the half-open probe fails)."""
+        self.consecutive_failures += 1
+        if self.state == "half-open" or \
+                self.consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = "open"
+        self.trips += 1
+        self._cooldown_left = self.cooldown
+        self.consecutive_failures = 0
+
+    def call(self, fn: Callable[[], Any]) -> Any:
+        """Guard one call: reject when open, record the outcome otherwise."""
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit {self.name or 'breaker'} is open "
+                f"({self._cooldown_left + 1} rejections left in cooldown)")
+        try:
+            value = fn()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return value
+
+
+@dataclass
+class FallbackResult:
+    """The outcome of a fallback chain: which step answered, with what."""
+
+    value: Any
+    step: str
+    index: int
+    errors: List[Tuple[str, BaseException]] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when anything but the primary step produced the value."""
+        return self.index > 0
+
+
+class FallbackChain:
+    """Ordered alternatives tried until one succeeds.
+
+    Steps are ``(name, fn)`` pairs; ``fn`` receives the arguments passed
+    to :meth:`run`. Exceptions matching ``catch`` move on to the next
+    step; anything else propagates. When every step fails,
+    :class:`FallbackExhaustedError` carries the per-step errors.
+    """
+
+    def __init__(self, *steps: Tuple[str, Callable[..., Any]],
+                 catch: Tuple[Type[BaseException], ...] = (Exception,)):
+        if not steps:
+            raise ValueError("a fallback chain needs at least one step")
+        self.steps = list(steps)
+        self.catch = catch
+
+    def run(self, *args: Any, **kwargs: Any) -> FallbackResult:
+        """Try each step in order; return the first success."""
+        errors: List[Tuple[str, BaseException]] = []
+        for index, (name, fn) in enumerate(self.steps):
+            try:
+                value = fn(*args, **kwargs)
+            except self.catch as exc:
+                errors.append((name, exc))
+                continue
+            return FallbackResult(value=value, step=name, index=index,
+                                  errors=errors)
+        raise FallbackExhaustedError(
+            f"all {len(self.steps)} fallback steps failed "
+            f"({', '.join(name for name, _ in errors)})", errors)

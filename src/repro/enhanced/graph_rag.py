@@ -15,9 +15,11 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
+from repro.core.resilience import RetryPolicy
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import IRI, OWL, RDF, RDFS
 from repro.llm import prompts as P
+from repro.llm.faults import LLMTransientError
 from repro.llm.model import SimulatedLLM
 
 
@@ -40,12 +42,18 @@ class GraphRAG:
     """Community-summary RAG over a knowledge graph."""
 
     def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph,
-                 max_facts_per_summary: int = 150):
+                 max_facts_per_summary: int = 150,
+                 retry: Optional[RetryPolicy] = None):
         self.llm = llm
         self.kg = kg
         self.max_facts_per_summary = max_facts_per_summary
+        self.retry = retry or RetryPolicy(max_attempts=3,
+                                          retry_on=(LLMTransientError,))
         self.communities: List[Community] = []
         self._next_id = 0
+        # Resilience accounting for the most recent answer_* call.
+        self.last_degraded = False
+        self.last_faulted_communities = 0
 
     # ------------------------------------------------------------------
     # Index construction
@@ -139,21 +147,36 @@ class GraphRAG:
         """
         if not self.communities:
             self.build()
+        self.last_degraded = False
+        self.last_faulted_communities = 0
         communities = self.communities if granularity == "top" else self.leaves()
         partials: List[str] = []
         for community in communities:
             if not community.summary:
                 continue
-            response = self.llm.complete(P.summarization_prompt(
-                community.summary, focus=question))
-            if response.text:
-                partials.append(response.text)
+            outcome = self.retry.run(
+                lambda: self.llm.complete(P.summarization_prompt(
+                    community.summary, focus=question)),
+                key=f"map:{community.community_id}")
+            if outcome.error is not None:
+                # Map-reduce degrades gracefully: a faulting community drops
+                # out of the reduce instead of failing the whole answer.
+                self.last_faulted_communities += 1
+                self.last_degraded = True
+                continue
+            if outcome.value.text:
+                partials.append(outcome.value.text)
         if not partials:
             return "unknown"
         # Reduce: merge the partial answers into one focused summary.
-        merged = self.llm.complete(P.summarization_prompt(" ".join(partials),
-                                                          focus=question))
-        return merged.text or " ".join(partials)
+        outcome = self.retry.run(
+            lambda: self.llm.complete(P.summarization_prompt(
+                " ".join(partials), focus=question)),
+            key="reduce")
+        if outcome.error is not None:
+            self.last_degraded = True
+            return " ".join(partials)
+        return outcome.value.text or " ".join(partials)
 
     def answer_local(self, question: str) -> str:
         """Local questions: entity-level retrieval plus the entity's
@@ -174,9 +197,16 @@ class GraphRAG:
             if seeds & set(community.entities):
                 context_parts.append(community.summary)
                 break
+        self.last_degraded = False
+        self.last_faulted_communities = 0
         prompt = P.qa_prompt(question,
                              context=" ".join(context_parts) or None)
-        return P.parse_qa_response(self.llm.complete(prompt).text)
+        outcome = self.retry.run(lambda: self.llm.complete(prompt),
+                                 key=f"local:{question}")
+        if outcome.error is not None:
+            self.last_degraded = True
+            return "unknown"
+        return P.parse_qa_response(outcome.value.text)
 
     def coverage_of(self, key_facts: Sequence[str], answer: str) -> float:
         """Fraction of gold key phrases present in a global answer —

@@ -13,11 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.pipeline import Pipeline, PipelineContext
+from repro.core.pipeline import Pipeline, PipelineContext, PipelineReport
+from repro.core.resilience import RetryPolicy
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import RDF, RDFS
 from repro.llm import prompts as P
 from repro.llm.embedding import TextEncoder
+from repro.llm.faults import LLMTransientError
 from repro.llm.model import SimulatedLLM
 from repro.llm.tokenizer import word_tokens
 from repro.text import split_sentences
@@ -62,20 +64,33 @@ class DocumentChunker:
 
 
 class NaiveRAG:
-    """Indexing → retrieval → generation."""
+    """Indexing → retrieval → generation.
+
+    Resilience: retrieval failures degrade to an empty context (closed-book
+    prompting), and transient LLM faults on the augmented generation call
+    are retried, then degrade to a closed-book answer — the run never
+    raises for operational faults, and ``context.report.degraded`` records
+    that quality was sacrificed.
+    """
 
     def __init__(self, llm: SimulatedLLM, encoder: Optional[TextEncoder] = None,
-                 chunker: Optional[DocumentChunker] = None, top_k: int = 4):
+                 chunker: Optional[DocumentChunker] = None, top_k: int = 4,
+                 retry: Optional[RetryPolicy] = None):
         self.llm = llm
         self.encoder = encoder or TextEncoder(dim=96)
         self.chunker = chunker or DocumentChunker()
         self.top_k = top_k
+        self.retry = retry or RetryPolicy(max_attempts=3,
+                                          retry_on=(LLMTransientError,))
         self.index = VectorIndex(dim=self.encoder.dim)
         self.chunks: Dict[str, Chunk] = {}
         self.pipeline = (
             Pipeline("naive-rag")
-            .add("retrieval", self._retrieve)
-            .add("generation", self._generate)
+            .add("retrieval", self._retrieve,
+                 on_error="fallback", fallback=self._retrieve_nothing)
+            .add("generation", self._generate, retry=self.retry,
+                 on_error="fallback", fallback=self._generate_closed_book,
+                 catch=(LLMTransientError,))
         )
 
     # -- indexing -----------------------------------------------------------
@@ -96,6 +111,12 @@ class NaiveRAG:
         context = self.pipeline.execute(question=question)
         return context["answer"]
 
+    def answer_with_report(self, question: str) -> Tuple[str, PipelineReport]:
+        """Like :meth:`answer`, plus the run's resilience report."""
+        context = self.pipeline.execute(question=question)
+        assert context.report is not None
+        return context["answer"], context.report
+
     def retrieve(self, question: str) -> List[Chunk]:
         """The chunks the generator would see for this question."""
         hits = self.index.search(self._query_vector(question), k=self.top_k)
@@ -107,11 +128,25 @@ class NaiveRAG:
     def _retrieve(self, context: PipelineContext) -> None:
         context["chunks"] = self.retrieve(context["question"])
 
+    def _retrieve_nothing(self, context: PipelineContext) -> None:
+        """Retrieval fallback: proceed closed-book with no chunks."""
+        context["chunks"] = []
+
     def _generate(self, context: PipelineContext) -> None:
         chunks: List[Chunk] = context["chunks"]
         prompt = P.qa_prompt(context["question"],
                              context=" ".join(c.text for c in chunks) or None)
         context["answer"] = P.parse_qa_response(self.llm.complete(prompt).text)
+
+    def _generate_closed_book(self, context: PipelineContext) -> None:
+        """Generation fallback: drop the retrieved context (the augmented
+        prompt kept faulting) and answer from parametric memory; if even
+        the bare call faults, abstain rather than crash."""
+        try:
+            response = self.llm.complete(P.qa_prompt(context["question"]))
+            context["answer"] = P.parse_qa_response(response.text)
+        except LLMTransientError:
+            context["answer"] = "unknown"
 
 
 class AdvancedRAG(NaiveRAG):
@@ -119,8 +154,9 @@ class AdvancedRAG(NaiveRAG):
 
     def __init__(self, llm: SimulatedLLM, encoder: Optional[TextEncoder] = None,
                  chunker: Optional[DocumentChunker] = None, top_k: int = 4,
-                 retrieve_factor: int = 3):
-        super().__init__(llm, encoder=encoder, chunker=chunker, top_k=top_k)
+                 retrieve_factor: int = 3, retry: Optional[RetryPolicy] = None):
+        super().__init__(llm, encoder=encoder, chunker=chunker, top_k=top_k,
+                         retry=retry)
         self.retrieve_factor = retrieve_factor
         self.pipeline.name = "advanced-rag"
 
@@ -162,8 +198,10 @@ class ModularRAG(AdvancedRAG):
 
     def __init__(self, llm: SimulatedLLM, encoder: Optional[TextEncoder] = None,
                  chunker: Optional[DocumentChunker] = None, top_k: int = 4,
-                 kg: Optional[KnowledgeGraph] = None, kg_facts: int = 6):
-        super().__init__(llm, encoder=encoder, chunker=chunker, top_k=top_k)
+                 kg: Optional[KnowledgeGraph] = None, kg_facts: int = 6,
+                 retry: Optional[RetryPolicy] = None):
+        super().__init__(llm, encoder=encoder, chunker=chunker, top_k=top_k,
+                         retry=retry)
         self.kg = kg
         self.kg_facts = kg_facts
         self.pipeline.name = "modular-rag"
@@ -195,7 +233,12 @@ class ModularRAG(AdvancedRAG):
         question = context["question"]
         facts: List[str] = []
         for retriever in self.extra_retrievers:
-            facts.extend(retriever(question))
+            try:
+                facts.extend(retriever(question))
+            except LLMTransientError:
+                # A faulting module degrades the context, not the answer path.
+                context.mark_degraded("modular-rag: retrieval module faulted")
+        context["facts"] = facts
         prompt = P.qa_prompt(
             question,
             context=" ".join(c.text for c in chunks) or None,

@@ -18,6 +18,15 @@ from repro.llm.tokenizer import WordTokenizer
 from repro.llm.embedding import HashEmbedder, TextEncoder, cosine_similarity
 from repro.llm.ngram import NGramLanguageModel
 from repro.llm.model import SimulatedLLM, LLMConfig, LLMResponse, ChatMessage
+from repro.llm.faults import (
+    FaultInjectingLLM,
+    FaultProfile,
+    LLMMalformedOutputError,
+    LLMRateLimitError,
+    LLMTimeoutError,
+    LLMTransientError,
+    LLMTruncatedOutputError,
+)
 from repro.llm.registry import MODEL_PROFILES, load_model
 
 __all__ = [
@@ -30,6 +39,13 @@ __all__ = [
     "LLMConfig",
     "LLMResponse",
     "ChatMessage",
+    "FaultInjectingLLM",
+    "FaultProfile",
+    "LLMTransientError",
+    "LLMTimeoutError",
+    "LLMRateLimitError",
+    "LLMTruncatedOutputError",
+    "LLMMalformedOutputError",
     "MODEL_PROFILES",
     "load_model",
 ]

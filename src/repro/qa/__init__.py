@@ -23,6 +23,7 @@ from repro.qa.question_generation import (
 from repro.qa.text2sparql import (
     Text2SparqlTask, ZeroShotText2Sparql, SparqlGenText2Sparql,
     SGPTText2Sparql, Text2Cypher, evaluate_text2sparql,
+    ResilientText2SparqlQA, repair_query,
 )
 from repro.qa.llm_sparql import HybridSparqlEngine
 from repro.qa.chatbot import KGChatbot, ChatTurn
@@ -33,6 +34,7 @@ __all__ = [
     "KGELQuestionGenerator", "SingleHopQuestionGenerator", "answerability",
     "Text2SparqlTask", "ZeroShotText2Sparql", "SparqlGenText2Sparql",
     "SGPTText2Sparql", "Text2Cypher", "evaluate_text2sparql",
+    "ResilientText2SparqlQA", "repair_query",
     "HybridSparqlEngine",
     "KGChatbot", "ChatTurn",
 ]

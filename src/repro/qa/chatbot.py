@@ -17,17 +17,27 @@ from typing import List, Optional, Sequence, Set, Tuple
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import IRI
 from repro.llm import prompts as P
+from repro.llm.faults import LLMTransientError
 from repro.llm.model import SimulatedLLM
 
 
 @dataclass
 class ChatTurn:
-    """One exchanged turn with routing metadata."""
+    """One exchanged turn with routing metadata.
+
+    ``degraded`` marks replies produced under operational LLM faults — the
+    dialogue survived, but with an explicit apology instead of an answer.
+    """
 
     user: str
     reply: str
     intent: str                       # greeting | thanks | factual | followup | chitchat
     entities: List[IRI] = field(default_factory=list)
+    degraded: bool = False
+
+
+_DEGRADED_REPLY = ("I'm having trouble reaching my knowledge backend right "
+                   "now — please ask again in a moment.")
 
 
 _GREETING = re.compile(r"\b(hello|hi|hey|good (morning|afternoon|evening))\b", re.I)
@@ -80,7 +90,15 @@ class KGChatbot:
             question = message
             if intent == "followup":
                 question = self._resolve_followup(message)
-            answers = self.qa_backend.answer(question)
+            try:
+                answers = self.qa_backend.answer(question)
+            except LLMTransientError:
+                # Stay in the dialogue: an explicit degraded turn instead of
+                # a crash, with the state (history, focus) intact.
+                turn = ChatTurn(message, _DEGRADED_REPLY, intent,
+                                degraded=True)
+                self.history.append(turn)
+                return turn
             entities = sorted(answers, key=lambda e: e.value)
             if entities:
                 reply = ", ".join(self.kg.label(e) for e in entities) + "."
@@ -91,10 +109,15 @@ class KGChatbot:
             turn = ChatTurn(message, reply, intent,
                             entities=mentioned + entities)
         else:
-            response = self.llm.complete(P.chat_prompt(
-                message, history=[(("user" if i % 2 == 0 else "assistant"), text)
-                                  for i, text in enumerate(self._flat_history())]))
-            turn = ChatTurn(message, response.text, intent)
+            try:
+                response = self.llm.complete(P.chat_prompt(
+                    message,
+                    history=[(("user" if i % 2 == 0 else "assistant"), text)
+                             for i, text in enumerate(self._flat_history())]))
+                turn = ChatTurn(message, response.text, intent)
+            except LLMTransientError:
+                turn = ChatTurn(message, _DEGRADED_REPLY, intent,
+                                degraded=True)
         self.history.append(turn)
         return turn
 

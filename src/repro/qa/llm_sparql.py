@@ -11,9 +11,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.core.resilience import RetryPolicy
 from repro.kg.graph import KnowledgeGraph, _humanize_relation
 from repro.kg.triples import IRI, Term
 from repro.llm import prompts as P
+from repro.llm.faults import LLMTransientError
 from repro.llm.model import SimulatedLLM
 from repro.sparql import SparqlEngine, parse_query
 from repro.sparql import algebra as alg
@@ -21,15 +23,24 @@ from repro.sparql.evaluator import Solution
 
 
 class HybridSparqlEngine:
-    """SPARQL over KG ∪ LLM: DB-first, LLM for the virtual predicates."""
+    """SPARQL over KG ∪ LLM: DB-first, LLM for the virtual predicates.
+
+    Per-binding LLM probes are retried on transient faults; a probe whose
+    retries are exhausted contributes no bindings instead of failing the
+    query, and ``degraded_probes`` counts how many did so.
+    """
 
     def __init__(self, kg: KnowledgeGraph, llm: SimulatedLLM,
-                 virtual_predicates: Optional[Sequence[IRI]] = None):
+                 virtual_predicates: Optional[Sequence[IRI]] = None,
+                 retry: Optional[RetryPolicy] = None):
         self.kg = kg
         self.llm = llm
         self.engine = SparqlEngine(kg.store)
         self.virtual_predicates: Set[IRI] = set(virtual_predicates or ())
+        self.retry = retry or RetryPolicy(max_attempts=3,
+                                          retry_on=(LLMTransientError,))
         self.llm_calls = 0
+        self.degraded_probes = 0
 
     def select(self, query_text: str) -> List[Solution]:
         """Evaluate a SELECT query with LLM fallback for virtual patterns.
@@ -121,8 +132,12 @@ class HybridSparqlEngine:
         self.llm_calls += 1
         phrase = _humanize_relation(self.kg.label(predicate))
         question = f"List what {phrase} {self.kg.label(subject)}?"
-        response = self.llm.complete(P.qa_prompt(question))
-        answer = P.parse_qa_response(response.text)
+        outcome = self.retry.run(lambda: self.llm.complete(P.qa_prompt(question)),
+                                 key=question)
+        if outcome.error is not None:
+            self.degraded_probes += 1
+            return []
+        answer = P.parse_qa_response(outcome.value.text)
         if not answer or answer.lower() == "unknown":
             return []
         out: List[Term] = []

@@ -23,15 +23,19 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.resilience import RetryPolicy
 from repro.kg.datasets import Dataset
 from repro.kg.graph import KnowledgeGraph, _humanize_relation
 from repro.kg.rdf import dumps_ntriples
 from repro.kg.triples import IRI, OWL, RDF, RDFS
 from repro.llm import prompts as P
+from repro.llm.faults import LLMTransientError
 from repro.llm.model import SimulatedLLM
 from repro.sparql import SparqlEngine, SparqlParseError, parse_query
 from repro.sparql.cypher import CypherEngine, CypherParseError
-from repro.qa.multihop import MultiHopQuestion, generate_multihop_questions
+from repro.qa.multihop import (
+    MultiHopQuestion, ReLMKGQA, generate_multihop_questions,
+)
 
 
 @dataclass
@@ -92,25 +96,36 @@ _EXAMPLE_QUERY = ('SELECT ?x WHERE { <http://repro.dev/kg/Example> '
                   '<http://repro.dev/schema/exampleOf> ?x . }')
 
 
+def _default_draft_retry() -> RetryPolicy:
+    """The drafting retry policy: three attempts over transient faults."""
+    return RetryPolicy(max_attempts=3, retry_on=(LLMTransientError,))
+
+
 class ZeroShotText2Sparql:
     """Bare prompting, no grounding material."""
 
-    def __init__(self, llm: SimulatedLLM):
+    def __init__(self, llm: SimulatedLLM, retry: Optional[RetryPolicy] = None):
         self.llm = llm
+        self.retry = retry or _default_draft_retry()
 
     def generate(self, question: str) -> str:
-        """Bare prompt → query text (may be malformed; callers must parse)."""
-        return self.llm.complete(P.sparql_prompt(question)).text
+        """Bare prompt → query text (may be malformed; callers must parse).
+
+        Transient LLM faults are retried; the final fault propagates."""
+        return self.retry.call(
+            lambda: self.llm.complete(P.sparql_prompt(question)).text,
+            key=question)
 
 
 class SparqlGenText2Sparql:
     """SPARQLGEN: one-shot prompt with subgraph + schema + example query."""
 
     def __init__(self, llm: SimulatedLLM, task: Text2SparqlTask,
-                 subgraph_hops: int = 1):
+                 subgraph_hops: int = 1, retry: Optional[RetryPolicy] = None):
         self.llm = llm
         self.task = task
         self.subgraph_hops = subgraph_hops
+        self.retry = retry or _default_draft_retry()
 
     def generate(self, question: str) -> str:
         """One-shot prompt with subgraph + schema + example query."""
@@ -121,16 +136,19 @@ class SparqlGenText2Sparql:
                                              hops=self.subgraph_hops),
             example_query=_EXAMPLE_QUERY,
         )
-        return self.llm.complete(prompt).text
+        return self.retry.call(lambda: self.llm.complete(prompt).text,
+                               key=question)
 
 
 class SGPTText2Sparql:
     """SGPT: fine-tuned generation with the learned schema."""
 
-    def __init__(self, llm: SimulatedLLM, task: Text2SparqlTask):
+    def __init__(self, llm: SimulatedLLM, task: Text2SparqlTask,
+                 retry: Optional[RetryPolicy] = None):
         self.llm = llm
         self.task = task
         self.trained_on = 0
+        self.retry = retry or _default_draft_retry()
 
     def fit(self, training_questions: Sequence[str]) -> None:
         """Train on (question, query) pairs."""
@@ -144,7 +162,8 @@ class SGPTText2Sparql:
             schema=self.task.schema_text(),
             example_query=_EXAMPLE_QUERY,
         )
-        return self.llm.complete(prompt).text
+        return self.retry.call(lambda: self.llm.complete(prompt).text,
+                               key=question)
 
 
 def evaluate_text2sparql(system, task: Text2SparqlTask,
@@ -186,6 +205,94 @@ def evaluate_text2sparql(system, task: Text2SparqlTask,
     n = len(instances)
     return {"parse_rate": parsed / n, "execution_accuracy": exact / n,
             "f1": total_f1 / n, "instances": float(n)}
+
+
+def repair_query(query_text: str) -> str:
+    """One deterministic repair round for near-miss SPARQL drafts.
+
+    Handles the malformations the simulated drafting model (and its
+    fault-injected variants) actually produce: unbalanced braces and
+    trailing garbage after the last brace.
+    """
+    repaired = query_text.strip()
+    opened = repaired.count("{")
+    closed = repaired.count("}")
+    if opened > closed:
+        repaired += " }" * (opened - closed)
+    elif closed > opened and repaired.endswith("}"):
+        while repaired.count("}") > opened and repaired.endswith("}"):
+            repaired = repaired[:-1].rstrip()
+    last = repaired.rfind("}")
+    if 0 <= last < len(repaired) - 1:
+        repaired = repaired[:last + 1]
+    return repaired
+
+
+class ResilientText2SparqlQA:
+    """Drafting with retry → parse-repair loop → path-reasoning fallback.
+
+    The full degradation ladder for the text→query workload: (1) draft a
+    query with the wrapped generator (which already retries transient LLM
+    faults); (2) if the draft does not parse, run bounded repair rounds;
+    (3) if drafting or execution still fails, fall back to
+    :class:`~repro.qa.multihop.ReLMKGQA` path reasoning over the KG, which
+    needs no query language at all. ``answer`` never raises for
+    operational faults; ``last_degraded`` records whether the structured
+    path was abandoned.
+    """
+
+    def __init__(self, system, task: Text2SparqlTask, llm: SimulatedLLM,
+                 max_repairs: int = 2):
+        self.system = system
+        self.task = task
+        self.llm = llm
+        self.max_repairs = max_repairs
+        self.path_fallback = ReLMKGQA(llm, task.kg)
+        self.last_degraded = False
+        self.last_route = "sparql"
+
+    def draft(self, question: str) -> Optional[str]:
+        """A parseable query, after repairs — or None when drafting failed."""
+        try:
+            query_text = self.system.generate(question)
+        except LLMTransientError:
+            return None
+        for _ in range(self.max_repairs + 1):
+            try:
+                parse_query(query_text)
+                return query_text
+            except SparqlParseError:
+                repaired = repair_query(query_text)
+                if repaired == query_text:
+                    return None
+                query_text = repaired
+        return None
+
+    def answer(self, question: str) -> Set[IRI]:
+        """Entities answering the question, degrading through the ladder."""
+        self.last_degraded = False
+        self.last_route = "sparql"
+        query_text = self.draft(question)
+        if query_text is not None:
+            try:
+                rows = self.task.engine.select(query_text)
+            except Exception:
+                rows = None
+            if rows is not None:
+                out: Set[IRI] = set()
+                for row in rows:
+                    for value in row.values():
+                        if isinstance(value, IRI):
+                            out.add(value)
+                return out
+        # Structured querying failed outright: fall back to path reasoning
+        # (which itself degrades to closed-book QA).
+        self.last_degraded = True
+        self.last_route = "path-reasoning"
+        try:
+            return self.path_fallback.answer(question)
+        except LLMTransientError:
+            return set()
 
 
 class Text2Cypher:

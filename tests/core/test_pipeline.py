@@ -44,6 +44,26 @@ class TestPipeline:
         with pytest.raises(RuntimeError, match="stage failure"):
             pipeline.execute()
 
+    def test_raising_stage_still_traced(self):
+        """Regression: the in-flight stage's (name, elapsed) entry used to
+        be lost when the stage raised."""
+        def boom(ctx):
+            raise RuntimeError("stage failure")
+
+        pipeline = Pipeline("p").add("ok", lambda c: None).add("boom", boom)
+        with pytest.raises(RuntimeError) as info:
+            pipeline.execute()
+        trace = info.value.pipeline_context.trace
+        assert [name for name, _ in trace] == ["ok", "boom"]
+        assert all(elapsed >= 0 for _, elapsed in trace)
+
+    def test_report_on_successful_run(self):
+        context = Pipeline("p").add("a", lambda c: None).execute()
+        assert context.report.pipeline == "p"
+        assert [s.status for s in context.report.stages] == ["ok"]
+        assert context.report.attempts == 1
+        assert not context.report.degraded
+
 
 class TestContext:
     def test_get_with_default(self):

@@ -1,0 +1,289 @@
+"""Tests for the offline resilience primitives and pipeline error policies."""
+
+import pytest
+
+from repro.core import Pipeline
+from repro.core.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    FallbackChain,
+    FallbackExhaustedError,
+    RetryPolicy,
+)
+from repro.llm.faults import LLMRateLimitError, LLMTimeoutError, LLMTransientError
+
+
+class Flaky:
+    """Fails the first ``failures`` calls, then succeeds."""
+
+    def __init__(self, failures, error=RuntimeError("boom"), value="ok"):
+        self.failures = failures
+        self.error = error
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return self.value
+
+
+class TestRetryPolicy:
+    def test_succeeds_first_try(self):
+        outcome = RetryPolicy(max_attempts=3).run(lambda: 42)
+        assert outcome.ok and outcome.value == 42
+        assert outcome.attempts == 1 and outcome.simulated_delay == 0.0
+
+    def test_retries_until_success(self):
+        fn = Flaky(2)
+        outcome = RetryPolicy(max_attempts=3).run(fn)
+        assert outcome.ok and outcome.attempts == 3 and fn.calls == 3
+
+    def test_exhaustion_returns_error(self):
+        outcome = RetryPolicy(max_attempts=2).run(Flaky(5))
+        assert not outcome.ok
+        assert isinstance(outcome.error, RuntimeError)
+        assert outcome.attempts == 2
+
+    def test_call_reraises_final_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            RetryPolicy(max_attempts=2).call(Flaky(5))
+
+    def test_non_retryable_propagates_immediately(self):
+        fn = Flaky(5, error=KeyError("nope"))
+        with pytest.raises(KeyError):
+            RetryPolicy(max_attempts=3, retry_on=(RuntimeError,)).run(fn)
+        assert fn.calls == 1
+
+    def test_backoff_is_deterministic_and_grows(self):
+        policy = RetryPolicy(seed=7, base_delay=1.0, jitter=0.25)
+        again = RetryPolicy(seed=7, base_delay=1.0, jitter=0.25)
+        delays = [policy.delay_for(a, key="k") for a in range(4)]
+        assert delays == [again.delay_for(a, key="k") for a in range(4)]
+        # Exponential shape survives the +/-25% jitter.
+        assert delays[2] > delays[0]
+
+    def test_different_seed_changes_jitter(self):
+        a = RetryPolicy(seed=1).delay_for(0, key="k")
+        b = RetryPolicy(seed=2).delay_for(0, key="k")
+        assert a != b
+
+    def test_rate_limit_retry_after_floors_delay(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.01, jitter=0.0)
+        error = LLMRateLimitError("slow down", retry_after=9.0)
+        outcome = policy.run(Flaky(1, error=error))
+        assert outcome.ok and outcome.simulated_delay >= 9.0
+
+    def test_deadline_stops_retrying(self):
+        deadline = Deadline(budget=1.0)
+        policy = RetryPolicy(max_attempts=10, base_delay=5.0, jitter=0.0)
+        outcome = policy.run(Flaky(50), deadline=deadline)
+        assert not outcome.ok
+        assert outcome.attempts < 10
+        assert deadline.expired
+
+    def test_simulated_latency_charged_to_deadline(self):
+        deadline = Deadline(budget=100.0)
+        error = LLMTimeoutError("timeout", simulated_latency=30.0)
+        RetryPolicy(max_attempts=2, base_delay=1.0, jitter=0.0).run(
+            Flaky(5, error=error), deadline=deadline)
+        assert deadline.spent >= 60.0  # two timed-out attempts
+
+    def test_max_attempts_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestDeadline:
+    def test_charge_and_remaining(self):
+        deadline = Deadline(budget=10.0)
+        deadline.charge(4.0)
+        assert deadline.remaining == 6.0 and not deadline.expired
+
+    def test_check_raises_when_spent(self):
+        deadline = Deadline(budget=1.0)
+        deadline.charge(2.0)
+        with pytest.raises(DeadlineExceeded):
+            deadline.check()
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(budget=1.0).charge(-1.0)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=2)
+        for _ in range(3):
+            with pytest.raises(RuntimeError):
+                breaker.call(Flaky(99))
+        assert breaker.state == "open" and breaker.trips == 1
+
+    def test_open_rejects_without_calling(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=2)
+        with pytest.raises(RuntimeError):
+            breaker.call(Flaky(99))
+        probe = Flaky(0)
+        with pytest.raises(CircuitOpenError):
+            breaker.call(probe)
+        assert probe.calls == 0 and breaker.rejected == 1
+
+    def test_half_open_probe_closes_on_success(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=1)
+        with pytest.raises(RuntimeError):
+            breaker.call(Flaky(99))
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "unreached")
+        assert breaker.call(lambda: "recovered") == "recovered"
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=1)
+        with pytest.raises(RuntimeError):
+            breaker.call(Flaky(99))
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "unreached")
+        with pytest.raises(RuntimeError):
+            breaker.call(Flaky(99))
+        assert breaker.state == "open" and breaker.trips == 2
+
+
+class TestFallbackChain:
+    def test_primary_wins_not_degraded(self):
+        chain = FallbackChain(("a", lambda: 1), ("b", lambda: 2))
+        result = chain.run()
+        assert result.value == 1 and result.step == "a"
+        assert not result.degraded
+
+    def test_fallback_marks_degraded_and_keeps_errors(self):
+        chain = FallbackChain(("a", Flaky(9)), ("b", lambda: 2))
+        result = chain.run()
+        assert result.value == 2 and result.degraded
+        assert [name for name, _ in result.errors] == ["a"]
+
+    def test_exhaustion_raises_with_all_errors(self):
+        chain = FallbackChain(("a", Flaky(9)), ("b", Flaky(9)))
+        with pytest.raises(FallbackExhaustedError) as info:
+            chain.run()
+        assert len(info.value.errors) == 2
+
+    def test_uncaught_error_type_propagates(self):
+        chain = FallbackChain(("a", Flaky(9, error=KeyError("k"))),
+                              ("b", lambda: 2), catch=(RuntimeError,))
+        with pytest.raises(KeyError):
+            chain.run()
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            FallbackChain()
+
+
+class TestPipelinePolicies:
+    def test_retry_policy_on_stage(self):
+        fn = Flaky(2)
+        pipeline = Pipeline("p").add(
+            "flaky", lambda ctx: ctx.__setitem__("v", fn()),
+            retry=RetryPolicy(max_attempts=3))
+        context = pipeline.execute()
+        assert context["v"] == "ok"
+        stage = context.report.stage("flaky")
+        assert stage.status == "retried" and stage.attempts == 3
+        assert not context.report.degraded
+
+    def test_fallback_stage_marks_degraded(self):
+        def fail(ctx):
+            raise LLMTimeoutError("down")
+
+        def backup(ctx):
+            ctx["v"] = "fallback"
+
+        pipeline = Pipeline("p").add("s", fail, on_error="fallback",
+                                     fallback=backup)
+        context = pipeline.execute()
+        assert context["v"] == "fallback"
+        assert context.report.degraded
+        assert context.report.stage("s").status == "fell_back"
+
+    def test_skip_stage_continues(self):
+        def fail(ctx):
+            raise RuntimeError("nope")
+
+        pipeline = (Pipeline("p")
+                    .add("bad", fail, on_error="skip")
+                    .add("good", lambda ctx: ctx.__setitem__("v", 1)))
+        context = pipeline.execute()
+        assert context["v"] == 1
+        assert context.report.stage("bad").status == "skipped"
+        assert context.report.degraded
+
+    def test_abort_records_trace_and_attaches_context(self):
+        def fail(ctx):
+            ctx["partial"] = True
+            raise RuntimeError("stage failure")
+
+        pipeline = (Pipeline("p")
+                    .add("first", lambda ctx: None)
+                    .add("boom", fail))
+        with pytest.raises(RuntimeError, match="stage failure") as info:
+            pipeline.execute()
+        context = info.value.pipeline_context
+        # The in-flight stage's trace entry is not lost (the PR 1 bugfix).
+        assert [name for name, _ in context.trace] == ["first", "boom"]
+        assert context["partial"] is True
+        assert context.report.stage("boom").status == "failed"
+        assert context.report.stage("boom").error is not None
+
+    def test_uncaught_type_aborts_even_with_skip_policy(self):
+        def fail(ctx):
+            raise KeyError("semantic bug")
+
+        pipeline = Pipeline("p").add("s", fail, on_error="skip",
+                                     catch=(RuntimeError,))
+        with pytest.raises(KeyError):
+            pipeline.execute()
+
+    def test_breaker_trips_and_skips(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5)
+
+        def fail(ctx):
+            raise RuntimeError("down")
+
+        pipeline = Pipeline("p").add("s", fail, on_error="skip",
+                                     breaker=breaker)
+        pipeline.execute()                     # failure trips the breaker
+        context = pipeline.execute()           # rejected by the open circuit
+        assert breaker.trips == 1
+        assert context.report.stage("s").status == "skipped"
+        assert "CircuitOpenError" in context.report.stage("s").error
+
+    def test_report_attempts_total(self):
+        fn = Flaky(1)
+        pipeline = (Pipeline("p")
+                    .add("a", lambda ctx: None)
+                    .add("b", lambda ctx: fn() and None,
+                         retry=RetryPolicy(max_attempts=4)))
+        context = pipeline.execute()
+        assert context.report.attempts == 3  # 1 + 2
+
+    def test_fallback_requires_callable(self):
+        with pytest.raises(ValueError):
+            Pipeline("p").add("s", lambda ctx: None, on_error="fallback")
+
+    def test_invalid_action_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline("p").add("s", lambda ctx: None, on_error="explode")
+
+    def test_failed_fallback_aborts(self):
+        def fail(ctx):
+            raise RuntimeError("primary")
+
+        def bad_backup(ctx):
+            raise RuntimeError("backup also down")
+
+        pipeline = Pipeline("p").add("s", fail, on_error="fallback",
+                                     fallback=bad_backup)
+        with pytest.raises(RuntimeError, match="backup also down"):
+            pipeline.execute()

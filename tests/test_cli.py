@@ -37,6 +37,20 @@ class TestCli:
         assert main(["cypher", "movie", "MATCH (m:Movie) RETURN count(m)"]) == 0
         assert "?count=" in capsys.readouterr().out
 
+    def test_cypher_parse_error_returns_2(self, capsys):
+        assert main(["cypher", "movie", "MATCH (m:Movie) RETURN count("]) == 2
+        err = capsys.readouterr().err
+        assert "parse error" in err and "Traceback" not in err
+
+    def test_cypher_bad_translation_returns_2(self, capsys):
+        # Parses as Cypher but translates to unparseable SPARQL (the escaped
+        # quote survives into the label literal): must stay a one-line
+        # message, not a traceback.
+        query = 'MATCH (a {name: "x\\""})-[:r]->(x) RETURN x'
+        assert main(["cypher", "movie", query]) == 2
+        err = capsys.readouterr().err
+        assert "parse error" in err and "Traceback" not in err
+
     def test_ask(self, capsys):
         code = main(["--seed", "3", "ask", "movie",
                      "What directed by The Silent Horizon?"])

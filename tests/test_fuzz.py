@@ -12,7 +12,15 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.kg.datasets import movie_kg
-from repro.llm import LLMConfig, SimulatedLLM, load_model
+from repro.llm import (
+    FaultInjectingLLM,
+    FaultProfile,
+    LLMConfig,
+    LLMResponse,
+    LLMTransientError,
+    SimulatedLLM,
+    load_model,
+)
 from repro.sparql import SparqlEngine, SparqlParseError, parse_query
 from repro.sparql.cypher import CypherParseError, cypher_to_sparql
 
@@ -90,6 +98,50 @@ class TestLLMFuzz:
     def test_empty_prompt(self):
         llm = SimulatedLLM(LLMConfig(seed=0))
         assert isinstance(llm.complete("").text, str)
+
+
+_fault_profiles = st.builds(
+    FaultProfile,
+    timeout_rate=st.floats(min_value=0.0, max_value=0.25),
+    rate_limit_rate=st.floats(min_value=0.0, max_value=0.25),
+    truncation_rate=st.floats(min_value=0.0, max_value=0.25),
+    malformed_rate=st.floats(min_value=0.0, max_value=0.25),
+    burst_period=st.one_of(st.just(0), st.integers(min_value=2, max_value=7)),
+    burst_length=st.integers(min_value=1, max_value=2),
+    outages=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=6),
+                  st.integers(min_value=0, max_value=6)).map(
+            lambda w: (min(w), max(w) + 1)),
+        max_size=2).map(tuple),
+    retry_after=st.floats(min_value=0.1, max_value=10.0),
+    timeout_latency=st.floats(min_value=0.1, max_value=60.0),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+
+
+class TestFaultInjectionFuzz:
+    @settings(max_examples=80, deadline=None)
+    @given(profile=_fault_profiles, prompts=st.lists(st.text(max_size=80),
+                                                     min_size=1, max_size=8))
+    def test_calls_return_response_or_typed_transient_error(self, profile,
+                                                            prompts):
+        llm = FaultInjectingLLM(SimulatedLLM(LLMConfig(seed=1)), profile)
+        for prompt in prompts:
+            try:
+                response = llm.complete(prompt)
+            except LLMTransientError as exc:
+                assert exc.kind in ("timeout", "rate_limit",
+                                    "truncated", "malformed")
+                continue
+            assert isinstance(response, LLMResponse)
+            assert isinstance(response.text, str)
+
+    @settings(max_examples=40, deadline=None)
+    @given(profile=_fault_profiles, prompt=st.text(max_size=60))
+    def test_schedule_is_reproducible(self, profile, prompt):
+        a = [profile.fault_for(i, prompt) for i in range(12)]
+        b = [profile.fault_for(i, prompt) for i in range(12)]
+        assert a == b
 
 
 class TestStoreFuzzIntegration:
