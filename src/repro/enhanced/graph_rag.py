@@ -19,6 +19,7 @@ from repro.core.resilience import RetryPolicy
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import IRI, OWL, RDF, RDFS
 from repro.llm import prompts as P
+from repro.llm.caching import maybe_cached
 from repro.llm.faults import LLMTransientError
 from repro.llm.model import SimulatedLLM
 
@@ -43,8 +44,11 @@ class GraphRAG:
 
     def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph,
                  max_facts_per_summary: int = 150,
-                 retry: Optional[RetryPolicy] = None):
-        self.llm = llm
+                 retry: Optional[RetryPolicy] = None, cache=False):
+        # ``cache`` memoizes the map/reduce summarization calls — repeated
+        # global questions over an unchanged community hierarchy re-issue
+        # identical prompts, which a CachingLLM serves without recompute.
+        self.llm = maybe_cached(llm, cache)
         self.kg = kg
         self.max_facts_per_summary = max_facts_per_summary
         self.retry = retry or RetryPolicy(max_attempts=3,

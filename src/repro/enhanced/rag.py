@@ -18,6 +18,7 @@ from repro.core.resilience import RetryPolicy
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import RDF, RDFS
 from repro.llm import prompts as P
+from repro.llm.caching import maybe_cached
 from repro.llm.embedding import TextEncoder
 from repro.llm.faults import LLMTransientError
 from repro.llm.model import SimulatedLLM
@@ -75,8 +76,11 @@ class NaiveRAG:
 
     def __init__(self, llm: SimulatedLLM, encoder: Optional[TextEncoder] = None,
                  chunker: Optional[DocumentChunker] = None, top_k: int = 4,
-                 retry: Optional[RetryPolicy] = None):
-        self.llm = llm
+                 retry: Optional[RetryPolicy] = None, cache=False):
+        # ``cache`` enables a memoizing CachingLLM in front of the model
+        # (True for the default size, an int for an explicit size); repeated
+        # questions then skip the generation call entirely.
+        self.llm = maybe_cached(llm, cache)
         self.encoder = encoder or TextEncoder(dim=96)
         self.chunker = chunker or DocumentChunker()
         self.top_k = top_k
@@ -154,9 +158,10 @@ class AdvancedRAG(NaiveRAG):
 
     def __init__(self, llm: SimulatedLLM, encoder: Optional[TextEncoder] = None,
                  chunker: Optional[DocumentChunker] = None, top_k: int = 4,
-                 retrieve_factor: int = 3, retry: Optional[RetryPolicy] = None):
+                 retrieve_factor: int = 3, retry: Optional[RetryPolicy] = None,
+                 cache=False):
         super().__init__(llm, encoder=encoder, chunker=chunker, top_k=top_k,
-                         retry=retry)
+                         retry=retry, cache=cache)
         self.retrieve_factor = retrieve_factor
         self.pipeline.name = "advanced-rag"
 
@@ -199,9 +204,9 @@ class ModularRAG(AdvancedRAG):
     def __init__(self, llm: SimulatedLLM, encoder: Optional[TextEncoder] = None,
                  chunker: Optional[DocumentChunker] = None, top_k: int = 4,
                  kg: Optional[KnowledgeGraph] = None, kg_facts: int = 6,
-                 retry: Optional[RetryPolicy] = None):
+                 retry: Optional[RetryPolicy] = None, cache=False):
         super().__init__(llm, encoder=encoder, chunker=chunker, top_k=top_k,
-                         retry=retry)
+                         retry=retry, cache=cache)
         self.kg = kg
         self.kg_facts = kg_facts
         self.pipeline.name = "modular-rag"

@@ -33,6 +33,43 @@ class KnowledgeGraph:
     def __init__(self, store: Optional[TripleStore] = None, name: str = "kg"):
         self.store = store if store is not None else TripleStore()
         self.name = name
+        # Read-path caches for the verbalization hot path. All of them are
+        # keyed off the store's mutation counter: any effective add/remove/
+        # clear — including ones made directly on ``self.store`` — bumps the
+        # version and lazily flushes everything here, so cached reads can
+        # never be stale. See DESIGN.md "Performance".
+        self._cache_version = -1
+        self._label_cache: Dict[Term, str] = {}
+        self._description_cache: Dict[IRI, Optional[str]] = {}
+        self._types_cache: Dict[IRI, List[IRI]] = {}
+        self._label_index: Optional[Dict[str, List[IRI]]] = None
+        self._local_name_index: Optional[Dict[str, List[IRI]]] = None
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_invalidations = 0
+
+    def _sync_caches(self) -> None:
+        version = self.store.version
+        if version != self._cache_version:
+            if self._cache_version >= 0:
+                self._cache_invalidations += 1
+            self._cache_version = version
+            self._label_cache.clear()
+            self._description_cache.clear()
+            self._types_cache.clear()
+            self._label_index = None
+            self._local_name_index = None
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Hit/miss/invalidation counters for the label/read-path caches."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "invalidations": self._cache_invalidations,
+            "labels_cached": len(self._label_cache),
+            "descriptions_cached": len(self._description_cache),
+            "types_cached": len(self._types_cache),
+        }
 
     # ------------------------------------------------------------------
     # Construction sugar
@@ -70,37 +107,80 @@ class KnowledgeGraph:
         """
         if isinstance(term, Literal):
             return term.lexical
+        self._sync_caches()
+        cached = self._label_cache.get(term)
+        if cached is not None:
+            self._cache_hits += 1
+            return cached
+        self._cache_misses += 1
+        result = term.local_name.replace("_", " ")
         for t in self.store.match(term, LABEL, None):
             if isinstance(t.object, Literal):
-                return t.object.lexical
-        return term.local_name.replace("_", " ")
+                result = t.object.lexical
+                break
+        self._label_cache[term] = result
+        return result
 
     def description(self, entity: IRI) -> Optional[str]:
         """The attached description of an entity, if any."""
+        self._sync_caches()
+        if entity in self._description_cache:
+            self._cache_hits += 1
+            return self._description_cache[entity]
+        self._cache_misses += 1
+        result: Optional[str] = None
         for t in self.store.match(entity, COMMENT, None):
             if isinstance(t.object, Literal):
-                return t.object.lexical
-        return None
+                result = t.object.lexical
+                break
+        self._description_cache[entity] = result
+        return result
 
     def types(self, entity: IRI) -> List[IRI]:
         """The declared classes of an entity."""
-        return [t.object for t in self.store.match(entity, TYPE, None) if isinstance(t.object, IRI)]
+        self._sync_caches()
+        cached = self._types_cache.get(entity)
+        if cached is not None:
+            self._cache_hits += 1
+            return list(cached)
+        self._cache_misses += 1
+        result = [t.object for t in self.store.match(entity, TYPE, None)
+                  if isinstance(t.object, IRI)]
+        self._types_cache[entity] = result
+        return list(result)
 
     def instances(self, cls: IRI) -> List[IRI]:
         """All declared instances of a class."""
         return [t.subject for t in self.store.match(None, TYPE, cls)]
 
     def find_by_label(self, label: str) -> List[IRI]:
-        """Entities whose label matches ``label`` case-insensitively."""
+        """Entities whose label matches ``label`` case-insensitively.
+
+        Answered from a label→entities reverse index built once per store
+        version, so repeated lookups are dict probes instead of full LABEL
+        scans.
+        """
+        self._sync_caches()
+        if self._label_index is None:
+            self._cache_misses += 1
+            self._label_index = {}
+            for t in self.store.match(None, LABEL, None):
+                if isinstance(t.object, Literal):
+                    self._label_index.setdefault(
+                        t.object.lexical.lower(), []).append(t.subject)
+        else:
+            self._cache_hits += 1
         wanted = label.strip().lower()
-        out = []
-        for t in self.store.match(None, LABEL, None):
-            if isinstance(t.object, Literal) and t.object.lexical.lower() == wanted:
-                out.append(t.subject)
+        out = list(self._label_index.get(wanted, ()))
         if not out:
             # Fall back to local-name matching so generated IRIs resolve too.
+            if self._local_name_index is None:
+                self._local_name_index = {}
+                for entity in self.store.entities():
+                    self._local_name_index.setdefault(
+                        entity.local_name.lower(), []).append(entity)
             token = wanted.replace(" ", "_")
-            out = [e for e in self.store.entities() if e.local_name.lower() == token]
+            out = list(self._local_name_index.get(token, ()))
         return out
 
     # ------------------------------------------------------------------

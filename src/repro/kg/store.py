@@ -29,8 +29,20 @@ class TripleStore:
         self._spo: Dict[IRI, Dict[IRI, Set[Term]]] = defaultdict(lambda: defaultdict(set))
         self._pos: Dict[IRI, Dict[Term, Set[IRI]]] = defaultdict(lambda: defaultdict(set))
         self._osp: Dict[Term, Dict[IRI, Set[IRI]]] = defaultdict(lambda: defaultdict(set))
+        self._version = 0
         if triples is not None:
             self.add_all(triples)
+
+    @property
+    def version(self) -> int:
+        """A counter bumped by every effective mutation.
+
+        Read-path caches (notably :class:`~repro.kg.graph.KnowledgeGraph`'s
+        label/description/type caches) key their validity off this value:
+        comparing versions is O(1) and never misses a mutation, including
+        mutations made directly on the store behind a graph façade.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # Mutation
@@ -44,6 +56,7 @@ class TripleStore:
         self._spo[s][p].add(o)
         self._pos[p][o].add(s)
         self._osp[o][s].add(p)
+        self._version += 1
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -59,6 +72,7 @@ class TripleStore:
         self._discard_index(self._spo, s, p, o)
         self._discard_index(self._pos, p, o, s)
         self._discard_index(self._osp, o, s, p)
+        self._version += 1
         return True
 
     def remove_all(self, triples: Iterable[Triple]) -> int:
@@ -80,6 +94,7 @@ class TripleStore:
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Lookup

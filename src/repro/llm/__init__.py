@@ -18,6 +18,7 @@ from repro.llm.tokenizer import WordTokenizer
 from repro.llm.embedding import HashEmbedder, TextEncoder, cosine_similarity
 from repro.llm.ngram import NGramLanguageModel
 from repro.llm.model import SimulatedLLM, LLMConfig, LLMResponse, ChatMessage
+from repro.llm.caching import CachingLLM, maybe_cached
 from repro.llm.faults import (
     FaultInjectingLLM,
     FaultProfile,
@@ -39,6 +40,8 @@ __all__ = [
     "LLMConfig",
     "LLMResponse",
     "ChatMessage",
+    "CachingLLM",
+    "maybe_cached",
     "FaultInjectingLLM",
     "FaultProfile",
     "LLMTransientError",

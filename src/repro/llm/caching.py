@@ -1,0 +1,147 @@
+"""A memoizing wrapper around the simulated LLM.
+
+Every retrieval-backed architecture in this repo (RAG variants, GraphRAG
+map-reduce, KAPING-style QA) re-issues identical prompts: the same question
+asked twice, the same community report re-summarized, the same closed-book
+fallback. Against a real API each repeat costs money and latency; against
+:class:`~repro.llm.model.SimulatedLLM` it costs the full handler dispatch.
+:class:`CachingLLM` memoizes ``complete`` by ``(prompt, max_tokens)`` with
+LRU eviction and exposes hit/miss/eviction counters via ``cache_stats()``.
+
+The wrapper is sound precisely because the simulated model is deterministic:
+a completion is a pure function of ``(model seed, prompt)``, so replaying a
+cached response is observationally identical to recomputing it — except that
+the inner model's call/token counters stop growing, which is the point.
+
+Composability with :class:`~repro.llm.faults.FaultInjectingLLM`:
+
+* ``CachingLLM(FaultInjectingLLM(llm))`` — hits bypass the fault schedule
+  entirely (a cache in front of a flaky API); only misses can fault, and
+  faulting calls are never cached, so a retry after a transient error goes
+  back upstream.
+* ``FaultInjectingLLM(CachingLLM(llm))`` — every call still faces the fault
+  schedule, but clean calls are served from cache (a shared cache behind a
+  per-request fault boundary).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.llm.model import ChatMessage, LLMResponse
+from repro.llm import prompts as P
+
+#: Default maximum number of memoized completions.
+DEFAULT_CACHE_SIZE = 4096
+
+_CacheKey = Tuple[str, int]
+
+
+class CachingLLM:
+    """Memoize ``complete``/``chat`` over any LLM-shaped inner model.
+
+    The wrapper quacks like the model it wraps: every attribute other than
+    the inference entry points is delegated to ``inner``, so lexicon-based
+    helpers (``find_mentions``/``find_relations``) keep working and every
+    consumer system in the repo accepts a ``CachingLLM`` unchanged.
+
+    ``max_size`` bounds the cache with least-recently-used eviction.
+    Exceptions are never cached: a call that raises (e.g. a fault injected
+    by a wrapped :class:`~repro.llm.faults.FaultInjectingLLM`) leaves no
+    cache entry behind, so the next identical prompt retries upstream.
+    """
+
+    def __init__(self, inner, max_size: int = DEFAULT_CACHE_SIZE):
+        if max_size <= 0:
+            raise ValueError("max_size must be positive")
+        self.inner = inner
+        self.max_size = max_size
+        self._cache: "OrderedDict[_CacheKey, LLMResponse]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+    # ------------------------------------------------------------------
+    # Inference entry points
+    # ------------------------------------------------------------------
+    def complete(self, prompt: str, max_tokens: int = 256) -> LLMResponse:
+        """Complete a prompt, serving repeats from the LRU cache."""
+        key = (prompt, max_tokens)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._hits += 1
+            self._cache.move_to_end(key)
+            return replace(cached)
+        self._misses += 1
+        response = self.inner.complete(prompt, max_tokens=max_tokens)
+        if len(self._cache) >= self.max_size:
+            self._cache.popitem(last=False)
+            self._evictions += 1
+        self._cache[key] = response
+        return replace(response)
+
+    def chat(self, messages: Sequence[ChatMessage],
+             max_tokens: int = 256) -> LLMResponse:
+        """Chat entry point, routed through the caching ``complete``
+        (mirrors :meth:`SimulatedLLM.chat`'s prompt derivation)."""
+        last_user = next(
+            (m.content for m in reversed(messages) if m.role == "user"), "")
+        if P.parse_prompt(last_user).get("Task"):
+            return self.complete(last_user, max_tokens=max_tokens)
+        return self.complete(P.chat_prompt(last_user), max_tokens=max_tokens)
+
+    # ------------------------------------------------------------------
+    # Cache management & observability
+    # ------------------------------------------------------------------
+    def seed_cache(self, prompt: str, response: LLMResponse,
+                   max_tokens: int = 256) -> None:
+        """Pre-seed the cache with a known completion (warm-start)."""
+        key = (prompt, max_tokens)
+        if key not in self._cache and len(self._cache) >= self.max_size:
+            self._cache.popitem(last=False)
+            self._evictions += 1
+        self._cache[key] = response
+        self._cache.move_to_end(key)
+
+    def warm(self, prompts: Sequence[str], max_tokens: int = 256) -> int:
+        """Run ``prompts`` through the cache; returns how many were new."""
+        before = self._misses
+        for prompt in prompts:
+            self.complete(prompt, max_tokens=max_tokens)
+        return self._misses - before
+
+    def clear_cache(self) -> None:
+        """Drop every memoized completion (counters are preserved)."""
+        self._cache.clear()
+
+    def cache_stats(self) -> Dict[str, float]:
+        """Hit/miss/eviction counters plus occupancy and hit rate."""
+        lookups = self._hits + self._misses
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "size": len(self._cache),
+            "max_size": self.max_size,
+            "hit_rate": self._hits / lookups if lookups else 0.0,
+        }
+
+
+def maybe_cached(llm, cache) -> object:
+    """Resolve a consumer-facing ``cache`` knob into a (possibly) wrapped LLM.
+
+    ``cache`` may be falsy (no wrapping), ``True`` (wrap with the default
+    cache size), or a positive int (wrap with that size). Pipelines accept
+    this knob in their constructors so enabling memoization is one argument,
+    not a refactor.
+    """
+    if not cache:
+        return llm
+    if cache is True:
+        return CachingLLM(llm)
+    return CachingLLM(llm, max_size=int(cache))

@@ -6,16 +6,29 @@ derived from a keyed hash, so embeddings are identical across processes and
 runs without storing any weights; text vectors are decayed averages of token
 vectors, which gives the distributional property the methods rely on: texts
 sharing tokens are close, disjoint texts are near-orthogonal.
+
+``encode_batch`` is the retrieval hot path (every RAG/KAPING/SimKGC index
+build funnels through it): it deduplicates tokens across the whole batch,
+embeds each unique token exactly once, and reduces the per-text decay/SIF
+weighted sums with matrix operations instead of a per-text Python loop.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterable, List, Optional
+from collections import OrderedDict
+from itertools import chain
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.llm.tokenizer import word_tokens
+from repro.vector.index import cosine_topk, safe_norms
+
+
+#: Largest (n_texts × n_unique_tokens) weight matrix the dense batch path
+#: will materialize; bigger batches fall back to the segmented reduceat sum.
+DENSE_BATCH_BUDGET = 4_000_000
 
 
 def _hash_vector(token: str, dim: int, salt: str) -> np.ndarray:
@@ -38,32 +51,69 @@ def _hash_vector(token: str, dim: int, salt: str) -> np.ndarray:
 
 
 class HashEmbedder:
-    """Token → fixed deterministic vector, with a small LRU-ish cache."""
+    """Token → fixed deterministic vector, with a true LRU cache.
+
+    Eviction discards only the least-recently-used token (not, as a naive
+    cache would, the entire table), so hot vocabulary stays resident across
+    arbitrarily long encoding runs. ``cache_stats`` exposes hit/miss/
+    eviction counters for the observability contract of the acceleration
+    layer (see README "Performance").
+    """
 
     def __init__(self, dim: int = 64, salt: str = "repro", cache_size: int = 50000):
         if dim <= 0:
             raise ValueError("embedding dimension must be positive")
+        if cache_size <= 0:
+            raise ValueError("cache_size must be positive")
         self.dim = dim
         self.salt = salt
-        self._cache: Dict[str, np.ndarray] = {}
+        self._cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self._cache_size = cache_size
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
 
     def embed_token(self, token: str) -> np.ndarray:
         """The embedding of a single token."""
         vector = self._cache.get(token)
-        if vector is None:
-            vector = _hash_vector(token, self.dim, self.salt)
-            if len(self._cache) >= self._cache_size:
-                self._cache.clear()
-            self._cache[token] = vector
+        if vector is not None:
+            self._hits += 1
+            self._cache.move_to_end(token)
+            return vector
+        self._misses += 1
+        vector = _hash_vector(token, self.dim, self.salt)
+        if len(self._cache) >= self._cache_size:
+            self._cache.popitem(last=False)
+            self._evictions += 1
+        self._cache[token] = vector
         return vector
 
     def embed_tokens(self, tokens: Iterable[str]) -> np.ndarray:
-        """A (n_tokens, dim) matrix of token embeddings."""
+        """A (n_tokens, dim) matrix of token embeddings.
+
+        Repeated tokens are embedded once and gathered, not recomputed.
+        """
         tokens = list(tokens)
         if not tokens:
             return np.zeros((0, self.dim))
-        return np.stack([self.embed_token(t) for t in tokens])
+        unique: Dict[str, int] = {}
+        ids = np.empty(len(tokens), dtype=np.int64)
+        for i, token in enumerate(tokens):
+            ids[i] = unique.setdefault(token, len(unique))
+        table = np.stack([self.embed_token(t) for t in unique])
+        return table[ids]
+
+    def cache_stats(self) -> Dict[str, float]:
+        """Hit/miss/eviction counters plus occupancy and hit rate."""
+        lookups = self._hits + self._misses
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "size": len(self._cache),
+            "max_size": self._cache_size,
+            "hit_rate": self._hits / lookups if lookups else 0.0,
+        }
 
 
 class TextEncoder:
@@ -111,11 +161,69 @@ class TextEncoder:
         return accumulator / norm if norm > 0 else accumulator
 
     def encode_batch(self, texts: Iterable[str]) -> np.ndarray:
-        """A (n_texts, dim) matrix of encodings."""
+        """A (n_texts, dim) matrix of encodings.
+
+        Element-wise equal (within float tolerance) to stacking
+        :meth:`encode` per text, but computed batch-wise: every distinct
+        token in the batch is embedded and weight-looked-up once, and the
+        decayed sums for all texts reduce through one scatter-add over the
+        unique-token embedding table.
+        """
         texts = list(texts)
         if not texts:
             return np.zeros((0, self.dim))
-        return np.stack([self.encode(t) for t in texts])
+        # Text-level dedup: identical texts (repeated facts, re-asked
+        # questions) are encoded once and gathered back by row.
+        first_row: Dict[str, int] = {}
+        row_of = np.empty(len(texts), dtype=np.int64)
+        for i, text in enumerate(texts):
+            row_of[i] = first_row.setdefault(text, len(first_row))
+        distinct = list(first_row)
+
+        token_lists = [word_tokens(text) for text in distinct]
+        counts = np.array([len(tokens) for tokens in token_lists],
+                          dtype=np.int64)
+        out = np.zeros((len(distinct), self.dim))
+        total = int(counts.sum())
+        if total:
+            # Token-level dedup: each distinct token is embedded (and
+            # weight-looked-up) exactly once; ``token_idx`` gathers rows
+            # of the unique-token table back into stream order. A dict,
+            # not np.unique — fixed-width numpy string arrays truncate
+            # trailing NUL characters, silently conflating tokens.
+            token_ids: Dict[str, int] = {}
+            token_idx = np.empty(total, dtype=np.int64)
+            for j, tok in enumerate(chain.from_iterable(token_lists)):
+                token_idx[j] = token_ids.setdefault(tok, len(token_ids))
+            unique = list(token_ids)
+            table = np.stack([self.embedder.embed_token(t) for t in unique])
+            if self._token_weight:
+                table = table * np.array(
+                    [self._token_weight.get(t, 1.0) for t in unique])[:, None]
+            ends = np.cumsum(counts)
+            starts = ends - counts
+            positions = np.arange(total) - np.repeat(starts, counts)
+            decay_weights = self.decay ** positions.astype(np.float64)
+            n_rows, n_unique = len(distinct), len(unique)
+            if n_rows * n_unique <= DENSE_BATCH_BUDGET:
+                # Dense path: per-(text, token) weights collapse through one
+                # bincount, and the whole batch reduces as a single matmul.
+                rows = np.repeat(np.arange(n_rows), counts)
+                weights = np.bincount(rows * n_unique + token_idx,
+                                      weights=decay_weights,
+                                      minlength=n_rows * n_unique)
+                out = weights.reshape(n_rows, n_unique) @ table
+            else:
+                # Huge-vocabulary fallback: tokens arrive grouped by text,
+                # so each non-empty text is one contiguous segment;
+                # reduceat sums every segment in C.
+                weighted = decay_weights[:, None] * table[token_idx]
+                nonempty = np.flatnonzero(counts)
+                out[nonempty] = np.add.reduceat(weighted, starts[nonempty],
+                                                axis=0)
+            norms = safe_norms(out)
+            out /= norms[:, None]
+        return out[row_of]
 
 
 def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
@@ -128,11 +236,13 @@ def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
 
 
 def top_k_similar(query: np.ndarray, matrix: np.ndarray, k: int) -> List[int]:
-    """Indices of the ``k`` rows of ``matrix`` most cosine-similar to ``query``."""
+    """Indices of the ``k`` rows of ``matrix`` most cosine-similar to ``query``.
+
+    Delegates to the same scoring kernel as
+    :meth:`repro.vector.index.VectorIndex.search`, including its zero-norm
+    handling (zero rows and zero queries score 0, never NaN).
+    """
     if matrix.shape[0] == 0:
         return []
-    norms = np.linalg.norm(matrix, axis=1) * (np.linalg.norm(query) or 1.0)
-    norms[norms == 0.0] = 1.0
-    scores = matrix @ query / norms
-    order = np.argsort(-scores, kind="stable")
-    return [int(i) for i in order[:k]]
+    order, _ = cosine_topk(matrix, safe_norms(matrix), query, k)
+    return [int(i) for i in order]

@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Set, Tuple
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import IRI
 from repro.llm import prompts as P
+from repro.llm.caching import maybe_cached
 from repro.llm.faults import LLMTransientError
 from repro.llm.model import SimulatedLLM
 
@@ -48,9 +49,10 @@ _PRONOUN = re.compile(r"\b(it|its|he|she|him|her|they|them|that one)\b", re.I)
 class KGChatbot:
     """Dialogue manager fusing LLM conversation with a KGQA backend."""
 
-    def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph, qa_backend):
+    def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph, qa_backend,
+                 cache=False):
         """``qa_backend`` answers factual questions: ``answer(text) -> Set[IRI]``."""
-        self.llm = llm
+        self.llm = maybe_cached(llm, cache)
         self.kg = kg
         self.qa_backend = qa_backend
         self.history: List[ChatTurn] = []

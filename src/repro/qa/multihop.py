@@ -25,6 +25,7 @@ from repro.kg.datasets import Dataset
 from repro.kg.graph import KnowledgeGraph, _humanize_relation
 from repro.kg.triples import IRI, OWL, RDF, RDFS
 from repro.llm import prompts as P
+from repro.llm.caching import maybe_cached
 from repro.llm.embedding import TextEncoder
 from repro.llm.model import SimulatedLLM
 from repro.llm.tokenizer import word_tokens
@@ -130,8 +131,8 @@ def generate_multihop_questions(dataset: Dataset, n: int = 30, hops: int = 2,
 class LLMOnlyQA:
     """The question goes straight to the backbone — no KG coupling."""
 
-    def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph):
-        self.llm = llm
+    def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph, cache=False):
+        self.llm = maybe_cached(llm, cache)
         self.kg = kg
 
     def answer(self, question: str) -> Set[IRI]:
@@ -144,8 +145,9 @@ class KapingQA:
     """KAPING: similarity-retrieved KG facts prepended to the prompt."""
 
     def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph,
-                 top_k: int = 12, encoder: Optional[TextEncoder] = None):
-        self.llm = llm
+                 top_k: int = 12, encoder: Optional[TextEncoder] = None,
+                 cache=False):
+        self.llm = maybe_cached(llm, cache)
         self.kg = kg
         self.top_k = top_k
         self.encoder = encoder or TextEncoder(dim=96)
@@ -179,8 +181,8 @@ class RetrieveAndReadQA:
     """Sen et al.: relation-grounded KGQA retrieval + an LLM reader."""
 
     def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph,
-                 facts_budget: int = 40):
-        self.llm = llm
+                 facts_budget: int = 40, cache=False):
+        self.llm = maybe_cached(llm, cache)
         self.kg = kg
         self.facts_budget = facts_budget
 
@@ -224,8 +226,8 @@ class ReLMKGQA:
     """
 
     def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph,
-                 max_hops: int = 3, beam: int = 200):
-        self.llm = llm
+                 max_hops: int = 3, beam: int = 200, cache=False):
+        self.llm = maybe_cached(llm, cache)
         self.kg = kg
         self.max_hops = max_hops
         self.beam = beam

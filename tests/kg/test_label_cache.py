@@ -1,0 +1,157 @@
+"""Cache-invalidation tests for the KnowledgeGraph read-path caches.
+
+The label/description/type caches and the label→entity reverse index are
+keyed off the store's mutation counter, so every effective ``add`` /
+``remove`` / ``clear`` — through the façade or directly on the store — must
+be visible on the very next read.
+"""
+
+from repro.kg.graph import LABEL, KnowledgeGraph
+from repro.kg.store import TripleStore
+from repro.kg.triples import IRI, Literal, Namespace, Triple
+
+EX = Namespace("http://example.org/")
+
+
+def _graph():
+    kg = KnowledgeGraph(name="t")
+    kg.set_label(EX.alice, "Alice")
+    kg.set_label(EX.bob, "Bob")
+    kg.set_type(EX.alice, EX.Person)
+    kg.set_description(EX.alice, "A test person.")
+    kg.add(EX.alice, EX.knows, EX.bob)
+    return kg
+
+
+class TestStoreVersion:
+    def test_version_counts_effective_mutations_only(self):
+        store = TripleStore()
+        triple = Triple(EX.a, EX.p, EX.b)
+        v0 = store.version
+        assert store.add(triple) is True
+        assert store.version == v0 + 1
+        assert store.add(triple) is False      # duplicate: no-op
+        assert store.version == v0 + 1
+        assert store.remove(triple) is True
+        assert store.version == v0 + 2
+        assert store.remove(triple) is False   # absent: no-op
+        assert store.version == v0 + 2
+        store.clear()
+        assert store.version == v0 + 3
+
+
+class TestLabelInvalidation:
+    def test_label_reflects_add(self):
+        kg = _graph()
+        assert kg.label(EX.carol) == "carol"          # local-name fallback
+        kg.set_label(EX.carol, "Carol C.")
+        assert kg.label(EX.carol) == "Carol C."
+
+    def test_label_reflects_remove(self):
+        kg = _graph()
+        assert kg.label(EX.alice) == "Alice"
+        kg.store.remove(Triple(EX.alice, LABEL, Literal("Alice")))
+        assert kg.label(EX.alice) == "alice"          # back to the fallback
+
+    def test_label_reflects_clear(self):
+        kg = _graph()
+        assert kg.label(EX.alice) == "Alice"
+        kg.store.clear()
+        assert kg.label(EX.alice) == "alice"
+
+    def test_direct_store_mutation_behind_the_facade(self):
+        # Writes that bypass the KnowledgeGraph entirely still invalidate.
+        kg = _graph()
+        assert kg.label(EX.dave) == "dave"
+        kg.store.add(Triple(EX.dave, LABEL, Literal("Dave D.")))
+        assert kg.label(EX.dave) == "Dave D."
+
+    def test_repeated_reads_hit_the_cache(self):
+        kg = _graph()
+        kg.label(EX.alice)
+        hits_before = kg.cache_stats()["hits"]
+        for _ in range(5):
+            assert kg.label(EX.alice) == "Alice"
+        assert kg.cache_stats()["hits"] >= hits_before + 5
+
+    def test_noop_mutations_do_not_invalidate(self):
+        kg = _graph()
+        kg.label(EX.alice)
+        invalidations = kg.cache_stats()["invalidations"]
+        kg.store.add(Triple(EX.alice, LABEL, Literal("Alice")))  # duplicate
+        kg.label(EX.alice)
+        assert kg.cache_stats()["invalidations"] == invalidations
+
+
+class TestFindByLabelInvalidation:
+    def test_reverse_index_reflects_add(self):
+        kg = _graph()
+        assert kg.find_by_label("Alice") == [EX.alice]
+        kg.set_label(EX.carol, "Alice")               # now ambiguous
+        assert kg.find_by_label("Alice") == [EX.alice, EX.carol]
+
+    def test_reverse_index_reflects_remove(self):
+        kg = _graph()
+        assert kg.find_by_label("Bob") == [EX.bob]
+        kg.store.remove(Triple(EX.bob, LABEL, Literal("Bob")))
+        # Falls back to local-name matching once no label matches.
+        assert kg.find_by_label("Bob") == [EX.bob]
+        assert kg.find_by_label("nonexistent") == []
+
+    def test_reverse_index_reflects_clear(self):
+        kg = _graph()
+        assert kg.find_by_label("Alice") == [EX.alice]
+        kg.store.clear()
+        assert kg.find_by_label("Alice") == []
+
+    def test_case_insensitive_after_invalidation(self):
+        kg = _graph()
+        kg.find_by_label("alice")
+        kg.set_label(EX.eve, "EVE")
+        assert kg.find_by_label("eve") == [EX.eve]
+
+
+class TestTypesAndDescriptions:
+    def test_types_reflect_mutations(self):
+        kg = _graph()
+        assert kg.types(EX.alice) == [EX.Person]
+        kg.set_type(EX.alice, EX.Employee)
+        assert set(kg.types(EX.alice)) == {EX.Person, EX.Employee}
+
+    def test_types_returns_a_fresh_list(self):
+        kg = _graph()
+        first = kg.types(EX.alice)
+        first.append(EX.Tampered)
+        assert kg.types(EX.alice) == [EX.Person]
+
+    def test_description_reflects_mutations(self):
+        kg = _graph()
+        assert kg.description(EX.alice) == "A test person."
+        assert kg.description(EX.bob) is None
+        kg.set_description(EX.bob, "Another one.")
+        assert kg.description(EX.bob) == "Another one."
+
+
+class TestForks:
+    def test_copy_fork_is_independent(self):
+        kg = _graph()
+        assert kg.label(EX.alice) == "Alice"          # warm the cache
+        fork = kg.copy(name="fork")
+        fork.set_label(EX.alice, "Alicia")
+        fork.store.remove(Triple(EX.alice, LABEL, Literal("Alice")))
+        assert fork.label(EX.alice) == "Alicia"
+        assert kg.label(EX.alice) == "Alice"          # original untouched
+        kg.set_label(EX.bob, "Bobby")
+        assert fork.find_by_label("Bobby") == []
+
+    def test_union_fork_sees_both_sides(self):
+        kg = _graph()
+        other = KnowledgeGraph(name="other")
+        other.set_label(EX.zoe, "Zoe")
+        merged = KnowledgeGraph(kg.store.union(other.store), name="merged")
+        assert merged.find_by_label("Alice") == [EX.alice]
+        assert merged.find_by_label("Zoe") == [EX.zoe]
+        merged.store.remove(Triple(EX.zoe, LABEL, Literal("Zoe")))
+        # zoe's only triple is gone, so she is no longer in the store at all.
+        assert merged.find_by_label("Zoe") == []
+        assert kg.find_by_label("Zoe") == []            # source untouched
