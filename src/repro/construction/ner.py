@@ -18,8 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.executor import ParallelExecutor, chunked
 from repro.llm import prompts as P
-from repro.llm.model import SimulatedLLM
+from repro.llm.model import SimulatedLLM, complete_all
 from repro.text.corpus import AnnotatedSentence
 
 
@@ -76,6 +77,18 @@ class GazetteerNER:
                 i += 1
         return NERResult(sentence=sentence, entities=found)
 
+    def extract_batch(self, sentences: Sequence[str],
+                      entity_types: Sequence[str] = (),
+                      batch_size: Optional[int] = None,
+                      executor: Optional[ParallelExecutor] = None
+                      ) -> List[NERResult]:
+        """Extract from many sentences (pure per-sentence scan, fanned out)."""
+        executor = executor or ParallelExecutor()
+        return executor.map_batched(
+            list(sentences),
+            lambda s: self.extract(s, entity_types=entity_types),
+            batch_size)
+
 
 class PromptNER:
     """Prompt-based NER over a backbone LLM (PromptNER).
@@ -100,6 +113,23 @@ class PromptNER:
         response = self.llm.complete(prompt)
         return NERResult(sentence=sentence,
                          entities=P.parse_ner_response(response.text))
+
+    def _prompt_for(self, sentence: str) -> str:
+        return P.ner_prompt(sentence, self.entity_types,
+                            examples=self.examples,
+                            definitions=self.definitions)
+
+    def extract_batch(self, sentences: Sequence[str],
+                      batch_size: Optional[int] = None,
+                      executor: Optional[ParallelExecutor] = None
+                      ) -> List[NERResult]:
+        """Batched extraction: one ``complete_batch`` per chunk.
+
+        Result-identical to ``[extract(s) for s in sentences]``; identical
+        sentences share one completion inside a chunk (the model's batch
+        dedup), and response parsing fans out across the executor.
+        """
+        return _extract_ner_batch(self, sentences, batch_size, executor)
 
 
 class InstructionTunedNER:
@@ -126,16 +156,57 @@ class InstructionTunedNER:
         return NERResult(sentence=sentence,
                          entities=P.parse_ner_response(response.text))
 
+    def _prompt_for(self, sentence: str) -> str:
+        return P.ner_prompt(sentence, self.entity_types)
+
+    def extract_batch(self, sentences: Sequence[str],
+                      batch_size: Optional[int] = None,
+                      executor: Optional[ParallelExecutor] = None
+                      ) -> List[NERResult]:
+        """Batched zero-shot extraction (see :meth:`PromptNER.extract_batch`)."""
+        return _extract_ner_batch(self, sentences, batch_size, executor)
+
+
+def _extract_ner_batch(extractor, sentences: Sequence[str],
+                       batch_size: Optional[int],
+                       executor: Optional[ParallelExecutor]
+                       ) -> List[NERResult]:
+    """Shared batched NER loop: prompt-build → one batch completion per
+    chunk → parallel parse. All LLM traffic flows through ``complete_all``
+    on the calling thread, so fault schedules and cache evolution do not
+    depend on the executor's worker count."""
+    executor = executor or ParallelExecutor()
+    sentences = list(sentences)
+    results: List[NERResult] = []
+    for chunk in chunked(sentences, batch_size):
+        prompts = executor.map(chunk, extractor._prompt_for)
+        responses = complete_all(extractor.llm, prompts)
+        entities = executor.map(responses,
+                                lambda r: P.parse_ner_response(r.text))
+        results.extend(NERResult(sentence=s, entities=e)
+                       for s, e in zip(chunk, entities))
+    return results
+
 
 def evaluate_ner(extractor, sentences: Sequence[AnnotatedSentence],
-                 typed: bool = True) -> Dict[str, float]:
+                 typed: bool = True, batch_size: Optional[int] = None,
+                 executor: Optional[ParallelExecutor] = None
+                 ) -> Dict[str, float]:
     """Micro P/R/F1 of an extractor over annotated sentences.
 
     ``typed=False`` scores mention spans only (type-agnostic).
+    ``batch_size``/``executor`` route extraction through the extractor's
+    batched entry point when it has one; scores are identical to the
+    sequential default (the batch paths are result-identical).
     """
+    texts = [sentence.text for sentence in sentences]
+    batch = getattr(extractor, "extract_batch", None)
+    if callable(batch) and (batch_size is not None or executor is not None):
+        predictions = batch(texts, batch_size=batch_size, executor=executor)
+    else:
+        predictions = [extractor.extract(text) for text in texts]
     tp = fp = fn = 0
-    for sentence in sentences:
-        predicted = extractor.extract(sentence.text)
+    for sentence, predicted in zip(sentences, predictions):
         if typed:
             pred_set = {(m.lower(), t) for m, t in predicted.entities}
             gold_set = {(m.lower(), t) for m, t in sentence.entities}

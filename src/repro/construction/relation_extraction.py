@@ -20,9 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.executor import ParallelExecutor, chunked
 from repro.llm import prompts as P
 from repro.llm.embedding import TextEncoder
-from repro.llm.model import SimulatedLLM
+from repro.llm.model import SimulatedLLM, complete_all
 from repro.text.corpus import AnnotatedSentence
 from repro.vector import VectorIndex
 
@@ -106,6 +107,33 @@ class PatternRelationExtractor:
                     triples.append((subject, relation, obj))
         return REResult(sentence=sentence, triples=triples)
 
+    def extract_batch(self, sentences: Sequence[str],
+                      batch_size: Optional[int] = None,
+                      executor: Optional[ParallelExecutor] = None
+                      ) -> List[REResult]:
+        """Extract from many sentences (pure per-sentence scan, fanned out)."""
+        executor = executor or ParallelExecutor()
+        return executor.map_batched(list(sentences), self.extract, batch_size)
+
+
+def _extract_re_batch(extractor, sentences: Sequence[str],
+                      batch_size: Optional[int],
+                      executor: Optional[ParallelExecutor]) -> List[REResult]:
+    """Shared batched RE loop: prompt-build → one batch completion per
+    chunk → parallel parse. All LLM traffic flows through ``complete_all``
+    on the calling thread (worker-count-independent fault/cache order)."""
+    executor = executor or ParallelExecutor()
+    sentences = list(sentences)
+    results: List[REResult] = []
+    for chunk in chunked(sentences, batch_size):
+        prompts = executor.map(chunk, extractor._prompt_for)
+        responses = complete_all(extractor.llm, prompts)
+        triples = executor.map(responses,
+                               lambda r: P.parse_relation_response(r.text))
+        results.extend(REResult(sentence=s, triples=t)
+                       for s, t in zip(chunk, triples))
+    return results
+
 
 class ZeroShotRelationExtractor:
     """Bare LLM prompting with only the relation inventory."""
@@ -116,10 +144,19 @@ class ZeroShotRelationExtractor:
 
     def extract(self, sentence: str) -> REResult:
         """One LLM call; the response parses into (s, r, o) triples."""
-        prompt = P.relation_extraction_prompt(sentence, self.relations)
-        response = self.llm.complete(prompt)
+        response = self.llm.complete(self._prompt_for(sentence))
         return REResult(sentence=sentence,
                         triples=P.parse_relation_response(response.text))
+
+    def _prompt_for(self, sentence: str) -> str:
+        return P.relation_extraction_prompt(sentence, self.relations)
+
+    def extract_batch(self, sentences: Sequence[str],
+                      batch_size: Optional[int] = None,
+                      executor: Optional[ParallelExecutor] = None
+                      ) -> List[REResult]:
+        """Batched extraction, result-identical to the ``extract`` loop."""
+        return _extract_re_batch(self, sentences, batch_size, executor)
 
 
 class FewShotICLRelationExtractor:
@@ -135,12 +172,21 @@ class FewShotICLRelationExtractor:
 
     def extract(self, sentence: str) -> REResult:
         """One LLM call; the response parses into (s, r, o) triples."""
-        prompt = P.relation_extraction_prompt(
-            sentence, self.relations, examples=self.demonstrations,
-            chain_of_thought=self.chain_of_thought)
-        response = self.llm.complete(prompt)
+        response = self.llm.complete(self._prompt_for(sentence))
         return REResult(sentence=sentence,
                         triples=P.parse_relation_response(response.text))
+
+    def _prompt_for(self, sentence: str) -> str:
+        return P.relation_extraction_prompt(
+            sentence, self.relations, examples=self.demonstrations,
+            chain_of_thought=self.chain_of_thought)
+
+    def extract_batch(self, sentences: Sequence[str],
+                      batch_size: Optional[int] = None,
+                      executor: Optional[ParallelExecutor] = None
+                      ) -> List[REResult]:
+        """Batched extraction, result-identical to the ``extract`` loop."""
+        return _extract_re_batch(self, sentences, batch_size, executor)
 
 
 class RetrievedDemonstrationExtractor:
@@ -168,14 +214,56 @@ class RetrievedDemonstrationExtractor:
         hits = self._index.search(self.encoder.encode(sentence), k=self.k)
         return [self._pool[hit.key] for hit in hits]
 
+    def retrieve_batch(self, sentences: Sequence[str]
+                       ) -> List[List[AnnotatedSentence]]:
+        """Demonstrations for many sentences, encoding queries batch-wise.
+
+        Distinct sentences are encoded once through the vectorized
+        :meth:`~repro.llm.embedding.TextEncoder.encode_batch` (token dedup
+        across the whole batch), then searched individually.
+        """
+        sentences = list(sentences)
+        first_row: Dict[str, int] = {}
+        row_of = [first_row.setdefault(s, len(first_row)) for s in sentences]
+        vectors = self.encoder.encode_batch(list(first_row))
+        demos = [[self._pool[hit.key]
+                  for hit in self._index.search(vectors[i], k=self.k)]
+                 for i in range(len(first_row))]
+        return [demos[row] for row in row_of]
+
     def extract(self, sentence: str) -> REResult:
         """One LLM call; the response parses into (s, r, o) triples."""
-        demonstrations = [(s.text, s.triples) for s in self.retrieve(sentence)]
-        prompt = P.relation_extraction_prompt(sentence, self.relations,
-                                              examples=demonstrations)
-        response = self.llm.complete(prompt)
+        response = self.llm.complete(self._prompt_for(sentence))
         return REResult(sentence=sentence,
                         triples=P.parse_relation_response(response.text))
+
+    def _prompt_for(self, sentence: str) -> str:
+        demonstrations = [(s.text, s.triples) for s in self.retrieve(sentence)]
+        return P.relation_extraction_prompt(sentence, self.relations,
+                                            examples=demonstrations)
+
+    def extract_batch(self, sentences: Sequence[str],
+                      batch_size: Optional[int] = None,
+                      executor: Optional[ParallelExecutor] = None
+                      ) -> List[REResult]:
+        """Batched GPT-RE: chunk queries are embedded through
+        ``encode_batch``, prompts are completed in one batch per chunk."""
+        executor = executor or ParallelExecutor()
+        sentences = list(sentences)
+        results: List[REResult] = []
+        for chunk in chunked(sentences, batch_size):
+            demo_lists = self.retrieve_batch(chunk)
+            prompts = [
+                P.relation_extraction_prompt(
+                    s, self.relations,
+                    examples=[(d.text, d.triples) for d in demos])
+                for s, demos in zip(chunk, demo_lists)]
+            responses = complete_all(self.llm, prompts)
+            triples = executor.map(
+                responses, lambda r: P.parse_relation_response(r.text))
+            results.extend(REResult(sentence=s, triples=t)
+                           for s, t in zip(chunk, triples))
+        return results
 
 
 class SupervisedFineTunedExtractor:
@@ -210,10 +298,19 @@ class SupervisedFineTunedExtractor:
 
     def extract(self, sentence: str) -> REResult:
         """One LLM call; the response parses into (s, r, o) triples."""
-        prompt = P.relation_extraction_prompt(sentence, self.relations)
-        response = self.llm.complete(prompt)
+        response = self.llm.complete(self._prompt_for(sentence))
         return REResult(sentence=sentence,
                         triples=P.parse_relation_response(response.text))
+
+    def _prompt_for(self, sentence: str) -> str:
+        return P.relation_extraction_prompt(sentence, self.relations)
+
+    def extract_batch(self, sentences: Sequence[str],
+                      batch_size: Optional[int] = None,
+                      executor: Optional[ParallelExecutor] = None
+                      ) -> List[REResult]:
+        """Batched extraction, result-identical to the ``extract`` loop."""
+        return _extract_re_batch(self, sentences, batch_size, executor)
 
 
 class NLIFilteredExtractor:
@@ -240,6 +337,49 @@ class NLIFilteredExtractor:
             if verdict is True:
                 kept.append((subject, relation, obj))
         return REResult(sentence=sentence, triples=kept)
+
+    def extract_batch(self, sentences: Sequence[str],
+                      batch_size: Optional[int] = None,
+                      executor: Optional[ParallelExecutor] = None
+                      ) -> List[REResult]:
+        """Batched extract-then-filter.
+
+        Base extraction runs through the base system's batched path when it
+        has one; the per-triple entailment checks across the whole chunk
+        are then flattened into **one** fact-verification batch and
+        regrouped per sentence. Verdicts (and kept triples) are identical
+        to the sequential loop — each check prompt is a pure function of
+        its (triple, sentence) pair.
+        """
+        executor = executor or ParallelExecutor()
+        sentences = list(sentences)
+        results: List[REResult] = []
+        base_batch = getattr(self.base, "extract_batch", None)
+        for chunk in chunked(sentences, batch_size):
+            if callable(base_batch):
+                base_results = base_batch(chunk, executor=executor)
+            else:
+                base_results = executor.map(chunk, self.base.extract)
+            check_prompts: List[str] = []
+            spans: List[int] = []
+            for sentence, base_result in zip(chunk, base_results):
+                spans.append(len(base_result.triples))
+                for subject, relation, obj in base_result.triples:
+                    statement = f"{subject} {relation} {obj}."
+                    check_prompts.append(
+                        P.fact_check_prompt(statement, context=sentence))
+            responses = complete_all(self.llm, check_prompts)
+            verdicts = executor.map(
+                responses, lambda r: P.parse_fact_check_response(r.text))
+            cursor = 0
+            for sentence, base_result, span in zip(chunk, base_results, spans):
+                kept = [triple for triple, verdict
+                        in zip(base_result.triples,
+                               verdicts[cursor:cursor + span])
+                        if verdict is True]
+                cursor += span
+                results.append(REResult(sentence=sentence, triples=kept))
+        return results
 
 
 def _capitalized_runs(sentence: str) -> List[Tuple[int, int]]:
@@ -268,12 +408,24 @@ def _capitalized_runs(sentence: str) -> List[Tuple[int, int]]:
 
 
 def evaluate_relation_extraction(extractor,
-                                 sentences: Sequence[AnnotatedSentence]
+                                 sentences: Sequence[AnnotatedSentence],
+                                 batch_size: Optional[int] = None,
+                                 executor: Optional[ParallelExecutor] = None
                                  ) -> Dict[str, float]:
-    """Micro P/R/F1 over (subject, relation, object) triples."""
+    """Micro P/R/F1 over (subject, relation, object) triples.
+
+    ``batch_size``/``executor`` route extraction through the extractor's
+    batched entry point when it has one; scores are identical to the
+    sequential default.
+    """
+    texts = [sentence.text for sentence in sentences]
+    batch = getattr(extractor, "extract_batch", None)
+    if callable(batch) and (batch_size is not None or executor is not None):
+        predictions = batch(texts, batch_size=batch_size, executor=executor)
+    else:
+        predictions = [extractor.extract(text) for text in texts]
     tp = fp = fn = 0
-    for sentence in sentences:
-        predicted = extractor.extract(sentence.text)
+    for sentence, predicted in zip(sentences, predictions):
         pred_set = {(s.lower(), r.lower(), o.lower()) for s, r, o in predicted.triples}
         gold_set = {(s.lower(), r.lower(), o.lower()) for s, r, o in sentence.triples}
         tp += len(pred_set & gold_set)

@@ -23,6 +23,11 @@ from repro.core.pipeline import (
     StagePolicy,
     StageReport,
 )
+from repro.core.executor import (
+    ItemOutcome,
+    ParallelExecutor,
+    chunked,
+)
 from repro.core.resilience import (
     CircuitBreaker,
     CircuitOpenError,
@@ -49,6 +54,9 @@ __all__ = [
     "PipelineReport",
     "StagePolicy",
     "StageReport",
+    "ItemOutcome",
+    "ParallelExecutor",
+    "chunked",
     "CircuitBreaker",
     "CircuitOpenError",
     "Deadline",

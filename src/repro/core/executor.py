@@ -1,0 +1,245 @@
+"""A deterministic parallel executor for fan-out-shaped pipeline work.
+
+Every throughput-shaped workload in this repo — per-sentence extraction,
+per-question RAG, per-hop frontier expansion, per-system eval runs — is an
+ordered list of independent items. This module supplies the one fan-out
+primitive they all share, with two guarantees the ad-hoc loops it replaces
+never had to state:
+
+* **Determinism.** Results are collected *in input order* regardless of
+  worker count or scheduling interleavings, and error handling is resolved
+  by item index (the lowest-index failure wins an abort), so a run at
+  ``max_workers=4`` is bit-identical to ``max_workers=1``. Ordering-
+  sensitive shared state (an LLM fault schedule, a cache's LRU order) must
+  not be mutated from inside worker callables — the batched LLM entry
+  points (``complete_batch``) exist precisely so pipelines assign call
+  indices deterministically *before* fanning pure work out to workers.
+* **Per-item error capture.** :meth:`ParallelExecutor.map_outcomes` never
+  raises; each item's exception is captured in an ordered
+  :class:`ItemOutcome`, and :meth:`ParallelExecutor.run_stage` routes those
+  outcomes through the existing :class:`~repro.core.pipeline.StagePolicy`
+  machinery (retry → fallback → skip → abort) and records an aggregated
+  :class:`~repro.core.pipeline.StageReport`.
+
+``max_workers=1`` is exactly the sequential path: no threads are created
+and callables run inline, which keeps single-item debugging stack traces
+flat. Threads only pay off when the work releases the GIL (numpy batch
+encoding, index search, IO); the order-of-magnitude throughput wins come
+from the batch APIs this executor composes with, not from thread count.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, TypeVar
+
+from repro.core.pipeline import PipelineReport, StagePolicy, StageReport
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def chunked(items: Sequence[T], size: Optional[int]) -> Iterator[Sequence[T]]:
+    """Split ``items`` into consecutive chunks of ``size``.
+
+    ``size=None`` (or a size covering everything) yields one chunk — the
+    degenerate batching every ``batch_size=None`` knob defaults to.
+    """
+    if size is not None and size <= 0:
+        raise ValueError(f"chunk size must be positive, got {size}")
+    if size is None or size >= len(items):
+        if len(items):
+            yield items
+        return
+    for start in range(0, len(items), size):
+        yield items[start:start + size]
+
+
+@dataclass
+class ItemOutcome:
+    """One item's result within a fan-out stage."""
+
+    index: int
+    value: Any = None
+    error: Optional[BaseException] = None
+    attempts: int = 1
+    status: str = "ok"          # ok | retried | fell_back | skipped | failed
+
+    @property
+    def ok(self) -> bool:
+        """Whether the item produced a value (possibly via fallback)."""
+        return self.error is None or self.status in ("fell_back",)
+
+
+class ParallelExecutor:
+    """An ordered, error-capturing thread-pool map.
+
+    ``max_workers=1`` runs inline (no threads, identical semantics); any
+    higher count fans items out to a thread pool while preserving input
+    order in the collected results. Worker callables must be safe to run
+    concurrently — pure functions of their item, or functions whose shared
+    state is guarded (the thread-safe caches) and whose *values* do not
+    depend on scheduling order.
+    """
+
+    def __init__(self, max_workers: int = 1):
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+
+    @property
+    def sequential(self) -> bool:
+        """Whether this executor runs items inline, one at a time."""
+        return self.max_workers == 1
+
+    # ------------------------------------------------------------------
+    # Core primitives
+    # ------------------------------------------------------------------
+    def map_outcomes(self, items: Iterable[T],
+                     fn: Callable[[T], R]) -> List[ItemOutcome]:
+        """Apply ``fn`` per item; capture every exception; never raise.
+
+        The returned list is ordered by item index whatever the scheduling
+        order was.
+        """
+        items = list(items)
+
+        def run_one(pair) -> ItemOutcome:
+            index, item = pair
+            try:
+                return ItemOutcome(index=index, value=fn(item))
+            except BaseException as exc:  # noqa: BLE001 - captured per item
+                return ItemOutcome(index=index, error=exc, status="failed")
+
+        indexed = list(enumerate(items))
+        if self.sequential or len(indexed) <= 1:
+            return [run_one(pair) for pair in indexed]
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(run_one, indexed))
+
+    def map(self, items: Iterable[T], fn: Callable[[T], R]) -> List[R]:
+        """Apply ``fn`` per item and return ordered values.
+
+        If any item raised, the *lowest-index* error is re-raised after all
+        items finish — the same error a sequential loop would have surfaced
+        first, so abort behaviour is scheduling-independent.
+        """
+        outcomes = self.map_outcomes(items, fn)
+        for outcome in outcomes:
+            if outcome.error is not None:
+                raise outcome.error
+        return [outcome.value for outcome in outcomes]
+
+    def map_batched(self, items: Iterable[T], fn: Callable[[T], R],
+                    batch_size: Optional[int] = None) -> List[R]:
+        """Chunk ``items`` and fan each chunk out; ordered flat results.
+
+        Composes chunking with fan-out: chunks are processed one after
+        another (so chunk N+1 sees any shared caches warmed by chunk N),
+        items *within* a chunk fan out across workers.
+        """
+        out: List[R] = []
+        for chunk in chunked(list(items), batch_size):
+            out.extend(self.map(chunk, fn))
+        return out
+
+    # ------------------------------------------------------------------
+    # Policy-governed stage execution
+    # ------------------------------------------------------------------
+    def run_stage(self, items: Iterable[T], fn: Callable[[T], R], *,
+                  name: str = "stage",
+                  policy: Optional[StagePolicy] = None,
+                  report: Optional[PipelineReport] = None) -> List[ItemOutcome]:
+        """Fan a stage out with per-item :class:`StagePolicy` error routing.
+
+        Per item, in policy order: a configured retry policy re-attempts
+        transient failures; a governed terminal error then runs the
+        fallback (called with the *item*), or skips (``value=None``), or
+        aborts. Abort re-raises the lowest-index error once every item has
+        settled, so partial results are never silently dropped by a racing
+        worker. When ``report`` is given, one aggregated
+        :class:`StageReport` is appended and degradation is flagged exactly
+        as the single-item pipeline machinery would.
+        """
+        policy = policy or StagePolicy()
+
+        def run_one(item: T) -> ItemOutcome:
+            # Index is patched in by map_outcomes; run the policy here so
+            # retries/fallbacks execute on the worker that owns the item.
+            attempts = 1
+            status = "ok"
+            try:
+                if policy.retry is not None:
+                    outcome = policy.retry.run(lambda: fn(item), key=name)
+                    attempts = outcome.attempts
+                    if outcome.error is not None:
+                        raise outcome.error
+                    if attempts > 1:
+                        status = "retried"
+                    return ItemOutcome(0, value=outcome.value,
+                                       attempts=attempts, status=status)
+                return ItemOutcome(0, value=fn(item))
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                if not isinstance(exc, policy.catch):
+                    return ItemOutcome(0, error=exc, attempts=attempts,
+                                       status="failed")
+                action = policy.on_error
+                if action == "retry":  # retries already exhausted above
+                    action = "abort"
+                if action == "fallback":
+                    try:
+                        value = policy.fallback(item)  # type: ignore[misc]
+                    except policy.catch as fallback_error:
+                        return ItemOutcome(0, error=fallback_error,
+                                           attempts=attempts, status="failed")
+                    return ItemOutcome(0, value=value, error=exc,
+                                       attempts=attempts, status="fell_back")
+                if action == "skip":
+                    return ItemOutcome(0, value=None, error=exc,
+                                       attempts=attempts, status="skipped")
+                return ItemOutcome(0, error=exc, attempts=attempts,
+                                   status="failed")
+
+        raw = self.map_outcomes(list(items), run_one)
+        outcomes: List[ItemOutcome] = []
+        for index, wrapped in enumerate(raw):
+            if wrapped.error is not None:
+                # run_one itself never raises; this is a defensive path for
+                # errors escaping the policy wrapper (e.g. in policy code).
+                inner = ItemOutcome(index, error=wrapped.error,
+                                    status="failed")
+            else:
+                inner = wrapped.value
+                inner.index = index
+            outcomes.append(inner)
+
+        if report is not None:
+            statuses = [o.status for o in outcomes]
+            if any(s == "failed" for s in statuses):
+                status = "failed"
+            elif any(s == "fell_back" for s in statuses):
+                status = "fell_back"
+            elif any(s == "skipped" for s in statuses):
+                status = "skipped"
+            elif any(s == "retried" for s in statuses):
+                status = "retried"
+            else:
+                status = "ok"
+            first_error = next((o.error for o in outcomes
+                                if o.error is not None), None)
+            report.stages.append(StageReport(
+                name, status, sum(o.attempts for o in outcomes), 0.0,
+                error=repr(first_error) if first_error is not None else None))
+            for outcome in outcomes:
+                if outcome.status in ("fell_back", "skipped"):
+                    report.degraded = True
+                    report.notes.append(
+                        f"{name}[{outcome.index}]: {outcome.status} after "
+                        f"{outcome.error!r}")
+
+        failed = next((o for o in outcomes if o.status == "failed"), None)
+        if failed is not None:
+            assert failed.error is not None
+            raise failed.error
+        return outcomes

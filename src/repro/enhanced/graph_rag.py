@@ -15,10 +15,12 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
+from repro.core.executor import ParallelExecutor, chunked
 from repro.core.resilience import RetryPolicy
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import IRI, OWL, RDF, RDFS
 from repro.llm import prompts as P
+from repro.llm.batch import resilient_complete_all
 from repro.llm.caching import maybe_cached
 from repro.llm.faults import LLMTransientError
 from repro.llm.model import SimulatedLLM
@@ -181,6 +183,81 @@ class GraphRAG:
             self.last_degraded = True
             return " ".join(partials)
         return outcome.value.text or " ".join(partials)
+
+    def answer_global_batch(self, questions: Sequence[str],
+                            granularity: str = "top",
+                            batch_size: Optional[int] = None,
+                            executor: Optional[ParallelExecutor] = None
+                            ) -> List[str]:
+        """Map-reduce many global questions through the batch fast path.
+
+        Fault-free, result-identical to ``[answer_global(q, granularity)
+        for q in questions]``: per chunk, every question's map prompts go
+        through one batched completion (identical community×question
+        prompts — e.g. repeated questions — complete once), then all
+        reduce prompts go through a second. Faulting map calls drop their
+        community from that question's reduce, exactly as the sequential
+        path degrades. After the call, ``last_degraded`` /
+        ``last_faulted_communities`` aggregate over the whole batch.
+        All completions run on the calling thread in deterministic batch
+        order; ``executor`` fans out only pure prompt construction.
+        """
+        if not self.communities:
+            self.build()
+        executor = executor or ParallelExecutor()
+        self.last_degraded = False
+        self.last_faulted_communities = 0
+        communities = [c for c in
+                       (self.communities if granularity == "top"
+                        else self.leaves())
+                       if c.summary]
+        answers: List[str] = []
+        for chunk in chunked(list(questions), batch_size):
+            answers.extend(self._answer_global_chunk(chunk, communities,
+                                                     executor))
+        return answers
+
+    def _answer_global_chunk(self, questions: Sequence[str],
+                             communities: List[Community],
+                             executor: ParallelExecutor) -> List[str]:
+        # Map step: one flat batch of (question × community) prompts.
+        map_prompts = executor.map(
+            [(q, c) for q in questions for c in communities],
+            lambda pair: P.summarization_prompt(pair[1].summary,
+                                                focus=pair[0]))
+        map_outcomes = resilient_complete_all(self.llm, map_prompts,
+                                              retry=self.retry)
+        partials_per_question: List[List[str]] = []
+        for i in range(len(questions)):
+            partials: List[str] = []
+            for outcome in map_outcomes[i * len(communities):
+                                        (i + 1) * len(communities)]:
+                if not outcome.ok:
+                    # A faulting community drops out of this question's
+                    # reduce instead of failing the whole answer.
+                    self.last_faulted_communities += 1
+                    self.last_degraded = True
+                    continue
+                if outcome.response.text:
+                    partials.append(outcome.response.text)
+            partials_per_question.append(partials)
+        # Reduce step: one batch over the questions that have partials.
+        reduce_rows = [i for i, partials in enumerate(partials_per_question)
+                       if partials]
+        reduce_prompts = [P.summarization_prompt(
+            " ".join(partials_per_question[i]), focus=questions[i])
+            for i in reduce_rows]
+        reduce_outcomes = resilient_complete_all(self.llm, reduce_prompts,
+                                                 retry=self.retry)
+        answers = ["unknown"] * len(questions)
+        for i, outcome in zip(reduce_rows, reduce_outcomes):
+            merged = " ".join(partials_per_question[i])
+            if not outcome.ok:
+                self.last_degraded = True
+                answers[i] = merged
+            else:
+                answers[i] = outcome.response.text or merged
+        return answers
 
     def answer_local(self, question: str) -> str:
         """Local questions: entity-level retrieval plus the entity's

@@ -13,11 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.pipeline import Pipeline, PipelineContext, PipelineReport
+from repro.core.executor import ParallelExecutor, chunked
+from repro.core.pipeline import (Pipeline, PipelineContext, PipelineReport,
+                                 StageReport)
 from repro.core.resilience import RetryPolicy
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import RDF, RDFS
 from repro.llm import prompts as P
+from repro.llm.batch import resilient_complete_all
 from repro.llm.caching import maybe_cached
 from repro.llm.embedding import TextEncoder
 from repro.llm.faults import LLMTransientError
@@ -120,6 +123,110 @@ class NaiveRAG:
         context = self.pipeline.execute(question=question)
         assert context.report is not None
         return context["answer"], context.report
+
+    def answer_batch(self, questions: Sequence[str],
+                     batch_size: Optional[int] = None,
+                     executor: Optional[ParallelExecutor] = None) -> List[str]:
+        """Answer a corpus of questions through the batch fast path.
+
+        Fault-free, this is result-identical to ``[answer(q) for q in
+        questions]`` — but retrieval fans out across the executor and all
+        generation calls for a chunk go through one batched completion
+        (dedup + a single cache pass). Defaults (no executor, no batch
+        size) behave like today's sequential path, one chunk, inline.
+        """
+        return [answer for answer, _ in self.answer_batch_with_reports(
+            questions, batch_size=batch_size, executor=executor)]
+
+    def answer_batch_with_reports(
+            self, questions: Sequence[str],
+            batch_size: Optional[int] = None,
+            executor: Optional[ParallelExecutor] = None
+    ) -> List[Tuple[str, PipelineReport]]:
+        """Like :meth:`answer_batch`, plus one report per question.
+
+        Reports mirror the sequential pipeline's stage statuses,
+        degradation flags and notes (stage ``elapsed`` is 0.0 — batch
+        stages are not individually timed). All LLM traffic flows through
+        ``resilient_complete_all`` on the calling thread in batch order,
+        so outputs and fault schedules are independent of the executor's
+        worker count.
+        """
+        executor = executor or ParallelExecutor()
+        results: List[Tuple[str, PipelineReport]] = []
+        for chunk in chunked(list(questions), batch_size):
+            results.extend(self._answer_chunk(chunk, executor))
+        return results
+
+    def _answer_chunk(self, questions: Sequence[str],
+                      executor: ParallelExecutor
+                      ) -> List[Tuple[str, PipelineReport]]:
+        reports = [PipelineReport(pipeline=self.pipeline.name)
+                   for _ in questions]
+        # Retrieval is pure per question (no completion calls), so it both
+        # fans out across the executor and dedups: a repeated question is
+        # retrieved once and its outcome shared by every occurrence. A
+        # failing retrieval falls back to closed-book context, exactly as
+        # the sequential stage policy does (purity makes the failure
+        # deterministic per question, so sharing it preserves sequential
+        # behaviour).
+        first_row: Dict[str, int] = {}
+        row_of = [first_row.setdefault(q, len(first_row)) for q in questions]
+        distinct_outcomes = executor.map_outcomes(list(first_row),
+                                                  self.retrieve)
+        chunk_lists: List[List[Chunk]] = []
+        for row, report in zip(row_of, reports):
+            outcome = distinct_outcomes[row]
+            if outcome.ok:
+                chunk_lists.append(outcome.value)
+                report.stages.append(StageReport("retrieval", "ok", 1, 0.0))
+            else:
+                chunk_lists.append([])
+                report.stages.append(StageReport(
+                    "retrieval", "fell_back", 1, 0.0,
+                    error=repr(outcome.error)))
+                report.degraded = True
+                report.notes.append(
+                    f"retrieval: used fallback after {outcome.error!r}")
+        # Prompt building runs on the calling thread: ModularRAG's extra
+        # retrieval modules may themselves call the LLM, and coordinating
+        # them here keeps the completion order deterministic.
+        prompts = [self._build_prompt(q, chunks, report)
+                   for q, chunks, report in zip(questions, chunk_lists,
+                                                reports)]
+        outcomes = resilient_complete_all(self.llm, prompts,
+                                          retry=self.retry)
+        results: List[Tuple[str, PipelineReport]] = []
+        for question, outcome, report in zip(questions, outcomes, reports):
+            if outcome.ok:
+                answer = P.parse_qa_response(outcome.response.text)
+                status = "retried" if outcome.attempts > 1 else "ok"
+                report.stages.append(StageReport(
+                    "generation", status, outcome.attempts, 0.0))
+            else:
+                answer = self._closed_book_answer(question)
+                report.stages.append(StageReport(
+                    "generation", "fell_back", max(outcome.attempts, 1),
+                    0.0, error=repr(outcome.error)))
+                report.degraded = True
+                report.notes.append(
+                    f"generation: used fallback after {outcome.error!r}")
+            results.append((answer, report))
+        return results
+
+    def _build_prompt(self, question: str, chunks: List[Chunk],
+                      report: PipelineReport) -> str:
+        """The augmented prompt for one question (batch path)."""
+        return P.qa_prompt(question,
+                           context=" ".join(c.text for c in chunks) or None)
+
+    def _closed_book_answer(self, question: str) -> str:
+        """Batch-path analogue of :meth:`_generate_closed_book`."""
+        try:
+            response = self.llm.complete(P.qa_prompt(question))
+            return P.parse_qa_response(response.text)
+        except LLMTransientError:
+            return "unknown"
 
     def retrieve(self, question: str) -> List[Chunk]:
         """The chunks the generator would see for this question."""
@@ -233,6 +340,21 @@ class ModularRAG(AdvancedRAG):
                     break
         return facts
 
+    def _collect_facts(self, question: str,
+                       report: Optional[PipelineReport] = None) -> List[str]:
+        """Run every extra retrieval module; a faulting module degrades
+        the context (recorded on ``report`` when given), not the answer."""
+        facts: List[str] = []
+        for retriever in self.extra_retrievers:
+            try:
+                facts.extend(retriever(question))
+            except LLMTransientError:
+                if report is not None:
+                    report.degraded = True
+                    report.notes.append(
+                        "modular-rag: retrieval module faulted")
+        return facts
+
     def _generate(self, context: PipelineContext) -> None:
         chunks: List[Chunk] = context["chunks"]
         question = context["question"]
@@ -250,3 +372,12 @@ class ModularRAG(AdvancedRAG):
             facts=facts or None,
         )
         context["answer"] = P.parse_qa_response(self.llm.complete(prompt).text)
+
+    def _build_prompt(self, question: str, chunks: List[Chunk],
+                      report: PipelineReport) -> str:
+        facts = self._collect_facts(question, report)
+        return P.qa_prompt(
+            question,
+            context=" ".join(c.text for c in chunks) or None,
+            facts=facts or None,
+        )

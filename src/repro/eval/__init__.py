@@ -11,7 +11,8 @@ from repro.eval.metrics import (
     hits_at_k,
     accuracy,
 )
-from repro.eval.harness import ExperimentResult, ResultTable
+from repro.eval.harness import (EvalJob, ExperimentResult, ResultTable,
+                                run_experiments)
 
 __all__ = [
     "precision_recall_f1",
@@ -22,6 +23,8 @@ __all__ = [
     "mean_reciprocal_rank",
     "hits_at_k",
     "accuracy",
+    "EvalJob",
     "ExperimentResult",
     "ResultTable",
+    "run_experiments",
 ]

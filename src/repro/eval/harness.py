@@ -8,7 +8,9 @@ here means benches and docs cannot drift apart.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.core.executor import ParallelExecutor
 
 Cell = Union[str, int, float, bool]
 
@@ -74,3 +76,35 @@ class ResultTable:
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.render()
+
+
+@dataclass
+class EvalJob:
+    """One independent experiment run inside a harness fan-out.
+
+    ``run`` computes the row's metrics from scratch (it must not share
+    mutable state with other jobs — give each job its own model/pipeline
+    instances so runs are order- and scheduling-independent).
+    """
+
+    system: str
+    run: Callable[[], Dict[str, Cell]]
+
+
+def run_experiments(title: str, columns: Sequence[str],
+                    jobs: Sequence[EvalJob],
+                    executor: Optional[ParallelExecutor] = None
+                    ) -> ResultTable:
+    """Run independent eval jobs (systems × datasets) into one table.
+
+    Jobs fan out across the executor; rows land in *job order* whatever
+    the scheduling was, so the rendered table is identical at any worker
+    count. A failing job fails the harness with that job's error (the
+    same error a sequential loop would have hit first).
+    """
+    executor = executor or ParallelExecutor()
+    table = ResultTable(title, columns)
+    metrics_per_job = executor.map(list(jobs), lambda job: job.run())
+    for job, metrics in zip(jobs, metrics_per_job):
+        table.add(job.system, **metrics)
+    return table

@@ -49,6 +49,27 @@ class TripleStore:
     # ------------------------------------------------------------------
     def add(self, triple: Triple) -> bool:
         """Insert ``triple``; returns True if it was not already present."""
+        if not self._insert(triple):
+            return False
+        self._version += 1
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert every triple; returns the number actually added.
+
+        Bulk-load fast path: the whole batch is **one effective mutation**,
+        so the version counter is bumped once (and only when at least one
+        triple was actually new). Read caches keyed off :attr:`version`
+        only need to observe *that* the store changed; bumping per triple
+        would invalidate them ``n`` times per load for no extra safety.
+        """
+        added = sum(1 for t in triples if self._insert(t))
+        if added:
+            self._version += 1
+        return added
+
+    def _insert(self, triple: Triple) -> bool:
+        """Index ``triple`` without touching the version counter."""
         if triple in self._triples:
             return False
         self._triples[triple] = None
@@ -56,15 +77,27 @@ class TripleStore:
         self._spo[s][p].add(o)
         self._pos[p][o].add(s)
         self._osp[o][s].add(p)
-        self._version += 1
         return True
-
-    def add_all(self, triples: Iterable[Triple]) -> int:
-        """Insert every triple; returns the number actually added."""
-        return sum(1 for t in triples if self.add(t))
 
     def remove(self, triple: Triple) -> bool:
         """Remove ``triple``; returns True if it was present."""
+        if not self._delete(triple):
+            return False
+        self._version += 1
+        return True
+
+    def remove_all(self, triples: Iterable[Triple]) -> int:
+        """Remove every triple; returns the number actually removed.
+
+        Like :meth:`add_all`, one version bump per effective batch.
+        """
+        removed = sum(1 for t in list(triples) if self._delete(t))
+        if removed:
+            self._version += 1
+        return removed
+
+    def _delete(self, triple: Triple) -> bool:
+        """Unindex ``triple`` without touching the version counter."""
         if triple not in self._triples:
             return False
         del self._triples[triple]
@@ -72,12 +105,7 @@ class TripleStore:
         self._discard_index(self._spo, s, p, o)
         self._discard_index(self._pos, p, o, s)
         self._discard_index(self._osp, o, s, p)
-        self._version += 1
         return True
-
-    def remove_all(self, triples: Iterable[Triple]) -> int:
-        """Remove every triple; returns the number actually removed."""
-        return sum(1 for t in list(triples) if self.remove(t))
 
     @staticmethod
     def _discard_index(index, k1, k2, value) -> None:
@@ -196,16 +224,60 @@ class TripleStore:
     # Vocabulary accessors
     # ------------------------------------------------------------------
     def subjects(self, predicate: Optional[IRI] = None, object: Optional[Term] = None) -> List[IRI]:
-        """Distinct subjects of triples matching the (p, o) pattern."""
-        return _distinct(t.subject for t in self.match(None, predicate, object))
+        """Distinct subjects of triples matching the (p, o) pattern.
+
+        Reads distinct keys straight off the POS/OSP indexes (no ``Triple``
+        lists are materialized); ordering is identical to deduplicating the
+        corresponding :meth:`match` results.
+        """
+        p, o = predicate, object
+        if p is not None and o is not None:
+            return sorted(self._pos.get(p, {}).get(o, ()), key=_term_key)
+        if p is not None:
+            return _distinct(
+                subj
+                for _, subjs in sorted(self._pos.get(p, {}).items(),
+                                       key=lambda kv: _term_key(kv[0]))
+                for subj in sorted(subjs, key=_term_key))
+        if o is not None:
+            return sorted(self._osp.get(o, {}).keys(), key=_term_key)
+        return _distinct(t.subject for t in self._triples)
 
     def predicates(self, subject: Optional[IRI] = None, object: Optional[Term] = None) -> List[IRI]:
-        """Distinct predicates of triples matching the (s, o) pattern."""
-        return _distinct(t.predicate for t in self.match(subject, None, object))
+        """Distinct predicates of triples matching the (s, o) pattern.
+
+        Index-key reads like :meth:`subjects`, via SPO/OSP.
+        """
+        s, o = subject, object
+        if s is not None and o is not None:
+            return sorted(self._osp.get(o, {}).get(s, ()), key=_term_key)
+        if s is not None:
+            return sorted(self._spo.get(s, {}).keys(), key=_term_key)
+        if o is not None:
+            return _distinct(
+                pred
+                for _, preds in sorted(self._osp.get(o, {}).items(),
+                                       key=lambda kv: _term_key(kv[0]))
+                for pred in sorted(preds, key=_term_key))
+        return _distinct(t.predicate for t in self._triples)
 
     def objects(self, subject: Optional[IRI] = None, predicate: Optional[IRI] = None) -> List[Term]:
-        """Distinct objects of triples matching the (s, p) pattern."""
-        return _distinct(t.object for t in self.match(subject, predicate, None))
+        """Distinct objects of triples matching the (s, p) pattern.
+
+        Index-key reads like :meth:`subjects`, via SPO/POS.
+        """
+        s, p = subject, predicate
+        if s is not None and p is not None:
+            return sorted(self._spo.get(s, {}).get(p, ()), key=_term_key)
+        if s is not None:
+            return _distinct(
+                obj
+                for _, objs in sorted(self._spo.get(s, {}).items(),
+                                      key=lambda kv: _term_key(kv[0]))
+                for obj in sorted(objs, key=_term_key))
+        if p is not None:
+            return sorted(self._pos.get(p, {}).keys(), key=_term_key)
+        return _distinct(t.object for t in self._triples)
 
     def value(self, subject: IRI, predicate: IRI) -> Optional[Term]:
         """The unique object for (subject, predicate), or None.

@@ -17,7 +17,9 @@ See DESIGN.md §1 for the substitution argument.
 from repro.llm.tokenizer import WordTokenizer
 from repro.llm.embedding import HashEmbedder, TextEncoder, cosine_similarity
 from repro.llm.ngram import NGramLanguageModel
-from repro.llm.model import SimulatedLLM, LLMConfig, LLMResponse, ChatMessage
+from repro.llm.model import (SimulatedLLM, LLMConfig, LLMResponse,
+                             ChatMessage, complete_all)
+from repro.llm.batch import BatchOutcome, resilient_complete_all
 from repro.llm.caching import CachingLLM, maybe_cached
 from repro.llm.faults import (
     FaultInjectingLLM,
@@ -40,6 +42,9 @@ __all__ = [
     "LLMConfig",
     "LLMResponse",
     "ChatMessage",
+    "complete_all",
+    "BatchOutcome",
+    "resilient_complete_all",
     "CachingLLM",
     "maybe_cached",
     "FaultInjectingLLM",

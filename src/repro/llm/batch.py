@@ -1,0 +1,80 @@
+"""Resilient batch completion for pipeline batch entry points.
+
+Batched pipelines face a composition problem the single-item paths never
+did: one ``complete_batch`` call carries many logical requests, so one
+scheduled fault (see :mod:`repro.llm.faults`) would nominally take down the
+whole batch. :func:`resilient_complete_all` restores per-request isolation
+on top of the batch fast path:
+
+* **healthy model** — exactly one ``complete_all`` over the whole batch
+  (dedup, one cache pass, amortized routing);
+* **faulting model** — fall back to per-prompt completion so each request
+  meets the fault schedule on its own, optionally retried with a
+  deterministic :class:`~repro.core.resilience.RetryPolicy`; every
+  prompt's final disposition is captured in an ordered
+  :class:`BatchOutcome` and nothing escapes.
+
+Everything here runs on the coordinating thread in deterministic batch
+order, which is what keeps fault schedules and cache evolution identical
+whatever ``max_workers`` the surrounding executor uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.resilience import RetryPolicy
+from repro.llm.faults import LLMTransientError
+from repro.llm.model import LLMResponse, complete_all
+
+
+@dataclass
+class BatchOutcome:
+    """One prompt's final disposition inside a resilient batch call."""
+
+    response: Optional[LLMResponse]
+    error: Optional[BaseException] = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        """Whether the prompt produced a completion."""
+        return self.response is not None
+
+
+def resilient_complete_all(llm, prompts: Sequence[str],
+                           max_tokens: int = 256,
+                           retry: Optional[RetryPolicy] = None
+                           ) -> List[BatchOutcome]:
+    """Complete a batch with per-prompt fault isolation.
+
+    Tries one batched ``complete_all`` first; when a transient fault aborts
+    it, re-issues each prompt individually (through ``retry`` when given)
+    so healthy prompts still complete and only genuinely faulting ones
+    carry an error. Returns one :class:`BatchOutcome` per prompt, in
+    order; transient errors are captured, anything else propagates.
+    """
+    prompts = list(prompts)
+    if not prompts:
+        return []
+    try:
+        responses = complete_all(llm, prompts, max_tokens=max_tokens)
+        return [BatchOutcome(response) for response in responses]
+    except LLMTransientError:
+        pass
+    outcomes: List[BatchOutcome] = []
+    for prompt in prompts:
+        if retry is not None:
+            result = retry.run(
+                lambda p=prompt: llm.complete(p, max_tokens=max_tokens),
+                key=prompt)
+            outcomes.append(BatchOutcome(result.value, result.error,
+                                         result.attempts))
+            continue
+        try:
+            outcomes.append(
+                BatchOutcome(llm.complete(prompt, max_tokens=max_tokens)))
+        except LLMTransientError as error:
+            outcomes.append(BatchOutcome(None, error))
+    return outcomes

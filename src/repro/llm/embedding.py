@@ -16,6 +16,7 @@ weighted sums with matrix operations instead of a per-text Python loop.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from itertools import chain
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -58,6 +59,12 @@ class HashEmbedder:
     arbitrarily long encoding runs. ``cache_stats`` exposes hit/miss/
     eviction counters for the observability contract of the acceleration
     layer (see README "Performance").
+
+    The cache is thread-safe: a single lock guards every lookup and
+    mutation, so :class:`~repro.core.executor.ParallelExecutor` workers
+    encoding concurrently can share one embedder without corrupting the
+    LRU order or the counters. (Embeddings themselves are pure functions
+    of ``(token, salt)``, so the *values* are scheduling-independent.)
     """
 
     def __init__(self, dim: int = 64, salt: str = "repro", cache_size: int = 50000):
@@ -69,23 +76,31 @@ class HashEmbedder:
         self.salt = salt
         self._cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self._cache_size = cache_size
+        self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
 
     def embed_token(self, token: str) -> np.ndarray:
         """The embedding of a single token."""
-        vector = self._cache.get(token)
-        if vector is not None:
-            self._hits += 1
-            self._cache.move_to_end(token)
-            return vector
-        self._misses += 1
+        with self._lock:
+            vector = self._cache.get(token)
+            if vector is not None:
+                self._hits += 1
+                self._cache.move_to_end(token)
+                return vector
+            self._misses += 1
+        # Hashing is the expensive, pure part — compute it unlocked so
+        # concurrent encoders only serialize on the dict operations.
         vector = _hash_vector(token, self.dim, self.salt)
-        if len(self._cache) >= self._cache_size:
-            self._cache.popitem(last=False)
-            self._evictions += 1
-        self._cache[token] = vector
+        with self._lock:
+            if token not in self._cache:
+                if len(self._cache) >= self._cache_size:
+                    self._cache.popitem(last=False)
+                    self._evictions += 1
+                self._cache[token] = vector
+            else:
+                vector = self._cache[token]
         return vector
 
     def embed_tokens(self, tokens: Iterable[str]) -> np.ndarray:
@@ -105,15 +120,16 @@ class HashEmbedder:
 
     def cache_stats(self) -> Dict[str, float]:
         """Hit/miss/eviction counters plus occupancy and hit rate."""
-        lookups = self._hits + self._misses
-        return {
-            "hits": self._hits,
-            "misses": self._misses,
-            "evictions": self._evictions,
-            "size": len(self._cache),
-            "max_size": self._cache_size,
-            "hit_rate": self._hits / lookups if lookups else 0.0,
-        }
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "size": len(self._cache),
+                "max_size": self._cache_size,
+                "hit_rate": self._hits / lookups if lookups else 0.0,
+            }
 
 
 class TextEncoder:

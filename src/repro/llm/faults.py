@@ -29,13 +29,14 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, NoReturn, Optional, Sequence, Tuple
 
 from repro.llm.model import (
     ChatMessage,
     LLMResponse,
     SimulatedLLM,
     _stable_unit,
+    complete_all,
 )
 from repro.llm import prompts as P
 
@@ -235,6 +236,57 @@ class FaultInjectingLLM:
             return self.inner.complete(prompt, max_tokens=max_tokens)
         self.faults_injected += 1
         self.fault_log.append((index, kind))
+        self._raise_fault(kind, index, prompt, max_tokens)
+
+    def complete_batch(self, prompts: Sequence[str],
+                       max_tokens: int = 256) -> List[LLMResponse]:
+        """Batch completion under the same per-call fault schedule.
+
+        Call indices are assigned to the prompts *in batch order*, one per
+        prompt, before any inner work happens — so the schedule stays a
+        pure function of ``(seed, call index, prompt)`` and a batched
+        workload consumes exactly the indices (and logs exactly the
+        ``fault_log`` entries) the equivalent ``complete`` loop would.
+
+        The clean prefix before the first scheduled fault is completed
+        through the inner model (keeping its call/token counters identical
+        to the sequential loop) and attached to the raised error as
+        ``batch_prefix``, so caching layers can bank the work that
+        succeeded before the fault — exactly what a sequential caller
+        caching response-by-response would have kept.
+        """
+        prompts = list(prompts)
+        responses: List[LLMResponse] = []
+        clean: List[str] = []
+
+        def flush() -> None:
+            if clean:
+                responses.extend(
+                    complete_all(self.inner, clean, max_tokens=max_tokens))
+                clean.clear()
+
+        for prompt in prompts:
+            index = self.fault_calls
+            self.fault_calls += 1
+            kind = self.profile.fault_for(index, prompt)
+            if kind is None:
+                self.fault_log.append((index, "ok"))
+                clean.append(prompt)
+                continue
+            flush()
+            self.faults_injected += 1
+            self.fault_log.append((index, kind))
+            try:
+                self._raise_fault(kind, index, prompt, max_tokens)
+            except LLMTransientError as error:
+                error.batch_prefix = tuple(responses)  # type: ignore[attr-defined]
+                raise
+        flush()
+        return responses
+
+    def _raise_fault(self, kind: str, index: int, prompt: str,
+                     max_tokens: int) -> NoReturn:
+        """Raise the typed error for an already-logged scheduled fault."""
         if kind == "timeout":
             raise LLMTimeoutError(
                 f"call {index}: simulated upstream timeout",

@@ -128,6 +128,9 @@ class SimulatedLLM:
         self.calls = 0
         self.prompt_tokens = 0
         self.completion_tokens = 0
+        # Prompts in a complete_batch call that were answered by reusing the
+        # completion of an identical earlier prompt in the same batch.
+        self.batch_dedup_hits = 0
 
     # ------------------------------------------------------------------
     # Knowledge absorption ("pre-training")
@@ -237,15 +240,10 @@ class SimulatedLLM:
     # ------------------------------------------------------------------
     # Public inference API
     # ------------------------------------------------------------------
-    def complete(self, prompt: str, max_tokens: int = 256) -> LLMResponse:
-        """Complete a prompt. Structured prompts (see :mod:`repro.llm.prompts`)
-        are routed to the matching task behaviour; free text falls back to the
-        n-gram generator."""
-        self.calls += 1
-        parsed = P.parse_prompt(prompt)
-        task = (parsed.get("Task") or "").strip().lower()
-        rng = self._rng(prompt)
-        handler = {
+    def _task_handlers(self):
+        """Task name → handler routing table (one dict, shared by the
+        single-prompt and batched entry points)."""
+        return {
             "entity extraction": self._handle_ner,
             "relation extraction": self._handle_relation_extraction,
             "fact verification": self._handle_fact_check,
@@ -256,7 +254,17 @@ class SimulatedLLM:
             "summarization": self._handle_summarization,
             "rule mining": self._handle_rule_mining,
             "chat": self._handle_chat,
-        }.get(task)
+        }
+
+    def complete(self, prompt: str, max_tokens: int = 256) -> LLMResponse:
+        """Complete a prompt. Structured prompts (see :mod:`repro.llm.prompts`)
+        are routed to the matching task behaviour; free text falls back to the
+        n-gram generator."""
+        self.calls += 1
+        parsed = P.parse_prompt(prompt)
+        task = (parsed.get("Task") or "").strip().lower()
+        rng = self._rng(prompt)
+        handler = self._task_handlers().get(task)
         if handler is not None:
             text = handler(parsed, rng)
         else:
@@ -268,6 +276,65 @@ class SimulatedLLM:
         self.completion_tokens += out_tokens
         return LLMResponse(text=text, prompt_tokens=in_tokens,
                            completion_tokens=out_tokens, model=self.config.name)
+
+    def complete_batch(self, prompts: Sequence[str],
+                       max_tokens: int = 256) -> List[LLMResponse]:
+        """Complete many prompts in one call.
+
+        Response-for-response identical to ``[complete(p) for p in prompts]``
+        (every completion is a pure function of the model seed and the prompt
+        text), but computed batch-wise:
+
+        * identical prompts are parsed, routed and generated **once** — the
+          remaining occurrences reuse the completion (``batch_dedup_hits``
+          counts the savings);
+        * each distinct prompt is parsed and token-counted once, and the
+          distinct prompts are grouped by routed task so a batch walks each
+          handler family together (the shape a real serving stack exploits
+          for per-task setup; here the heavy sharing — context embedding —
+          is amortized upstream by
+          :meth:`repro.llm.embedding.TextEncoder.encode_batch`, which the
+          batched retrieval/extraction consumers delegate to).
+
+        Call/token counters advance exactly as the sequential loop would:
+        one call and one prompt/completion token charge per *occurrence*.
+        """
+        prompts = list(prompts)
+        if not prompts:
+            return []
+        first_row: Dict[str, int] = {}
+        row_of = [first_row.setdefault(p, len(first_row)) for p in prompts]
+        distinct = list(first_row)
+        self.batch_dedup_hits += len(prompts) - len(distinct)
+
+        parsed = [P.parse_prompt(p) for p in distinct]
+        by_task: Dict[str, List[int]] = {}
+        for i, sections in enumerate(parsed):
+            task = (sections.get("Task") or "").strip().lower()
+            by_task.setdefault(task, []).append(i)
+        handlers = self._task_handlers()
+        texts: List[str] = [""] * len(distinct)
+        for task, indices in by_task.items():
+            handler = handlers.get(task)
+            for i in indices:
+                rng = self._rng(distinct[i])
+                if handler is not None:
+                    texts[i] = handler(parsed[i], rng).strip()
+                else:
+                    texts[i] = self._freeform(distinct[i], rng,
+                                              max_tokens).strip()
+        in_tokens = [count_tokens(p) for p in distinct]
+        out_tokens = [count_tokens(t) for t in texts]
+
+        responses: List[LLMResponse] = []
+        for row in row_of:
+            self.calls += 1
+            self.prompt_tokens += in_tokens[row]
+            self.completion_tokens += out_tokens[row]
+            responses.append(LLMResponse(
+                text=texts[row], prompt_tokens=in_tokens[row],
+                completion_tokens=out_tokens[row], model=self.config.name))
+        return responses
 
     def chat(self, messages: Sequence[ChatMessage], max_tokens: int = 256) -> LLMResponse:
         """Chat interface: concatenates turns and completes."""
@@ -891,6 +958,27 @@ class SimulatedLLM:
                       for t in backward]
             return ", ".join(dict.fromkeys(labels)) if list_mode else labels[0]
         return None
+
+
+# ---------------------------------------------------------------------------
+# Batch entry-point resolution
+# ---------------------------------------------------------------------------
+
+def complete_all(llm, prompts: Sequence[str],
+                 max_tokens: int = 256) -> List[LLMResponse]:
+    """Complete ``prompts`` through the model's best available entry point.
+
+    Uses ``llm.complete_batch`` when the model (or wrapper) provides one,
+    falling back to a plain ``complete`` loop otherwise — so batched
+    pipelines accept any LLM-shaped object without feature detection at
+    every call site. Exceptions propagate exactly as the underlying entry
+    point raises them.
+    """
+    prompts = list(prompts)
+    batch = getattr(llm, "complete_batch", None)
+    if callable(batch):
+        return batch(prompts, max_tokens=max_tokens)
+    return [llm.complete(p, max_tokens=max_tokens) for p in prompts]
 
 
 # ---------------------------------------------------------------------------

@@ -21,13 +21,14 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.executor import ParallelExecutor, chunked
 from repro.kg.datasets import Dataset
 from repro.kg.graph import KnowledgeGraph, _humanize_relation
 from repro.kg.triples import IRI, OWL, RDF, RDFS
 from repro.llm import prompts as P
 from repro.llm.caching import maybe_cached
 from repro.llm.embedding import TextEncoder
-from repro.llm.model import SimulatedLLM
+from repro.llm.model import SimulatedLLM, complete_all
 from repro.llm.tokenizer import word_tokens
 from repro.vector import VectorIndex
 
@@ -140,6 +141,22 @@ class LLMOnlyQA:
         response = self.llm.complete(P.qa_prompt(question))
         return _resolve(self.kg, P.parse_qa_response(response.text))
 
+    def answer_batch(self, questions: Sequence[str],
+                     batch_size: Optional[int] = None,
+                     executor: Optional[ParallelExecutor] = None
+                     ) -> List[Set[IRI]]:
+        """Result-identical batched :meth:`answer` (one completion batch
+        per chunk; entity resolution fans out across the executor)."""
+        executor = executor or ParallelExecutor()
+        answers: List[Set[IRI]] = []
+        for chunk in chunked(list(questions), batch_size):
+            prompts = executor.map(chunk, P.qa_prompt)
+            responses = complete_all(self.llm, prompts)
+            answers.extend(executor.map(
+                responses,
+                lambda r: _resolve(self.kg, P.parse_qa_response(r.text))))
+        return answers
+
 
 class KapingQA:
     """KAPING: similarity-retrieved KG facts prepended to the prompt."""
@@ -166,15 +183,43 @@ class KapingQA:
             self._facts.append(fact)
             self._index.add(len(self._facts) - 1, self.encoder.encode(fact))
 
-    def answer(self, question: str) -> Set[IRI]:
-        """Retrieve the top-k similar facts, then answer over them."""
+    def retrieve(self, question: str) -> List[str]:
+        """The top-k facts most similar to the question."""
         if self._index is None:
             self._build_index()
         assert self._index is not None
         hits = self._index.search(self.encoder.encode(question), k=self.top_k)
-        facts = [self._facts[hit.key] for hit in hits]
+        return [self._facts[hit.key] for hit in hits]
+
+    def answer(self, question: str) -> Set[IRI]:
+        """Retrieve the top-k similar facts, then answer over them."""
+        facts = self.retrieve(question)
         response = self.llm.complete(P.qa_prompt(question, facts=facts))
         return _resolve(self.kg, P.parse_qa_response(response.text))
+
+    def answer_batch(self, questions: Sequence[str],
+                     batch_size: Optional[int] = None,
+                     executor: Optional[ParallelExecutor] = None
+                     ) -> List[Set[IRI]]:
+        """Batched KAPING: per chunk, distinct questions are retrieved
+        once (fanned out — retrieval is pure), all reads go through one
+        batched completion, and resolution fans out again. Identical
+        output to ``[answer(q) for q in questions]``."""
+        executor = executor or ParallelExecutor()
+        if self._index is None:
+            self._build_index()
+        answers: List[Set[IRI]] = []
+        for chunk in chunked(list(questions), batch_size):
+            first_row: Dict[str, int] = {}
+            row_of = [first_row.setdefault(q, len(first_row)) for q in chunk]
+            fact_lists = executor.map(list(first_row), self.retrieve)
+            prompts = [P.qa_prompt(q, facts=fact_lists[row])
+                       for q, row in zip(chunk, row_of)]
+            responses = complete_all(self.llm, prompts)
+            answers.extend(executor.map(
+                responses,
+                lambda r: _resolve(self.kg, P.parse_qa_response(r.text))))
+        return answers
 
 
 class RetrieveAndReadQA:
@@ -186,33 +231,70 @@ class RetrieveAndReadQA:
         self.kg = kg
         self.facts_budget = facts_budget
 
-    def retrieve(self, question: str) -> List[str]:
-        """Facts for the question's entities restricted to its relations."""
+    def retrieve(self, question: str,
+                 executor: Optional[ParallelExecutor] = None) -> List[str]:
+        """Facts for the question's entities restricted to its relations.
+
+        With an ``executor``, each expansion round fans its frontier nodes
+        out in parallel (node expansion is a pure KG read); the facts
+        budget is then applied in node order over the collected results,
+        so the returned facts are identical to the sequential walk.
+        """
+        executor = executor or ParallelExecutor()
         mentions = self.llm.find_mentions(question)
         relations = {hit[1] for hit in self.llm.find_relations(question)}
         seeds = [m.iri for m in mentions if m.iri is not None]
         facts: List[str] = []
         frontier = list(seeds)
         for _ in range(2):  # two expansion rounds cover 2-hop questions
+            expansions = executor.map(
+                frontier, lambda node: self._expand_node(node, relations))
             next_frontier: List[IRI] = []
-            for node in frontier:
-                for triple in self.kg.store.match(node, None, None):
-                    if relations and triple.predicate not in relations:
-                        continue
-                    if not isinstance(triple.object, IRI):
-                        continue
-                    facts.append(self.kg.verbalize_triple(triple))
-                    next_frontier.append(triple.object)
+            for pairs in expansions:
+                for fact, neighbour in pairs:
+                    facts.append(fact)
+                    next_frontier.append(neighbour)
                     if len(facts) >= self.facts_budget:
                         return facts
             frontier = next_frontier
         return facts
+
+    def _expand_node(self, node: IRI,
+                     relations: Set[IRI]) -> List[Tuple[str, IRI]]:
+        """One node's (fact, neighbour) expansion — a pure KG read."""
+        out: List[Tuple[str, IRI]] = []
+        for triple in self.kg.store.match(node, None, None):
+            if relations and triple.predicate not in relations:
+                continue
+            if not isinstance(triple.object, IRI):
+                continue
+            out.append((self.kg.verbalize_triple(triple), triple.object))
+        return out
 
     def answer(self, question: str) -> Set[IRI]:
         """Relation-grounded retrieval, then an LLM read over the facts."""
         facts = self.retrieve(question)
         response = self.llm.complete(P.qa_prompt(question, facts=facts))
         return _resolve(self.kg, P.parse_qa_response(response.text))
+
+    def answer_batch(self, questions: Sequence[str],
+                     batch_size: Optional[int] = None,
+                     executor: Optional[ParallelExecutor] = None
+                     ) -> List[Set[IRI]]:
+        """Batched retrieve-and-read: retrieval fans out per question,
+        all reads share one batched completion per chunk. Identical
+        output to ``[answer(q) for q in questions]``."""
+        executor = executor or ParallelExecutor()
+        answers: List[Set[IRI]] = []
+        for chunk in chunked(list(questions), batch_size):
+            fact_lists = executor.map(chunk, self.retrieve)
+            prompts = [P.qa_prompt(q, facts=facts)
+                       for q, facts in zip(chunk, fact_lists)]
+            responses = complete_all(self.llm, prompts)
+            answers.extend(executor.map(
+                responses,
+                lambda r: _resolve(self.kg, P.parse_qa_response(r.text))))
+        return answers
 
 
 class ReLMKGQA:
@@ -232,12 +314,19 @@ class ReLMKGQA:
         self.max_hops = max_hops
         self.beam = beam
 
-    def answer(self, question: str) -> Set[IRI]:
-        """Enumerate and score textualized paths, then read the best ones."""
+    def _analyze(self, question: str
+                 ) -> Tuple[Optional[str], str, Set[IRI]]:
+        """The pure reasoning phase: path enumeration and scoring.
+
+        Returns ``(prompt, mode, fallback_answers)``: the completion the
+        question needs (``None`` when no paths exist at all), whether the
+        response resolves closed-book (``"closed"``) or confirms paths
+        (``"read"``), and the path endpoints a ``"read"`` falls back to.
+        """
         mentions = [m for m in self.llm.find_mentions(question)
                     if m.iri is not None]
         if not mentions:
-            return LLMOnlyQA(self.llm, self.kg).answer(question)
+            return P.qa_prompt(question), "closed", set()
         anchor = mentions[-1].iri
         assert anchor is not None
         question_relations = [hit[1] for hit in self.llm.find_relations(question)]
@@ -251,11 +340,11 @@ class ReLMKGQA:
             score = self._path_score(relations_path, plan, question)
             scored.append((score, relations_path, endpoint))
         if not scored:
-            return set()
+            return None, "empty", set()
         scored.sort(key=lambda item: (-item[0], item[1], item[2].value))
         best_score = scored[0][0]
         if best_score <= 0:
-            return LLMOnlyQA(self.llm, self.kg).answer(question)
+            return P.qa_prompt(question), "closed", set()
         top = [item for item in scored if item[0] >= best_score - 1e-9]
         facts = []
         answers: Set[IRI] = set()
@@ -269,9 +358,47 @@ class ReLMKGQA:
         # the loop; with a strong model this is a no-op validation).
         reader_question = question if question.lower().startswith("list") \
             else "List " + question
-        response = self.llm.complete(P.qa_prompt(reader_question, facts=facts))
+        return P.qa_prompt(reader_question, facts=facts), "read", answers
+
+    def _resolve_outcome(self, response, mode: str,
+                         fallback: Set[IRI]) -> Set[IRI]:
         read = _resolve(self.kg, P.parse_qa_response(response.text))
-        return read or answers
+        return (read or fallback) if mode == "read" else read
+
+    def answer(self, question: str) -> Set[IRI]:
+        """Enumerate and score textualized paths, then read the best ones."""
+        prompt, mode, fallback = self._analyze(question)
+        if prompt is None:
+            return set()
+        response = self.llm.complete(prompt)
+        return self._resolve_outcome(response, mode, fallback)
+
+    def answer_batch(self, questions: Sequence[str],
+                     batch_size: Optional[int] = None,
+                     executor: Optional[ParallelExecutor] = None
+                     ) -> List[Set[IRI]]:
+        """Batched ReLMKG: per chunk, the pure path-reasoning phase fans
+        out per question, then every needed completion (closed-book
+        resolutions and path-confirming reads alike) goes through one
+        batched call. Identical output to ``[answer(q) for q in
+        questions]``."""
+        executor = executor or ParallelExecutor()
+        answers: List[Set[IRI]] = []
+        for chunk in chunked(list(questions), batch_size):
+            analyses = executor.map(chunk, self._analyze)
+            rows = [i for i, (prompt, _, _) in enumerate(analyses)
+                    if prompt is not None]
+            responses = complete_all(self.llm,
+                                     [analyses[i][0] for i in rows])
+            resolved = executor.map(
+                list(zip(responses, rows)),
+                lambda pair: self._resolve_outcome(
+                    pair[0], analyses[pair[1]][1], analyses[pair[1]][2]))
+            chunk_answers: List[Set[IRI]] = [set() for _ in chunk]
+            for i, answer in zip(rows, resolved):
+                chunk_answers[i] = answer
+            answers.extend(chunk_answers)
+        return answers
 
     def _expand_paths(self, anchor: IRI, hops: int
                       ) -> List[Tuple[Tuple[IRI, ...], IRI]]:
@@ -323,14 +450,27 @@ def _resolve(kg: KnowledgeGraph, answer_text: str) -> Set[IRI]:
     return out
 
 
-def evaluate_qa(system, questions: Sequence[MultiHopQuestion]) -> Dict[str, float]:
-    """Mean answer-set F1 and exact-hit rate over a question set."""
+def evaluate_qa(system, questions: Sequence[MultiHopQuestion],
+                batch_size: Optional[int] = None,
+                executor: Optional[ParallelExecutor] = None
+                ) -> Dict[str, float]:
+    """Mean answer-set F1 and exact-hit rate over a question set.
+
+    ``batch_size``/``executor`` route answering through the system's
+    batched entry point when it has one; scores are identical to the
+    sequential default (the batch paths are result-identical).
+    """
     if not questions:
         raise ValueError("no questions to evaluate")
+    texts = [question.text for question in questions]
+    batch = getattr(system, "answer_batch", None)
+    if callable(batch) and (batch_size is not None or executor is not None):
+        predictions = batch(texts, batch_size=batch_size, executor=executor)
+    else:
+        predictions = [system.answer(text) for text in texts]
     total_f1 = 0.0
     hits = 0
-    for question in questions:
-        predicted = system.answer(question.text)
+    for question, predicted in zip(questions, predictions):
         gold = question.answers
         if predicted == gold:
             hits += 1

@@ -12,8 +12,11 @@ The contract under test, per the resilience layer's design:
 * every degraded answer is flagged as degraded in the run's report.
 """
 
+import os
+
 import pytest
 
+from repro.core.executor import ParallelExecutor
 from repro.enhanced import GraphRAG, ModularRAG, NaiveRAG
 from repro.kg.datasets import enterprise_kg, movie_kg, SCHEMA
 from repro.kg.triples import IRI
@@ -28,6 +31,10 @@ from repro.qa.llm_sparql import HybridSparqlEngine
 from repro.qa.multihop import ReLMKGQA
 
 FAULT_RATES = (0.0, 0.1, 0.25, 0.4, 0.5)
+
+# Worker count for the parallel-replay checks; CI overrides via env to make
+# the chaos suite exercise a real thread pool.
+CHAOS_WORKERS = int(os.environ.get("REPRO_CHAOS_WORKERS", "4"))
 
 
 @pytest.fixture(scope="module")
@@ -271,3 +278,73 @@ class TestChatbotChaos:
         bot = KGChatbot(llm, movie.kg, ReLMKGQA(llm, movie.kg))
         for message in self.DIALOGUE:
             assert not bot.chat(message).degraded
+
+
+class TestParallelReplay:
+    """Chaos traces replay byte-identically at max_workers=1 and
+    max_workers=CHAOS_WORKERS.
+
+    The batch entry points keep every LLM call on the coordinating thread
+    in batch order, so the fault schedule — a pure function of (seed, call
+    index, prompt) — cannot depend on worker scheduling. These tests pin
+    that: answers, fault logs, degradation flags and report traces must
+    match across worker counts at every fault rate.
+    """
+
+    @staticmethod
+    def _trace(report):
+        return ([(s.name, s.status, s.attempts, s.error)
+                 for s in report.stages], report.degraded, report.notes)
+
+    def _rag_replay(self, enterprise, rate, workers):
+        ds, questions = enterprise
+        llm = _faulty_llm(ds.kg, rate, seed=7)
+        rag = NaiveRAG(llm)
+        rag.index_documents(ds.metadata["documents"])
+        results = rag.answer_batch_with_reports(
+            [q for q, _ in questions], batch_size=3,
+            executor=ParallelExecutor(workers))
+        return ([a for a, _ in results],
+                [self._trace(r) for _, r in results],
+                list(llm.fault_log))
+
+    def test_rag_batch_replays_identically_across_workers(self, enterprise):
+        for rate in FAULT_RATES:
+            sequential = self._rag_replay(enterprise, rate, 1)
+            parallel = self._rag_replay(enterprise, rate, CHAOS_WORKERS)
+            assert sequential == parallel
+
+    def _graph_rag_replay(self, movie, rate, workers):
+        llm = _faulty_llm(movie.kg, rate, seed=8)
+        graph_rag = GraphRAG(llm, movie.kg)
+        graph_rag.build()
+        answers = graph_rag.answer_global_batch(
+            ["What are the main movies?", "Who are the key directors?",
+             "What are the main movies?"],
+            batch_size=2, executor=ParallelExecutor(workers))
+        return (answers, graph_rag.last_degraded,
+                graph_rag.last_faulted_communities, list(llm.fault_log))
+
+    def test_graph_rag_batch_replays_identically_across_workers(self, movie):
+        for rate in FAULT_RATES:
+            sequential = self._graph_rag_replay(movie, rate, 1)
+            parallel = self._graph_rag_replay(movie, rate, CHAOS_WORKERS)
+            assert sequential == parallel
+
+    def test_rag_batch_matches_sequential_calls_when_clean(self, enterprise):
+        ds, questions = enterprise
+        texts = [q for q, _ in questions]
+
+        def build():
+            llm = _faulty_llm(ds.kg, 0.0, seed=7)
+            rag = NaiveRAG(llm)
+            rag.index_documents(ds.metadata["documents"])
+            return rag
+
+        a, b = build(), build()
+        sequential = [a.answer_with_report(q) for q in texts]
+        batched = b.answer_batch_with_reports(
+            texts, batch_size=3, executor=ParallelExecutor(CHAOS_WORKERS))
+        assert [ans for ans, _ in sequential] == [ans for ans, _ in batched]
+        assert [self._trace(r) for _, r in sequential] == \
+            [self._trace(r) for _, r in batched]

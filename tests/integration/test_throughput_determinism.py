@@ -1,0 +1,272 @@
+"""Batch/parallel entry points are bit-identical to their sequential paths.
+
+Per wired pipeline, the property under test is twofold:
+
+* **batch ≡ sequential** (fault-free): ``batch_size > 1`` plus
+  ``executor=ParallelExecutor(4)`` produces byte-identical outputs — and,
+  where reports exist, identical ``PipelineReport`` traces — to the
+  plain per-item loop;
+* **worker-count invariance**: the batch path at ``max_workers=4`` equals
+  the batch path at ``max_workers=1`` (the executor only ever fans out
+  pure work; all LLM traffic is coordinated in deterministic batch
+  order).
+"""
+
+import pytest
+
+from repro.construction.ner import (GazetteerNER, InstructionTunedNER,
+                                    PromptNER, evaluate_ner)
+from repro.construction.relation_extraction import (
+    FewShotICLRelationExtractor, NLIFilteredExtractor,
+    PatternRelationExtractor, RetrievedDemonstrationExtractor,
+    ZeroShotRelationExtractor, evaluate_relation_extraction)
+from repro.core.executor import ParallelExecutor
+from repro.enhanced.graph_rag import GraphRAG
+from repro.enhanced.rag import AdvancedRAG, ModularRAG, NaiveRAG
+from repro.eval.harness import EvalJob, run_experiments
+from repro.kg.datasets import enterprise_kg
+from repro.llm import load_model
+from repro.qa.multihop import (KapingQA, LLMOnlyQA, ReLMKGQA,
+                               RetrieveAndReadQA, evaluate_qa,
+                               generate_multihop_questions)
+from repro.text.corpus import AnnotatedSentence
+
+SENTENCES = [
+    "Alice Smith works at Acme Corp in Paris.",
+    "Bob Jones founded Beta Inc.",
+    "Alice Smith works at Acme Corp in Paris.",
+    "Carol visited Berlin and met Dave.",
+    "Acme Corp acquired Beta Inc.",
+] * 3
+
+TRAIN = [
+    AnnotatedSentence(text="Alice Smith works at Acme Corp.",
+                      entities=[("Alice Smith", "person"),
+                                ("Acme Corp", "organization")],
+                      triples=[("Alice Smith", "works_at", "Acme Corp")]),
+    AnnotatedSentence(text="Bob Jones founded Beta Inc.",
+                      entities=[("Bob Jones", "person"),
+                                ("Beta Inc", "organization")],
+                      triples=[("Bob Jones", "founded", "Beta Inc")]),
+    AnnotatedSentence(text="Carol met Dave in Berlin.",
+                      entities=[("Carol", "person"), ("Dave", "person"),
+                                ("Berlin", "location")],
+                      triples=[("Carol", "met", "Dave")]),
+]
+
+TYPES = ["person", "organization", "location"]
+RELATIONS = ["works_at", "founded", "met", "acquired"]
+
+
+def _llm():
+    return load_model("chatgpt", seed=0)
+
+
+@pytest.fixture(scope="module")
+def enterprise():
+    return enterprise_kg(seed=0)
+
+
+def _report_trace(report):
+    return (report.pipeline,
+            [(s.name, s.status, s.attempts, s.error) for s in report.stages],
+            report.degraded, report.notes)
+
+
+class TestNERDeterminism:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_prompt_ner(self, workers):
+        sequential = [PromptNER(_llm(), TYPES, examples=TRAIN).extract(s)
+                      for s in SENTENCES]
+        batched = PromptNER(_llm(), TYPES, examples=TRAIN).extract_batch(
+            SENTENCES, batch_size=4, executor=ParallelExecutor(workers))
+        assert sequential == batched
+
+    def test_instruction_tuned_ner(self):
+        def build():
+            ner = InstructionTunedNER(_llm(), TYPES)
+            ner.distill(TRAIN)
+            return ner
+
+        a, b = build(), build()
+        assert [a.extract(s) for s in SENTENCES] == b.extract_batch(
+            SENTENCES, batch_size=6, executor=ParallelExecutor(4))
+
+    def test_gazetteer_ner(self):
+        gaz = GazetteerNER.from_training_data(TRAIN)
+        assert [gaz.extract(s) for s in SENTENCES] == \
+            gaz.extract_batch(SENTENCES, batch_size=3,
+                              executor=ParallelExecutor(4))
+
+    def test_evaluate_ner_scores_identical(self):
+        scores = [evaluate_ner(PromptNER(_llm(), TYPES), TRAIN),
+                  evaluate_ner(PromptNER(_llm(), TYPES), TRAIN,
+                               batch_size=2, executor=ParallelExecutor(4))]
+        assert scores[0] == scores[1]
+
+
+class TestRelationExtractionDeterminism:
+    @pytest.mark.parametrize("extractor_factory", [
+        lambda: ZeroShotRelationExtractor(_llm(), RELATIONS),
+        lambda: FewShotICLRelationExtractor(_llm(), RELATIONS, TRAIN),
+        lambda: RetrievedDemonstrationExtractor(_llm(), RELATIONS, TRAIN, k=2),
+        lambda: NLIFilteredExtractor(
+            ZeroShotRelationExtractor(_llm(), RELATIONS), _llm()),
+        lambda: PatternRelationExtractor(
+            {"works at": "works_at", "founded": "founded", "met": "met",
+             "acquired": "acquired"},
+            ["Alice Smith", "Bob Jones", "Acme Corp", "Beta Inc", "Carol",
+             "Dave", "Berlin", "Paris"]),
+    ])
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_batch_equals_sequential(self, extractor_factory, workers):
+        a, b = extractor_factory(), extractor_factory()
+        assert [a.extract(s) for s in SENTENCES] == b.extract_batch(
+            SENTENCES, batch_size=4, executor=ParallelExecutor(workers))
+
+    def test_evaluate_re_scores_identical(self):
+        a = evaluate_relation_extraction(
+            ZeroShotRelationExtractor(_llm(), RELATIONS), TRAIN)
+        b = evaluate_relation_extraction(
+            ZeroShotRelationExtractor(_llm(), RELATIONS), TRAIN,
+            batch_size=2, executor=ParallelExecutor(4))
+        assert a == b
+
+
+class TestRagDeterminism:
+    @pytest.mark.parametrize("cls", [NaiveRAG, AdvancedRAG])
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_answers_and_reports(self, enterprise, cls, workers):
+        docs = enterprise.metadata["documents"]
+        questions = [f"Who manages {enterprise.kg.label(e)}?"
+                     for e in sorted({t.subject for t in enterprise.kg.store},
+                                     key=lambda e: e.value)[:4]] * 3
+
+        def build():
+            rag = cls(load_model("chatgpt", world=enterprise.kg, seed=0))
+            rag.index_documents(docs)
+            return rag
+
+        a, b = build(), build()
+        sequential = [a.answer_with_report(q) for q in questions]
+        batched = b.answer_batch_with_reports(
+            questions, batch_size=5, executor=ParallelExecutor(workers))
+        assert [s[0] for s in sequential] == [x[0] for x in batched]
+        for (_, rs), (_, rb) in zip(sequential, batched):
+            assert _report_trace(rs) == _report_trace(rb)
+
+    def test_modular_rag_with_kg_retriever(self, enterprise):
+        docs = enterprise.metadata["documents"]
+        questions = ["Who manages the sales department?",
+                     "Who works in engineering?"] * 3
+
+        def build():
+            rag = ModularRAG(load_model("chatgpt", world=enterprise.kg,
+                                        seed=0), kg=enterprise.kg)
+            rag.index_documents(docs)
+            return rag
+
+        a, b = build(), build()
+        assert [a.answer(q) for q in questions] == b.answer_batch(
+            questions, batch_size=4, executor=ParallelExecutor(4))
+
+    def test_cached_rag_cache_evolution_identical(self, enterprise):
+        docs = enterprise.metadata["documents"]
+        questions = ["Who manages the sales department?"] * 4 + \
+            ["Who works in engineering?"] * 2
+
+        def build():
+            rag = NaiveRAG(load_model("chatgpt", world=enterprise.kg, seed=0),
+                           cache=True)
+            rag.index_documents(docs)
+            return rag
+
+        a, b = build(), build()
+        assert [a.answer(q) for q in questions] == \
+            b.answer_batch(questions, batch_size=6,
+                           executor=ParallelExecutor(4))
+        assert a.llm.cache_stats() == b.llm.cache_stats()
+
+
+class TestGraphRagDeterminism:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_global_batch(self, enterprise, workers):
+        questions = ["What are the main themes?",
+                     "Who are the key people?"] * 3
+
+        def build():
+            return GraphRAG(load_model("chatgpt", world=enterprise.kg,
+                                       seed=0), enterprise.kg)
+
+        a, b = build(), build()
+        sequential = [a.answer_global(q) for q in questions]
+        batched = b.answer_global_batch(questions, batch_size=3,
+                                        executor=ParallelExecutor(workers))
+        assert sequential == batched
+
+
+class TestMultihopDeterminism:
+    @pytest.mark.parametrize("cls", [LLMOnlyQA, KapingQA, RetrieveAndReadQA,
+                                     ReLMKGQA])
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_batch_equals_sequential(self, enterprise, cls, workers):
+        questions = generate_multihop_questions(enterprise, n=6, hops=2)
+        texts = [q.text for q in questions] + [questions[0].text]
+
+        def build():
+            return cls(load_model("chatgpt", world=enterprise.kg, seed=0),
+                       enterprise.kg)
+
+        a, b = build(), build()
+        assert [a.answer(t) for t in texts] == b.answer_batch(
+            texts, batch_size=3, executor=ParallelExecutor(workers))
+
+    def test_evaluate_qa_scores_identical(self, enterprise):
+        questions = generate_multihop_questions(enterprise, n=5, hops=1)
+
+        def build():
+            return KapingQA(load_model("chatgpt", world=enterprise.kg,
+                                       seed=0), enterprise.kg)
+
+        assert evaluate_qa(build(), questions) == \
+            evaluate_qa(build(), questions, batch_size=2,
+                        executor=ParallelExecutor(4))
+
+    def test_parallel_frontier_expansion_identical(self, enterprise):
+        questions = generate_multihop_questions(enterprise, n=4, hops=2)
+        system = RetrieveAndReadQA(
+            load_model("chatgpt", world=enterprise.kg, seed=0), enterprise.kg)
+        for q in questions:
+            assert system.retrieve(q.text) == \
+                system.retrieve(q.text, executor=ParallelExecutor(4))
+
+
+class TestHarnessDeterminism:
+    def test_row_order_and_metrics_invariant(self, enterprise):
+        questions = generate_multihop_questions(enterprise, n=4, hops=1)
+
+        def make_jobs():
+            jobs = []
+            for name, cls in [("llm-only", LLMOnlyQA), ("kaping", KapingQA),
+                              ("retrieve-read", RetrieveAndReadQA)]:
+                def run(cls=cls):
+                    system = cls(load_model("chatgpt", world=enterprise.kg,
+                                            seed=0), enterprise.kg)
+                    return evaluate_qa(system, questions)
+                jobs.append(EvalJob(system=name, run=run))
+            return jobs
+
+        tables = [run_experiments("t", ["f1", "exact", "questions"],
+                                  make_jobs(), executor=ParallelExecutor(w))
+                  for w in (1, 4)]
+        assert tables[0].render() == tables[1].render()
+
+    def test_failing_job_raises_lowest_index_error(self):
+        def boom():
+            raise RuntimeError("job-1 failed")
+
+        jobs = [EvalJob("ok", lambda: {"f1": 1.0}),
+                EvalJob("bad", boom),
+                EvalJob("ok2", lambda: {"f1": 0.5})]
+        with pytest.raises(RuntimeError, match="job-1 failed"):
+            run_experiments("t", ["f1"], jobs, executor=ParallelExecutor(4))

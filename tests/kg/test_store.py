@@ -186,3 +186,116 @@ def test_add_remove_roundtrip_leaves_store_empty(triples):
     assert len(store) == 0
     assert store.match() == []
     assert store.entities() == []
+
+
+class TestBatchVersioning:
+    """add_all/remove_all bump the store version once per effective batch,
+    so version-keyed caches (labels, reverse indexes) invalidate once per
+    bulk load instead of once per triple."""
+
+    def test_add_all_bumps_version_once(self):
+        store = TripleStore()
+        v0 = store.version
+        assert store.add_all([t(o=f"o{i}") for i in range(50)]) == 50
+        assert store.version == v0 + 1
+
+    def test_add_all_of_duplicates_does_not_bump(self):
+        store = TripleStore([t()])
+        v0 = store.version
+        assert store.add_all([t(), t()]) == 0
+        assert store.version == v0
+
+    def test_remove_all_bumps_version_once(self):
+        triples = [t(o=f"o{i}") for i in range(20)]
+        store = TripleStore(triples)
+        v0 = store.version
+        assert store.remove_all(triples[:10]) == 10
+        assert store.version == v0 + 1
+
+    def test_remove_all_of_absent_does_not_bump(self):
+        store = TripleStore([t()])
+        v0 = store.version
+        assert store.remove_all([t(o="missing")]) == 0
+        assert store.version == v0
+
+    def test_single_add_still_bumps_per_call(self):
+        store = TripleStore()
+        v0 = store.version
+        store.add(t())
+        store.add(t(o="o2"))
+        assert store.version == v0 + 2
+
+    def test_batch_and_single_adds_build_identical_stores(self):
+        triples = [t(s=f"s{i % 5}", p=f"p{i % 3}", o=f"o{i}")
+                   for i in range(30)]
+        a, b = TripleStore(), TripleStore()
+        for triple in triples:
+            a.add(triple)
+        b.add_all(triples)
+        assert a.match() == b.match()
+        assert a.stats() == b.stats()
+
+
+class TestAccessorIndexEquivalence:
+    """subjects()/predicates()/objects() now read distinct keys straight off
+    the SPO/POS/OSP indexes; they must stay equivalent to the legacy
+    match-then-dedup scans."""
+
+    def _store(self):
+        triples = [t(s=f"s{i % 4}", p=f"p{i % 3}", o=f"o{i % 6}")
+                   for i in range(24)]
+        store = TripleStore(triples)
+        # Removals exercise index cleanup ahead of the key reads.
+        store.remove(t(s="s1", p="p1", o="o1"))
+        store.remove_all([t(s="s2", p="p2", o="o2")])
+        return store
+
+    @staticmethod
+    def _legacy_distinct(items):
+        seen, out = set(), []
+        for item in items:
+            if item not in seen:
+                seen.add(item)
+                out.append(item)
+        return out
+
+    def test_subjects_equivalent_to_match_scan(self):
+        store = self._store()
+        predicates = [None] + store.relations()
+        objects = [None] + store.objects()
+        for p in predicates:
+            for o in objects:
+                legacy = self._legacy_distinct(
+                    tr.subject for tr in store.match(None, p, o))
+                assert sorted(store.subjects(p, o), key=str) == \
+                    sorted(legacy, key=str), (p, o)
+
+    def test_predicates_equivalent_to_match_scan(self):
+        store = self._store()
+        subjects = [None] + store.subjects()
+        objects = [None] + store.objects()
+        for s in subjects:
+            for o in objects:
+                legacy = self._legacy_distinct(
+                    tr.predicate for tr in store.match(s, None, o))
+                assert sorted(store.predicates(s, o), key=str) == \
+                    sorted(legacy, key=str), (s, o)
+
+    def test_objects_equivalent_to_match_scan(self):
+        store = self._store()
+        subjects = [None] + store.subjects()
+        predicates = [None] + store.relations()
+        for s in subjects:
+            for p in predicates:
+                legacy = self._legacy_distinct(
+                    tr.object for tr in store.match(s, p, None))
+                assert sorted(store.objects(s, p), key=str) == \
+                    sorted(legacy, key=str), (s, p)
+
+    def test_accessors_after_full_removal_of_a_key(self):
+        store = TripleStore([t("a", "p", "b"), t("a", "q", "c")])
+        store.remove(t("a", "p", "b"))
+        assert store.subjects(IRI("http://x/p"), None) == []
+        assert store.predicates(IRI("http://x/a"), None) == \
+            [IRI("http://x/q")]
+        assert store.objects(None, IRI("http://x/p")) == []

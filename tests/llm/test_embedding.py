@@ -181,3 +181,72 @@ class TestEncodeBatch:
         assert np.abs(dense - fallback).max() < 1e-9
         for i, text in enumerate(texts):
             assert np.abs(fallback[i] - encoder.encode(text)).max() < 1e-9
+
+
+class TestEmbedderConcurrency:
+    """The LRU cache stays consistent when hammered from many threads."""
+
+    def test_concurrent_hammer_no_corruption(self):
+        import threading
+
+        from repro.llm.embedding import _hash_vector
+
+        embedder = HashEmbedder(dim=16, cache_size=8)
+        tokens = [f"tok-{i}" for i in range(12)]  # overlap + eviction churn
+        errors = []
+
+        def hammer(worker):
+            try:
+                for i in range(200):
+                    token = tokens[(worker + i) % len(tokens)]
+                    vector = embedder.embed_token(token)
+                    # Whatever the interleaving, values stay pure:
+                    assert np.allclose(
+                        vector, _hash_vector(token, 16, embedder.salt))
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(w,))
+                   for w in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = embedder.cache_stats()
+        # Every lookup was counted exactly once, hit or miss.
+        assert stats["hits"] + stats["misses"] == 6 * 200
+        # The cache never exceeds its bound and only holds pure values.
+        assert stats["size"] <= 8
+        with embedder._lock:
+            snapshot = dict(embedder._cache)
+        for token, vector in snapshot.items():
+            assert np.allclose(vector, _hash_vector(token, 16, embedder.salt))
+
+    def test_concurrent_encoders_share_cache_safely(self):
+        import threading
+
+        encoder = TextEncoder(dim=16)
+        texts = ["alpha beta gamma", "beta gamma delta", "gamma delta alpha"]
+        reference = [encoder.encode(t) for t in texts]
+        results = [[None] * len(texts) for _ in range(4)]
+        errors = []
+
+        def worker(slot):
+            try:
+                for _ in range(50):
+                    for i, text in enumerate(texts):
+                        results[slot][i] = encoder.encode(text)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for slot_results in results:
+            for got, want in zip(slot_results, reference):
+                assert np.allclose(got, want)

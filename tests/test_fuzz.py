@@ -201,3 +201,82 @@ def test_encode_batch_equals_sequential_with_idf(texts, corpus):
     batched = encoder.encode_batch(texts)
     for i, text in enumerate(texts):
         assert np.abs(batched[i] - encoder.encode(text)).max() < 1e-9
+
+
+class TestBatchEquivalenceFuzz:
+    """``complete_batch(prompts)`` ≡ ``[complete(p) for p in prompts]``
+    across the wrapper stack, for generated prompt lists, seeds and fault
+    rates (satellite of the throughput work — see DESIGN "Throughput")."""
+
+    @staticmethod
+    def _drain_sequential(llm, prompts):
+        results = []
+        for prompt in prompts:
+            try:
+                results.append(llm.complete(prompt).text)
+            except LLMTransientError as exc:
+                results.append(("fault", exc.kind))
+        return results
+
+    @staticmethod
+    def _drain_batched(llm, prompts):
+        results = []
+        i = 0
+        while i < len(prompts):
+            try:
+                results.extend(r.text for r in llm.complete_batch(prompts[i:]))
+                break
+            except LLMTransientError as exc:
+                prefix = getattr(exc, "batch_prefix", ())
+                results.extend(r.text for r in prefix)
+                results.append(("fault", exc.kind))
+                i += len(prefix) + 1
+        return results
+
+    @settings(max_examples=50, deadline=None)
+    @given(prompts=st.lists(st.text(max_size=60), max_size=10),
+           seed=st.integers(min_value=0, max_value=2**10))
+    def test_simulated_llm_batch_equivalence(self, prompts, seed):
+        from repro.llm.caching import CachingLLM
+
+        a = CachingLLM(SimulatedLLM(LLMConfig(seed=seed)))
+        b = CachingLLM(SimulatedLLM(LLMConfig(seed=seed)))
+        assert self._drain_sequential(a, prompts) == \
+            self._drain_batched(b, prompts)
+        assert a.cache_stats() == b.cache_stats()
+
+    @settings(max_examples=50, deadline=None)
+    @given(prompts=st.lists(st.text(max_size=60), max_size=10),
+           seed=st.integers(min_value=0, max_value=2**10),
+           rate=st.floats(min_value=0.0, max_value=0.6))
+    def test_caching_over_faults_batch_equivalence(self, prompts, seed, rate):
+        from repro.llm.caching import CachingLLM
+
+        def build():
+            return CachingLLM(FaultInjectingLLM(
+                SimulatedLLM(LLMConfig(seed=seed)),
+                FaultProfile.uniform(rate, seed=seed)))
+
+        a, b = build(), build()
+        assert self._drain_sequential(a, prompts) == \
+            self._drain_batched(b, prompts)
+        assert a.cache_stats() == b.cache_stats()
+        assert a.inner.fault_log == b.inner.fault_log
+
+    @settings(max_examples=50, deadline=None)
+    @given(prompts=st.lists(st.text(max_size=60), max_size=10),
+           seed=st.integers(min_value=0, max_value=2**10),
+           rate=st.floats(min_value=0.0, max_value=0.6))
+    def test_faults_over_caching_batch_equivalence(self, prompts, seed, rate):
+        from repro.llm.caching import CachingLLM
+
+        def build():
+            return FaultInjectingLLM(
+                CachingLLM(SimulatedLLM(LLMConfig(seed=seed))),
+                FaultProfile.uniform(rate, seed=seed))
+
+        a, b = build(), build()
+        assert self._drain_sequential(a, prompts) == \
+            self._drain_batched(b, prompts)
+        assert a.fault_log == b.fault_log
+        assert a.inner.cache_stats() == b.inner.cache_stats()
