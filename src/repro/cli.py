@@ -11,6 +11,8 @@ Commands
 ``chat <dataset>``               interactive chatbot (reads stdin)
 ``table1`` / ``figure2``         print the paper's artifacts
 ``datasets``                     list available datasets
+``obs trace <dataset>``          run a traced GraphRAG workload, export JSONL
+``obs report <path>``            summarize a JSONL observability export
 
 Datasets are the seeded generators of :mod:`repro.kg.datasets`
 (``encyclopedia``, ``family``, ``movie``, ``covid``, ``enterprise``);
@@ -159,6 +161,124 @@ def cmd_export(args) -> int:
     return 0
 
 
+def cmd_obs_trace(args) -> int:
+    from repro.core.executor import ParallelExecutor
+    from repro.core.observability import FakeClock, Observability
+    from repro.enhanced.graph_rag import GraphRAG
+    from repro.llm import load_model
+    from repro.llm.faults import FaultInjectingLLM, FaultProfile
+
+    ds = _build_dataset(args.dataset, args.seed)
+    llm = load_model(args.model, world=ds.kg, seed=args.seed)
+    faulty = FaultInjectingLLM(
+        llm, FaultProfile.uniform(args.fault_rate, seed=args.seed))
+    # A FakeClock makes the exported trace deterministic: identical runs
+    # produce identical span timings, so exports are diffable.
+    obs = Observability(clock=FakeClock())
+    rag = GraphRAG(faulty, ds.kg, cache=True, obs=obs)
+    executor = ParallelExecutor(max_workers=args.workers, obs=obs)
+    questions = [
+        "What are the main topics of this dataset?",
+        "Which entities are most connected?",
+        "What are the main topics of this dataset?",  # cache-hit repeat
+    ]
+    answers = rag.answer_global_batch(questions, executor=executor)
+    written = obs.export_jsonl(args.out)
+    print(f"traced {len(questions)} questions "
+          f"({sum(1 for a in answers if a != 'unknown')} answered, "
+          f"{rag.last_faulted_communities} faulted map calls) -> "
+          f"{written} records in {args.out}")
+    return 0
+
+
+def cmd_obs_report(args) -> int:
+    from repro.core.observability import load_jsonl
+    from repro.eval.harness import ResultTable
+
+    records = load_jsonl(args.path)
+    spans = [r for r in records if r.get("type") == "span"]
+    counters = [r for r in records if r.get("type") == "counter"]
+    histograms = [r for r in records if r.get("type") == "histogram"]
+    sources: dict = {}
+    for record in records:
+        if record.get("type") == "source":
+            sources.setdefault(record["source"], {})[record["key"]] = \
+                record["value"]
+
+    # Per-stage latency from spans.
+    by_name: dict = {}
+    for span in spans:
+        entry = by_name.setdefault(span["name"], {"count": 0, "total": 0.0})
+        entry["count"] += 1
+        entry["total"] += span.get("elapsed") or 0.0
+    latency = ResultTable("Per-stage latency (spans)",
+                          ["count", "total_s", "mean_s"])
+    for name in sorted(by_name):
+        entry = by_name[name]
+        latency.add(name, count=entry["count"], total_s=entry["total"],
+                    mean_s=entry["total"] / entry["count"])
+    print(latency.render())
+
+    # LLM calls and batch shapes.
+    llm_table = ResultTable("LLM calls and batches",
+                            ["calls", "batches", "max_batch", "mean_batch"])
+    for name in sorted(sources):
+        if not name.endswith(".model"):
+            continue
+        values = sources[name]
+        batch = next((h for h in histograms
+                      if h["name"] == "llm.batch_size"), None)
+        llm_table.add(name, calls=int(values.get("calls", 0)),
+                      batches=int(batch["count"]) if batch else 0,
+                      max_batch=int(batch["max"]) if batch else 0,
+                      mean_batch=(batch["sum"] / batch["count"])
+                      if batch and batch["count"] else 0.0)
+    print()
+    print(llm_table.render())
+
+    # Cache hit rates, one row per bound cache source.
+    caches = ResultTable("Cache hit rates",
+                         ["hits", "misses", "evictions", "hit_rate"])
+    for name in sorted(sources):
+        values = sources[name]
+        if "hits" not in values or "misses" not in values:
+            continue
+        caches.add(name, hits=int(values["hits"]),
+                   misses=int(values["misses"]),
+                   evictions=int(values.get("evictions", 0)),
+                   hit_rate=float(values.get("hit_rate", 0.0)))
+    print()
+    print(caches.render())
+
+    # Fault injections by kind (push counters) plus wrapper totals.
+    faults = ResultTable("Fault injections", ["count"])
+    for counter in sorted(counters, key=lambda c: repr(c.get("labels"))):
+        if counter["name"] == "llm.faults":
+            kind = counter.get("labels", {}).get("kind", "?")
+            faults.add(f"fault:{kind}", count=int(counter["value"]))
+    for name in sorted(sources):
+        if name.endswith(".faults"):
+            values = sources[name]
+            faults.add(f"{name} (total)",
+                       count=int(values.get("injected", 0)))
+    print()
+    print(faults.render())
+
+    # Per-worker executor utilization.
+    workers = ResultTable("Executor utilization (per worker)",
+                          ["stage", "busy_s"])
+    rows = [c for c in counters if c["name"] == "executor.worker_busy"]
+    for counter in sorted(rows, key=lambda c: (c["labels"].get("worker", ""),
+                                               c["labels"].get("stage", ""))):
+        labels = counter.get("labels", {})
+        workers.add(labels.get("worker", "?"),
+                    stage=labels.get("stage", "?"),
+                    busy_s=float(counter["value"]))
+    print()
+    print(workers.render())
+    return 0
+
+
 def cmd_table1(args) -> int:
     from repro.analysis import render_table1
     print(render_table1())
@@ -204,6 +324,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("dataset")
     sub.add_parser("table1", help="print the paper's Table 1")
     sub.add_parser("figure2", help="print the paper's Figure 2")
+    p = sub.add_parser("obs", help="observability: trace a run / report it")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    p = obs_sub.add_parser("trace",
+                           help="run a traced GraphRAG workload, export JSONL")
+    p.add_argument("dataset")
+    p.add_argument("--out", default="obs.jsonl",
+                   help="JSONL export path (default obs.jsonl)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="executor worker count (default 2)")
+    p.add_argument("--fault-rate", type=float, default=0.1,
+                   help="injected fault rate (default 0.1)")
+    p = obs_sub.add_parser("report",
+                           help="summarize a JSONL observability export")
+    p.add_argument("path")
     return parser
 
 
@@ -221,10 +355,17 @@ _HANDLERS = {
     "figure2": cmd_figure2,
 }
 
+_OBS_HANDLERS = {
+    "trace": cmd_obs_trace,
+    "report": cmd_obs_report,
+}
+
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "obs":
+        return _OBS_HANDLERS[args.obs_command](args)
     return _HANDLERS[args.command](args)
 
 

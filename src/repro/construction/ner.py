@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.executor import ParallelExecutor, chunked
+from repro.core.observability import NULL_OBS, resolve_obs
 from repro.llm import prompts as P
 from repro.llm.model import SimulatedLLM, complete_all
 from repro.text.corpus import AnnotatedSentence
@@ -99,11 +100,14 @@ class PromptNER:
 
     def __init__(self, llm: SimulatedLLM, entity_types: Sequence[str],
                  definitions: Optional[Dict[str, str]] = None,
-                 examples: Sequence[AnnotatedSentence] = ()):
+                 examples: Sequence[AnnotatedSentence] = (), obs=None):
         self.llm = llm
         self.entity_types = list(entity_types)
         self.definitions = definitions
         self.examples = [(s.text, s.entities) for s in examples]
+        self.obs = resolve_obs(obs)
+        if self.obs.enabled:
+            self.obs.bind_llm(self.llm)
 
     def extract(self, sentence: str) -> NERResult:
         """One LLM call; the response is parsed into typed mentions."""
@@ -139,10 +143,14 @@ class InstructionTunedNER:
     lowering its task error rate), after which extraction is zero-shot.
     """
 
-    def __init__(self, llm: SimulatedLLM, entity_types: Sequence[str]):
+    def __init__(self, llm: SimulatedLLM, entity_types: Sequence[str],
+                 obs=None):
         self.llm = llm
         self.entity_types = list(entity_types)
         self._distilled = False
+        self.obs = resolve_obs(obs)
+        if self.obs.enabled:
+            self.obs.bind_llm(self.llm)
 
     def distill(self, training_sentences: Sequence[AnnotatedSentence]) -> None:
         """Targeted distillation: instruction-tune the backbone for NER."""
@@ -175,16 +183,18 @@ def _extract_ner_batch(extractor, sentences: Sequence[str],
     chunk → parallel parse. All LLM traffic flows through ``complete_all``
     on the calling thread, so fault schedules and cache evolution do not
     depend on the executor's worker count."""
-    executor = executor or ParallelExecutor()
+    obs = getattr(extractor, "obs", NULL_OBS)
+    executor = executor or ParallelExecutor(obs=obs)
     sentences = list(sentences)
     results: List[NERResult] = []
-    for chunk in chunked(sentences, batch_size):
-        prompts = executor.map(chunk, extractor._prompt_for)
-        responses = complete_all(extractor.llm, prompts)
-        entities = executor.map(responses,
-                                lambda r: P.parse_ner_response(r.text))
-        results.extend(NERResult(sentence=s, entities=e)
-                       for s, e in zip(chunk, entities))
+    with obs.span("ner:extract_batch", sentences=len(sentences)):
+        for chunk in chunked(sentences, batch_size):
+            prompts = executor.map(chunk, extractor._prompt_for)
+            responses = complete_all(extractor.llm, prompts)
+            entities = executor.map(responses,
+                                    lambda r: P.parse_ner_response(r.text))
+            results.extend(NERResult(sentence=s, entities=e)
+                           for s, e in zip(chunk, entities))
     return results
 
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.executor import ParallelExecutor, chunked
+from repro.core.observability import NULL_OBS, resolve_obs
 from repro.llm import prompts as P
 from repro.llm.embedding import TextEncoder
 from repro.llm.model import SimulatedLLM, complete_all
@@ -122,25 +123,30 @@ def _extract_re_batch(extractor, sentences: Sequence[str],
     """Shared batched RE loop: prompt-build → one batch completion per
     chunk → parallel parse. All LLM traffic flows through ``complete_all``
     on the calling thread (worker-count-independent fault/cache order)."""
-    executor = executor or ParallelExecutor()
+    obs = getattr(extractor, "obs", NULL_OBS)
+    executor = executor or ParallelExecutor(obs=obs)
     sentences = list(sentences)
     results: List[REResult] = []
-    for chunk in chunked(sentences, batch_size):
-        prompts = executor.map(chunk, extractor._prompt_for)
-        responses = complete_all(extractor.llm, prompts)
-        triples = executor.map(responses,
-                               lambda r: P.parse_relation_response(r.text))
-        results.extend(REResult(sentence=s, triples=t)
-                       for s, t in zip(chunk, triples))
+    with obs.span("re:extract_batch", sentences=len(sentences)):
+        for chunk in chunked(sentences, batch_size):
+            prompts = executor.map(chunk, extractor._prompt_for)
+            responses = complete_all(extractor.llm, prompts)
+            triples = executor.map(
+                responses, lambda r: P.parse_relation_response(r.text))
+            results.extend(REResult(sentence=s, triples=t)
+                           for s, t in zip(chunk, triples))
     return results
 
 
 class ZeroShotRelationExtractor:
     """Bare LLM prompting with only the relation inventory."""
 
-    def __init__(self, llm: SimulatedLLM, relations: Sequence[str]):
+    def __init__(self, llm: SimulatedLLM, relations: Sequence[str], obs=None):
         self.llm = llm
         self.relations = list(relations)
+        self.obs = resolve_obs(obs)
+        if self.obs.enabled:
+            self.obs.bind_llm(self.llm)
 
     def extract(self, sentence: str) -> REResult:
         """One LLM call; the response parses into (s, r, o) triples."""
@@ -164,11 +170,14 @@ class FewShotICLRelationExtractor:
 
     def __init__(self, llm: SimulatedLLM, relations: Sequence[str],
                  demonstrations: Sequence[AnnotatedSentence],
-                 chain_of_thought: bool = False):
+                 chain_of_thought: bool = False, obs=None):
         self.llm = llm
         self.relations = list(relations)
         self.demonstrations = [(s.text, s.triples) for s in demonstrations]
         self.chain_of_thought = chain_of_thought
+        self.obs = resolve_obs(obs)
+        if self.obs.enabled:
+            self.obs.bind_llm(self.llm)
 
     def extract(self, sentence: str) -> REResult:
         """One LLM call; the response parses into (s, r, o) triples."""
@@ -199,7 +208,8 @@ class RetrievedDemonstrationExtractor:
 
     def __init__(self, llm: SimulatedLLM, relations: Sequence[str],
                  training_sentences: Sequence[AnnotatedSentence],
-                 k: int = 4, encoder: Optional[TextEncoder] = None):
+                 k: int = 4, encoder: Optional[TextEncoder] = None,
+                 obs=None):
         self.llm = llm
         self.relations = list(relations)
         self.k = k
@@ -208,6 +218,10 @@ class RetrievedDemonstrationExtractor:
         self._index = VectorIndex(dim=self.encoder.dim)
         for position, sentence in enumerate(self._pool):
             self._index.add(position, self.encoder.encode(sentence.text))
+        self.obs = resolve_obs(obs)
+        if self.obs.enabled:
+            self.obs.bind_llm(self.llm)
+            self.obs.bind_index("gptre.index", self._index)
 
     def retrieve(self, sentence: str) -> List[AnnotatedSentence]:
         """The k most similar training sentences."""
@@ -248,7 +262,7 @@ class RetrievedDemonstrationExtractor:
                       ) -> List[REResult]:
         """Batched GPT-RE: chunk queries are embedded through
         ``encode_batch``, prompts are completed in one batch per chunk."""
-        executor = executor or ParallelExecutor()
+        executor = executor or ParallelExecutor(obs=self.obs)
         sentences = list(sentences)
         results: List[REResult] = []
         for chunk in chunked(sentences, batch_size):
@@ -269,10 +283,13 @@ class RetrievedDemonstrationExtractor:
 class SupervisedFineTunedExtractor:
     """Fine-tuned regime: triplet-linearization training, then prompting."""
 
-    def __init__(self, llm: SimulatedLLM, relations: Sequence[str]):
+    def __init__(self, llm: SimulatedLLM, relations: Sequence[str], obs=None):
         self.llm = llm
         self.relations = list(relations)
         self.trained_on = 0
+        self.obs = resolve_obs(obs)
+        if self.obs.enabled:
+            self.obs.bind_llm(self.llm)
 
     def fit(self, training_sentences: Sequence[AnnotatedSentence]) -> None:
         """Fine-tune the backbone on linearized (sentence → triples) pairs.
@@ -321,9 +338,12 @@ class NLIFilteredExtractor:
     trading recall for precision.
     """
 
-    def __init__(self, base, llm: SimulatedLLM):
+    def __init__(self, base, llm: SimulatedLLM, obs=None):
         self.base = base
         self.llm = llm
+        self.obs = resolve_obs(obs)
+        if self.obs.enabled:
+            self.obs.bind_llm(self.llm)
 
     def extract(self, sentence: str) -> REResult:
         """Extract with the base system, then keep only entailed triples."""
@@ -351,7 +371,7 @@ class NLIFilteredExtractor:
         to the sequential loop — each check prompt is a pure function of
         its (triple, sentence) pair.
         """
-        executor = executor or ParallelExecutor()
+        executor = executor or ParallelExecutor(obs=self.obs)
         sentences = list(sentences)
         results: List[REResult] = []
         base_batch = getattr(self.base, "extract_batch", None)

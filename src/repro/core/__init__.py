@@ -28,6 +28,19 @@ from repro.core.executor import (
     ParallelExecutor,
     chunked,
 )
+from repro.core.observability import (
+    FakeClock,
+    MetricsRegistry,
+    NULL_OBS,
+    NoopObservability,
+    Observability,
+    Span,
+    SystemClock,
+    Tracer,
+    cache_stats_dict,
+    load_jsonl,
+    resolve_obs,
+)
 from repro.core.resilience import (
     CircuitBreaker,
     CircuitOpenError,
@@ -67,4 +80,15 @@ __all__ = [
     "ResilienceError",
     "RetryOutcome",
     "RetryPolicy",
+    "FakeClock",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NoopObservability",
+    "Observability",
+    "Span",
+    "SystemClock",
+    "Tracer",
+    "cache_stats_dict",
+    "load_jsonl",
+    "resolve_obs",
 ]

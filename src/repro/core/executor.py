@@ -34,6 +34,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, TypeVar
 
+from repro.core.observability import resolve_obs
 from repro.core.pipeline import PipelineReport, StagePolicy, StageReport
 
 T = TypeVar("T")
@@ -83,10 +84,14 @@ class ParallelExecutor:
     depend on scheduling order.
     """
 
-    def __init__(self, max_workers: int = 1):
+    def __init__(self, max_workers: int = 1, obs=None):
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
+        # Observability recorder (no-op by default). When live, every
+        # fan-out records per-item queue-wait and run time plus per-worker
+        # busy time — the utilization series ``repro obs report`` renders.
+        self.obs = resolve_obs(obs)
 
     @property
     def sequential(self) -> bool:
@@ -96,14 +101,16 @@ class ParallelExecutor:
     # ------------------------------------------------------------------
     # Core primitives
     # ------------------------------------------------------------------
-    def map_outcomes(self, items: Iterable[T],
-                     fn: Callable[[T], R]) -> List[ItemOutcome]:
+    def map_outcomes(self, items: Iterable[T], fn: Callable[[T], R],
+                     label: str = "map") -> List[ItemOutcome]:
         """Apply ``fn`` per item; capture every exception; never raise.
 
         The returned list is ordered by item index whatever the scheduling
-        order was.
+        order was. ``label`` names the fan-out in traces and metrics (it
+        has no effect on execution).
         """
         items = list(items)
+        obs = self.obs
 
         def run_one(pair) -> ItemOutcome:
             index, item = pair
@@ -113,10 +120,46 @@ class ParallelExecutor:
                 return ItemOutcome(index=index, error=exc, status="failed")
 
         indexed = list(enumerate(items))
-        if self.sequential or len(indexed) <= 1:
-            return [run_one(pair) for pair in indexed]
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            return list(pool.map(run_one, indexed))
+        if not obs.enabled:
+            if self.sequential or len(indexed) <= 1:
+                return [run_one(pair) for pair in indexed]
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                return list(pool.map(run_one, indexed))
+        return self._map_observed(indexed, run_one, label)
+
+    def _map_observed(self, indexed: List, run_one: Callable,
+                      label: str) -> List[ItemOutcome]:
+        """The traced fan-out path: queue-wait/run-time histograms, one
+        span per item (parented on the coordinating span, so worker-thread
+        spans attach to the right subtree), and per-worker busy time."""
+        obs = self.obs
+        clock = obs.clock
+        with obs.span(f"fanout:{label}", items=len(indexed),
+                      workers=self.max_workers) as fanout_span:
+            submitted = clock.now()
+
+            def run_timed(pair) -> ItemOutcome:
+                index, _ = pair
+                started = clock.now()
+                worker = obs.worker_label()
+                span = obs.start_span(f"item:{label}", parent=fanout_span,
+                                      index=index, worker=worker)
+                outcome = run_one(pair)
+                obs.end_span(span, status=outcome.status)
+                finished = clock.now()
+                obs.observe("executor.queue_wait", started - submitted,
+                            stage=label)
+                obs.observe("executor.run_time", finished - started,
+                            stage=label)
+                obs.count("executor.worker_busy", finished - started,
+                          stage=label, worker=worker)
+                obs.count("executor.items", stage=label)
+                return outcome
+
+            if self.sequential or len(indexed) <= 1:
+                return [run_timed(pair) for pair in indexed]
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                return list(pool.map(run_timed, indexed))
 
     def map(self, items: Iterable[T], fn: Callable[[T], R]) -> List[R]:
         """Apply ``fn`` per item and return ordered values.
@@ -201,7 +244,12 @@ class ParallelExecutor:
                 return ItemOutcome(0, error=exc, attempts=attempts,
                                    status="failed")
 
-        raw = self.map_outcomes(list(items), run_one)
+        started = self.obs.clock.now() if self.obs.enabled else 0.0
+        raw = self.map_outcomes(list(items), run_one, label=name)
+        # Stage elapsed rides the observability clock when a recorder is
+        # attached; disabled runs keep the historical 0.0 (batch stages
+        # were never individually timed), so reports stay byte-identical.
+        elapsed = self.obs.clock.now() - started if self.obs.enabled else 0.0
         outcomes: List[ItemOutcome] = []
         for index, wrapped in enumerate(raw):
             if wrapped.error is not None:
@@ -229,7 +277,7 @@ class ParallelExecutor:
             first_error = next((o.error for o in outcomes
                                 if o.error is not None), None)
             report.stages.append(StageReport(
-                name, status, sum(o.attempts for o in outcomes), 0.0,
+                name, status, sum(o.attempts for o in outcomes), elapsed,
                 error=repr(first_error) if first_error is not None else None))
             for outcome in outcomes:
                 if outcome.status in ("fell_back", "skipped"):

@@ -18,10 +18,10 @@ callers can inspect how far the run got.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
 
+from repro.core.observability import resolve_obs
 from repro.core.resilience import CircuitBreaker, CircuitOpenError, RetryPolicy
 
 #: Stage dispositions after an error (and exhausted retries).
@@ -131,11 +131,22 @@ class Component:
 
 
 class Pipeline:
-    """A linear sequence of components with timing traces and error policies."""
+    """A linear sequence of components with timing traces and error policies.
 
-    def __init__(self, name: str, components: Optional[Sequence[Component]] = None):
+    ``obs`` attaches an :class:`~repro.core.observability.Observability`
+    recorder: stage timings (the ``context.trace`` tuples and
+    ``StageReport.elapsed``) are read off its injectable clock — with a
+    ``FakeClock`` a traced run's timings are deterministic — and every run
+    opens a ``pipeline:<name>`` span with one ``stage:<name>`` child per
+    stage. The default is the shared no-op recorder on the system clock,
+    which reproduces the pre-observability behaviour exactly.
+    """
+
+    def __init__(self, name: str, components: Optional[Sequence[Component]] = None,
+                 obs=None):
         self.name = name
         self.components: List[Component] = list(components or [])
+        self.obs = resolve_obs(obs)
 
     def add(self, name: str, run: Callable[[PipelineContext], None],
             on_error: str = "abort", retry: Optional[RetryPolicy] = None,
@@ -159,88 +170,110 @@ class Pipeline:
         context = PipelineContext(data=dict(initial))
         report = PipelineReport(pipeline=self.name)
         context.report = report
-        trips_before = sum(c.policy.breaker.trips for c in self.components
-                           if c.policy.breaker is not None)
-        for component in self.components:
-            policy = component.policy
-            started = time.perf_counter()
-            status = "ok"
-            attempts = 0
-            error: Optional[BaseException] = None
-            try:
-                if policy.breaker is not None and not policy.breaker.allow():
-                    raise CircuitOpenError(
-                        f"stage {component.name!r}: circuit open")
-                if policy.retry is not None:
-                    outcome = policy.retry.run(
-                        lambda: component.run(context), key=component.name)
-                    attempts = outcome.attempts
-                    if outcome.error is not None:
-                        raise outcome.error
-                    if attempts > 1:
-                        status = "retried"
-                else:
-                    attempts = 1
-                    component.run(context)
-            except BaseException as exc:  # noqa: BLE001 - classified below
-                error = exc
-            finally:
-                elapsed = time.perf_counter() - started
-                # The failure contract: the in-flight stage's entry lands in
-                # the trace whether or not it raised.
-                context.trace.append((component.name, elapsed))
-            if policy.breaker is not None and \
-                    not isinstance(error, CircuitOpenError):
-                if error is None:
-                    policy.breaker.record_success()
-                else:
-                    policy.breaker.record_failure()
-            if error is None:
-                report.stages.append(
-                    StageReport(component.name, status, attempts, elapsed))
-                continue
-            governed = isinstance(error, policy.catch) or \
-                isinstance(error, CircuitOpenError)
-            action = policy.on_error if governed else "abort"
-            if action == "retry":       # retries already exhausted above
-                action = "abort"
-            if action == "fallback":
+        obs = self.obs
+        clock = obs.clock
+        run_span = obs.start_span(f"pipeline:{self.name}")
+        try:
+            for component in self.components:
+                policy = component.policy
+                stage_span = obs.start_span(f"stage:{component.name}",
+                                            pipeline=self.name)
+                started = clock.now()
+                status = "ok"
+                attempts = 0
+                error: Optional[BaseException] = None
                 try:
-                    policy.fallback(context)  # type: ignore[misc]
-                except policy.catch as fallback_error:
-                    report.notes.append(
-                        f"{component.name}: fallback failed "
-                        f"({fallback_error!r})")
-                    action = "abort"
-                    error = fallback_error
-                else:
-                    report.stages.append(StageReport(
-                        component.name, "fell_back", max(attempts, 1),
-                        elapsed, error=repr(error)))
-                    context.mark_degraded(
-                        f"{component.name}: used fallback after {error!r}")
+                    if policy.breaker is not None and not policy.breaker.allow():
+                        raise CircuitOpenError(
+                            f"stage {component.name!r}: circuit open")
+                    if policy.retry is not None:
+                        outcome = policy.retry.run(
+                            lambda: component.run(context), key=component.name)
+                        attempts = outcome.attempts
+                        if outcome.error is not None:
+                            raise outcome.error
+                        if attempts > 1:
+                            status = "retried"
+                    else:
+                        attempts = 1
+                        component.run(context)
+                except BaseException as exc:  # noqa: BLE001 - classified below
+                    error = exc
+                finally:
+                    elapsed = clock.now() - started
+                    # The failure contract: the in-flight stage's entry lands
+                    # in the trace whether or not it raised.
+                    context.trace.append((component.name, elapsed))
+                if policy.breaker is not None and \
+                        not isinstance(error, CircuitOpenError):
+                    if error is None:
+                        policy.breaker.record_success()
+                    elif policy.breaker.record_failure():
+                        # Attribute the trip to the failure that caused it —
+                        # *this* stage's — rather than diffing the shared
+                        # breaker's total around the run, which would absorb
+                        # trips other pipelines caused concurrently.
+                        report.trips += 1
+                        obs.count("pipeline.breaker_trips",
+                                  pipeline=self.name, stage=component.name)
+                if error is None:
+                    obs.end_span(stage_span, status=status)
+                    obs.count("pipeline.stages", pipeline=self.name,
+                              stage=component.name, status=status)
+                    report.stages.append(
+                        StageReport(component.name, status, attempts, elapsed))
                     continue
-            if action == "skip":
+                governed = isinstance(error, policy.catch) or \
+                    isinstance(error, CircuitOpenError)
+                action = policy.on_error if governed else "abort"
+                if action == "retry":       # retries already exhausted above
+                    action = "abort"
+                if action == "fallback":
+                    try:
+                        policy.fallback(context)  # type: ignore[misc]
+                    except policy.catch as fallback_error:
+                        report.notes.append(
+                            f"{component.name}: fallback failed "
+                            f"({fallback_error!r})")
+                        action = "abort"
+                        error = fallback_error
+                    else:
+                        obs.end_span(stage_span, status="fell_back",
+                                     error=repr(error))
+                        obs.count("pipeline.stages", pipeline=self.name,
+                                  stage=component.name, status="fell_back")
+                        report.stages.append(StageReport(
+                            component.name, "fell_back", max(attempts, 1),
+                            elapsed, error=repr(error)))
+                        context.mark_degraded(
+                            f"{component.name}: used fallback after {error!r}")
+                        continue
+                if action == "skip":
+                    obs.end_span(stage_span, status="skipped",
+                                 error=repr(error))
+                    obs.count("pipeline.stages", pipeline=self.name,
+                              stage=component.name, status="skipped")
+                    report.stages.append(StageReport(
+                        component.name, "skipped", max(attempts, 1), elapsed,
+                        error=repr(error)))
+                    context.mark_degraded(
+                        f"{component.name}: skipped after {error!r}")
+                    continue
+                # abort: record, expose the partial context, re-raise.
+                obs.end_span(stage_span, status="failed", error=repr(error))
+                obs.count("pipeline.stages", pipeline=self.name,
+                          stage=component.name, status="failed")
                 report.stages.append(StageReport(
-                    component.name, "skipped", max(attempts, 1), elapsed,
+                    component.name, "failed", max(attempts, 1), elapsed,
                     error=repr(error)))
-                context.mark_degraded(
-                    f"{component.name}: skipped after {error!r}")
-                continue
-            # abort: record, expose the partial context, re-raise.
-            report.stages.append(StageReport(
-                component.name, "failed", max(attempts, 1), elapsed,
-                error=repr(error)))
-            report.trips = self._trips_since(trips_before)
-            error.pipeline_context = context  # type: ignore[attr-defined]
-            raise error
-        report.trips = self._trips_since(trips_before)
+                error.pipeline_context = context  # type: ignore[attr-defined]
+                raise error
+        except BaseException as exc:
+            obs.end_span(run_span, degraded=report.degraded,
+                         error=repr(exc))
+            raise
+        obs.end_span(run_span, degraded=report.degraded)
         return context
-
-    def _trips_since(self, trips_before: int) -> int:
-        trips_now = sum(c.policy.breaker.trips for c in self.components
-                        if c.policy.breaker is not None)
-        return trips_now - trips_before
 
     def stage_names(self) -> List[str]:
         """The ordered stage names (used in docs and tests)."""

@@ -27,6 +27,7 @@ other stage.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Type
 
@@ -209,29 +210,44 @@ class CircuitBreaker:
         self.trips = 0
         self.rejected = 0
         self._cooldown_left = 0
+        # Breakers are shared across pipelines — since the parallel
+        # substrate, potentially across threads — so state transitions are
+        # serialized.
+        self._lock = threading.Lock()
 
     def allow(self) -> bool:
         """Whether the next call may proceed (advances the cooldown)."""
-        if self.state == "open":
-            if self._cooldown_left > 0:
-                self._cooldown_left -= 1
-                self.rejected += 1
-                return False
-            self.state = "half-open"
-        return True
+        with self._lock:
+            if self.state == "open":
+                if self._cooldown_left > 0:
+                    self._cooldown_left -= 1
+                    self.rejected += 1
+                    return False
+                self.state = "half-open"
+            return True
 
     def record_success(self) -> None:
         """Note a successful call: closes the circuit."""
-        self.state = "closed"
-        self.consecutive_failures = 0
+        with self._lock:
+            self.state = "closed"
+            self.consecutive_failures = 0
 
-    def record_failure(self) -> None:
+    def record_failure(self) -> bool:
         """Note a failed call; trips the breaker at the threshold (or
-        immediately when the half-open probe fails)."""
-        self.consecutive_failures += 1
-        if self.state == "half-open" or \
-                self.consecutive_failures >= self.failure_threshold:
-            self._trip()
+        immediately when the half-open probe fails).
+
+        Returns whether *this* failure tripped the breaker — the only
+        attribution that stays correct when several pipelines share one
+        breaker concurrently (a caller diffing ``trips`` around its own
+        run would absorb every other sharer's trips).
+        """
+        with self._lock:
+            self.consecutive_failures += 1
+            if self.state == "half-open" or \
+                    self.consecutive_failures >= self.failure_threshold:
+                self._trip()
+                return True
+            return False
 
     def _trip(self) -> None:
         self.state = "open"

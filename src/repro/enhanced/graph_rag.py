@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import networkx as nx
 
 from repro.core.executor import ParallelExecutor, chunked
+from repro.core.observability import resolve_obs
 from repro.core.resilience import RetryPolicy
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import IRI, OWL, RDF, RDFS
@@ -46,12 +47,19 @@ class GraphRAG:
 
     def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph,
                  max_facts_per_summary: int = 150,
-                 retry: Optional[RetryPolicy] = None, cache=False):
+                 retry: Optional[RetryPolicy] = None, cache=False, obs=None):
         # ``cache`` memoizes the map/reduce summarization calls — repeated
         # global questions over an unchanged community hierarchy re-issue
         # identical prompts, which a CachingLLM serves without recompute.
         self.llm = maybe_cached(llm, cache)
+        # ``obs`` attaches an observability recorder (no-op by default):
+        # build/map/reduce phases open spans, and the LLM stack and KG
+        # caches are bound as pull sources for ``repro obs report``.
+        self.obs = resolve_obs(obs)
         self.kg = kg
+        if self.obs.enabled:
+            self.obs.bind_llm(self.llm)
+            self.obs.bind_kg(kg)
         self.max_facts_per_summary = max_facts_per_summary
         self.retry = retry or RetryPolicy(max_attempts=3,
                                           retry_on=(LLMTransientError,))
@@ -67,14 +75,16 @@ class GraphRAG:
     def build(self, levels: int = 1) -> List[Community]:
         """Detect communities (hierarchically for ``levels`` > 1) and
         generate their reports. Returns the top-level communities."""
-        graph = self._entity_graph()
-        if graph.number_of_nodes() == 0:
-            self.communities = []
+        with self.obs.span("graphrag:build", levels=levels):
+            graph = self._entity_graph()
+            if graph.number_of_nodes() == 0:
+                self.communities = []
+                return self.communities
+            self._next_id = 0
+            self.communities = self._partition(graph, level=0,
+                                               remaining_levels=levels)
+            self.obs.gauge("graphrag.communities", len(self.communities))
             return self.communities
-        self._next_id = 0
-        self.communities = self._partition(graph, level=0,
-                                           remaining_levels=levels)
-        return self.communities
 
     def _partition(self, graph: "nx.Graph", level: int,
                    remaining_levels: int) -> List[Community]:
@@ -156,33 +166,37 @@ class GraphRAG:
         self.last_degraded = False
         self.last_faulted_communities = 0
         communities = self.communities if granularity == "top" else self.leaves()
-        partials: List[str] = []
-        for community in communities:
-            if not community.summary:
-                continue
-            outcome = self.retry.run(
-                lambda: self.llm.complete(P.summarization_prompt(
-                    community.summary, focus=question)),
-                key=f"map:{community.community_id}")
+        with self.obs.span("graphrag:answer_global", granularity=granularity):
+            partials: List[str] = []
+            with self.obs.span("stage:map", communities=len(communities)):
+                for community in communities:
+                    if not community.summary:
+                        continue
+                    outcome = self.retry.run(
+                        lambda: self.llm.complete(P.summarization_prompt(
+                            community.summary, focus=question)),
+                        key=f"map:{community.community_id}")
+                    if outcome.error is not None:
+                        # Map-reduce degrades gracefully: a faulting
+                        # community drops out of the reduce instead of
+                        # failing the whole answer.
+                        self.last_faulted_communities += 1
+                        self.last_degraded = True
+                        continue
+                    if outcome.value.text:
+                        partials.append(outcome.value.text)
+            if not partials:
+                return "unknown"
+            # Reduce: merge the partial answers into one focused summary.
+            with self.obs.span("stage:reduce", partials=len(partials)):
+                outcome = self.retry.run(
+                    lambda: self.llm.complete(P.summarization_prompt(
+                        " ".join(partials), focus=question)),
+                    key="reduce")
             if outcome.error is not None:
-                # Map-reduce degrades gracefully: a faulting community drops
-                # out of the reduce instead of failing the whole answer.
-                self.last_faulted_communities += 1
                 self.last_degraded = True
-                continue
-            if outcome.value.text:
-                partials.append(outcome.value.text)
-        if not partials:
-            return "unknown"
-        # Reduce: merge the partial answers into one focused summary.
-        outcome = self.retry.run(
-            lambda: self.llm.complete(P.summarization_prompt(
-                " ".join(partials), focus=question)),
-            key="reduce")
-        if outcome.error is not None:
-            self.last_degraded = True
-            return " ".join(partials)
-        return outcome.value.text or " ".join(partials)
+                return " ".join(partials)
+            return outcome.value.text or " ".join(partials)
 
     def answer_global_batch(self, questions: Sequence[str],
                             granularity: str = "top",
@@ -204,7 +218,7 @@ class GraphRAG:
         """
         if not self.communities:
             self.build()
-        executor = executor or ParallelExecutor()
+        executor = executor or ParallelExecutor(obs=self.obs)
         self.last_degraded = False
         self.last_faulted_communities = 0
         communities = [c for c in
@@ -221,12 +235,14 @@ class GraphRAG:
                              communities: List[Community],
                              executor: ParallelExecutor) -> List[str]:
         # Map step: one flat batch of (question × community) prompts.
-        map_prompts = executor.map(
-            [(q, c) for q in questions for c in communities],
-            lambda pair: P.summarization_prompt(pair[1].summary,
-                                                focus=pair[0]))
-        map_outcomes = resilient_complete_all(self.llm, map_prompts,
-                                              retry=self.retry)
+        with self.obs.span("stage:map", questions=len(questions),
+                           communities=len(communities)):
+            map_prompts = executor.map(
+                [(q, c) for q in questions for c in communities],
+                lambda pair: P.summarization_prompt(pair[1].summary,
+                                                    focus=pair[0]))
+            map_outcomes = resilient_complete_all(self.llm, map_prompts,
+                                                  retry=self.retry)
         partials_per_question: List[List[str]] = []
         for i in range(len(questions)):
             partials: List[str] = []
@@ -247,8 +263,9 @@ class GraphRAG:
         reduce_prompts = [P.summarization_prompt(
             " ".join(partials_per_question[i]), focus=questions[i])
             for i in reduce_rows]
-        reduce_outcomes = resilient_complete_all(self.llm, reduce_prompts,
-                                                 retry=self.retry)
+        with self.obs.span("stage:reduce", questions=len(reduce_rows)):
+            reduce_outcomes = resilient_complete_all(self.llm, reduce_prompts,
+                                                     retry=self.retry)
         answers = ["unknown"] * len(questions)
         for i, outcome in zip(reduce_rows, reduce_outcomes):
             merged = " ".join(partials_per_question[i])

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.executor import ParallelExecutor, chunked
+from repro.core.observability import resolve_obs
 from repro.core.pipeline import (Pipeline, PipelineContext, PipelineReport,
                                  StageReport)
 from repro.core.resilience import RetryPolicy
@@ -79,11 +80,16 @@ class NaiveRAG:
 
     def __init__(self, llm: SimulatedLLM, encoder: Optional[TextEncoder] = None,
                  chunker: Optional[DocumentChunker] = None, top_k: int = 4,
-                 retry: Optional[RetryPolicy] = None, cache=False):
+                 retry: Optional[RetryPolicy] = None, cache=False, obs=None):
         # ``cache`` enables a memoizing CachingLLM in front of the model
         # (True for the default size, an int for an explicit size); repeated
         # questions then skip the generation call entirely.
         self.llm = maybe_cached(llm, cache)
+        # ``obs`` attaches an observability recorder (no-op by default):
+        # the pipeline's spans and stage timings land on its clock, and the
+        # LLM stack / embedder cache / vector index are bound as metric
+        # sources.
+        self.obs = resolve_obs(obs)
         self.encoder = encoder or TextEncoder(dim=96)
         self.chunker = chunker or DocumentChunker()
         self.top_k = top_k
@@ -91,8 +97,12 @@ class NaiveRAG:
                                           retry_on=(LLMTransientError,))
         self.index = VectorIndex(dim=self.encoder.dim)
         self.chunks: Dict[str, Chunk] = {}
+        if self.obs.enabled:
+            self.obs.bind_llm(self.llm)
+            self.obs.bind_cache("encoder.cache", self.encoder.embedder)
+            self.obs.bind_index("rag.index", self.index)
         self.pipeline = (
-            Pipeline("naive-rag")
+            Pipeline("naive-rag", obs=self.obs)
             .add("retrieval", self._retrieve,
                  on_error="fallback", fallback=self._retrieve_nothing)
             .add("generation", self._generate, retry=self.retry,
@@ -152,7 +162,7 @@ class NaiveRAG:
         so outputs and fault schedules are independent of the executor's
         worker count.
         """
-        executor = executor or ParallelExecutor()
+        executor = executor or ParallelExecutor(obs=self.obs)
         results: List[Tuple[str, PipelineReport]] = []
         for chunk in chunked(list(questions), batch_size):
             results.extend(self._answer_chunk(chunk, executor))
@@ -266,9 +276,9 @@ class AdvancedRAG(NaiveRAG):
     def __init__(self, llm: SimulatedLLM, encoder: Optional[TextEncoder] = None,
                  chunker: Optional[DocumentChunker] = None, top_k: int = 4,
                  retrieve_factor: int = 3, retry: Optional[RetryPolicy] = None,
-                 cache=False):
+                 cache=False, obs=None):
         super().__init__(llm, encoder=encoder, chunker=chunker, top_k=top_k,
-                         retry=retry, cache=cache)
+                         retry=retry, cache=cache, obs=obs)
         self.retrieve_factor = retrieve_factor
         self.pipeline.name = "advanced-rag"
 
@@ -311,10 +321,12 @@ class ModularRAG(AdvancedRAG):
     def __init__(self, llm: SimulatedLLM, encoder: Optional[TextEncoder] = None,
                  chunker: Optional[DocumentChunker] = None, top_k: int = 4,
                  kg: Optional[KnowledgeGraph] = None, kg_facts: int = 6,
-                 retry: Optional[RetryPolicy] = None, cache=False):
+                 retry: Optional[RetryPolicy] = None, cache=False, obs=None):
         super().__init__(llm, encoder=encoder, chunker=chunker, top_k=top_k,
-                         retry=retry, cache=cache)
+                         retry=retry, cache=cache, obs=obs)
         self.kg = kg
+        if kg is not None and self.obs.enabled:
+            self.obs.bind_kg(kg)
         self.kg_facts = kg_facts
         self.pipeline.name = "modular-rag"
         self.extra_retrievers: List[Callable[[str], List[str]]] = []

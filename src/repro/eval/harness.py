@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.executor import ParallelExecutor
+from repro.core.observability import resolve_obs
 
 Cell = Union[str, int, float, bool]
 
@@ -93,18 +94,22 @@ class EvalJob:
 
 def run_experiments(title: str, columns: Sequence[str],
                     jobs: Sequence[EvalJob],
-                    executor: Optional[ParallelExecutor] = None
-                    ) -> ResultTable:
+                    executor: Optional[ParallelExecutor] = None,
+                    obs=None) -> ResultTable:
     """Run independent eval jobs (systems × datasets) into one table.
 
     Jobs fan out across the executor; rows land in *job order* whatever
     the scheduling was, so the rendered table is identical at any worker
     count. A failing job fails the harness with that job's error (the
-    same error a sequential loop would have hit first).
+    same error a sequential loop would have hit first). ``obs`` attaches
+    an observability recorder: the harness run opens one span and each
+    job's fan-out records executor timing under it.
     """
-    executor = executor or ParallelExecutor()
+    obs = resolve_obs(obs)
+    executor = executor or ParallelExecutor(obs=obs)
     table = ResultTable(title, columns)
-    metrics_per_job = executor.map(list(jobs), lambda job: job.run())
+    with obs.span("harness:run_experiments", title=title, jobs=len(jobs)):
+        metrics_per_job = executor.map(list(jobs), lambda job: job.run())
     for job, metrics in zip(jobs, metrics_per_job):
         table.add(job.system, **metrics)
     return table

@@ -8,9 +8,11 @@ label/alias/description machinery LLM-facing code needs for verbalization.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.core.observability import cache_stats_dict
 from repro.kg.store import TripleStore
 from repro.kg.triples import IRI, Literal, RDF, RDFS, Term, Triple, term_from_python
 
@@ -38,6 +40,13 @@ class KnowledgeGraph:
         # clear — including ones made directly on ``self.store`` — bumps the
         # version and lazily flushes everything here, so cached reads can
         # never be stale. See DESIGN.md "Performance".
+        #
+        # A single lock guards every cache dict and counter; the expensive
+        # store scans run *outside* it (the HashEmbedder pattern), with the
+        # lookup's disposition settled by a recheck under the second
+        # acquisition — ParallelExecutor workers share one graph without
+        # corrupting the caches or losing counter increments.
+        self._cache_lock = threading.Lock()
         self._cache_version = -1
         self._label_cache: Dict[Term, str] = {}
         self._description_cache: Dict[IRI, Optional[str]] = {}
@@ -46,30 +55,46 @@ class KnowledgeGraph:
         self._local_name_index: Optional[Dict[str, List[IRI]]] = None
         self._cache_hits = 0
         self._cache_misses = 0
+        self._cache_evictions = 0
         self._cache_invalidations = 0
 
-    def _sync_caches(self) -> None:
+    def _sync_caches_locked(self) -> int:
+        """Flush stale caches; returns the synced version. Caller holds
+        ``_cache_lock``."""
         version = self.store.version
         if version != self._cache_version:
             if self._cache_version >= 0:
                 self._cache_invalidations += 1
+                self._cache_evictions += (len(self._label_cache)
+                                          + len(self._description_cache)
+                                          + len(self._types_cache))
             self._cache_version = version
             self._label_cache.clear()
             self._description_cache.clear()
             self._types_cache.clear()
             self._label_index = None
             self._local_name_index = None
+        return version
 
     def cache_stats(self) -> Dict[str, int]:
-        """Hit/miss/invalidation counters for the label/read-path caches."""
-        return {
-            "hits": self._cache_hits,
-            "misses": self._cache_misses,
-            "invalidations": self._cache_invalidations,
-            "labels_cached": len(self._label_cache),
-            "descriptions_cached": len(self._description_cache),
-            "types_cached": len(self._types_cache),
-        }
+        """Read-path cache counters in the canonical cache-stats schema.
+
+        The pre-schema keys (``labels_cached``/``descriptions_cached``/
+        ``types_cached``) stay readable through the deprecation shim of
+        :class:`~repro.core.observability.LegacyCacheStats`.
+        """
+        with self._cache_lock:
+            labels = len(self._label_cache)
+            descriptions = len(self._description_cache)
+            types = len(self._types_cache)
+            return cache_stats_dict(
+                hits=self._cache_hits, misses=self._cache_misses,
+                evictions=self._cache_evictions,
+                invalidations=self._cache_invalidations,
+                size=labels + descriptions + types,
+                legacy={"labels_cached": labels,
+                        "descriptions_cached": descriptions,
+                        "types_cached": types})
 
     # ------------------------------------------------------------------
     # Construction sugar
@@ -107,46 +132,70 @@ class KnowledgeGraph:
         """
         if isinstance(term, Literal):
             return term.lexical
-        self._sync_caches()
-        cached = self._label_cache.get(term)
-        if cached is not None:
-            self._cache_hits += 1
-            return cached
-        self._cache_misses += 1
+        with self._cache_lock:
+            version = self._sync_caches_locked()
+            cached = self._label_cache.get(term)
+            if cached is not None:
+                self._cache_hits += 1
+                return cached
+        # Store scan outside the lock; the miss is only counted under the
+        # second acquisition (a racing thread may have filled the entry,
+        # in which case this lookup is served from cache and counts a hit).
         result = term.local_name.replace("_", " ")
         for t in self.store.match(term, LABEL, None):
             if isinstance(t.object, Literal):
                 result = t.object.lexical
                 break
-        self._label_cache[term] = result
+        with self._cache_lock:
+            cached = self._label_cache.get(term)
+            if cached is not None and self._cache_version == version:
+                self._cache_hits += 1
+                return cached
+            self._cache_misses += 1
+            if self._cache_version == version:
+                self._label_cache[term] = result
         return result
 
     def description(self, entity: IRI) -> Optional[str]:
         """The attached description of an entity, if any."""
-        self._sync_caches()
-        if entity in self._description_cache:
-            self._cache_hits += 1
-            return self._description_cache[entity]
-        self._cache_misses += 1
+        with self._cache_lock:
+            version = self._sync_caches_locked()
+            if entity in self._description_cache:
+                self._cache_hits += 1
+                return self._description_cache[entity]
         result: Optional[str] = None
         for t in self.store.match(entity, COMMENT, None):
             if isinstance(t.object, Literal):
                 result = t.object.lexical
                 break
-        self._description_cache[entity] = result
+        with self._cache_lock:
+            if entity in self._description_cache and \
+                    self._cache_version == version:
+                self._cache_hits += 1
+                return self._description_cache[entity]
+            self._cache_misses += 1
+            if self._cache_version == version:
+                self._description_cache[entity] = result
         return result
 
     def types(self, entity: IRI) -> List[IRI]:
         """The declared classes of an entity."""
-        self._sync_caches()
-        cached = self._types_cache.get(entity)
-        if cached is not None:
-            self._cache_hits += 1
-            return list(cached)
-        self._cache_misses += 1
+        with self._cache_lock:
+            version = self._sync_caches_locked()
+            cached = self._types_cache.get(entity)
+            if cached is not None:
+                self._cache_hits += 1
+                return list(cached)
         result = [t.object for t in self.store.match(entity, TYPE, None)
                   if isinstance(t.object, IRI)]
-        self._types_cache[entity] = result
+        with self._cache_lock:
+            cached = self._types_cache.get(entity)
+            if cached is not None and self._cache_version == version:
+                self._cache_hits += 1
+                return list(cached)
+            self._cache_misses += 1
+            if self._cache_version == version:
+                self._types_cache[entity] = result
         return list(result)
 
     def instances(self, cls: IRI) -> List[IRI]:
@@ -160,27 +209,50 @@ class KnowledgeGraph:
         version, so repeated lookups are dict probes instead of full LABEL
         scans.
         """
-        self._sync_caches()
-        if self._label_index is None:
-            self._cache_misses += 1
-            self._label_index = {}
+        with self._cache_lock:
+            version = self._sync_caches_locked()
+            label_index = self._label_index
+            if label_index is not None:
+                self._cache_hits += 1
+        if label_index is None:
+            # Index build runs outside the lock (it scans every LABEL
+            # triple); a racing builder's finished index wins on recheck.
+            built: Dict[str, List[IRI]] = {}
             for t in self.store.match(None, LABEL, None):
                 if isinstance(t.object, Literal):
-                    self._label_index.setdefault(
+                    built.setdefault(
                         t.object.lexical.lower(), []).append(t.subject)
-        else:
-            self._cache_hits += 1
+            with self._cache_lock:
+                if self._label_index is not None and \
+                        self._cache_version == version:
+                    self._cache_hits += 1
+                    label_index = self._label_index
+                else:
+                    self._cache_misses += 1
+                    if self._cache_version == version:
+                        self._label_index = built
+                    label_index = built
         wanted = label.strip().lower()
-        out = list(self._label_index.get(wanted, ()))
+        out = list(label_index.get(wanted, ()))
         if not out:
             # Fall back to local-name matching so generated IRIs resolve too.
-            if self._local_name_index is None:
-                self._local_name_index = {}
+            with self._cache_lock:
+                local_index = self._local_name_index \
+                    if self._cache_version == version else None
+            if local_index is None:
+                built_local: Dict[str, List[IRI]] = {}
                 for entity in self.store.entities():
-                    self._local_name_index.setdefault(
+                    built_local.setdefault(
                         entity.local_name.lower(), []).append(entity)
+                with self._cache_lock:
+                    if self._cache_version == version:
+                        if self._local_name_index is None:
+                            self._local_name_index = built_local
+                        local_index = self._local_name_index
+                    else:
+                        local_index = built_local
             token = wanted.replace(" ", "_")
-            out = list(self._local_name_index.get(token, ()))
+            out = list(local_index.get(token, ()))
         return out
 
     # ------------------------------------------------------------------

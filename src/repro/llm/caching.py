@@ -50,6 +50,7 @@ from collections import OrderedDict
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.observability import NULL_OBS, cache_stats_dict
 from repro.llm.model import ChatMessage, LLMResponse, complete_all
 from repro.llm import prompts as P
 
@@ -78,6 +79,9 @@ class CachingLLM:
             raise ValueError("max_size must be positive")
         self.inner = inner
         self.max_size = max_size
+        # The attached observability recorder (a no-op by default;
+        # ``Observability.bind_llm`` swaps in a live one).
+        self.obs = NULL_OBS
         self._cache: "OrderedDict[_CacheKey, LLMResponse]" = OrderedDict()
         # Reentrant: complete_batch's replay may fall back to self.complete
         # while already holding the lock.
@@ -126,6 +130,7 @@ class CachingLLM:
         prompts = list(prompts)
         if not prompts:
             return []
+        self.obs.observe("llm.cache_batch_size", len(prompts))
         with self._lock:
             dispositions, pending = self._plan(prompts, max_tokens)
             if pending:
@@ -256,17 +261,13 @@ class CachingLLM:
             self._cache.clear()
 
     def cache_stats(self) -> Dict[str, float]:
-        """Hit/miss/eviction counters plus occupancy and hit rate."""
+        """Counters in the canonical cache-stats schema
+        (see :func:`repro.core.observability.cache_stats_dict`)."""
         with self._lock:
-            lookups = self._hits + self._misses
-            return {
-                "hits": self._hits,
-                "misses": self._misses,
-                "evictions": self._evictions,
-                "size": len(self._cache),
-                "max_size": self.max_size,
-                "hit_rate": self._hits / lookups if lookups else 0.0,
-            }
+            return cache_stats_dict(
+                hits=self._hits, misses=self._misses,
+                evictions=self._evictions, size=len(self._cache),
+                max_size=self.max_size)
 
 
 def maybe_cached(llm, cache) -> object:

@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.observability import cache_stats_dict
 from repro.llm.tokenizer import word_tokens
 from repro.vector.index import cosine_topk, safe_norms
 
@@ -89,18 +90,25 @@ class HashEmbedder:
                 self._hits += 1
                 self._cache.move_to_end(token)
                 return vector
-            self._misses += 1
         # Hashing is the expensive, pure part — compute it unlocked so
-        # concurrent encoders only serialize on the dict operations.
+        # concurrent encoders only serialize on the dict operations. The
+        # lookup's disposition is settled only under the *second* lock:
+        # when a concurrent miss on the same token raced us to the insert,
+        # this lookup is counted as a hit (it is served from the cache),
+        # so hits + misses always equals lookups and misses equals inserts
+        # — the first acquisition must not count the miss early.
         vector = _hash_vector(token, self.dim, self.salt)
         with self._lock:
-            if token not in self._cache:
-                if len(self._cache) >= self._cache_size:
-                    self._cache.popitem(last=False)
-                    self._evictions += 1
-                self._cache[token] = vector
-            else:
-                vector = self._cache[token]
+            cached = self._cache.get(token)
+            if cached is not None:
+                self._hits += 1
+                self._cache.move_to_end(token)
+                return cached
+            self._misses += 1
+            if len(self._cache) >= self._cache_size:
+                self._cache.popitem(last=False)
+                self._evictions += 1
+            self._cache[token] = vector
         return vector
 
     def embed_tokens(self, tokens: Iterable[str]) -> np.ndarray:
@@ -119,17 +127,13 @@ class HashEmbedder:
         return table[ids]
 
     def cache_stats(self) -> Dict[str, float]:
-        """Hit/miss/eviction counters plus occupancy and hit rate."""
+        """Counters in the canonical cache-stats schema
+        (see :func:`repro.core.observability.cache_stats_dict`)."""
         with self._lock:
-            lookups = self._hits + self._misses
-            return {
-                "hits": self._hits,
-                "misses": self._misses,
-                "evictions": self._evictions,
-                "size": len(self._cache),
-                "max_size": self._cache_size,
-                "hit_rate": self._hits / lookups if lookups else 0.0,
-            }
+            return cache_stats_dict(
+                hits=self._hits, misses=self._misses,
+                evictions=self._evictions, size=len(self._cache),
+                max_size=self._cache_size)
 
 
 class TextEncoder:

@@ -31,6 +31,7 @@ import re
 from dataclasses import dataclass
 from typing import List, NoReturn, Optional, Sequence, Tuple
 
+from repro.core.observability import NULL_OBS
 from repro.llm.model import (
     ChatMessage,
     LLMResponse,
@@ -218,6 +219,9 @@ class FaultInjectingLLM:
         self.fault_calls = 0
         self.faults_injected = 0
         self.fault_log: List[Tuple[int, str]] = []
+        # Observability recorder (no-op by default; swapped in by
+        # ``Observability.bind_llm``).
+        self.obs = NULL_OBS
 
     def __getattr__(self, name: str):
         return getattr(self.inner, name)
@@ -236,6 +240,7 @@ class FaultInjectingLLM:
             return self.inner.complete(prompt, max_tokens=max_tokens)
         self.faults_injected += 1
         self.fault_log.append((index, kind))
+        self.obs.count("llm.faults", kind=kind)
         self._raise_fault(kind, index, prompt, max_tokens)
 
     def complete_batch(self, prompts: Sequence[str],
@@ -276,6 +281,7 @@ class FaultInjectingLLM:
             flush()
             self.faults_injected += 1
             self.fault_log.append((index, kind))
+            self.obs.count("llm.faults", kind=kind)
             try:
                 self._raise_fault(kind, index, prompt, max_tokens)
             except LLMTransientError as error:

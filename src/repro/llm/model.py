@@ -31,6 +31,7 @@ import re
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.core.observability import NULL_OBS
 from repro.kg.graph import KnowledgeGraph, _humanize_relation
 from repro.kg.store import TripleStore
 from repro.kg.triples import IRI, Literal, OWL, RDF, RDFS, Term, Triple
@@ -131,6 +132,9 @@ class SimulatedLLM:
         # Prompts in a complete_batch call that were answered by reusing the
         # completion of an identical earlier prompt in the same batch.
         self.batch_dedup_hits = 0
+        # Observability recorder (no-op by default; swapped in by
+        # ``Observability.bind_llm``).
+        self.obs = NULL_OBS
 
     # ------------------------------------------------------------------
     # Knowledge absorption ("pre-training")
@@ -302,6 +306,7 @@ class SimulatedLLM:
         prompts = list(prompts)
         if not prompts:
             return []
+        self.obs.observe("llm.batch_size", len(prompts))
         first_row: Dict[str, int] = {}
         row_of = [first_row.setdefault(p, len(first_row)) for p in prompts]
         distinct = list(first_row)

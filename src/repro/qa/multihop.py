@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.executor import ParallelExecutor, chunked
+from repro.core.observability import resolve_obs
 from repro.kg.datasets import Dataset
 from repro.kg.graph import KnowledgeGraph, _humanize_relation
 from repro.kg.triples import IRI, OWL, RDF, RDFS
@@ -129,12 +130,24 @@ def generate_multihop_questions(dataset: Dataset, n: int = 30, hops: int = 2,
 # Systems
 # ---------------------------------------------------------------------------
 
+def _bind_qa(system, obs):
+    """Resolve a QA system's ``obs`` knob; bind its LLM stack and KG as
+    metric sources when the recorder is live."""
+    resolved = resolve_obs(obs)
+    if resolved.enabled:
+        resolved.bind_llm(system.llm)
+        resolved.bind_kg(system.kg)
+    return resolved
+
+
 class LLMOnlyQA:
     """The question goes straight to the backbone — no KG coupling."""
 
-    def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph, cache=False):
+    def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph, cache=False,
+                 obs=None):
         self.llm = maybe_cached(llm, cache)
         self.kg = kg
+        self.obs = _bind_qa(self, obs)
 
     def answer(self, question: str) -> Set[IRI]:
         """One closed-book LLM call, answers resolved to entities."""
@@ -147,7 +160,7 @@ class LLMOnlyQA:
                      ) -> List[Set[IRI]]:
         """Result-identical batched :meth:`answer` (one completion batch
         per chunk; entity resolution fans out across the executor)."""
-        executor = executor or ParallelExecutor()
+        executor = executor or ParallelExecutor(obs=self.obs)
         answers: List[Set[IRI]] = []
         for chunk in chunked(list(questions), batch_size):
             prompts = executor.map(chunk, P.qa_prompt)
@@ -163,16 +176,18 @@ class KapingQA:
 
     def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph,
                  top_k: int = 12, encoder: Optional[TextEncoder] = None,
-                 cache=False):
+                 cache=False, obs=None):
         self.llm = maybe_cached(llm, cache)
         self.kg = kg
         self.top_k = top_k
         self.encoder = encoder or TextEncoder(dim=96)
         self._index: Optional[VectorIndex] = None
         self._facts: List[str] = []
+        self.obs = _bind_qa(self, obs)
 
     def _build_index(self) -> None:
         self._index = VectorIndex(dim=self.encoder.dim)
+        self.obs.bind_index("kaping.index", self._index)
         for triple in self.kg.store:
             if triple.predicate in (RDFS.label, RDFS.comment, RDF.type):
                 continue
@@ -205,7 +220,7 @@ class KapingQA:
         once (fanned out — retrieval is pure), all reads go through one
         batched completion, and resolution fans out again. Identical
         output to ``[answer(q) for q in questions]``."""
-        executor = executor or ParallelExecutor()
+        executor = executor or ParallelExecutor(obs=self.obs)
         if self._index is None:
             self._build_index()
         answers: List[Set[IRI]] = []
@@ -226,10 +241,11 @@ class RetrieveAndReadQA:
     """Sen et al.: relation-grounded KGQA retrieval + an LLM reader."""
 
     def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph,
-                 facts_budget: int = 40, cache=False):
+                 facts_budget: int = 40, cache=False, obs=None):
         self.llm = maybe_cached(llm, cache)
         self.kg = kg
         self.facts_budget = facts_budget
+        self.obs = _bind_qa(self, obs)
 
     def retrieve(self, question: str,
                  executor: Optional[ParallelExecutor] = None) -> List[str]:
@@ -240,7 +256,7 @@ class RetrieveAndReadQA:
         budget is then applied in node order over the collected results,
         so the returned facts are identical to the sequential walk.
         """
-        executor = executor or ParallelExecutor()
+        executor = executor or ParallelExecutor(obs=self.obs)
         mentions = self.llm.find_mentions(question)
         relations = {hit[1] for hit in self.llm.find_relations(question)}
         seeds = [m.iri for m in mentions if m.iri is not None]
@@ -284,7 +300,7 @@ class RetrieveAndReadQA:
         """Batched retrieve-and-read: retrieval fans out per question,
         all reads share one batched completion per chunk. Identical
         output to ``[answer(q) for q in questions]``."""
-        executor = executor or ParallelExecutor()
+        executor = executor or ParallelExecutor(obs=self.obs)
         answers: List[Set[IRI]] = []
         for chunk in chunked(list(questions), batch_size):
             fact_lists = executor.map(chunk, self.retrieve)
@@ -308,11 +324,12 @@ class ReLMKGQA:
     """
 
     def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph,
-                 max_hops: int = 3, beam: int = 200, cache=False):
+                 max_hops: int = 3, beam: int = 200, cache=False, obs=None):
         self.llm = maybe_cached(llm, cache)
         self.kg = kg
         self.max_hops = max_hops
         self.beam = beam
+        self.obs = _bind_qa(self, obs)
 
     def _analyze(self, question: str
                  ) -> Tuple[Optional[str], str, Set[IRI]]:
@@ -382,7 +399,7 @@ class ReLMKGQA:
         resolutions and path-confirming reads alike) goes through one
         batched call. Identical output to ``[answer(q) for q in
         questions]``."""
-        executor = executor or ParallelExecutor()
+        executor = executor or ParallelExecutor(obs=self.obs)
         answers: List[Set[IRI]] = []
         for chunk in chunked(list(questions), batch_size):
             analyses = executor.map(chunk, self._analyze)

@@ -98,6 +98,10 @@ class VectorIndex:
         self._keys: List[Hashable] = []
         self._payloads: List[object] = []
         self._packed = _PackedRows(dim)
+        # Plain-int usage counters: cheap enough for the hot path, pulled
+        # into the metrics registry via ``Observability.bind_index``.
+        self.adds = 0
+        self.searches = 0
 
     def add(self, key: Hashable, vector: np.ndarray, payload: object = None) -> None:
         """Insert a vector under ``key`` (keys need not be unique)."""
@@ -107,12 +111,19 @@ class VectorIndex:
         self._keys.append(key)
         self._payloads.append(payload)
         self._packed.append(vector)
+        self.adds += 1
 
     def __len__(self) -> int:
         return len(self._keys)
 
+    def stats(self) -> Dict[str, int]:
+        """Usage counters (adds, searches, current size)."""
+        return {"adds": self.adds, "searches": self.searches,
+                "size": len(self._keys)}
+
     def search(self, query: np.ndarray, k: int = 5) -> List[SearchHit]:
         """The ``k`` entries most cosine-similar to ``query``."""
+        self.searches += 1
         if not self._keys or k <= 0:
             return []
         query = np.asarray(query, dtype=np.float64)
@@ -145,6 +156,9 @@ class ClusteredVectorIndex:
         self._cells: List[np.ndarray] = []          # member row ids per cell
         self._cell_matrices: List[np.ndarray] = []  # packed members per cell
         self._cell_norms: List[np.ndarray] = []
+        self.adds = 0
+        self.searches = 0
+        self.builds = 0
 
     def add(self, key: Hashable, vector: np.ndarray, payload: object = None) -> None:
         """Insert a vector (index must be (re)built before searching)."""
@@ -155,9 +169,15 @@ class ClusteredVectorIndex:
         self._payloads.append(payload)
         self._packed.append(vector)
         self._centroids = None
+        self.adds += 1
 
     def __len__(self) -> int:
         return len(self._keys)
+
+    def stats(self) -> Dict[str, int]:
+        """Usage counters (adds, searches, k-means builds, current size)."""
+        return {"adds": self.adds, "searches": self.searches,
+                "builds": self.builds, "size": len(self._keys)}
 
     @staticmethod
     def _squared_distances(matrix: np.ndarray, x_sq: np.ndarray,
@@ -173,6 +193,7 @@ class ClusteredVectorIndex:
 
     def build(self, iterations: int = 8) -> None:
         """Run seeded k-means and pack vectors into per-cell matrices."""
+        self.builds += 1
         n = self._packed.size
         if n == 0:
             self._centroids = np.zeros((0, self.dim))
@@ -216,6 +237,7 @@ class ClusteredVectorIndex:
 
     def search(self, query: np.ndarray, k: int = 5) -> List[SearchHit]:
         """Approximate top-k: scan the ``nprobe`` cells nearest the query."""
+        self.searches += 1
         if self._centroids is None:
             self.build()
         assert self._centroids is not None

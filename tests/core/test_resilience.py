@@ -287,3 +287,74 @@ class TestPipelinePolicies:
                                      fallback=bad_backup)
         with pytest.raises(RuntimeError, match="backup also down"):
             pipeline.execute()
+
+
+class TestSharedBreakerTripAttribution:
+    """Regression: ``Pipeline.execute`` used to diff the shared breaker's
+    ``trips`` total around its own run, so a trip another pipeline caused
+    in between (e.g. a nested run sharing the breaker) was misattributed
+    to the outer run's report. Trips are now attributed incrementally via
+    ``record_failure()``'s return value."""
+
+    def test_record_failure_reports_the_tripping_call(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is True  # this failure trips
+        assert breaker.trips == 1
+
+    def test_half_open_probe_failure_reports_a_trip(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=0)
+        assert breaker.record_failure() is True
+        assert breaker.allow()  # half-open probe
+        assert breaker.record_failure() is True  # probe failure re-trips
+        assert breaker.trips == 2
+
+    def test_nested_pipelines_attribute_trip_to_the_failing_run(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=0)
+
+        def boom(_context):
+            raise LLMTimeoutError("injected")
+
+        inner = Pipeline("inner").add("boom", boom, on_error="skip",
+                                      breaker=breaker)
+
+        def delegate(context):
+            context["inner_report"] = inner.execute().report
+
+        outer = Pipeline("outer").add("delegate", delegate, breaker=breaker)
+        context = outer.execute()
+        # The failing (inner) run owns the trip; the outer run — which
+        # succeeded, but under the old diff-based accounting would have
+        # absorbed the shared breaker's increment — reports none.
+        assert context["inner_report"].trips == 1
+        assert context.report.trips == 0
+        assert breaker.trips == 1
+
+    def test_concurrent_sharers_account_every_trip_exactly_once(self):
+        import threading
+
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=0)
+        reports = []
+        reports_lock = threading.Lock()
+
+        def run_one(name):
+            def boom(_context):
+                raise LLMTimeoutError(name)
+
+            pipeline = Pipeline(name).add("boom", boom, on_error="skip",
+                                          breaker=breaker)
+            report = pipeline.execute().report
+            with reports_lock:
+                reports.append(report)
+
+        threads = [threading.Thread(target=run_one, args=(f"p{i}",))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Some runs are rejected outright (circuit already open) — those
+        # count no trip. Every *tripping* failure is counted exactly once,
+        # so run-level totals reconcile with the breaker's own counter.
+        assert sum(r.trips for r in reports) == breaker.trips

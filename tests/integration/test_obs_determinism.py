@@ -1,0 +1,125 @@
+"""Determinism suite for the observability layer.
+
+Two contracts:
+
+* **No-op transparency** — running any consumer with ``obs=None`` (the
+  default) produces byte-identical answers, usage counters and cache
+  evolution to a recorder-attached run: observation must never perturb
+  the observed computation.
+* **Stable traces** — with a :class:`FakeClock`, the *shape* of a traced
+  run's span tree (names, nesting, attributes) is identical across
+  worker counts and across repeated runs; only which worker executed
+  which item may vary.
+"""
+
+import os
+
+from repro.core.executor import ParallelExecutor
+from repro.core.observability import FakeClock, Observability
+from repro.enhanced import GraphRAG, NaiveRAG
+from repro.kg.datasets import movie_kg
+from repro.llm import load_model
+
+# CI overrides via env to exercise a real thread pool (mirrors the chaos
+# suite's knob).
+CHAOS_WORKERS = int(os.environ.get("REPRO_CHAOS_WORKERS", "4"))
+
+QUESTIONS = [
+    "Who directed The Silent Horizon?",
+    "What genre is The Silent Horizon?",
+    "Who directed The Silent Horizon?",  # repeat: exercises caches
+]
+
+
+def _graphrag(obs, workers=None, seed=0):
+    ds = movie_kg(seed=seed)
+    llm = load_model("chatgpt", world=ds.kg, seed=seed)
+    rag = GraphRAG(llm, ds.kg, cache=True, obs=obs)
+    executor = (ParallelExecutor(max_workers=workers, obs=rag.obs)
+                if workers else None)
+    answers = rag.answer_global_batch(QUESTIONS, executor=executor)
+    return rag, answers
+
+
+def _span_shape(tree):
+    """A span tree reduced to its scheduling-independent shape: names,
+    nesting and attributes, with per-item worker-dependent details and all
+    timings dropped."""
+    shape = []
+    for node in tree:
+        attributes = {k: v for k, v in node["attributes"].items()
+                      if k not in ("worker", "workers")}
+        shape.append({"name": node["name"],
+                      "attributes": attributes,
+                      "children": _span_shape(node["children"])})
+    return shape
+
+
+class TestNoopTransparency:
+    def test_traced_run_answers_match_untraced(self):
+        _, untraced = _graphrag(obs=None)
+        _, traced = _graphrag(obs=Observability(FakeClock()))
+        assert traced == untraced
+
+    def test_traced_run_usage_matches_untraced(self):
+        untraced_rag, _ = _graphrag(obs=None)
+        traced_rag, _ = _graphrag(obs=Observability(FakeClock()))
+        assert traced_rag.llm.inner.usage == untraced_rag.llm.inner.usage
+        assert dict(traced_rag.llm.cache_stats()) == \
+            dict(untraced_rag.llm.cache_stats())
+
+    def test_naive_rag_unaffected_by_recorder(self):
+        def run(obs):
+            ds = movie_kg(seed=0)
+            llm = load_model("chatgpt", world=ds.kg, seed=0)
+            rag = NaiveRAG(llm, obs=obs)
+            rag.index_documents([
+                ("d0", "The Silent Horizon is a drama film. "
+                       "It was directed by Liam Berger."),
+                ("d1", "Liam Berger directs drama films."),
+            ])
+            return [rag.answer(q) for q in QUESTIONS]
+
+        assert run(Observability(FakeClock())) == run(None)
+
+
+class TestStableTraces:
+    def test_span_tree_shape_stable_across_worker_counts(self):
+        def shape(workers):
+            rag, _ = _graphrag(obs=Observability(FakeClock()),
+                               workers=workers)
+            return _span_shape(rag.obs.tracer.tree())
+
+        assert shape(CHAOS_WORKERS) == shape(1)
+
+    def test_span_tree_identical_across_repeated_runs(self):
+        def tree(run_index):
+            del run_index  # runs are independent; the index is cosmetic
+            rag, _ = _graphrag(obs=Observability(FakeClock()),
+                               workers=CHAOS_WORKERS)
+            return _span_shape(rag.obs.tracer.tree())
+
+        assert tree(0) == tree(1)
+
+    def test_sequential_fake_clock_timings_are_exact(self):
+        # With one worker every clock reading happens in program order, so
+        # even the *timings* are reproducible, not just the shape.
+        def spans():
+            rag, _ = _graphrag(obs=Observability(FakeClock()))
+            return [(s.name, s.start, s.end)
+                    for s in rag.obs.tracer.spans()]
+
+        assert spans() == spans()
+
+    def test_metrics_stable_across_worker_counts(self):
+        def counters(workers):
+            rag, _ = _graphrag(obs=Observability(FakeClock()),
+                               workers=workers)
+            snapshot = rag.obs.metrics.snapshot()
+            # Per-worker utilization series are scheduling-dependent by
+            # design; everything else must match exactly.
+            return {(c["name"], repr(sorted(c["labels"].items()))): c["value"]
+                    for c in snapshot["counters"]
+                    if "worker" not in c["labels"]}, snapshot["sources"]
+
+        assert counters(CHAOS_WORKERS) == counters(1)

@@ -155,3 +155,70 @@ class TestForks:
         # zoe's only triple is gone, so she is no longer in the store at all.
         assert merged.find_by_label("Zoe") == []
         assert kg.find_by_label("Zoe") == []            # source untouched
+
+
+class TestThreadedCacheCounters:
+    """Regression: the KG read caches were lock-free; concurrent readers
+    corrupted the LRU dicts and lost counter increments. The caches now
+    settle each lookup's disposition under a lock (scans stay outside it),
+    so ``hits + misses`` always equals the number of lookups."""
+
+    def test_concurrent_reads_keep_counter_invariant(self):
+        import threading
+
+        kg = _graph()
+        terms = [EX.alice, EX.bob] * 3
+        rounds = 200
+        errors = []
+
+        def reader():
+            try:
+                for _ in range(rounds):
+                    for term in terms:
+                        kg.label(term)
+                        kg.types(term)
+                    kg.description(EX.alice)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = kg.cache_stats()
+        lookups = 4 * rounds * (2 * len(terms) + 1)
+        assert stats["hits"] + stats["misses"] == lookups
+        # Values stayed correct under the race.
+        assert kg.label(EX.alice) == "Alice"
+        assert kg.types(EX.alice) == [EX.Person]
+
+    def test_concurrent_reads_with_writer_never_go_stale(self):
+        import threading
+
+        kg = _graph()
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    label = kg.label(EX.alice)
+                    assert label.startswith("Alice")
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for i in range(50):
+            kg.set_label(EX.alice, f"Alice v{i}")
+            kg.store.remove(Triple(EX.alice, LABEL, Literal(f"Alice v{i}")))
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = kg.cache_stats()
+        assert stats["invalidations"] > 0
+        assert stats["hits"] + stats["misses"] > 0

@@ -250,3 +250,44 @@ class TestEmbedderConcurrency:
         for slot_results in results:
             for got, want in zip(slot_results, reference):
                 assert np.allclose(got, want)
+
+
+class TestConcurrentMissAccounting:
+    """Regression: two threads racing a miss on the same token must account
+    one miss (the insert) and one hit (the lookup served by the racer's
+    insert) — the pre-fix code counted the miss under the *first* lock
+    acquisition, so a concurrent miss double-counted and broke the
+    ``hits + misses == lookups`` / ``misses == inserts`` invariants."""
+
+    def test_racing_misses_count_one_miss_one_hit(self, monkeypatch):
+        import threading
+
+        import repro.llm.embedding as embedding_module
+
+        embedder = HashEmbedder(dim=8)
+        barrier = threading.Barrier(2)
+        real_hash = embedding_module._hash_vector
+
+        def rendezvous_hash(token, dim, salt):
+            # Both threads are past the first lock check (both saw a cold
+            # cache) before either reaches the insert.
+            barrier.wait(timeout=10)
+            return real_hash(token, dim, salt)
+
+        monkeypatch.setattr(embedding_module, "_hash_vector", rendezvous_hash)
+        results = [None, None]
+
+        def lookup(slot):
+            results[slot] = embedder.embed_token("shared-token")
+
+        threads = [threading.Thread(target=lookup, args=(s,)) for s in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert np.allclose(results[0], results[1])
+        stats = embedder.cache_stats()
+        assert stats["misses"] == 1  # one insert
+        assert stats["hits"] == 1    # the loser of the race is a cache hit
+        assert stats["hits"] + stats["misses"] == 2  # == lookups
+        assert stats["size"] == 1

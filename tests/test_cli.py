@@ -83,3 +83,35 @@ class TestCli:
         code = main(["ask", "covid", "xyzzy gibberish?"])
         assert code == 0
         assert "no answer" in capsys.readouterr().out
+
+
+class TestObsCommands:
+    def test_trace_then_report(self, tmp_path, capsys):
+        out = str(tmp_path / "obs.jsonl")
+        assert main(["obs", "trace", "movie", "--out", out,
+                     "--workers", "2"]) == 0
+        traced = capsys.readouterr().out
+        assert "records in" in traced
+
+        assert main(["obs", "report", out]) == 0
+        report = capsys.readouterr().out
+        # One JSONL export answers all five report sections.
+        assert "Per-stage latency" in report
+        assert "stage:map" in report and "stage:reduce" in report
+        assert "LLM calls and batches" in report and "llm.model" in report
+        assert "Cache hit rates" in report and "llm.cache" in report
+        assert "kg.cache" in report
+        assert "Fault injections" in report
+        assert "Executor utilization" in report
+
+    def test_trace_is_deterministic(self, tmp_path, capsys):
+        # One worker: every FakeClock reading happens in program order, so
+        # the export is byte-identical run to run (parallel runs guarantee
+        # only a stable span-tree *shape* — see the determinism suite).
+        a, b = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        for out in (a, b):
+            assert main(["obs", "trace", "family", "--out", out,
+                         "--workers", "1", "--fault-rate", "0"]) == 0
+        capsys.readouterr()
+        with open(a, encoding="utf-8") as fa, open(b, encoding="utf-8") as fb:
+            assert fa.read() == fb.read()
