@@ -13,6 +13,10 @@ Commands
 ``datasets``                     list available datasets
 ``obs trace <dataset>``          run a traced GraphRAG workload, export JSONL
 ``obs report <path>``            summarize a JSONL observability export
+``kg snapshot <dataset> <dir>``  persist a dataset KG into a durable store
+``kg recover <dir>``             recover a durable store, print the report
+``run <dataset> --journal <p>``  checkpointed GraphRAG QA run (resumable)
+``run --resume <journal>``       resume a killed run from its journal
 
 Datasets are the seeded generators of :mod:`repro.kg.datasets`
 (``encyclopedia``, ``family``, ``movie``, ``covid``, ``enterprise``);
@@ -195,7 +199,21 @@ def cmd_obs_report(args) -> int:
     from repro.core.observability import load_jsonl
     from repro.eval.harness import ResultTable
 
-    records = load_jsonl(args.path)
+    # A missing, empty, or truncated trace degrades to a clear message and
+    # a nonzero exit — never an unhandled traceback.
+    try:
+        records = load_jsonl(args.path)
+    except FileNotFoundError:
+        print(f"obs report: trace file not found: {args.path}",
+              file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"obs report: unreadable trace: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"obs report: trace file {args.path} contains no records "
+              "(empty or truncated export?)", file=sys.stderr)
+        return 2
     spans = [r for r in records if r.get("type") == "span"]
     counters = [r for r in records if r.get("type") == "counter"]
     histograms = [r for r in records if r.get("type") == "histogram"]
@@ -279,6 +297,112 @@ def cmd_obs_report(args) -> int:
     return 0
 
 
+def cmd_kg_snapshot(args) -> int:
+    from repro.kg.wal import DurableTripleStore
+
+    ds = _build_dataset(args.dataset, args.seed)
+    store = DurableTripleStore(args.directory)
+    added = store.add_all(t for t in ds.kg.store if t not in store)
+    count = store.snapshot()
+    store.close()
+    print(f"snapshot of {ds.name}: {count} triples ({added} new) "
+          f"at lsn {store.version} in {args.directory}")
+    return 0
+
+
+def cmd_kg_recover(args) -> int:
+    from repro.kg.wal import recover
+
+    try:
+        store = recover(args.directory)
+    except (OSError, ValueError) as exc:
+        print(f"kg recover: cannot recover {args.directory}: {exc}",
+              file=sys.stderr)
+        return 2
+    report = store.last_recovery
+    store.close()
+    print(f"recovered {report.triples} triples at lsn {report.version} "
+          f"(snapshot lsn {report.snapshot_lsn} with "
+          f"{report.snapshot_triples} triples, "
+          f"{report.records_replayed} WAL records replayed, "
+          f"{report.truncated_bytes} torn bytes truncated)")
+    return 0
+
+
+def _run_questions(count: int) -> List[str]:
+    """A deterministic global-question workload for ``repro run``."""
+    base = [
+        "What are the main topics of this dataset?",
+        "Which entities are most connected?",
+        "Summarize the relationships in this dataset.",
+        "What communities exist in this graph?",
+    ]
+    return [base[i % len(base)] if i < len(base)
+            else f"{base[i % len(base)]} (pass {i // len(base)})"
+            for i in range(count)]
+
+
+def cmd_run(args) -> int:
+    from repro.core.durability import CheckpointError, CheckpointManager, read_meta
+    from repro.core.executor import ParallelExecutor
+    from repro.enhanced.graph_rag import GraphRAG
+    from repro.llm import load_model
+    from repro.llm.faults import FaultInjectingLLM, FaultProfile
+
+    if args.resume:
+        try:
+            meta = read_meta(args.resume)
+        except (OSError, CheckpointError) as exc:
+            print(f"run: cannot resume {args.resume}: {exc}", file=sys.stderr)
+            return 2
+        config = dict(meta.get("config", {}))
+        if "dataset" not in config:
+            print(f"run: journal {args.resume} has no run config in its "
+                  "meta record", file=sys.stderr)
+            return 2
+        journal_path = args.resume
+    else:
+        if not args.dataset or not args.journal:
+            print("run: need <dataset> and --journal for a fresh run "
+                  "(or --resume <journal>)", file=sys.stderr)
+            return 2
+        config = {"dataset": args.dataset, "seed": args.seed,
+                  "model": args.model, "fault_rate": args.fault_rate,
+                  "workers": args.workers, "questions": args.questions,
+                  "batch_size": args.batch_size}
+        journal_path = args.journal
+
+    ds = _build_dataset(config["dataset"], config["seed"])
+    llm = load_model(config["model"], world=ds.kg, seed=config["seed"])
+    if config["fault_rate"]:
+        llm = FaultInjectingLLM(
+            llm, FaultProfile.uniform(config["fault_rate"],
+                                      seed=config["seed"]))
+    rag = GraphRAG(llm, ds.kg)
+    executor = ParallelExecutor(max_workers=config["workers"])
+    checkpoint = CheckpointManager(journal_path)
+    try:
+        # The journal's job key is the pipeline's own, so the batch path's
+        # ensure_meta finds a matching record carrying the run config.
+        checkpoint.ensure_meta("graphrag:answer_global_batch", config)
+    except CheckpointError as exc:
+        print(f"run: {exc}", file=sys.stderr)
+        return 2
+    questions = _run_questions(config["questions"])
+    answers = rag.answer_global_batch(
+        questions, batch_size=config["batch_size"], executor=executor,
+        checkpoint=checkpoint)
+    # Answers on stdout (byte-comparable across kill/resume); bookkeeping
+    # on stderr.
+    for index, answer in enumerate(answers):
+        print(f"[{index}] {answer}")
+    print(f"run: {len(answers)} questions answered "
+          f"({checkpoint.resume_skips} restored from {journal_path}, "
+          f"{rag.last_faulted_communities} faulted map calls)",
+          file=sys.stderr)
+    return 0
+
+
 def cmd_table1(args) -> int:
     from repro.analysis import render_table1
     print(render_table1())
@@ -338,6 +462,29 @@ def build_parser() -> argparse.ArgumentParser:
     p = obs_sub.add_parser("report",
                            help="summarize a JSONL observability export")
     p.add_argument("path")
+    p = sub.add_parser("kg", help="durable store: snapshot / recover")
+    kg_sub = p.add_subparsers(dest="kg_command", required=True)
+    p = kg_sub.add_parser("snapshot",
+                          help="persist a dataset KG into a durable store")
+    p.add_argument("dataset")
+    p.add_argument("directory")
+    p = kg_sub.add_parser("recover",
+                          help="recover a durable store, print the report")
+    p.add_argument("directory")
+    p = sub.add_parser("run",
+                       help="checkpointed GraphRAG QA run (resumable)")
+    p.add_argument("dataset", nargs="?")
+    p.add_argument("--journal", help="checkpoint journal path (fresh run)")
+    p.add_argument("--resume", metavar="JOURNAL",
+                   help="resume a killed run (config read from the journal)")
+    p.add_argument("--questions", type=int, default=8,
+                   help="workload size (default 8)")
+    p.add_argument("--batch-size", type=int, default=2,
+                   help="questions per checkpointed chunk (default 2)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="executor worker count (default 2)")
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="injected fault rate (default 0)")
     return parser
 
 
@@ -353,11 +500,17 @@ _HANDLERS = {
     "chat": cmd_chat,
     "table1": cmd_table1,
     "figure2": cmd_figure2,
+    "run": cmd_run,
 }
 
 _OBS_HANDLERS = {
     "trace": cmd_obs_trace,
     "report": cmd_obs_report,
+}
+
+_KG_HANDLERS = {
+    "snapshot": cmd_kg_snapshot,
+    "recover": cmd_kg_recover,
 }
 
 
@@ -366,6 +519,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "obs":
         return _OBS_HANDLERS[args.obs_command](args)
+    if args.command == "kg":
+        return _KG_HANDLERS[args.kg_command](args)
     return _HANDLERS[args.command](args)
 
 

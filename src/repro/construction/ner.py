@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.durability import fast_forward_faults, fault_schedule_cursor
 from repro.core.executor import ParallelExecutor, chunked
 from repro.core.observability import NULL_OBS, resolve_obs
 from repro.llm import prompts as P
@@ -125,15 +126,18 @@ class PromptNER:
 
     def extract_batch(self, sentences: Sequence[str],
                       batch_size: Optional[int] = None,
-                      executor: Optional[ParallelExecutor] = None
-                      ) -> List[NERResult]:
+                      executor: Optional[ParallelExecutor] = None,
+                      checkpoint=None) -> List[NERResult]:
         """Batched extraction: one ``complete_batch`` per chunk.
 
         Result-identical to ``[extract(s) for s in sentences]``; identical
         sentences share one completion inside a chunk (the model's batch
         dedup), and response parsing fans out across the executor.
+        ``checkpoint`` journals each finished chunk so a killed run
+        resumes at the first unfinished sentence with identical results.
         """
-        return _extract_ner_batch(self, sentences, batch_size, executor)
+        return _extract_ner_batch(self, sentences, batch_size, executor,
+                                  checkpoint=checkpoint)
 
 
 class InstructionTunedNER:
@@ -169,32 +173,50 @@ class InstructionTunedNER:
 
     def extract_batch(self, sentences: Sequence[str],
                       batch_size: Optional[int] = None,
-                      executor: Optional[ParallelExecutor] = None
-                      ) -> List[NERResult]:
+                      executor: Optional[ParallelExecutor] = None,
+                      checkpoint=None) -> List[NERResult]:
         """Batched zero-shot extraction (see :meth:`PromptNER.extract_batch`)."""
-        return _extract_ner_batch(self, sentences, batch_size, executor)
+        return _extract_ner_batch(self, sentences, batch_size, executor,
+                                  checkpoint=checkpoint)
 
 
 def _extract_ner_batch(extractor, sentences: Sequence[str],
                        batch_size: Optional[int],
-                       executor: Optional[ParallelExecutor]
-                       ) -> List[NERResult]:
+                       executor: Optional[ParallelExecutor],
+                       checkpoint=None) -> List[NERResult]:
     """Shared batched NER loop: prompt-build → one batch completion per
     chunk → parallel parse. All LLM traffic flows through ``complete_all``
     on the calling thread, so fault schedules and cache evolution do not
-    depend on the executor's worker count."""
+    depend on the executor's worker count.
+
+    With a ``checkpoint``, each chunk's entities are journaled together
+    with the LLM fault cursor: resuming restores the committed prefix,
+    fast-forwards the fault schedule, and re-runs only unfinished chunks —
+    final results are identical to an uninterrupted run."""
     obs = getattr(extractor, "obs", NULL_OBS)
     executor = executor or ParallelExecutor(obs=obs)
     sentences = list(sentences)
     results: List[NERResult] = []
+    if checkpoint is not None:
+        checkpoint.ensure_meta("ner:extract_batch")
+        resume = checkpoint.resume_prefix()
+        restored = resume.values[:len(sentences)]
+        results.extend(
+            NERResult(sentence=s, entities=[tuple(e) for e in value])
+            for s, value in zip(sentences, restored))
+        fast_forward_faults(extractor.llm, resume.llm_calls)
     with obs.span("ner:extract_batch", sentences=len(sentences)):
-        for chunk in chunked(sentences, batch_size):
+        for chunk in chunked(sentences[len(results):], batch_size):
             prompts = executor.map(chunk, extractor._prompt_for)
             responses = complete_all(extractor.llm, prompts)
             entities = executor.map(responses,
                                     lambda r: P.parse_ner_response(r.text))
             results.extend(NERResult(sentence=s, entities=e)
                            for s, e in zip(chunk, entities))
+            if checkpoint is not None:
+                checkpoint.record_chunk(
+                    [[list(pair) for pair in e] for e in entities],
+                    llm_calls=fault_schedule_cursor(extractor.llm))
     return results
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.durability import fast_forward_faults, fault_schedule_cursor
 from repro.core.executor import ParallelExecutor, chunked
 from repro.core.observability import NULL_OBS, resolve_obs
 from repro.llm import prompts as P
@@ -119,22 +120,39 @@ class PatternRelationExtractor:
 
 def _extract_re_batch(extractor, sentences: Sequence[str],
                       batch_size: Optional[int],
-                      executor: Optional[ParallelExecutor]) -> List[REResult]:
+                      executor: Optional[ParallelExecutor],
+                      checkpoint=None) -> List[REResult]:
     """Shared batched RE loop: prompt-build → one batch completion per
     chunk → parallel parse. All LLM traffic flows through ``complete_all``
-    on the calling thread (worker-count-independent fault/cache order)."""
+    on the calling thread (worker-count-independent fault/cache order).
+
+    With a ``checkpoint``, each chunk's triples are journaled with the LLM
+    fault cursor; a resumed run restores the committed prefix and re-runs
+    only unfinished chunks, producing identical results."""
     obs = getattr(extractor, "obs", NULL_OBS)
     executor = executor or ParallelExecutor(obs=obs)
     sentences = list(sentences)
     results: List[REResult] = []
+    if checkpoint is not None:
+        checkpoint.ensure_meta("re:extract_batch")
+        resume = checkpoint.resume_prefix()
+        restored = resume.values[:len(sentences)]
+        results.extend(
+            REResult(sentence=s, triples=[tuple(t) for t in value])
+            for s, value in zip(sentences, restored))
+        fast_forward_faults(extractor.llm, resume.llm_calls)
     with obs.span("re:extract_batch", sentences=len(sentences)):
-        for chunk in chunked(sentences, batch_size):
+        for chunk in chunked(sentences[len(results):], batch_size):
             prompts = executor.map(chunk, extractor._prompt_for)
             responses = complete_all(extractor.llm, prompts)
             triples = executor.map(
                 responses, lambda r: P.parse_relation_response(r.text))
             results.extend(REResult(sentence=s, triples=t)
                            for s, t in zip(chunk, triples))
+            if checkpoint is not None:
+                checkpoint.record_chunk(
+                    [[list(triple) for triple in t] for t in triples],
+                    llm_calls=fault_schedule_cursor(extractor.llm))
     return results
 
 
@@ -159,10 +177,13 @@ class ZeroShotRelationExtractor:
 
     def extract_batch(self, sentences: Sequence[str],
                       batch_size: Optional[int] = None,
-                      executor: Optional[ParallelExecutor] = None
-                      ) -> List[REResult]:
-        """Batched extraction, result-identical to the ``extract`` loop."""
-        return _extract_re_batch(self, sentences, batch_size, executor)
+                      executor: Optional[ParallelExecutor] = None,
+                      checkpoint=None) -> List[REResult]:
+        """Batched extraction, result-identical to the ``extract`` loop;
+        ``checkpoint`` makes a killed run resumable (see
+        :func:`_extract_re_batch`)."""
+        return _extract_re_batch(self, sentences, batch_size, executor,
+                                 checkpoint=checkpoint)
 
 
 class FewShotICLRelationExtractor:
@@ -192,10 +213,13 @@ class FewShotICLRelationExtractor:
 
     def extract_batch(self, sentences: Sequence[str],
                       batch_size: Optional[int] = None,
-                      executor: Optional[ParallelExecutor] = None
-                      ) -> List[REResult]:
-        """Batched extraction, result-identical to the ``extract`` loop."""
-        return _extract_re_batch(self, sentences, batch_size, executor)
+                      executor: Optional[ParallelExecutor] = None,
+                      checkpoint=None) -> List[REResult]:
+        """Batched extraction, result-identical to the ``extract`` loop;
+        ``checkpoint`` makes a killed run resumable (see
+        :func:`_extract_re_batch`)."""
+        return _extract_re_batch(self, sentences, batch_size, executor,
+                                 checkpoint=checkpoint)
 
 
 class RetrievedDemonstrationExtractor:
@@ -324,10 +348,13 @@ class SupervisedFineTunedExtractor:
 
     def extract_batch(self, sentences: Sequence[str],
                       batch_size: Optional[int] = None,
-                      executor: Optional[ParallelExecutor] = None
-                      ) -> List[REResult]:
-        """Batched extraction, result-identical to the ``extract`` loop."""
-        return _extract_re_batch(self, sentences, batch_size, executor)
+                      executor: Optional[ParallelExecutor] = None,
+                      checkpoint=None) -> List[REResult]:
+        """Batched extraction, result-identical to the ``extract`` loop;
+        ``checkpoint`` makes a killed run resumable (see
+        :func:`_extract_re_batch`)."""
+        return _extract_re_batch(self, sentences, batch_size, executor,
+                                 checkpoint=checkpoint)
 
 
 class NLIFilteredExtractor:

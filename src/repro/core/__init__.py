@@ -41,6 +41,14 @@ from repro.core.observability import (
     load_jsonl,
     resolve_obs,
 )
+from repro.core.durability import (
+    CheckpointError,
+    CheckpointManager,
+    ResumeState,
+    fast_forward_faults,
+    fault_schedule_cursor,
+    read_meta,
+)
 from repro.core.resilience import (
     CircuitBreaker,
     CircuitOpenError,
@@ -91,4 +99,10 @@ __all__ = [
     "cache_stats_dict",
     "load_jsonl",
     "resolve_obs",
+    "CheckpointError",
+    "CheckpointManager",
+    "ResumeState",
+    "fast_forward_faults",
+    "fault_schedule_cursor",
+    "read_meta",
 ]

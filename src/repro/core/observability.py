@@ -568,13 +568,25 @@ class Observability:
 
 
 def load_jsonl(path: str) -> List[Dict[str, Any]]:
-    """Read a JSONL export back into records (blank lines skipped)."""
+    """Read a JSONL export back into records (blank lines skipped).
+
+    A line that is not valid JSON — the usual symptom of a truncated or
+    torn export — raises :class:`ValueError` naming the file and line
+    number, so CLI consumers can degrade with a clear message instead of
+    a bare traceback.
+    """
     records: List[Dict[str, Any]] = []
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: invalid JSONL record "
+                    f"(truncated or corrupt trace?): {exc}") from exc
     return records
 
 

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
+from repro.core.durability import fast_forward_faults, fault_schedule_cursor
 from repro.core.executor import ParallelExecutor, chunked
 from repro.core.observability import resolve_obs
 from repro.core.resilience import RetryPolicy
@@ -201,8 +202,8 @@ class GraphRAG:
     def answer_global_batch(self, questions: Sequence[str],
                             granularity: str = "top",
                             batch_size: Optional[int] = None,
-                            executor: Optional[ParallelExecutor] = None
-                            ) -> List[str]:
+                            executor: Optional[ParallelExecutor] = None,
+                            checkpoint=None) -> List[str]:
         """Map-reduce many global questions through the batch fast path.
 
         Fault-free, result-identical to ``[answer_global(q, granularity)
@@ -215,6 +216,11 @@ class GraphRAG:
         ``last_faulted_communities`` aggregate over the whole batch.
         All completions run on the calling thread in deterministic batch
         order; ``executor`` fans out only pure prompt construction.
+
+        With a ``checkpoint``, each chunk journals its answers plus its
+        fault accounting (as the commit's ``extra``), so a resumed run
+        restores both the answers *and* the aggregated
+        ``last_faulted_communities``/``last_degraded`` values.
         """
         if not self.communities:
             self.build()
@@ -225,15 +231,41 @@ class GraphRAG:
                        (self.communities if granularity == "top"
                         else self.leaves())
                        if c.summary]
+        questions = list(questions)
         answers: List[str] = []
-        for chunk in chunked(list(questions), batch_size):
-            answers.extend(self._answer_global_chunk(chunk, communities,
-                                                     executor))
+        if checkpoint is not None:
+            checkpoint.ensure_meta("graphrag:answer_global_batch")
+            resume = checkpoint.resume_prefix()
+            answers.extend(resume.values[:len(questions)])
+            for extra in resume.extras:
+                self.last_faulted_communities += extra.get("faulted", 0)
+                self.last_degraded = self.last_degraded or extra.get(
+                    "degraded", False)
+            fast_forward_faults(self.llm, resume.llm_calls)
+        for chunk in chunked(questions[len(answers):], batch_size):
+            chunk_answers, faulted, degraded = self._answer_global_chunk(
+                chunk, communities, executor)
+            self.last_faulted_communities += faulted
+            self.last_degraded = self.last_degraded or degraded
+            answers.extend(chunk_answers)
+            if checkpoint is not None:
+                checkpoint.record_chunk(
+                    chunk_answers,
+                    llm_calls=fault_schedule_cursor(self.llm),
+                    extra={"faulted": faulted, "degraded": degraded})
         return answers
 
     def _answer_global_chunk(self, questions: Sequence[str],
                              communities: List[Community],
-                             executor: ParallelExecutor) -> List[str]:
+                             executor: ParallelExecutor
+                             ) -> Tuple[List[str], int, bool]:
+        """One chunk's map-reduce; returns (answers, faulted, degraded).
+
+        Fault accounting is returned rather than accumulated on ``self``
+        so the caller can journal it per chunk and restore it on resume.
+        """
+        faulted = 0
+        degraded = False
         # Map step: one flat batch of (question × community) prompts.
         with self.obs.span("stage:map", questions=len(questions),
                            communities=len(communities)):
@@ -251,8 +283,8 @@ class GraphRAG:
                 if not outcome.ok:
                     # A faulting community drops out of this question's
                     # reduce instead of failing the whole answer.
-                    self.last_faulted_communities += 1
-                    self.last_degraded = True
+                    faulted += 1
+                    degraded = True
                     continue
                 if outcome.response.text:
                     partials.append(outcome.response.text)
@@ -270,11 +302,11 @@ class GraphRAG:
         for i, outcome in zip(reduce_rows, reduce_outcomes):
             merged = " ".join(partials_per_question[i])
             if not outcome.ok:
-                self.last_degraded = True
+                degraded = True
                 answers[i] = merged
             else:
                 answers[i] = outcome.response.text or merged
-        return answers
+        return answers, faulted, degraded
 
     def answer_local(self, question: str) -> str:
         """Local questions: entity-level retrieval plus the entity's

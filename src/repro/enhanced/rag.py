@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.durability import fast_forward_faults, fault_schedule_cursor
 from repro.core.executor import ParallelExecutor, chunked
 from repro.core.observability import resolve_obs
 from repro.core.pipeline import (Pipeline, PipelineContext, PipelineReport,
@@ -136,7 +137,8 @@ class NaiveRAG:
 
     def answer_batch(self, questions: Sequence[str],
                      batch_size: Optional[int] = None,
-                     executor: Optional[ParallelExecutor] = None) -> List[str]:
+                     executor: Optional[ParallelExecutor] = None,
+                     checkpoint=None) -> List[str]:
         """Answer a corpus of questions through the batch fast path.
 
         Fault-free, this is result-identical to ``[answer(q) for q in
@@ -144,14 +146,18 @@ class NaiveRAG:
         generation calls for a chunk go through one batched completion
         (dedup + a single cache pass). Defaults (no executor, no batch
         size) behave like today's sequential path, one chunk, inline.
+        ``checkpoint`` journals finished chunks so a killed run resumes
+        with byte-identical answers and reports.
         """
         return [answer for answer, _ in self.answer_batch_with_reports(
-            questions, batch_size=batch_size, executor=executor)]
+            questions, batch_size=batch_size, executor=executor,
+            checkpoint=checkpoint)]
 
     def answer_batch_with_reports(
             self, questions: Sequence[str],
             batch_size: Optional[int] = None,
-            executor: Optional[ParallelExecutor] = None
+            executor: Optional[ParallelExecutor] = None,
+            checkpoint=None
     ) -> List[Tuple[str, PipelineReport]]:
         """Like :meth:`answer_batch`, plus one report per question.
 
@@ -161,11 +167,32 @@ class NaiveRAG:
         ``resilient_complete_all`` on the calling thread in batch order,
         so outputs and fault schedules are independent of the executor's
         worker count.
+
+        With a ``checkpoint``, every finished chunk's (answer, report)
+        pairs are journaled together with the LLM fault cursor; resuming
+        restores the committed prefix (reports rebuilt via
+        ``PipelineReport.from_dict``), fast-forwards the fault schedule,
+        and recomputes only unfinished chunks.
         """
         executor = executor or ParallelExecutor(obs=self.obs)
+        questions = list(questions)
         results: List[Tuple[str, PipelineReport]] = []
-        for chunk in chunked(list(questions), batch_size):
-            results.extend(self._answer_chunk(chunk, executor))
+        if checkpoint is not None:
+            checkpoint.ensure_meta(f"rag:{self.pipeline.name}")
+            resume = checkpoint.resume_prefix()
+            restored = resume.values[:len(questions)]
+            results.extend(
+                (value["answer"], PipelineReport.from_dict(value["report"]))
+                for value in restored)
+            fast_forward_faults(self.llm, resume.llm_calls)
+        for chunk in chunked(questions[len(results):], batch_size):
+            chunk_results = self._answer_chunk(chunk, executor)
+            results.extend(chunk_results)
+            if checkpoint is not None:
+                checkpoint.record_chunk(
+                    [{"answer": a, "report": r.to_dict()}
+                     for a, r in chunk_results],
+                    llm_calls=fault_schedule_cursor(self.llm))
         return results
 
     def _answer_chunk(self, questions: Sequence[str],

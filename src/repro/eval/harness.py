@@ -95,7 +95,7 @@ class EvalJob:
 def run_experiments(title: str, columns: Sequence[str],
                     jobs: Sequence[EvalJob],
                     executor: Optional[ParallelExecutor] = None,
-                    obs=None) -> ResultTable:
+                    obs=None, checkpoint=None) -> ResultTable:
     """Run independent eval jobs (systems × datasets) into one table.
 
     Jobs fan out across the executor; rows land in *job order* whatever
@@ -104,12 +104,42 @@ def run_experiments(title: str, columns: Sequence[str],
     same error a sequential loop would have hit first). ``obs`` attaches
     an observability recorder: the harness run opens one span and each
     job's fan-out records executor timing under it.
+
+    ``checkpoint`` (a :class:`~repro.core.durability.CheckpointManager`)
+    makes the harness resumable: each finished job's metrics are journaled
+    under its ``system`` key, already-journaled jobs are restored instead
+    of re-run, and a killed harness resumed over the same journal renders
+    a table identical to an uninterrupted run. Jobs must be pure (the
+    :class:`EvalJob` contract already requires this) and systems must be
+    uniquely named for keyed journaling to be sound.
     """
     obs = resolve_obs(obs)
     executor = executor or ParallelExecutor(obs=obs)
     table = ResultTable(title, columns)
+    run_job = _checkpointed_runner(title, jobs, checkpoint)
     with obs.span("harness:run_experiments", title=title, jobs=len(jobs)):
-        metrics_per_job = executor.map(list(jobs), lambda job: job.run())
+        metrics_per_job = executor.map(list(jobs), run_job)
     for job, metrics in zip(jobs, metrics_per_job):
         table.add(job.system, **metrics)
     return table
+
+
+def _checkpointed_runner(title: str, jobs: Sequence[EvalJob],
+                         checkpoint) -> Callable[[EvalJob], Dict[str, Cell]]:
+    """The per-job callable, journaling through ``checkpoint`` when given."""
+    if checkpoint is None:
+        return lambda job: job.run()
+    systems = [job.system for job in jobs]
+    if len(set(systems)) != len(systems):
+        raise ValueError(
+            f"checkpointed harness needs unique system names, got {systems}")
+    checkpoint.ensure_meta(f"harness:{title}")
+
+    def run_job(job: EvalJob) -> Dict[str, Cell]:
+        if checkpoint.completed(job.system):
+            return checkpoint.restore(job.system)
+        metrics = job.run()
+        checkpoint.record(job.system, metrics)
+        return metrics
+
+    return run_job

@@ -21,6 +21,7 @@ from repro.kg.triples import (
 from repro.kg.store import TripleStore
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.ontology import Ontology, ClassDef, PropertyDef, PropertyCharacteristic
+from repro.kg.wal import DurableTripleStore, RecoveryReport, WriteAheadLog, recover
 
 __all__ = [
     "IRI",
@@ -39,4 +40,8 @@ __all__ = [
     "ClassDef",
     "PropertyDef",
     "PropertyCharacteristic",
+    "DurableTripleStore",
+    "RecoveryReport",
+    "WriteAheadLog",
+    "recover",
 ]

@@ -396,6 +396,20 @@ class KnowledgeGraph:
             raise ValueError(f"unknown format {format!r}; use 'nt' or 'ttl'")
 
     @classmethod
+    def durable(cls, directory: str, snapshot_every: Optional[int] = None,
+                obs=None, name: Optional[str] = None) -> "KnowledgeGraph":
+        """A graph over a crash-recoverable store persisted in ``directory``.
+
+        The backing :class:`~repro.kg.wal.DurableTripleStore` recovers any
+        existing snapshot + WAL on construction and logs every subsequent
+        mutation; see the ``repro.kg.wal`` module for the on-disk format.
+        """
+        from repro.kg.wal import DurableTripleStore
+        store = DurableTripleStore(directory, snapshot_every=snapshot_every,
+                                   obs=obs)
+        return cls(store, name=name or directory.rstrip("/").rsplit("/", 1)[-1])
+
+    @classmethod
     def load(cls, path: str, name: Optional[str] = None) -> "KnowledgeGraph":
         """Load a graph saved with :meth:`save` (format inferred from suffix)."""
         from repro.kg import rdf

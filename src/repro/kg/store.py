@@ -52,6 +52,7 @@ class TripleStore:
         if not self._insert(triple):
             return False
         self._version += 1
+        self._committed("add", (triple,))
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -63,10 +64,11 @@ class TripleStore:
         only need to observe *that* the store changed; bumping per triple
         would invalidate them ``n`` times per load for no extra safety.
         """
-        added = sum(1 for t in triples if self._insert(t))
+        added = [t for t in triples if self._insert(t)]
         if added:
             self._version += 1
-        return added
+            self._committed("add", added)
+        return len(added)
 
     def _insert(self, triple: Triple) -> bool:
         """Index ``triple`` without touching the version counter."""
@@ -84,17 +86,21 @@ class TripleStore:
         if not self._delete(triple):
             return False
         self._version += 1
+        self._committed("remove", (triple,))
         return True
 
     def remove_all(self, triples: Iterable[Triple]) -> int:
         """Remove every triple; returns the number actually removed.
 
-        Like :meth:`add_all`, one version bump per effective batch.
+        Like :meth:`add_all`, one version bump per *effective* batch: a
+        batch where nothing was present removes nothing, bumps nothing,
+        and invalidates no read caches.
         """
-        removed = sum(1 for t in list(triples) if self._delete(t))
+        removed = [t for t in list(triples) if self._delete(t)]
         if removed:
             self._version += 1
-        return removed
+            self._committed("remove", removed)
+        return len(removed)
 
     def _delete(self, triple: Triple) -> bool:
         """Unindex ``triple`` without touching the version counter."""
@@ -117,12 +123,28 @@ class TripleStore:
                 del index[k1]
 
     def clear(self) -> None:
-        """Remove every triple."""
+        """Remove every triple.
+
+        Always counts as one effective mutation (unlike the batch
+        mutators, ``clear`` is an explicit whole-store reset and callers
+        rely on it invalidating read caches unconditionally).
+        """
         self._triples.clear()
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
         self._version += 1
+        self._committed("clear", ())
+
+    def _committed(self, op: str, triples: Iterable[Triple]) -> None:
+        """Hook invoked after every *effective* mutation batch.
+
+        ``op`` is one of ``"add"``/``"remove"``/``"clear"`` and ``triples``
+        holds exactly the triples that changed state (empty for ``clear``).
+        The base store does nothing; durable subclasses append the batch to
+        a write-ahead log. The hook fires *after* the version bump, so the
+        current :attr:`version` is the batch's LSN.
+        """
 
     # ------------------------------------------------------------------
     # Lookup

@@ -39,6 +39,46 @@ class TestStoreVersion:
         store.clear()
         assert store.version == v0 + 3
 
+    def test_noop_add_all_does_not_bump_version(self):
+        store = TripleStore()
+        store.add(Triple(EX.a, EX.p, EX.b))
+        v = store.version
+        assert store.add_all([Triple(EX.a, EX.p, EX.b)]) == 0
+        assert store.add_all([]) == 0
+        assert store.version == v
+
+    def test_noop_remove_all_does_not_bump_version(self):
+        # Regression guard: a batch removal that touches nothing must not
+        # invalidate read caches (the WAL relies on the same rule to keep
+        # version == LSN without logging empty records).
+        store = TripleStore()
+        store.add(Triple(EX.a, EX.p, EX.b))
+        v = store.version
+        assert store.remove_all([Triple(EX.x, EX.p, EX.y)]) == 0
+        assert store.remove_all([]) == 0
+        assert store.version == v
+
+    def test_partially_effective_batch_bumps_once(self):
+        store = TripleStore()
+        store.add(Triple(EX.a, EX.p, EX.b))
+        v = store.version
+        added = store.add_all([Triple(EX.a, EX.p, EX.b),   # duplicate
+                               Triple(EX.c, EX.p, EX.d)])  # new
+        assert added == 1
+        assert store.version == v + 1
+        removed = store.remove_all([Triple(EX.c, EX.p, EX.d),
+                                    Triple(EX.x, EX.p, EX.y)])  # absent
+        assert removed == 1
+        assert store.version == v + 2
+
+    def test_clear_always_bumps(self):
+        # clear() is an explicit whole-store reset, not a batch: it
+        # invalidates caches even when the store is already empty.
+        store = TripleStore()
+        v = store.version
+        store.clear()
+        assert store.version == v + 1
+
 
 class TestLabelInvalidation:
     def test_label_reflects_add(self):

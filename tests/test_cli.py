@@ -115,3 +115,94 @@ class TestObsCommands:
         capsys.readouterr()
         with open(a, encoding="utf-8") as fa, open(b, encoding="utf-8") as fb:
             assert fa.read() == fb.read()
+
+    def test_report_on_missing_trace_returns_2(self, capsys):
+        assert main(["obs", "report", "/nonexistent/trace.jsonl"]) == 2
+        err = capsys.readouterr().err
+        assert "not found" in err and "Traceback" not in err
+
+    def test_report_on_empty_trace_returns_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["obs", "report", str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert "no records" in err
+
+    def test_report_on_truncated_trace_returns_2(self, tmp_path, capsys):
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text('{"kind": "counter", "name": "x"\n')
+        assert main(["obs", "report", str(torn)]) == 2
+        err = capsys.readouterr().err
+        assert "torn.jsonl:1" in err and "Traceback" not in err
+
+
+class TestKgDurability:
+    def test_snapshot_then_recover(self, tmp_path, capsys):
+        directory = str(tmp_path / "kg")
+        assert main(["kg", "snapshot", "covid", directory]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot of covid: 113 triples" in out
+
+        assert main(["kg", "recover", directory]) == 0
+        out = capsys.readouterr().out
+        assert "recovered 113 triples" in out
+        assert "0 torn bytes truncated" in out
+
+    def test_snapshot_is_incremental(self, tmp_path, capsys):
+        directory = str(tmp_path / "kg")
+        assert main(["kg", "snapshot", "covid", directory]) == 0
+        assert main(["kg", "snapshot", "covid", directory]) == 0
+        out = capsys.readouterr().out
+        assert "(0 new)" in out
+
+    def test_recover_truncates_torn_wal(self, tmp_path, capsys):
+        directory = str(tmp_path / "kg")
+        assert main(["kg", "snapshot", "covid", directory]) == 0
+        with open(f"{directory}/wal.log", "ab") as handle:
+            handle.write(b"\x00\x00\x00\x30torn tail")
+        assert main(["kg", "recover", directory]) == 0
+        out = capsys.readouterr().out
+        assert "13 torn bytes truncated" in out
+
+    def test_recover_missing_directory_returns_2(self, tmp_path, capsys):
+        assert main(["kg", "recover", str(tmp_path / "nope")]) == 0
+        # A missing directory recovers to an empty store (mkdir + no state);
+        # the report makes that visible rather than erroring.
+        assert "recovered 0 triples" in capsys.readouterr().out
+
+
+class TestRunResume:
+    def test_fresh_run_then_resume_is_byte_identical(self, tmp_path, capsys):
+        journal = str(tmp_path / "run.jsonl")
+        assert main(["run", "family", "--journal", journal,
+                     "--questions", "4", "--batch-size", "2"]) == 0
+        first = capsys.readouterr()
+        assert main(["run", "--resume", journal]) == 0
+        resumed = capsys.readouterr()
+        assert resumed.out == first.out
+        assert "4 restored" in resumed.err
+
+    def test_fresh_run_requires_dataset_and_journal(self, capsys):
+        assert main(["run", "family"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_resume_missing_journal_returns_2(self, tmp_path, capsys):
+        assert main(["run", "--resume", str(tmp_path / "gone.jsonl")]) == 2
+        assert "cannot resume" in capsys.readouterr().err
+
+    def test_resume_foreign_journal_returns_2(self, tmp_path, capsys):
+        journal = tmp_path / "foreign.jsonl"
+        journal.write_text('{"type": "meta", "job": "other:job", '
+                           '"config": {"dataset": "family", "seed": 0, '
+                           '"model": "chatgpt", "fault_rate": 0.0, '
+                           '"workers": 1, "questions": 2, '
+                           '"batch_size": 2}}\n')
+        assert main(["run", "--resume", str(journal)]) == 2
+        assert "belongs to job" in capsys.readouterr().err
+
+    def test_resume_journal_without_config_returns_2(self, tmp_path, capsys):
+        journal = tmp_path / "bare.jsonl"
+        journal.write_text('{"type": "meta", "job": '
+                           '"graphrag:answer_global_batch", "config": {}}\n')
+        assert main(["run", "--resume", str(journal)]) == 2
+        assert "no run config" in capsys.readouterr().err
