@@ -17,6 +17,8 @@ Commands
 ``kg recover <dir>``             recover a durable store, print the report
 ``run <dataset> --journal <p>``  checkpointed GraphRAG QA run (resumable)
 ``run --resume <journal>``       resume a killed run from its journal
+``serve bench <dataset>``        overload benchmark through the gateway
+``serve replay <dataset>``       closed-loop traffic replay (chaos-ready)
 
 Datasets are the seeded generators of :mod:`repro.kg.datasets`
 (``encyclopedia``, ``family``, ``movie``, ``covid``, ``enterprise``);
@@ -403,6 +405,97 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _print_load_report(report, label: str) -> None:
+    print(f"{label}: offered={report.offered} completed={report.completed} "
+          f"shed={report.shed} rejected={report.rejected} "
+          f"failed={report.failed} degraded={report.degraded}")
+    print(f"  p50={report.p50_latency:.3f}s p99={report.p99_latency:.3f}s "
+          f"goodput={report.goodput:.2f}/s "
+          f"max_queue_depth={report.max_queue_depth}")
+    tiers = " ".join(f"{tier}={count}" for tier, count
+                     in sorted(report.tier_counts.items()))
+    print(f"  tiers: {tiers or '(none)'}")
+
+
+def cmd_serve_bench(args) -> int:
+    import json
+
+    from repro.serve import overload_experiment, serving_observability
+
+    reports = {}
+    for label, factor in (("baseline", 1.0), ("overload", args.load_factor)):
+        obs = serving_observability()
+        report = overload_experiment(
+            dataset=args.dataset, mix_name=args.mix, capacity=args.capacity,
+            load_factor=factor, n_requests=args.requests, seed=args.seed,
+            queue_limit=args.queue_limit, budget=args.budget, obs=obs)
+        _print_load_report(report, f"{label} ({factor:g}x)")
+        reports[label] = report.to_dict()
+        reports[label]["capacity_rps"] = report.gateway_stats["capacity_rps"]
+        if args.jsonl and label == "overload":
+            written = obs.export_jsonl(args.jsonl)
+            print(f"  exported {written} metric records to {args.jsonl}")
+    capacity_rps = reports["baseline"]["capacity_rps"]
+    goodput = reports["overload"]["goodput"]
+    ratio = goodput / capacity_rps if capacity_rps else 0.0
+    print(f"goodput under {args.load_factor:g}x overload: {goodput:.2f}/s "
+          f"({ratio:.0%} of {capacity_rps:.2f}/s capacity)")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(reports, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if ratio >= 0.8 else 1
+
+
+def cmd_serve_replay(args) -> int:
+    from repro.core.resilience import CircuitBreaker
+    from repro.llm import load_model
+    from repro.llm.faults import FaultInjectingLLM, FaultProfile
+    from repro.serve import (Gateway, LoadGenerator, MIXES, RateLimiter,
+                             build_backends, question_pool,
+                             serving_observability)
+
+    if args.mix not in MIXES:
+        print(f"unknown mix {args.mix!r}; available: "
+              f"{', '.join(sorted(MIXES))}", file=sys.stderr)
+        return 2
+    ds = _build_dataset(args.dataset, args.seed)
+    llm = load_model(args.model, world=ds.kg, seed=args.seed)
+    if args.fault_rate:
+        llm = FaultInjectingLLM(
+            llm, FaultProfile.uniform(args.fault_rate, seed=args.seed))
+    obs = serving_observability()
+    backends = build_backends(dataset=args.dataset, seed=args.seed, llm=llm,
+                              obs=obs)
+    limiter = None
+    if args.tenant_rate:
+        limiter = RateLimiter(tenant_rate=args.tenant_rate,
+                              tenant_burst=args.tenant_burst, seed=args.seed)
+    gateway = Gateway(backends.handlers, capacity=args.capacity,
+                      queue_limit=args.queue_limit, budget=args.budget,
+                      limiter=limiter,
+                      breaker=CircuitBreaker(failure_threshold=5, cooldown=8,
+                                             name="serve-tier0"),
+                      obs=obs, seed=args.seed)
+    generator = LoadGenerator(gateway, question_pool(backends.dataset,
+                                                     seed=args.seed),
+                              MIXES[args.mix], seed=args.seed, clock=obs.clock)
+    report = generator.run_closed(clients=args.clients,
+                                  requests_per_client=args.requests_per_client,
+                                  think=args.think)
+    _print_load_report(report, f"replay ({args.clients} clients)")
+    stats = gateway.stats()
+    admitted = stats["admitted"]
+    reconciled = stats["completed"] + stats["shed"] + stats["failed"]
+    print(f"  admitted={admitted} == completed+shed+failed={reconciled}: "
+          f"{'ok' if admitted == reconciled else 'MISMATCH'}")
+    if args.jsonl:
+        written = obs.export_jsonl(args.jsonl)
+        print(f"  exported {written} metric records to {args.jsonl}")
+    return 0 if admitted == reconciled else 1
+
+
 def cmd_table1(args) -> int:
     from repro.analysis import render_table1
     print(render_table1())
@@ -471,6 +564,49 @@ def build_parser() -> argparse.ArgumentParser:
     p = kg_sub.add_parser("recover",
                           help="recover a durable store, print the report")
     p.add_argument("directory")
+    p = sub.add_parser("serve", help="serving gateway: bench / replay")
+    serve_sub = p.add_subparsers(dest="serve_command", required=True)
+    p = serve_sub.add_parser(
+        "bench", help="overload benchmark: goodput at 1x vs Nx capacity")
+    p.add_argument("dataset", nargs="?", default="enterprise")
+    p.add_argument("--mix", default="mixed",
+                   help="traffic mix (default mixed)")
+    p.add_argument("--capacity", type=int, default=4,
+                   help="simulated worker fleet width (default 4)")
+    p.add_argument("--load-factor", type=float, default=2.0,
+                   help="overload multiple of capacity (default 2.0)")
+    p.add_argument("--requests", type=int, default=200,
+                   help="requests per run (default 200)")
+    p.add_argument("--queue-limit", type=int, default=32,
+                   help="per-tenant queue bound (default 32)")
+    p.add_argument("--budget", type=float, default=4.0,
+                   help="per-request deadline seconds (default 4.0)")
+    p.add_argument("--out", help="write both reports as JSON to this path")
+    p.add_argument("--jsonl", help="export overload-run metrics JSONL")
+    p = serve_sub.add_parser(
+        "replay", help="closed-loop replay (supports fault injection)")
+    p.add_argument("dataset", nargs="?", default="enterprise")
+    p.add_argument("--mix", default="mixed",
+                   help="traffic mix (default mixed)")
+    p.add_argument("--capacity", type=int, default=4,
+                   help="simulated worker fleet width (default 4)")
+    p.add_argument("--clients", type=int, default=8,
+                   help="closed-loop client population (default 8)")
+    p.add_argument("--requests-per-client", type=int, default=10,
+                   help="requests per client (default 10)")
+    p.add_argument("--think", type=float, default=0.5,
+                   help="mean think time seconds (default 0.5)")
+    p.add_argument("--queue-limit", type=int, default=16,
+                   help="per-tenant queue bound (default 16)")
+    p.add_argument("--budget", type=float, default=6.0,
+                   help="per-request deadline seconds (default 6.0)")
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="injected LLM fault rate (default 0)")
+    p.add_argument("--tenant-rate", type=float, default=0.0,
+                   help="per-tenant token-bucket rate (default off)")
+    p.add_argument("--tenant-burst", type=int, default=5,
+                   help="per-tenant token-bucket burst (default 5)")
+    p.add_argument("--jsonl", help="export replay metrics JSONL")
     p = sub.add_parser("run",
                        help="checkpointed GraphRAG QA run (resumable)")
     p.add_argument("dataset", nargs="?")
@@ -513,6 +649,11 @@ _KG_HANDLERS = {
     "recover": cmd_kg_recover,
 }
 
+_SERVE_HANDLERS = {
+    "bench": cmd_serve_bench,
+    "replay": cmd_serve_replay,
+}
+
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
@@ -521,6 +662,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _OBS_HANDLERS[args.obs_command](args)
     if args.command == "kg":
         return _KG_HANDLERS[args.kg_command](args)
+    if args.command == "serve":
+        return _SERVE_HANDLERS[args.serve_command](args)
     return _HANDLERS[args.command](args)
 
 

@@ -46,8 +46,30 @@ __all__ = [
     "CACHE_SCHEMA_KEYS", "Clock", "FakeClock", "LegacyCacheStats",
     "MetricsRegistry", "NULL_OBS", "NoopObservability", "Observability",
     "Span", "SystemClock", "Tracer", "cache_stats_dict", "load_jsonl",
-    "resolve_obs",
+    "percentile", "resolve_obs",
 ]
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile (0–100) by linear interpolation.
+
+    Deterministic and dependency-free — the serving layer's p50/p99
+    summaries must be byte-identical across runs and machines, so no
+    estimator with platform-dependent behaviour is acceptable. Returns
+    0.0 for an empty input (a latency summary over zero requests).
+    """
+    data = sorted(values)
+    if not data:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(data) - 1)
+    fraction = rank - lower
+    return data[lower] + (data[upper] - data[lower]) * fraction
 
 
 # ---------------------------------------------------------------------------
@@ -194,11 +216,15 @@ class MetricsRegistry:
     without every cache pushing on its own hot path.
     """
 
+    #: Per-series bound on retained raw observations (see :meth:`observe`).
+    MAX_SAMPLES = 65536
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[Tuple[str, _LabelKey], float] = {}
         self._gauges: Dict[Tuple[str, _LabelKey], float] = {}
         self._histograms: Dict[Tuple[str, _LabelKey], Dict[str, float]] = {}
+        self._samples: Dict[Tuple[str, _LabelKey], List[float]] = {}
         self._sources: Dict[str, Callable[[], Mapping[str, Any]]] = {}
 
     # -- write paths ---------------------------------------------------
@@ -214,18 +240,31 @@ class MetricsRegistry:
             self._gauges[(name, _label_key(labels))] = value
 
     def observe(self, name: str, value: float, **labels: Any) -> None:
-        """Record one observation into a (labeled) histogram."""
+        """Record one observation into a (labeled) histogram.
+
+        Besides the count/sum/min/max summary, the first
+        :data:`MAX_SAMPLES` raw observations per series are retained so
+        :meth:`histogram_quantiles` can answer p50/p99 exactly — the
+        latency summaries the serving layer gates on. The bound keeps a
+        runaway series from growing without limit; once it is hit, the
+        summary keeps updating but quantiles reflect the retained prefix.
+        Samples never appear in :meth:`snapshot` (exports stay compact).
+        """
         key = (name, _label_key(labels))
         with self._lock:
             series = self._histograms.get(key)
             if series is None:
                 self._histograms[key] = {"count": 1, "sum": value,
                                          "min": value, "max": value}
+                self._samples[key] = [value]
             else:
                 series["count"] += 1
                 series["sum"] += value
                 series["min"] = min(series["min"], value)
                 series["max"] = max(series["max"], value)
+                samples = self._samples[key]
+                if len(samples) < self.MAX_SAMPLES:
+                    samples.append(value)
 
     def register_source(self, name: str,
                         source: Callable[[], Mapping[str, Any]]) -> None:
@@ -254,6 +293,22 @@ class MetricsRegistry:
             series = self._histograms.get((name, _label_key(labels)))
             return dict(series) if series else {"count": 0, "sum": 0.0,
                                                 "min": 0.0, "max": 0.0}
+
+    def histogram_quantiles(self, name: str,
+                            quantiles: Iterable[float] = (50.0, 99.0),
+                            **labels: Any) -> Dict[str, float]:
+        """Exact percentiles over one series' retained samples.
+
+        Returns ``{"p50": ..., "p99": ...}``-style keys (``p99.9`` for
+        fractional quantiles); zeros when the series is empty.
+        """
+        with self._lock:
+            samples = list(self._samples.get((name, _label_key(labels)), ()))
+        out: Dict[str, float] = {}
+        for q in quantiles:
+            key = f"p{q:g}"
+            out[key] = percentile(samples, q)
+        return out
 
     def snapshot(self) -> Dict[str, Any]:
         """A JSON-able snapshot: all series plus freshly pulled sources."""

@@ -27,6 +27,7 @@ other stage.
 from __future__ import annotations
 
 import hashlib
+import math
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Type
@@ -85,7 +86,15 @@ class Deadline:
         return self.spent >= self.budget
 
     def charge(self, seconds: float) -> None:
-        """Consume ``seconds`` of simulated time."""
+        """Consume ``seconds`` of simulated time.
+
+        Negative and NaN charges are rejected outright: a policy bug must
+        not silently *refund* budget (or poison every later comparison
+        with NaN), because admission control sheds requests based on
+        ``remaining``/``expired``.
+        """
+        if math.isnan(seconds):
+            raise ValueError("cannot charge NaN time")
         if seconds < 0:
             raise ValueError("cannot charge negative time")
         self.spent += seconds
@@ -196,6 +205,17 @@ class CircuitBreaker:
     open the next ``cooldown`` calls are rejected with
     :class:`CircuitOpenError`; the call after that is the half-open probe —
     its success closes the circuit, its failure re-opens it.
+
+    Half-open admits **exactly one** probe: the first ``allow()`` after the
+    cooldown elapses wins the probe slot, and every other caller is
+    rejected until that probe's outcome is recorded (``record_success``
+    closes the circuit, ``record_failure`` re-opens it). Without the slot,
+    every caller waiting out the cooldown would be waved through the
+    moment it elapsed — a thundering herd straight back into a backend
+    that one probe might have shown to be still down. Callers that take
+    the probe slot must therefore report an outcome, as every caller in
+    this repo (``call``, the pipeline stage machinery, the serving
+    gateway) does.
     """
 
     def __init__(self, failure_threshold: int = 5, cooldown: int = 3,
@@ -210,13 +230,18 @@ class CircuitBreaker:
         self.trips = 0
         self.rejected = 0
         self._cooldown_left = 0
+        self._probe_in_flight = False
         # Breakers are shared across pipelines — since the parallel
         # substrate, potentially across threads — so state transitions are
         # serialized.
         self._lock = threading.Lock()
 
     def allow(self) -> bool:
-        """Whether the next call may proceed (advances the cooldown)."""
+        """Whether the next call may proceed (advances the cooldown).
+
+        At most one caller is admitted while half-open (the probe); the
+        rest are rejected until the probe's outcome is recorded.
+        """
         with self._lock:
             if self.state == "open":
                 if self._cooldown_left > 0:
@@ -224,6 +249,13 @@ class CircuitBreaker:
                     self.rejected += 1
                     return False
                 self.state = "half-open"
+                self._probe_in_flight = True
+                return True
+            if self.state == "half-open":
+                if self._probe_in_flight:
+                    self.rejected += 1
+                    return False
+                self._probe_in_flight = True
             return True
 
     def record_success(self) -> None:
@@ -231,6 +263,7 @@ class CircuitBreaker:
         with self._lock:
             self.state = "closed"
             self.consecutive_failures = 0
+            self._probe_in_flight = False
 
     def record_failure(self) -> bool:
         """Note a failed call; trips the breaker at the threshold (or
@@ -254,6 +287,7 @@ class CircuitBreaker:
         self.trips += 1
         self._cooldown_left = self.cooldown
         self.consecutive_failures = 0
+        self._probe_in_flight = False
 
     def call(self, fn: Callable[[], Any]) -> Any:
         """Guard one call: reject when open, record the outcome otherwise."""

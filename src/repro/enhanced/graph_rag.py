@@ -28,6 +28,23 @@ from repro.llm.faults import LLMTransientError
 from repro.llm.model import SimulatedLLM
 
 
+class GraphRAGUnhealthyError(LLMTransientError):
+    """A strict global answer could not be produced at full fidelity.
+
+    Raised by :meth:`GraphRAG.answer_global_strict` whenever the
+    map-reduce ran degraded (faulted communities or a failed reduce).
+    It subclasses :class:`LLMTransientError` so existing retry policies,
+    breakers, and fallback chains treat it like any other transient
+    backend fault — the serving gateway uses it to fail over from the
+    full-GraphRAG tier to cheaper tiers instead of returning a silently
+    degraded answer as if it were healthy.
+    """
+
+    def __init__(self, message: str, faulted_communities: int = 0):
+        super().__init__(message)
+        self.faulted_communities = faulted_communities
+
+
 @dataclass
 class Community:
     """One graph community with its report and optional sub-communities.
@@ -198,6 +215,25 @@ class GraphRAG:
                 self.last_degraded = True
                 return " ".join(partials)
             return outcome.value.text or " ".join(partials)
+
+    def answer_global_strict(self, question: str,
+                             granularity: str = "top") -> str:
+        """Like :meth:`answer_global`, but degraded results *raise*.
+
+        ``answer_global`` never raises — it absorbs faults and records
+        them in ``last_degraded``. A serving front-end needs the opposite
+        contract: a tier that cannot deliver full fidelity should fail
+        fast so admission control can route the request to a cheaper
+        tier. Raises :class:`GraphRAGUnhealthyError` when the map-reduce
+        degraded in any way.
+        """
+        answer = self.answer_global(question, granularity=granularity)
+        if self.last_degraded:
+            raise GraphRAGUnhealthyError(
+                f"global answer degraded "
+                f"({self.last_faulted_communities} faulted communities)",
+                faulted_communities=self.last_faulted_communities)
+        return answer
 
     def answer_global_batch(self, questions: Sequence[str],
                             granularity: str = "top",

@@ -257,13 +257,22 @@ class NaiveRAG:
         return P.qa_prompt(question,
                            context=" ".join(c.text for c in chunks) or None)
 
-    def _closed_book_answer(self, question: str) -> str:
-        """Batch-path analogue of :meth:`_generate_closed_book`."""
+    def closed_book_answer(self, question: str) -> str:
+        """Answer without retrieval: bare question → parametric memory.
+
+        The cheapest degraded tier — no index traffic, a single
+        completion; a transient fault abstains with ``"unknown"`` rather
+        than raise. The batch path and the serving gateway's degraded
+        tiers both use it.
+        """
         try:
             response = self.llm.complete(P.qa_prompt(question))
             return P.parse_qa_response(response.text)
         except LLMTransientError:
             return "unknown"
+
+    # Backwards-compatible alias for the batch path's original private name.
+    _closed_book_answer = closed_book_answer
 
     def retrieve(self, question: str) -> List[Chunk]:
         """The chunks the generator would see for this question."""

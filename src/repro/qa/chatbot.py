@@ -50,12 +50,24 @@ class KGChatbot:
     """Dialogue manager fusing LLM conversation with a KGQA backend."""
 
     def __init__(self, llm: SimulatedLLM, kg: KnowledgeGraph, qa_backend,
-                 cache=False):
-        """``qa_backend`` answers factual questions: ``answer(text) -> Set[IRI]``."""
+                 cache=False, max_history: Optional[int] = None):
+        """``qa_backend`` answers factual questions: ``answer(text) -> Set[IRI]``.
+
+        ``max_history`` bounds the retained dialogue state: once the
+        history exceeds it, the oldest turns are dropped. Serving many
+        long-lived sessions needs this — an unbounded per-session
+        transcript is exactly the queue-growth failure mode the gateway
+        exists to prevent. ``None`` keeps the library default of an
+        unbounded transcript.
+        """
+        if max_history is not None and max_history < 1:
+            raise ValueError("max_history must be >= 1 (or None)")
         self.llm = maybe_cached(llm, cache)
         self.kg = kg
         self.qa_backend = qa_backend
+        self.max_history = max_history
         self.history: List[ChatTurn] = []
+        self.turns_dropped = 0
 
     # ------------------------------------------------------------------
     # Dialogue state
@@ -99,7 +111,7 @@ class KGChatbot:
                 # a crash, with the state (history, focus) intact.
                 turn = ChatTurn(message, _DEGRADED_REPLY, intent,
                                 degraded=True)
-                self.history.append(turn)
+                self._append(turn)
                 return turn
             entities = sorted(answers, key=lambda e: e.value)
             if entities:
@@ -120,8 +132,17 @@ class KGChatbot:
             except LLMTransientError:
                 turn = ChatTurn(message, _DEGRADED_REPLY, intent,
                                 degraded=True)
-        self.history.append(turn)
+        self._append(turn)
         return turn
+
+    def _append(self, turn: ChatTurn) -> None:
+        """Record a turn, evicting the oldest past ``max_history``."""
+        self.history.append(turn)
+        if self.max_history is not None and \
+                len(self.history) > self.max_history:
+            drop = len(self.history) - self.max_history
+            del self.history[:drop]
+            self.turns_dropped += drop
 
     def _flat_history(self) -> List[str]:
         out: List[str] = []

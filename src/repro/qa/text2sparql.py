@@ -294,6 +294,17 @@ class ResilientText2SparqlQA:
         except LLMTransientError:
             return set()
 
+    def answer_with_route(self, question: str) -> Tuple[Set[IRI], str]:
+        """Answer plus the route that produced it, as one atomic result.
+
+        ``last_route`` is instance state and races when one QA system is
+        shared by concurrent serving workers; this returns the pair
+        captured immediately after the call, which is what the gateway's
+        per-tier accounting needs.
+        """
+        answers = self.answer(question)
+        return answers, self.last_route
+
 
 class Text2Cypher:
     """Text → Cypher, executed through the Cypher front-end.

@@ -1,0 +1,215 @@
+"""Tier ladders wiring the QA pipelines into the serving gateway.
+
+Each request kind gets an ordered degradation ladder of
+:class:`~repro.serve.gateway.TierStep` handlers over *shared* pipeline
+instances (one GraphRAG index, one RAG index, one text2sparql system,
+one bounded session store — the point of a gateway is multiplexing many
+clients over them):
+
+========  =======================  ====================  =============
+kind      tier 0 (full fidelity)   tier 1 (degraded)     tier 2 (busy)
+========  =======================  ====================  =============
+graphrag  strict global map-reduce RAG over documents    static notice
+rag       retrieval + generation   closed-book answer    static notice
+sparql    draft → repair → execute KG path reasoning     static notice
+chat      stateful dialogue        stateless closed-book static notice
+========  =======================  ====================  =============
+
+Tier-0 handlers are *strict*: a degraded result raises a transient
+error instead of passing itself off as healthy, so the gateway's
+breaker sees real failures and pressure-based tier selection composes
+with fault-driven fallthrough. The terminal tier never fails.
+
+Simulated service costs per tier are the base seconds the gateway
+charges (jittered per request); they are deliberately ordered
+``tier 0 > tier 1 >> busy`` so degradation actually buys capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.observability import resolve_obs
+from repro.enhanced.graph_rag import GraphRAG
+from repro.enhanced.rag import NaiveRAG
+from repro.kg.datasets import DATASET_BUILDERS, Dataset
+from repro.kg.triples import IRI
+from repro.llm.faults import LLMTransientError
+from repro.llm.model import SimulatedLLM
+from repro.llm.registry import load_model
+from repro.qa.chatbot import KGChatbot
+from repro.qa.multihop import generate_multihop_questions
+from repro.qa.text2sparql import (ResilientText2SparqlQA, SparqlGenText2Sparql,
+                                  Text2SparqlTask)
+from repro.serve.gateway import Request, TierStep
+from repro.serve.session import SessionStore
+
+#: What the terminal tier returns — an answer in the protocol sense only.
+BUSY_MESSAGE = ("The system is experiencing heavy load. Your request was "
+                "not fully processed - please retry in a moment.")
+
+#: Base simulated service seconds per (kind, tier).
+TIER_COSTS: Dict[str, Sequence[float]] = {
+    "graphrag": (0.8, 0.3, 0.02),
+    "rag": (0.35, 0.12, 0.02),
+    "sparql": (0.45, 0.2, 0.02),
+    "chat": (0.3, 0.12, 0.02),
+}
+
+#: Global questions for the graphrag workload (query-focused map-reduce).
+GLOBAL_QUESTIONS = (
+    "What are the main themes of this dataset?",
+    "Summarize the most connected entities and how they relate.",
+    "What are the dominant relationships in the knowledge graph?",
+    "Which communities of entities stand out, and why?",
+)
+
+#: Conversational filler for the chat workload's non-factual turns.
+CHAT_SMALLTALK = (
+    "hello there",
+    "thanks for the help",
+    "tell me something interesting",
+    "good morning",
+)
+
+
+@dataclass
+class ServingBackends:
+    """The shared pipeline fleet behind one gateway."""
+
+    dataset: Dataset
+    llm: SimulatedLLM
+    rag: NaiveRAG
+    graph_rag: GraphRAG
+    sparql_qa: ResilientText2SparqlQA
+    sessions: SessionStore
+    handlers: Dict[str, List[TierStep]] = field(default_factory=dict)
+
+
+def _labels(dataset: Dataset, answers) -> str:
+    """Render an IRI answer set as a reply string."""
+    entities = sorted(a for a in answers if isinstance(a, IRI))
+    if not entities:
+        return "no results found in the knowledge graph"
+    return ", ".join(dataset.kg.label(e) for e in entities)
+
+
+def build_backends(dataset: str = "enterprise", seed: int = 0,
+                   llm: Optional[SimulatedLLM] = None,
+                   session_capacity: int = 32, max_history: int = 8,
+                   obs=None) -> ServingBackends:
+    """Build the shared pipelines and their tier ladders for one gateway.
+
+    ``llm`` defaults to a chatgpt-profile model absorbed on the dataset's
+    KG; pass a :class:`~repro.llm.faults.FaultInjectingLLM` wrapper to
+    run the same ladders under chaos. Indexes (RAG chunks, GraphRAG
+    communities) are built up front so serving-time costs are pure
+    query-path costs.
+    """
+    obs = resolve_obs(obs)
+    data = DATASET_BUILDERS[dataset](seed=seed)
+    model = llm if llm is not None else load_model("chatgpt", world=data.kg,
+                                                   seed=seed)
+    rag = NaiveRAG(model, cache=True, obs=obs)
+    rag.index_documents(data.metadata.get("documents", []))
+    graph = GraphRAG(model, data.kg, cache=True, obs=obs)
+    graph.build()
+    task = Text2SparqlTask(data, n=8, seed=seed)
+    sparql_qa = ResilientText2SparqlQA(SparqlGenText2Sparql(model, task),
+                                       task, model)
+    sessions = SessionStore(
+        lambda tenant, session_id: KGChatbot(model, data.kg, sparql_qa,
+                                             max_history=max_history),
+        max_sessions=session_capacity)
+    if obs.enabled:
+        obs.register_source("serve.sessions", sessions.cache_stats)
+
+    def graphrag_full(request: Request):
+        return graph.answer_global_strict(request.question)
+
+    def graphrag_degraded(request: Request):
+        return rag.answer(request.question)
+
+    def rag_full(request: Request):
+        answer, report = rag.answer_with_report(request.question)
+        if report.degraded:
+            raise LLMTransientError("rag pipeline degraded")
+        return answer
+
+    def rag_degraded(request: Request):
+        return rag.closed_book_answer(request.question)
+
+    def sparql_full(request: Request):
+        answers, route = sparql_qa.answer_with_route(request.question)
+        if route != "sparql":
+            raise LLMTransientError(f"structured querying degraded "
+                                    f"to {route}")
+        return _labels(data, answers)
+
+    def sparql_degraded(request: Request):
+        try:
+            return _labels(data, sparql_qa.path_fallback.answer(
+                request.question))
+        except LLMTransientError:
+            return "no results found in the knowledge graph"
+
+    def chat_full(request: Request):
+        session = sessions.get(request.tenant,
+                               request.session_id or "default")
+        turn = session.chat(request.question)
+        if turn.degraded:
+            raise LLMTransientError("dialogue turn degraded")
+        return turn.reply
+
+    def chat_stateless(request: Request):
+        return rag.closed_book_answer(request.question)
+
+    def busy(request: Request) -> str:
+        return BUSY_MESSAGE
+
+    costs = TIER_COSTS
+    handlers = {
+        "graphrag": [
+            TierStep("graphrag", costs["graphrag"][0], graphrag_full),
+            TierStep("rag", costs["graphrag"][1], graphrag_degraded),
+            TierStep("busy", costs["graphrag"][2], busy),
+        ],
+        "rag": [
+            TierStep("rag", costs["rag"][0], rag_full),
+            TierStep("closed-book", costs["rag"][1], rag_degraded),
+            TierStep("busy", costs["rag"][2], busy),
+        ],
+        "sparql": [
+            TierStep("sparql", costs["sparql"][0], sparql_full),
+            TierStep("path", costs["sparql"][1], sparql_degraded),
+            TierStep("busy", costs["sparql"][2], busy),
+        ],
+        "chat": [
+            TierStep("chat", costs["chat"][0], chat_full),
+            TierStep("stateless", costs["chat"][1], chat_stateless),
+            TierStep("busy", costs["chat"][2], busy),
+        ],
+    }
+    return ServingBackends(dataset=data, llm=model, rag=rag, graph_rag=graph,
+                           sparql_qa=sparql_qa, sessions=sessions,
+                           handlers=handlers)
+
+
+def question_pool(dataset: Dataset, seed: int = 0,
+                  n_factual: int = 12) -> Dict[str, List[str]]:
+    """Deterministic per-kind question lists for load generation."""
+    factual = [q.text for q in generate_multihop_questions(
+        dataset, n=n_factual, hops=1, seed=seed)]
+    if not factual:  # tiny KGs: keep every kind non-empty
+        factual = ["What is in the knowledge graph?"]
+    chat: List[str] = []
+    for index, question in enumerate(factual):
+        chat.append(CHAT_SMALLTALK[index % len(CHAT_SMALLTALK)])
+        chat.append(question)
+    return {
+        "graphrag": list(GLOBAL_QUESTIONS),
+        "rag": list(factual),
+        "sparql": list(factual),
+        "chat": chat,
+    }

@@ -1,0 +1,79 @@
+"""Bounded per-client session state for the chatbot workload.
+
+A chatbot service keeps a dialogue manager per ``(tenant, session)`` —
+and a service facing "millions of users" cannot keep them all.
+:class:`SessionStore` bounds the live set with LRU eviction: an evicted
+session simply restarts its dialogue on the next turn (the graceful
+failure mode — stale context, not an OOM). Stats follow the repo's
+canonical cache schema so the store binds straight into ``repro obs
+report`` via :func:`~repro.core.observability.cache_stats_dict`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Tuple
+
+from repro.core.observability import cache_stats_dict
+
+
+class SessionStore:
+    """LRU-bounded map of ``(tenant, session_id)`` → session object.
+
+    ``factory(tenant, session_id)`` builds a fresh session on miss —
+    typically a :class:`~repro.qa.chatbot.KGChatbot` with its own
+    ``max_history`` bound, so memory is bounded on *both* axes: number
+    of live sessions here, transcript length inside each session.
+    """
+
+    def __init__(self, factory: Callable[[str, str], Any],
+                 max_sessions: int = 64):
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self._factory = factory
+        self.max_sessions = max_sessions
+        self._sessions: "OrderedDict[Tuple[str, str], Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, tenant: str, session_id: str) -> Any:
+        """The live session for the key, creating (and evicting) as needed."""
+        key = (tenant, session_id)
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is not None:
+                self.hits += 1
+                self._sessions.move_to_end(key)
+                return session
+            self.misses += 1
+            while len(self._sessions) >= self.max_sessions:
+                self._sessions.popitem(last=False)
+                self.evictions += 1
+        # Build outside the lock: factories may be arbitrarily heavy.
+        session = self._factory(tenant, session_id)
+        with self._lock:
+            existing = self._sessions.get(key)
+            if existing is not None:
+                return existing
+            while len(self._sessions) >= self.max_sessions:
+                self._sessions.popitem(last=False)
+                self.evictions += 1
+            self._sessions[key] = session
+            return session
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        return key in self._sessions
+
+    def cache_stats(self) -> Dict[str, float]:
+        """Canonical cache-stats mapping (binds as an obs pull source)."""
+        with self._lock:
+            return cache_stats_dict(hits=self.hits, misses=self.misses,
+                                    evictions=self.evictions,
+                                    size=len(self._sessions),
+                                    max_size=self.max_sessions)

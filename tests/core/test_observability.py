@@ -16,6 +16,7 @@ from repro.core.observability import (
     Tracer,
     cache_stats_dict,
     load_jsonl,
+    percentile,
     resolve_obs,
 )
 from repro.kg.datasets import movie_kg
@@ -169,6 +170,59 @@ class TestMetricsRegistry:
         for t in threads:
             t.join()
         assert registry.counter_value("n") == 4000
+
+    def test_histogram_quantiles_from_samples(self):
+        registry = MetricsRegistry()
+        for value in range(1, 101):  # 1..100
+            registry.observe("latency", float(value), stage="map")
+        quantiles = registry.histogram_quantiles(
+            "latency", (0.0, 50.0, 99.0, 100.0), stage="map")
+        assert quantiles["p0"] == 1.0
+        assert quantiles["p50"] == 50.5
+        assert quantiles["p99"] == pytest.approx(99.01)
+        assert quantiles["p100"] == 100.0
+
+    def test_histogram_quantiles_empty_series_is_zero(self):
+        registry = MetricsRegistry()
+        assert registry.histogram_quantiles("never") == \
+            {"p50": 0.0, "p99": 0.0}
+
+    def test_histogram_samples_bounded(self):
+        registry = MetricsRegistry()
+        registry.MAX_SAMPLES = 10  # shrink the retention bound for the test
+        for value in range(100):
+            registry.observe("latency", float(value))
+        # Aggregates see every observation; samples keep only the bound.
+        assert registry.histogram_stats("latency")["count"] == 100
+        assert registry.histogram_quantiles("latency",
+                                            (100.0,))["p100"] == 9.0
+
+    def test_histogram_samples_never_exported(self):
+        registry = MetricsRegistry()
+        registry.observe("latency", 1.0)
+        snapshot = registry.snapshot()
+        for row in snapshot["histograms"]:
+            assert set(row) == {"name", "labels", "count", "sum",
+                                "min", "max"}
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50.0) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 99.0) == 7.0
+
+    def test_linear_interpolation(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == 2.5
+        assert percentile([4.0, 1.0, 3.0, 2.0], 100.0) == 4.0
+        assert percentile([4.0, 1.0, 3.0, 2.0], 0.0) == 1.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
 
 
 class TestTracer:

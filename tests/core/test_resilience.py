@@ -113,6 +113,31 @@ class TestDeadline:
         with pytest.raises(ValueError):
             Deadline(budget=1.0).charge(-1.0)
 
+    def test_negative_charge_leaves_budget_untouched(self):
+        deadline = Deadline(budget=1.0)
+        deadline.charge(0.25)
+        with pytest.raises(ValueError):
+            deadline.charge(-0.5)
+        # No silent refund: the rejected charge must not mutate spent.
+        assert deadline.spent == 0.25
+        assert deadline.remaining == 0.75
+
+    def test_nan_charge_rejected(self):
+        deadline = Deadline(budget=1.0)
+        with pytest.raises(ValueError):
+            deadline.charge(float("nan"))
+        assert deadline.spent == 0.0
+
+    def test_remaining_clamps_at_zero_once_expired(self):
+        deadline = Deadline(budget=1.0)
+        deadline.charge(1.0)
+        # Exactly exhausted: expired, with remaining pinned at 0.0.
+        assert deadline.expired and deadline.remaining == 0.0
+        deadline.charge(5.0)
+        # Overspend never goes negative.
+        assert deadline.remaining == 0.0
+        assert deadline.spent == 6.0
+
 
 class TestCircuitBreaker:
     def test_opens_after_threshold(self):
@@ -149,6 +174,73 @@ class TestCircuitBreaker:
         with pytest.raises(RuntimeError):
             breaker.call(Flaky(99))
         assert breaker.state == "open" and breaker.trips == 2
+
+
+class TestHalfOpenSingleProbe:
+    """Regression: after cooldown, ``allow()`` used to wave through every
+    caller the moment the circuit went half-open — a thundering herd into
+    a backend one probe might have shown to be still down. Half-open now
+    admits exactly one probe; the rest are rejected until its outcome is
+    recorded."""
+
+    def _opened(self, cooldown=0):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=cooldown)
+        assert breaker.record_failure() is True
+        return breaker
+
+    def test_second_caller_rejected_while_probe_in_flight(self):
+        breaker = self._opened()
+        assert breaker.allow()          # takes the probe slot
+        assert not breaker.allow()      # herd member: rejected
+        assert not breaker.allow()
+        assert breaker.rejected == 2
+
+    def test_probe_success_reopens_admission(self):
+        breaker = self._opened()
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow() and breaker.allow()
+
+    def test_probe_failure_restarts_cooldown(self):
+        breaker = self._opened(cooldown=2)
+        assert not breaker.allow() and not breaker.allow()  # cooldown
+        assert breaker.allow()          # the probe
+        assert breaker.record_failure() is True
+        assert breaker.state == "open"
+        # A fresh cooldown, then again exactly one probe.
+        assert not breaker.allow() and not breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()
+
+    def test_threaded_herd_admits_exactly_one_probe(self):
+        import threading
+
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=0)
+        assert breaker.record_failure() is True
+        n_threads = 16
+        barrier = threading.Barrier(n_threads)
+        admitted = []
+        lock = threading.Lock()
+
+        def rush():
+            barrier.wait()
+            if breaker.allow():
+                with lock:
+                    admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=rush) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(admitted) == 1, \
+            f"half-open admitted a herd of {len(admitted)}"
+        assert breaker.rejected == n_threads - 1
+        # The winning probe reports success and the circuit closes for all.
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
 
 
 class TestFallbackChain:

@@ -1,0 +1,170 @@
+"""Chaos suite for the serving gateway: overload replays under LLM
+fault injection never lose a request.
+
+The gateway's accounting contract — the one the CLI's ``serve replay``
+reconciliation check and the overload benchmark both gate on — is:
+
+* ``submitted == admitted + rejected`` (every arrival is either let in
+  or typed-rejected at the door);
+* ``admitted == completed + shed + failed`` (every admitted request is
+  resolved exactly once);
+* the terminal busy tier never fails, so with full ladders wired,
+  ``failed == 0`` at *any* LLM fault rate — faults surface as degraded
+  tiers, not dropped requests;
+* with a fixed seed the whole replay is deterministic, faults included.
+
+``REPRO_CHAOS_WORKERS`` (default 4) sets the gateway's worker capacity,
+as in the rest of the chaos suite.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.core.resilience import CircuitBreaker
+from repro.kg.datasets import DATASET_BUILDERS
+from repro.llm import FaultInjectingLLM, FaultProfile, load_model
+from repro.serve import (
+    Gateway,
+    LoadGenerator,
+    MIXES,
+    build_backends,
+    question_pool,
+    serving_observability,
+)
+
+FAULT_RATES = (0.0, 0.25, 0.5)
+
+CHAOS_WORKERS = int(os.environ.get("REPRO_CHAOS_WORKERS", "4"))
+
+DATASET = "enterprise"
+SEED = 0
+
+
+def _faulty_llm(kg, rate, seed=SEED):
+    inner = load_model("chatgpt", world=kg, seed=seed)
+    if not rate:
+        return inner
+    return FaultInjectingLLM(inner, FaultProfile.uniform(rate, seed=seed))
+
+
+def _gateway(rate, seed=SEED, budget=4.0, queue_limit=16):
+    """A gateway over real pipeline backends with faults at ``rate``."""
+    data = DATASET_BUILDERS[DATASET](seed=seed)
+    obs = serving_observability()
+    backends = build_backends(dataset=DATASET, seed=seed,
+                              llm=_faulty_llm(data.kg, rate, seed=seed),
+                              obs=obs)
+    gateway = Gateway(backends.handlers, capacity=CHAOS_WORKERS,
+                      queue_limit=queue_limit, budget=budget,
+                      breaker=CircuitBreaker(failure_threshold=5, cooldown=8,
+                                             name="serve-chaos"),
+                      obs=obs, seed=seed)
+    return gateway, backends, obs
+
+
+def _replay(rate, n_requests=60, load_factor=2.0, seed=SEED):
+    gateway, backends, obs = _gateway(rate, seed=seed)
+    mix = MIXES["mixed"]
+    generator = LoadGenerator(gateway, question_pool(backends.dataset,
+                                                     seed=seed),
+                              mix, seed=seed, clock=obs.clock)
+    rate_rps = load_factor * CHAOS_WORKERS / mix.mean_tier0_cost()
+    report = generator.run_open(rate=rate_rps, n_requests=n_requests)
+    return gateway, generator, report
+
+
+class TestServingChaosSweep:
+    @pytest.mark.parametrize("rate", FAULT_RATES)
+    def test_no_request_is_lost(self, rate):
+        gateway, generator, report = _replay(rate)
+        # The door-level ledger.
+        assert gateway.submitted == report.offered
+        assert gateway.submitted == gateway.admitted \
+            + sum(gateway.rejected.values())
+        # Every admitted request resolved exactly once.
+        assert gateway.admitted == gateway.completed + gateway.shed \
+            + gateway.failed
+        assert gateway.completed == sum(gateway.tier_counts.values())
+        # The terminal tier never fails: faults degrade, they don't drop.
+        assert gateway.failed == 0
+        for result in generator.results:
+            assert result.status in ("completed", "shed", "rejected")
+            if result.ok:
+                assert isinstance(result.answer, str) and result.answer
+
+    @pytest.mark.parametrize("rate", FAULT_RATES)
+    def test_queue_depth_stays_bounded(self, rate):
+        gateway, _, report = _replay(rate)
+        assert report.max_queue_depth <= gateway.queue_limit
+
+    def test_faults_surface_as_tier_fallthrough(self):
+        _, calm_gen, _ = _replay(0.0, load_factor=0.5)
+        _, chaos_gen, _ = _replay(0.5, load_factor=0.5)
+        calm_steps = sum(len(r.step_errors) for r in calm_gen.results)
+        chaos_steps = sum(len(r.step_errors) for r in chaos_gen.results)
+        # At half capacity pressure never degrades a tier, so any
+        # fallthrough under chaos is fault-driven.
+        assert calm_steps == 0
+        assert chaos_steps > 0
+
+    def test_chaos_replay_is_deterministic(self):
+        _, _, first = _replay(0.4)
+        _, _, second = _replay(0.4)
+        assert first.to_dict() == second.to_dict()
+
+    def test_closed_loop_reconciles_under_faults(self):
+        gateway, backends, obs = _gateway(0.3, budget=3.0, queue_limit=8)
+        generator = LoadGenerator(gateway,
+                                  question_pool(backends.dataset, seed=SEED),
+                                  MIXES["chat"], seed=SEED, clock=obs.clock)
+        report = generator.run_closed(clients=2 * CHAOS_WORKERS,
+                                      requests_per_client=5, think=0.2)
+        assert report.offered == 10 * CHAOS_WORKERS
+        assert gateway.admitted == gateway.completed + gateway.shed \
+            + gateway.failed
+        assert gateway.failed == 0
+
+
+class TestThreadedSubmission:
+    def test_concurrent_clients_reconcile(self):
+        """Real threads hammer one gateway; the ledger still balances.
+
+        Arrival times are held constant (equal arrivals are legal), so
+        ordering between threads is genuinely racy — the invariants must
+        hold for *every* interleaving.
+        """
+        gateway, backends, _ = _gateway(0.2, budget=100.0, queue_limit=1000)
+        pool = question_pool(backends.dataset, seed=SEED)
+        per_thread = 10
+        barrier = threading.Barrier(CHAOS_WORKERS)
+        statuses = []
+        lock = threading.Lock()
+
+        def client(worker):
+            kinds = ("rag", "sparql", "chat", "graphrag")
+            barrier.wait()
+            for i in range(per_thread):
+                kind = kinds[(worker + i) % len(kinds)]
+                question = pool[kind][i % len(pool[kind])]
+                result = gateway.offer(f"tenant-{worker}", kind, question,
+                                       0.0, session_id=f"s{worker}")
+                with lock:
+                    statuses.append(result.status)
+
+        threads = [threading.Thread(target=client, args=(w,))
+                   for w in range(CHAOS_WORKERS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        total = CHAOS_WORKERS * per_thread
+        assert len(statuses) == total
+        assert gateway.submitted == total
+        assert gateway.submitted == gateway.admitted \
+            + sum(gateway.rejected.values())
+        assert gateway.admitted == gateway.completed + gateway.shed \
+            + gateway.failed
+        assert gateway.failed == 0

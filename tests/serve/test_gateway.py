@@ -1,0 +1,336 @@
+"""Tests for the gateway's admission, scheduling and degradation logic."""
+
+import threading
+
+import pytest
+
+from repro.core.resilience import CircuitBreaker
+from repro.llm.faults import LLMRateLimitError, LLMTransientError
+from repro.serve.gateway import (
+    AdmissionError,
+    Gateway,
+    QueueFullError,
+    RateLimiter,
+    Request,
+    ThrottledError,
+    TierStep,
+    TokenBucket,
+)
+
+
+def echo_handlers(primary_cost=1.0, fail_primary=False):
+    """A two/three-tier ladder whose answers name the tier that ran."""
+
+    def full(request):
+        if fail_primary:
+            raise LLMTransientError("primary down")
+        return f"full:{request.question}"
+
+    return {
+        "echo": [
+            TierStep("full", primary_cost, full),
+            TierStep("degraded", primary_cost / 4,
+                     lambda r: f"degraded:{r.question}"),
+            TierStep("busy", 0.01, lambda r: "busy"),
+        ],
+    }
+
+
+def make_gateway(**kwargs):
+    kwargs.setdefault("capacity", 1)
+    kwargs.setdefault("queue_limit", 4)
+    kwargs.setdefault("budget", 10.0)
+    handlers = kwargs.pop("handlers", echo_handlers())
+    return Gateway(handlers, **kwargs)
+
+
+class TestTokenBucket:
+    def test_burst_then_dry(self):
+        bucket = TokenBucket(rate=1.0, burst=2)
+        assert bucket.try_acquire(0.0) and bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)
+
+    def test_refills_with_time(self):
+        bucket = TokenBucket(rate=2.0, burst=1)
+        assert bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.1)
+        assert bucket.try_acquire(0.6)  # 0.5s at 2/s refills a token
+
+    def test_retry_after_names_the_gap(self):
+        bucket = TokenBucket(rate=2.0, burst=1)
+        assert bucket.try_acquire(0.0)
+        assert bucket.retry_after(0.0) == pytest.approx(0.5)
+
+    def test_never_exceeds_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=3)
+        bucket.try_acquire(0.0)
+        bucket._refill(1000.0)
+        assert bucket.tokens == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestRateLimiter:
+    def test_tenant_isolation(self):
+        limiter = RateLimiter(tenant_rate=1.0, tenant_burst=1)
+        limiter.check("a", 0.0)
+        with pytest.raises(ThrottledError):
+            limiter.check("a", 0.0)
+        limiter.check("b", 0.0)  # a's exhaustion does not throttle b
+
+    def test_global_bucket_caps_everyone(self):
+        limiter = RateLimiter(tenant_rate=100.0, tenant_burst=10,
+                              global_rate=1.0, global_burst=2)
+        limiter.check("a", 0.0)
+        limiter.check("b", 0.0)
+        with pytest.raises(ThrottledError) as info:
+            limiter.check("c", 0.0)
+        assert info.value.scope == "global"
+
+    def test_global_rejection_does_not_drain_tenant(self):
+        limiter = RateLimiter(tenant_rate=10.0, tenant_burst=1,
+                              global_rate=1.0, global_burst=1)
+        limiter.check("a", 0.0)
+        with pytest.raises(ThrottledError):
+            limiter.check("b", 0.0)     # global dry
+        # b's own bucket was left intact for when the global refills.
+        limiter.check("b", 2.0)
+
+    def test_throttled_is_a_rate_limit_error(self):
+        limiter = RateLimiter(tenant_rate=1.0, tenant_burst=1, seed=3)
+        limiter.check("a", 0.0)
+        with pytest.raises(LLMRateLimitError) as info:
+            limiter.check("a", 0.0)
+        # The hint is positive and seeded — retry policies floor on it.
+        assert info.value.retry_after > 0
+        assert isinstance(info.value, AdmissionError)
+
+
+class TestAdmission:
+    def test_queue_full_rejects(self):
+        gateway = make_gateway(capacity=1, queue_limit=2, budget=100.0)
+        for i in range(3):
+            gateway.submit("t", "echo", f"q{i}", 0.0)
+        # Three requests queued two deep behind one worker: full.
+        with pytest.raises(QueueFullError):
+            gateway.submit("t", "echo", "q3", 0.0)
+        assert gateway.rejected["queue_full"] == 1
+
+    def test_queue_drains_as_time_passes(self):
+        gateway = make_gateway(capacity=1, queue_limit=2, budget=100.0)
+        for i in range(3):
+            gateway.submit("t", "echo", f"q{i}", 0.0)
+        with pytest.raises(QueueFullError):
+            gateway.submit("t", "echo", "q3", 0.0)
+        # By t=2.5 at ~1s/request the backlog has started; room again.
+        result = gateway.submit("t", "echo", "q4", 2.5)
+        assert result.ok
+
+    def test_queues_are_per_tenant(self):
+        gateway = make_gateway(capacity=1, queue_limit=1, budget=100.0)
+        gateway.submit("a", "echo", "q", 0.0)
+        gateway.submit("a", "echo", "q", 0.0)
+        with pytest.raises(QueueFullError):
+            gateway.submit("a", "echo", "q", 0.0)
+        assert gateway.submit("b", "echo", "q", 0.0).ok
+
+    def test_throttle_counted_and_typed(self):
+        gateway = make_gateway(
+            limiter=RateLimiter(tenant_rate=1.0, tenant_burst=1))
+        assert gateway.submit("t", "echo", "q", 0.0).ok
+        with pytest.raises(ThrottledError):
+            gateway.submit("t", "echo", "q", 0.0)
+        assert gateway.rejected["throttled"] == 1
+        assert gateway.submitted == 2 and gateway.admitted == 1
+
+    def test_offer_converts_refusals_to_results(self):
+        gateway = make_gateway(
+            limiter=RateLimiter(tenant_rate=1.0, tenant_burst=1))
+        assert gateway.offer("t", "echo", "q", 0.0).ok
+        rejected = gateway.offer("t", "echo", "q", 0.0)
+        assert rejected.status == "rejected"
+        assert "throttled" in rejected.error
+        assert rejected.latency == 0.0
+
+    def test_arrivals_must_be_monotonic(self):
+        gateway = make_gateway()
+        gateway.submit("t", "echo", "q", 5.0)
+        with pytest.raises(ValueError):
+            gateway.submit("t", "echo", "q", 4.0)
+
+    def test_unknown_kind_is_a_programming_error(self):
+        gateway = make_gateway()
+        with pytest.raises(KeyError):
+            gateway.submit("t", "nope", "q", 0.0)
+
+
+class TestSchedulingAndShedding:
+    def test_idle_request_runs_immediately_at_full_tier(self):
+        gateway = make_gateway()
+        result = gateway.submit("t", "echo", "hi", 0.0)
+        assert result.ok and result.tier == "full" and result.wait == 0.0
+        assert result.answer == "full:hi"
+        assert 0.8 <= result.service <= 1.2  # base cost ± 20% jitter
+
+    def test_backlog_waits_and_latency_adds_up(self):
+        gateway = make_gateway(budget=100.0)
+        first = gateway.submit("t", "echo", "a", 0.0)
+        second = gateway.submit("t", "echo", "b", 0.0)
+        assert second.start == pytest.approx(first.finish)
+        assert second.wait == pytest.approx(first.finish)
+        assert second.latency == pytest.approx(second.wait + second.service)
+
+    def test_capacity_spreads_the_backlog(self):
+        gateway = make_gateway(capacity=2, budget=100.0)
+        results = [gateway.submit("t", "echo", f"q{i}", 0.0)
+                   for i in range(2)]
+        assert all(r.wait == 0.0 for r in results)
+
+    def test_excess_wait_sheds_without_consuming_service(self):
+        # Budget below a single service time: anything that has to wait
+        # behind the first request expires in the queue.
+        gateway = make_gateway(budget=0.5, queue_limit=10)
+        gateway.submit("t", "echo", "a", 0.0)       # occupies ~1s
+        result = gateway.submit("t", "echo", "b", 0.0)  # waits ~1s > 0.5s
+        assert result.status == "shed"
+        assert result.answer is None
+        assert gateway.shed == 1
+        # Shedding consumed no worker time: a later request sees the
+        # same backlog it would have anyway.
+        later = gateway.submit("t", "echo", "d", 5.0)
+        assert later.wait == 0.0
+
+    def test_pressure_degrades_tier(self):
+        gateway = make_gateway(budget=2.4, queue_limit=10)
+        gateway.submit("t", "echo", "a", 0.0)
+        degraded = gateway.submit("t", "echo", "b", 0.0)
+        # ~1s wait / 2.4s budget ≈ 0.42 pressure → tier 1.
+        assert degraded.ok and degraded.tier == "degraded"
+        assert degraded.degraded
+
+    def test_deep_pressure_goes_straight_to_busy(self):
+        gateway = make_gateway(budget=1.2, queue_limit=10)
+        gateway.submit("t", "echo", "a", 0.0)
+        busy = gateway.submit("t", "echo", "b", 0.0)
+        # ~1s wait / 1.2s budget ≈ 0.83 > busy threshold → terminal tier.
+        assert busy.ok and busy.tier == "busy" and busy.answer == "busy"
+
+    def test_fault_falls_through_the_ladder(self):
+        gateway = make_gateway(handlers=echo_handlers(fail_primary=True))
+        result = gateway.submit("t", "echo", "q", 0.0)
+        assert result.ok and result.tier == "degraded"
+        assert result.step_errors and result.step_errors[0][0] == "full"
+        # The failed tier's service time was still spent.
+        assert result.service > 0.25
+
+    def test_handler_bug_fails_request_not_gateway(self):
+        def boom(request):
+            raise ZeroDivisionError("bug")
+
+        handlers = {"echo": [TierStep("full", 1.0, boom),
+                             TierStep("busy", 0.01, lambda r: "busy")]}
+        gateway = make_gateway(handlers=handlers)
+        result = gateway.submit("t", "echo", "q", 0.0)
+        assert result.status == "failed"
+        assert "ZeroDivisionError" in result.error
+        assert gateway.failed == 1
+
+    def test_late_completion_is_counted(self):
+        gateway = make_gateway(budget=0.5)
+        result = gateway.submit("t", "echo", "q", 0.0)
+        # No queue wait so it runs, but ~1s service > 0.5s budget: late.
+        assert result.ok and result.late
+        assert gateway.late == 1
+
+    def test_counters_reconcile(self):
+        gateway = make_gateway(
+            budget=1.5, queue_limit=2,
+            limiter=RateLimiter(tenant_rate=2.0, tenant_burst=3))
+        for i in range(12):
+            gateway.offer("t", "echo", f"q{i}", i * 0.25)
+        assert gateway.submitted == 12
+        assert gateway.submitted == gateway.admitted \
+            + sum(gateway.rejected.values())
+        assert gateway.admitted == gateway.completed + gateway.shed \
+            + gateway.failed
+        assert gateway.completed == sum(gateway.tier_counts.values())
+        stats = gateway.stats()
+        assert stats["submitted"] == 12
+
+    def test_determinism_same_stream_same_results(self):
+        def run():
+            gateway = make_gateway(budget=2.0, seed=7)
+            return [gateway.offer("t", "echo", f"q{i}", i * 0.3).latency
+                    for i in range(20)]
+
+        assert run() == run()
+
+    def test_seed_changes_jitter(self):
+        a = make_gateway(seed=1).submit("t", "echo", "q", 0.0)
+        b = make_gateway(seed=2).submit("t", "echo", "q", 0.0)
+        assert a.service != b.service
+
+
+class TestBreakerIntegration:
+    def test_meltdown_trips_then_probe_recovers(self):
+        down = {"value": True}
+
+        def full(request):
+            if down["value"]:
+                raise LLMTransientError("backend down")
+            return "full"
+
+        handlers = {"echo": [TierStep("full", 1.0, full),
+                             TierStep("degraded", 0.25, lambda r: "deg"),
+                             TierStep("busy", 0.01, lambda r: "busy")]}
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=2,
+                                 name="test")
+        gateway = make_gateway(handlers=handlers, breaker=breaker,
+                               capacity=8, budget=100.0)
+        # Two primary failures trip the breaker (requests still answer
+        # through the degraded tier).
+        for i in range(2):
+            result = gateway.submit("t", "echo", "q", float(i))
+            assert result.ok and result.tier == "degraded"
+        assert breaker.state == "open"
+        # While open, tier 0 is skipped without even attempting it: the
+        # answers come from tier 1 with no tier-0 step error recorded.
+        for i in range(2, 4):
+            result = gateway.submit("t", "echo", "q", float(i))
+            assert result.tier == "degraded" and not result.step_errors
+        # Backend recovers; the next request is the single half-open
+        # probe, succeeds, and closes the circuit for everyone.
+        down["value"] = False
+        probe = gateway.submit("t", "echo", "q", 5.0)
+        assert probe.tier == "full"
+        assert breaker.state == "closed"
+
+    def test_thread_safe_submission(self):
+        gateway = make_gateway(capacity=4, queue_limit=100, budget=1000.0)
+        results = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(4)
+
+        def client(name):
+            barrier.wait()
+            for i in range(25):
+                result = gateway.offer(name, "echo", f"{name}:{i}", 1000.0)
+                with lock:
+                    results.append(result)
+
+        threads = [threading.Thread(target=client, args=(f"t{i}",))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 100
+        assert gateway.submitted == 100
+        assert gateway.admitted == gateway.completed + gateway.shed \
+            + gateway.failed
+        assert gateway.submitted == gateway.admitted \
+            + sum(gateway.rejected.values())

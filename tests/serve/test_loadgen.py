@@ -1,0 +1,143 @@
+"""Tests for the deterministic load generator and traffic mixes."""
+
+import pytest
+
+from repro.core.observability import FakeClock
+from repro.serve.gateway import Gateway, TierStep
+from repro.serve.loadgen import MIXES, LoadGenerator, TrafficMix
+
+COSTS = {"rag": (0.35, 0.12, 0.02), "sparql": (0.45, 0.2, 0.02),
+         "chat": (0.3, 0.12, 0.02), "graphrag": (0.8, 0.3, 0.02)}
+
+
+def echo_handlers(kinds=("rag", "sparql", "chat", "graphrag")):
+    handlers = {}
+    for kind in kinds:
+        full, degraded, busy = COSTS[kind]
+        handlers[kind] = [
+            TierStep(kind, full, lambda r, k=kind: f"{k}:{r.question}"),
+            TierStep("degraded", degraded, lambda r: "degraded"),
+            TierStep("busy", busy, lambda r: "busy"),
+        ]
+    return handlers
+
+
+def questions_for(mix):
+    return {kind: [f"{kind} question {i}" for i in range(4)]
+            for kind, _ in mix.kinds}
+
+
+def make_generator(mix_name="mixed", seed=0, clock=None, **gateway_kwargs):
+    mix = MIXES[mix_name]
+    gateway_kwargs.setdefault("capacity", 4)
+    gateway_kwargs.setdefault("queue_limit", 16)
+    gateway_kwargs.setdefault("budget", 6.0)
+    gateway = Gateway(echo_handlers(), seed=seed, **gateway_kwargs)
+    return LoadGenerator(gateway, questions_for(mix), mix, seed=seed,
+                         clock=clock)
+
+
+class TestTrafficMix:
+    def test_pick_is_a_pure_function_of_the_draw(self):
+        mix = MIXES["mixed"]
+        assert mix.pick(mix.kinds, 0.25) == mix.pick(mix.kinds, 0.25)
+
+    def test_pick_respects_weights(self):
+        mix = TrafficMix("t", kinds=(("a", 3.0), ("b", 1.0)))
+        # Thresholds split the unit interval proportionally to weight:
+        # [0, 0.75) → a, [0.75, 1) → b.
+        assert mix.pick(mix.kinds, 0.0) == "a"
+        assert mix.pick(mix.kinds, 0.74) == "a"
+        assert mix.pick(mix.kinds, 0.76) == "b"
+
+    def test_pick_weighting_converges_on_a_stream(self):
+        mix = TrafficMix("t", kinds=(("a", 3.0), ("b", 1.0)))
+        picks = [mix.pick(mix.kinds, i / 1000) for i in range(1000)]
+        assert picks.count("a") == 750
+
+    def test_mean_tier0_cost_is_kind_weighted(self):
+        mix = TrafficMix("t", kinds=(("rag", 1.0), ("graphrag", 1.0)))
+        assert mix.mean_tier0_cost(COSTS) == pytest.approx(
+            (0.35 + 0.8) / 2)
+
+    def test_canned_mixes_are_well_formed(self):
+        for name, mix in MIXES.items():
+            assert mix.name == name
+            assert mix.kinds and mix.tenants
+            assert mix.mean_tier0_cost() > 0
+
+
+class TestLoadGenerator:
+    def test_requires_questions_for_every_kind(self):
+        mix = MIXES["mixed"]
+        gateway = Gateway(echo_handlers(), capacity=2)
+        with pytest.raises(ValueError):
+            LoadGenerator(gateway, {"rag": ["only rag"]}, mix)
+
+    def test_open_loop_is_deterministic(self):
+        first = make_generator(seed=3).run_open(rate=8.0, n_requests=60)
+        second = make_generator(seed=3).run_open(rate=8.0, n_requests=60)
+        assert first.to_dict() == second.to_dict()
+
+    def test_seed_changes_the_replay(self):
+        first = make_generator(seed=1).run_open(rate=8.0, n_requests=60)
+        second = make_generator(seed=2).run_open(rate=8.0, n_requests=60)
+        assert first.to_dict() != second.to_dict()
+
+    def test_closed_loop_is_deterministic(self):
+        first = make_generator(seed=3).run_closed(
+            clients=6, requests_per_client=5, think=0.4)
+        second = make_generator(seed=3).run_closed(
+            clients=6, requests_per_client=5, think=0.4)
+        assert first.to_dict() == second.to_dict()
+
+    def test_closed_loop_offers_every_request(self):
+        report = make_generator().run_closed(clients=5,
+                                             requests_per_client=4)
+        assert report.offered == 20
+        assert report.model == "closed"
+
+    def test_report_reconciles_with_gateway(self):
+        generator = make_generator(budget=1.0, queue_limit=4)
+        report = generator.run_open(rate=40.0, n_requests=120)
+        gateway = generator.gateway
+        assert report.offered == 120
+        assert report.completed == gateway.completed
+        assert report.shed == gateway.shed
+        assert report.rejected == sum(gateway.rejected.values())
+        assert report.completed + report.shed + report.rejected \
+            + report.failed == report.offered
+        assert report.tier_counts == gateway.tier_counts
+
+    def test_overload_engages_degradation(self):
+        calm = make_generator(seed=0).run_open(rate=2.0, n_requests=80)
+        slammed = make_generator(seed=0, budget=2.0).run_open(
+            rate=60.0, n_requests=80)
+        assert calm.degraded == 0
+        assert slammed.degraded > 0
+        assert slammed.p99_latency <= 2.0 + 1.0  # bounded by budget + svc
+
+    def test_report_dict_shape(self):
+        row = make_generator().run_open(rate=8.0, n_requests=30).to_dict()
+        for key in ("mix", "model", "offered", "completed", "shed",
+                    "rejected", "failed", "late", "degraded", "makespan",
+                    "p50_latency", "p99_latency", "mean_latency",
+                    "max_latency", "shed_rate", "goodput",
+                    "max_queue_depth", "tier_counts"):
+            assert key in row
+        assert row["model"] == "open"
+        assert list(row["tier_counts"]) == sorted(row["tier_counts"])
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_generator().run_open(rate=0.0, n_requests=5)
+        with pytest.raises(ValueError):
+            make_generator().run_closed(clients=0)
+
+    def test_fake_clock_tracks_arrivals(self):
+        clock = FakeClock(start=0.0, tick=0.0)
+        generator = make_generator(clock=clock)
+        report = generator.run_open(rate=4.0, n_requests=25)
+        assert clock.now() == pytest.approx(
+            max(r.request.arrival for r in generator.results))
+        assert report.makespan >= clock.now() or report.completed == 0

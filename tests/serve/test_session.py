@@ -1,0 +1,75 @@
+"""Tests for the LRU-bounded session store."""
+
+import pytest
+
+from repro.serve.session import SessionStore
+
+
+class FakeSession:
+    def __init__(self, tenant, session_id):
+        self.tenant = tenant
+        self.session_id = session_id
+
+
+def make_store(max_sessions=3):
+    return SessionStore(FakeSession, max_sessions=max_sessions)
+
+
+class TestSessionStore:
+    def test_miss_builds_with_key(self):
+        store = make_store()
+        session = store.get("acme", "s1")
+        assert (session.tenant, session.session_id) == ("acme", "s1")
+        assert store.misses == 1 and store.hits == 0
+
+    def test_hit_returns_same_object(self):
+        store = make_store()
+        first = store.get("acme", "s1")
+        assert store.get("acme", "s1") is first
+        assert store.hits == 1 and store.misses == 1
+
+    def test_tenants_do_not_share_sessions(self):
+        store = make_store()
+        assert store.get("a", "s1") is not store.get("b", "s1")
+
+    def test_evicts_least_recently_used(self):
+        store = make_store(max_sessions=2)
+        first = store.get("t", "s1")
+        store.get("t", "s2")
+        store.get("t", "s1")          # refresh s1: s2 is now LRU
+        store.get("t", "s3")          # evicts s2
+        assert ("t", "s2") not in store
+        assert store.get("t", "s1") is first
+        assert store.evictions == 1
+
+    def test_size_stays_bounded(self):
+        store = make_store(max_sessions=3)
+        for i in range(10):
+            store.get("t", f"s{i}")
+        assert len(store) == 3
+        assert store.evictions == 7
+
+    def test_evicted_session_restarts_fresh(self):
+        store = make_store(max_sessions=1)
+        first = store.get("t", "s1")
+        store.get("t", "s2")
+        reborn = store.get("t", "s1")
+        assert reborn is not first    # stale context, not a crash
+
+    def test_cache_stats_schema(self):
+        store = make_store(max_sessions=2)
+        store.get("t", "s1")
+        store.get("t", "s1")
+        store.get("t", "s2")
+        store.get("t", "s3")
+        stats = store.cache_stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 3
+        assert stats["evictions"] == 1
+        assert stats["size"] == 2
+        assert stats["max_size"] == 2
+        assert stats["hit_rate"] == pytest.approx(0.25)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            make_store(max_sessions=0)

@@ -206,3 +206,50 @@ class TestRunResume:
                            '"graphrag:answer_global_batch", "config": {}}\n')
         assert main(["run", "--resume", str(journal)]) == 2
         assert "no run config" in capsys.readouterr().err
+
+
+class TestServeCommands:
+    def test_bench_passes_gate_and_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main(["serve", "bench", "enterprise", "--requests", "60",
+                     "--out", str(out)])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "baseline (1x)" in captured
+        assert "overload (2x)" in captured
+        assert "goodput under 2x overload" in captured
+        import json
+        reports = json.loads(out.read_text())
+        assert set(reports) == {"baseline", "overload"}
+        assert reports["overload"]["offered"] == 60
+
+    def test_bench_is_deterministic(self, tmp_path, capsys):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert main(["serve", "bench", "enterprise", "--requests", "40",
+                         "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert paths[0].read_text() == paths[1].read_text()
+
+    def test_replay_reconciles(self, capsys):
+        code = main(["serve", "replay", "enterprise", "--clients", "4",
+                     "--requests-per-client", "3"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "admitted=" in captured and ": ok" in captured
+
+    def test_replay_under_faults_and_throttling(self, tmp_path, capsys):
+        jsonl = tmp_path / "serve.jsonl"
+        code = main(["serve", "replay", "enterprise", "--clients", "4",
+                     "--requests-per-client", "4", "--fault-rate", "0.3",
+                     "--tenant-rate", "2.0", "--tenant-burst", "2",
+                     "--jsonl", str(jsonl)])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert ": ok" in captured
+        assert jsonl.exists() and jsonl.stat().st_size > 0
+
+    def test_replay_unknown_mix_returns_2(self, capsys):
+        assert main(["serve", "replay", "enterprise",
+                     "--mix", "nonsense"]) == 2
+        assert "unknown mix" in capsys.readouterr().err
