@@ -1,0 +1,325 @@
+"""E-SHARDING — shard scaling curve + cost-based planner speedup.
+
+Two claims from the sharding/planner work, each asserted before the
+numbers are written:
+
+1. **Shard scaling** — hash-partitioning the TripleStore lets bulk load
+   and a mixed read/write stream scale with the shard count. This host
+   has one core (and the GIL serializes pure-Python index work anyway),
+   so the scale-out number a real N-node deployment would see is the
+   **critical path**: per-shard work is timed per shard and the curve
+   reports ``max`` over shards — the wall clock of the slowest shard,
+   which is what bounds an N-worker deployment. Partitioning skew
+   (CRC32 balance) is therefore *in* the measurement: a lopsided hash
+   would show up directly as a flat curve. Gate: ≥2× throughput at
+   4 shards vs 1 for both workloads.
+
+2. **Planner speedup** — honest single-thread wall clock of
+   ``SparqlEngine(planner="cost")`` vs ``planner="parse"`` (syntactic
+   pattern order) on a selective-BGP suite where parse order starts at a
+   dense pattern and cost order starts at the selective one (including a
+   numeric-range and a full-text access path). Gate: ≥3× on the suite
+   total, results asserted equivalent first.
+
+Identity is asserted before any timing: the sharded façade must produce
+byte-identical reads, and every planner mode identical row multisets.
+
+Results land in ``BENCH_sharding.json`` at the repo root. Knobs, as
+everywhere in ``benchmarks/``: ``REPRO_BENCH_QUICK=1`` shrinks the
+workloads (CI smoke), ``REPRO_BENCH_GATE=1`` fails if a measured ratio
+drops below 75% of ``benchmarks/BENCH_sharding_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+from repro.kg.sharding import ShardedTripleStore, shard_of
+from repro.kg.store import TripleStore
+from repro.kg.triples import IRI, RDFS, XSD, Literal, Triple
+from repro.sparql import SparqlEngine
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+GATE = os.environ.get("REPRO_BENCH_GATE") == "1"
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = _REPO_ROOT / "BENCH_sharding.json"
+BASELINE_PATH = _REPO_ROOT / "benchmarks" / "BENCH_sharding_baseline.json"
+
+#: Gate tolerance: a ratio may drop to 75% of baseline before CI fails.
+GATE_TOLERANCE = 0.75
+
+SHARD_CURVE = (1, 2, 4, 8)
+
+#: Acceptance floors (the issue's numbers).
+MIN_SHARD_SPEEDUP_AT_4 = 2.0
+MIN_PLANNER_SPEEDUP = 3.0
+
+EX = "http://bench.repro.dev/"
+
+
+def _timed(fn: Callable[[], None], repeats: int = 3) -> float:
+    """Best-of-n wall time — the least noisy point estimate on shared CI."""
+    best = float("inf")
+    for _ in range(repeats):
+        gc.collect()
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _load_triples(n: int) -> List[Triple]:
+    return [Triple(IRI(f"{EX}s{i % (n // 8)}"), IRI(f"{EX}p{i % 24}"),
+                   IRI(f"{EX}o{i}"))
+            for i in range(n)]
+
+
+def _critical_path(per_shard: List[float]) -> float:
+    """The wall clock an N-node deployment is bounded by."""
+    return max(per_shard)
+
+
+def _bench_bulk_load() -> Dict[str, Dict[str, float]]:
+    n = 8000 if QUICK else 40000
+    chunk = 200
+    triples = _load_triples(n)
+
+    # Identity first: the façade must be byte-identical to the monolith.
+    reference = TripleStore(triples)
+    probe = ShardedTripleStore(triples, shards=4)
+    assert list(probe) == list(reference)
+    assert probe.match(None, IRI(f"{EX}p3"), None) == \
+        reference.match(None, IRI(f"{EX}p3"), None)
+
+    curve: Dict[str, Dict[str, float]] = {}
+    for shards in SHARD_CURVE:
+        groups: List[List[Triple]] = [[] for _ in range(shards)]
+        for t in triples:
+            groups[shard_of(t.subject, shards)].append(t)
+
+        def load_one(group: List[Triple]) -> float:
+            def run() -> None:
+                store = TripleStore()
+                for start in range(0, len(group), chunk):
+                    store.add_all(group[start:start + chunk])
+            return _timed(run)
+
+        per_shard = [load_one(group) for group in groups if group]
+        critical = _critical_path(per_shard)
+        curve[str(shards)] = {
+            "critical_s": critical,
+            "total_s": sum(per_shard),
+            "throughput": n / critical,
+            "skew": critical / (sum(per_shard) / len(per_shard)),
+        }
+    return curve
+
+
+def _mixed_ops(triples: List[Triple], n_ops: int):
+    """A deterministic subject-routed read/write mix (70/30)."""
+    ops = []
+    for i in range(n_ops):
+        base = triples[(i * 37) % len(triples)]
+        kind = i % 10
+        if kind < 3:
+            ops.append(("add", Triple(base.subject, IRI(f"{EX}w{i % 5}"),
+                                      IRI(f"{EX}new{i}"))))
+        elif kind < 7:
+            ops.append(("spo", base.subject, base.predicate))
+        else:
+            ops.append(("s", base.subject, None))
+    return ops
+
+
+def _bench_mixed() -> Dict[str, Dict[str, float]]:
+    n = 4000 if QUICK else 20000
+    n_ops = 6000 if QUICK else 30000
+    triples = _load_triples(n)
+    ops = _mixed_ops(triples, n_ops)
+
+    curve: Dict[str, Dict[str, float]] = {}
+    for shards in SHARD_CURVE:
+        # Route each op to its owning shard, exactly as the façade does.
+        routed: List[List] = [[] for _ in range(shards)]
+        for op in ops:
+            routed[shard_of(op[1].subject if op[0] == "add" else op[1],
+                            shards)].append(op)
+        stores = ShardedTripleStore(triples, shards=shards).shards \
+            if shards > 1 else (TripleStore(triples),)
+
+        def run_stream(store: TripleStore, stream: List) -> float:
+            def run() -> None:
+                for op in stream:
+                    if op[0] == "add":
+                        store.add(op[1])
+                    elif op[0] == "spo":
+                        store.match(op[1], op[2], None)
+                    else:
+                        store.match(op[1], None, None)
+            return _timed(run)
+
+        per_shard = [run_stream(store, stream)
+                     for store, stream in zip(stores, routed) if stream]
+        critical = _critical_path(per_shard)
+        curve[str(shards)] = {
+            "critical_s": critical,
+            "total_s": sum(per_shard),
+            "throughput": n_ops / critical,
+            "skew": critical / (sum(per_shard) / len(per_shard)),
+        }
+    return curve
+
+
+def _planner_kg() -> TripleStore:
+    """A KG shaped so syntactic pattern order is catastrophic: one dense
+    predicate (``type``), a handful of selective rows (``flag``), plus
+    label and numeric columns for the secondary access paths."""
+    n = 4000 if QUICK else 12000
+    store = TripleStore()
+    batch: List[Triple] = []
+    for i in range(n):
+        e = IRI(f"{EX}e{i}")
+        batch.append(Triple(e, IRI(f"{EX}type"), IRI(f"{EX}T{i % 3}")))
+        batch.append(Triple(e, RDFS.label,
+                            Literal(f"Entity {i} {'rare' if i % (n // 10) == 0 else 'common'}")))
+        batch.append(Triple(e, IRI(f"{EX}score"),
+                            Literal(str(i % 1000), datatype=XSD.integer)))
+        if i % (n // 20) == 0:
+            batch.append(Triple(e, IRI(f"{EX}flag"), IRI(f"{EX}on")))
+    store.add_all(batch)
+    return store
+
+
+#: Selective-BGP suite: the dense pattern is written FIRST in each query,
+#: so parse order pays the full dense scan and cost order must not.
+PLANNER_QUERIES = [
+    # Join reorder: selective `flag` should lead.
+    (f"SELECT ?x WHERE {{ ?x <{EX}type> <{EX}T1> . "
+     f"?x <{EX}flag> <{EX}on> }}"),
+    # Numeric range access path.
+    (f"SELECT ?x ?s WHERE {{ ?x <{EX}type> <{EX}T0> . "
+     f"?x <{EX}score> ?s FILTER (?s >= 995) }}"),
+    # Full-text access path.
+    (f'SELECT ?x ?l WHERE {{ ?x <{EX}type> <{EX}T2> . '
+     f'?x <{EX}label> ?l FILTER CONTAINS(?l, "rare") }}'
+     ).replace(f"{EX}label", RDFS.label.value),
+    # Three-way join with a pushed conjunction.
+    (f"SELECT ?x WHERE {{ ?x <{EX}type> ?t . ?x <{EX}score> ?s . "
+     f"?x <{EX}flag> <{EX}on> FILTER (?s > 100 && ?s < 400) }}"),
+]
+
+
+def _canon(rows) -> List:
+    return sorted(tuple(sorted((k, repr(v)) for k, v in row.items()))
+                  for row in rows)
+
+
+def _bench_planner() -> Dict[str, object]:
+    store = _planner_kg()
+    engines = {mode: SparqlEngine(store, planner=mode)
+               for mode in ("cost", "parse")}
+
+    # Result identity (as multisets: join order legitimately permutes
+    # rows) before any timing counts.
+    for query in PLANNER_QUERIES:
+        assert _canon(engines["cost"].select(query)) == \
+            _canon(engines["parse"].select(query)), query
+    # Warm the secondary indexes so the timed region measures the query
+    # path, not the first-read index build (indexes are version-keyed
+    # and amortized across queries in any real workload).
+    engines["cost"].select(PLANNER_QUERIES[1])
+
+    per_query = {}
+    totals = {"cost": 0.0, "parse": 0.0}
+    for index, query in enumerate(PLANNER_QUERIES):
+        row = {}
+        for mode in ("cost", "parse"):
+            elapsed = _timed(lambda m=mode: engines[m].select(query))
+            row[f"{mode}_s"] = elapsed
+            totals[mode] += elapsed
+        row["speedup"] = row["parse_s"] / row["cost_s"]
+        per_query[f"q{index + 1}"] = row
+    return {
+        "per_query": per_query,
+        "cost_s": totals["cost"],
+        "parse_s": totals["parse"],
+        "speedup": totals["parse"] / totals["cost"],
+    }
+
+
+def test_sharding_benchmark():
+    bulk = _bench_bulk_load()
+    mixed = _bench_mixed()
+    planner = _bench_planner()
+
+    bulk_speedup_4 = bulk["4"]["throughput"] / bulk["1"]["throughput"]
+    mixed_speedup_4 = mixed["4"]["throughput"] / mixed["1"]["throughput"]
+
+    print("\nE-SHARDING — scaling curve (critical-path) + planner speedup")
+    print("  shards   bulk load (ms, thr, x)       mixed r/w (ms, thr, x)")
+    for shards in SHARD_CURVE:
+        b, m = bulk[str(shards)], mixed[str(shards)]
+        bx = b["throughput"] / bulk["1"]["throughput"]
+        mx = m["throughput"] / mixed["1"]["throughput"]
+        print(f"  {shards:>6d}   {b['critical_s']*1e3:8.1f} "
+              f"{b['throughput']:>10,.0f}/s {bx:4.1f}x   "
+              f"{m['critical_s']*1e3:8.1f} {m['throughput']:>10,.0f}/s "
+              f"{mx:4.1f}x")
+    print(f"  planner: cost {planner['cost_s']*1e3:.1f}ms vs "
+          f"parse {planner['parse_s']*1e3:.1f}ms → "
+          f"{planner['speedup']:.1f}x on the selective-BGP suite")
+
+    results = {
+        "bulk_load": bulk,
+        "mixed_rw": mixed,
+        "planner": planner,
+        "summary": {
+            "bulk_speedup_at_4": bulk_speedup_4,
+            "mixed_speedup_at_4": mixed_speedup_4,
+            "planner_speedup": planner["speedup"],
+        },
+    }
+    payload = {
+        "generated_by": "benchmarks/test_bench_sharding.py",
+        "quick": QUICK,
+        "results": results,
+    }
+    RESULTS_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    print(f"  wrote {RESULTS_PATH}")
+
+    assert bulk_speedup_4 >= MIN_SHARD_SPEEDUP_AT_4, \
+        f"bulk load at 4 shards: {bulk_speedup_4:.2f}x < 2x"
+    assert mixed_speedup_4 >= MIN_SHARD_SPEEDUP_AT_4, \
+        f"mixed read/write at 4 shards: {mixed_speedup_4:.2f}x < 2x"
+    assert planner["speedup"] >= MIN_PLANNER_SPEEDUP, \
+        f"planner speedup: {planner['speedup']:.2f}x < 3x"
+
+    if GATE and BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+        if baseline.get("quick") != QUICK:
+            # Scaling ratios are workload-size dependent (smaller shards
+            # fit caches better), so a full-mode baseline can't gate a
+            # quick-mode run or vice versa.
+            print("  gate skipped: baseline recorded in a different mode")
+            return
+        base_summary = baseline.get("results", {}).get("summary", {})
+        regressions = []
+        for key, measured in results["summary"].items():
+            if key not in base_summary:
+                continue
+            floor = GATE_TOLERANCE * base_summary[key]
+            if measured < floor:
+                regressions.append(
+                    f"{key}: {measured:.2f} < {floor:.2f} "
+                    f"(75% of baseline {base_summary[key]:.2f})")
+        assert not regressions, \
+            "perf regression vs committed baseline:\n  " + \
+            "\n  ".join(regressions)

@@ -15,6 +15,8 @@ Commands
 ``obs report <path>``            summarize a JSONL observability export
 ``kg snapshot <dataset> <dir>``  persist a dataset KG into a durable store
 ``kg recover <dir>``             recover a durable store, print the report
+``kg stats <dataset>``           per-shard triple counts, index + cache stats
+``sparql explain <dataset> <q>`` cost-based plan with est/actual cardinalities
 ``run <dataset> --journal <p>``  checkpointed GraphRAG QA run (resumable)
 ``run --resume <journal>``       resume a killed run from its journal
 ``serve bench <dataset>``        overload benchmark through the gateway
@@ -79,7 +81,7 @@ def cmd_stats(args) -> int:
 def cmd_query(args) -> int:
     from repro.sparql import SparqlEngine, SparqlParseError
     ds = _build_dataset(args.dataset, args.seed)
-    engine = SparqlEngine(ds.kg.store)
+    engine = SparqlEngine(ds.kg.store, planner=args.planner)
     try:
         rows = engine.execute(args.query)
     except SparqlParseError as exc:
@@ -331,6 +333,71 @@ def cmd_kg_recover(args) -> int:
     return 0
 
 
+def _sharded_dataset(args) -> Dataset:
+    """Build the dataset, re-homing its KG onto a sharded store if asked."""
+    ds = _build_dataset(args.dataset, args.seed)
+    if getattr(args, "shards", 0):
+        from repro.kg.sharding import ShardedTripleStore
+        ds.kg.store = ShardedTripleStore(ds.kg.store, shards=args.shards)
+    return ds
+
+
+def cmd_kg_stats(args) -> int:
+    from repro.kg.indexes import FullTextIndex, NumericIndex
+
+    ds = _sharded_dataset(args)
+    store = ds.kg.store
+    print(f"dataset: {ds.name} (seed={ds.seed}, "
+          f"store={type(store).__name__})")
+    shard_stats = getattr(store, "shard_stats", None)
+    if shard_stats is not None:
+        for index, row in enumerate(shard_stats()):
+            print(f"  shard {index:02d}: triples={row['triples']} "
+                  f"version={row['version']}")
+    print(f"  triples: {len(store)}")
+    print(f"  predicates: {len(store.relations())}")
+    fulltext, numeric = FullTextIndex(store), NumericIndex(store)
+    for name, stats in (("fulltext", fulltext.stats()),
+                        ("numeric", numeric.stats())):
+        rendered = " ".join(f"{key}={value}"
+                            for key, value in sorted(stats.items()))
+        print(f"  index {name}: {rendered}")
+    # Warm the graph caches so the canonical schema shows live numbers.
+    ds.kg.find_by_label("anything")
+    cache = ds.kg.cache_stats()
+    print("  cache: " + " ".join(
+        f"{key}={cache[key]}" for key in
+        ("hits", "misses", "evictions", "invalidations", "size",
+         "hit_rate")))
+    label_index = ds.kg.label_index_stats()
+    print("  label-index: " + " ".join(
+        f"{key}={value}" for key, value in sorted(label_index.items())))
+    durability = getattr(store, "durability_stats", None)
+    if durability is not None:
+        rendered = " ".join(f"{key}={value}"
+                            for key, value in sorted(durability().items()))
+        print(f"  durability: {rendered}")
+    return 0
+
+
+def cmd_sparql_explain(args) -> int:
+    from repro.sparql import SparqlEngine, SparqlParseError
+    from repro.sparql.evaluator import SparqlEvaluationError
+
+    ds = _sharded_dataset(args)
+    engine = SparqlEngine(ds.kg.store, planner="cost")
+    try:
+        report = engine.explain(args.query)
+    except SparqlParseError as exc:
+        print(f"parse error: {exc}", file=sys.stderr)
+        return 2
+    except SparqlEvaluationError as exc:
+        print(f"explain error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0
+
+
 def _run_questions(count: int) -> List[str]:
     """A deterministic global-question workload for ``repro run``."""
     base = [
@@ -523,6 +590,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("query", help="run a SPARQL query")
     p.add_argument("dataset")
     p.add_argument("query")
+    p.add_argument("--planner", default="greedy",
+                   choices=("greedy", "cost", "parse"),
+                   help="BGP join-ordering strategy (default greedy)")
     p = sub.add_parser("cypher", help="run a Cypher query")
     p.add_argument("dataset")
     p.add_argument("query")
@@ -564,6 +634,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = kg_sub.add_parser("recover",
                           help="recover a durable store, print the report")
     p.add_argument("directory")
+    p = kg_sub.add_parser(
+        "stats", help="per-shard triple counts, index and cache stats")
+    p.add_argument("dataset")
+    p.add_argument("--shards", type=int, default=0,
+                   help="re-home the KG onto N hash shards (default off)")
+    p = sub.add_parser("sparql", help="query planning: explain")
+    sparql_sub = p.add_subparsers(dest="sparql_command", required=True)
+    p = sparql_sub.add_parser(
+        "explain", help="run a SELECT under the cost planner, show the plan")
+    p.add_argument("dataset")
+    p.add_argument("query")
+    p.add_argument("--shards", type=int, default=0,
+                   help="re-home the KG onto N hash shards (default off)")
     p = sub.add_parser("serve", help="serving gateway: bench / replay")
     serve_sub = p.add_subparsers(dest="serve_command", required=True)
     p = serve_sub.add_parser(
@@ -647,6 +730,11 @@ _OBS_HANDLERS = {
 _KG_HANDLERS = {
     "snapshot": cmd_kg_snapshot,
     "recover": cmd_kg_recover,
+    "stats": cmd_kg_stats,
+}
+
+_SPARQL_HANDLERS = {
+    "explain": cmd_sparql_explain,
 }
 
 _SERVE_HANDLERS = {
@@ -662,6 +750,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _OBS_HANDLERS[args.obs_command](args)
     if args.command == "kg":
         return _KG_HANDLERS[args.kg_command](args)
+    if args.command == "sparql":
+        return _SPARQL_HANDLERS[args.sparql_command](args)
     if args.command == "serve":
         return _SERVE_HANDLERS[args.serve_command](args)
     return _HANDLERS[args.command](args)

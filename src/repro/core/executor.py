@@ -161,14 +161,16 @@ class ParallelExecutor:
             with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
                 return list(pool.map(run_timed, indexed))
 
-    def map(self, items: Iterable[T], fn: Callable[[T], R]) -> List[R]:
+    def map(self, items: Iterable[T], fn: Callable[[T], R],
+            label: str = "map") -> List[R]:
         """Apply ``fn`` per item and return ordered values.
 
         If any item raised, the *lowest-index* error is re-raised after all
         items finish — the same error a sequential loop would have surfaced
-        first, so abort behaviour is scheduling-independent.
+        first, so abort behaviour is scheduling-independent. ``label`` names
+        the fan-out in traces (the sharded store labels its shard fan-outs).
         """
-        outcomes = self.map_outcomes(items, fn)
+        outcomes = self.map_outcomes(items, fn, label=label)
         for outcome in outcomes:
             if outcome.error is not None:
                 raise outcome.error

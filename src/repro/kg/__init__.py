@@ -22,6 +22,9 @@ from repro.kg.store import TripleStore
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.ontology import Ontology, ClassDef, PropertyDef, PropertyCharacteristic
 from repro.kg.wal import DurableTripleStore, RecoveryReport, WriteAheadLog, recover
+from repro.kg.sharding import (DurableShardedTripleStore, ShardedTripleStore,
+                               recover_sharded, shard_of)
+from repro.kg.indexes import FullTextIndex, NumericIndex
 
 __all__ = [
     "IRI",
@@ -44,4 +47,10 @@ __all__ = [
     "RecoveryReport",
     "WriteAheadLog",
     "recover",
+    "ShardedTripleStore",
+    "DurableShardedTripleStore",
+    "recover_sharded",
+    "shard_of",
+    "FullTextIndex",
+    "NumericIndex",
 ]

@@ -13,7 +13,7 @@ from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.observability import cache_stats_dict
-from repro.kg.store import TripleStore
+from repro.kg.store import TripleStore, _term_key
 from repro.kg.triples import IRI, Literal, RDF, RDFS, Term, Triple, term_from_python
 
 #: Predicate used for human-readable labels.
@@ -51,7 +51,14 @@ class KnowledgeGraph:
         self._label_cache: Dict[Term, str] = {}
         self._description_cache: Dict[IRI, Optional[str]] = {}
         self._types_cache: Dict[IRI, List[IRI]] = {}
-        self._label_index: Optional[Dict[str, List[IRI]]] = None
+        # The label→entities reverse index is *segmented*: one segment per
+        # backing store (per shard for a sharded façade, one otherwise),
+        # each stamped with its backing store's version at build time. A
+        # write to shard k only invalidates shard k's segment, so lookups
+        # served by the other shards stay warm — the wholesale-rebuild
+        # behaviour this replaces cold-started every lookup on any write.
+        self._label_segments: List[Dict] = []
+        self._label_segment_rebuilds = 0
         self._local_name_index: Optional[Dict[str, List[IRI]]] = None
         self._cache_hits = 0
         self._cache_misses = 0
@@ -72,7 +79,9 @@ class KnowledgeGraph:
             self._label_cache.clear()
             self._description_cache.clear()
             self._types_cache.clear()
-            self._label_index = None
+            # _label_segments deliberately survives: each segment
+            # revalidates against its own backing store's version, so
+            # only the segments whose shard actually changed rebuild.
             self._local_name_index = None
         return version
 
@@ -95,6 +104,23 @@ class KnowledgeGraph:
                 legacy={"labels_cached": labels,
                         "descriptions_cached": descriptions,
                         "types_cached": types})
+
+    def label_index_stats(self) -> Dict[str, int]:
+        """Maintenance counters for the segmented label reverse index.
+
+        ``segments`` is the backing-store count (shards, or 1),
+        ``rebuilds`` the number of per-segment rebuilds so far — under
+        shard-aware invalidation a write costs one rebuild, not one per
+        segment. ``entries`` is the total number of indexed labels.
+        """
+        with self._cache_lock:
+            return {
+                "segments": len(self._label_segments),
+                "rebuilds": self._label_segment_rebuilds,
+                "entries": sum(len(rows)
+                               for segment in self._label_segments
+                               for rows in segment["index"].values()),
+            }
 
     # ------------------------------------------------------------------
     # Construction sugar
@@ -202,40 +228,62 @@ class KnowledgeGraph:
         """All declared instances of a class."""
         return [t.subject for t in self.store.match(None, TYPE, cls)]
 
+    def _backing_stores(self) -> Sequence[TripleStore]:
+        """The independently-versioned stores behind ``self.store``.
+
+        A :class:`~repro.kg.sharding.ShardedTripleStore` exposes its
+        sub-stores via ``shards``; anything else is one backing store.
+        """
+        shards = getattr(self.store, "shards", None)
+        return tuple(shards) if shards else (self.store,)
+
     def find_by_label(self, label: str) -> List[IRI]:
         """Entities whose label matches ``label`` case-insensitively.
 
-        Answered from a label→entities reverse index built once per store
-        version, so repeated lookups are dict probes instead of full LABEL
-        scans.
+        Answered from a *segmented* label→entities reverse index: one
+        segment per backing store (per shard when the store is sharded),
+        each keyed off that store's own version. A write to one shard
+        rebuilds only that shard's segment, so interleaved write/read
+        workloads keep their hit rate instead of cold-starting the whole
+        index on every version bump. Lookups merge the per-segment entry
+        lists by ``(label-object, subject)`` term key — exactly the order
+        the unsharded single-index build produced.
         """
+        wanted = label.strip().lower()
+        rows: List[Tuple[tuple, IRI]] = []
         with self._cache_lock:
             version = self._sync_caches_locked()
-            label_index = self._label_index
-            if label_index is not None:
+            backings = self._backing_stores()
+            if len(self._label_segments) != len(backings):
+                self._label_segments = [
+                    {"version": -1, "index": {}} for _ in backings]
+            fresh = True
+            for segment, backing in zip(self._label_segments, backings):
+                if segment["version"] != backing.version:
+                    built: Dict[str, List[Tuple[tuple, IRI]]] = {}
+                    for t in backing.match(None, LABEL, None):
+                        if isinstance(t.object, Literal):
+                            built.setdefault(
+                                t.object.lexical.lower(), []).append(
+                                ((_term_key(t.object),
+                                  _term_key(t.subject)), t.subject))
+                    segment["index"] = built
+                    segment["version"] = backing.version
+                    self._label_segment_rebuilds += 1
+                    fresh = False
+            if fresh:
                 self._cache_hits += 1
-        if label_index is None:
-            # Index build runs outside the lock (it scans every LABEL
-            # triple); a racing builder's finished index wins on recheck.
-            built: Dict[str, List[IRI]] = {}
-            for t in self.store.match(None, LABEL, None):
-                if isinstance(t.object, Literal):
-                    built.setdefault(
-                        t.object.lexical.lower(), []).append(t.subject)
-            with self._cache_lock:
-                if self._label_index is not None and \
-                        self._cache_version == version:
-                    self._cache_hits += 1
-                    label_index = self._label_index
-                else:
-                    self._cache_misses += 1
-                    if self._cache_version == version:
-                        self._label_index = built
-                    label_index = built
-        wanted = label.strip().lower()
-        out = list(label_index.get(wanted, ()))
+            else:
+                self._cache_misses += 1
+            for segment in self._label_segments:
+                rows.extend(segment["index"].get(wanted, ()))
+        rows.sort(key=lambda row: row[0])
+        out = [entity for _, entity in rows]
         if not out:
-            # Fall back to local-name matching so generated IRIs resolve too.
+            # Fall back to local-name matching so generated IRIs resolve
+            # too. This index stays global (keyed off the façade version):
+            # it is built in store insertion order, which cannot be
+            # decomposed per shard, and the fallback only serves misses.
             with self._cache_lock:
                 local_index = self._local_name_index \
                     if self._cache_version == version else None
@@ -408,6 +456,38 @@ class KnowledgeGraph:
         store = DurableTripleStore(directory, snapshot_every=snapshot_every,
                                    obs=obs)
         return cls(store, name=name or directory.rstrip("/").rsplit("/", 1)[-1])
+
+    @classmethod
+    def sharded(cls, shards: Optional[int] = None,
+                directory: Optional[str] = None,
+                snapshot_every: Optional[int] = None, executor=None,
+                obs=None, name: Optional[str] = None) -> "KnowledgeGraph":
+        """A graph over a hash-sharded store (optionally durable).
+
+        With ``directory`` the backing store is a
+        :class:`~repro.kg.sharding.DurableShardedTripleStore` (per-shard
+        WAL + global snapshot under ``directory``); without it, an
+        in-memory :class:`~repro.kg.sharding.ShardedTripleStore`. Either
+        way the store is byte-identical to an unsharded one, so the
+        graph's caches and navigation helpers work unchanged — but the
+        label reverse index and secondary indexes invalidate per shard.
+
+        ``shards=None`` means "the directory's manifest count" for a
+        durable graph (so resuming never has to repeat the count) and the
+        package default for an in-memory one.
+        """
+        from repro.kg.sharding import (DEFAULT_SHARDS,
+                                       DurableShardedTripleStore,
+                                       ShardedTripleStore)
+        if directory is not None:
+            store: TripleStore = DurableShardedTripleStore(
+                directory, shards=shards, snapshot_every=snapshot_every,
+                executor=executor, obs=obs)
+            return cls(store,
+                       name=name or directory.rstrip("/").rsplit("/", 1)[-1])
+        return cls(ShardedTripleStore(shards=shards or DEFAULT_SHARDS,
+                                      executor=executor),
+                   name=name or "kg")
 
     @classmethod
     def load(cls, path: str, name: Optional[str] = None) -> "KnowledgeGraph":

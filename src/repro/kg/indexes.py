@@ -1,0 +1,318 @@
+"""Secondary indexes: full-text tokens and numeric ranges (survey §5.2/§7).
+
+The store's SPO/POS/OSP hash maps answer *exact* term lookups; the two
+query shapes they cannot accelerate are substring search over labels and
+descriptions (``FILTER(CONTAINS(?label, "graph"))``) and range predicates
+over typed literals (``FILTER(?year >= 2020)``). Both are staples of the
+agentic GraphRAG workloads the roadmap targets, so this module maintains
+them as *secondary* indexes, off the mutation path:
+
+* **Version-keyed laziness.** Nothing is updated on ``add``/``remove``.
+  Each index holds one *segment* per backing store — per shard for a
+  :class:`~repro.kg.sharding.ShardedTripleStore`, a single segment
+  otherwise — and every segment remembers the ``version`` of its backing
+  store at build time. A read revalidates cheaply (one int compare per
+  segment) and rebuilds only the segments whose shard actually mutated,
+  so a write to shard k never cold-starts lookups served by the others.
+* **Sound candidates, exact answers.** Index lookups return a *superset*
+  of the matching triples (see :meth:`FullTextIndex.candidates` for the
+  containment argument); the SPARQL evaluator re-applies the pushed
+  filter after every index-driven extension, so answers are exact and
+  the index is a pure access-path optimization. Candidate lists are
+  sorted by ``(object, subject)`` term key — the same order
+  ``store.match(None, p, None)`` produces — so an index-backed plan is
+  byte-identical to the scan it replaces.
+
+Thread safety matches the KnowledgeGraph caches: one lock per index
+guards segment swaps; stale reads rebuild outside the hot dict probes.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.kg.store import TripleStore, _term_key
+from repro.kg.triples import IRI, Literal, RDFS, Term, Triple, XSD
+
+#: Datatypes the numeric index (and the SPARQL comparison machinery)
+#: treats as numbers. Kept in sync with the evaluator's ``_NUMERIC_TYPES``.
+NUMERIC_DATATYPES = frozenset(
+    {XSD.integer, XSD.decimal, XSD.double, XSD.float, XSD.gYear})
+
+#: Predicates the full-text index covers by default: the label and
+#: description properties every verbalization path reads.
+DEFAULT_TEXT_PREDICATES: Tuple[IRI, ...] = (RDFS.label, RDFS.comment)
+
+_TOKEN = re.compile(r"[a-z0-9]+")
+
+
+def _backing_stores(store: TripleStore) -> Sequence[TripleStore]:
+    """The independently-versioned stores behind ``store``.
+
+    A sharded façade exposes its sub-stores via ``shards``; anything else
+    is its own single segment.
+    """
+    shards = getattr(store, "shards", None)
+    if shards:
+        return tuple(shards)
+    return (store,)
+
+
+def _text_of(term: Term) -> str:
+    """The searchable text of a term (mirrors SPARQL ``STR``)."""
+    if isinstance(term, Literal):
+        return term.lexical
+    return term.value
+
+
+def tokenize(text: str) -> List[str]:
+    """Lower-cased maximal alphanumeric runs of ``text``."""
+    return _TOKEN.findall(text.lower())
+
+
+def indexable_needle(needle: str) -> Optional[str]:
+    """The token-safe form of a CONTAINS needle, or ``None``.
+
+    Only needles that lower-case to a single alphanumeric run can be
+    answered from token postings: such a needle can never span a token
+    boundary, so every triple whose text contains it (case-sensitively
+    or not) has at least one token containing its lower-cased form —
+    the postings union is a complete candidate superset.
+    """
+    lowered = needle.lower()
+    return lowered if _TOKEN.fullmatch(lowered) else None
+
+
+class _TextSegment:
+    """Token postings for one backing store, valid at one version."""
+
+    __slots__ = ("version", "postings")
+
+    def __init__(self) -> None:
+        self.version = -1
+        # predicate -> token -> list of triples containing that token.
+        self.postings: Dict[IRI, Dict[str, List[Triple]]] = {}
+
+    def rebuild(self, backing: TripleStore, predicates: Sequence[IRI]) -> None:
+        postings: Dict[IRI, Dict[str, List[Triple]]] = {}
+        for predicate in predicates:
+            by_token: Dict[str, List[Triple]] = {}
+            for triple in backing.match(None, predicate, None):
+                for token in set(tokenize(_text_of(triple.object))):
+                    by_token.setdefault(token, []).append(triple)
+            postings[predicate] = by_token
+        self.postings = postings
+        self.version = backing.version
+
+
+class FullTextIndex:
+    """A token index over label/description-style text predicates.
+
+    ``candidates(predicate, needle)`` answers "which triples *might*
+    satisfy ``CONTAINS(STR(?o), needle)``" from postings instead of a
+    predicate scan. The caller must re-check the filter — candidates are
+    a superset whenever the needle is token-safe (case-insensitive
+    containment is implied by case-sensitive containment).
+    """
+
+    def __init__(self, store: TripleStore,
+                 predicates: Sequence[IRI] = DEFAULT_TEXT_PREDICATES):
+        self.store = store
+        self.predicates: Tuple[IRI, ...] = tuple(predicates)
+        self._lock = threading.Lock()
+        self._segments: List[_TextSegment] = []
+        self._rebuilds = 0
+        self._hits = 0
+
+    def covers(self, predicate: IRI) -> bool:
+        """Whether ``predicate`` is one of the indexed text properties."""
+        return predicate in self.predicates
+
+    def _fresh_segments(self) -> List[_TextSegment]:
+        """Segments revalidated against their backing stores.
+
+        Only stale segments rebuild; a reshard (segment-count change)
+        rebuilds everything. Rebuilds run under the lock — they are rare
+        and the postings swap must be atomic with the version stamp.
+        """
+        backings = _backing_stores(self.store)
+        with self._lock:
+            if len(self._segments) != len(backings):
+                self._segments = [_TextSegment() for _ in backings]
+            stale = False
+            for segment, backing in zip(self._segments, backings):
+                if segment.version != backing.version:
+                    segment.rebuild(backing, self.predicates)
+                    self._rebuilds += 1
+                    stale = True
+            if not stale:
+                self._hits += 1
+            return list(self._segments)
+
+    def candidates(self, predicate: IRI, needle: str) -> Optional[List[Triple]]:
+        """Triples that may satisfy ``CONTAINS`` of ``needle``, or ``None``.
+
+        ``None`` means the index cannot answer (uncovered predicate or a
+        needle that is not a single alphanumeric run) and the caller must
+        fall back to a scan. The returned list is sorted by
+        ``(object, subject)`` term key — identical to the order of
+        ``store.match(None, predicate, None)`` restricted to candidates.
+        """
+        token_needle = indexable_needle(needle)
+        if token_needle is None or not self.covers(predicate):
+            return None
+        out: Dict[Triple, None] = {}
+        for segment in self._fresh_segments():
+            by_token = segment.postings.get(predicate, {})
+            for token, triples in by_token.items():
+                if token_needle in token:
+                    for triple in triples:
+                        out[triple] = None
+        return sorted(out, key=lambda t: (_term_key(t.object),
+                                          _term_key(t.subject)))
+
+    def stats(self) -> Dict[str, int]:
+        """Cardinalities and maintenance counters for ``repro kg stats``."""
+        segments = self._fresh_segments()
+        tokens = sum(len(by_token)
+                     for segment in segments
+                     for by_token in segment.postings.values())
+        entries = sum(len(triples)
+                      for segment in segments
+                      for by_token in segment.postings.values()
+                      for triples in by_token.values())
+        with self._lock:
+            return {"segments": len(segments), "tokens": tokens,
+                    "entries": entries, "predicates": len(self.predicates),
+                    "rebuilds": self._rebuilds, "hits": self._hits}
+
+
+class _NumericSegment:
+    """Per-predicate sorted numeric entries for one backing store."""
+
+    __slots__ = ("version", "entries")
+
+    def __init__(self) -> None:
+        self.version = -1
+        # predicate -> list of (value, sort_key, triple) sorted by value
+        # then by (object, subject) term key for deterministic ties.
+        self.entries: Dict[IRI, List[Tuple[float, tuple, Triple]]] = {}
+
+    def rebuild(self, backing: TripleStore) -> None:
+        entries: Dict[IRI, List[Tuple[float, tuple, Triple]]] = {}
+        for triple in backing:
+            obj = triple.object
+            if not isinstance(obj, Literal) or \
+                    obj.datatype not in NUMERIC_DATATYPES:
+                continue
+            try:
+                value = float(obj.lexical)
+            except ValueError:
+                continue  # the evaluator rejects these rows too
+            key = (_term_key(obj), _term_key(triple.subject))
+            entries.setdefault(triple.predicate, []).append(
+                (value, key, triple))
+        for rows in entries.values():
+            rows.sort(key=lambda row: (row[0], row[1]))
+        self.entries = entries
+        self.version = backing.version
+
+
+class NumericIndex:
+    """A range index over numerically-typed literal objects.
+
+    Supports ``FILTER(?o < n)``-style pushes: ``range_triples`` returns
+    exactly the triples whose object parses as a number within the
+    bounds. Rows the evaluator would reject (unparseable lexicals,
+    non-numeric datatypes, IRIs) are never indexed, so the candidate set
+    equals the filter-satisfying set for the numeric comparison itself;
+    the evaluator still re-applies the filter for belt-and-braces.
+    """
+
+    def __init__(self, store: TripleStore):
+        self.store = store
+        self._lock = threading.Lock()
+        self._segments: List[_NumericSegment] = []
+        self._rebuilds = 0
+        self._hits = 0
+
+    def _fresh_segments(self) -> List[_NumericSegment]:
+        backings = _backing_stores(self.store)
+        with self._lock:
+            if len(self._segments) != len(backings):
+                self._segments = [_NumericSegment() for _ in backings]
+            stale = False
+            for segment, backing in zip(self._segments, backings):
+                if segment.version != backing.version:
+                    segment.rebuild(backing)
+                    self._rebuilds += 1
+                    stale = True
+            if not stale:
+                self._hits += 1
+            return list(self._segments)
+
+    @staticmethod
+    def _slice(rows: List[Tuple[float, tuple, Triple]],
+               low: Optional[float], high: Optional[float],
+               include_low: bool, include_high: bool
+               ) -> List[Tuple[float, tuple, Triple]]:
+        lo = 0
+        if low is not None:
+            lo = bisect_left(rows, low, key=lambda row: row[0]) \
+                if include_low else bisect_right(rows, low,
+                                                 key=lambda row: row[0])
+        hi = len(rows)
+        if high is not None:
+            hi = bisect_right(rows, high, key=lambda row: row[0]) \
+                if include_high else bisect_left(rows, high,
+                                                 key=lambda row: row[0])
+        return rows[lo:hi]
+
+    def range_triples(self, predicate: IRI,
+                      low: Optional[float] = None,
+                      high: Optional[float] = None,
+                      include_low: bool = True,
+                      include_high: bool = True) -> List[Triple]:
+        """Triples of ``predicate`` whose numeric object lies in range.
+
+        Sorted by ``(object, subject)`` term key — the order a
+        ``match(None, predicate, None)`` scan filtered to the range
+        would produce — so index-backed plans stay byte-identical.
+        """
+        selected: List[Tuple[float, tuple, Triple]] = []
+        for segment in self._fresh_segments():
+            rows = segment.entries.get(predicate)
+            if rows:
+                selected.extend(self._slice(rows, low, high,
+                                            include_low, include_high))
+        selected.sort(key=lambda row: row[1])
+        return [row[2] for row in selected]
+
+    def range_count(self, predicate: IRI,
+                    low: Optional[float] = None,
+                    high: Optional[float] = None,
+                    include_low: bool = True,
+                    include_high: bool = True) -> int:
+        """Cardinality of :meth:`range_triples` without materializing."""
+        total = 0
+        for segment in self._fresh_segments():
+            rows = segment.entries.get(predicate)
+            if rows:
+                total += len(self._slice(rows, low, high,
+                                         include_low, include_high))
+        return total
+
+    def stats(self) -> Dict[str, int]:
+        """Cardinalities and maintenance counters for ``repro kg stats``."""
+        segments = self._fresh_segments()
+        entries = sum(len(rows)
+                      for segment in segments
+                      for rows in segment.entries.values())
+        predicates = len({p for segment in segments for p in segment.entries})
+        with self._lock:
+            return {"segments": len(segments), "entries": entries,
+                    "predicates": predicates, "rebuilds": self._rebuilds,
+                    "hits": self._hits}

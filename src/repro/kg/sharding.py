@@ -1,0 +1,651 @@
+"""Hash-sharded triple storage behind a drop-in ``TripleStore`` façade.
+
+The survey's "millions of users" read path outgrows one monolithic
+:class:`~repro.kg.store.TripleStore`: every index lives in one set of hash
+maps, so bulk load, mixed read/write and selective pattern matching all
+serialize on one structure. :class:`ShardedTripleStore` partitions the
+store into N sub-stores **by subject hash** (CRC32 of the subject IRI —
+Python's string hash is process-salted and would not be stable across
+runs) while preserving the *entire* TripleStore contract:
+
+* **insertion-order iteration** — the façade keeps the global
+  ``_triples`` dict itself (membership + order); only the SPO/POS/OSP
+  indexes move down into the shards, so ``list(store)`` is byte-identical
+  to the unsharded store at any shard count;
+* **idempotent batch mutators** with one version bump per effective
+  batch, and a ``version`` counter *composed* from the shard versions
+  (direct writes to a sub-store are folded in as drift), so the
+  KnowledgeGraph read caches and the WAL's version-as-LSN discipline
+  keep working unchanged;
+* **deterministic reads** — a subject-bound pattern routes to exactly one
+  shard; an unbound-subject pattern broadcasts to the shards that contain
+  the bound predicate (predicate-routed broadcast) and k-way-merges the
+  per-shard sorted results with the same ``_term_key`` order the
+  unsharded ``match`` produces. The fan-out can run through a
+  :class:`~repro.core.executor.ParallelExecutor`; results are identical
+  at any worker count.
+
+:class:`DurableShardedTripleStore` adds per-shard write-ahead logs under
+``shard-NN/`` plus one *global* snapshot. Per-shard logs lose the
+cross-shard interleave a single log gets for free, so every logged run
+carries a globally monotonic ``seq`` (see ``WalRecord.seq``); recovery
+scans all shard logs, truncates torn tails, merges records by ``seq`` and
+replays the **longest contiguous prefix** — a gap (a run lost to a torn
+tail on one shard) cuts everything after it, on every shard, so the
+recovered state is always a state the store actually passed through. A
+batch interrupted *mid-logging* may be restored only up to its last
+durable run; crashes between batches (the case the crash harness
+injects) recover byte-identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import zlib
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.observability import resolve_obs
+from repro.kg.rdf import parse_ntriples_line
+from repro.kg.store import TripleStore, _distinct, _term_key
+from repro.kg.triples import IRI, Literal, Term, Triple
+from repro.kg.wal import (
+    RecoveryReport,
+    WalRecord,
+    WriteAheadLog,
+    encode_record,
+    scan_wal,
+)
+
+__all__ = [
+    "DEFAULT_SHARDS", "DurableShardedTripleStore", "MANIFEST_FILENAME",
+    "ShardedTripleStore", "recover_sharded", "shard_of",
+]
+
+DEFAULT_SHARDS = 4
+
+#: Advisory shard-count manifest inside a durable sharded directory.
+MANIFEST_FILENAME = "manifest.json"
+
+#: Global snapshot file (insertion order, ``# lsn=`` + ``# version=`` header).
+SNAPSHOT_FILENAME = "snapshot.nt"
+
+_SHARD_DIR = "shard-{:02d}"
+
+
+def shard_of(subject: IRI, shard_count: int) -> int:
+    """The shard owning ``subject``: CRC32 of the IRI, mod the shard count.
+
+    CRC32 rather than ``hash()`` because Python salts string hashes per
+    process — routing must agree between the writer, a recovery in a fresh
+    process, and any future reader of the same directory.
+    """
+    return zlib.crc32(subject.value.encode("utf-8")) % shard_count
+
+
+class ShardedTripleStore(TripleStore):
+    """N hash-partitioned sub-stores behind the full TripleStore contract.
+
+    The façade owns global membership and insertion order (the inherited
+    ``_triples`` dict) plus a predicate registry that replicates the POS
+    index's key lifecycle (created on first use, dropped when emptied) so
+    ``relations()``/``stats()`` stay byte-identical. The inherited
+    SPO/POS/OSP maps stay empty — all index structure lives in the shards.
+    """
+
+    def __init__(self, triples: Optional[Iterable[Triple]] = None, *,
+                 shards: int = DEFAULT_SHARDS, executor=None):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        # Shard state must exist before TripleStore.__init__, which calls
+        # (our) add_all for any seed triples.
+        self._shards: List[TripleStore] = [TripleStore() for _ in range(shards)]
+        self._executor = executor
+        self._pred_counts: Dict[IRI, int] = {}
+        self._shard_version_base = 0
+        super().__init__(triples)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> Tuple[TripleStore, ...]:
+        """The sub-stores, in shard order (read-only view)."""
+        return tuple(self._shards)
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shard_index(self, subject: IRI) -> int:
+        """Which shard owns ``subject``."""
+        return shard_of(subject, len(self._shards))
+
+    def shard_stats(self) -> List[Dict[str, int]]:
+        """Per-shard triple/relation counts and versions (``repro kg stats``)."""
+        return [{"triples": len(shard), "relations": len(shard.relations()),
+                 "version": shard.version}
+                for shard in self._shards]
+
+    # ------------------------------------------------------------------
+    # Version composition
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Façade version plus any un-folded drift from direct shard writes.
+
+        Every façade mutation bumps ``_version`` once and re-bases on the
+        shard versions it advanced; a write made directly on a sub-store
+        shows up as drift (shard-version sum above the base) and raises the
+        composed value immediately, so version-keyed caches can never serve
+        state the shards no longer hold. Monotone by construction.
+        """
+        return self._version + (sum(s.version for s in self._shards)
+                                - self._shard_version_base)
+
+    def _sync_drift(self) -> None:
+        """Fold accumulated direct-shard-write drift into ``_version``."""
+        current = sum(s.version for s in self._shards)
+        drift = current - self._shard_version_base
+        if drift:
+            self._version += drift
+            self._shard_version_base = current
+
+    def _rebase(self) -> None:
+        """Absorb this mutator's own shard bumps into the version base."""
+        self._shard_version_base = sum(s.version for s in self._shards)
+
+    # ------------------------------------------------------------------
+    # Mutation (batch overrides: one bump per touched shard per batch)
+    # ------------------------------------------------------------------
+    def _bump_pred(self, predicate: IRI, delta: int) -> None:
+        count = self._pred_counts.get(predicate, 0) + delta
+        if count <= 0:
+            # Dropping the key (and re-appending on the next add) replicates
+            # the POS index's key order exactly — relations() depends on it.
+            self._pred_counts.pop(predicate, None)
+        else:
+            self._pred_counts[predicate] = count
+
+    def add(self, triple: Triple) -> bool:
+        return self.add_all((triple,)) == 1
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        self._sync_drift()
+        added: List[Triple] = []
+        groups: Dict[int, List[Triple]] = {}
+        for t in triples:
+            if t in self._triples:
+                continue
+            self._triples[t] = None
+            self._bump_pred(t.predicate, +1)
+            groups.setdefault(self.shard_index(t.subject), []).append(t)
+            added.append(t)
+        if not added:
+            return 0
+        for index, group in groups.items():
+            self._shards[index].add_all(group)
+        self._rebase()
+        self._version += 1
+        self._committed("add", added)
+        return len(added)
+
+    def remove(self, triple: Triple) -> bool:
+        return self.remove_all((triple,)) == 1
+
+    def remove_all(self, triples: Iterable[Triple]) -> int:
+        self._sync_drift()
+        removed: List[Triple] = []
+        groups: Dict[int, List[Triple]] = {}
+        for t in list(triples):
+            if t not in self._triples:
+                continue
+            del self._triples[t]
+            self._bump_pred(t.predicate, -1)
+            groups.setdefault(self.shard_index(t.subject), []).append(t)
+            removed.append(t)
+        if not removed:
+            return 0
+        for index, group in groups.items():
+            self._shards[index].remove_all(group)
+        self._rebase()
+        self._version += 1
+        self._committed("remove", removed)
+        return len(removed)
+
+    def clear(self) -> None:
+        self._sync_drift()
+        self._triples.clear()
+        self._pred_counts.clear()
+        for shard in self._shards:
+            shard.clear()
+        self._rebase()
+        self._version += 1
+        self._committed("clear", ())
+
+    # ------------------------------------------------------------------
+    # Reads (route on subject; predicate-routed broadcast otherwise)
+    # ------------------------------------------------------------------
+    def _targets(self, predicate: Optional[IRI]) -> List[TripleStore]:
+        """Broadcast targets: with a bound predicate, only the shards that
+        actually contain it (predicate-routed broadcast)."""
+        if predicate is None:
+            return list(self._shards)
+        return [s for s in self._shards if s.has_predicate(predicate)]
+
+    def _fanout(self, targets: List[TripleStore],
+                fn: Callable[[TripleStore], List]) -> List[List]:
+        executor = self._executor
+        if executor is not None and not executor.sequential and len(targets) > 1:
+            return executor.map(targets, fn, label="kg.shard")
+        return [fn(shard) for shard in targets]
+
+    @staticmethod
+    def _merge(parts: List[List], key) -> List:
+        live = [part for part in parts if part]
+        if not live:
+            return []
+        if len(live) == 1:
+            return live[0]
+        return list(heapq.merge(*live, key=key))
+
+    def match(self, subject: Optional[IRI] = None,
+              predicate: Optional[IRI] = None,
+              object: Optional[Term] = None) -> List[Triple]:
+        s, p, o = subject, predicate, object
+        if s is None and p is None and o is None:
+            return list(self._triples)
+        if s is not None and p is not None and o is not None:
+            t = Triple(s, p, o)
+            return [t] if t in self._triples else []
+        if s is not None:
+            return self._shards[self.shard_index(s)].match(s, p, o)
+        parts = self._fanout(self._targets(p), lambda sh: sh.match(s, p, o))
+        # Per-shard results arrive in the unsharded order for their branch;
+        # the merge key re-states that order so the k-way merge reproduces
+        # the monolithic store's output exactly.
+        if p is not None and o is not None:
+            key = lambda t: _term_key(t.subject)  # noqa: E731
+        elif p is not None:
+            key = lambda t: (_term_key(t.object), _term_key(t.subject))  # noqa: E731
+        else:  # o bound only
+            key = lambda t: (_term_key(t.subject), _term_key(t.predicate))  # noqa: E731
+        return self._merge(parts, key)
+
+    def match_count(self, subject: Optional[IRI] = None,
+                    predicate: Optional[IRI] = None,
+                    object: Optional[Term] = None) -> int:
+        s, p, o = subject, predicate, object
+        if s is None and p is None and o is None:
+            return len(self._triples)
+        if s is not None and p is not None and o is not None:
+            return 1 if Triple(s, p, o) in self._triples else 0
+        if s is not None:
+            return self._shards[self.shard_index(s)].match_count(s, p, o)
+        return sum(sh.match_count(s, p, o) for sh in self._targets(p))
+
+    def subjects(self, predicate: Optional[IRI] = None,
+                 object: Optional[Term] = None) -> List[IRI]:
+        p, o = predicate, object
+        if p is None and o is None:
+            return _distinct(t.subject for t in self._triples)
+        if p is not None and o is None:
+            # Dedup over the merged match stream — identical to the
+            # unsharded first-appearance-in-(object, subject)-order.
+            return _distinct(t.subject for t in self.match(None, p, None))
+        # Subjects are disjoint across shards, so a plain sorted merge of
+        # the per-shard (already sorted, already distinct) lists suffices.
+        parts = self._fanout(self._targets(p), lambda sh: sh.subjects(p, o))
+        return self._merge(parts, _term_key)
+
+    def predicates(self, subject: Optional[IRI] = None,
+                   object: Optional[Term] = None) -> List[IRI]:
+        s, o = subject, object
+        if s is not None:
+            return self._shards[self.shard_index(s)].predicates(s, o)
+        if o is None:
+            return _distinct(t.predicate for t in self._triples)
+        return _distinct(t.predicate for t in self.match(None, None, o))
+
+    def objects(self, subject: Optional[IRI] = None,
+                predicate: Optional[IRI] = None) -> List[Term]:
+        s, p = subject, predicate
+        if s is not None:
+            return self._shards[self.shard_index(s)].objects(s, p)
+        if p is None:
+            return _distinct(t.object for t in self._triples)
+        # The same object may live in several shards; merge with
+        # adjacent-equal dedup (equal _term_key implies equal term).
+        parts = self._fanout(self._targets(p), lambda sh: sh.objects(None, p))
+        merged = self._merge(parts, _term_key)
+        out: List[Term] = []
+        for term in merged:
+            if not out or out[-1] != term:
+                out.append(term)
+        return out
+
+    def value(self, subject: IRI, predicate: IRI) -> Optional[Term]:
+        return self._shards[self.shard_index(subject)].value(subject, predicate)
+
+    def relations(self) -> List[IRI]:
+        return list(self._pred_counts)
+
+    def has_predicate(self, predicate: IRI) -> bool:
+        return predicate in self._pred_counts
+
+    def predicate_stats(self) -> Dict[IRI, Dict[str, int]]:
+        out: Dict[IRI, Dict[str, int]] = {}
+        per_shard = [shard.predicate_stats() for shard in self._shards]
+        for p in self._pred_counts:
+            count = subjects = 0
+            for stats in per_shard:
+                row = stats.get(p)
+                if row:
+                    count += row["count"]
+                    subjects += row["subjects"]  # disjoint across shards
+            out[p] = {"count": count, "subjects": subjects,
+                      "objects": len(self.objects(None, p))}
+        return out
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "triples": len(self._triples),
+            "entities": len(self.entities()),
+            "relations": len(self._pred_counts),
+            "literals": sum(1 for t in self._triples
+                            if isinstance(t.object, Literal)),
+        }
+
+    def copy(self) -> "ShardedTripleStore":
+        return ShardedTripleStore(self._triples, shards=len(self._shards),
+                                  executor=self._executor)
+
+    # ------------------------------------------------------------------
+    # Replay-level application (no version bumps, no _committed)
+    # ------------------------------------------------------------------
+    def _replay_insert(self, triple: Triple) -> None:
+        if triple in self._triples:
+            return
+        self._triples[triple] = None
+        self._bump_pred(triple.predicate, +1)
+        self._shards[self.shard_index(triple.subject)]._insert(triple)
+
+    def _replay_delete(self, triple: Triple) -> None:
+        if triple not in self._triples:
+            return
+        del self._triples[triple]
+        self._bump_pred(triple.predicate, -1)
+        self._shards[self.shard_index(triple.subject)]._delete(triple)
+
+    def _replay_clear(self) -> None:
+        self._triples.clear()
+        self._pred_counts.clear()
+        for shard in self._shards:
+            shard._triples.clear()
+            shard._spo.clear()
+            shard._pos.clear()
+            shard._osp.clear()
+
+
+class DurableShardedTripleStore(ShardedTripleStore):
+    """A sharded store with per-shard WALs and a global snapshot.
+
+    Layout under ``directory``::
+
+        manifest.json      {"shards": N}   (advisory; recovery re-routes)
+        snapshot.nt        global image, insertion order,
+                           "# lsn=<seq>" + "# version=<version>" header
+        shard-00/wal.log   runs owned by shard 0, framed + CRC'd
+        ...
+
+    Each effective batch is logged as consecutive same-shard *runs*, one
+    record per run, each carrying the batch's LSN (the composed version
+    after the batch) and a globally monotonic ``seq``. Recovery merges all
+    shards' records by ``seq`` and replays the longest contiguous prefix;
+    records beyond a gap are dropped from their logs so re-used sequence
+    numbers can never collide. Routing happens at replay time, so a
+    directory written with one shard count recovers correctly under
+    another (the manifest is advisory).
+    """
+
+    def __init__(self, directory: str, *, shards: Optional[int] = None,
+                 snapshot_every: Optional[int] = None, executor=None,
+                 obs=None):
+        self._wals: Optional[List[WriteAheadLog]] = None  # gates _committed
+        self.directory = directory
+        self.snapshot_every = snapshot_every
+        self.obs = resolve_obs(obs)
+        self.manifest_path = os.path.join(directory, MANIFEST_FILENAME)
+        self.snapshot_path = os.path.join(directory, SNAPSHOT_FILENAME)
+        if shards is None:
+            shards = self._read_manifest() or DEFAULT_SHARDS
+        self.wal_paths = [os.path.join(directory, _SHARD_DIR.format(i), "wal.log")
+                          for i in range(shards)]
+        for path in self.wal_paths:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+        self._seq = 0
+        self._records_since_snapshot = 0
+        self.recoveries = 0
+        self.truncated_bytes = 0
+        self.snapshots_written = 0
+        super().__init__(shards=shards, executor=executor)
+        self.last_recovery = self._recover()
+        self._wals = [WriteAheadLog(path) for path in self.wal_paths]
+        self._write_manifest()
+        self.obs.register_source("kg.wal", self.durability_stats)
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    def _read_manifest(self) -> Optional[int]:
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as handle:
+                return int(json.load(handle)["shards"])
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def _write_manifest(self) -> None:
+        tmp = self.manifest_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump({"shards": len(self._shards)}, handle)
+        os.replace(tmp, self.manifest_path)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> RecoveryReport:
+        snap_seq = 0
+        snap_count = 0
+        had_state = os.path.exists(self.snapshot_path) or any(
+            os.path.exists(path) for path in self.wal_paths)
+        if os.path.exists(self.snapshot_path):
+            triples, snap_seq, snap_version = _read_global_snapshot(
+                self.snapshot_path)
+            for triple in triples:
+                self._replay_insert(triple)
+            snap_count = len(triples)
+            self._version = snap_version
+        per_shard_records: List[List[WalRecord]] = []
+        truncated = 0
+        for path in self.wal_paths:
+            records, cut = scan_wal(path, truncate=True)
+            truncated += cut
+            per_shard_records.append(
+                [r for r in records
+                 if r.seq is not None and r.seq > snap_seq])
+        merged = sorted((r for records in per_shard_records for r in records),
+                        key=lambda r: r.seq)
+        # Longest contiguous prefix: a missing seq means a run was lost to a
+        # torn tail on its shard; everything after it (on every shard) is
+        # beyond the last globally consistent state and must be dropped.
+        cutoff = snap_seq
+        prefix: List[WalRecord] = []
+        for record in merged:
+            if record.seq != cutoff + 1:
+                break
+            cutoff = record.seq
+            prefix.append(record)
+        if len(prefix) != len(merged):
+            truncated += self._drop_orphan_records(per_shard_records, cutoff)
+        replayed = 0
+        for record in prefix:
+            if record.op == "add":
+                for triple in record.triples:
+                    self._replay_insert(triple)
+            elif record.op == "remove":
+                for triple in record.triples:
+                    self._replay_delete(triple)
+            else:  # clear (one replicated record per shard; idempotent)
+                self._replay_clear()
+            self._version = record.lsn
+            replayed += 1
+        self._seq = cutoff
+        self._records_since_snapshot = replayed
+        self._rebase()
+        self.truncated_bytes += truncated
+        if had_state:
+            self.recoveries += 1
+            if self.obs.enabled:
+                self.obs.count("wal.recoveries")
+                if truncated:
+                    self.obs.count("wal.truncated_bytes", truncated)
+        return RecoveryReport(
+            snapshot_lsn=snap_seq, snapshot_triples=snap_count,
+            records_replayed=replayed, truncated_bytes=truncated,
+            version=self._version, triples=len(self))
+
+    def _drop_orphan_records(self, per_shard_records: List[List[WalRecord]],
+                             cutoff: int) -> int:
+        """Rewrite shard logs to drop records past the consistent prefix.
+
+        Returns the byte count dropped (reported as truncation). Without
+        this, sequence numbers re-allocated after recovery would collide
+        with the orphaned records still sitting in other shards' logs.
+        """
+        dropped = 0
+        for path, records in zip(self.wal_paths, per_shard_records):
+            keep = [r for r in records if r.seq <= cutoff]
+            if len(keep) == len(records):
+                continue
+            dropped += sum(len(encode_record(r)) for r in records[len(keep):])
+            wal = WriteAheadLog(path)
+            wal.reset()
+            for record in keep:
+                wal.append(record)
+            wal.close()
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Logging
+    # ------------------------------------------------------------------
+    def _committed(self, op: str, triples: Iterable[Triple]) -> None:
+        if self._wals is None:
+            return  # bootstrap/replay: state is already on disk
+        lsn = self._version
+        nbytes = records = 0
+        if op == "clear":
+            # Replicated to every shard so each log is self-contained;
+            # replay is idempotent and the seqs keep the global order.
+            for wal in self._wals:
+                self._seq += 1
+                nbytes += wal.append(WalRecord("clear", lsn, (), seq=self._seq))
+                records += 1
+        else:
+            # One record per consecutive same-shard run, preserving the
+            # batch's internal order across the per-shard logs.
+            run: List[Triple] = []
+            run_shard = -1
+            for t in triples:
+                index = self.shard_index(t.subject)
+                if index != run_shard and run:
+                    self._seq += 1
+                    nbytes += self._wals[run_shard].append(
+                        WalRecord(op, lsn, tuple(run), seq=self._seq))
+                    records += 1
+                    run = []
+                run_shard = index
+                run.append(t)
+            if run:
+                self._seq += 1
+                nbytes += self._wals[run_shard].append(
+                    WalRecord(op, lsn, tuple(run), seq=self._seq))
+                records += 1
+        if self.obs.enabled:
+            self.obs.count("wal.records", records)
+            self.obs.count("wal.bytes", nbytes)
+        self._records_since_snapshot += 1
+        if self.snapshot_every and \
+                self._records_since_snapshot >= self.snapshot_every:
+            self.snapshot()
+
+    def snapshot(self) -> int:
+        """Write the global snapshot atomically, then reset every shard log.
+
+        Crash-safe in the same way as the unsharded snapshot: records left
+        in a log whose reset did not happen carry ``seq`` ≤ the snapshot's
+        and are skipped on replay.
+        """
+        tmp = self.snapshot_path + ".tmp"
+        count = 0
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(f"# lsn={self._seq}\n")
+            handle.write(f"# version={self._version}\n")
+            for triple in self._triples:
+                handle.write(triple.n3() + "\n")
+                count += 1
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.snapshot_path)
+        for wal in (self._wals or ()):
+            wal.reset()
+        self._records_since_snapshot = 0
+        self.snapshots_written += 1
+        if self.obs.enabled:
+            self.obs.count("wal.snapshots")
+        return count
+
+    def close(self) -> None:
+        """Close every shard's WAL file handle."""
+        for wal in (self._wals or ()):
+            wal.close()
+
+    def durability_stats(self) -> dict:
+        """Aggregate durability counters across all shard WALs."""
+        wals = self._wals or []
+        return {
+            "wal_records": sum(w.records_written for w in wals),
+            "wal_bytes": sum(w.bytes_written for w in wals),
+            "snapshots": self.snapshots_written,
+            "recoveries": self.recoveries,
+            "truncated_bytes": self.truncated_bytes,
+            "lsn": self._version,
+            "seq": self._seq,
+            "triples": len(self),
+            "shards": len(self._shards),
+        }
+
+
+def _read_global_snapshot(path: str) -> Tuple[List[Triple], int, int]:
+    """Read a global snapshot back as ``(triples, seq, version)``."""
+    seq = version = 0
+    triples: List[Triple] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if line.startswith("# lsn="):
+                seq = int(line[len("# lsn="):].strip())
+                continue
+            if line.startswith("# version="):
+                version = int(line[len("# version="):].strip())
+                continue
+            triple = parse_ntriples_line(line)
+            if triple is not None:
+                triples.append(triple)
+    return triples, seq, version
+
+
+def recover_sharded(directory: str, *, shards: Optional[int] = None,
+                    executor=None, obs=None) -> DurableShardedTripleStore:
+    """Recover the sharded durable store persisted under ``directory``."""
+    return DurableShardedTripleStore(directory, shards=shards,
+                                     executor=executor, obs=obs)

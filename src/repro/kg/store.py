@@ -329,6 +329,34 @@ class TripleStore:
         """Every predicate in the store."""
         return list(self._pos.keys())
 
+    def has_predicate(self, predicate: IRI) -> bool:
+        """Whether any triple uses ``predicate``.
+
+        O(1); the sharded façade uses this for predicate-routed broadcast
+        (skipping shards that cannot contribute to a bound-predicate
+        pattern) and the query planner for zero-cardinality short-circuits.
+        """
+        return predicate in self._pos
+
+    def predicate_stats(self) -> Dict[IRI, Dict[str, int]]:
+        """Per-predicate cardinality statistics for the query planner.
+
+        For each predicate: the triple ``count`` and the number of distinct
+        ``subjects``/``objects`` it relates. O(total triples); callers
+        (:class:`repro.sparql.planner.StoreStatistics`) cache the result
+        keyed off :attr:`version`.
+        """
+        out: Dict[IRI, Dict[str, int]] = {}
+        for p, objmap in self._pos.items():
+            subjects: Set[IRI] = set()
+            count = 0
+            for subjs in objmap.values():
+                count += len(subjs)
+                subjects.update(subjs)
+            out[p] = {"count": count, "subjects": len(subjects),
+                      "objects": len(objmap)}
+        return out
+
     # ------------------------------------------------------------------
     # Whole-store operations
     # ------------------------------------------------------------------

@@ -77,11 +77,20 @@ class WalRecord:
     op: str
     lsn: int
     triples: Tuple[Triple, ...] = ()
+    #: Optional global sequence number. Sharded stores append to one WAL per
+    #: shard, losing the cross-shard interleave that the single-file log gets
+    #: for free; ``seq`` restores it — recovery merges all shards' records by
+    #: ``seq`` and replays in that order. Unsharded records omit it, so old
+    #: logs (two-token headers) stay readable.
+    seq: Optional[int] = None
 
 
 def encode_record(record: WalRecord) -> bytes:
     """Serialize a record to its framed on-disk bytes."""
-    lines = [f"{record.op} {record.lsn}"]
+    if record.seq is None:
+        lines = [f"{record.op} {record.lsn}"]
+    else:
+        lines = [f"{record.op} {record.lsn} {record.seq}"]
     append = lines.append
     for t in record.triples:
         # Equivalent to t.n3(), with the all-IRI case (the overwhelming
@@ -102,14 +111,16 @@ def decode_payload(payload: bytes) -> WalRecord:
     try:
         lines = payload.decode("utf-8").splitlines()
         head = lines[0].split(" ") if lines else []
-        if len(head) != 2 or head[0] not in _OPS:
+        if len(head) not in (2, 3) or head[0] not in _OPS:
             raise WalCorruptionError(f"malformed WAL record header: {lines[:1]!r}")
         triples = []
         for line in lines[1:]:
             triple = parse_ntriples_line(line)
             if triple is not None:
                 triples.append(triple)
-        return WalRecord(op=head[0], lsn=int(head[1]), triples=tuple(triples))
+        seq = int(head[2]) if len(head) == 3 else None
+        return WalRecord(op=head[0], lsn=int(head[1]), triples=tuple(triples),
+                         seq=seq)
     except (UnicodeDecodeError, RDFSyntaxError, ValueError) as exc:
         if isinstance(exc, WalCorruptionError):
             raise

@@ -98,17 +98,24 @@ def _labels(dataset: Dataset, answers) -> str:
 def build_backends(dataset: str = "enterprise", seed: int = 0,
                    llm: Optional[SimulatedLLM] = None,
                    session_capacity: int = 32, max_history: int = 8,
-                   obs=None) -> ServingBackends:
+                   obs=None, shards: int = 0) -> ServingBackends:
     """Build the shared pipelines and their tier ladders for one gateway.
 
     ``llm`` defaults to a chatgpt-profile model absorbed on the dataset's
     KG; pass a :class:`~repro.llm.faults.FaultInjectingLLM` wrapper to
     run the same ladders under chaos. Indexes (RAG chunks, GraphRAG
     communities) are built up front so serving-time costs are pure
-    query-path costs.
+    query-path costs. ``shards > 0`` re-homes the dataset's triples onto
+    a hash-sharded store *before* any index builds — byte-identical
+    semantics (the sharded façade preserves the full store contract),
+    but reads invalidate per shard and the chaos suite exercises the
+    fan-out paths.
     """
     obs = resolve_obs(obs)
     data = DATASET_BUILDERS[dataset](seed=seed)
+    if shards > 0:
+        from repro.kg.sharding import ShardedTripleStore
+        data.kg.store = ShardedTripleStore(data.kg.store, shards=shards)
     model = llm if llm is not None else load_model("chatgpt", world=data.kg,
                                                    seed=seed)
     rag = NaiveRAG(model, cache=True, obs=obs)

@@ -12,6 +12,10 @@ from repro.sparql.evaluator import SparqlEngine, SparqlEvaluationError
 from repro.sparql.cypher import CypherEngine, cypher_to_sparql
 from repro.sparql.optimizer import (
     simplify, check_satisfiability, sparql_to_cypher, SatisfiabilityReport,
+    conjuncts,
+)
+from repro.sparql.planner import (
+    CostPlanner, ExplainReport, PlanStep, StoreStatistics,
 )
 
 __all__ = [
@@ -25,4 +29,9 @@ __all__ = [
     "SparqlEvaluationError",
     "CypherEngine",
     "cypher_to_sparql",
+    "conjuncts",
+    "CostPlanner",
+    "ExplainReport",
+    "PlanStep",
+    "StoreStatistics",
 ]

@@ -3,6 +3,18 @@
 Solutions are immutable-ish dicts mapping variable names to terms. BGPs are
 solved by greedy selectivity ordering plus index-backed pattern matching;
 OPTIONAL is a left join; UNION concatenates alternative solution bags.
+
+Three planner modes govern BGP join ordering (``SparqlEngine(planner=…)``):
+
+* ``"greedy"`` (default) — the historical syntactic ordering: most bound
+  positions first, filters applied at group end. Byte-compatible with
+  every pre-planner release.
+* ``"cost"`` — the :mod:`repro.sparql.planner` cost-based ordering:
+  cardinality estimates from store statistics, filter push-down, and
+  secondary-index access paths (full-text / numeric). Exposes
+  :meth:`SparqlEngine.explain`.
+* ``"parse"`` — patterns in syntactic order with no reordering at all;
+  the benchmark baseline the planner's speedup is measured against.
 """
 
 from __future__ import annotations
@@ -25,11 +37,41 @@ class SparqlEvaluationError(ValueError):
 _NUMERIC_TYPES = {XSD.integer, XSD.decimal, XSD.double, XSD.float, XSD.gYear}
 
 
-class SparqlEngine:
-    """Execute parsed (or textual) queries against a triple store."""
+_PLANNER_MODES = ("greedy", "cost", "parse")
 
-    def __init__(self, store: TripleStore):
+
+class SparqlEngine:
+    """Execute parsed (or textual) queries against a triple store.
+
+    ``planner`` selects the BGP join-ordering strategy (see the module
+    docstring). In ``"cost"`` mode the engine owns a
+    :class:`~repro.sparql.planner.CostPlanner` plus lazily-maintained
+    full-text and numeric secondary indexes (pass ``fulltext``/
+    ``numeric`` to share index instances across engines over the same
+    store).
+    """
+
+    def __init__(self, store: TripleStore, planner: str = "greedy",
+                 fulltext=None, numeric=None):
+        if planner not in _PLANNER_MODES:
+            raise ValueError(
+                f"unknown planner mode {planner!r}; use one of "
+                f"{', '.join(_PLANNER_MODES)}")
         self.store = store
+        self.mode = planner
+        self.planner = None
+        self._explain_sink: Optional[list] = None
+        if planner == "cost":
+            from repro.kg.indexes import FullTextIndex, NumericIndex
+            from repro.sparql.planner import CostPlanner
+            self.fulltext = fulltext if fulltext is not None \
+                else FullTextIndex(store)
+            self.numeric = numeric if numeric is not None \
+                else NumericIndex(store)
+            self.planner = CostPlanner(store, self.fulltext, self.numeric)
+        else:
+            self.fulltext = fulltext
+            self.numeric = numeric
 
     # ------------------------------------------------------------------
     # Public API
@@ -61,6 +103,36 @@ class SparqlEngine:
             return self.select(parsed)
         return self.ask(parsed)
 
+    def explain(self, query: Union[str, alg.SelectQuery]):
+        """Run a SELECT query collecting its plans; an ``ExplainReport``.
+
+        Requires ``planner="cost"`` — the other modes have no plan to
+        show. The query *is executed* so the report carries actual
+        cardinalities next to the estimates (the EXPLAIN ANALYZE shape).
+        Not safe to interleave with concurrent queries on the same
+        engine instance (a debugging verb, not a serving path).
+        """
+        if self.mode != "cost":
+            raise SparqlEvaluationError(
+                "explain() requires SparqlEngine(planner='cost')")
+        from repro.sparql.planner import ExplainReport
+        parsed = parse_query(query) if isinstance(query, str) else query
+        if not isinstance(parsed, alg.SelectQuery):
+            raise SparqlEvaluationError("explain() requires a SELECT query")
+        self._explain_sink = []
+        try:
+            solutions = self._eval_group(parsed.where, [{}])
+            results = self._apply_modifiers(parsed, solutions)
+            plans = self._explain_sink
+        finally:
+            self._explain_sink = None
+        store_name = type(self.store).__name__
+        shards = getattr(self.store, "shard_count", None)
+        if shards:
+            store_name += f"[{shards} shards]"
+        return ExplainReport(mode=self.mode, store=store_name,
+                             plans=plans, rows=len(results))
+
     # ------------------------------------------------------------------
     # Pattern evaluation
     # ------------------------------------------------------------------
@@ -69,9 +141,19 @@ class SparqlEngine:
         for element in group.elements:
             if isinstance(element, alg.Filter):
                 filters.append(element)
+        pushable: Optional[List[alg.Expression]] = None
+        if self.mode == "cost" and filters:
+            # Hand the group's filter conjuncts to the planner for
+            # push-down. Pushed conjuncts prune mid-join; the originals
+            # are still applied at group end below (idempotent on rows
+            # that survived the push), so semantics cannot drift.
+            from repro.sparql.optimizer import conjuncts
+            pushable = []
+            for filt in filters:
+                pushable.extend(conjuncts(filt.expression))
         for element in group.elements:
             if isinstance(element, alg.BGP):
-                solutions = self._eval_bgp(element, solutions)
+                solutions = self._eval_bgp(element, solutions, pushable)
             elif isinstance(element, alg.OptionalPattern):
                 solutions = self._eval_optional(element, solutions)
             elif isinstance(element, alg.UnionPattern):
@@ -100,12 +182,94 @@ class SparqlEngine:
                 out.append(solution)
         return out
 
-    def _eval_bgp(self, bgp: alg.BGP, solutions: List[Solution]) -> List[Solution]:
+    def _eval_bgp(self, bgp: alg.BGP, solutions: List[Solution],
+                  pushable: Optional[List[alg.Expression]] = None
+                  ) -> List[Solution]:
+        if self.mode == "cost":
+            return self._eval_bgp_planned(bgp, solutions, pushable or [])
+        if self.mode == "parse":
+            # Benchmark baseline: syntactic order, no reordering.
+            for pattern in bgp.patterns:
+                solutions = self._extend(solutions, pattern)
+                if not solutions:
+                    return []
+            return solutions
         for solution_batch_pattern in self._order_patterns(bgp.patterns, solutions):
             solutions = self._extend(solutions, solution_batch_pattern)
             if not solutions:
                 return []
         return solutions
+
+    def _eval_bgp_planned(self, bgp: alg.BGP, solutions: List[Solution],
+                          pushable: List[alg.Expression]) -> List[Solution]:
+        """Cost-mode BGP evaluation: plan, then execute step by step.
+
+        Pushed filter conjuncts are applied right after the step that
+        binds their last variable; plans (with actual cardinalities) are
+        collected when an EXPLAIN sink is active.
+        """
+        # Variables bound in *every* incoming row. Filter push-down must
+        # use the intersection, not the union: a filter on a variable
+        # only some rows carry could otherwise fire before a later step
+        # binds it for the rest, dropping rows the group-end application
+        # would have kept.
+        bound = set(solutions[0].keys()) if solutions else set()
+        for solution in solutions[1:]:
+            bound &= solution.keys()
+        assert self.planner is not None
+        plan = self.planner.plan_bgp(bgp.patterns, bound, pushable)
+        plan.input_rows = len(solutions)
+        for expr in plan.prefilters:
+            solutions = [s for s in solutions if self._truthy(expr, s)]
+        for step in plan.steps:
+            if solutions:
+                solutions = self._extend_step(solutions, step)
+                step.actual = len(solutions)
+                for expr in step.filters:
+                    solutions = [s for s in solutions
+                                 if self._truthy(expr, s)]
+                step.rows = len(solutions)
+        plan.output_rows = len(solutions)
+        if self._explain_sink is not None:
+            self._explain_sink.append(plan)
+        return solutions
+
+    def _extend_step(self, solutions: List[Solution],
+                     step) -> List[Solution]:
+        """Extend solutions through one plan step.
+
+        Steps with index-provided candidates iterate those instead of a
+        store ``match``; candidate lists are sorted exactly like the scan
+        they replace, and the step's pushed filter re-checks every row,
+        so the substitution is invisible in the results.
+        """
+        if step.candidates is None:
+            return self._extend(solutions, step.pattern)
+        pattern = step.pattern
+        out: List[Solution] = []
+        for solution in solutions:
+            s = self._resolve(pattern.subject, solution)
+            o = self._resolve(pattern.object, solution)
+            if not isinstance(s, alg.Var) or not isinstance(o, alg.Var):
+                # A variable got bound after planning (shouldn't happen —
+                # the planner requires free endpoints — but fall back to
+                # the exact path rather than trust stale candidates).
+                out.extend(self._extend([solution], pattern))
+                continue
+            for triple in step.candidates:
+                new_solution = dict(solution)
+                consistent = True
+                for slot, value in ((pattern.subject, triple.subject),
+                                    (pattern.object, triple.object)):
+                    existing = new_solution.get(slot.name)
+                    if existing is None:
+                        new_solution[slot.name] = value
+                    elif existing != value:
+                        consistent = False
+                        break
+                if consistent:
+                    out.append(new_solution)
+        return out
 
     def _order_patterns(self, patterns: Sequence[alg.TriplePattern],
                         initial: List[Solution]) -> List[alg.TriplePattern]:

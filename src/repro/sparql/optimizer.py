@@ -7,7 +7,10 @@ queries between languages [23–25, 38, 39]. This module brings those ideas
 to the SPARQL subset:
 
 * :func:`simplify` — normalize a query: drop duplicate triple patterns,
-  fold tautological filters, remove filters made redundant by constants.
+  fold tautological filters, remove filters made redundant by constants,
+  and split conjunctive filters (``FILTER(A && B)`` → ``FILTER A``,
+  ``FILTER B``) so the cost planner can push each conjunct down to the
+  earliest join step that binds its variables.
 * :func:`check_satisfiability` — decide, *without evaluating*, whether a
   query can possibly return a result: contradictory filters
   (``?x = "a" && ?x = "b"``), empty-vocabulary patterns (a predicate the
@@ -42,6 +45,20 @@ class SatisfiabilityReport:
 # Simplification
 # ---------------------------------------------------------------------------
 
+def conjuncts(expression: alg.Expression) -> List[alg.Expression]:
+    """The top-level ``&&`` conjuncts of a filter expression.
+
+    ``FILTER(A && B)`` constrains rows exactly like ``FILTER A`` plus
+    ``FILTER B`` (an evaluation *error* in either conjunct fails the row
+    under both forms), so callers may apply the pieces independently —
+    the planner pushes each to the earliest join step binding its
+    variables. Non-conjunctive expressions return as a singleton.
+    """
+    if isinstance(expression, alg.BoolOp) and expression.op == "&&":
+        return conjuncts(expression.left) + conjuncts(expression.right)
+    return [expression]
+
+
 def simplify(query: Union[str, alg.SelectQuery]) -> alg.SelectQuery:
     """A normalized copy of the query (input is not modified)."""
     parsed = parse_query(query) if isinstance(query, str) else query
@@ -74,8 +91,14 @@ def _simplify_group(group: alg.GroupPattern) -> alg.GroupPattern:
             folded = _fold_expression(element.expression)
             if folded is True:
                 continue  # tautology: FILTER(true) drops
-            out.elements.append(alg.Filter(
-                folded if not isinstance(folded, bool) else element.expression))
+            if isinstance(folded, bool):
+                folded = element.expression
+            # FILTER(A && B) ≡ FILTER A, FILTER B: per SPARQL error
+            # semantics an error in either conjunct fails the row in both
+            # forms, so the split is exact — and it lets the planner push
+            # each conjunct down independently.
+            for conjunct in conjuncts(folded):
+                out.elements.append(alg.Filter(conjunct))
         elif isinstance(element, alg.OptionalPattern):
             out.elements.append(alg.OptionalPattern(
                 _simplify_group(element.pattern)))

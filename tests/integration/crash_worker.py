@@ -115,14 +115,28 @@ class CrashingCheckpoint(CheckpointManager):
 
 
 def run_store(args):
-    """``store`` mode: mutate a DurableTripleStore, maybe die mid-sequence."""
-    store = DurableTripleStore(args.dir, snapshot_every=args.snapshot_every)
+    """``store`` mode: mutate a durable store, maybe die mid-sequence.
+
+    With ``--shards N`` the store is a
+    :class:`~repro.kg.sharding.DurableShardedTripleStore` (per-shard WALs,
+    global snapshot); the torn-write injector then smears the half-record
+    onto shard 0's log — any shard works, recovery must truncate it.
+    """
+    if args.shards:
+        from repro.kg.sharding import DurableShardedTripleStore
+        store = DurableShardedTripleStore(
+            args.dir, shards=args.shards,
+            snapshot_every=args.snapshot_every)
+        torn_target = store.wal_paths[0]
+    else:
+        store = DurableTripleStore(args.dir,
+                                   snapshot_every=args.snapshot_every)
+        torn_target = os.path.join(args.dir, WAL_FILENAME)
     for index, op in enumerate(store_ops(args.ops)):
         apply_store_op(store, op)
         if args.crash_after is not None and index + 1 >= args.crash_after:
             if args.torn:
-                _append_raw(os.path.join(args.dir, WAL_FILENAME),
-                            TORN_WAL_TAIL)
+                _append_raw(torn_target, TORN_WAL_TAIL)
             os._exit(CRASH_EXIT)
     print(f"version={store.version} triples={len(store)}")
     store.close()
@@ -191,6 +205,7 @@ def build_parser():
     store.add_argument("--snapshot-every", type=int, default=None)
     store.add_argument("--crash-after", type=int, default=None)
     store.add_argument("--torn", action="store_true")
+    store.add_argument("--shards", type=int, default=0)
 
     qa = sub.add_parser("qa")
     qa.add_argument("--journal", required=True)

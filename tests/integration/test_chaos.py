@@ -36,10 +36,23 @@ FAULT_RATES = (0.0, 0.1, 0.25, 0.4, 0.5)
 # the chaos suite exercise a real thread pool.
 CHAOS_WORKERS = int(os.environ.get("REPRO_CHAOS_WORKERS", "4"))
 
+# Shard count for the dataset stores (0 = unsharded). CI's shard-smoke job
+# sets this to run the whole chaos sweep against the sharded fan-out paths;
+# the façade contract says every result stays byte-identical.
+KG_SHARDS = int(os.environ.get("REPRO_KG_SHARDS", "0"))
+
+
+def _maybe_shard(ds):
+    """Re-home a dataset's triples onto a sharded store when asked to."""
+    if KG_SHARDS > 0:
+        from repro.kg.sharding import ShardedTripleStore
+        ds.kg.store = ShardedTripleStore(ds.kg.store, shards=KG_SHARDS)
+    return ds
+
 
 @pytest.fixture(scope="module")
 def enterprise():
-    ds = enterprise_kg(seed=0)
+    ds = _maybe_shard(enterprise_kg(seed=0))
     questions = []
     for dept_value in ds.metadata["departments"]:
         dept = IRI(dept_value)
@@ -51,7 +64,7 @@ def enterprise():
 
 @pytest.fixture(scope="module")
 def movie():
-    return movie_kg(seed=1)
+    return _maybe_shard(movie_kg(seed=1))
 
 
 def _faulty_llm(world, rate, seed=0, **model_overrides):

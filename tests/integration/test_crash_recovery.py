@@ -24,6 +24,7 @@ import sys
 
 import pytest
 
+from repro.kg.sharding import recover_sharded
 from repro.kg.store import TripleStore
 from repro.kg.wal import recover
 
@@ -111,6 +112,79 @@ class TestStoreCrashRecovery:
         assert set(final) == set(reference)
         assert final.version == 20
         final.close()
+
+
+class TestShardedStoreCrashRecovery:
+    """The sharded WAL layout honors the same crash contract: per-shard
+    logs + global ``seq`` recover exactly the committed prefix, at the
+    original shard count or a different one."""
+
+    @pytest.mark.parametrize("crash_after", [1, 4, 11])
+    def test_recovery_matches_committed_prefix(self, tmp_path, crash_after):
+        directory = str(tmp_path / "kg")
+        result = run_worker("store", "--dir", directory, "--ops", 20,
+                            "--shards", 4, "--crash-after", crash_after)
+        assert result.returncode == CRASH_EXIT, result.stderr
+        store = recover_sharded(directory)
+        reference = expected_store_state(crash_after)
+        assert store.shard_count == 4
+        assert list(store) == list(reference)  # membership AND order
+        assert store.version == reference.version == crash_after
+        assert store.last_recovery.truncated_bytes == 0
+        store.close()
+
+    @pytest.mark.parametrize("crash_after", [2, 7])
+    def test_torn_shard_log_tail_is_truncated(self, tmp_path, crash_after):
+        directory = str(tmp_path / "kg")
+        result = run_worker("store", "--dir", directory, "--ops", 20,
+                            "--shards", 4, "--crash-after", crash_after,
+                            "--torn")
+        assert result.returncode == CRASH_EXIT, result.stderr
+        store = recover_sharded(directory)
+        reference = expected_store_state(crash_after)
+        assert set(store) == set(reference)
+        assert store.version == crash_after
+        assert store.last_recovery.truncated_bytes > 0
+        store.close()
+
+    def test_crash_between_snapshots_replays_shard_suffixes(self, tmp_path):
+        directory = str(tmp_path / "kg")
+        result = run_worker("store", "--dir", directory, "--ops", 20,
+                            "--shards", 4, "--snapshot-every", 4,
+                            "--crash-after", 10)
+        assert result.returncode == CRASH_EXIT, result.stderr
+        store = recover_sharded(directory)
+        reference = expected_store_state(10)
+        assert set(store) == set(reference)
+        assert store.version == 10
+        assert store.last_recovery.snapshot_lsn > 0
+        store.close()
+
+    def test_recovered_store_keeps_accepting_writes(self, tmp_path):
+        directory = str(tmp_path / "kg")
+        run_worker("store", "--dir", directory, "--ops", 20,
+                   "--shards", 4, "--crash-after", 5, "--torn")
+        store = recover_sharded(directory)
+        for op in store_ops(20)[5:]:
+            apply_store_op(store, op)
+        store.close()
+        final = recover_sharded(directory)
+        reference = expected_store_state(20)
+        assert set(final) == set(reference)
+        assert final.version == 20
+        final.close()
+
+    def test_recovery_under_a_different_shard_count(self, tmp_path):
+        directory = str(tmp_path / "kg")
+        result = run_worker("store", "--dir", directory, "--ops", 20,
+                            "--shards", 2, "--crash-after", 8)
+        assert result.returncode == CRASH_EXIT, result.stderr
+        store = recover_sharded(directory, shards=5)
+        reference = expected_store_state(8)
+        assert store.shard_count == 5
+        assert list(store) == list(reference)
+        assert store.version == 8
+        store.close()
 
 
 class TestQaKillResume:

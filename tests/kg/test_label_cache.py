@@ -262,3 +262,76 @@ class TestThreadedCacheCounters:
         stats = kg.cache_stats()
         assert stats["invalidations"] > 0
         assert stats["hits"] + stats["misses"] > 0
+
+
+class TestShardAwareLabelSegments:
+    """Regression tests for the `find_by_label` reverse index.
+
+    It used to rebuild wholesale on *every* store mutation; it now keeps
+    one segment per backing store (one per shard on a sharded store) and
+    rebuilds only the segments whose backing version moved.
+    """
+
+    def _sharded_graph(self, shards=4, people=20):
+        from repro.kg.sharding import ShardedTripleStore
+        kg = KnowledgeGraph(ShardedTripleStore(shards=shards), name="t")
+        for i in range(people):
+            kg.set_label(IRI(f"http://example.org/p{i}"), f"Person {i}")
+        return kg
+
+    def test_one_write_rebuilds_one_segment(self):
+        kg = self._sharded_graph(shards=4)
+        kg.find_by_label("Person 3")
+        base = kg.label_index_stats()
+        assert base["segments"] == 4
+        kg.set_label(EX.fresh, "Fresh Face")
+        kg.find_by_label("Fresh Face")
+        after = kg.label_index_stats()
+        # set_label = remove-old + add-new on ONE shard: only that
+        # shard's segment rebuilds, not all four.
+        assert after["rebuilds"] - base["rebuilds"] == 1
+
+    def test_interleaved_writes_stay_proportional(self):
+        kg = self._sharded_graph(shards=4)
+        kg.find_by_label("Person 0")
+        base = kg.label_index_stats()["rebuilds"]
+        writes = 20
+        for i in range(writes):
+            kg.add(IRI(f"http://example.org/n{i}"), LABEL,
+                   Literal(f"Name {i}"))
+            assert kg.find_by_label(f"Name {i}") == \
+                [IRI(f"http://example.org/n{i}")]
+        rebuilds = kg.label_index_stats()["rebuilds"] - base
+        # The old wholesale behavior rebuilt every segment per write
+        # (writes * shards); shard-aware invalidation rebuilds exactly
+        # the dirty segment.
+        assert rebuilds == writes
+
+    def test_unsharded_store_still_one_segment(self):
+        kg = _graph()
+        kg.find_by_label("Alice")
+        stats = kg.label_index_stats()
+        assert stats["segments"] == 1
+        assert stats["rebuilds"] == 1
+        kg.find_by_label("Bob")  # same version: no rebuild
+        assert kg.label_index_stats()["rebuilds"] == 1
+
+    def test_read_only_lookups_are_cache_hits(self):
+        kg = self._sharded_graph(shards=4)
+        kg.find_by_label("Person 1")
+        before = kg.cache_stats()
+        for i in range(10):
+            kg.find_by_label(f"Person {i % 5}")
+        after = kg.cache_stats()
+        assert after["hits"] - before["hits"] == 10
+        assert after["misses"] == before["misses"]
+
+    def test_results_identical_to_unsharded(self):
+        from repro.kg.sharding import ShardedTripleStore
+        plain = KnowledgeGraph(name="p")
+        sharded = KnowledgeGraph(ShardedTripleStore(shards=7), name="s")
+        for kg in (plain, sharded):
+            for i in range(40):
+                kg.set_label(IRI(f"http://example.org/e{i}"), "Shared")
+        assert sharded.find_by_label("Shared") == \
+            plain.find_by_label("Shared")

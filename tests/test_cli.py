@@ -253,3 +253,58 @@ class TestServeCommands:
         assert main(["serve", "replay", "enterprise",
                      "--mix", "nonsense"]) == 2
         assert "unknown mix" in capsys.readouterr().err
+
+
+class TestShardingCommands:
+    def test_kg_stats_unsharded(self, capsys):
+        assert main(["kg", "stats", "movie"]) == 0
+        out = capsys.readouterr().out
+        assert "store=TripleStore" in out
+        assert "index fulltext:" in out and "index numeric:" in out
+        assert "cache:" in out and "hit_rate=" in out
+        assert "label-index:" in out
+        assert "shard" not in out
+
+    def test_kg_stats_sharded(self, capsys):
+        assert main(["kg", "stats", "movie", "--shards", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "store=ShardedTripleStore" in out
+        for i in range(4):
+            assert f"shard {i:02d}:" in out
+
+    def test_sparql_explain(self, capsys):
+        code = main(["sparql", "explain", "movie",
+                     "PREFIX s: <http://repro.dev/schema/> "
+                     "SELECT ?m ?y WHERE { ?m s:releaseYear ?y "
+                     "FILTER (?y > 2005) }"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "QUERY PLAN" in out and "planner=cost" in out
+        assert "access=NUMERIC(releaseYear)" in out
+        assert "pushed FILTER" in out
+        assert "rows:" in out
+
+    def test_sparql_explain_sharded_shows_broadcast(self, capsys):
+        code = main(["sparql", "explain", "movie", "--shards", "4",
+                     "PREFIX s: <http://repro.dev/schema/> "
+                     "SELECT ?m WHERE { ?m s:hasGenre ?g }"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[4 shards]" in out
+        assert "@broadcast(4)" in out
+
+    def test_sparql_explain_parse_error_returns_2(self, capsys):
+        assert main(["sparql", "explain", "movie", "SELECT nonsense"]) == 2
+        err = capsys.readouterr().err
+        assert "parse error" in err and "Traceback" not in err
+
+    def test_query_planner_modes_agree(self, capsys):
+        query = ("PREFIX s: <http://repro.dev/schema/> "
+                 "SELECT ?m WHERE { ?m s:releaseYear ?y "
+                 "FILTER (?y > 2010) } ORDER BY ?m")
+        outputs = {}
+        for mode in ("greedy", "cost", "parse"):
+            assert main(["query", "movie", "--planner", mode, query]) == 0
+            outputs[mode] = capsys.readouterr().out
+        assert outputs["greedy"] == outputs["cost"] == outputs["parse"]
+        assert outputs["cost"].count("?m=") > 0
