@@ -20,7 +20,9 @@ Commands
 ``run <dataset> --journal <p>``  checkpointed GraphRAG QA run (resumable)
 ``run --resume <journal>``       resume a killed run from its journal
 ``serve bench <dataset>``        overload benchmark through the gateway
+``serve bench --stream``         continuous batching vs run-to-completion
 ``serve replay <dataset>``       closed-loop traffic replay (chaos-ready)
+``serve replay --stream``        open-loop token-streaming replay (TTFT/TPOT)
 
 Datasets are the seeded generators of :mod:`repro.kg.datasets`
 (``encyclopedia``, ``family``, ``movie``, ``covid``, ``enterprise``);
@@ -482,6 +484,66 @@ def _print_load_report(report, label: str) -> None:
     tiers = " ".join(f"{tier}={count}" for tier, count
                      in sorted(report.tier_counts.items()))
     print(f"  tiers: {tiers or '(none)'}")
+    if report.streamed:
+        print(f"  streams: {report.streamed} "
+              f"(completed={report.completed_streams} "
+              f"shed={report.shed_mid_stream}) "
+              f"p50_ttft={report.p50_ttft:.3f}s "
+              f"p99_ttft={report.p99_ttft:.3f}s "
+              f"tokens/s={report.tokens_per_sec:.1f}")
+
+
+def _export_stream_metrics(obs, report, path: str) -> None:
+    """Export the metrics JSONL with the streaming percentiles pinned as
+    gauges (so the file carries p50/p99 TTFT and tokens/sec explicitly,
+    alongside the serve.ttft/serve.tpot/serve.tokens_out histograms)."""
+    obs.gauge("serve.ttft_p50", report.p50_ttft)
+    obs.gauge("serve.ttft_p99", report.p99_ttft)
+    obs.gauge("serve.tokens_per_sec", report.tokens_per_sec)
+    written = obs.export_jsonl(path)
+    print(f"  exported {written} metric records to {path}")
+
+
+def cmd_serve_bench_stream(args) -> int:
+    import json
+
+    from repro.serve import serving_observability, streaming_experiment
+
+    mix_name = "stream" if args.mix == "mixed" else args.mix
+    reports = {}
+    for policy in ("continuous", "run_to_completion"):
+        for label, factor in (("baseline", 1.0),
+                              ("overload", args.load_factor)):
+            obs = serving_observability()
+            report = streaming_experiment(
+                dataset=args.dataset, mix_name=mix_name, policy=policy,
+                max_batch=args.max_batch, load_factor=factor,
+                n_requests=args.requests, seed=args.seed,
+                queue_limit=args.queue_limit, budget=args.budget,
+                prefix_cache=not args.no_prefix_cache, obs=obs)
+            _print_load_report(report, f"{policy} {label} ({factor:g}x)")
+            key = f"{policy}_{label}"
+            reports[key] = report.to_dict()
+            reports[key]["capacity_rps"] = \
+                report.gateway_stats["capacity_rps"]
+            if args.jsonl and key == "continuous_overload":
+                _export_stream_metrics(obs, report, args.jsonl)
+    continuous = reports["continuous_overload"]["goodput"]
+    static = reports["run_to_completion_overload"]["goodput"]
+    ratio = continuous / static if static else float("inf")
+    baseline = reports["continuous_baseline"]
+    ttft_share = (baseline["p50_ttft"] / baseline["p50_latency"]
+                  if baseline["p50_latency"] else 0.0)
+    print(f"continuous vs run-to-completion goodput at "
+          f"{args.load_factor:g}x: {continuous:.2f}/s vs {static:.2f}/s "
+          f"({ratio:.2f}x); baseline p50 TTFT is {ttft_share:.0%} of p50 "
+          f"completion latency")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(reports, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if ratio >= 1.0 else 1
 
 
 def cmd_serve_bench(args) -> int:
@@ -489,6 +551,8 @@ def cmd_serve_bench(args) -> int:
 
     from repro.serve import overload_experiment, serving_observability
 
+    if args.stream:
+        return cmd_serve_bench_stream(args)
     reports = {}
     for label, factor in (("baseline", 1.0), ("overload", args.load_factor)):
         obs = serving_observability()
@@ -515,6 +579,27 @@ def cmd_serve_bench(args) -> int:
     return 0 if ratio >= 0.8 else 1
 
 
+def cmd_serve_replay_stream(args) -> int:
+    from repro.serve import serving_observability, streaming_experiment
+
+    mix_name = "stream" if args.mix == "mixed" else args.mix
+    obs = serving_observability()
+    report = streaming_experiment(
+        dataset=args.dataset, mix_name=mix_name, policy=args.policy,
+        max_batch=args.max_batch, load_factor=args.load_factor,
+        n_requests=args.clients * args.requests_per_client, seed=args.seed,
+        queue_limit=args.queue_limit, budget=args.budget,
+        fault_rate=args.fault_rate, obs=obs)
+    _print_load_report(report, f"stream replay ({args.policy})")
+    reconciled = report.completed_streams + report.shed_mid_stream
+    print(f"  streamed={report.streamed} == "
+          f"completed_streams+shed_mid_stream={reconciled}: "
+          f"{'ok' if report.streamed == reconciled else 'MISMATCH'}")
+    if args.jsonl:
+        _export_stream_metrics(obs, report, args.jsonl)
+    return 0 if report.streamed == reconciled else 1
+
+
 def cmd_serve_replay(args) -> int:
     from repro.core.resilience import CircuitBreaker
     from repro.llm import load_model
@@ -523,6 +608,8 @@ def cmd_serve_replay(args) -> int:
                              build_backends, question_pool,
                              serving_observability)
 
+    if args.stream:
+        return cmd_serve_replay_stream(args)
     if args.mix not in MIXES:
         print(f"unknown mix {args.mix!r}; available: "
               f"{', '.join(sorted(MIXES))}", file=sys.stderr)
@@ -666,6 +753,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-request deadline seconds (default 4.0)")
     p.add_argument("--out", help="write both reports as JSON to this path")
     p.add_argument("--jsonl", help="export overload-run metrics JSONL")
+    p.add_argument("--stream", action="store_true",
+                   help="token-streaming benchmark: continuous batching vs "
+                        "run-to-completion through the TokenScheduler")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="streaming batch width (default 8, --stream only)")
+    p.add_argument("--no-prefix-cache", action="store_true",
+                   help="disable the radix prefix cache (--stream only)")
     p = serve_sub.add_parser(
         "replay", help="closed-loop replay (supports fault injection)")
     p.add_argument("dataset", nargs="?", default="enterprise")
@@ -690,6 +784,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tenant-burst", type=int, default=5,
                    help="per-tenant token-bucket burst (default 5)")
     p.add_argument("--jsonl", help="export replay metrics JSONL")
+    p.add_argument("--stream", action="store_true",
+                   help="open-loop token-streaming replay through the "
+                        "TokenScheduler (fault injection supported)")
+    p.add_argument("--policy", default="continuous",
+                   choices=("continuous", "run_to_completion"),
+                   help="streaming scheduler policy (default continuous)")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="streaming batch width (default 8, --stream only)")
+    p.add_argument("--load-factor", type=float, default=1.0,
+                   help="offered load multiple of capacity "
+                        "(default 1.0, --stream only)")
     p = sub.add_parser("run",
                        help="checkpointed GraphRAG QA run (resumable)")
     p.add_argument("dataset", nargs="?")

@@ -30,7 +30,10 @@ from repro.llm.faults import (
     LLMTransientError,
     LLMTruncatedOutputError,
 )
+from repro.llm.prefix_cache import RadixPrefixCache
 from repro.llm.registry import MODEL_PROFILES, load_model
+from repro.llm.streaming import (drain_stream, drain_stream_partial,
+                                 replay_stream, stream_chunks)
 
 __all__ = [
     "WordTokenizer",
@@ -55,5 +58,10 @@ __all__ = [
     "LLMTruncatedOutputError",
     "LLMMalformedOutputError",
     "MODEL_PROFILES",
+    "RadixPrefixCache",
+    "drain_stream",
+    "drain_stream_partial",
     "load_model",
+    "replay_stream",
+    "stream_chunks",
 ]

@@ -52,6 +52,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.observability import NULL_OBS, cache_stats_dict
 from repro.llm.model import ChatMessage, LLMResponse, complete_all
+from repro.llm.streaming import replay_stream
+from repro.llm.tokenizer import count_tokens
 from repro.llm import prompts as P
 
 #: Default maximum number of memoized completions.
@@ -109,6 +111,49 @@ class CachingLLM:
             response = self.inner.complete(prompt, max_tokens=max_tokens)
             self._store(key, response)
             return replace(response)
+
+    def complete_stream(self, prompt: str, max_tokens: int = 256):
+        """Stream a completion through the cache.
+
+        A **hit** replays the memoized text as decode-step chunks without
+        touching the inner model at all (this is what a streaming cache is
+        for: zero upstream tokens, instant first chunk). A **miss** streams
+        through the inner model and records the chunks as they pass; only a
+        *fully drained, fault-free* stream is stored — a stream that faults
+        mid-flight or is abandoned by its consumer leaves no cache entry,
+        preserving the "exceptions are never cached" contract (the next
+        identical prompt retries upstream).
+
+        Hit/miss counters advance when the stream is created, mirroring
+        when ``complete`` would have counted them.
+        """
+        key = (prompt, max_tokens)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._cache.move_to_end(key)
+                return replay_stream(cached.text)
+            self._misses += 1
+            inner_stream = self.inner.complete_stream(
+                prompt, max_tokens=max_tokens)
+        return self._recording_stream(key, prompt, inner_stream)
+
+    def _recording_stream(self, key: _CacheKey, prompt: str, stream):
+        """Pass chunks through, banking the completion on a clean drain."""
+        chunks: List[str] = []
+        for chunk in stream:
+            chunks.append(chunk)
+            yield chunk
+        text = "".join(chunks)
+        response = LLMResponse(
+            text=text, prompt_tokens=count_tokens(prompt),
+            completion_tokens=count_tokens(text),
+            model=getattr(getattr(self.inner, "config", None), "name",
+                          "sim-llm"))
+        with self._lock:
+            if key not in self._cache:
+                self._store(key, response)
 
     def complete_batch(self, prompts: Sequence[str],
                        max_tokens: int = 256) -> List[LLMResponse]:

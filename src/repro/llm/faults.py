@@ -39,6 +39,7 @@ from repro.llm.model import (
     _stable_unit,
     complete_all,
 )
+from repro.llm.streaming import stream_chunks
 from repro.llm import prompts as P
 
 
@@ -198,6 +199,17 @@ def _corrupt(text: str, seed: int, call_index: int) -> str:
     return " ".join(words)
 
 
+def _truncated_stream(partial: str, index: int):
+    """Yield the clean prefix of a truncated completion, then drop the
+    stream with the same typed error (and ``partial_text``) the blob path
+    raises."""
+    for chunk in stream_chunks(partial):
+        yield chunk
+    raise LLMTruncatedOutputError(
+        f"call {index}: output truncated mid-stream",
+        partial_text=partial, call_index=index)
+
+
 class FaultInjectingLLM:
     """Wrap a :class:`SimulatedLLM` with a deterministic fault schedule.
 
@@ -242,6 +254,43 @@ class FaultInjectingLLM:
         self.fault_log.append((index, kind))
         self.obs.count("llm.faults", kind=kind)
         self._raise_fault(kind, index, prompt, max_tokens)
+
+    def complete_stream(self, prompt: str, max_tokens: int = 256):
+        """Stream a completion under the same per-call fault schedule.
+
+        The call index is consumed and logged when the stream is *created*
+        (exactly as ``complete`` does), so a workload driven through
+        ``complete_stream`` reproduces the identical ``fault_log`` —
+        byte-identical faults, per the streaming contract:
+
+        * clean calls return the inner model's metered stream unchanged;
+        * ``timeout``/``rate_limit``/``malformed`` raise synchronously,
+          exactly like ``complete`` (the stream never starts — for the
+          corruption mode the full completion is still charged against the
+          inner model and delivered as ``corrupted_text``, matching the
+          blob path);
+        * ``truncated`` is the genuinely mid-stream fault: the inner model
+          is charged for the full completion up front (as in the blob
+          path), the deterministic clean prefix is yielded chunk by chunk,
+          and then :class:`LLMTruncatedOutputError` is raised with the
+          same ``partial_text`` the blob call would have carried.
+        """
+        index = self.fault_calls
+        self.fault_calls += 1
+        kind = self.profile.fault_for(index, prompt)
+        if kind is None:
+            self.fault_log.append((index, "ok"))
+            return self.inner.complete_stream(prompt, max_tokens=max_tokens)
+        self.faults_injected += 1
+        self.fault_log.append((index, kind))
+        self.obs.count("llm.faults", kind=kind)
+        if kind != "truncated":
+            self._raise_fault(kind, index, prompt, max_tokens)
+        response = self.inner.complete(prompt, max_tokens=max_tokens)
+        fraction = 0.2 + 0.6 * _stable_unit(
+            str(self.profile.seed), "cut", str(index))
+        partial = response.text[:int(len(response.text) * fraction)]
+        return _truncated_stream(partial, index)
 
     def complete_batch(self, prompts: Sequence[str],
                        max_tokens: int = 256) -> List[LLMResponse]:

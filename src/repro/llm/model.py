@@ -37,6 +37,7 @@ from repro.kg.store import TripleStore
 from repro.kg.triples import IRI, Literal, OWL, RDF, RDFS, Term, Triple
 from repro.llm import prompts as P
 from repro.llm.ngram import NGramLanguageModel
+from repro.llm.streaming import stream_chunks
 from repro.llm.tokenizer import count_tokens, word_tokens
 
 
@@ -260,11 +261,9 @@ class SimulatedLLM:
             "chat": self._handle_chat,
         }
 
-    def complete(self, prompt: str, max_tokens: int = 256) -> LLMResponse:
-        """Complete a prompt. Structured prompts (see :mod:`repro.llm.prompts`)
-        are routed to the matching task behaviour; free text falls back to the
-        n-gram generator."""
-        self.calls += 1
+    def _generate(self, prompt: str, max_tokens: int) -> str:
+        """Route a prompt to its task handler and produce the completion
+        text (pure: no counter side effects)."""
         parsed = P.parse_prompt(prompt)
         task = (parsed.get("Task") or "").strip().lower()
         rng = self._rng(prompt)
@@ -273,13 +272,47 @@ class SimulatedLLM:
             text = handler(parsed, rng)
         else:
             text = self._freeform(prompt, rng, max_tokens)
-        text = text.strip()
+        return text.strip()
+
+    def complete(self, prompt: str, max_tokens: int = 256) -> LLMResponse:
+        """Complete a prompt. Structured prompts (see :mod:`repro.llm.prompts`)
+        are routed to the matching task behaviour; free text falls back to the
+        n-gram generator."""
+        self.calls += 1
+        text = self._generate(prompt, max_tokens)
         in_tokens = count_tokens(prompt)
         out_tokens = count_tokens(text)
         self.prompt_tokens += in_tokens
         self.completion_tokens += out_tokens
         return LLMResponse(text=text, prompt_tokens=in_tokens,
                            completion_tokens=out_tokens, model=self.config.name)
+
+    def complete_stream(self, prompt: str, max_tokens: int = 256):
+        """Stream a completion as decode-step chunks.
+
+        The drained stream is byte-identical to ``complete(prompt).text``
+        (completions are pure functions of the model seed and the prompt,
+        so the text is produced eagerly and chunked with
+        :func:`repro.llm.streaming.stream_chunks`).
+
+        Usage accounting is **exactly-once**: the call and the prompt
+        tokens are charged when the stream is created (prefill), and each
+        completion-token charge lands when its chunk is *consumed* — a
+        fully drained stream advances :attr:`usage` exactly as
+        ``complete()`` would (per-chunk token counts sum to the blob
+        charge; see :mod:`repro.llm.streaming`), while a stream abandoned
+        after *k* chunks charges only those *k* chunks, never the rest
+        and never anything twice.
+        """
+        self.calls += 1
+        text = self._generate(prompt, max_tokens)
+        self.prompt_tokens += count_tokens(prompt)
+        return self._metered_stream(text)
+
+    def _metered_stream(self, text: str):
+        for chunk in stream_chunks(text):
+            self.completion_tokens += count_tokens(chunk)
+            yield chunk
 
     def complete_batch(self, prompts: Sequence[str],
                        max_tokens: int = 256) -> List[LLMResponse]:

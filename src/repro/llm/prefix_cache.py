@@ -1,0 +1,207 @@
+"""A vLLM-style radix prefix cache over prompt tokens.
+
+Every pipeline in this repo builds prompts from a shared preamble — the
+``Task:``/``Instructions:``/``Facts:``/``Examples:`` sections that
+:mod:`repro.llm.prompts` renders *before* the per-request ``Question``/
+``Sentence`` — so a serving mix re-prefills the same system/few-shot
+tokens on every request. Real inference stacks (vLLM's automatic prefix
+caching, SGLang's RadixAttention) dodge that by keeping KV blocks of
+shared prefixes in a radix tree keyed by token content; our simulated
+analogue is :class:`RadixPrefixCache`, which the token scheduler
+(:mod:`repro.serve.scheduler`) consults to skip the simulated prefill
+cost of the longest cached prefix.
+
+Design points mirroring the real thing:
+
+* **block granularity** — tokens are grouped into fixed-size blocks and
+  only whole blocks are cached (a trailing partial block is never
+  stored), so cache keys are content-addressed block paths in a trie;
+* **LRU leaf eviction** — when the block budget is exhausted the
+  least-recently-touched *leaf* block is dropped (interior blocks are
+  pinned by their children, exactly like refcounted KV blocks);
+* **version-keyed invalidation** — the cache carries an opaque version
+  token (typically the KG's mutation ``version``); ``ensure_version``
+  flushes everything when it changes, because prompts built from a
+  mutated KG may verbalize different facts into the same-looking
+  preamble;
+* **canonical stats** — ``cache_stats()`` speaks the repo-wide schema
+  (hits/misses/evictions/invalidations/size/max_size/hit_rate), where a
+  hit/miss is counted *per block looked up*, so ``hit_rate`` is the
+  fraction of prompt blocks whose prefill was skipped.
+
+Everything is deterministic: recency is a monotonic operation counter,
+not a clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.observability import NULL_OBS, cache_stats_dict
+from repro.llm.tokenizer import word_tokens
+
+#: Default tokens per cached block.
+DEFAULT_BLOCK_SIZE = 8
+#: Default block budget.
+DEFAULT_MAX_BLOCKS = 4096
+
+_ROOT = 0
+
+
+class _Node:
+    """One cached block: a trie edge labelled by its token tuple."""
+
+    __slots__ = ("parent", "block", "children", "last_use")
+
+    def __init__(self, parent: int, block: Tuple[str, ...]):
+        self.parent = parent
+        self.block = block
+        self.children: Dict[Tuple[str, ...], int] = {}
+        self.last_use = 0
+
+
+class RadixPrefixCache:
+    """Block-granular radix trie over prompt token prefixes."""
+
+    def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE,
+                 max_blocks: int = DEFAULT_MAX_BLOCKS,
+                 version: Optional[Hashable] = None):
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if max_blocks <= 0:
+            raise ValueError("max_blocks must be positive")
+        self.block_size = block_size
+        self.max_blocks = max_blocks
+        self.version = version
+        self.obs = NULL_OBS
+        # node id → node; the root (id 0) is virtual and never evicted.
+        self._nodes: Dict[int, _Node] = {_ROOT: _Node(-1, ())}
+        self._next_id = 1
+        self._ops = 0  # monotonic recency counter (deterministic "clock")
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+        self.tokens_hit = 0
+        self.tokens_missed = 0
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+    def _blocks(self, tokens: Sequence[str]) -> List[Tuple[str, ...]]:
+        size = self.block_size
+        full = len(tokens) // size
+        return [tuple(tokens[i * size:(i + 1) * size]) for i in range(full)]
+
+    def match(self, tokens: Sequence[str]) -> int:
+        """Length (in tokens) of the longest cached prefix, whole blocks
+        only. Counts one hit per matched block and one miss per unmatched
+        block of the probe (trailing partial block excluded)."""
+        return self._walk(tokens, insert=False)
+
+    def insert(self, tokens: Sequence[str]) -> int:
+        """Cache every full block of ``tokens`` (idempotent for blocks
+        already present); returns the matched-prefix length in tokens as
+        :meth:`match` would have reported it, with the same hit/miss
+        accounting — i.e. this *is* ``match`` + populate in one walk."""
+        return self._walk(tokens, insert=True)
+
+    def _walk(self, tokens: Sequence[str], insert: bool) -> int:
+        self._ops += 1
+        blocks = self._blocks(tokens)
+        node_id = _ROOT
+        matched = 0
+        for i, block in enumerate(blocks):
+            child = self._nodes[node_id].children.get(block)
+            if child is None:
+                remaining = len(blocks) - i
+                self._misses += remaining
+                self.tokens_missed += remaining * self.block_size
+                if insert:
+                    for tail in blocks[i:]:
+                        node_id = self._attach(node_id, tail)
+                return matched
+            node_id = child
+            self._nodes[node_id].last_use = self._ops
+            matched += self.block_size
+            self._hits += 1
+            self.tokens_hit += self.block_size
+        return matched
+
+    def _attach(self, parent: int, block: Tuple[str, ...]) -> int:
+        while len(self._nodes) - 1 >= self.max_blocks:
+            if not self._evict_one(protect=parent):
+                break
+        node = _Node(parent, block)
+        node.last_use = self._ops
+        node_id = self._next_id
+        self._next_id += 1
+        self._nodes[node_id] = node
+        self._nodes[parent].children[block] = node_id
+        return node_id
+
+    def _evict_one(self, protect: int) -> bool:
+        """Drop the least-recently-used leaf (never the root, never the
+        node we are about to extend). Returns False when nothing is
+        evictable — the path being inserted owns every block."""
+        victim_id = -1
+        victim_use = None
+        for node_id, node in self._nodes.items():
+            if node_id == _ROOT or node_id == protect or node.children:
+                continue
+            if victim_use is None or node.last_use < victim_use or \
+                    (node.last_use == victim_use and node_id < victim_id):
+                victim_id, victim_use = node_id, node.last_use
+        if victim_use is None:
+            return False
+        victim = self._nodes.pop(victim_id)
+        del self._nodes[victim.parent].children[victim.block]
+        self._evictions += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Prompt-level convenience
+    # ------------------------------------------------------------------
+    def cached_prefill(self, prompt: str) -> Tuple[int, int]:
+        """Match-and-insert a prompt; returns ``(total_tokens,
+        cached_tokens)`` where ``cached_tokens`` of the prompt's prefill
+        can be skipped. This is the scheduler's one-call entry point."""
+        tokens = word_tokens(prompt, lowercase=False)
+        cached = self.insert(tokens)
+        return len(tokens), cached
+
+    # ------------------------------------------------------------------
+    # Invalidation & stats
+    # ------------------------------------------------------------------
+    def ensure_version(self, version: Hashable) -> bool:
+        """Flush the cache if ``version`` differs from the stored one.
+
+        Returns True when an invalidation happened. Counts one
+        invalidation per dropped block, matching how the KG read caches
+        account version-keyed flushes.
+        """
+        if version == self.version:
+            return False
+        dropped = len(self._nodes) - 1
+        if dropped:
+            self._invalidations += dropped
+            self.obs.count("llm.prefix_cache.invalidations", n=dropped)
+        self._nodes = {_ROOT: _Node(-1, ())}
+        self.version = version
+        return dropped > 0
+
+    def clear(self) -> None:
+        """Drop every cached block (counters are preserved)."""
+        self._nodes = {_ROOT: _Node(-1, ())}
+
+    @property
+    def size(self) -> int:
+        """Number of cached blocks."""
+        return len(self._nodes) - 1
+
+    def cache_stats(self) -> Dict[str, float]:
+        """Counters in the canonical cache-stats schema (per-block)."""
+        return cache_stats_dict(
+            hits=self._hits, misses=self._misses,
+            evictions=self._evictions, invalidations=self._invalidations,
+            size=self.size, max_size=self.max_blocks)

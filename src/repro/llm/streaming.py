@@ -1,0 +1,70 @@
+"""Token streaming primitives.
+
+A *stream* is a plain generator of text chunks whose concatenation is
+byte-identical to the blob the same call would have returned through
+``complete()``.  Chunks are cut at whitespace boundaries —
+``stream_chunks`` splits a completion into ``\\S+\\s*`` pieces — which
+gives two properties the rest of the stack relies on:
+
+* **lossless**: ``"".join(stream_chunks(text)) == text`` for any
+  completion text (completions are ``.strip()``-ed, so there is no
+  leading whitespace to lose);
+* **token-exact**: the word tokenizer (:func:`repro.llm.tokenizer
+  .count_tokens`) never produces a token spanning whitespace, so
+  ``sum(count_tokens(c) for c in stream_chunks(text)) ==
+  count_tokens(text)`` — per-chunk accounting adds up to exactly the
+  blob charge, never more, never less.
+
+Each chunk is one *decode step* (roughly one word plus trailing
+whitespace), the granularity at which the continuous-batching scheduler
+(:mod:`repro.serve.scheduler`) admits, emits and sheds.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, List, Tuple
+
+_CHUNK_RE = re.compile(r"\S+\s*")
+
+
+def stream_chunks(text: str) -> List[str]:
+    """Split completion text into decode-step chunks.
+
+    ``"".join`` of the result reproduces ``text`` exactly as long as
+    ``text`` has no leading whitespace (completions are stripped).
+    """
+    return _CHUNK_RE.findall(text)
+
+
+def replay_stream(text: str) -> Iterator[str]:
+    """A generator over :func:`stream_chunks` — used to replay cached or
+    precomputed completions through a streaming interface (supports
+    ``close()`` like any generator, unlike a bare list iterator)."""
+    for chunk in stream_chunks(text):
+        yield chunk
+
+
+def drain_stream(stream: Iterable[str]) -> str:
+    """Consume a stream fully and return the joined text.
+
+    Upstream faults (``LLMTransientError``) propagate to the caller —
+    use :func:`drain_stream_partial` to keep the prefix instead.
+    """
+    return "".join(stream)
+
+
+def drain_stream_partial(stream: Iterable[str]) -> Tuple[str, Exception]:
+    """Consume a stream, keeping the chunks emitted before a fault.
+
+    Returns ``(text, error)`` where ``error`` is ``None`` on a clean
+    drain and the raised exception when the stream died mid-flight.
+    """
+    chunks: List[str] = []
+    error = None
+    try:
+        for chunk in stream:
+            chunks.append(chunk)
+    except Exception as exc:  # noqa: BLE001 - callers inspect the type
+        error = exc
+    return "".join(chunks), error

@@ -14,6 +14,9 @@ from repro.serve.gateway import (AdmissionError, Gateway, QueueFullError,
                                  ThrottledError, TierStep, TokenBucket)
 from repro.serve.loadgen import (LoadGenerator, LoadReport, MIXES, TrafficMix,
                                  overload_experiment, serving_observability)
+from repro.serve.scheduler import (POLICIES, STREAM_MIXES, StreamRequest,
+                                   TokenScheduler, build_stream_requests,
+                                   stream_prompt_pool, streaming_experiment)
 from repro.serve.session import SessionStore
 
 __all__ = [
@@ -23,19 +26,26 @@ __all__ = [
     "LoadGenerator",
     "LoadReport",
     "MIXES",
+    "POLICIES",
     "QueueFullError",
     "RateLimiter",
     "Request",
     "RequestResult",
     "ServingBackends",
     "SessionStore",
+    "STREAM_MIXES",
+    "StreamRequest",
     "ThrottledError",
     "TierStep",
     "TIER_COSTS",
     "TokenBucket",
+    "TokenScheduler",
     "TrafficMix",
     "build_backends",
+    "build_stream_requests",
     "overload_experiment",
     "question_pool",
     "serving_observability",
+    "stream_prompt_pool",
+    "streaming_experiment",
 ]

@@ -219,11 +219,26 @@ class RequestResult:
     late: bool = False          # completed after its deadline expired
     error: str = ""
     step_errors: List[Tuple[str, str]] = field(default_factory=list)
+    # Streaming extensions (populated by the token scheduler; blob-path
+    # results keep the zero defaults). ``chunks`` holds every decode-step
+    # chunk that was actually delivered — for a mid-stream shed that is
+    # exactly the prefix the client received before the cut.
+    chunks: Tuple[str, ...] = ()
+    tokens_out: int = 0             # tokenizer tokens delivered
+    ttft: float = 0.0               # arrival → first chunk (0.0 if none)
+    tpot: float = 0.0               # mean seconds per chunk after the first
+    prompt_tokens: int = 0          # prefill size of the request
+    cached_prefix_tokens: int = 0   # prefill tokens skipped via prefix cache
 
     @property
     def ok(self) -> bool:
         """Whether a handler produced an answer."""
         return self.status == "completed"
+
+    @property
+    def streamed(self) -> bool:
+        """Whether this result went through the token scheduler."""
+        return self.tier == "stream"
 
     @property
     def degraded(self) -> bool:

@@ -100,6 +100,17 @@ class LoadReport:
     max_queue_depth: int = 0
     tier_counts: Dict[str, int] = field(default_factory=dict)
     gateway_stats: Dict[str, Any] = field(default_factory=dict)
+    # Streaming aggregates (zero for blob-only replays). The streaming
+    # ledger mirrors the gateway's: streamed == completed_streams +
+    # shed_mid_stream (every admitted stream resolves exactly once).
+    streamed: int = 0
+    completed_streams: int = 0
+    shed_mid_stream: int = 0
+    p50_ttft: float = 0.0
+    p99_ttft: float = 0.0
+    mean_tpot: float = 0.0
+    tokens_out: int = 0
+    tokens_per_sec: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready mapping (stable key order via sorted tiers)."""
@@ -116,6 +127,14 @@ class LoadReport:
             "shed_rate": round(self.shed_rate, 6),
             "goodput": round(self.goodput, 6),
             "max_queue_depth": self.max_queue_depth,
+            "streamed": self.streamed,
+            "completed_streams": self.completed_streams,
+            "shed_mid_stream": self.shed_mid_stream,
+            "p50_ttft": round(self.p50_ttft, 6),
+            "p99_ttft": round(self.p99_ttft, 6),
+            "mean_tpot": round(self.mean_tpot, 6),
+            "tokens_out": self.tokens_out,
+            "tokens_per_sec": round(self.tokens_per_sec, 6),
             "tier_counts": {tier: self.tier_counts[tier]
                             for tier in sorted(self.tier_counts)},
         }
@@ -127,6 +146,13 @@ def _build_report(mix_name: str, model: str, gateway: Gateway,
     latencies = [r.latency for r in results if r.ok]
     finishes = [r.finish if r.ok else r.request.arrival for r in results]
     makespan = max(finishes) if finishes else 0.0
+    # Streaming aggregates: results the token scheduler resolved.
+    streams = [r for r in results if r.tier == "stream"]
+    admitted_streams = [r for r in streams
+                        if r.status in ("completed", "shed")]
+    ttfts = [r.ttft for r in streams if r.ok]
+    tpots = [r.tpot for r in streams if r.ok and len(r.chunks) >= 2]
+    tokens_out = sum(r.tokens_out for r in streams)
     # "Useful" excludes late answers and the static busy tier: both keep
     # the connection alive but deliver no payload value.
     useful = sum(1 for r in results
@@ -151,6 +177,15 @@ def _build_report(mix_name: str, model: str, gateway: Gateway,
         max_queue_depth=gateway.max_queue_depth,
         tier_counts=dict(gateway.tier_counts),
         gateway_stats=gateway.stats(),
+        streamed=len(admitted_streams),
+        completed_streams=sum(1 for r in admitted_streams if r.ok),
+        shed_mid_stream=sum(1 for r in admitted_streams
+                            if r.status == "shed"),
+        p50_ttft=percentile(ttfts, 50.0),
+        p99_ttft=percentile(ttfts, 99.0),
+        mean_tpot=(sum(tpots) / len(tpots)) if tpots else 0.0,
+        tokens_out=tokens_out,
+        tokens_per_sec=tokens_out / makespan if makespan > 0 else 0.0,
     )
     return report
 

@@ -1,0 +1,129 @@
+"""RadixPrefixCache: block-granular matching, LRU leaf eviction,
+version-keyed invalidation, canonical stats (DESIGN §11)."""
+
+from repro.llm import RadixPrefixCache
+from repro.llm import prompts as P
+from repro.llm.tokenizer import word_tokens
+
+
+def _tokens(n, prefix="t"):
+    return [f"{prefix}{i}" for i in range(n)]
+
+
+class TestBlockMatching:
+    def test_cold_insert_matches_nothing(self):
+        cache = RadixPrefixCache(block_size=4)
+        assert cache.insert(_tokens(10)) == 0
+        # 2 full blocks stored; the trailing partial block (2 tokens) is not.
+        assert cache.size == 2
+
+    def test_repeat_insert_matches_full_blocks(self):
+        cache = RadixPrefixCache(block_size=4)
+        cache.insert(_tokens(10))
+        assert cache.insert(_tokens(10)) == 8
+        assert cache.size == 2  # idempotent
+
+    def test_shared_prefix_divergent_tail(self):
+        cache = RadixPrefixCache(block_size=4)
+        cache.insert(_tokens(8) + ["a1", "a2", "a3", "a4"])
+        matched = cache.insert(_tokens(8) + ["b1", "b2", "b3", "b4"])
+        assert matched == 8  # shared preamble hits, tail is a fresh branch
+        assert cache.size == 4
+
+    def test_partial_block_never_matches(self):
+        cache = RadixPrefixCache(block_size=8)
+        cache.insert(_tokens(7))  # below one block: nothing cacheable
+        assert cache.size == 0
+        assert cache.match(_tokens(7)) == 0
+
+    def test_hits_counted_per_matched_block_before_first_miss(self):
+        cache = RadixPrefixCache(block_size=4)
+        cache.insert(_tokens(16))
+        cache.insert(_tokens(8) + ["x1", "x2", "x3", "x4"])  # 2 hit, 1 miss
+        stats = cache.cache_stats()
+        assert stats["hits"] == 2
+        assert stats["misses"] == 4 + 1  # 4 cold blocks + 1 fresh branch
+
+    def test_match_does_not_populate(self):
+        cache = RadixPrefixCache(block_size=4)
+        assert cache.match(_tokens(8)) == 0
+        assert cache.size == 0
+        assert cache.match(_tokens(8)) == 0  # still cold
+
+
+class TestEviction:
+    def test_lru_leaf_is_evicted_first(self):
+        cache = RadixPrefixCache(block_size=2, max_blocks=2)
+        cache.insert(["a1", "a2"])          # leaf A
+        cache.insert(["b1", "b2"])          # leaf B (A is now LRU)
+        cache.insert(["c1", "c2"])          # budget full: A evicted
+        assert cache.size == 2
+        assert cache.match(["a1", "a2"]) == 0
+        assert cache.match(["b1", "b2"]) == 2
+        assert cache.cache_stats()["evictions"] == 1
+
+    def test_interior_blocks_are_pinned_by_children(self):
+        cache = RadixPrefixCache(block_size=2, max_blocks=3)
+        cache.insert(["p1", "p2", "q1", "q2"])  # chain: p (interior) -> q
+        cache.insert(["r1", "r2"])              # fills the budget
+        cache.insert(["s1", "s2"])              # must evict a LEAF: q or r
+        assert cache.match(["p1", "p2"]) == 2   # interior parent survives
+
+    def test_touch_refreshes_recency(self):
+        cache = RadixPrefixCache(block_size=2, max_blocks=2)
+        cache.insert(["a1", "a2"])
+        cache.insert(["b1", "b2"])
+        cache.match(["a1", "a2"])   # A is now most recent
+        cache.insert(["c1", "c2"])  # evicts B, not A
+        assert cache.match(["a1", "a2"]) == 2
+        assert cache.match(["b1", "b2"]) == 0
+
+
+class TestInvalidation:
+    def test_version_change_flushes(self):
+        cache = RadixPrefixCache(block_size=2, version=("kg", 1))
+        cache.insert(_tokens(6))
+        assert cache.ensure_version(("kg", 1)) is False
+        assert cache.size == 3
+        assert cache.ensure_version(("kg", 2)) is True
+        assert cache.size == 0
+        assert cache.cache_stats()["invalidations"] == 3
+
+    def test_clear_preserves_counters(self):
+        cache = RadixPrefixCache(block_size=2)
+        cache.insert(_tokens(4))
+        cache.insert(_tokens(4))
+        hits_before = cache.cache_stats()["hits"]
+        cache.clear()
+        assert cache.size == 0
+        assert cache.cache_stats()["hits"] == hits_before
+
+
+class TestCachedPrefill:
+    def test_prompt_preambles_are_shared(self):
+        cache = RadixPrefixCache()
+        facts = ["Ava Chen directed Starfall.", "Starfall won three awards."]
+        p1 = P.qa_prompt("Who directed Starfall?", facts=facts)
+        p2 = P.qa_prompt("How many awards did Starfall win?", facts=facts)
+        total1, cached1 = cache.cached_prefill(p1)
+        assert total1 == len(word_tokens(p1, lowercase=False))
+        assert cached1 == 0
+        total2, cached2 = cache.cached_prefill(p2)
+        # Same Task/Instructions/Facts preamble, different trailing
+        # Question: a real shared prefix must be skipped.
+        assert 0 < cached2 <= total2
+        stats = cache.cache_stats()
+        assert 0.0 < stats["hit_rate"] < 1.0
+
+    def test_identical_prompt_fully_cached_up_to_block_granularity(self):
+        cache = RadixPrefixCache(block_size=4)
+        prompt = P.chat_prompt("hello", facts=["The sky is blue."])
+        total, _ = cache.cached_prefill(prompt)
+        _, cached = cache.cached_prefill(prompt)
+        assert cached == (total // 4) * 4
+
+    def test_stats_schema_is_canonical(self):
+        cache = RadixPrefixCache()
+        keys = set(cache.cache_stats())
+        assert {"hits", "misses", "evictions", "invalidations", "size",
+                "max_size", "hit_rate"} <= keys

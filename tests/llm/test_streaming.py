@@ -1,0 +1,227 @@
+"""Streaming contract: drained streams are byte-identical to blob
+completions, usage accounting is exactly-once, and the fault/caching
+wrappers preserve both properties (DESIGN §11)."""
+
+import pytest
+
+from repro.kg.datasets import movie_kg
+from repro.llm import (
+    CachingLLM,
+    FaultInjectingLLM,
+    FaultProfile,
+    LLMConfig,
+    LLMTimeoutError,
+    LLMTransientError,
+    LLMTruncatedOutputError,
+    SimulatedLLM,
+    drain_stream,
+    drain_stream_partial,
+    load_model,
+    replay_stream,
+    stream_chunks,
+)
+from repro.llm import prompts as P
+from repro.llm.tokenizer import count_tokens
+
+PROMPTS = [
+    P.qa_prompt("Who directed the movie?",
+                facts=["Ava Chen directed Starfall."]),
+    P.summarization_prompt("Ava Chen directed Starfall. Starfall won "
+                           "three awards. The film premiered in 2019."),
+    P.chat_prompt("hello there"),
+    "tell me something about knowledge graphs",
+]
+
+
+class TestStreamChunks:
+    def test_join_is_lossless(self):
+        llm = SimulatedLLM(LLMConfig(seed=7))
+        for prompt in PROMPTS:
+            text = llm.complete(prompt).text
+            assert "".join(stream_chunks(text)) == text
+
+    def test_per_chunk_tokens_sum_to_blob(self):
+        llm = SimulatedLLM(LLMConfig(seed=7))
+        for prompt in PROMPTS:
+            text = llm.complete(prompt).text
+            assert sum(count_tokens(c) for c in stream_chunks(text)) == \
+                count_tokens(text)
+
+    def test_replay_stream_supports_close(self):
+        stream = replay_stream("a b c")
+        assert next(stream) == "a "
+        stream.close()  # must not raise
+
+    def test_drain_stream_partial_clean(self):
+        text, error = drain_stream_partial(replay_stream("x y z"))
+        assert text == "x y z"
+        assert error is None
+
+
+class TestSimulatedStreaming:
+    @pytest.mark.parametrize("prompt", PROMPTS)
+    def test_drained_stream_equals_complete(self, prompt):
+        blob = SimulatedLLM(LLMConfig(seed=3))
+        streamed = SimulatedLLM(LLMConfig(seed=3))
+        assert drain_stream(streamed.complete_stream(prompt)) == \
+            blob.complete(prompt).text
+
+    def test_full_drain_matches_blob_usage(self):
+        blob = SimulatedLLM(LLMConfig(seed=3))
+        streamed = SimulatedLLM(LLMConfig(seed=3))
+        for prompt in PROMPTS:
+            blob.complete(prompt)
+            drain_stream(streamed.complete_stream(prompt))
+        assert streamed.usage == blob.usage
+
+    def test_partial_drain_charges_consumed_chunks_only(self):
+        llm = SimulatedLLM(LLMConfig(seed=3))
+        prompt = PROMPTS[0]
+        stream = llm.complete_stream(prompt)
+        # Prompt side charged at creation (prefill), nothing emitted yet.
+        assert llm.calls == 1
+        assert llm.prompt_tokens == count_tokens(prompt)
+        assert llm.completion_tokens == 0
+        first = next(stream)
+        assert llm.completion_tokens == count_tokens(first)
+        stream.close()  # abandon: no further charges, ever
+        assert llm.completion_tokens == count_tokens(first)
+
+    def test_abandoned_then_reissued_counts_two_calls(self):
+        llm = SimulatedLLM(LLMConfig(seed=3))
+        prompt = PROMPTS[1]
+        stream = llm.complete_stream(prompt)
+        next(stream)
+        stream.close()
+        text = drain_stream(llm.complete_stream(prompt))
+        assert llm.calls == 2
+        assert llm.prompt_tokens == 2 * count_tokens(prompt)
+        # Abandoned stream charged one chunk; full drain charged the blob.
+        first_chunk = stream_chunks(text)[0]
+        assert llm.completion_tokens == \
+            count_tokens(text) + count_tokens(first_chunk)
+
+    def test_grounded_model_streams_identically(self):
+        kg = movie_kg(seed=1).kg
+        blob = load_model("chatgpt", world=kg, seed=1)
+        streamed = load_model("chatgpt", world=kg, seed=1)
+        prompt = P.qa_prompt("Who is the director?",
+                             facts=[kg.verbalize_triple(t) for t in
+                                    list(kg.store.match(None, None, None))[:3]])
+        assert drain_stream(streamed.complete_stream(prompt)) == \
+            blob.complete(prompt).text
+
+
+class TestFaultInjectedStreaming:
+    RATE = 0.5
+    SEED = 11
+
+    def _pair(self):
+        blob = FaultInjectingLLM(
+            SimulatedLLM(LLMConfig(seed=self.SEED)),
+            FaultProfile.uniform(self.RATE, seed=self.SEED))
+        streamed = FaultInjectingLLM(
+            SimulatedLLM(LLMConfig(seed=self.SEED)),
+            FaultProfile.uniform(self.RATE, seed=self.SEED))
+        return blob, streamed
+
+    @staticmethod
+    def _blob_outcome(llm, prompt):
+        try:
+            return ("ok", llm.complete(prompt).text)
+        except LLMTransientError as exc:
+            return ("fault", exc.kind, getattr(exc, "partial_text", None))
+
+    @staticmethod
+    def _stream_outcome(llm, prompt):
+        try:
+            stream = llm.complete_stream(prompt)
+        except LLMTransientError as exc:
+            # timeout/rate_limit/malformed raise at creation, like complete.
+            return ("fault", exc.kind, getattr(exc, "partial_text", None))
+        text, error = drain_stream_partial(stream)
+        if error is None:
+            return ("ok", text)
+        assert isinstance(error, LLMTransientError)
+        if isinstance(error, LLMTruncatedOutputError):
+            # The yielded prefix is exactly the blob's partial_text.
+            assert text == error.partial_text
+        return ("fault", error.kind, getattr(error, "partial_text", None))
+
+    def test_stream_outcomes_match_blob_outcomes(self):
+        blob, streamed = self._pair()
+        workload = PROMPTS * 6  # enough calls to hit every fault kind
+        for prompt in workload:
+            assert self._stream_outcome(streamed, prompt) == \
+                self._blob_outcome(blob, prompt)
+        assert streamed.fault_log == blob.fault_log
+        assert {kind for _, kind in blob.fault_log} >= {"ok", "truncated"}
+        assert streamed.inner.usage == blob.inner.usage
+
+    def test_truncated_stream_yields_prefix_then_raises(self):
+        blob, streamed = self._pair()
+        truncated_seen = 0
+        for prompt in PROMPTS * 6:
+            self._blob_outcome(blob, prompt)  # keep schedules aligned
+            try:
+                stream = streamed.complete_stream(prompt)
+            except LLMTransientError:
+                continue
+            chunks = []
+            try:
+                for chunk in stream:
+                    chunks.append(chunk)
+            except LLMTruncatedOutputError as exc:
+                truncated_seen += 1
+                assert "".join(chunks) == exc.partial_text
+        assert truncated_seen > 0
+
+    def test_synchronous_faults_never_start_a_stream(self):
+        llm = FaultInjectingLLM(
+            SimulatedLLM(LLMConfig(seed=0)),
+            FaultProfile(timeout_rate=1.0, seed=0))
+        inner_before = dict(llm.inner.usage)
+        with pytest.raises(LLMTimeoutError):
+            llm.complete_stream("anything")
+        assert llm.inner.usage == inner_before
+
+
+class TestCachingStreams:
+    def test_hit_replays_without_inner_traffic(self):
+        llm = CachingLLM(SimulatedLLM(LLMConfig(seed=5)))
+        prompt = PROMPTS[0]
+        first = drain_stream(llm.complete_stream(prompt))
+        inner_usage = dict(llm.inner.usage)
+        second = drain_stream(llm.complete_stream(prompt))
+        assert second == first
+        assert llm.inner.usage == inner_usage  # hit: zero upstream tokens
+        stats = llm.cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_abandoned_miss_is_not_cached(self):
+        llm = CachingLLM(SimulatedLLM(LLMConfig(seed=5)))
+        prompt = PROMPTS[1]
+        stream = llm.complete_stream(prompt)
+        next(stream)
+        stream.close()
+        assert llm.cache_stats()["size"] == 0
+        # The next identical prompt is a miss that retries upstream.
+        drain_stream(llm.complete_stream(prompt))
+        stats = llm.cache_stats()
+        assert stats["misses"] == 2 and stats["size"] == 1
+
+    def test_faulted_miss_is_not_cached(self):
+        llm = CachingLLM(FaultInjectingLLM(
+            SimulatedLLM(LLMConfig(seed=5)),
+            FaultProfile(truncation_rate=1.0, seed=5)))
+        text, error = drain_stream_partial(llm.complete_stream(PROMPTS[0]))
+        assert isinstance(error, LLMTruncatedOutputError)
+        assert llm.cache_stats()["size"] == 0
+
+    def test_stream_and_blob_share_the_cache(self):
+        llm = CachingLLM(SimulatedLLM(LLMConfig(seed=5)))
+        prompt = PROMPTS[2]
+        blob_text = llm.complete(prompt).text
+        inner_usage = dict(llm.inner.usage)
+        assert drain_stream(llm.complete_stream(prompt)) == blob_text
+        assert llm.inner.usage == inner_usage

@@ -255,6 +255,54 @@ class TestServeCommands:
         assert "unknown mix" in capsys.readouterr().err
 
 
+class TestStreamServeCommands:
+    def test_stream_bench_passes_gate_and_writes_json(self, tmp_path,
+                                                      capsys):
+        out = tmp_path / "stream.json"
+        code = main(["serve", "bench", "family", "--stream",
+                     "--requests", "60", "--out", str(out)])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "continuous vs run-to-completion goodput" in captured
+        assert "p50 TTFT" in captured
+        import json
+        reports = json.loads(out.read_text())
+        assert set(reports) == {"continuous_baseline", "continuous_overload",
+                                "run_to_completion_baseline",
+                                "run_to_completion_overload"}
+        for report in reports.values():
+            assert report["streamed"] == \
+                report["completed_streams"] + report["shed_mid_stream"]
+
+    def test_stream_bench_is_deterministic(self, tmp_path, capsys):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert main(["serve", "bench", "family", "--stream",
+                         "--requests", "40", "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert paths[0].read_text() == paths[1].read_text()
+
+    def test_stream_replay_reconciles_under_faults(self, tmp_path, capsys):
+        jsonl = tmp_path / "stream.jsonl"
+        code = main(["serve", "replay", "family", "--stream",
+                     "--clients", "5", "--requests-per-client", "8",
+                     "--fault-rate", "0.3", "--jsonl", str(jsonl)])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "completed_streams+shed_mid_stream" in captured
+        assert ": ok" in captured
+        text = jsonl.read_text()
+        assert "serve.ttft" in text and "serve.ttft_p50" in text
+
+    def test_stream_replay_run_to_completion_policy(self, capsys):
+        code = main(["serve", "replay", "family", "--stream",
+                     "--policy", "run_to_completion",
+                     "--clients", "4", "--requests-per-client", "5"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "run_to_completion" in captured
+
+
 class TestShardingCommands:
     def test_kg_stats_unsharded(self, capsys):
         assert main(["kg", "stats", "movie"]) == 0

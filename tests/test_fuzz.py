@@ -20,8 +20,10 @@ from repro.llm import (
     LLMResponse,
     LLMTransientError,
     SimulatedLLM,
+    drain_stream_partial,
     load_model,
 )
+from repro.llm import prompts as P
 from repro.sparql import SparqlEngine, SparqlParseError, parse_query
 from repro.sparql.cypher import CypherParseError, cypher_to_sparql
 
@@ -281,6 +283,98 @@ class TestBatchEquivalenceFuzz:
             self._drain_batched(b, prompts)
         assert a.fault_log == b.fault_log
         assert a.inner.cache_stats() == b.inner.cache_stats()
+
+
+class TestStreamEquivalenceFuzz:
+    """``"".join(complete_stream(p))`` ≡ ``complete(p).text`` for every
+    task handler, seed and fault profile — same text, same fault kinds,
+    same partial output, same usage (the streaming contract, DESIGN §11)."""
+
+    #: One prompt builder per task handler plus the freeform fallback, so
+    #: a single generated ``body`` exercises every routing branch.
+    _TASK_PROMPTS = (
+        lambda s: P.ner_prompt(s, ["person", "place"]),
+        lambda s: P.relation_extraction_prompt(s, ["knows", "located in"]),
+        lambda s: P.fact_check_prompt(s),
+        lambda s: P.qa_prompt(s, facts=[s]),
+        lambda s: P.kg2text_prompt([(s or "thing", "related to", "other")]),
+        lambda s: P.sparql_prompt(s),
+        lambda s: P.question_generation_prompt([(s or "a", "knows", "b")],
+                                               answer=s or "a"),
+        lambda s: P.summarization_prompt(s),
+        lambda s: P.rule_mining_prompt([s or "knows", "parent"]),
+        lambda s: P.chat_prompt(s),
+        lambda s: s,  # freeform fallback
+    )
+
+    @staticmethod
+    def _blob_outcome(llm, prompt):
+        try:
+            return ("ok", llm.complete(prompt).text)
+        except LLMTransientError as exc:
+            return ("fault", exc.kind, getattr(exc, "partial_text", None),
+                    getattr(exc, "corrupted_text", None))
+
+    @staticmethod
+    def _stream_outcome(llm, prompt):
+        try:
+            stream = llm.complete_stream(prompt)
+        except LLMTransientError as exc:
+            return ("fault", exc.kind, getattr(exc, "partial_text", None),
+                    getattr(exc, "corrupted_text", None))
+        text, error = drain_stream_partial(stream)
+        if error is None:
+            return ("ok", text)
+        assert isinstance(error, LLMTransientError)
+        # A mid-stream fault delivered exactly the blob's partial text.
+        assert text == error.partial_text
+        return ("fault", error.kind, getattr(error, "partial_text", None),
+                getattr(error, "corrupted_text", None))
+
+    @settings(max_examples=40, deadline=None)
+    @given(body=st.text(max_size=60),
+           seed=st.integers(min_value=0, max_value=2**10))
+    def test_every_task_handler_streams_identically(self, body, seed):
+        for build in self._TASK_PROMPTS:
+            prompt = build(body)
+            blob = SimulatedLLM(LLMConfig(seed=seed))
+            streamed = SimulatedLLM(LLMConfig(seed=seed))
+            assert self._stream_outcome(streamed, prompt) == \
+                self._blob_outcome(blob, prompt)
+            assert streamed.usage == blob.usage
+
+    @settings(max_examples=50, deadline=None)
+    @given(profile=_fault_profiles,
+           prompts=st.lists(st.text(max_size=60), min_size=1, max_size=8))
+    def test_stream_equivalence_under_faults(self, profile, prompts):
+        blob = FaultInjectingLLM(SimulatedLLM(LLMConfig(seed=1)), profile)
+        streamed = FaultInjectingLLM(SimulatedLLM(LLMConfig(seed=1)),
+                                     profile)
+        for prompt in prompts:
+            assert self._stream_outcome(streamed, prompt) == \
+                self._blob_outcome(blob, prompt)
+        assert streamed.fault_log == blob.fault_log
+        assert streamed.inner.usage == blob.inner.usage
+
+    @settings(max_examples=30, deadline=None)
+    @given(prompts=st.lists(st.text(max_size=60), min_size=1, max_size=8),
+           seed=st.integers(min_value=0, max_value=2**10),
+           rate=st.floats(min_value=0.0, max_value=0.6))
+    def test_caching_over_faults_stream_equivalence(self, prompts, seed,
+                                                    rate):
+        from repro.llm.caching import CachingLLM
+
+        def build():
+            return CachingLLM(FaultInjectingLLM(
+                SimulatedLLM(LLMConfig(seed=seed)),
+                FaultProfile.uniform(rate, seed=seed)))
+
+        blob, streamed = build(), build()
+        for prompt in prompts:
+            assert self._stream_outcome(streamed, prompt) == \
+                self._blob_outcome(blob, prompt)
+        assert streamed.cache_stats() == blob.cache_stats()
+        assert streamed.inner.fault_log == blob.inner.fault_log
 
 
 class TestWalReplayEquivalence:
