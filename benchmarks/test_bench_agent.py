@@ -1,0 +1,142 @@
+"""E-AGENT — the multi-step agent loop earns its cost over single-shot.
+
+Single-shot GraphRAG local search retrieves a one-hop neighbourhood and
+answers in one completion; it provably cannot follow a two-hop chain,
+invert a relation, count a derived set, or find a connecting entity.
+The agent's deterministic ReAct loop over the typed graph tools can.
+This benchmark measures the three claims the agent issue gates on:
+
+1. **agent accuracy ≥ 80%** on the multi-hop eval set (chain / count /
+   inverse / path questions, gold computed from the KG);
+2. **single-shot accuracy ≤ 20%** on the *same* items — the set is
+   genuinely out of single-shot reach, so the loop's extra steps are
+   buying capability, not ceremony;
+3. **traces byte-identical across executor worker counts {1, 4}** —
+   tool fan-out parallelism never changes an episode.
+
+Every number is deterministic — accuracies and step counts are exact
+functions of ``(dataset, n, seed)`` — so the committed baseline is
+compared *exactly* in the matching mode (quick/full), not within a
+noise tolerance. Results land in ``BENCH_agent.json`` at the repo root.
+Environment knobs, as everywhere in ``benchmarks/``:
+
+* ``REPRO_BENCH_QUICK=1`` shrinks the experiment (CI smoke mode);
+* ``REPRO_BENCH_GATE=1`` additionally fails on regression against the
+  committed ``benchmarks/BENCH_agent_baseline.json`` (75% floor on the
+  accuracy gap, exact match on the deterministic numbers).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.agent import agent_experiment
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+GATE = os.environ.get("REPRO_BENCH_GATE") == "1"
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = _REPO_ROOT / "BENCH_agent.json"
+BASELINE_PATH = _REPO_ROOT / "benchmarks" / "BENCH_agent_baseline.json"
+
+#: Gate tolerance on the agent-over-single-shot accuracy gap.
+GATE_TOLERANCE = 0.75
+
+#: The issue's acceptance bars.
+MIN_AGENT_ACCURACY = 0.8
+MAX_SINGLE_SHOT_ACCURACY = 0.2
+
+#: (dataset, n, seed) experiments per mode.
+EXPERIMENTS = [("family", 8, 0)] if QUICK else \
+    [("family", 12, 0), ("movie", 8, 1)]
+
+MAX_STEPS = 8
+WORKERS = (1, 4)
+
+#: Deterministic numbers that must reproduce exactly in matching mode.
+EXACT_KEYS = ("agent_accuracy", "single_shot_accuracy", "traces_identical",
+              "mean_steps", "accuracy_by_kind", "n")
+
+
+def test_agent_vs_single_shot_benchmark():
+    runs: Dict[str, Dict[str, Any]] = {}
+    for dataset, n, seed in EXPERIMENTS:
+        result = agent_experiment(dataset, n=n, seed=seed,
+                                  max_steps=MAX_STEPS, workers=WORKERS)
+        # Determinism is the basis for gating exact numbers: an
+        # identical replay must reproduce the identical result.
+        assert agent_experiment(dataset, n=n, seed=seed,
+                                max_steps=MAX_STEPS,
+                                workers=WORKERS) == result, \
+            f"{dataset}: agent experiment is not deterministic"
+        runs[dataset] = result
+
+    gap = min(run["agent_accuracy"] - run["single_shot_accuracy"]
+              for run in runs.values())
+    results = dict(runs)
+    results["min_accuracy_gap"] = round(gap, 6)
+
+    print("\nE-AGENT — multi-step agent vs single-shot GraphRAG "
+          "(deterministic)")
+    for dataset, run in runs.items():
+        kinds = " ".join(f"{kind}={acc:.2f}" for kind, acc
+                         in run["accuracy_by_kind"].items())
+        print(f"  {dataset:8s} agent {run['agent_accuracy']:.2f}  "
+              f"single-shot {run['single_shot_accuracy']:.2f}  "
+              f"steps/ep {run['mean_steps']:.2f}  "
+              f"traces@{'/'.join(map(str, run['workers']))} "
+              f"{'identical' if run['traces_identical'] else 'DIVERGED'}  "
+              f"[{kinds}]")
+    print(f"  minimum accuracy gap: {gap:.2f}")
+
+    payload = {
+        "generated_by": "benchmarks/test_bench_agent.py",
+        "quick": QUICK,
+        "results": results,
+    }
+    RESULTS_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    print(f"  wrote {RESULTS_PATH}")
+
+    # The issue's acceptance bars, gated unconditionally (they are the
+    # agent contract, not a machine-speed measurement).
+    for dataset, run in runs.items():
+        assert run["agent_accuracy"] >= MIN_AGENT_ACCURACY, \
+            f"{dataset}: agent accuracy {run['agent_accuracy']:.2f} < " \
+            f"{MIN_AGENT_ACCURACY}"
+        assert run["single_shot_accuracy"] <= MAX_SINGLE_SHOT_ACCURACY, \
+            f"{dataset}: single-shot accuracy " \
+            f"{run['single_shot_accuracy']:.2f} > " \
+            f"{MAX_SINGLE_SHOT_ACCURACY} — the eval set is not out of " \
+            f"single-shot reach"
+        assert run["traces_identical"], \
+            f"{dataset}: traces diverged across worker counts " \
+            f"{run['workers']}"
+        assert run["mean_steps"] <= MAX_STEPS
+
+    if GATE and BASELINE_PATH.exists():
+        committed = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+        mode = "quick" if QUICK else "full"
+        expected = committed.get("modes", {}).get(mode)
+        assert expected is not None, \
+            f"baseline has no {mode!r} mode; regenerate it"
+        floor = GATE_TOLERANCE * expected["min_accuracy_gap"]
+        assert gap >= floor, \
+            f"accuracy gap regressed: {gap:.3f} < {floor:.3f} " \
+            f"(75% of baseline {expected['min_accuracy_gap']:.3f})"
+        drifts = []
+        for dataset, run in runs.items():
+            for key in EXACT_KEYS:
+                if expected[dataset][key] != run[key]:
+                    drifts.append(
+                        f"{dataset}.{key}: baseline "
+                        f"{expected[dataset][key]!r} != measured "
+                        f"{run[key]!r}")
+        assert not drifts, \
+            "deterministic replay drifted from the committed baseline " \
+            "(if intentional, regenerate BENCH_agent_baseline.json):" \
+            "\n  " + "\n  ".join(drifts)

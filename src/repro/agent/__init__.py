@@ -1,0 +1,37 @@
+"""Agentic multi-step GraphRAG: a deterministic ReAct loop over typed
+graph tools (survey's "LLMs reasoning over KGs" family, ROADMAP item 3).
+
+Public surface: :class:`GraphAgent` runs budgeted thought → action →
+observation episodes over a :class:`ToolRegistry` (entity search,
+neighbour expansion, path finding, aggregation, SPARQL
+draft-and-execute); :mod:`repro.agent.eval` generates the multi-hop
+eval set single-shot GraphRAG provably fails and runs the gated
+experiment.
+"""
+
+from repro.agent.loop import (AgentStep, AgentTrace, GraphAgent,
+                              REFLECTION_NOTE, parse_trace_jsonl)
+from repro.agent.tools import (Observation, Tool, ToolRegistry,
+                               UnknownToolError, default_registry)
+from repro.agent.eval import (AgentEvalItem, agent_experiment,
+                              multihop_eval_set, run_agent, score,
+                              single_shot_accuracy)
+
+__all__ = [
+    "AgentEvalItem",
+    "AgentStep",
+    "AgentTrace",
+    "GraphAgent",
+    "Observation",
+    "REFLECTION_NOTE",
+    "Tool",
+    "ToolRegistry",
+    "UnknownToolError",
+    "agent_experiment",
+    "default_registry",
+    "multihop_eval_set",
+    "parse_trace_jsonl",
+    "run_agent",
+    "score",
+    "single_shot_accuracy",
+]

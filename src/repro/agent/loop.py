@@ -1,0 +1,256 @@
+"""A deterministic ReAct loop over the graph-tool registry.
+
+The survey's "LLMs reasoning over KGs" family couples an LLM to a KG
+through *iterated* tool use: the model thinks, picks a tool, reads the
+observation, and repeats until it commits to an answer. This module
+reproduces that loop with the repo's determinism contract intact:
+
+* the model decision for each step goes through ``llm.complete`` on the
+  coordinating thread, so fault-schedule indices are consumed exactly
+  once and in the same order as any non-agent caller issuing the same
+  prompts — :class:`~repro.llm.faults.FaultInjectingLLM` and
+  :class:`~repro.llm.caching.CachingLLM` compose unchanged;
+* tools fan their pure per-entity reads out through
+  :class:`~repro.core.executor.ParallelExecutor` and merge in input
+  order, so a trace is byte-identical at any worker count;
+* every step is recorded in an :class:`AgentTrace` (prompt, response,
+  parsed action, observation) that serializes to JSONL — the
+  step-auditable artifact replayed by tests, the CLI, and CI.
+
+Episode semantics: ``max_steps`` bounds the number of LLM decisions
+(the step budget); an empty observation triggers a **self-reflection**
+line in the scratchpad before the next decision; a transient LLM fault
+consumes budget, marks the episode degraded, and retries the same
+decision (nothing is appended to the scratchpad — the model never saw
+a response); running out of budget ends the episode with ``"unknown"``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.executor import ParallelExecutor
+from repro.core.observability import resolve_obs
+from repro.kg.graph import KnowledgeGraph
+from repro.llm import prompts as P
+from repro.llm.caching import maybe_cached
+from repro.llm.faults import LLMTransientError
+from repro.sparql import SparqlEvaluationError, SparqlParseError
+
+from repro.agent.tools import (Observation, ToolRegistry, UnknownToolError,
+                               default_registry)
+
+#: The scratchpad line appended after an empty observation.
+REFLECTION_NOTE = ("the observation was empty — reconsider the approach "
+                   "before acting again")
+
+
+@dataclass
+class AgentStep:
+    """One LLM decision and everything that came of it."""
+
+    index: int
+    prompt: str
+    response: str
+    thought: str = ""
+    tool: Optional[str] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+    observation: Optional[str] = None
+    reflection: bool = False
+    final: Optional[str] = None
+    fault: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-able record of the step (trace schema, DESIGN §12)."""
+        return {
+            "index": self.index,
+            "prompt": self.prompt,
+            "response": self.response,
+            "thought": self.thought,
+            "tool": self.tool,
+            "args": self.args,
+            "observation": self.observation,
+            "reflection": self.reflection,
+            "final": self.final,
+            "fault": self.fault,
+        }
+
+
+@dataclass
+class AgentTrace:
+    """A full episode: the auditable unit the agent produces."""
+
+    question: str
+    max_steps: int
+    steps: List[AgentStep] = field(default_factory=list)
+    final_answer: str = "unknown"
+    stop_reason: str = "budget"      # final | budget
+    degraded: bool = False
+
+    @property
+    def prompts(self) -> List[str]:
+        """Every prompt issued, in order (the fault-replay surface)."""
+        return [step.prompt for step in self.steps]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-able form; equality ⇔ byte-identical episodes."""
+        return {
+            "question": self.question,
+            "max_steps": self.max_steps,
+            "final_answer": self.final_answer,
+            "stop_reason": self.stop_reason,
+            "degraded": self.degraded,
+            "steps": [step.to_dict() for step in self.steps],
+        }
+
+    def jsonl_lines(self) -> List[str]:
+        """The trace as JSONL records: header, one per step, footer."""
+        records: List[Dict[str, Any]] = [
+            {"type": "header", "question": self.question,
+             "max_steps": self.max_steps}]
+        for step in self.steps:
+            record = {"type": "step"}
+            record.update(step.to_dict())
+            records.append(record)
+        records.append({"type": "final", "answer": self.final_answer,
+                        "stop_reason": self.stop_reason,
+                        "degraded": self.degraded,
+                        "steps": len(self.steps)})
+        return [json.dumps(record, sort_keys=True) for record in records]
+
+
+def parse_trace_jsonl(lines: Sequence[str]) -> Dict[str, Any]:
+    """Validate and load a serialized trace.
+
+    Raises ``ValueError`` on malformed input (bad JSON, missing or
+    out-of-order record types) — the typed surface the CLI degrades on.
+    """
+    records = []
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"line {number}: not valid JSON ({error})")
+        if not isinstance(record, dict) or "type" not in record:
+            raise ValueError(f"line {number}: not a trace record")
+        records.append(record)
+    if not records or records[0].get("type") != "header":
+        raise ValueError("trace must start with a header record")
+    if records[-1].get("type") != "final":
+        raise ValueError("trace must end with a final record")
+    steps = [r for r in records[1:-1] if r.get("type") == "step"]
+    if len(steps) != len(records) - 2:
+        raise ValueError("unexpected record type between header and final")
+    return {"header": records[0], "steps": steps, "final": records[-1]}
+
+
+class GraphAgent:
+    """Deterministic thought → action → observation loop over a KG."""
+
+    def __init__(self, llm, kg: KnowledgeGraph,
+                 registry: Optional[ToolRegistry] = None,
+                 max_steps: int = 8,
+                 executor: Optional[ParallelExecutor] = None,
+                 cache=False, obs=None):
+        if max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+        self.llm = maybe_cached(llm, cache)
+        self.obs = resolve_obs(obs)
+        self.kg = kg
+        self.executor = executor or ParallelExecutor(max_workers=1,
+                                                     obs=self.obs)
+        self.registry = registry if registry is not None else \
+            default_registry(kg, executor=self.executor)
+        self.max_steps = max_steps
+        if self.obs.enabled:
+            self.obs.bind_llm(self.llm)
+            self.obs.bind_kg(kg)
+
+    # ------------------------------------------------------------------
+    # Episode
+    # ------------------------------------------------------------------
+    def run(self, question: str) -> AgentTrace:
+        """One budgeted episode; never raises on operational faults."""
+        trace = AgentTrace(question=question, max_steps=self.max_steps)
+        scratchpad: List[str] = []
+        catalogue = self.registry.describe()
+        with self.obs.span("agent:episode", question=question,
+                           max_steps=self.max_steps):
+            for index in range(self.max_steps):
+                prompt = P.agent_step_prompt(question, catalogue, scratchpad)
+                with self.obs.span("agent:step", index=index):
+                    step = self._step(index, prompt, scratchpad)
+                trace.steps.append(step)
+                self.obs.count("agent.steps")
+                if step.fault is not None:
+                    trace.degraded = True
+                    continue
+                if step.final is not None:
+                    trace.final_answer = step.final
+                    trace.stop_reason = "final"
+                    break
+        self.obs.count("agent.episodes", stop=trace.stop_reason)
+        return trace
+
+    def answer(self, question: str) -> str:
+        """The episode's final answer (serving-backend surface)."""
+        return self.run(question).final_answer
+
+    # ------------------------------------------------------------------
+    # One decision
+    # ------------------------------------------------------------------
+    def _step(self, index: int, prompt: str,
+              scratchpad: List[str]) -> AgentStep:
+        try:
+            response = self.llm.complete(prompt)
+        except LLMTransientError as error:
+            # Budget is consumed but the scratchpad is untouched: the
+            # model never saw a response, so the next step retries the
+            # same decision (under a fresh fault-schedule index).
+            self.obs.count("agent.faults", kind=error.kind)
+            return AgentStep(index=index, prompt=prompt, response="",
+                             fault=error.kind)
+        decision = P.parse_agent_response(response.text)
+        step = AgentStep(index=index, prompt=prompt, response=response.text,
+                         thought=decision.thought, tool=decision.tool,
+                         args=decision.args, final=decision.final)
+        if decision.thought:
+            scratchpad.append(f"Thought: {decision.thought}")
+        if decision.final is not None:
+            return step
+        if decision.tool is None:
+            # Unparseable decision: record it as an error observation so
+            # the reflection machinery steers the next step.
+            observation = Observation(text="error: unparseable decision")
+        else:
+            scratchpad.append(
+                f"Action: {decision.tool} "
+                f"{json.dumps(decision.args, sort_keys=True)}")
+            observation = self._execute(decision.tool, decision.args)
+        rendered = observation.render()
+        step.observation = rendered
+        scratchpad.append(f"Observation: {rendered}")
+        if observation.empty:
+            step.reflection = True
+            scratchpad.append(f"Reflection: {REFLECTION_NOTE}")
+            self.obs.count("agent.reflections")
+        return step
+
+    def _execute(self, name: str, args: Dict[str, Any]) -> Observation:
+        """Run one tool call; failures become error observations."""
+        try:
+            tool = self.registry.get(name)
+        except UnknownToolError as error:
+            return Observation(text=f"error: {error}")
+        with self.obs.span("agent:tool", tool=name):
+            try:
+                return tool.fn(**args)
+            except (TypeError, ValueError, KeyError, SparqlParseError,
+                    SparqlEvaluationError) as error:
+                self.obs.count("agent.tool_errors", tool=name)
+                return Observation(text=f"error: {name}: {error}")

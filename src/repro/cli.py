@@ -23,6 +23,9 @@ Commands
 ``serve bench --stream``         continuous batching vs run-to-completion
 ``serve replay <dataset>``       closed-loop traffic replay (chaos-ready)
 ``serve replay --stream``        open-loop token-streaming replay (TTFT/TPOT)
+``agent run <dataset> <q>``      one ReAct episode over the graph tools
+``agent eval <dataset>``         agent vs single-shot on the multi-hop set
+``agent show <trace.jsonl>``     pretty-print a saved episode trace
 
 Datasets are the seeded generators of :mod:`repro.kg.datasets`
 (``encyclopedia``, ``family``, ``movie``, ``covid``, ``enterprise``);
@@ -650,6 +653,119 @@ def cmd_serve_replay(args) -> int:
     return 0 if admitted == reconciled else 1
 
 
+def _agent_dataset(args) -> Optional[Dataset]:
+    """Dataset for the agent verbs, or None after an rc-2 message."""
+    if args.dataset not in DATASET_BUILDERS:
+        print(f"agent: unknown dataset {args.dataset!r}; available: "
+              f"{', '.join(sorted(DATASET_BUILDERS))}", file=sys.stderr)
+        return None
+    return DATASET_BUILDERS[args.dataset](seed=args.seed)
+
+
+def cmd_agent_run(args) -> int:
+    from repro.agent import GraphAgent, UnknownToolError, default_registry
+    from repro.core.executor import ParallelExecutor
+    from repro.core.observability import FakeClock, Observability
+    from repro.llm import load_model
+
+    # Bad input degrades to a clear message and exit code 2 — never an
+    # unhandled traceback (``repro obs report`` precedent).
+    ds = _agent_dataset(args)
+    if ds is None:
+        return 2
+    llm = load_model(args.model, world=ds.kg, seed=args.seed)
+    obs = Observability(clock=FakeClock()) if args.obs_out else None
+    executor = ParallelExecutor(max_workers=args.workers, obs=obs)
+    registry = default_registry(ds.kg, executor=executor)
+    if args.tools:
+        try:
+            registry = registry.subset(
+                [name.strip() for name in args.tools.split(",")
+                 if name.strip()])
+        except UnknownToolError as exc:
+            print(f"agent run: {exc}", file=sys.stderr)
+            return 2
+    agent = GraphAgent(llm, ds.kg, registry=registry,
+                       max_steps=args.max_steps, executor=executor, obs=obs)
+    trace = agent.run(args.question)
+    for step in trace.steps:
+        if step.fault is not None:
+            print(f"[{step.index}] fault: {step.fault} (retrying)")
+            continue
+        print(f"[{step.index}] Thought: {step.thought}")
+        if step.tool is not None:
+            import json as _json
+            print(f"[{step.index}] Action: {step.tool} "
+                  f"{_json.dumps(step.args, sort_keys=True)}")
+            print(f"[{step.index}] Observation: {step.observation}")
+    print(f"final: {trace.final_answer} "
+          f"(stop={trace.stop_reason}, steps={len(trace.steps)}"
+          f"{', degraded' if trace.degraded else ''})")
+    if args.trace:
+        with open(args.trace, "w") as handle:
+            for line in trace.jsonl_lines():
+                handle.write(line + "\n")
+        print(f"trace -> {args.trace}")
+    if args.obs_out:
+        written = obs.export_jsonl(args.obs_out)
+        print(f"obs -> {written} records in {args.obs_out}")
+    return 0
+
+
+def cmd_agent_eval(args) -> int:
+    from repro.agent import agent_experiment
+
+    if args.dataset not in DATASET_BUILDERS:
+        print(f"agent: unknown dataset {args.dataset!r}; available: "
+              f"{', '.join(sorted(DATASET_BUILDERS))}", file=sys.stderr)
+        return 2
+    result = agent_experiment(args.dataset, n=args.n, seed=args.seed,
+                              max_steps=args.max_steps)
+    print(f"agent eval on {result['dataset']} "
+          f"(n={result['n']}, seed={result['seed']}, "
+          f"max_steps={result['max_steps']})")
+    print(f"  agent accuracy       {result['agent_accuracy']:.2f}")
+    print(f"  single-shot accuracy {result['single_shot_accuracy']:.2f}")
+    print(f"  mean steps/episode   {result['mean_steps']:.2f}")
+    kinds = " ".join(f"{kind}={acc:.2f}" for kind, acc
+                     in result["accuracy_by_kind"].items())
+    print(f"  by kind              {kinds}")
+    workers = "/".join(str(w) for w in result["workers"])
+    identical = "identical" if result["traces_identical"] else "DIVERGED"
+    print(f"  traces @ workers {workers}: {identical}")
+    return 0
+
+
+def cmd_agent_show(args) -> int:
+    from repro.agent import parse_trace_jsonl
+
+    try:
+        with open(args.path) as handle:
+            trace = parse_trace_jsonl(handle.readlines())
+    except FileNotFoundError:
+        print(f"agent show: trace file not found: {args.path}",
+              file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"agent show: malformed trace: {exc}", file=sys.stderr)
+        return 2
+    header, final = trace["header"], trace["final"]
+    print(f"question: {header['question']} "
+          f"(max_steps={header['max_steps']})")
+    for step in trace["steps"]:
+        if step.get("fault"):
+            print(f"  [{step['index']}] fault: {step['fault']}")
+            continue
+        label = step.get("tool") or ("final" if step.get("final") is not None
+                                     else "?")
+        print(f"  [{step['index']}] {label}: "
+              f"{step.get('observation') or step.get('final') or ''}")
+    print(f"final: {final['answer']} (stop={final['stop_reason']}, "
+          f"steps={final['steps']}"
+          f"{', degraded' if final['degraded'] else ''})")
+    return 0
+
+
 def cmd_table1(args) -> int:
     from repro.analysis import render_table1
     print(render_table1())
@@ -795,6 +911,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--load-factor", type=float, default=1.0,
                    help="offered load multiple of capacity "
                         "(default 1.0, --stream only)")
+    p = sub.add_parser("agent",
+                       help="agentic GraphRAG: run / eval / show traces")
+    agent_sub = p.add_subparsers(dest="agent_command", required=True)
+    p = agent_sub.add_parser(
+        "run", help="one ReAct episode over the graph-tool registry")
+    p.add_argument("dataset")
+    p.add_argument("question")
+    p.add_argument("--max-steps", type=int, default=8,
+                   help="episode step budget (default 8)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="tool fan-out worker count (default 1)")
+    p.add_argument("--tools",
+                   help="comma-separated tool subset (default all)")
+    p.add_argument("--trace", help="write the episode trace JSONL here")
+    p.add_argument("--obs-out", help="export obs spans/counters JSONL here")
+    p = agent_sub.add_parser(
+        "eval", help="agent vs single-shot on the multi-hop eval set")
+    p.add_argument("dataset")
+    p.add_argument("--n", type=int, default=12,
+                   help="eval set size (default 12)")
+    p.add_argument("--max-steps", type=int, default=8,
+                   help="episode step budget (default 8)")
+    p = agent_sub.add_parser(
+        "show", help="pretty-print a saved episode trace JSONL")
+    p.add_argument("path")
     p = sub.add_parser("run",
                        help="checkpointed GraphRAG QA run (resumable)")
     p.add_argument("dataset", nargs="?")
@@ -847,6 +988,12 @@ _SERVE_HANDLERS = {
     "replay": cmd_serve_replay,
 }
 
+_AGENT_HANDLERS = {
+    "run": cmd_agent_run,
+    "eval": cmd_agent_eval,
+    "show": cmd_agent_show,
+}
+
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
@@ -859,6 +1006,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _SPARQL_HANDLERS[args.sparql_command](args)
     if args.command == "serve":
         return _SERVE_HANDLERS[args.serve_command](args)
+    if args.command == "agent":
+        return _AGENT_HANDLERS[args.agent_command](args)
     return _HANDLERS[args.command](args)
 
 

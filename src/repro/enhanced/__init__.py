@@ -13,7 +13,9 @@ from repro.enhanced.kbert import (
     KnowledgeInjectionLayer, SemanticFilteredInjection, DictionaryInjection,
 )
 from repro.enhanced.rag import Chunk, DocumentChunker, NaiveRAG, AdvancedRAG, ModularRAG
-from repro.enhanced.graph_rag import GraphRAG, Community
+from repro.enhanced.graph_rag import (GraphRAG, Community,
+                                      GraphRAGEmptyContextError,
+                                      INSUFFICIENT_CONTEXT)
 from repro.enhanced.knowledgegpt import KnowledgeGPT, SearchProgram
 from repro.enhanced.separation import (
     KnowledgeSeparatedAssistant, SeparationReport, compare_against_closed_book,
@@ -23,7 +25,8 @@ from repro.enhanced.personal import PersonalAssistant, PersonalReply, build_pers
 __all__ = [
     "KnowledgeInjectionLayer", "SemanticFilteredInjection", "DictionaryInjection",
     "Chunk", "DocumentChunker", "NaiveRAG", "AdvancedRAG", "ModularRAG",
-    "GraphRAG", "Community",
+    "GraphRAG", "Community", "GraphRAGEmptyContextError",
+    "INSUFFICIENT_CONTEXT",
     "KnowledgeGPT", "SearchProgram",
     "KnowledgeSeparatedAssistant", "SeparationReport",
     "compare_against_closed_book",

@@ -28,6 +28,27 @@ from repro.llm.faults import LLMTransientError
 from repro.llm.model import SimulatedLLM
 
 
+#: Sentinel answer returned when retrieval produced *no* context at all.
+#: Distinct from ``"unknown"`` (the model saw context but could not
+#: answer): downstream callers can branch on it without string-guessing.
+INSUFFICIENT_CONTEXT = "insufficient context"
+
+
+class GraphRAGEmptyContextError(ValueError):
+    """Strict-mode signal that retrieval produced no context to answer
+    from — zero entity mentions resolved and no community matched (local
+    search), or the index holds no summarized communities (global
+    search). It is a *caller-input/corpus* condition, not a transient
+    backend fault, so it deliberately does **not** subclass
+    :class:`LLMTransientError`: retrying will not conjure context."""
+
+    def __init__(self, question: str, mode: str = "local"):
+        super().__init__(
+            f"no retrieval context for {mode} question {question!r}")
+        self.question = question
+        self.mode = mode
+
+
 class GraphRAGUnhealthyError(LLMTransientError):
     """A strict global answer could not be produced at full fidelity.
 
@@ -83,9 +104,11 @@ class GraphRAG:
                                           retry_on=(LLMTransientError,))
         self.communities: List[Community] = []
         self._next_id = 0
+        self._built = False
         # Resilience accounting for the most recent answer_* call.
         self.last_degraded = False
         self.last_faulted_communities = 0
+        self.last_empty_context = False
 
     # ------------------------------------------------------------------
     # Index construction
@@ -94,6 +117,7 @@ class GraphRAG:
         """Detect communities (hierarchically for ``levels`` > 1) and
         generate their reports. Returns the top-level communities."""
         with self.obs.span("graphrag:build", levels=levels):
+            self._built = True
             graph = self._entity_graph()
             if graph.number_of_nodes() == 0:
                 self.communities = []
@@ -103,6 +127,13 @@ class GraphRAG:
                                                remaining_levels=levels)
             self.obs.gauge("graphrag.communities", len(self.communities))
             return self.communities
+
+    def _ensure_built(self) -> None:
+        # Guarded by ``_built``, not ``self.communities``: an empty KG
+        # legitimately yields zero communities, and the old truthiness
+        # check re-ran the whole build on every answer_* call.
+        if not self._built:
+            self.build()
 
     def _partition(self, graph: "nx.Graph", level: int,
                    remaining_levels: int) -> List[Community]:
@@ -177,13 +208,20 @@ class GraphRAG:
         """Map-reduce a global question over community reports.
 
         ``granularity``: ``"top"`` uses the top-level communities,
-        ``"leaf"`` the finest level of the hierarchy.
+        ``"leaf"`` the finest level of the hierarchy. With no summarized
+        communities to map over (empty corpus), returns
+        :data:`INSUFFICIENT_CONTEXT` without issuing any LLM call and
+        sets ``last_empty_context``.
         """
-        if not self.communities:
-            self.build()
+        self._ensure_built()
         self.last_degraded = False
         self.last_faulted_communities = 0
+        self.last_empty_context = False
         communities = self.communities if granularity == "top" else self.leaves()
+        if not any(community.summary for community in communities):
+            self.last_empty_context = True
+            self.obs.count("graphrag.empty_context", mode="global")
+            return INSUFFICIENT_CONTEXT
         with self.obs.span("graphrag:answer_global", granularity=granularity):
             partials: List[str] = []
             with self.obs.span("stage:map", communities=len(communities)):
@@ -224,10 +262,13 @@ class GraphRAG:
         them in ``last_degraded``. A serving front-end needs the opposite
         contract: a tier that cannot deliver full fidelity should fail
         fast so admission control can route the request to a cheaper
-        tier. Raises :class:`GraphRAGUnhealthyError` when the map-reduce
-        degraded in any way.
+        tier. Raises :class:`GraphRAGEmptyContextError` when there was
+        no context to map over, and :class:`GraphRAGUnhealthyError` when
+        the map-reduce degraded in any way.
         """
         answer = self.answer_global(question, granularity=granularity)
+        if self.last_empty_context:
+            raise GraphRAGEmptyContextError(question, mode="global")
         if self.last_degraded:
             raise GraphRAGUnhealthyError(
                 f"global answer degraded "
@@ -258,16 +299,23 @@ class GraphRAG:
         restores both the answers *and* the aggregated
         ``last_faulted_communities``/``last_degraded`` values.
         """
-        if not self.communities:
-            self.build()
+        self._ensure_built()
         executor = executor or ParallelExecutor(obs=self.obs)
         self.last_degraded = False
         self.last_faulted_communities = 0
+        self.last_empty_context = False
         communities = [c for c in
                        (self.communities if granularity == "top"
                         else self.leaves())
                        if c.summary]
         questions = list(questions)
+        if not communities:
+            # Result-identical to the sequential path: no context means
+            # no LLM calls, no checkpoint chunks, and the sentinel for
+            # every question.
+            self.last_empty_context = True
+            self.obs.count("graphrag.empty_context", mode="global")
+            return [INSUFFICIENT_CONTEXT] * len(questions)
         answers: List[str] = []
         if checkpoint is not None:
             checkpoint.ensure_meta("graphrag:answer_global_batch")
@@ -344,11 +392,17 @@ class GraphRAG:
                 answers[i] = outcome.response.text or merged
         return answers, faulted, degraded
 
-    def answer_local(self, question: str) -> str:
+    def answer_local(self, question: str, strict: bool = False) -> str:
         """Local questions: entity-level retrieval plus the entity's
-        community report (GraphRAG's local search combines both)."""
-        if not self.communities:
-            self.build()
+        community report (GraphRAG's local search combines both).
+
+        When no mention resolves to an entity and no community matches,
+        there is nothing to ground an answer in: rather than prompting
+        the model context-free (and inviting a hallucinated reply), the
+        call returns :data:`INSUFFICIENT_CONTEXT` without any LLM call —
+        or raises :class:`GraphRAGEmptyContextError` with ``strict``.
+        """
+        self._ensure_built()
         mentions = self.llm.find_mentions(question)
         seeds = {m.iri for m in mentions if m.iri is not None}
         context_parts: List[str] = []
@@ -365,8 +419,14 @@ class GraphRAG:
                 break
         self.last_degraded = False
         self.last_faulted_communities = 0
-        prompt = P.qa_prompt(question,
-                             context=" ".join(context_parts) or None)
+        self.last_empty_context = False
+        if not context_parts:
+            self.last_empty_context = True
+            self.obs.count("graphrag.empty_context", mode="local")
+            if strict:
+                raise GraphRAGEmptyContextError(question, mode="local")
+            return INSUFFICIENT_CONTEXT
+        prompt = P.qa_prompt(question, context=" ".join(context_parts))
         outcome = self.retry.run(lambda: self.llm.complete(prompt),
                                  key=f"local:{question}")
         if outcome.error is not None:

@@ -25,6 +25,7 @@ processes, while different prompts decorrelate.
 from __future__ import annotations
 
 import hashlib
+import json
 import math
 import random
 import re
@@ -259,6 +260,7 @@ class SimulatedLLM:
             "summarization": self._handle_summarization,
             "rule mining": self._handle_rule_mining,
             "chat": self._handle_chat,
+            "agent step": self._handle_agent_step,
         }
 
     def _generate(self, prompt: str, max_tokens: int) -> str:
@@ -869,6 +871,142 @@ class SimulatedLLM:
                 "Could you tell me more?"
         return "Could you tell me more?"
 
+    def _handle_agent_step(self, prompt: P.Prompt, rng: random.Random) -> str:
+        """One ReAct decision over the graph-tool registry.
+
+        The decision is a pure function of the prompt (question + tool
+        catalogue + scratchpad) and the model's language knowledge: the
+        scratchpad carries all episode state, so replaying the same
+        prompts reproduces the same decisions whatever executed them.
+        The emitted surface is what :func:`repro.llm.prompts.
+        parse_agent_response` parses — one ``Thought:`` line, then one
+        ``Action:``/``Final:`` line with canonical (sorted-key) JSON.
+        """
+        question = prompt.get("Question") or ""
+        tools: Set[str] = set()
+        for line in (prompt.get("Tools") or "").splitlines():
+            name = line.strip().lstrip("-").strip().split(":", 1)[0].strip()
+            if name:
+                tools.add(name)
+        observations = _scratchpad_observations(prompt.get("Scratchpad") or "")
+
+        def act(thought: str, tool: str, **args) -> str:
+            if tool not in tools:
+                return (f"Thought: the {tool} tool is unavailable\n"
+                        f"Final: unknown")
+            rendered = json.dumps(args, sort_keys=True)
+            return f"Thought: {thought}\nAction: {tool} {rendered}"
+
+        def final(thought: str, answer: str) -> str:
+            return f"Thought: {thought}\nFinal: {answer}"
+
+        def labels_of(items: Sequence[Tuple[str, str]]) -> str:
+            names = sorted({label or IRI(ident).local_name
+                            for ident, label in items})
+            return ", ".join(names)
+
+        mentions = [m for m in self.find_mentions(question)
+                    if m.iri is not None]
+        relations = self.find_relations(question)
+        # Chain phrasing puts the outermost relation first; traversal
+        # order from the anchor is the reverse of surface order.
+        chain = [iri for _, iri, _ in reversed(relations)]
+        lowered = question.lower()
+        if not mentions:
+            return final("the question names no entity I can ground",
+                         "unknown")
+        anchor = mentions[-1]
+
+        if lowered.startswith("via which entity") and len(mentions) >= 2:
+            source, target = mentions[0], mentions[-1]
+            if not observations:
+                return act("ground the source entity", "entity_search",
+                           query=source.label)
+            if len(observations) == 1:
+                return act("ground the target entity", "entity_search",
+                           query=target.label)
+            if len(observations) == 2:
+                return act("search for connecting paths", "find_path",
+                           source=source.iri.value, target=target.iri.value,
+                           max_hops=2)
+            last = observations[-1]
+            if last.items:
+                return final("the connecting entities are in hand",
+                             labels_of(last.items))
+            return final("no path evidence was found", "unknown")
+
+        if lowered.startswith("which entities") and relations:
+            relation = relations[0][1]
+            phrase = relations[0][0]
+            if not observations:
+                return act("ground the anchor entity", "entity_search",
+                           query=anchor.label)
+            if len(observations) == 1:
+                return act(f"look for {phrase} links from the anchor",
+                           "neighbors", entities=[anchor.iri.value],
+                           relation=relation.value, direction="out")
+            last = observations[-1]
+            if len(observations) == 2:
+                # The forward expansion answers "anchor R whom?", not
+                # "who R anchor?" — whatever it held, the question wants
+                # the inverse set, which only a drafted query delivers.
+                query = (f"SELECT ?x WHERE {{ ?x <{relation.value}> "
+                         f"<{anchor.iri.value}> }}")
+                thought = ("the forward expansion was empty — draft the "
+                           "inverse structured query instead"
+                           if not last.items else
+                           "those are forward links; the question asks "
+                           "for the inverse set — draft a structured query")
+                return act(thought, "sparql", query=query)
+            if last.items:
+                return final("collected the matching entities",
+                             labels_of(last.items))
+            return final("neither direction produced evidence", "unknown")
+
+        # Default: relation-chain traversal, optionally counted.
+        count_mode = lowered.startswith("how many")
+        hops = len(chain)
+        if not chain:
+            return final("no relation phrase to follow", "unknown")
+        if not observations:
+            return act("ground the anchor entity", "entity_search",
+                       query=anchor.label)
+        walked = 0
+        frontier: List[str] = [anchor.iri.value]
+        frontier_items: List[Tuple[str, str]] = \
+            [(anchor.iri.value, anchor.label)]
+        flipped = False
+        scalar: Optional[str] = None
+        for observation in observations[1:]:
+            if observation.scalar is not None:
+                scalar = observation.scalar
+                break
+            if observation.items:
+                walked += 1
+                frontier_items = list(observation.items)
+                frontier = sorted({ident for ident, _ in
+                                   observation.items})[:24]
+                flipped = False
+            else:
+                if flipped:
+                    return final("both directions came back empty",
+                                 "unknown")
+                flipped = True
+        if walked < hops:
+            relation = chain[walked]
+            phrase = self.labels.get(relation, relation.local_name)
+            direction = "in" if flipped else "out"
+            thought = ("the last expansion was empty — retry in the "
+                       "inverse direction") if flipped else f"follow {phrase}"
+            return act(thought, "neighbors", entities=frontier,
+                       relation=relation.value, direction=direction)
+        if count_mode:
+            if scalar is not None:
+                return final("report the count", scalar)
+            return act("count the resulting entities", "aggregate",
+                       op="count", values=frontier)
+        return final("enough evidence gathered", labels_of(frontier_items))
+
     def _freeform(self, prompt: str, rng: random.Random, max_tokens: int) -> str:
         if self._generator_trained:
             text = self._generator.generate(rng, max_tokens=max_tokens, prompt=prompt)
@@ -1026,6 +1164,41 @@ def complete_all(llm, prompts: Sequence[str],
 def _span_tokens(text: str) -> List[Tuple[str, int, int]]:
     return [(m.group(), m.start(), m.end())
             for m in re.finditer(r"[A-Za-z0-9_'-]+", text)]
+
+
+@dataclass
+class _AgentObservation:
+    """One parsed ``Observation:`` scratchpad line.
+
+    ``items`` are ``(identifier, label)`` pairs from ``id|label`` entries;
+    ``scalar`` is the value of a ``name=value`` observation (aggregates).
+    An empty/``none``/``error`` observation parses to neither.
+    """
+
+    items: List[Tuple[str, str]] = field(default_factory=list)
+    scalar: Optional[str] = None
+
+
+def _scratchpad_observations(text: str) -> List[_AgentObservation]:
+    """Every observation in a rendered scratchpad, in episode order."""
+    out: List[_AgentObservation] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line.startswith("Observation:"):
+            continue
+        body = line[len("Observation:"):].strip()
+        observation = _AgentObservation()
+        if body and body != "none" and not body.startswith("error"):
+            if "|" not in body and "=" in body:
+                observation.scalar = body.split("=", 1)[1].strip()
+            else:
+                for chunk in body.split(";"):
+                    ident, _, label = chunk.strip().partition("|")
+                    if ident:
+                        observation.items.append((ident.strip(),
+                                                  label.strip()))
+        out.append(observation)
+    return out
 
 
 def _split_sentences(text: str) -> List[str]:

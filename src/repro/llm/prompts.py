@@ -20,7 +20,8 @@ SECTIONS = [
     "Task", "Instructions", "Entity types", "Relations", "Schema",
     "Context", "Facts", "Examples", "Example query", "Subgraph",
     "Dictionary", "Sentence", "Statement", "Question", "Triples", "Path",
-    "Text", "Rules", "Options", "Answer format", "History",
+    "Text", "Rules", "Options", "Answer format", "History", "Tools",
+    "Scratchpad",
 ]
 
 _SECTION_RE = re.compile(
@@ -313,3 +314,70 @@ def triple_classification_prompt(subject: str, relation: str, obj: str,
                                  context: Optional[str] = None) -> str:
     """KG-BERT-style triple plausibility prompt."""
     return fact_check_prompt(f"{subject} {relation} {obj}.", context=context)
+
+
+def agent_step_prompt(question: str, tools: str,
+                      scratchpad: Sequence[str] = ()) -> str:
+    """One ReAct decision step over a typed graph-tool registry.
+
+    ``tools`` is the registry's rendered catalogue (``name: description``
+    per line); ``scratchpad`` is the episode transcript so far, one line
+    per prior Thought/Action/Observation/Reflection event. The model
+    answers with exactly one ``Thought:`` line followed by either an
+    ``Action:`` line (tool name + JSON arguments) or a ``Final:`` line.
+    """
+    prompt = Prompt().add("Task", "agent step")
+    prompt.add("Tools", tools)
+    prompt.add("Question", question)
+    if scratchpad:
+        prompt.add("Scratchpad", "\n".join(scratchpad))
+    prompt.add("Answer format",
+               "Thought: ... then Action: <tool> <json args> "
+               "or Final: <answer>")
+    return prompt.render()
+
+
+@dataclass
+class AgentDecision:
+    """A parsed agent step: either one tool call or a final answer.
+
+    ``tool``/``args`` are set for action steps, ``final`` for answer
+    steps; a response matching neither (e.g. a corrupted completion)
+    parses to a decision with all three unset, which the loop records as
+    a malformed step rather than crashing the episode.
+    """
+
+    thought: str = ""
+    tool: Optional[str] = None
+    args: Dict[str, object] = field(default_factory=dict)
+    final: Optional[str] = None
+
+
+def parse_agent_response(text: str) -> AgentDecision:
+    """Parse ``Thought:``/``Action:``/``Final:`` lines into a decision."""
+    import json
+
+    decision = AgentDecision()
+    for line in text.splitlines():
+        line = line.strip()
+        if line.startswith("Thought:"):
+            decision.thought = line[len("Thought:"):].strip()
+        elif line.startswith("Final:") and decision.final is None:
+            decision.final = line[len("Final:"):].strip()
+        elif line.startswith("Action:") and decision.tool is None:
+            body = line[len("Action:"):].strip()
+            name, _, rest = body.partition(" ")
+            args: Dict[str, object] = {}
+            rest = rest.strip()
+            if rest:
+                try:
+                    parsed = json.loads(rest)
+                except ValueError:
+                    # Garbled arguments degrade to a malformed step.
+                    continue
+                if not isinstance(parsed, dict):
+                    continue
+                args = parsed
+            decision.tool = name or None
+            decision.args = args
+    return decision

@@ -32,7 +32,7 @@ class ChatTurn:
 
     user: str
     reply: str
-    intent: str                       # greeting | thanks | factual | followup | chitchat
+    intent: str                       # greeting | thanks | factual | followup | chitchat | observation
     entities: List[IRI] = field(default_factory=list)
     degraded: bool = False
 
@@ -132,6 +132,19 @@ class KGChatbot:
             except LLMTransientError:
                 turn = ChatTurn(message, _DEGRADED_REPLY, intent,
                                 degraded=True)
+        self._append(turn)
+        return turn
+
+    def record_observation(self, note: str) -> ChatTurn:
+        """Append an agent tool observation to the transcript.
+
+        Agent episodes run *inside* a chat session and their tool
+        observations become part of its dialogue state. They go through
+        :meth:`_append`, so they count toward ``max_history`` exactly
+        like user turns — an agent-heavy session cannot grow its
+        transcript past the bound the store sized sessions by.
+        """
+        turn = ChatTurn(user="", reply=note, intent="observation")
         self._append(turn)
         return turn
 

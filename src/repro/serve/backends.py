@@ -13,6 +13,7 @@ graphrag  strict global map-reduce RAG over documents    static notice
 rag       retrieval + generation   closed-book answer    static notice
 sparql    draft → repair → execute KG path reasoning     static notice
 chat      stateful dialogue        stateless closed-book static notice
+agent     multi-step ReAct episode single-shot local RAG static notice
 ========  =======================  ====================  =============
 
 Tier-0 handlers are *strict*: a degraded result raises a transient
@@ -30,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.agent.loop import GraphAgent
 from repro.core.observability import resolve_obs
 from repro.enhanced.graph_rag import GraphRAG
 from repro.enhanced.rag import NaiveRAG
@@ -55,6 +57,9 @@ TIER_COSTS: Dict[str, Sequence[float]] = {
     "rag": (0.35, 0.12, 0.02),
     "sparql": (0.45, 0.2, 0.02),
     "chat": (0.3, 0.12, 0.02),
+    # Multi-step episodes are the most expensive full-fidelity tier in
+    # the ladder — several LLM decisions plus tool fan-out per request.
+    "agent": (1.2, 0.35, 0.02),
 }
 
 #: Global questions for the graphrag workload (query-focused map-reduce).
@@ -84,6 +89,7 @@ class ServingBackends:
     graph_rag: GraphRAG
     sparql_qa: ResilientText2SparqlQA
     sessions: SessionStore
+    agent: Optional[GraphAgent] = None
     handlers: Dict[str, List[TierStep]] = field(default_factory=dict)
 
 
@@ -161,6 +167,29 @@ def build_backends(dataset: str = "enterprise", seed: int = 0,
         except LLMTransientError:
             return "no results found in the knowledge graph"
 
+    agent = GraphAgent(model, data.kg, max_steps=8, obs=obs)
+
+    def agent_full(request: Request):
+        # The session is pinned for the whole episode: the LRU must not
+        # evict (and thereby reset) a dialogue that an in-flight
+        # multi-step episode is appending observations to.
+        with sessions.pin(request.tenant,
+                          request.session_id or "default") as session:
+            trace = agent.run(request.question)
+            for step in trace.steps:
+                if step.observation is not None:
+                    session.record_observation(
+                        f"[{step.tool or 'agent'}] {step.observation}")
+            if trace.degraded:
+                raise LLMTransientError(
+                    "agent episode degraded "
+                    f"({sum(1 for s in trace.steps if s.fault)} faulted "
+                    "steps)")
+            return trace.final_answer
+
+    def agent_degraded(request: Request):
+        return graph.answer_local(request.question)
+
     def chat_full(request: Request):
         session = sessions.get(request.tenant,
                                request.session_id or "default")
@@ -197,10 +226,15 @@ def build_backends(dataset: str = "enterprise", seed: int = 0,
             TierStep("stateless", costs["chat"][1], chat_stateless),
             TierStep("busy", costs["chat"][2], busy),
         ],
+        "agent": [
+            TierStep("agent", costs["agent"][0], agent_full),
+            TierStep("single-shot", costs["agent"][1], agent_degraded),
+            TierStep("busy", costs["agent"][2], busy),
+        ],
     }
     return ServingBackends(dataset=data, llm=model, rag=rag, graph_rag=graph,
                            sparql_qa=sparql_qa, sessions=sessions,
-                           handlers=handlers)
+                           agent=agent, handlers=handlers)
 
 
 def question_pool(dataset: Dataset, seed: int = 0,
@@ -214,9 +248,12 @@ def question_pool(dataset: Dataset, seed: int = 0,
     for index, question in enumerate(factual):
         chat.append(CHAT_SMALLTALK[index % len(CHAT_SMALLTALK)])
         chat.append(question)
+    multihop = [q.text for q in generate_multihop_questions(
+        dataset, n=max(4, n_factual // 2), hops=2, seed=seed)]
     return {
         "graphrag": list(GLOBAL_QUESTIONS),
         "rag": list(factual),
         "sparql": list(factual),
         "chat": chat,
+        "agent": multihop or list(factual),
     }

@@ -74,6 +74,10 @@ MIXES: Dict[str, TrafficMix] = {
                                ("chat", 3.0), ("graphrag", 1.0)),
                         tenants=(("tenant-a", 3.0), ("tenant-b", 2.0),
                                  ("tenant-c", 1.0))),
+    "agentic": TrafficMix("agentic",
+                          kinds=(("agent", 2.0), ("rag", 1.0),
+                                 ("chat", 1.0)),
+                          tenants=(("tenant-a", 2.0), ("tenant-b", 1.0))),
 }
 
 

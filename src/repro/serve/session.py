@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Tuple
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, Tuple
 
 from repro.core.observability import cache_stats_dict
 
@@ -34,6 +35,7 @@ class SessionStore:
         self._factory = factory
         self.max_sessions = max_sessions
         self._sessions: "OrderedDict[Tuple[str, str], Any]" = OrderedDict()
+        self._pinned: Dict[Tuple[str, str], int] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -49,20 +51,58 @@ class SessionStore:
                 self._sessions.move_to_end(key)
                 return session
             self.misses += 1
-            while len(self._sessions) >= self.max_sessions:
-                self._sessions.popitem(last=False)
-                self.evictions += 1
+            self._evict_locked()
         # Build outside the lock: factories may be arbitrarily heavy.
         session = self._factory(tenant, session_id)
         with self._lock:
             existing = self._sessions.get(key)
             if existing is not None:
                 return existing
-            while len(self._sessions) >= self.max_sessions:
-                self._sessions.popitem(last=False)
-                self.evictions += 1
+            self._evict_locked()
             self._sessions[key] = session
             return session
+
+    def _evict_locked(self) -> None:
+        """Drop oldest *unpinned* sessions until under capacity.
+
+        A key pinned by an in-flight episode must not restart mid-flight,
+        so eviction skips it; with every resident session pinned the
+        store runs temporarily over capacity rather than break one.
+        """
+        while len(self._sessions) >= self.max_sessions:
+            victim = next((key for key in self._sessions
+                           if key not in self._pinned), None)
+            if victim is None:
+                return
+            del self._sessions[victim]
+            self.evictions += 1
+
+    @contextmanager
+    def pin(self, tenant: str, session_id: str) -> Iterator[Any]:
+        """Hold the key's session across a multi-step episode.
+
+        Yields the live session (creating it as on :meth:`get`) and
+        guarantees it stays resident — LRU eviction passes over pinned
+        keys — until the context exits. Pins are re-entrant refcounts, so
+        overlapping episodes on one session compose.
+        """
+        key = (tenant, session_id)
+        with self._lock:
+            self._pinned[key] = self._pinned.get(key, 0) + 1
+        try:
+            yield self.get(tenant, session_id)
+        finally:
+            with self._lock:
+                remaining = self._pinned.get(key, 0) - 1
+                if remaining > 0:
+                    self._pinned[key] = remaining
+                else:
+                    self._pinned.pop(key, None)
+
+    def pinned(self) -> int:
+        """The number of currently pinned keys (observability surface)."""
+        with self._lock:
+            return len(self._pinned)
 
     def __len__(self) -> int:
         return len(self._sessions)

@@ -1,0 +1,71 @@
+"""The multi-hop eval set and the gated agent-vs-single-shot experiment."""
+
+import pytest
+
+from repro.agent.eval import (agent_experiment, multihop_eval_set, run_agent,
+                              score, single_shot_accuracy)
+from repro.kg.datasets import family_kg, movie_kg
+
+
+@pytest.fixture(scope="module")
+def family():
+    return family_kg(seed=0)
+
+
+class TestEvalSet:
+    def test_all_four_kinds_present(self, family):
+        items = multihop_eval_set(family, n=12, seed=0)
+        assert len(items) == 12
+        kinds = {item.kind for item in items}
+        assert kinds == {"chain", "count", "inverse", "path"}
+
+    def test_questions_unique_with_nonempty_gold(self, family):
+        items = multihop_eval_set(family, n=12, seed=0)
+        assert len({item.question for item in items}) == len(items)
+        assert all(item.gold for item in items)
+
+    def test_deterministic_per_seed(self, family):
+        assert multihop_eval_set(family, n=12, seed=0) == \
+            multihop_eval_set(family, n=12, seed=0)
+        assert multihop_eval_set(family, n=12, seed=0) != \
+            multihop_eval_set(family, n=12, seed=3)
+
+
+class TestScore:
+    def test_exact_set_match(self):
+        assert score("Ana, Bo", frozenset({"Bo", "Ana"}))
+        assert not score("Ana", frozenset({"Bo", "Ana"}))
+        assert not score("Ana, Bo, Cy", frozenset({"Bo", "Ana"}))
+        assert score("3", frozenset({"3"}))
+
+    def test_unknown_never_matches_entities(self):
+        assert not score("unknown", frozenset({"Ana"}))
+
+
+class TestExperiment:
+    def test_agent_beats_single_shot_with_identical_traces(self, family):
+        result = agent_experiment("family", n=12, seed=0)
+        # The BENCH_agent gate: the loop earns its cost.
+        assert result["agent_accuracy"] >= 0.8
+        assert result["single_shot_accuracy"] <= 0.2
+        assert result["traces_identical"]
+        assert result["mean_steps"] <= result["max_steps"]
+
+    def test_single_shot_fails_multihop(self, family):
+        items = multihop_eval_set(family, n=8, seed=0)
+        assert single_shot_accuracy(family, items, seed=0) <= 0.2
+
+    def test_run_agent_one_trace_per_item(self, family):
+        items = multihop_eval_set(family, n=4, seed=0)
+        traces = run_agent(family, items, seed=0)
+        assert len(traces) == len(items)
+        assert all(trace.question == item.question
+                   for trace, item in zip(traces, items))
+
+    def test_movie_dataset_same_gate(self):
+        movie = movie_kg(seed=1)
+        items = multihop_eval_set(movie, n=8, seed=1)
+        traces = run_agent(movie, items, seed=1)
+        hits = sum(score(t.final_answer, i.gold)
+                   for t, i in zip(traces, items))
+        assert hits / len(items) >= 0.8

@@ -1,0 +1,207 @@
+"""Unit tests for the deterministic ReAct loop and its trace artifact."""
+
+import json
+
+import pytest
+
+from repro.agent import (GraphAgent, REFLECTION_NOTE, parse_trace_jsonl)
+from repro.agent.tools import Observation, Tool, ToolRegistry
+from repro.core.executor import ParallelExecutor
+from repro.kg.datasets import family_kg, movie_kg
+from repro.llm.faults import FaultInjectingLLM, FaultProfile
+from repro.llm.registry import load_model
+
+
+@pytest.fixture(scope="module")
+def family():
+    return family_kg(seed=0)
+
+
+@pytest.fixture(scope="module")
+def movie():
+    return movie_kg(seed=0)
+
+
+def _agent(dataset, seed=0, **kwargs):
+    llm = kwargs.pop("llm", None) or load_model("chatgpt", world=dataset.kg,
+                                                seed=seed)
+    return GraphAgent(llm, dataset.kg, **kwargs)
+
+
+def _multihop_question(dataset):
+    from repro.qa.multihop import generate_multihop_questions
+    return generate_multihop_questions(dataset, n=1, hops=2, seed=0)[0]
+
+
+class TestEpisode:
+    def test_chain_question_answered_via_tools(self, family):
+        question = _multihop_question(family)
+        trace = _agent(family).run(question.text)
+        assert trace.stop_reason == "final"
+        gold = {family.kg.label(e) for e in question.answers}
+        predicted = {part.strip()
+                     for part in trace.final_answer.split(",")}
+        assert predicted == gold
+        assert any(step.tool == "entity_search" for step in trace.steps)
+        assert any(step.tool == "neighbors" for step in trace.steps)
+
+    def test_budget_is_respected(self, family):
+        question = _multihop_question(family)
+        trace = _agent(family, max_steps=2).run(question.text)
+        assert len(trace.steps) <= 2
+        assert trace.stop_reason == "budget"
+        assert trace.final_answer == "unknown"
+
+    def test_max_steps_must_be_positive(self, family):
+        with pytest.raises(ValueError):
+            _agent(family, max_steps=0)
+
+    def test_unknown_mentions_finalize_unknown(self, family):
+        trace = _agent(family).run("List what nonsense of gibberish?")
+        assert trace.final_answer == "unknown"
+        assert trace.stop_reason == "final"
+
+    def test_reflection_note_follows_empty_observation(self, family):
+        # An inverse question over a *leaf* object (no outgoing edges of
+        # the relation): the naive forward expansion is empty, so the
+        # loop must write a reflection line before the model re-plans
+        # via SPARQL.
+        from repro.agent.eval import _instance_relations
+        from repro.kg.graph import _humanize_relation
+        from repro.kg.triples import IRI
+        kg = family.kg
+        question = None
+        for relation in _instance_relations(kg):
+            objects = sorted({t.object for t in
+                              kg.store.match(None, relation, None)
+                              if isinstance(t.object, IRI)},
+                             key=lambda e: e.value)
+            for obj in objects:
+                if kg.store.match(None, relation, obj) and \
+                        not kg.store.match(obj, relation, None):
+                    phrase = _humanize_relation(kg.label(relation))
+                    question = (f"Which entities are {phrase} "
+                                f"{kg.label(obj)}?")
+                    break
+            if question:
+                break
+        assert question is not None
+        trace = _agent(family).run(question)
+        reflected = [step for step in trace.steps if step.reflection]
+        assert reflected
+        assert all(step.observation is not None for step in reflected)
+        assert any(step.tool == "sparql" for step in trace.steps)
+        assert trace.stop_reason == "final"
+
+    def test_missing_tool_becomes_error_observation(self, family):
+        registry = ToolRegistry([Tool("noop", "does nothing",
+                                      lambda **kw: Observation())])
+        agent = _agent(family, registry=registry, max_steps=3)
+        question = _multihop_question(family)
+        trace = agent.run(question.text)
+        # The model's chosen tool is absent from this registry: the step
+        # records an observation (error or final unknown) and the
+        # episode still terminates inside the budget.
+        assert len(trace.steps) <= 3
+
+    def test_tool_exception_becomes_error_observation(self, family):
+        def explode(**kwargs):
+            raise ValueError("boom")
+
+        agent = _agent(family, max_steps=4)
+        agent.registry.register(Tool("entity_search", "exploding search",
+                                     explode))
+        question = _multihop_question(family)
+        trace = agent.run(question.text)
+        errors = [step for step in trace.steps
+                  if step.observation and "error" in step.observation]
+        assert errors
+        assert all(step.reflection for step in errors)
+
+
+class TestFaults:
+    def test_fault_retries_same_decision(self, movie):
+        question = _multihop_question(movie)
+        inner = load_model("chatgpt", world=movie.kg, seed=0)
+        llm = FaultInjectingLLM(inner,
+                                FaultProfile.uniform(0.3, seed=5))
+        trace = _agent(movie, llm=llm, max_steps=12).run(question.text)
+        faulted = [step for step in trace.steps if step.fault]
+        clean = _agent(movie, max_steps=12).run(question.text)
+        if faulted:
+            assert trace.degraded
+            # Dropping fault steps leaves exactly the clean decisions.
+            survivors = [step.response for step in trace.steps
+                         if not step.fault]
+            assert survivors == [step.response for step in clean.steps]
+        else:
+            assert trace.to_dict() == clean.to_dict()
+
+    def test_total_outage_exhausts_budget(self, movie):
+        inner = load_model("chatgpt", world=movie.kg, seed=0)
+        llm = FaultInjectingLLM(inner, FaultProfile(timeout_rate=1.0))
+        trace = _agent(movie, llm=llm, max_steps=3).run("anything?")
+        assert len(trace.steps) == 3
+        assert all(step.fault == "timeout" for step in trace.steps)
+        assert trace.degraded
+        assert trace.final_answer == "unknown"
+
+    def test_fault_schedule_matches_plain_replay(self, movie):
+        """The agent consumes fault indices exactly like a non-agent
+        caller issuing the same prompts through plain ``complete``."""
+        question = _multihop_question(movie)
+        inner = load_model("chatgpt", world=movie.kg, seed=0)
+        llm = FaultInjectingLLM(inner, FaultProfile.uniform(0.4, seed=9))
+        trace = _agent(movie, llm=llm, max_steps=10).run(question.text)
+
+        replay_inner = load_model("chatgpt", world=movie.kg, seed=0)
+        replay = FaultInjectingLLM(replay_inner,
+                                   FaultProfile.uniform(0.4, seed=9))
+        for prompt in trace.prompts:
+            try:
+                replay.complete(prompt)
+            except Exception:
+                pass
+        assert replay.fault_log == llm.fault_log
+
+
+class TestTrace:
+    def test_jsonl_round_trip(self, family):
+        question = _multihop_question(family)
+        trace = _agent(family).run(question.text)
+        parsed = parse_trace_jsonl(trace.jsonl_lines())
+        assert parsed["header"]["question"] == question.text
+        assert len(parsed["steps"]) == len(trace.steps)
+        assert parsed["final"]["answer"] == trace.final_answer
+
+    def test_malformed_json_raises_value_error(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            parse_trace_jsonl(["{nope"])
+
+    def test_missing_header_raises(self):
+        with pytest.raises(ValueError, match="header"):
+            parse_trace_jsonl([json.dumps({"type": "final", "answer": "x",
+                                           "stop_reason": "final",
+                                           "degraded": False, "steps": 0})])
+
+    def test_missing_final_raises(self, family):
+        question = _multihop_question(family)
+        lines = _agent(family).run(question.text).jsonl_lines()
+        with pytest.raises(ValueError, match="final"):
+            parse_trace_jsonl(lines[:-1])
+
+    def test_unexpected_record_type_raises(self, family):
+        question = _multihop_question(family)
+        lines = _agent(family).run(question.text).jsonl_lines()
+        lines.insert(1, json.dumps({"type": "mystery"}))
+        with pytest.raises(ValueError, match="unexpected record"):
+            parse_trace_jsonl(lines)
+
+    def test_traces_identical_across_worker_counts(self, family):
+        question = _multihop_question(family)
+        dicts = []
+        for workers in (1, 4):
+            agent = _agent(family,
+                           executor=ParallelExecutor(max_workers=workers))
+            dicts.append(agent.run(question.text).to_dict())
+        assert dicts[0] == dicts[1]

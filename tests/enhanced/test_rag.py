@@ -142,6 +142,94 @@ class TestGraphRAG:
         assert graph_rag.answer_local(question) == gold
 
 
+class TestGraphRAGEmptyContext:
+    """Zero-entity questions and empty corpora take the typed path."""
+
+    def _empty_kg_rag(self):
+        from repro.kg.graph import KnowledgeGraph
+        llm = load_model("chatgpt", seed=0)
+        return GraphRAG(llm, KnowledgeGraph())
+
+    def test_local_zero_mentions_returns_sentinel(self, setup):
+        from repro.enhanced.graph_rag import INSUFFICIENT_CONTEXT
+        ds, llm, _ = setup
+        rag = GraphRAG(llm, ds.kg)
+        rag.build()
+        calls_before = llm.calls
+        answer = rag.answer_local("What colour is the invisible unicorn?")
+        assert answer == INSUFFICIENT_CONTEXT
+        assert rag.last_empty_context
+        # No context means no completion: the model is never invited to
+        # hallucinate an answer it has nothing to ground.
+        assert llm.calls == calls_before
+
+    def test_local_strict_raises_typed_error(self, setup):
+        from repro.enhanced.graph_rag import GraphRAGEmptyContextError
+        ds, llm, _ = setup
+        rag = GraphRAG(llm, ds.kg)
+        rag.build()
+        question = "What colour is the invisible unicorn?"
+        with pytest.raises(GraphRAGEmptyContextError) as excinfo:
+            rag.answer_local(question, strict=True)
+        assert excinfo.value.question == question
+        assert excinfo.value.mode == "local"
+
+    def test_local_grounded_question_resets_flag(self, setup):
+        ds, llm, _ = setup
+        rag = GraphRAG(llm, ds.kg)
+        rag.build()
+        rag.answer_local("What colour is the invisible unicorn?")
+        assert rag.last_empty_context
+        question, gold = manager_questions(ds)[0]
+        assert rag.answer_local(question) == gold
+        assert not rag.last_empty_context
+
+    def test_global_empty_corpus_returns_sentinel(self):
+        from repro.enhanced.graph_rag import INSUFFICIENT_CONTEXT
+        rag = self._empty_kg_rag()
+        assert rag.answer_global("What is this about?") == \
+            INSUFFICIENT_CONTEXT
+        assert rag.last_empty_context
+        assert not rag.last_degraded
+
+    def test_global_strict_raises_typed_error(self):
+        from repro.enhanced.graph_rag import GraphRAGEmptyContextError
+        rag = self._empty_kg_rag()
+        with pytest.raises(GraphRAGEmptyContextError):
+            rag.answer_global_strict("What is this about?")
+
+    def test_empty_context_error_is_not_transient(self):
+        # Retrying will not conjure context: the error must NOT look
+        # like a transient backend fault to retry policies or breakers.
+        from repro.enhanced.graph_rag import GraphRAGEmptyContextError
+        from repro.llm.faults import LLMTransientError
+        assert not issubclass(GraphRAGEmptyContextError, LLMTransientError)
+
+    def test_global_batch_empty_corpus_matches_sequential(self):
+        from repro.enhanced.graph_rag import INSUFFICIENT_CONTEXT
+        rag = self._empty_kg_rag()
+        questions = ["What is this about?", "Summarize everything."]
+        sequential = [rag.answer_global(q) for q in questions]
+        batched = rag.answer_global_batch(questions, batch_size=1)
+        assert batched == sequential == [INSUFFICIENT_CONTEXT] * 2
+        assert rag.last_empty_context
+
+    def test_empty_corpus_builds_once_not_per_call(self):
+        rag = self._empty_kg_rag()
+        builds = []
+        original = rag.build
+
+        def counting_build(levels=1):
+            builds.append(levels)
+            return original(levels)
+
+        rag.build = counting_build
+        for _ in range(3):
+            rag.answer_global("What is this about?")
+            rag.answer_local("Anything?")
+        assert len(builds) == 1
+
+
 class TestKnowledgeGPT:
     def test_program_generated_for_groundable_question(self, setup):
         ds, llm, _ = setup

@@ -72,6 +72,35 @@ class TestChatbot:
         assert turn.reply  # never crashes, always replies
 
 
+class TestObservationHistory:
+    def test_observations_count_toward_max_history(self, setup):
+        ds, llm = setup
+        bot = KGChatbot(llm, ds.kg, ReLMKGQA(llm, ds.kg), max_history=3)
+        bot.chat("hello")
+        for i in range(5):
+            bot.record_observation(f"[neighbors] obs-{i}")
+        # Agent observations truncate exactly like user turns: the
+        # transcript never outgrows the bound the store sized it by.
+        assert len(bot.history) == 3
+        assert bot.turns_dropped == 3
+        assert [t.reply for t in bot.history] == \
+            ["[neighbors] obs-2", "[neighbors] obs-3", "[neighbors] obs-4"]
+        assert all(t.intent == "observation" for t in bot.history)
+
+    def test_observation_turn_shape(self, bot):
+        turn = bot.record_observation("[sparql] ask=true")
+        assert turn.intent == "observation"
+        assert turn.user == ""
+        assert turn.reply == "[sparql] ask=true"
+        assert bot.history[-1] is turn
+
+    def test_unbounded_without_max_history(self, bot):
+        for i in range(10):
+            bot.record_observation(f"obs-{i}")
+        assert len(bot.history) >= 10
+        assert bot.turns_dropped == 0
+
+
 class TestHybridSparql:
     def test_kg_patterns_need_no_llm(self, setup):
         ds, llm = setup

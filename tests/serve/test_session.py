@@ -1,5 +1,7 @@
 """Tests for the LRU-bounded session store."""
 
+import threading
+
 import pytest
 
 from repro.serve.session import SessionStore
@@ -73,3 +75,68 @@ class TestSessionStore:
     def test_capacity_validated(self):
         with pytest.raises(ValueError):
             make_store(max_sessions=0)
+
+
+class TestPinning:
+    def test_pinned_session_survives_eviction_pressure(self):
+        store = make_store(max_sessions=2)
+        with store.pin("t", "s1") as pinned:
+            store.get("t", "s2")
+            store.get("t", "s3")      # would normally evict the LRU s1
+            store.get("t", "s4")
+            assert ("t", "s1") in store
+            assert store.get("t", "s1") is pinned
+
+    def test_unpinned_key_becomes_evictable_again(self):
+        store = make_store(max_sessions=2)
+        with store.pin("t", "s1"):
+            pass
+        assert store.pinned() == 0
+        store.get("t", "s2")
+        store.get("t", "s3")
+        assert ("t", "s1") not in store
+
+    def test_all_pinned_runs_over_capacity(self):
+        store = make_store(max_sessions=2)
+        with store.pin("t", "s1"), store.pin("t", "s2"):
+            session = store.get("t", "s3")   # nothing evictable: grow
+            assert len(store) == 3
+            assert store.get("t", "s3") is session
+        store.get("t", "s4")                 # back under the bound
+        assert len(store) <= 3
+
+    def test_pins_are_reentrant_refcounts(self):
+        store = make_store(max_sessions=1)
+        with store.pin("t", "s1"):
+            with store.pin("t", "s1"):
+                assert store.pinned() == 1
+            # Inner exit must not unpin the outer episode.
+            store.get("t", "s2")
+            assert ("t", "s1") in store
+        store.get("t", "s3")
+        assert ("t", "s1") not in store
+
+    def test_concurrent_episodes_keep_their_sessions(self):
+        """An in-flight multi-step episode must never lose its session
+        to LRU pressure from other threads (the mid-episode reset bug)."""
+        store = make_store(max_sessions=2)
+        results = {}
+        hold = threading.Event()
+        released = threading.Event()
+
+        def episode():
+            with store.pin("t", "busy") as session:
+                hold.set()
+                released.wait(timeout=5)
+                # The session object must still be the resident one.
+                results["same"] = store.get("t", "busy") is session
+
+        worker = threading.Thread(target=episode)
+        worker.start()
+        hold.wait(timeout=5)
+        for i in range(8):               # heavy churn from other tenants
+            store.get("other", f"s{i}")
+        released.set()
+        worker.join(timeout=5)
+        assert results["same"]
+        assert store.pinned() == 0

@@ -356,3 +356,67 @@ class TestShardingCommands:
             outputs[mode] = capsys.readouterr().out
         assert outputs["greedy"] == outputs["cost"] == outputs["parse"]
         assert outputs["cost"].count("?m=") > 0
+
+
+class TestAgentCommands:
+    def test_agent_eval_prints_gate_numbers(self, capsys):
+        assert main(["agent", "eval", "family", "--n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "agent accuracy" in out
+        assert "single-shot accuracy" in out
+        assert "traces @ workers 1/4: identical" in out
+
+    def test_agent_run_writes_replayable_trace(self, capsys, tmp_path):
+        trace_path = tmp_path / "episode.jsonl"
+        code = main(["--seed", "1", "agent", "run", "movie",
+                     "List what starring the sequel of "
+                     "The Hidden Labyrinth?", "--trace", str(trace_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Thought:" in out and "Action:" in out
+        assert "final:" in out and "stop=final" in out
+        assert main(["agent", "show", str(trace_path)]) == 0
+        shown = capsys.readouterr().out
+        assert "question:" in shown and "final:" in shown
+
+    def test_agent_run_tool_subset(self, capsys):
+        code = main(["agent", "run", "movie", "hello there",
+                     "--tools", "entity_search,neighbors"])
+        assert code == 0
+
+    def test_agent_run_unknown_tool_returns_2(self, capsys):
+        code = main(["agent", "run", "movie", "anything?",
+                     "--tools", "entity_search,warp_drive"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "warp_drive" in err and "Traceback" not in err
+
+    def test_agent_run_unknown_dataset_returns_2(self, capsys):
+        assert main(["agent", "run", "nonexistent", "anything?"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown dataset" in err and "Traceback" not in err
+
+    def test_agent_eval_unknown_dataset_returns_2(self, capsys):
+        assert main(["agent", "eval", "nonexistent"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown dataset" in err and "Traceback" not in err
+
+    def test_agent_show_malformed_trace_returns_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        assert main(["agent", "show", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "malformed trace" in err and "Traceback" not in err
+
+    def test_agent_show_missing_file_returns_2(self, capsys, tmp_path):
+        assert main(["agent", "show", str(tmp_path / "nope.jsonl")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_agent_run_exports_obs(self, capsys, tmp_path):
+        obs_path = tmp_path / "obs.jsonl"
+        code = main(["--seed", "1", "agent", "run", "movie",
+                     "List what starring the sequel of "
+                     "The Hidden Labyrinth?", "--obs-out", str(obs_path)])
+        assert code == 0
+        text = obs_path.read_text()
+        assert "agent:episode" in text and "agent:step" in text

@@ -510,3 +510,60 @@ class TestShardedEquivalenceFuzz:
                 reference.match(t.subject, None, None)
             assert sharded.match(None, None, t.object) == \
                 reference.match(None, None, t.object)
+
+
+class TestAgentFuzz:
+    """Any seed × fault profile × step budget: the agent terminates
+    inside the budget, replays byte-identically at worker counts 1 and
+    4, and consumes fault-schedule indices exactly like a non-agent
+    caller issuing the same prompts through plain ``complete``."""
+
+    DATASET = None
+
+    @classmethod
+    def _dataset(cls):
+        if cls.DATASET is None:
+            cls.DATASET = movie_kg(seed=0)
+        return cls.DATASET
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16),
+           profile=_fault_profiles,
+           budget=st.integers(min_value=1, max_value=10))
+    def test_budget_and_worker_determinism(self, seed, profile, budget):
+        from repro.agent import GraphAgent
+        from repro.core.executor import ParallelExecutor
+        from repro.qa.multihop import generate_multihop_questions
+
+        dataset = self._dataset()
+        question = generate_multihop_questions(
+            dataset, n=1, hops=2, seed=seed % 7)[0].text
+        dicts = []
+        fault_logs = []
+        for workers in (1, 4):
+            inner = load_model("chatgpt", world=dataset.kg, seed=seed)
+            llm = FaultInjectingLLM(inner, profile)
+            agent = GraphAgent(llm, dataset.kg, max_steps=budget,
+                               executor=ParallelExecutor(
+                                   max_workers=workers))
+            trace = agent.run(question)
+            assert len(trace.steps) <= budget
+            assert trace.stop_reason in ("final", "budget")
+            assert isinstance(trace.final_answer, str)
+            assert trace.degraded == any(s.fault for s in trace.steps)
+            dicts.append(trace.to_dict())
+            fault_logs.append(list(llm.fault_log))
+        assert dicts[0] == dicts[1]
+        assert fault_logs[0] == fault_logs[1]
+
+        # Exactly-once fault composition: a plain `complete` replay of
+        # the agent's prompt sequence through a fresh identical stack
+        # consumes the same schedule indices.
+        inner = load_model("chatgpt", world=dataset.kg, seed=seed)
+        replay = FaultInjectingLLM(inner, profile)
+        for prompt in dicts[0]["steps"]:
+            try:
+                replay.complete(prompt["prompt"])
+            except LLMTransientError:
+                pass
+        assert replay.fault_log == fault_logs[0]
