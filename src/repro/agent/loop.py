@@ -146,6 +146,18 @@ def parse_trace_jsonl(lines: Sequence[str]) -> Dict[str, Any]:
     steps = [r for r in records[1:-1] if r.get("type") == "step"]
     if len(steps) != len(records) - 2:
         raise ValueError("unexpected record type between header and final")
+    # A record can be valid JSON of the right type and still be truncated
+    # or hand-mangled; missing fields must surface as the same typed
+    # ValueError the CLI degrades on, not as a KeyError traceback later.
+    for key in ("question", "max_steps"):
+        if key not in records[0]:
+            raise ValueError(f"header record is missing {key!r}")
+    for key in ("answer", "stop_reason", "steps", "degraded"):
+        if key not in records[-1]:
+            raise ValueError(f"final record is missing {key!r}")
+    for step in steps:
+        if "index" not in step:
+            raise ValueError("step record is missing 'index'")
     return {"header": records[0], "steps": steps, "final": records[-1]}
 
 

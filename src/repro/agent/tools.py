@@ -20,6 +20,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 from repro.core.executor import ParallelExecutor
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.indexes import FullTextIndex, indexable_needle, tokenize
+from repro.kg.replication import ReplicationError
 from repro.kg.triples import IRI, RDFS
 from repro.sparql import SparqlEngine
 
@@ -230,16 +231,38 @@ def default_registry(kg: KnowledgeGraph,
                     pairs.append(_item(term))
         return Observation(items=_dedupe(pairs, MAX_SPARQL_RESULTS))
 
+    def _partition_tolerant(fn: Callable[..., Observation]
+                            ) -> Callable[..., Observation]:
+        """Degrade replication failures to error observations.
+
+        When the graph sits on replicated shards, a partition can
+        surface mid-episode as a :class:`ReplicationError`. The agent
+        should treat "that shard is unreachable right now" as an empty
+        observation (triggering its reflection step) rather than
+        aborting the whole episode — the next action may well route to
+        healthy shards.
+        """
+        def guarded(**kwargs) -> Observation:
+            try:
+                return fn(**kwargs)
+            except ReplicationError as exc:
+                return Observation(
+                    text=f"error: graph shard unavailable "
+                         f"({type(exc).__name__}: {exc})")
+        return guarded
+
     return ToolRegistry([
         Tool("entity_search", "find entities whose label matches a query "
-                              "string", entity_search),
+                              "string", _partition_tolerant(entity_search)),
         Tool("neighbors", "expand a list of entity IRIs one hop along an "
                           "optional relation IRI (direction out/in/both)",
-             neighbors),
+             _partition_tolerant(neighbors)),
         Tool("find_path", "list the entities connecting a source IRI to a "
-                          "target IRI within max_hops", find_path),
+                          "target IRI within max_hops",
+             _partition_tolerant(find_path)),
         Tool("aggregate", "aggregate observed values (op: count/min/max)",
              aggregate),
         Tool("sparql", "draft-and-execute a SPARQL SELECT or ASK query "
-                       "via the cost-based planner", sparql),
+                       "via the cost-based planner",
+             _partition_tolerant(sparql)),
     ])

@@ -16,13 +16,18 @@ Commands
 ``kg snapshot <dataset> <dir>``  persist a dataset KG into a durable store
 ``kg recover <dir>``             recover a durable store, print the report
 ``kg stats <dataset>``           per-shard triple counts, index + cache stats
+``kg replicas <dataset>``        replicated-shard reads: breakers, hedging,
+                                 partition / heal / byte-identical verify
 ``sparql explain <dataset> <q>`` cost-based plan with est/actual cardinalities
 ``run <dataset> --journal <p>``  checkpointed GraphRAG QA run (resumable)
 ``run --resume <journal>``       resume a killed run from its journal
 ``serve bench <dataset>``        overload benchmark through the gateway
 ``serve bench --stream``         continuous batching vs run-to-completion
+``serve bench --partition``      availability over replicated shards under a
+                                 mid-run one-replica-per-shard partition
 ``serve replay <dataset>``       closed-loop traffic replay (chaos-ready)
 ``serve replay --stream``        open-loop token-streaming replay (TTFT/TPOT)
+``serve replay --schedule <f>``  replay an archived transport fault schedule
 ``agent run <dataset> <q>``      one ReAct episode over the graph tools
 ``agent eval <dataset>``         agent vs single-shot on the multi-hop set
 ``agent show <trace.jsonl>``     pretty-print a saved episode trace
@@ -385,6 +390,69 @@ def cmd_kg_stats(args) -> int:
     return 0
 
 
+def cmd_kg_replicas(args) -> int:
+    from repro.kg.replication import (ReplicatedShardedTripleStore,
+                                      ReplicationError, TransportProfile)
+    from repro.kg.sharding import DEFAULT_SHARDS
+
+    ds = _build_dataset(args.dataset, args.seed)
+    profile = TransportProfile(seed=args.seed, drop_rate=args.drop_rate,
+                               timeout_rate=args.timeout_rate,
+                               tail_rate=args.tail_rate)
+    store = ReplicatedShardedTripleStore(
+        ds.kg.store, shards=args.shards or DEFAULT_SHARDS,
+        replicas=args.replicas, profile=profile)
+    shards = len(store.shard_stats())
+    print(f"dataset: {ds.name} (seed={ds.seed}) — "
+          f"{shards} shards x {args.replicas} replicas")
+    victims = []
+    if args.partition:
+        victims = store.partition_one_replica_per_shard()
+        print(f"partitioned one replica per shard: "
+              f"{' '.join(f's{s}r{r}' for s, r in victims)}")
+    # A deterministic subject-routed read workload: every read goes
+    # through the transport (breakers, hedging, failover all exercised).
+    subjects = sorted(store.subjects(), key=lambda term: term.n3())
+    for index in range(args.reads):
+        try:
+            store.match(subjects[index % len(subjects)], None, None)
+        except ReplicationError:
+            pass  # counted in the stats table below
+    if args.heal:
+        store.restore_partitions()
+        result = store.heal()
+        print(f"heal: healed={len(result['healed'])} "
+              f"lagging={len(result['lagging'])}")
+    states = store.breaker_states()
+    rows = {(row["shard"], row["replica"]): row
+            for row in store.verify_replicas()}
+    all_identical = True
+    for shard in range(shards):
+        primary = store.replica_store(shard, 0)
+        print(f"  shard {shard:02d} r0: primary triples={len(primary)} "
+              f"breaker={states[shard][0]}")
+        for replica in range(1, args.replicas):
+            row = rows[(shard, replica)]
+            identical = row["identical"]
+            all_identical = all_identical and identical
+            print(f"  shard {shard:02d} r{replica}: "
+                  f"triples={row['triples']} lag={row['lag']} "
+                  f"identical={'yes' if identical else 'NO'} "
+                  f"breaker={states[shard][replica]}")
+    stats = store.replication_stats()
+    print(f"  reads={stats['reads']} "
+          f"hedges={stats['hedges_fired']}/{stats['hedge_wins']} "
+          f"failovers={stats['failovers']} stale={stats['stale_reads']} "
+          f"unavailable={stats['unavailable']} "
+          f"quorum_losses={stats['quorum_losses']} "
+          f"open_breakers={stats['open_breakers']}")
+    transport = stats["transport"]
+    print(f"  transport: calls={transport['calls']} ok={transport['ok']} "
+          f"drops={transport['drops']} timeouts={transport['timeouts']} "
+          f"partitioned={transport['partitioned']}")
+    return 0 if all_identical else 1
+
+
 def cmd_sparql_explain(args) -> int:
     from repro.sparql import SparqlEngine, SparqlParseError
     from repro.sparql.evaluator import SparqlEvaluationError
@@ -549,6 +617,52 @@ def cmd_serve_bench_stream(args) -> int:
     return 0 if ratio >= 1.0 else 1
 
 
+def cmd_serve_bench_partition(args) -> int:
+    import json
+
+    from repro.serve import partition_experiment, serving_observability
+
+    reports = {}
+    details = {}
+    for label, partition in (("clean", False), ("partitioned", True)):
+        obs = serving_observability()
+        report, detail = partition_experiment(
+            dataset=args.dataset, mix_name=args.mix, capacity=args.capacity,
+            load_factor=args.load_factor, n_requests=args.requests,
+            seed=args.seed, queue_limit=args.queue_limit, budget=args.budget,
+            replicas=args.replicas, partition=partition,
+            schedule_out=args.schedule_out if partition else None, obs=obs)
+        _print_load_report(report, f"{label} ({args.load_factor:g}x, "
+                                   f"replicas={args.replicas})")
+        rep = detail["replication"]
+        print(f"  replication: reads={rep['reads']} "
+              f"hedges={rep['hedges_fired']}/{rep['hedge_wins']} "
+              f"failovers={rep['failovers']} stale={rep['stale_reads']} "
+              f"unavailable={rep['unavailable']} "
+              f"open_breakers={rep['open_breakers']}")
+        reports[label] = report.to_dict()
+        details[label] = detail
+        if args.jsonl and partition:
+            written = obs.export_jsonl(args.jsonl)
+            print(f"  exported {written} metric records to {args.jsonl}")
+    clean = reports["clean"]["goodput"]
+    partitioned = reports["partitioned"]["goodput"]
+    ratio = partitioned / clean if clean else 1.0
+    print(f"partitioned goodput at {args.load_factor:g}x: "
+          f"{partitioned:.2f}/s vs fault-free {clean:.2f}/s ({ratio:.1%}); "
+          f"availability={details['partitioned']['availability']:.1%}")
+    if args.schedule_out:
+        print(f"fault schedule -> {args.schedule_out}")
+    if args.out:
+        payload = {label: {"report": reports[label],
+                           "detail": details[label]} for label in reports}
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if ratio >= 0.99 else 1
+
+
 def cmd_serve_bench(args) -> int:
     import json
 
@@ -556,6 +670,8 @@ def cmd_serve_bench(args) -> int:
 
     if args.stream:
         return cmd_serve_bench_stream(args)
+    if args.partition:
+        return cmd_serve_bench_partition(args)
     reports = {}
     for label, factor in (("baseline", 1.0), ("overload", args.load_factor)):
         obs = serving_observability()
@@ -617,6 +733,18 @@ def cmd_serve_replay(args) -> int:
         print(f"unknown mix {args.mix!r}; available: "
               f"{', '.join(sorted(MIXES))}", file=sys.stderr)
         return 2
+    transport_profile, forced, replicas = None, [], args.replicas
+    if args.schedule:
+        from repro.kg.replication import load_schedule_jsonl
+        # A corrupt schedule — even in its first record — degrades to a
+        # one-line message and rc 2, like every other bad-input path.
+        try:
+            transport_profile, forced = load_schedule_jsonl(args.schedule)
+        except (OSError, ValueError) as exc:
+            print(f"serve replay: cannot load schedule: {exc}",
+                  file=sys.stderr)
+            return 2
+        replicas = replicas or 2
     ds = _build_dataset(args.dataset, args.seed)
     llm = load_model(args.model, world=ds.kg, seed=args.seed)
     if args.fault_rate:
@@ -624,7 +752,14 @@ def cmd_serve_replay(args) -> int:
             llm, FaultProfile.uniform(args.fault_rate, seed=args.seed))
     obs = serving_observability()
     backends = build_backends(dataset=args.dataset, seed=args.seed, llm=llm,
-                              obs=obs)
+                              obs=obs, replicas=replicas,
+                              transport_profile=transport_profile)
+    if backends.replicated is not None:
+        for shard, replica in forced:
+            backends.replicated.transport.force_partition(shard, replica)
+        schedule = f" schedule={args.schedule}" if args.schedule else ""
+        print(f"replicated shards: replicas={replicas} "
+              f"forced_partitions={len(forced)}{schedule}")
     limiter = None
     if args.tenant_rate:
         limiter = RateLimiter(tenant_rate=args.tenant_rate,
@@ -647,6 +782,13 @@ def cmd_serve_replay(args) -> int:
     reconciled = stats["completed"] + stats["shed"] + stats["failed"]
     print(f"  admitted={admitted} == completed+shed+failed={reconciled}: "
           f"{'ok' if admitted == reconciled else 'MISMATCH'}")
+    if backends.replicated is not None:
+        rep = backends.replicated.replication_stats()
+        print(f"  replication: reads={rep['reads']} "
+              f"hedges={rep['hedges_fired']}/{rep['hedge_wins']} "
+              f"failovers={rep['failovers']} stale={rep['stale_reads']} "
+              f"unavailable={rep['unavailable']} "
+              f"open_breakers={rep['open_breakers']}")
     if args.jsonl:
         written = obs.export_jsonl(args.jsonl)
         print(f"  exported {written} metric records to {args.jsonl}")
@@ -842,6 +984,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("dataset")
     p.add_argument("--shards", type=int, default=0,
                    help="re-home the KG onto N hash shards (default off)")
+    p = kg_sub.add_parser(
+        "replicas", help="replicated-shard read workload: breakers, "
+                         "hedging, partition, heal, verify")
+    p.add_argument("dataset")
+    p.add_argument("--shards", type=int, default=0,
+                   help="shard count (default: built-in default)")
+    p.add_argument("--replicas", type=int, default=2,
+                   help="replicas per shard (default 2)")
+    p.add_argument("--reads", type=int, default=64,
+                   help="subject-routed read workload size (default 64)")
+    p.add_argument("--partition", action="store_true",
+                   help="force one replica per shard off the network "
+                        "before the reads")
+    p.add_argument("--heal", action="store_true",
+                   help="lift partitions and run an anti-entropy pass "
+                        "after the reads")
+    p.add_argument("--drop-rate", type=float, default=0.0,
+                   help="transport drop probability (default 0)")
+    p.add_argument("--timeout-rate", type=float, default=0.0,
+                   help="transport timeout probability (default 0)")
+    p.add_argument("--tail-rate", type=float, default=0.0,
+                   help="slow-tail latency probability (default 0)")
     p = sub.add_parser("sparql", help="query planning: explain")
     sparql_sub = p.add_subparsers(dest="sparql_command", required=True)
     p = sparql_sub.add_parser(
@@ -876,6 +1040,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="streaming batch width (default 8, --stream only)")
     p.add_argument("--no-prefix-cache", action="store_true",
                    help="disable the radix prefix cache (--stream only)")
+    p.add_argument("--partition", action="store_true",
+                   help="partition benchmark: goodput over replicated "
+                        "shards with one replica per shard cut mid-run")
+    p.add_argument("--replicas", type=int, default=2,
+                   help="replicas per shard (default 2, --partition only)")
+    p.add_argument("--schedule-out",
+                   help="archive the transport fault schedule as JSONL "
+                        "(--partition only)")
     p = serve_sub.add_parser(
         "replay", help="closed-loop replay (supports fault injection)")
     p.add_argument("dataset", nargs="?", default="enterprise")
@@ -911,6 +1083,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--load-factor", type=float, default=1.0,
                    help="offered load multiple of capacity "
                         "(default 1.0, --stream only)")
+    p.add_argument("--replicas", type=int, default=0,
+                   help="serve over N-way replicated shards (default off)")
+    p.add_argument("--schedule",
+                   help="replay a transport fault schedule JSONL "
+                        "(implies --replicas 2 when unset)")
     p = sub.add_parser("agent",
                        help="agentic GraphRAG: run / eval / show traces")
     agent_sub = p.add_subparsers(dest="agent_command", required=True)
@@ -977,6 +1154,7 @@ _KG_HANDLERS = {
     "snapshot": cmd_kg_snapshot,
     "recover": cmd_kg_recover,
     "stats": cmd_kg_stats,
+    "replicas": cmd_kg_replicas,
 }
 
 _SPARQL_HANDLERS = {

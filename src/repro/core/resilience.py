@@ -259,15 +259,33 @@ class CircuitBreaker:
             return True
 
     def record_success(self) -> None:
-        """Note a successful call: closes the circuit."""
+        """Note a successful call: closes the circuit.
+
+        A success that lands while the circuit is *open* — a straggler
+        admitted before a concurrent sharer tripped the breaker — does
+        **not** close it: closing would cancel the cooldown the trip just
+        imposed, waving the herd straight back in. The straggler's good
+        news is recorded (failure streak reset) but the cooldown stands
+        until the half-open probe confirms recovery.
+        """
         with self._lock:
-            self.state = "closed"
             self.consecutive_failures = 0
+            if self.state == "open":
+                return
+            self.state = "closed"
             self._probe_in_flight = False
 
     def record_failure(self) -> bool:
         """Note a failed call; trips the breaker at the threshold (or
         immediately when the half-open probe fails).
+
+        A failure that lands while the circuit is already *open* — e.g. a
+        half-open probe whose outcome arrives after a concurrent sharer
+        re-tripped the breaker — restores the **full** cooldown rather
+        than leaving whatever partially drained count remained. Before
+        this, a probe raising inside the half-open window could re-open
+        the circuit with only the leftover cooldown, letting traffic back
+        into a dead backend early.
 
         Returns whether *this* failure tripped the breaker — the only
         attribution that stays correct when several pipelines share one
@@ -275,12 +293,50 @@ class CircuitBreaker:
         run would absorb every other sharer's trips).
         """
         with self._lock:
+            if self.state == "open":
+                self._cooldown_left = self.cooldown
+                self.consecutive_failures = 0
+                return False
             self.consecutive_failures += 1
             if self.state == "half-open" or \
                     self.consecutive_failures >= self.failure_threshold:
                 self._trip()
                 return True
             return False
+
+    def reset(self) -> None:
+        """Administratively close the circuit and clear the cooldown.
+
+        For callers that have *verified* the backend healthy out-of-band
+        (e.g. the replication layer's anti-entropy pass after a partition
+        heals) — ``record_success`` deliberately no longer closes an open
+        circuit, so recovery flows that bypass the probe need an explicit
+        reset.
+        """
+        with self._lock:
+            self.state = "closed"
+            self.consecutive_failures = 0
+            self._cooldown_left = 0
+            self._probe_in_flight = False
+
+    def snapshot(self) -> dict:
+        """A consistent point-in-time view for observability binding.
+
+        Suitable for ``Observability.register_source`` (a zero-arg
+        callable returning plain scalars); taken under the lock so the
+        fields are mutually consistent. ``state`` stays available as the
+        plain string attribute for direct comparison.
+        """
+        with self._lock:
+            return {
+                "name": self.name,
+                "state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "trips": self.trips,
+                "rejected": self.rejected,
+                "cooldown_left": self._cooldown_left,
+                "probe_in_flight": self._probe_in_flight,
+            }
 
     def _trip(self) -> None:
         self.state = "open"

@@ -24,6 +24,16 @@ from repro.kg.ontology import Ontology, ClassDef, PropertyDef, PropertyCharacter
 from repro.kg.wal import DurableTripleStore, RecoveryReport, WriteAheadLog, recover
 from repro.kg.sharding import (DurableShardedTripleStore, ShardedTripleStore,
                                recover_sharded, shard_of)
+from repro.kg.replication import (
+    PartitionWindow,
+    ReplicatedShardedTripleStore,
+    ReplicationError,
+    ShardTransport,
+    ShardUnavailableError,
+    StaleReadError,
+    TransportProfile,
+    load_schedule_jsonl,
+)
 from repro.kg.indexes import FullTextIndex, NumericIndex
 
 __all__ = [
@@ -53,4 +63,12 @@ __all__ = [
     "shard_of",
     "FullTextIndex",
     "NumericIndex",
+    "PartitionWindow",
+    "ReplicatedShardedTripleStore",
+    "ReplicationError",
+    "ShardTransport",
+    "ShardUnavailableError",
+    "StaleReadError",
+    "TransportProfile",
+    "load_schedule_jsonl",
 ]

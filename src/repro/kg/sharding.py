@@ -227,19 +227,32 @@ class ShardedTripleStore(TripleStore):
     # ------------------------------------------------------------------
     # Reads (route on subject; predicate-routed broadcast otherwise)
     # ------------------------------------------------------------------
-    def _targets(self, predicate: Optional[IRI]) -> List[TripleStore]:
-        """Broadcast targets: with a bound predicate, only the shards that
-        actually contain it (predicate-routed broadcast)."""
-        if predicate is None:
-            return list(self._shards)
-        return [s for s in self._shards if s.has_predicate(predicate)]
+    def _read(self, index: int, fn: Callable[[TripleStore], List]):
+        """Apply one read closure to the shard at ``index``.
 
-    def _fanout(self, targets: List[TripleStore],
+        Every per-shard read in the contract funnels through this hook —
+        subject-routed single-shard lookups and each branch of a broadcast
+        alike — so a subclass can interpose a transport (replica choice,
+        fault injection, failover) without re-implementing the routing
+        logic. The base implementation reads the local sub-store directly.
+        """
+        return fn(self._shards[index])
+
+    def _targets(self, predicate: Optional[IRI]) -> List[int]:
+        """Broadcast target *indices*: with a bound predicate, only the
+        shards that actually contain it (predicate-routed broadcast)."""
+        if predicate is None:
+            return list(range(len(self._shards)))
+        return [i for i, s in enumerate(self._shards)
+                if s.has_predicate(predicate)]
+
+    def _fanout(self, targets: List[int],
                 fn: Callable[[TripleStore], List]) -> List[List]:
         executor = self._executor
         if executor is not None and not executor.sequential and len(targets) > 1:
-            return executor.map(targets, fn, label="kg.shard")
-        return [fn(shard) for shard in targets]
+            return executor.map(targets, lambda i: self._read(i, fn),
+                                label="kg.shard")
+        return [self._read(i, fn) for i in targets]
 
     @staticmethod
     def _merge(parts: List[List], key) -> List:
@@ -260,7 +273,7 @@ class ShardedTripleStore(TripleStore):
             t = Triple(s, p, o)
             return [t] if t in self._triples else []
         if s is not None:
-            return self._shards[self.shard_index(s)].match(s, p, o)
+            return self._read(self.shard_index(s), lambda sh: sh.match(s, p, o))
         parts = self._fanout(self._targets(p), lambda sh: sh.match(s, p, o))
         # Per-shard results arrive in the unsharded order for their branch;
         # the merge key re-states that order so the k-way merge reproduces
@@ -282,8 +295,10 @@ class ShardedTripleStore(TripleStore):
         if s is not None and p is not None and o is not None:
             return 1 if Triple(s, p, o) in self._triples else 0
         if s is not None:
-            return self._shards[self.shard_index(s)].match_count(s, p, o)
-        return sum(sh.match_count(s, p, o) for sh in self._targets(p))
+            return self._read(self.shard_index(s),
+                              lambda sh: sh.match_count(s, p, o))
+        return sum(self._fanout(self._targets(p),
+                                lambda sh: sh.match_count(s, p, o)))
 
     def subjects(self, predicate: Optional[IRI] = None,
                  object: Optional[Term] = None) -> List[IRI]:
@@ -303,7 +318,8 @@ class ShardedTripleStore(TripleStore):
                    object: Optional[Term] = None) -> List[IRI]:
         s, o = subject, object
         if s is not None:
-            return self._shards[self.shard_index(s)].predicates(s, o)
+            return self._read(self.shard_index(s),
+                              lambda sh: sh.predicates(s, o))
         if o is None:
             return _distinct(t.predicate for t in self._triples)
         return _distinct(t.predicate for t in self.match(None, None, o))
@@ -312,7 +328,8 @@ class ShardedTripleStore(TripleStore):
                 predicate: Optional[IRI] = None) -> List[Term]:
         s, p = subject, predicate
         if s is not None:
-            return self._shards[self.shard_index(s)].objects(s, p)
+            return self._read(self.shard_index(s),
+                              lambda sh: sh.objects(s, p))
         if p is None:
             return _distinct(t.object for t in self._triples)
         # The same object may live in several shards; merge with
@@ -326,7 +343,8 @@ class ShardedTripleStore(TripleStore):
         return out
 
     def value(self, subject: IRI, predicate: IRI) -> Optional[Term]:
-        return self._shards[self.shard_index(subject)].value(subject, predicate)
+        return self._read(self.shard_index(subject),
+                          lambda sh: sh.value(subject, predicate))
 
     def relations(self) -> List[IRI]:
         return list(self._pred_counts)
@@ -336,7 +354,8 @@ class ShardedTripleStore(TripleStore):
 
     def predicate_stats(self) -> Dict[IRI, Dict[str, int]]:
         out: Dict[IRI, Dict[str, int]] = {}
-        per_shard = [shard.predicate_stats() for shard in self._shards]
+        per_shard = self._fanout(list(range(len(self._shards))),
+                                 lambda sh: sh.predicate_stats())
         for p in self._pred_counts:
             count = subjects = 0
             for stats in per_shard:

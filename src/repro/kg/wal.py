@@ -46,9 +46,32 @@ from repro.kg.triples import IRI, Triple
 __all__ = [
     "DurableTripleStore", "RecoveryReport", "SNAPSHOT_FILENAME",
     "WAL_FILENAME", "WalCorruptionError", "WalRecord", "WriteAheadLog",
-    "decode_payload", "encode_record", "read_snapshot", "recover",
-    "scan_wal", "write_snapshot",
+    "apply_record", "decode_payload", "encode_record", "read_snapshot",
+    "recover", "scan_wal", "write_snapshot",
 ]
+
+
+def apply_record(store: TripleStore, record: "WalRecord") -> None:
+    """Apply one WAL record to ``store`` without logging or version bumps.
+
+    The single definition of what a record *means*, shared by local
+    recovery (``DurableTripleStore._apply``) and replica catch-up (the
+    replication layer ships these same records to keep followers
+    consistent with the primary's log).
+    """
+    if record.op == "add":
+        for triple in record.triples:
+            store._insert(triple)
+    elif record.op == "remove":
+        for triple in record.triples:
+            store._delete(triple)
+    elif record.op == "clear":
+        store._triples.clear()
+        store._spo.clear()
+        store._pos.clear()
+        store._osp.clear()
+    else:
+        raise ValueError(f"unknown WAL op {record.op!r}")
 
 #: Per-record frame header: payload length then CRC32, both big-endian u32.
 _HEADER = struct.Struct(">II")
@@ -326,17 +349,7 @@ class DurableTripleStore(TripleStore):
 
     def _apply(self, record: WalRecord) -> None:
         """Apply one replayed record without logging or version bumps."""
-        if record.op == "add":
-            for triple in record.triples:
-                self._insert(triple)
-        elif record.op == "remove":
-            for triple in record.triples:
-                self._delete(triple)
-        else:  # clear
-            self._triples.clear()
-            self._spo.clear()
-            self._pos.clear()
-            self._osp.clear()
+        apply_record(self, record)
 
     # ------------------------------------------------------------------
     # Logging

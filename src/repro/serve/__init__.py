@@ -13,7 +13,8 @@ from repro.serve.gateway import (AdmissionError, Gateway, QueueFullError,
                                  RateLimiter, Request, RequestResult,
                                  ThrottledError, TierStep, TokenBucket)
 from repro.serve.loadgen import (LoadGenerator, LoadReport, MIXES, TrafficMix,
-                                 overload_experiment, serving_observability)
+                                 overload_experiment, partition_experiment,
+                                 serving_observability)
 from repro.serve.scheduler import (POLICIES, STREAM_MIXES, StreamRequest,
                                    TokenScheduler, build_stream_requests,
                                    stream_prompt_pool, streaming_experiment)
@@ -44,6 +45,7 @@ __all__ = [
     "build_backends",
     "build_stream_requests",
     "overload_experiment",
+    "partition_experiment",
     "question_pool",
     "serving_observability",
     "stream_prompt_pool",

@@ -91,6 +91,10 @@ class ServingBackends:
     sessions: SessionStore
     agent: Optional[GraphAgent] = None
     handlers: Dict[str, List[TierStep]] = field(default_factory=dict)
+    #: The ReplicatedShardedTripleStore when ``replicas > 0`` (else None);
+    #: benches and the CLI reach through this for partition control and
+    #: replication stats.
+    replicated: Optional[object] = None
 
 
 def _labels(dataset: Dataset, answers) -> str:
@@ -104,7 +108,8 @@ def _labels(dataset: Dataset, answers) -> str:
 def build_backends(dataset: str = "enterprise", seed: int = 0,
                    llm: Optional[SimulatedLLM] = None,
                    session_capacity: int = 32, max_history: int = 8,
-                   obs=None, shards: int = 0) -> ServingBackends:
+                   obs=None, shards: int = 0, replicas: int = 0,
+                   transport_profile=None) -> ServingBackends:
     """Build the shared pipelines and their tier ladders for one gateway.
 
     ``llm`` defaults to a chatgpt-profile model absorbed on the dataset's
@@ -115,13 +120,42 @@ def build_backends(dataset: str = "enterprise", seed: int = 0,
     a hash-sharded store *before* any index builds — byte-identical
     semantics (the sharded façade preserves the full store contract),
     but reads invalidate per shard and the chaos suite exercises the
-    fan-out paths.
+    fan-out paths. ``replicas > 0`` instead re-homes onto a
+    :class:`~repro.kg.replication.ReplicatedShardedTripleStore`
+    (``shards`` or the default shard count × ``replicas``) behind the
+    simulated shard transport: tier-0 handlers then run under *strict*
+    read consistency (a stale or unavailable shard raises and falls
+    through the ladder) while degraded tiers tolerate stale reads —
+    partition-tolerant serving instead of partition-blind serving.
     """
     obs = resolve_obs(obs)
     data = DATASET_BUILDERS[dataset](seed=seed)
-    if shards > 0:
+    replicated = None
+    if replicas > 0:
+        from repro.kg.replication import ReplicatedShardedTripleStore
+        from repro.kg.sharding import DEFAULT_SHARDS
+        replicated = ReplicatedShardedTripleStore(
+            data.kg.store, shards=shards or DEFAULT_SHARDS,
+            replicas=replicas, profile=transport_profile, obs=obs)
+        data.kg.store = replicated
+    elif shards > 0:
         from repro.kg.sharding import ShardedTripleStore
         data.kg.store = ShardedTripleStore(data.kg.store, shards=shards)
+
+    def consistency(mode):
+        """Run a tier handler under one read-consistency mode (no-op
+        without a replicated store)."""
+        def wrap(fn):
+            if replicated is None:
+                return fn
+            def handler(request: Request):
+                with replicated.reads_consistency(mode):
+                    return fn(request)
+            return handler
+        return wrap
+
+    strict_reads = consistency("strict")
+    stale_ok_reads = consistency("stale_ok")
     model = llm if llm is not None else load_model("chatgpt", world=data.kg,
                                                    seed=seed)
     rag = NaiveRAG(model, cache=True, obs=obs)
@@ -205,36 +239,48 @@ def build_backends(dataset: str = "enterprise", seed: int = 0,
         return BUSY_MESSAGE
 
     costs = TIER_COSTS
+    # Tier 0 runs strict (a stale/unavailable shard is a *failure* the
+    # breaker and ladder should see); degraded tiers tolerate stale reads
+    # — serving a slightly old answer beats the busy message. The busy
+    # tier reads nothing.
     handlers = {
         "graphrag": [
-            TierStep("graphrag", costs["graphrag"][0], graphrag_full),
-            TierStep("rag", costs["graphrag"][1], graphrag_degraded),
+            TierStep("graphrag", costs["graphrag"][0],
+                     strict_reads(graphrag_full)),
+            TierStep("rag", costs["graphrag"][1],
+                     stale_ok_reads(graphrag_degraded)),
             TierStep("busy", costs["graphrag"][2], busy),
         ],
         "rag": [
-            TierStep("rag", costs["rag"][0], rag_full),
-            TierStep("closed-book", costs["rag"][1], rag_degraded),
+            TierStep("rag", costs["rag"][0], strict_reads(rag_full)),
+            TierStep("closed-book", costs["rag"][1],
+                     stale_ok_reads(rag_degraded)),
             TierStep("busy", costs["rag"][2], busy),
         ],
         "sparql": [
-            TierStep("sparql", costs["sparql"][0], sparql_full),
-            TierStep("path", costs["sparql"][1], sparql_degraded),
+            TierStep("sparql", costs["sparql"][0],
+                     strict_reads(sparql_full)),
+            TierStep("path", costs["sparql"][1],
+                     stale_ok_reads(sparql_degraded)),
             TierStep("busy", costs["sparql"][2], busy),
         ],
         "chat": [
-            TierStep("chat", costs["chat"][0], chat_full),
-            TierStep("stateless", costs["chat"][1], chat_stateless),
+            TierStep("chat", costs["chat"][0], strict_reads(chat_full)),
+            TierStep("stateless", costs["chat"][1],
+                     stale_ok_reads(chat_stateless)),
             TierStep("busy", costs["chat"][2], busy),
         ],
         "agent": [
-            TierStep("agent", costs["agent"][0], agent_full),
-            TierStep("single-shot", costs["agent"][1], agent_degraded),
+            TierStep("agent", costs["agent"][0], strict_reads(agent_full)),
+            TierStep("single-shot", costs["agent"][1],
+                     stale_ok_reads(agent_degraded)),
             TierStep("busy", costs["agent"][2], busy),
         ],
     }
     return ServingBackends(dataset=data, llm=model, rag=rag, graph_rag=graph,
                            sparql_qa=sparql_qa, sessions=sessions,
-                           agent=agent, handlers=handlers)
+                           agent=agent, handlers=handlers,
+                           replicated=replicated)
 
 
 def question_pool(dataset: Dataset, seed: int = 0,

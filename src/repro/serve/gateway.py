@@ -327,6 +327,11 @@ class Gateway:
         self.late = 0
         self.degraded = 0
         self.tier_counts: Dict[str, int] = {}
+        # Tier fallthroughs keyed by exception class name — separates
+        # "LLM degraded" from "shard lost quorum" when reading an
+        # overload run's stats (the replication chaos suite asserts on
+        # the StaleReadError/ShardUnavailableError rows).
+        self.fallthrough: Dict[str, int] = {}
         self.max_queue_depth = 0
         if self.obs.enabled:
             self.obs.register_source("serve.gateway", self.stats)
@@ -458,6 +463,10 @@ class Gateway:
                 except (LLMTransientError, ResilienceError) as exc:
                     if index == 0 and probing:
                         self.breaker.record_failure()
+                    name = type(exc).__name__
+                    self.fallthrough[name] = self.fallthrough.get(name, 0) + 1
+                    self.obs.count("serve.fallthrough", kind=request.kind,
+                                   error=name)
                     step_errors.append((step.name, repr(exc)))
                     index += 1
                     continue
@@ -536,10 +545,14 @@ class Gateway:
         }
         for tier, count in sorted(self.tier_counts.items()):
             out[f"tier_{tier}"] = count
+        for name, count in sorted(self.fallthrough.items()):
+            out[f"fallthrough_{name}"] = count
         if self.limiter is not None:
             out["throttled_tenant"] = self.limiter.throttled["tenant"]
             out["throttled_global"] = self.limiter.throttled["global"]
         if self.breaker is not None:
-            out["breaker_state"] = self.breaker.state
-            out["breaker_trips"] = self.breaker.trips
+            snap = self.breaker.snapshot()
+            out["breaker_state"] = snap["state"]
+            out["breaker_trips"] = snap["trips"]
+            out["breaker_rejected"] = snap["rejected"]
         return out

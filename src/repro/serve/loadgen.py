@@ -326,6 +326,79 @@ def overload_experiment(dataset: str = "enterprise", mix_name: str = "mixed",
     return report
 
 
+def partition_experiment(dataset: str = "enterprise",
+                         mix_name: str = "mixed", capacity: int = 4,
+                         load_factor: float = 2.0, n_requests: int = 200,
+                         seed: int = 0, queue_limit: int = 16,
+                         budget: float = 6.0, replicas: int = 2,
+                         shards: int = 0, transport_profile=None,
+                         partition: bool = True, partition_at: float = 0.25,
+                         llm=None, obs=None,
+                         schedule_out: Optional[str] = None
+                         ) -> Tuple[LoadReport, Dict[str, Any]]:
+    """An overload replay over *replicated* shards, partitioned mid-run.
+
+    Same arrival stream as :func:`overload_experiment` (identical seed →
+    identical tenants/kinds/questions), but the backends are re-homed
+    onto a :class:`~repro.kg.replication.ReplicatedShardedTripleStore`
+    and — when ``partition`` is true — one replica of every shard is
+    forced off the network after ``partition_at`` of the requests have
+    arrived. Run once with ``partition=False`` and once with the
+    default to measure what the partition costs: the replication bench
+    gates the partitioned goodput at ≥99% of the fault-free run.
+
+    Returns ``(report, detail)`` where ``detail`` carries the
+    replication counters, the victim list and the availability ratio
+    (completed / admitted). ``schedule_out`` archives the transport's
+    fault schedule as JSONL (the CI artifact; replayable via
+    ``repro serve replay --schedule``).
+    """
+    mix = MIXES[mix_name]
+    obs = resolve_obs(obs)
+    backends = build_backends(dataset=dataset, seed=seed, llm=llm, obs=obs,
+                              shards=shards, replicas=max(1, replicas),
+                              transport_profile=transport_profile)
+    replicated = backends.replicated
+    gateway = Gateway(backends.handlers, capacity=capacity,
+                      queue_limit=queue_limit, budget=budget,
+                      breaker=CircuitBreaker(failure_threshold=5, cooldown=8,
+                                             name="serve-tier0"),
+                      obs=obs, seed=seed)
+    capacity_rps = capacity / mix.mean_tier0_cost()
+    rate = load_factor * capacity_rps
+    clock = obs.clock if isinstance(getattr(obs, "clock", None),
+                                    FakeClock) else None
+    generator = LoadGenerator(gateway, question_pool(backends.dataset,
+                                                     seed=seed),
+                              mix, seed=seed, clock=clock)
+    trigger = int(n_requests * partition_at) if partition else -1
+    victims: List[Tuple[int, int]] = []
+    results: List[RequestResult] = []
+    now = 0.0
+    for index in range(n_requests):
+        if index == trigger:
+            victims = replicated.partition_one_replica_per_shard()
+        unit = generator._draw("arrival", str(index))
+        now += -math.log(1.0 - unit) / rate
+        generator._advance_clock(now)
+        tenant, kind, question = generator._compose(index)
+        results.append(gateway.offer(tenant, kind, question, now,
+                                     session_id=f"{tenant}:open:{index % 4}"))
+    report = _build_report(mix.name, "open", gateway, results)
+    report.gateway_stats["capacity_rps"] = round(capacity_rps, 6)
+    report.gateway_stats["offered_rps"] = round(rate, 6)
+    if schedule_out:
+        replicated.transport.export_schedule_jsonl(schedule_out)
+    admitted = gateway.admitted or 1
+    detail = {
+        "partitioned": bool(victims),
+        "victims": victims,
+        "availability": round(gateway.completed / admitted, 6),
+        "replication": replicated.replication_stats(),
+    }
+    return report, detail
+
+
 def serving_observability() -> Observability:
     """An obs facade on a FakeClock, ready for serving replays."""
     return Observability(clock=FakeClock(start=0.0, tick=0.0))

@@ -243,6 +243,84 @@ class TestHalfOpenSingleProbe:
         assert breaker.allow()
 
 
+class TestOpenStateOutcomes:
+    """Regression: outcomes landing while the circuit is already *open*.
+
+    With a shared breaker, a half-open probe's verdict can arrive after a
+    concurrent sharer has re-tripped the circuit. A late failure used to
+    leave whatever partially drained cooldown remained (letting traffic
+    back into a dead backend early); a late success used to close the
+    circuit outright (cancelling the cooldown the trip just imposed).
+    """
+
+    def test_failure_while_open_restores_full_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=4)
+        assert breaker.record_failure() is True
+        assert not breaker.allow() and not breaker.allow()  # drain 2 of 4
+        assert breaker.record_failure() is False            # late verdict
+        assert breaker.snapshot()["cooldown_left"] == 4
+        rejections = 0
+        while not breaker.allow():
+            rejections += 1
+        assert rejections == 4
+
+    def test_success_while_open_does_not_close(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=8)
+        assert breaker.record_failure() is True
+        breaker.record_success()                            # straggler
+        assert breaker.state == "open"
+        assert not breaker.allow()                          # cooldown stands
+
+    def test_reset_administratively_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=8)
+        assert breaker.record_failure() is True
+        breaker.reset()
+        assert breaker.state == "closed"
+        assert breaker.allow() and breaker.allow()
+        assert breaker.snapshot()["cooldown_left"] == 0
+
+    def test_snapshot_reports_consistent_fields(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=3, name="kg")
+        assert breaker.record_failure() is False
+        snap = breaker.snapshot()
+        assert snap["name"] == "kg" and snap["state"] == "closed"
+        assert snap["consecutive_failures"] == 1
+        assert breaker.record_failure() is True
+        snap = breaker.snapshot()
+        assert snap["state"] == "open" and snap["trips"] == 1
+        assert snap["cooldown_left"] == 3
+
+    def test_threaded_straggler_probe_failure_restores_full_cooldown(self):
+        import threading
+
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=6)
+        assert breaker.record_failure() is True
+        for _ in range(6):
+            assert not breaker.allow()
+        assert breaker.allow()                  # probe slot (half-open)
+        release = threading.Event()
+
+        def late_probe_verdict():
+            release.wait()
+            breaker.record_failure()
+
+        thread = threading.Thread(target=late_probe_verdict)
+        thread.start()
+        # A concurrent sharer fails first: half-open → re-trip, full
+        # cooldown of 6.
+        assert breaker.record_failure() is True
+        # Part of that cooldown drains before the probe's verdict lands.
+        assert not breaker.allow() and not breaker.allow()
+        release.set()
+        thread.join()
+        # The late failure restored the FULL cooldown, not the leftover 4.
+        assert breaker.snapshot()["cooldown_left"] == 6
+        rejections = 0
+        while not breaker.allow():
+            rejections += 1
+        assert rejections == 6
+
+
 class TestFallbackChain:
     def test_primary_wins_not_degraded(self):
         chain = FallbackChain(("a", lambda: 1), ("b", lambda: 2))

@@ -1,0 +1,318 @@
+"""Unit tests for replicated shard serving (`repro.kg.replication`).
+
+Two properties carry the subsystem: *transparency* (replicated reads are
+byte-identical to a flat TripleStore whenever at least one live replica
+per shard remains) and *determinism* (the simulated transport is a pure
+function of seed and per-endpoint call index, so identical runs produce
+identical stats, latencies and results).
+"""
+
+import pytest
+
+from repro.kg.replication import (
+    PartitionWindow,
+    ReplicaUnreachableError,
+    ReplicatedShardedTripleStore,
+    ShardTransport,
+    ShardUnavailableError,
+    StaleReadError,
+    TransportProfile,
+    load_schedule_jsonl,
+)
+from repro.kg.store import TripleStore
+from repro.kg.triples import IRI, Literal, Triple
+
+EX = lambda name: IRI(f"http://example.org/{name}")
+
+
+def corpus():
+    triples = []
+    for i in range(24):
+        s = EX(f"node{i}")
+        triples.append(Triple(s, EX("knows"), EX(f"node{(i * 5) % 24}")))
+        triples.append(Triple(s, EX("label"), Literal(f"Node {i}")))
+    return triples
+
+
+def subjects(triples):
+    seen = []
+    for t in triples:
+        if t.subject not in seen:
+            seen.append(t.subject)
+    return seen
+
+
+class TestTransport:
+    def test_outcomes_are_deterministic(self):
+        profile = TransportProfile(seed=7, drop_rate=0.2, timeout_rate=0.1,
+                                   tail_rate=0.1)
+        a = [profile.outcome(0, 1, "read", i) for i in range(50)]
+        b = [profile.outcome(0, 1, "read", i) for i in range(50)]
+        assert a == b
+        # Different endpoints draw independent fates.
+        c = [profile.outcome(1, 1, "read", i) for i in range(50)]
+        assert a != c
+
+    def test_per_endpoint_counters_drive_the_schedule(self):
+        profile = TransportProfile(
+            seed=0, partitions=(PartitionWindow(shard=0, replica=0,
+                                                start=2, stop=4),))
+        transport = ShardTransport(profile)
+        fates = []
+        for _ in range(6):
+            try:
+                transport.call(0, 0, "read", lambda: "ok")
+                fates.append("ok")
+            except ReplicaUnreachableError as exc:
+                fates.append(exc.kind)
+        assert fates == ["ok", "ok", "partition", "partition", "ok", "ok"]
+
+    def test_faulted_call_never_invokes_payload(self):
+        transport = ShardTransport(TransportProfile())
+        transport.force_partition(2, 1)
+        applied = []
+        with pytest.raises(ReplicaUnreachableError) as info:
+            transport.call(2, 1, "ship", lambda: applied.append(1))
+        assert applied == []
+        assert info.value.shard == 2 and info.value.replica == 1
+        assert transport.stats()["partitioned"] == 1
+        transport.restore(2, 1)
+        transport.call(2, 1, "ship", lambda: applied.append(1))
+        assert applied == [1]
+
+    def test_stats_reconcile(self):
+        transport = ShardTransport(TransportProfile(seed=3, drop_rate=0.3,
+                                                    timeout_rate=0.2))
+        for i in range(40):
+            try:
+                transport.call(i % 2, 0, "read", lambda: None)
+            except ReplicaUnreachableError:
+                pass
+        stats = transport.stats()
+        assert stats["calls"] == 40
+        assert stats["calls"] == stats["ok"] + stats["drops"] + \
+            stats["timeouts"] + stats["partitioned"]
+        assert stats["drops"] > 0 and stats["timeouts"] > 0
+
+
+class TestScheduleJsonl:
+    def test_round_trip(self, tmp_path):
+        profile = TransportProfile(
+            seed=11, drop_rate=0.05,
+            partitions=(PartitionWindow(shard=1, replica=0, start=3),))
+        transport = ShardTransport(profile)
+        transport.force_partition(0, 1)
+        path = str(tmp_path / "schedule.jsonl")
+        assert transport.export_schedule_jsonl(path) == 3
+        loaded, forced = load_schedule_jsonl(path)
+        assert loaded.seed == 11 and loaded.drop_rate == 0.05
+        assert loaded.partitions == profile.partitions
+        assert forced == [(0, 1)]
+
+    def test_corrupt_first_record_is_one_line_valueerror(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"type": "profile", "seed": \n')
+        with pytest.raises(ValueError) as info:
+            load_schedule_jsonl(path)
+        message = str(info.value)
+        assert "line 1" in message and "\n" not in message
+
+    def test_missing_profile_record(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"type": "forced", "shard": 0, "replica": 1}\n')
+        with pytest.raises(ValueError, match="no profile record"):
+            load_schedule_jsonl(path)
+
+    def test_unknown_record_type(self, tmp_path):
+        path = str(tmp_path / "odd.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"type": "profile"}\n{"type": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown schedule record"):
+            load_schedule_jsonl(path)
+
+    def test_bad_profile_field(self, tmp_path):
+        path = str(tmp_path / "bad-field.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"type": "profile", "warp_speed": 9}\n')
+        with pytest.raises(ValueError, match="bad profile record"):
+            load_schedule_jsonl(path)
+
+
+class TestTransparency:
+    @pytest.mark.parametrize("replicas", (1, 2, 3))
+    def test_reads_match_flat_store(self, replicas):
+        data = corpus()
+        reference = TripleStore(data)
+        store = ReplicatedShardedTripleStore(data, shards=4,
+                                             replicas=replicas)
+        assert list(store) == list(reference)
+        for s in subjects(data):
+            assert store.match(s, None, None) == reference.match(s, None, None)
+            assert store.objects(s, EX("knows")) == \
+                reference.objects(s, EX("knows"))
+        assert store.match(None, EX("knows"), None) == \
+            reference.match(None, EX("knows"), None)
+        assert store.match_count(None, EX("label"), None) == \
+            reference.match_count(None, EX("label"), None)
+
+    def test_reads_match_under_one_replica_per_shard_partition(self):
+        data = corpus()
+        reference = TripleStore(data)
+        store = ReplicatedShardedTripleStore(data, shards=4, replicas=2)
+        store.partition_one_replica_per_shard()
+        for s in subjects(data):
+            assert store.match(s, None, None) == reference.match(s, None, None)
+        assert store.unavailable == 0
+
+    def test_writes_replicate_to_followers(self):
+        store = ReplicatedShardedTripleStore(corpus(), shards=2, replicas=3)
+        extra = Triple(EX("late"), EX("p"), EX("o"))
+        store.add(extra)
+        store.remove(Triple(EX("node0"), EX("knows"), EX("node0")))
+        assert all(row["identical"] for row in store.verify_replicas())
+        store.clear()
+        assert all(row["triples"] == 0 for row in store.verify_replicas())
+
+
+class TestFailoverAndBreakers:
+    def test_partitioned_primary_fails_over(self):
+        data = corpus()
+        store = ReplicatedShardedTripleStore(data, shards=1, replicas=2,
+                                             breaker_threshold=2)
+        store.transport.force_partition(0, 0)
+        reference = TripleStore(data)
+        for s in subjects(data)[:6]:
+            assert store.match(s, None, None) == reference.match(s, None, None)
+        assert store.failovers == 6
+        assert store.last_read["replica"] == 1
+
+    def test_breaker_opens_and_stops_transport_calls(self):
+        store = ReplicatedShardedTripleStore(corpus(), shards=1, replicas=2,
+                                             breaker_threshold=2,
+                                             breaker_cooldown=1000)
+        store.transport.force_partition(0, 0)
+        for s in subjects(corpus())[:6]:
+            store.match(s, None, None)
+        assert store.breaker(0, 0).state == "open"
+        partitioned_before = store.transport.stats()["partitioned"]
+        store.match(EX("node0"), None, None)
+        # The open breaker skips the primary without a network call.
+        assert store.transport.stats()["partitioned"] == partitioned_before
+
+    def test_unavailable_when_no_replica_reachable(self):
+        store = ReplicatedShardedTripleStore(corpus(), shards=1, replicas=2,
+                                             breaker_threshold=2)
+        store.transport.force_partition(0, 0)
+        store.transport.force_partition(0, 1)
+        with pytest.raises(ShardUnavailableError) as info:
+            store.match(EX("node0"), None, None)
+        assert info.value.shard == 0
+        # The second read pushes both breakers past the threshold: the
+        # shard has provably lost read quorum.
+        with pytest.raises(ShardUnavailableError):
+            store.match(EX("node0"), None, None)
+        assert store.unavailable == 2
+        assert store.quorum_losses >= 1
+
+
+class TestStaleness:
+    def _lagging_store(self):
+        store = ReplicatedShardedTripleStore(corpus(), shards=1, replicas=2)
+        # Cut the follower, write (ship fails, follower lags), then swap
+        # the partition onto the primary: only the stale follower remains.
+        store.transport.force_partition(0, 1)
+        store.add(Triple(EX("fresh"), EX("p"), EX("o")))
+        store.transport.restore(0, 1)
+        store.transport.force_partition(0, 0)
+        return store
+
+    def test_stale_ok_serves_flagged_versioned_read(self):
+        store = self._lagging_store()
+        assert store.match(EX("fresh"), None, None) == []  # pre-write state
+        assert store.last_read["stale"] is True
+        assert store.last_read["lag"] == 1
+        assert store.last_read["applied_seq"] + 1 == \
+            store.last_read["committed_seq"]
+        assert store.stale_reads == 1
+
+    def test_strict_mode_raises_typed_stale_error(self):
+        store = self._lagging_store()
+        with store.reads_consistency("strict"):
+            with pytest.raises(StaleReadError) as info:
+                store.match(EX("fresh"), None, None)
+        assert info.value.lag == 1 and info.value.shard == 0
+        assert store.stale_rejections == 1
+        # Back in stale_ok mode the same read serves.
+        assert store.match(EX("fresh"), None, None) == []
+
+
+class TestHealAndVerify:
+    def test_heal_after_partition_is_byte_identical(self):
+        store = ReplicatedShardedTripleStore(corpus(), shards=2, replicas=2)
+        store.transport.force_partition(0, 1)
+        store.transport.force_partition(1, 1)
+        for i in range(4):
+            store.add(Triple(EX(f"during{i}"), EX("p"), EX(f"o{i}")))
+        lagging = sorted((row["shard"], row["replica"])
+                         for row in store.verify_replicas() if row["lag"])
+        assert lagging  # followers really fell behind
+        # Healing against a live partition reports the replicas as still
+        # lagging rather than pretending to succeed.
+        assert store.heal()["healed"] == []
+        store.restore_partitions()
+        result = store.heal()
+        assert result["lagging"] == []
+        assert sorted(result["healed"]) == lagging
+        assert all(row["identical"] and row["lag"] == 0
+                   for row in store.verify_replicas())
+
+    def test_heal_resets_follower_breaker(self):
+        store = ReplicatedShardedTripleStore(corpus(), shards=1, replicas=2,
+                                             breaker_threshold=1)
+        store.transport.force_partition(0, 1)
+        store.add(Triple(EX("x"), EX("p"), EX("o")))
+        assert store.breaker(0, 1).state == "open"
+        store.restore_partitions()
+        store.heal()
+        assert store.breaker(0, 1).state == "closed"
+
+
+class TestHedging:
+    def _latencies(self, hedging):
+        profile = TransportProfile(seed=9, tail_rate=0.2, tail_multiplier=50.0)
+        store = ReplicatedShardedTripleStore(corpus(), shards=2, replicas=2,
+                                             profile=profile, hedging=hedging)
+        names = subjects(corpus())
+        for i in range(200):
+            store.match(names[i % len(names)], None, None)
+        return store
+
+    def test_hedging_cuts_tail_latency(self):
+        hedged = self._latencies(True)
+        unhedged = self._latencies(False)
+        assert hedged.hedges_fired > 0
+        assert unhedged.hedges_fired == 0
+        assert hedged.read_latency_quantile(99) < \
+            unhedged.read_latency_quantile(99)
+
+    def test_identical_runs_are_byte_identical(self):
+        a, b = self._latencies(True), self._latencies(True)
+        assert a.replication_stats() == b.replication_stats()
+        assert a.read_latencies == b.read_latencies
+
+
+class TestObservabilityShape:
+    def test_replication_stats_keys(self):
+        store = ReplicatedShardedTripleStore(corpus(), shards=2, replicas=2)
+        store.match(EX("node0"), None, None)
+        stats = store.replication_stats()
+        for key in ("shards", "replicas", "consistency", "read_quorum",
+                    "reads", "hedges_fired", "hedge_wins", "failovers",
+                    "stale_reads", "stale_rejections", "quorum_losses",
+                    "unavailable", "ships", "ship_failures", "heals",
+                    "open_breakers", "max_lag", "transport"):
+            assert key in stats, key
+        assert stats["reads"] == 1
+        assert stats["read_quorum"] == 2  # majority of 2

@@ -303,6 +303,85 @@ class TestDurableSharded:
         store.close()
 
 
+def _subjects_on_shard(shard, shard_count, n):
+    """The first ``n`` generated subjects that CRC-route to ``shard``."""
+    out, i = [], 0
+    while len(out) < n:
+        candidate = EX(f"pin{i}")
+        if shard_of(candidate, shard_count) == shard:
+            out.append(candidate)
+        i += 1
+    return out
+
+
+class TestRecoverShardedEdges:
+    def test_zero_record_shard_wal_recovers(self, tmp_path):
+        directory = str(tmp_path / "kg")
+        store = DurableShardedTripleStore(directory, shards=2)
+        store.add_all(Triple(s, EX("p"), EX("o"))
+                      for s in _subjects_on_shard(0, 2, 5))
+        store.close()
+        # Shard 1 never received a write; make its zero-record log exist
+        # on disk (a crash can leave an empty file behind).
+        idle = os.path.join(directory, "shard-01", "wal.log")
+        with open(idle, "a", encoding="utf-8"):
+            pass
+        assert os.path.getsize(idle) == 0
+        recovered = recover_sharded(directory)
+        assert list(recovered) == list(store)
+        assert recovered.last_recovery.records_replayed == 1
+        recovered.close()
+
+    def test_manifest_count_mismatch_reroutes(self, tmp_path):
+        directory = str(tmp_path / "kg")
+        store = DurableShardedTripleStore(directory, shards=3)
+        store.add_all(corpus())
+        store.close()
+        # The manifest now claims five shards while only three shard
+        # directories hold records; the manifest is advisory and routing
+        # happens at replay time, so nothing is lost.
+        with open(os.path.join(directory, "manifest.json"), "w") as handle:
+            handle.write('{"shards": 5}')
+        recovered = recover_sharded(directory)
+        assert recovered.shard_count == 5
+        assert list(recovered) == list(store)
+        equivalent_reads(recovered, TripleStore(corpus()))
+        recovered.close()
+
+    def test_missing_shard_directory_recovers_empty(self, tmp_path):
+        import shutil
+        directory = str(tmp_path / "kg")
+        store = DurableShardedTripleStore(directory, shards=4)
+        store.add_all(Triple(s, EX("p"), EX("o"))
+                      for s in _subjects_on_shard(2, 4, 6))
+        store.close()
+        # Every record lived on shard 2; losing its directory loses all
+        # durable state, and recovery must degrade to empty — not raise.
+        shutil.rmtree(os.path.join(directory, "shard-02"))
+        recovered = recover_sharded(directory)
+        assert len(recovered) == 0
+        assert recovered.last_recovery.records_replayed == 0
+        recovered.close()
+
+    def test_missing_shard_directory_keeps_contiguous_prefix(self, tmp_path):
+        import shutil
+        directory = str(tmp_path / "kg")
+        store = DurableShardedTripleStore(directory, shards=4)
+        store.add_all(corpus())
+        store.close()
+        shutil.rmtree(os.path.join(directory, "shard-03"))
+        # Runs owned by the lost shard leave seq gaps; recovery keeps the
+        # longest contiguous prefix of what remains and is stable across
+        # repeated recoveries.
+        recovered = recover_sharded(directory)
+        state = set(recovered)
+        assert state <= set(store)
+        recovered.close()
+        again = recover_sharded(directory)
+        assert set(again) == state
+        again.close()
+
+
 class TestKnowledgeGraphSharded:
     def test_sharded_constructor(self):
         from repro.kg.graph import KnowledgeGraph

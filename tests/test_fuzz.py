@@ -567,3 +567,67 @@ class TestAgentFuzz:
             except LLMTransientError:
                 pass
         assert replay.fault_log == fault_logs[0]
+
+
+class TestReplicatedEquivalenceFuzz:
+    """Property: for every partition schedule that leaves at least one
+    live replica per shard, ReplicatedShardedTripleStore reads are
+    indistinguishable from a flat TripleStore — no unavailability, no
+    stale refusals, identical results — at replica counts 1, 2 and 3.
+    This is the availability contract the chaos suite gates on curated
+    schedules; here Hypothesis drives the schedule space."""
+
+    CORPUS = [
+        Triple(IRI(f"http://fuzz.repro.dev/node{i % 9}"),
+               IRI(f"http://fuzz.repro.dev/rel{i % 4}"),
+               IRI(f"http://fuzz.repro.dev/val{i % 6}"))
+        for i in range(30)
+    ]
+
+    @staticmethod
+    @st.composite
+    def _schedules(draw):
+        replicas = draw(st.sampled_from([1, 2, 3]))
+        shards = draw(st.sampled_from([2, 3, 4]))
+        # One bitmask per shard over its replicas; excluding the
+        # all-ones mask is exactly the ">=1 live replica" constraint.
+        masks = draw(st.lists(
+            st.integers(min_value=0, max_value=2 ** replicas - 2),
+            min_size=shards, max_size=shards))
+        return replicas, shards, masks
+
+    @settings(max_examples=50, deadline=None)
+    @given(schedule=_schedules(), seed=st.integers(min_value=0,
+                                                   max_value=2 ** 16),
+           tail_rate=st.sampled_from([0.0, 0.1, 0.3]))
+    def test_replicated_reads_equal_flat_reads(self, schedule, seed,
+                                               tail_rate):
+        from repro.kg.replication import (
+            ReplicatedShardedTripleStore,
+            TransportProfile,
+        )
+        from repro.kg.store import TripleStore
+
+        replicas, shards, masks = schedule
+        reference = TripleStore(self.CORPUS)
+        store = ReplicatedShardedTripleStore(
+            self.CORPUS, shards=shards, replicas=replicas,
+            profile=TransportProfile(seed=seed, tail_rate=tail_rate))
+        for shard, mask in enumerate(masks):
+            for replica in range(replicas):
+                if mask & (1 << replica):
+                    store.transport.force_partition(shard, replica)
+
+        for subject in sorted({t.subject for t in self.CORPUS},
+                              key=lambda term: term.value):
+            assert store.match(subject, None, None) == \
+                reference.match(subject, None, None)
+        for predicate in sorted(reference.relations(),
+                                key=lambda term: term.value):
+            assert store.match(None, predicate, None) == \
+                reference.match(None, predicate, None)
+        assert store.match_count(None, None, None) == len(reference)
+        # Partitions never made a read degrade: no shard lost all its
+        # replicas, and partitions alone cannot create staleness.
+        assert store.unavailable == 0
+        assert store.stale_rejections == 0
